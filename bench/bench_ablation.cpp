@@ -1,0 +1,242 @@
+// Ablations of the design choices called out in DESIGN.md, plus the
+// paper's §7 off-chip projection ("significantly larger savings in
+// energy are expected when this network flow technique is applied to
+// offchip memory").
+//
+//   A. on-chip vs off-chip memory energies: improvement factor of the
+//      simultaneous flow over the two-phase baseline per memory class;
+//   B. graph style: density-region vs all-pairs — solution quality,
+//      memory locations, and graph size;
+//   C. splitting lifetimes at allowed access times vs not, under a
+//      half-rate memory;
+//   D. cost-quantisation resolution: how coarse the fixed point may get
+//      before solutions degrade;
+//   E. measured (trace) switching activities vs the 0.5 default.
+
+#include <cmath>
+#include <iostream>
+
+#include "alloc/allocator.hpp"
+#include "alloc/two_phase.hpp"
+#include "report/table.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_gen.hpp"
+
+using namespace lera;
+
+namespace {
+
+std::vector<ir::BasicBlock> suite() {
+  return {workloads::make_fir(8), workloads::make_elliptic_wave_filter(),
+          workloads::make_fft_butterfly(), workloads::make_rsp(4)};
+}
+
+void ablation_memory_class() {
+  std::cout << "\n--- A: on-chip vs off-chip memory (paper §7) ---\n";
+  report::Table table({"kernel", "improvement on-chip",
+                       "improvement off-chip"});
+  double log_on = 0;
+  double log_off = 0;
+  int n = 0;
+  for (const ir::BasicBlock& bb : suite()) {
+    const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+    const auto inputs = workloads::random_inputs(bb, 48, 5);
+    double improvement[2] = {0, 0};
+    for (int off = 0; off < 2; ++off) {
+      energy::EnergyParams params;
+      params.register_model = energy::RegisterModel::kActivity;
+      if (off) {
+        // Off-chip transfers: the paper's [14] ratios put one transfer
+        // at 11 adds; a write-allocate round trip is about double.
+        params.mem_read = 11;
+        params.mem_write = 22;
+      }
+      alloc::AllocationProblem p =
+          alloc::make_problem_from_block(bb, s, 1, params, inputs);
+      p.num_registers = std::max(1, p.max_density() / 3);
+      const alloc::AllocationResult ours = alloc::allocate(p);
+      const alloc::AllocationResult base = alloc::two_phase_allocate(p);
+      if (ours.feasible && base.feasible) {
+        improvement[off] =
+            base.activity_energy.total() / ours.activity_energy.total();
+      }
+    }
+    table.add_row({bb.name(), report::Table::num(improvement[0]),
+                   report::Table::num(improvement[1])});
+    if (improvement[0] > 0 && improvement[1] > 0) {
+      log_on += std::log(improvement[0]);
+      log_off += std::log(improvement[1]);
+      ++n;
+    }
+  }
+  table.print(std::cout);
+  if (n) {
+    std::cout << "geomean: on-chip "
+              << report::Table::num(std::exp(log_on / n)) << "x, off-chip "
+              << report::Table::num(std::exp(log_off / n))
+              << "x  [paper expects larger off-chip savings]\n";
+  }
+}
+
+void ablation_graph_style() {
+  std::cout << "\n--- B: density-region vs all-pairs graph ---\n";
+  report::Table table({"instance", "graph", "arcs", "energy",
+                       "mem locations"});
+  for (std::uint64_t seed : {3ull, 7ull, 11ull}) {
+    workloads::RandomLifetimeOptions lopts;
+    lopts.num_vars = 24;
+    lopts.num_steps = 16;
+    energy::EnergyParams params;
+    params.register_model = energy::RegisterModel::kActivity;
+    const alloc::AllocationProblem p = alloc::make_problem(
+        workloads::random_lifetimes(seed, lopts), lopts.num_steps, 4,
+        params, workloads::random_activity(seed, 24));
+    for (auto style :
+         {alloc::GraphStyle::kDensityRegions, alloc::GraphStyle::kAllPairs}) {
+      const alloc::FlowGraphSpec spec = alloc::build_flow_graph(p, style);
+      alloc::AllocatorOptions opts;
+      opts.style = style;
+      const alloc::AllocationResult r = alloc::allocate(p, opts);
+      table.add_row({"seed " + std::to_string(seed),
+                     style == alloc::GraphStyle::kDensityRegions
+                         ? "density"
+                         : "all-pairs",
+                     report::Table::num(spec.graph.num_arcs()),
+                     r.feasible ? report::Table::num(r.energy(p)) : "-",
+                     r.feasible ? report::Table::num(r.stats.mem_locations)
+                                : "-"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "the density graph is smaller and pins memory locations to "
+               "the minimum; all-pairs may trade locations for energy.\n";
+}
+
+void ablation_splitting() {
+  std::cout << "\n--- C: splitting at access times (memory at f/2) ---\n";
+  report::Table table({"kernel", "no splits: energy", "splits: energy",
+                       "no splits: forced", "splits: forced"});
+  for (const ir::BasicBlock& bb : suite()) {
+    const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+    const auto inputs = workloads::random_inputs(bb, 48, 5);
+    double e[2] = {-1, -1};
+    int forced[2] = {0, 0};
+    for (int split_on = 0; split_on < 2; ++split_on) {
+      energy::EnergyParams params;
+      params.register_model = energy::RegisterModel::kActivity;
+      params.v_mem = 3.0;
+      lifetime::SplitOptions split;
+      split.access.period = 2;
+      if (!split_on) {
+        // Disable boundary splitting by hand: rebuild with period 2 but
+        // without the implied cuts (only read cuts remain).
+        split.access.period = 1;
+      }
+      alloc::AllocationProblem p = alloc::make_problem_from_block(
+          bb, s, 8, params, inputs, split);
+      if (!split_on) {
+        // Re-impose the f/2 legality: mark segments that start/end off
+        // the access grid as forced, without having split them.
+        lifetime::AccessModel access;
+        access.period = 2;
+        for (auto& seg : p.segments) {
+          seg.forced_register = !access.allowed(seg.start, p.num_steps) ||
+                                !access.allowed(seg.end, p.num_steps);
+        }
+      }
+      for (const auto& seg : p.segments) {
+        forced[split_on] += seg.forced_register ? 1 : 0;
+      }
+      const alloc::AllocationResult r = alloc::allocate(p);
+      if (r.feasible) e[split_on] = r.energy(p);
+    }
+    table.add_row({bb.name(),
+                   e[0] < 0 ? "infeasible" : report::Table::num(e[0]),
+                   e[1] < 0 ? "infeasible" : report::Table::num(e[1]),
+                   report::Table::num(forced[0]),
+                   report::Table::num(forced[1])});
+  }
+  table.print(std::cout);
+  std::cout << "splitting at access boundaries frees mid-lifetime spills, "
+               "reducing forced residency and energy (paper §5.2).\n";
+}
+
+void ablation_quantizer() {
+  std::cout << "\n--- D: cost quantisation resolution ---\n";
+  const ir::BasicBlock bb = workloads::make_rsp(4);
+  const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  alloc::AllocationProblem p = alloc::make_problem_from_block(
+      bb, s, 6, params, workloads::random_inputs(bb, 48, 9));
+  report::Table table({"resolution", "replayed energy", "loss vs finest"});
+  double best = -1;
+  for (double res : {1e-6, 1e-3, 0.1, 1.0, 5.0}) {
+    alloc::AllocatorOptions opts;
+    opts.quantizer = energy::Quantizer(res);
+    const alloc::AllocationResult r = alloc::allocate(p, opts);
+    if (!r.feasible) continue;
+    const double e = r.energy(p);
+    if (best < 0) best = e;
+    table.add_row({report::Table::num(res, 6), report::Table::num(e),
+                   report::Table::num(100.0 * (e - best) / best, 3) + "%"});
+  }
+  table.print(std::cout);
+}
+
+void ablation_activity_source() {
+  std::cout << "\n--- E: measured vs default switching activities ---\n";
+  report::Table table({"kernel", "default-H allocation",
+                       "trace-H allocation", "gain", "regfile-only gain"});
+  for (const ir::BasicBlock& bb : suite()) {
+    const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+    // Correlated (speech-like AR(1)) stimuli: real signals keep
+    // successive values close in Hamming distance, which is exactly
+    // when measuring H beats assuming 0.5.
+    const auto inputs =
+        workloads::correlated_inputs(bb, 64, workloads::Stimulus::kAr1, 13);
+    energy::EnergyParams params;
+    params.register_model = energy::RegisterModel::kActivity;
+    // Make register switching a first-order effect so the value of
+    // *measuring* H (rather than assuming 0.5) is visible.
+    params.reg_full_swing = 6.0;
+
+    // Ground truth: activities measured from the trace.
+    const alloc::AllocationProblem truth =
+        alloc::make_problem_from_block(bb, s, 3, params, inputs);
+    // Blind: allocate assuming uniform 0.5, then price under the truth.
+    alloc::AllocationProblem blind = truth;
+    blind.activity = energy::ActivityMatrix(truth.lifetimes.size());
+
+    const alloc::AllocationResult informed = alloc::allocate(truth);
+    const alloc::AllocationResult naive = alloc::allocate(blind);
+    if (!informed.feasible || !naive.feasible) continue;
+    const auto naive_truth = evaluate_energy(
+        truth, naive.assignment, energy::RegisterModel::kActivity);
+    const double e_informed = informed.activity_energy.total();
+    const double e_naive = naive_truth.total();
+    // Memory traffic dominates the total; the measured H matters most
+    // for *which values share a register* — isolate that part too.
+    const double reg_gain =
+        naive_truth.register_file /
+        std::max(1e-9, informed.activity_energy.register_file);
+    table.add_row({bb.name(), report::Table::num(e_naive),
+                   report::Table::num(e_informed),
+                   report::Table::num(e_naive / e_informed) + "x",
+                   report::Table::num(reg_gain) + "x"});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== ABLATIONS (DESIGN.md design choices) ===\n";
+  ablation_memory_class();
+  ablation_graph_style();
+  ablation_splitting();
+  ablation_quantizer();
+  ablation_activity_source();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment SCALE (DESIGN.md): the paper's polynomial-time claim
+// ("globally optimal solution ... in polynomial time using very
+// efficient algorithms"). Google-benchmark sweep of the full allocation
+// pipeline (graph construction + min-cost flow + extraction) over
+// growing random lifetime sets; complexity is reported against the
+// instance's variable count.
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocator.hpp"
+#include "workloads/random_gen.hpp"
+
+using namespace lera;
+
+namespace {
+
+alloc::AllocationProblem make_instance(int num_vars, std::uint64_t seed,
+                                       energy::RegisterModel model) {
+  workloads::RandomLifetimeOptions lopts;
+  lopts.num_vars = num_vars;
+  // Keep density proportional to size: time axis grows with the count.
+  lopts.num_steps = std::max(10, num_vars / 2);
+  lopts.max_reads = 2;
+  energy::EnergyParams params;
+  params.register_model = model;
+  return alloc::make_problem(
+      workloads::random_lifetimes(seed, lopts), lopts.num_steps,
+      std::max(2, num_vars / 8), params,
+      workloads::random_activity(seed + 1,
+                                 static_cast<std::size_t>(num_vars)));
+}
+
+void BM_AllocateDensityGraph(benchmark::State& state) {
+  const alloc::AllocationProblem p = make_instance(
+      static_cast<int>(state.range(0)), 42,
+      energy::RegisterModel::kActivity);
+  for (auto _ : state) {
+    alloc::AllocationResult r = alloc::allocate(p);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AllocateDensityGraph)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllocateAllPairsGraph(benchmark::State& state) {
+  const alloc::AllocationProblem p = make_instance(
+      static_cast<int>(state.range(0)), 43,
+      energy::RegisterModel::kActivity);
+  alloc::AllocatorOptions opts;
+  opts.style = alloc::GraphStyle::kAllPairs;
+  for (auto _ : state) {
+    alloc::AllocationResult r = alloc::allocate(p, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AllocateAllPairsGraph)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildFlowGraphOnly(benchmark::State& state) {
+  const alloc::AllocationProblem p = make_instance(
+      static_cast<int>(state.range(0)), 44, energy::RegisterModel::kStatic);
+  for (auto _ : state) {
+    alloc::FlowGraphSpec spec =
+        alloc::build_flow_graph(p, alloc::GraphStyle::kDensityRegions);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildFlowGraphOnly)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

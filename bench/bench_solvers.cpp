@@ -1,0 +1,89 @@
+// Experiment SOLVERS (DESIGN.md): §4's remark that min-cost flow "can be
+// solved ... more commonly by using faster and more efficient network
+// algorithms". Compares the three implemented algorithms on identical
+// random instances and on real allocation flow graphs.
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/flow_graph.hpp"
+#include "netflow/solution.hpp"
+#include "workloads/random_gen.hpp"
+
+using namespace lera;
+
+namespace {
+
+netflow::Graph make_random(int nodes, std::uint64_t seed) {
+  workloads::RandomFlowOptions opts;
+  opts.num_nodes = nodes;
+  opts.num_arcs = nodes * 4;
+  opts.supply = nodes / 4;
+  opts.min_cost = -10;
+  return workloads::random_flow_problem(seed, opts);
+}
+
+template <netflow::SolverKind Kind>
+void BM_RandomInstance(benchmark::State& state) {
+  const netflow::Graph g = make_random(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    netflow::FlowSolution sol = netflow::solve(g, Kind);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+BENCHMARK(BM_RandomInstance<netflow::SolverKind::kSuccessiveShortestPaths>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK(BM_RandomInstance<netflow::SolverKind::kNetworkSimplex>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK(BM_RandomInstance<netflow::SolverKind::kCostScaling>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK(BM_RandomInstance<netflow::SolverKind::kCycleCanceling>)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Complexity();
+
+template <netflow::SolverKind Kind>
+void BM_AllocationGraph(benchmark::State& state) {
+  workloads::RandomLifetimeOptions lopts;
+  lopts.num_vars = static_cast<int>(state.range(0));
+  lopts.num_steps = std::max(10, lopts.num_vars / 2);
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  const alloc::AllocationProblem p = alloc::make_problem(
+      workloads::random_lifetimes(11, lopts), lopts.num_steps,
+      std::max(2, lopts.num_vars / 8), params,
+      workloads::random_activity(12,
+                                 static_cast<std::size_t>(lopts.num_vars)));
+  const alloc::FlowGraphSpec spec =
+      alloc::build_flow_graph(p, alloc::GraphStyle::kDensityRegions);
+  for (auto _ : state) {
+    netflow::FlowSolution sol = netflow::solve_st_flow(
+        spec.graph, spec.s, spec.t, p.num_registers, Kind);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+BENCHMARK(BM_AllocationGraph<netflow::SolverKind::kSuccessiveShortestPaths>)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Complexity();
+BENCHMARK(BM_AllocationGraph<netflow::SolverKind::kNetworkSimplex>)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Complexity();
+BENCHMARK(BM_AllocationGraph<netflow::SolverKind::kCostScaling>)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Experiment TAB1 (DESIGN.md): reproduces the paper's Table 1 — the
+// radar-signal-processing application with the memory module running at
+// f, f/2 and f/4 under supply-voltage scaling (5 V towards 2 V).
+//
+// Paper-reported rows (relative energy normalised to the f/4 row):
+//   f    : mem 6, reg 12, E 4.9, aE 2.8
+//   f/2  : mem 7, reg 11, E 2.0, aE 1.6
+//   f/4  : mem 8, reg 10, E 1.0, aE 1.0
+// The absolute counts depend on the proprietary workload; the
+// reproduction targets the shape: slower/lower-voltage memory gives a
+// several-fold drop in storage energy at unchanged datapath speed, with
+// slightly more memory traffic as memory gets cheaper and split
+// lifetimes pin more segments in registers.
+
+#include <iostream>
+
+#include "alloc/allocator.hpp"
+#include "energy/voltage.hpp"
+#include "report/table.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace lera;
+
+namespace {
+
+struct RowResult {
+  int period;
+  double v_mem;
+  alloc::AllocationResult result;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "=== TAB1: RSP application, memory frequency vs energy ===\n";
+
+  const ir::BasicBlock bb = workloads::make_rsp(6);
+  const sched::Schedule sched = sched::list_schedule(bb, {2, 2});
+  const auto inputs = workloads::random_inputs(bb, 64, 2026);
+  const energy::VoltageModel vmodel;
+  // Smallest register file that stays feasible at f/4 (the f/4 solution
+  // in the paper likewise needed the most forced register residency).
+  const int registers = 8;
+
+  std::vector<RowResult> rows;
+  for (int period : {1, 2, 4}) {
+    energy::EnergyParams params;
+    params.register_model = energy::RegisterModel::kActivity;
+    params.v_mem = energy::voltage_for_slowdown(period, vmodel);
+
+    lifetime::SplitOptions split;
+    split.access.period = period;
+
+    const alloc::AllocationProblem p = alloc::make_problem_from_block(
+        bb, sched, registers, params, inputs, split);
+    if (period == 1) {
+      std::cout << "workload: " << bb.name() << ", " << bb.num_values()
+                << " values, schedule length " << sched.length(bb)
+                << " steps, max lifetime density " << p.max_density()
+                << " (paper: 26), R = " << registers << "\n\n";
+    }
+
+    RowResult row;
+    row.period = period;
+    row.v_mem = params.v_mem;
+    row.result = alloc::allocate(p);
+    if (!row.result.feasible) {
+      std::cerr << "period " << period << " infeasible: "
+                << row.result.message << "\n";
+      return 1;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const double e_base = rows.back().result.static_energy.total();
+  const double ae_base = rows.back().result.activity_energy.total();
+  const double em_base = rows.back().result.static_energy.memory;
+
+  report::Table table({"Memory Frequency", "Vmem", "# Mem", "# Reg",
+                       "Relative E(mem)", "Relative E", "Relative aE",
+                       "mem ports (R/W)"});
+  for (const RowResult& row : rows) {
+    const std::string freq =
+        row.period == 1 ? "f" : "f/" + std::to_string(row.period);
+    table.add_row(
+        {freq, report::Table::num(row.v_mem),
+         report::Table::num(row.result.stats.mem_accesses()),
+         report::Table::num(row.result.stats.reg_accesses()),
+         report::Table::num(row.result.static_energy.memory / em_base, 1),
+         report::Table::num(row.result.static_energy.total() / e_base, 1),
+         report::Table::num(row.result.activity_energy.total() / ae_base, 1),
+         report::Table::num(row.result.stats.mem_read_ports) + "/" +
+             report::Table::num(row.result.stats.mem_write_ports)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "[paper: E 4.9 / 2.0 / 1.0, aE 2.8 / 1.6 / 1.0, mem 6 / 7 / 8, "
+         "reg 12 / 11 / 10]\n"
+         "[shape: the memory-module energy ratio tracks the paper's E "
+         "column (the voltage-scaled component), the total activity-model "
+         "ratio tracks its aE column; absolute access counts differ with "
+         "the proprietary workload]\n";
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Command-line allocator: read a basic block in LERA's text format,
+// schedule it, and print the minimum-energy register/memory assignment.
+//
+//   ./build/examples/allocate_tool kernel.lera [options]
+//     -r N          registers (default 4)
+//     -p N          memory access period (default 1 = every step)
+//     -m MODEL      static | activity (default activity)
+//     -g GRAPH      density | allpairs (default density)
+//     -l FILE       read a lifetime problem (problem_io format) instead
+//                   of a code kernel; -r/-p of the file take precedence
+//     --csv         machine-readable output
+//     --asm         also print the lowered load/store/compute listing
+//
+// With no file argument a built-in demo kernel is used. See
+// src/ir/parser.hpp and src/workloads/problem_io.hpp for the grammars.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "alloc/allocator.hpp"
+#include "alloc/memory_layout.hpp"
+#include "codegen/codegen.hpp"
+#include "ir/parser.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/problem_io.hpp"
+
+namespace {
+
+constexpr const char* kDemo = R"(# demo: complex multiply + accumulate
+in ar, ai, br, bi, acc
+p0 = ar * br
+p1 = ai * bi
+p2 = ar * bi
+p3 = ai * br
+re = p0 - p1
+im = p2 + p3
+s = re + acc
+out s
+out im
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lera;
+
+  std::string source = kDemo;
+  std::string source_name = "(built-in demo)";
+  std::string lifetimes_path;
+  int registers = 4;
+  int period = 1;
+  bool csv = false;
+  bool emit_asm = false;
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  alloc::AllocatorOptions alloc_opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string{};
+    };
+    if (arg == "-r") {
+      registers = std::stoi(next());
+    } else if (arg == "-p") {
+      period = std::stoi(next());
+    } else if (arg == "-m") {
+      const std::string m = next();
+      params.register_model = m == "static"
+                                  ? energy::RegisterModel::kStatic
+                                  : energy::RegisterModel::kActivity;
+    } else if (arg == "-g") {
+      alloc_opts.style = next() == "allpairs"
+                             ? alloc::GraphStyle::kAllPairs
+                             : alloc::GraphStyle::kDensityRegions;
+    } else if (arg == "-l") {
+      lifetimes_path = next();
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--asm") {
+      emit_asm = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: allocate_tool [file.lera] [-r N] [-p N] "
+                   "[-m static|activity] [-g density|allpairs] [--csv]\n";
+      return 0;
+    } else {
+      std::ifstream in(arg);
+      if (!in) {
+        std::cerr << "cannot open " << arg << "\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+      source_name = arg;
+    }
+  }
+
+  alloc::AllocationProblem p;
+  std::optional<ir::BasicBlock> block;
+  std::optional<sched::Schedule> block_schedule;
+  if (!lifetimes_path.empty()) {
+    std::ifstream in(lifetimes_path);
+    if (!in) {
+      std::cerr << "cannot open " << lifetimes_path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const workloads::ProblemParseResult parsed =
+        workloads::parse_problem(buffer.str(), params);
+    if (!parsed.ok()) {
+      std::cerr << lifetimes_path << ": " << parsed.error << "\n";
+      return 1;
+    }
+    p = *parsed.problem;
+    source_name = lifetimes_path;
+  } else {
+    const ir::ParseResult parsed = ir::parse_block(source, source_name);
+    if (!parsed.ok()) {
+      std::cerr << source_name << ": " << parsed.error << "\n";
+      return 1;
+    }
+    block = *parsed.block;
+    const ir::BasicBlock& bb = *block;
+    block_schedule = sched::list_schedule(bb, {2, 1});
+    lifetime::SplitOptions split;
+    split.access.period = period;
+    p = alloc::make_problem_from_block(
+        bb, *block_schedule, registers, params,
+        workloads::random_inputs(bb, 32, 1), split);
+    std::cout << source_name << ": " << bb.num_ops() << " ops, schedule "
+              << block_schedule->length(bb) << " steps, R = " << registers
+              << "\n\n";
+  }
+  const alloc::AllocationResult r = alloc::allocate(p, alloc_opts);
+  if (!r.feasible) {
+    std::cerr << "allocation infeasible: " << r.message << "\n";
+    return 1;
+  }
+
+  report::Table table({"segment", "interval", "placement"});
+  for (std::size_t s = 0; s < p.segments.size(); ++s) {
+    const auto& seg = p.segments[s];
+    table.add_row(
+        {p.lifetimes[static_cast<std::size_t>(seg.var)].name +
+             (seg.index ? "#" + std::to_string(seg.index) : ""),
+         "[" + std::to_string(seg.start) + "," + std::to_string(seg.end) +
+             ")",
+         r.assignment.in_register(s)
+             ? "r" + std::to_string(r.assignment.location(s))
+             : "memory"});
+  }
+
+  if (csv) {
+    table.print_csv(std::cout);
+    std::cout << "mem_accesses," << r.stats.mem_accesses() << "\n"
+              << "reg_accesses," << r.stats.reg_accesses() << "\n"
+              << "mem_locations," << r.stats.mem_locations << "\n"
+              << "energy," << r.energy(p) << "\n";
+    return 0;
+  }
+
+  report::draw_lifetimes(std::cout, p, &r.assignment);
+  std::cout << "\n";
+  table.print(std::cout);
+  if (emit_asm && block) {
+    const alloc::MemoryLayout layout =
+        alloc::optimize_memory_layout(p, r.assignment);
+    const codegen::Program program = codegen::emit(
+        *block, *block_schedule, p, r.assignment, layout);
+    std::cout << "\nlowered code (" << program.code_size()
+              << " instructions, " << program.loads << " loads, "
+              << program.stores << " stores):\n"
+              << program.to_string();
+  }
+  std::cout << "\nmem accesses " << r.stats.mem_accesses()
+            << ", reg accesses " << r.stats.reg_accesses()
+            << ", memory locations " << r.stats.mem_locations
+            << "\nenergy " << report::Table::num(r.energy(p))
+            << " add-units ("
+            << (params.register_model == energy::RegisterModel::kStatic
+                    ? "static"
+                    : "activity")
+            << " model)\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// DSP kernel suite: simultaneous vs two-phase allocation.
+//
+// Runs the whole library pipeline on the classic HLS kernels the
+// paper's introduction motivates (filtering, transforms, detection) and
+// compares the paper's simultaneous flow against the historical
+// two-phase approach of [8] — allocate registers first, partition into
+// memory second.
+//
+// Build & run:  ./build/examples/dsp_kernel_suite
+
+#include <iostream>
+
+#include "alloc/allocator.hpp"
+#include "alloc/two_phase.hpp"
+#include "report/table.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/kernels.hpp"
+
+int main() {
+  using namespace lera;
+
+  const std::vector<ir::BasicBlock> kernels = {
+      workloads::make_fir(8),
+      workloads::make_iir_biquad(),
+      workloads::make_elliptic_wave_filter(),
+      workloads::make_fft_butterfly(),
+      workloads::make_fft(8),
+      workloads::make_dct4(),
+      workloads::make_matmul(3),
+      workloads::make_conv3x3(),
+      workloads::make_lattice(4),
+      workloads::make_rsp(4),
+  };
+
+  report::Table table({"kernel", "vars", "steps", "peak density", "R",
+                       "two-phase E", "simultaneous E", "improvement"});
+
+  for (const ir::BasicBlock& bb : kernels) {
+    const sched::Schedule schedule = sched::list_schedule(bb, {2, 1});
+    energy::EnergyParams params;
+    params.register_model = energy::RegisterModel::kActivity;
+    const alloc::AllocationProblem probe = alloc::make_problem_from_block(
+        bb, schedule, 1, params, workloads::random_inputs(bb, 48, 3));
+
+    alloc::AllocationProblem p = probe;
+    p.num_registers = std::max(1, probe.max_density() / 3);
+
+    const alloc::AllocationResult ours = alloc::allocate(p);
+    const alloc::AllocationResult baseline = alloc::two_phase_allocate(p);
+    if (!ours.feasible || !baseline.feasible) {
+      table.add_row({bb.name(), "-", "-", "-", "-", "-", "-",
+                     "infeasible"});
+      continue;
+    }
+    table.add_row(
+        {bb.name(), report::Table::num(static_cast<int>(p.lifetimes.size())),
+         report::Table::num(schedule.length(bb)),
+         report::Table::num(p.max_density()),
+         report::Table::num(p.num_registers),
+         report::Table::num(baseline.activity_energy.total()),
+         report::Table::num(ours.activity_energy.total()),
+         report::Table::num(baseline.activity_energy.total() /
+                            ours.activity_energy.total()) +
+             "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe simultaneous flow is provably optimal for its model, "
+               "so the improvement column is always >= 1.0x (the paper "
+               "reports 1.4x-2.5x on its examples).\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// On-chip scratchpad vs off-chip memory (paper §7 and refs [20, 21]).
+//
+// Off-chip accesses dissipate an order of magnitude more energy than
+// on-chip ones, so once registers are allocated, *which* memory hosts
+// each spilled value is the next biggest lever. This example sweeps the
+// scratchpad capacity for the radar kernel and shows the optimal
+// register/on-chip/off-chip split at every point — each stage solved by
+// the same minimum-cost interval flow.
+//
+// Build & run:  ./build/examples/memory_hierarchy
+
+#include <iostream>
+
+#include "alloc/hierarchy.hpp"
+#include "report/table.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/kernels.hpp"
+
+int main() {
+  using namespace lera;
+
+  const ir::BasicBlock bb = workloads::make_rsp(5);
+  const sched::Schedule schedule = sched::list_schedule(bb, {2, 2});
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  const alloc::AllocationProblem p = alloc::make_problem_from_block(
+      bb, schedule, /*num_registers=*/6, params,
+      workloads::random_inputs(bb, 48, 21));
+
+  std::cout << "radar kernel: " << p.lifetimes.size() << " variables, "
+            << "peak density " << p.max_density() << ", R = "
+            << p.num_registers << "\n\n";
+
+  report::Table table({"scratchpad words", "on-chip runs", "off-chip runs",
+                       "on/off accesses", "storage energy",
+                       "vs all-off-chip"});
+  for (int capacity : {0, 1, 2, 4, 8, 16, 32}) {
+    alloc::HierarchyParams h;
+    h.onchip_capacity = capacity;
+    const alloc::HierarchicalResult r = alloc::allocate_hierarchical(p, h);
+    if (!r.feasible) {
+      std::cerr << "capacity " << capacity << ": " << r.message << "\n";
+      return 1;
+    }
+    table.add_row(
+        {report::Table::num(capacity), report::Table::num(r.onchip_runs),
+         report::Table::num(r.offchip_runs),
+         report::Table::num(r.onchip_accesses) + "/" +
+             report::Table::num(r.offchip_accesses),
+         report::Table::num(r.total_static_energy),
+         report::Table::num(r.all_offchip_static_energy /
+                            r.total_static_energy) +
+             "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nthe scratchpad flow hosts the hottest overlapping runs "
+               "first; past the memory's peak residency, extra capacity "
+               "buys nothing.\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file alloc.hpp
+/// Umbrella header for the allocation library — the paper's core plus
+/// every §7-adjacent extension.
+
+#include "alloc/allocator.hpp"           // IWYU pragma: export
+#include "alloc/assignment.hpp"          // IWYU pragma: export
+#include "alloc/banking.hpp"             // IWYU pragma: export
+#include "alloc/coloring.hpp"            // IWYU pragma: export
+#include "alloc/evaluate.hpp"            // IWYU pragma: export
+#include "alloc/exhaustive.hpp"          // IWYU pragma: export
+#include "alloc/flow_graph.hpp"          // IWYU pragma: export
+#include "alloc/hierarchy.hpp"           // IWYU pragma: export
+#include "alloc/memory_layout.hpp"       // IWYU pragma: export
+#include "alloc/offset_assignment.hpp"   // IWYU pragma: export
+#include "alloc/ports.hpp"               // IWYU pragma: export
+#include "alloc/problem.hpp"             // IWYU pragma: export
+#include "alloc/two_phase.hpp"           // IWYU pragma: export

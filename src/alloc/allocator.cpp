@@ -1,0 +1,128 @@
+#include "alloc/allocator.hpp"
+
+#include <algorithm>
+
+#include "netflow/validate.hpp"
+
+namespace lera::alloc {
+
+void finish_result(const AllocationProblem& p, AllocationResult& result) {
+  result.stats = count_accesses(p, result.assignment);
+  result.static_energy =
+      evaluate_energy(p, result.assignment, energy::RegisterModel::kStatic);
+  result.activity_energy =
+      evaluate_energy(p, result.assignment, energy::RegisterModel::kActivity);
+  result.registers_used = result.assignment.registers_used();
+}
+
+namespace {
+
+/// Solve + chain extraction against a prebuilt flow graph. The spec's
+/// bypass capacity must be >= p.num_registers.
+AllocationResult solve_with_spec(const AllocationProblem& p,
+                                 const FlowGraphSpec& spec,
+                                 const AllocatorOptions& options) {
+  AllocationResult result;
+  const netflow::FlowSolution sol = netflow::solve_st_flow(
+      spec.graph, spec.s, spec.t, p.num_registers, options.solver);
+  if (!sol.optimal()) {
+    result.message =
+        "no feasible flow: the forced (register-only) segments cannot be "
+        "covered by R=" +
+        std::to_string(p.num_registers) + " registers";
+    return result;
+  }
+  if (options.certify &&
+      !netflow::certify_optimal(spec.graph, sol.arc_flow)) {
+    result.message = "solver returned a non-optimal flow";
+    return result;
+  }
+
+  // Each unit of flow out of s traces one register's occupancy chain.
+  result.assignment = Assignment(p.segments.size());
+  int next_register = 0;
+  for (netflow::ArcId a : spec.graph.out_arcs(spec.s)) {
+    const FlowGraphSpec::ArcInfo& info =
+        spec.arc_info[static_cast<std::size_t>(a)];
+    if (info.kind == ArcKind::kBypass ||
+        sol.arc_flow[static_cast<std::size_t>(a)] == 0) {
+      continue;
+    }
+    const int reg = next_register++;
+    int seg = info.to_seg;
+    for (;;) {
+      result.assignment.assign_register(static_cast<std::size_t>(seg), reg);
+      // Exactly one unit leaves this segment's r-node.
+      netflow::ArcId out = netflow::kInvalidArc;
+      for (netflow::ArcId cand :
+           spec.graph.out_arcs(spec.r_node[static_cast<std::size_t>(seg)])) {
+        if (sol.arc_flow[static_cast<std::size_t>(cand)] > 0) {
+          out = cand;
+          break;
+        }
+      }
+      assert(out != netflow::kInvalidArc && "register chain broke mid-walk");
+      const FlowGraphSpec::ArcInfo& step =
+          spec.arc_info[static_cast<std::size_t>(out)];
+      if (step.kind == ArcKind::kToSink) break;
+      seg = step.to_seg;
+    }
+  }
+
+  const std::string assignment_issues =
+      validate_assignment(p, result.assignment);
+  if (!assignment_issues.empty()) {
+    result.message = "internal error, invalid assignment: " +
+                     assignment_issues;
+    return result;
+  }
+
+  result.feasible = true;
+  result.flow_cost = sol.cost;
+  result.model_energy =
+      spec.base_energy + options.quantizer.dequantize(sol.cost);
+  finish_result(p, result);
+  return result;
+}
+
+}  // namespace
+
+AllocationResult allocate(const AllocationProblem& p,
+                          const AllocatorOptions& options) {
+  AllocationResult result;
+  const std::string problem_issues = p.verify();
+  if (!problem_issues.empty()) {
+    result.message = "invalid problem: " + problem_issues;
+    return result;
+  }
+  const FlowGraphSpec spec =
+      build_flow_graph(p, options.style, options.quantizer);
+  return solve_with_spec(p, spec, options);
+}
+
+std::vector<AllocationResult> allocate_sweep(
+    const AllocationProblem& p, const std::vector<int>& register_counts,
+    const AllocatorOptions& options) {
+  std::vector<AllocationResult> results;
+  results.reserve(register_counts.size());
+  AllocationProblem working = p;
+  const std::string problem_issues = working.verify();
+  if (!problem_issues.empty() || register_counts.empty()) {
+    results.resize(register_counts.size());
+    for (auto& r : results) {
+      r.message = "invalid problem: " + problem_issues;
+    }
+    return results;
+  }
+  working.num_registers =
+      *std::max_element(register_counts.begin(), register_counts.end());
+  const FlowGraphSpec spec =
+      build_flow_graph(working, options.style, options.quantizer);
+  for (int registers : register_counts) {
+    working.num_registers = registers;
+    results.push_back(solve_with_spec(working, spec, options));
+  }
+  return results;
+}
+
+}  // namespace lera::alloc

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+
+#include "alloc/evaluate.hpp"
+#include "alloc/flow_graph.hpp"
+#include "netflow/solution.hpp"
+
+/// \file allocator.hpp
+/// The paper's simultaneous memory-partitioning + register-allocation
+/// solver: build the flow graph, push F = R units of minimum-cost flow,
+/// and read the register chains back off the arcs with flow.
+
+namespace lera::alloc {
+
+struct AllocatorOptions {
+  GraphStyle style = GraphStyle::kDensityRegions;
+  netflow::SolverKind solver = netflow::SolverKind::kSuccessiveShortestPaths;
+  energy::Quantizer quantizer{};
+  /// Certify the flow returned by the solver against the residual-cycle
+  /// optimality condition (cheap; catches solver regressions).
+  bool certify = false;
+};
+
+struct AllocationResult {
+  bool feasible = false;
+  std::string message;  ///< Diagnostic when infeasible/invalid.
+
+  Assignment assignment;
+  AccessStats stats;
+  EnergyBreakdown static_energy;    ///< Replayed under eq. (1).
+  EnergyBreakdown activity_energy;  ///< Replayed under eq. (2).
+
+  /// base_energy + dequantised flow cost: the objective the flow
+  /// actually minimised (equals the replayed energy under the problem's
+  /// configured register model; asserted in tests).
+  double model_energy = 0;
+  netflow::Cost flow_cost = 0;
+  int registers_used = 0;
+
+  /// Energy under the model the problem was configured with.
+  double energy(const AllocationProblem& p) const {
+    return p.params.register_model == energy::RegisterModel::kStatic
+               ? static_energy.total()
+               : activity_energy.total();
+  }
+};
+
+/// Solves Problem 1 to optimality (under the configured register model
+/// and graph style). Infeasible only when the forced segments cannot be
+/// covered by R registers.
+AllocationResult allocate(const AllocationProblem& p,
+                          const AllocatorOptions& options = {});
+
+/// Design-space sweep over register counts: builds the flow graph once
+/// (only the flow value F and the bypass capacity depend on R) and
+/// re-solves for every entry of \p register_counts. Results are in the
+/// same order; p.num_registers is ignored.
+std::vector<AllocationResult> allocate_sweep(
+    const AllocationProblem& p, const std::vector<int>& register_counts,
+    const AllocatorOptions& options = {});
+
+/// Helper shared with the baselines: derives stats and energies for an
+/// arbitrary (already validated) assignment.
+void finish_result(const AllocationProblem& p, AllocationResult& result);
+
+}  // namespace lera::alloc

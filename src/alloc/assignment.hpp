@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/problem.hpp"
+
+/// \file assignment.hpp
+/// The output of an allocator: where every lifetime segment lives, plus
+/// the structural checks that make an assignment *valid* (register
+/// capacity respected at every boundary, forced segments honoured,
+/// registers exclusive).
+
+namespace lera::alloc {
+
+/// Per-segment placement: register index in [0, R) or kMemory.
+class Assignment {
+ public:
+  static constexpr int kMemory = -1;
+
+  Assignment() = default;
+  explicit Assignment(std::size_t num_segments)
+      : location_(num_segments, kMemory) {}
+
+  int location(std::size_t seg) const { return location_[seg]; }
+  void assign_register(std::size_t seg, int reg) {
+    assert(reg >= 0);
+    location_[seg] = reg;
+  }
+  void assign_memory(std::size_t seg) { location_[seg] = kMemory; }
+
+  bool in_register(std::size_t seg) const { return location_[seg] >= 0; }
+  std::size_t size() const { return location_.size(); }
+
+  /// Number of distinct registers actually used.
+  int registers_used() const;
+
+ private:
+  std::vector<int> location_;
+};
+
+/// Validates \p a against \p p:
+///  * every forced segment is in a register;
+///  * no register holds two segments that overlap in time;
+///  * at every boundary, at most R registers are occupied;
+///  * register indices are within [0, R).
+/// Returns an empty string when valid.
+std::string validate_assignment(const AllocationProblem& p,
+                                const Assignment& a);
+
+}  // namespace lera::alloc

@@ -1,0 +1,182 @@
+#include "alloc/banking.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "alloc/evaluate.hpp"
+
+namespace lera::alloc {
+
+namespace {
+
+/// Per-step sets of touched locations.
+std::map<int, std::vector<int>> accesses_by_step(
+    const AllocationProblem& p, const Assignment& a,
+    const std::vector<int>& address) {
+  std::map<int, std::vector<int>> by_step;
+  for (const StorageEvent& ev : enumerate_events(p, a)) {
+    if (ev.type != EventType::kMemRead && ev.type != EventType::kMemWrite) {
+      continue;
+    }
+    if (ev.seg < 0) continue;
+    const int loc = address[static_cast<std::size_t>(ev.seg)];
+    if (loc >= 0) by_step[ev.step].push_back(loc);
+  }
+  return by_step;
+}
+
+int count_conflicts(const std::map<int, std::vector<int>>& by_step,
+                    const std::vector<int>& bank, int* parallel_pairs) {
+  int conflicts = 0;
+  if (parallel_pairs) *parallel_pairs = 0;
+  for (const auto& [step, locs] : by_step) {
+    for (std::size_t i = 0; i < locs.size(); ++i) {
+      for (std::size_t j = i + 1; j < locs.size(); ++j) {
+        if (bank[static_cast<std::size_t>(locs[i])] ==
+            bank[static_cast<std::size_t>(locs[j])]) {
+          ++conflicts;
+        } else if (parallel_pairs) {
+          ++*parallel_pairs;
+        }
+      }
+    }
+  }
+  return conflicts;
+}
+
+}  // namespace
+
+BankAssignment assign_banks(const AllocationProblem& p, const Assignment& a,
+                            const std::vector<int>& address, int num_banks) {
+  BankAssignment out;
+  if (num_banks <= 0 || address.size() != p.segments.size()) return out;
+  out.feasible = true;
+
+  int num_locations = 0;
+  for (int addr : address) num_locations = std::max(num_locations, addr + 1);
+  out.idle_steps.assign(static_cast<std::size_t>(num_banks), 0);
+  if (num_locations == 0) return out;
+
+  const auto by_step = accesses_by_step(p, a, address);
+
+  // Pairwise same-step weights.
+  std::map<std::pair<int, int>, int> weight;
+  std::vector<int> total_weight(static_cast<std::size_t>(num_locations), 0);
+  for (const auto& [step, locs] : by_step) {
+    for (std::size_t i = 0; i < locs.size(); ++i) {
+      for (std::size_t j = i + 1; j < locs.size(); ++j) {
+        if (locs[i] == locs[j]) continue;  // Same cell: unsplittable.
+        const int u = std::min(locs[i], locs[j]);
+        const int v = std::max(locs[i], locs[j]);
+        ++weight[{u, v}];
+        ++total_weight[static_cast<std::size_t>(u)];
+        ++total_weight[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+
+  // Greedy: heaviest locations first, each into the bank that adds the
+  // least conflict weight (ties: emptiest bank).
+  std::vector<int> order(static_cast<std::size_t>(num_locations));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+    return total_weight[static_cast<std::size_t>(x)] >
+           total_weight[static_cast<std::size_t>(y)];
+  });
+
+  out.bank.assign(static_cast<std::size_t>(num_locations), -1);
+  std::vector<int> bank_size(static_cast<std::size_t>(num_banks), 0);
+  for (int loc : order) {
+    int best_bank = 0;
+    long best_cost = -1;
+    for (int b = 0; b < num_banks; ++b) {
+      long cost = 0;
+      for (const auto& [uv, w] : weight) {
+        const int other = uv.first == loc   ? uv.second
+                          : uv.second == loc ? uv.first
+                                             : -1;
+        if (other >= 0 && out.bank[static_cast<std::size_t>(other)] == b) {
+          cost += w;
+        }
+      }
+      // Secondary objective: balance bank sizes.
+      cost = cost * 1024 + bank_size[static_cast<std::size_t>(b)];
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_bank = b;
+      }
+    }
+    out.bank[static_cast<std::size_t>(loc)] = best_bank;
+    ++bank_size[static_cast<std::size_t>(best_bank)];
+  }
+
+  // Local improvement: move single locations to cheaper banks until a
+  // fixed point (bounded passes; conflicts strictly decrease).
+  auto bank_cost = [&](int loc, int b) {
+    long cost = 0;
+    for (const auto& [uv, w] : weight) {
+      const int other = uv.first == loc   ? uv.second
+                        : uv.second == loc ? uv.first
+                                           : -1;
+      if (other >= 0 && out.bank[static_cast<std::size_t>(other)] == b) {
+        cost += w;
+      }
+    }
+    return cost;
+  };
+  for (int pass = 0; pass < 8; ++pass) {
+    bool moved = false;
+    for (int loc = 0; loc < num_locations; ++loc) {
+      const int cur = out.bank[static_cast<std::size_t>(loc)];
+      long best = bank_cost(loc, cur);
+      int target = cur;
+      for (int b = 0; b < num_banks; ++b) {
+        if (b == cur) continue;
+        const long cost = bank_cost(loc, b);
+        if (cost < best) {
+          best = cost;
+          target = b;
+        }
+      }
+      if (target != cur) {
+        out.bank[static_cast<std::size_t>(loc)] = target;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  std::vector<int> interleaved(static_cast<std::size_t>(num_locations));
+  for (int loc = 0; loc < num_locations; ++loc) {
+    interleaved[static_cast<std::size_t>(loc)] = loc % num_banks;
+  }
+  out.naive_conflicts = count_conflicts(by_step, interleaved, nullptr);
+  out.conflicts = count_conflicts(by_step, out.bank, &out.parallel_pairs);
+  if (out.conflicts > out.naive_conflicts) {
+    // The heuristic should not lose to plain interleaving; keep the
+    // better of the two.
+    out.bank = interleaved;
+    out.conflicts = count_conflicts(by_step, out.bank, &out.parallel_pairs);
+  }
+
+  // Sleep opportunity: steps 1..x+1 in which a bank sees no access.
+  for (int b = 0; b < num_banks; ++b) {
+    int idle = 0;
+    for (int step = 1; step <= p.num_steps + 1; ++step) {
+      const auto it = by_step.find(step);
+      bool touched = false;
+      if (it != by_step.end()) {
+        for (int loc : it->second) {
+          touched |= out.bank[static_cast<std::size_t>(loc)] == b;
+        }
+      }
+      idle += touched ? 0 : 1;
+    }
+    out.idle_steps[static_cast<std::size_t>(b)] = idle;
+  }
+  return out;
+}
+
+}  // namespace lera::alloc

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "alloc/assignment.hpp"
+
+/// \file banking.hpp
+/// Multi-bank memory partitioning. The paper's related work (§2) cites
+/// three reasons to split the memory into modules: parallel access
+/// instructions need same-step accesses in *different* banks ([15],
+/// [16]), idle banks can enter sleep modes ([4]), and smaller modules
+/// switch shorter lines ([19]). Given an allocation and its address
+/// layout, this pass distributes the memory locations over a fixed
+/// number of banks to minimise same-step same-bank conflicts, and
+/// reports the sleep opportunity per bank.
+
+namespace lera::alloc {
+
+struct BankAssignment {
+  bool feasible = false;
+  /// Bank of every memory location id (size = #locations).
+  std::vector<int> bank;
+  /// Same-step access pairs that collide in one bank (each costs a
+  /// serialisation stall or an extra port).
+  int conflicts = 0;
+  /// Same metric for the naive interleaved layout (addr mod banks).
+  int naive_conflicts = 0;
+  /// Same-step pairs landing in different banks (serviceable by one
+  /// parallel-access instruction, the energy win of [16]).
+  int parallel_pairs = 0;
+  /// Steps during which each bank is untouched (sleep-mode opportunity
+  /// of [4]), indexed by bank.
+  std::vector<int> idle_steps;
+};
+
+/// Greedy conflict-aware partitioning of the locations of \p address
+/// (per segment; -1 for register segments) into \p num_banks banks.
+BankAssignment assign_banks(const AllocationProblem& p, const Assignment& a,
+                            const std::vector<int>& address, int num_banks);
+
+}  // namespace lera::alloc

@@ -1,0 +1,83 @@
+#include "alloc/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lera::alloc {
+
+AllocationResult coloring_allocate(const AllocationProblem& p,
+                                   const ColoringOptions& options) {
+  AllocationResult result;
+  const std::size_t n = p.lifetimes.size();
+
+  // Priority: forced variables first (they have no choice), then by
+  // spill cost — accesses, optionally normalised by lifetime length.
+  std::vector<char> has_forced(n, 0);
+  for (const lifetime::Segment& seg : p.segments) {
+    if (seg.forced_register) {
+      has_forced[static_cast<std::size_t>(seg.var)] = 1;
+    }
+  }
+  std::vector<double> priority(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const lifetime::Lifetime& lt = p.lifetimes[v];
+    const double accesses = 1.0 + static_cast<double>(lt.read_times.size());
+    const double span =
+        std::max(1, lt.last_read() - lt.write_time);
+    priority[v] = options.priority_per_step ? accesses / span : accesses;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (has_forced[a] != has_forced[b]) {
+                       return has_forced[a] > has_forced[b];
+                     }
+                     return priority[a] > priority[b];
+                   });
+
+  // Greedy whole-variable left edge over full lifetimes.
+  result.assignment = Assignment(p.segments.size());
+  std::vector<int> reg_free_at;  // Per register: step it frees up.
+  const std::vector<int> first_seg = p.first_segment_of_var();
+  for (std::size_t v : order) {
+    const lifetime::Lifetime& lt = p.lifetimes[v];
+    int chosen = -1;
+    for (std::size_t r = 0; r < reg_free_at.size(); ++r) {
+      if (reg_free_at[r] <= lt.write_time) {
+        chosen = static_cast<int>(r);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      if (static_cast<int>(reg_free_at.size()) >= p.num_registers) {
+        continue;  // Spilled: stays in memory.
+      }
+      chosen = static_cast<int>(reg_free_at.size());
+      reg_free_at.push_back(0);
+    }
+    reg_free_at[static_cast<std::size_t>(chosen)] = lt.last_read();
+    for (std::size_t s = static_cast<std::size_t>(
+             first_seg[v]);
+         s < p.segments.size() &&
+         p.segments[s].var == static_cast<int>(v);
+         ++s) {
+      result.assignment.assign_register(s, chosen);
+    }
+  }
+
+  const std::string issues = validate_assignment(p, result.assignment);
+  if (!issues.empty()) {
+    // Forced variables may not all have fit: the energy-blind baseline
+    // simply fails on such instances.
+    result.message = "coloring baseline could not honour constraints: " +
+                     issues;
+    return result;
+  }
+  result.feasible = true;
+  finish_result(p, result);
+  return result;
+}
+
+}  // namespace lera::alloc

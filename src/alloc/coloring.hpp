@@ -1,0 +1,29 @@
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+/// \file coloring.hpp
+/// Priority-based coloring baseline (the paper's refs [6, 7]: Chaitin,
+/// Chow/Hennessy). Classic compilers allocate registers for
+/// *performance*: variables are ranked by access count (spill cost) and
+/// greedily bound to registers whole — energy never enters the
+/// objective. The paper's §2 points out these techniques "concentrated
+/// on fast compile times and performance"; this baseline quantifies
+/// what that costs in storage energy.
+
+namespace lera::alloc {
+
+struct ColoringOptions {
+  /// Rank by accesses weighted by 1/lifetime-length (Chow's priority
+  /// function) instead of raw access counts.
+  bool priority_per_step = false;
+};
+
+/// Greedy whole-variable binding: highest-priority variables get
+/// registers (left-edge over their full lifetimes) until R is
+/// exhausted; the rest live in memory. Forced segments (restricted
+/// access times) are honoured by promoting their variables first.
+AllocationResult coloring_allocate(const AllocationProblem& p,
+                                   const ColoringOptions& options = {});
+
+}  // namespace lera::alloc

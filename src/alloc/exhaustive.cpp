@@ -1,0 +1,112 @@
+#include "alloc/exhaustive.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace lera::alloc {
+
+namespace {
+
+/// Merges consecutive register segments of one variable into "runs" and
+/// left-edge-binds the runs to concrete registers. Returns false if more
+/// than R registers would be needed (cannot happen when the per-boundary
+/// capacity check passed, but kept as a belt-and-braces guard).
+bool bind_registers(const AllocationProblem& p, std::uint32_t mask,
+                    Assignment& a) {
+  struct Run {
+    int start;
+    int end;
+    std::size_t first_seg;
+    std::size_t last_seg;
+  };
+  std::vector<Run> runs;
+  std::size_t i = 0;
+  while (i < p.segments.size()) {
+    if (!(mask & (1u << i))) {
+      ++i;
+      continue;
+    }
+    std::size_t last = i;
+    while (last + 1 < p.segments.size() &&
+           (mask & (1u << (last + 1))) != 0 &&
+           p.segments[last + 1].var == p.segments[i].var) {
+      ++last;
+    }
+    runs.push_back({p.segments[i].start, p.segments[last].end, i, last});
+    i = last + 1;
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& x, const Run& y) { return x.start < y.start; });
+
+  // Left edge: reuse the register whose occupant died earliest.
+  std::vector<int> reg_free_at;  // per register: time it becomes free
+  for (const Run& run : runs) {
+    int chosen = -1;
+    for (std::size_t r = 0; r < reg_free_at.size(); ++r) {
+      if (reg_free_at[r] <= run.start) {
+        chosen = static_cast<int>(r);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(reg_free_at.size());
+      reg_free_at.push_back(0);
+      if (chosen >= p.num_registers) return false;
+    }
+    reg_free_at[static_cast<std::size_t>(chosen)] = run.end;
+    for (std::size_t s = run.first_seg; s <= run.last_seg; ++s) {
+      a.assign_register(s, chosen);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ExhaustiveResult> exhaustive_allocate(
+    const AllocationProblem& p, energy::RegisterModel model) {
+  const std::size_t n = p.segments.size();
+  assert(n <= 24 && "exhaustive search is exponential in segment count");
+  assert((model == energy::RegisterModel::kStatic || p.num_registers <= 1) &&
+         "activity-model ground truth needs a unique binding (R <= 1)");
+
+  std::uint32_t forced = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (p.segments[s].forced_register) forced |= 1u << s;
+  }
+
+  // Per-boundary crossing masks make the R-capacity check a popcount.
+  std::vector<std::uint32_t> boundary_mask(
+      static_cast<std::size_t>(p.num_steps) + 1, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (int b = p.segments[s].start; b < p.segments[s].end; ++b) {
+      if (b >= 0 && b <= p.num_steps) {
+        boundary_mask[static_cast<std::size_t>(b)] |= 1u << s;
+      }
+    }
+  }
+
+  std::optional<ExhaustiveResult> best;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if ((mask & forced) != forced) continue;
+    bool fits = true;
+    for (const std::uint32_t bm : boundary_mask) {
+      if (std::popcount(mask & bm) > p.num_registers) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) continue;
+
+    Assignment a(n);
+    if (!bind_registers(p, mask, a)) continue;
+
+    const double e = evaluate_energy(p, a, model).total();
+    if (!best || e < best->energy) {
+      best = ExhaustiveResult{a, e};
+    }
+  }
+  return best;
+}
+
+}  // namespace lera::alloc

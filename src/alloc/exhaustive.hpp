@@ -1,0 +1,30 @@
+#pragma once
+
+#include <optional>
+
+#include "alloc/allocator.hpp"
+
+/// \file exhaustive.hpp
+/// Brute-force optimal allocator for verification. Enumerates every
+/// register/memory placement of the segments (2^S candidates), keeps the
+/// valid ones and prices them with the same evaluator as the real
+/// allocator. Static-model energies are independent of which register a
+/// chain uses, so any R is supported; the activity model depends on the
+/// binding, so it is supported for R <= 1 only (where the binding is
+/// unique). Tests compare the flow allocator against this ground truth.
+
+namespace lera::alloc {
+
+struct ExhaustiveResult {
+  Assignment assignment;
+  double energy = 0;
+};
+
+/// Returns the minimum-energy valid assignment under \p model, or
+/// nullopt if no valid assignment exists (forced segments exceed R).
+/// Requires p.segments.size() <= 24 (search is exponential) and, for the
+/// activity model, p.num_registers <= 1.
+std::optional<ExhaustiveResult> exhaustive_allocate(
+    const AllocationProblem& p, energy::RegisterModel model);
+
+}  // namespace lera::alloc

@@ -1,0 +1,210 @@
+#include "alloc/flow_graph.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace lera::alloc {
+
+namespace {
+
+using lifetime::CutKind;
+using lifetime::Segment;
+
+/// Energy terms charged when a register chain leaves segment \p seg's
+/// r-node (the "v1 terms" of eqs. (6)-(10) plus the static-model register
+/// read where a real read happens at the cut).
+double leave_energy(const AllocationProblem& p, const Segment& seg) {
+  const energy::EnergyParams& e = p.params;
+  double cost = 0;
+  switch (seg.end_kind) {
+    case CutKind::kRead:
+      // Interior read served from the register (saves the base-charged
+      // memory read) but the variable lives on: write it back.
+      cost += -e.e_mem_read() + e.e_mem_write();
+      if (e.register_model == energy::RegisterModel::kStatic) {
+        cost += e.e_reg_read();
+      }
+      break;
+    case CutKind::kDeath:
+      // Final read served from the register; no write-back needed.
+      cost += -e.e_mem_read();
+      if (e.register_model == energy::RegisterModel::kStatic) {
+        cost += e.e_reg_read();
+      }
+      break;
+    case CutKind::kBoundary:
+      // No read occurs at an access-time cut; only the write-back.
+      cost += e.e_mem_write();
+      break;
+    case CutKind::kDef:
+      assert(false && "segment cannot end at a definition");
+      break;
+  }
+  return cost;
+}
+
+/// Energy terms charged when a register chain enters segment \p seg's
+/// w-node (the "v2 terms": what the register write costs/saves).
+double enter_energy(const AllocationProblem& p, const Segment& seg) {
+  const energy::EnergyParams& e = p.params;
+  double cost = 0;
+  switch (seg.start_kind) {
+    case CutKind::kDef:
+      // The definition is written to the register instead of memory.
+      cost += -e.e_mem_write();
+      break;
+    case CutKind::kRead:
+      // The base-charged memory read at this time doubles as the load.
+      break;
+    case CutKind::kBoundary:
+      // Mid-life entry at an access time needs an explicit load.
+      cost += e.e_mem_read();
+      break;
+    case CutKind::kDeath:
+      assert(false && "segment cannot start at the final read");
+      break;
+  }
+  if (e.register_model == energy::RegisterModel::kStatic) {
+    cost += e.e_reg_write();
+  }
+  return cost;
+}
+
+}  // namespace
+
+FlowGraphSpec build_flow_graph(const AllocationProblem& p, GraphStyle style,
+                               const energy::Quantizer& quantizer) {
+  assert(p.verify().empty());
+  const energy::EnergyParams& e = p.params;
+  const bool activity_model =
+      e.register_model == energy::RegisterModel::kActivity;
+  const std::size_t num_segs = p.segments.size();
+
+  FlowGraphSpec spec;
+  spec.s = spec.graph.add_node("s");
+  spec.t = spec.graph.add_node("t");
+  spec.w_node.resize(num_segs);
+  spec.r_node.resize(num_segs);
+
+  for (std::size_t i = 0; i < num_segs; ++i) {
+    const Segment& seg = p.segments[i];
+    const std::string& var =
+        p.lifetimes[static_cast<std::size_t>(seg.var)].name;
+    spec.w_node[i] = spec.graph.add_node(
+        "w" + std::to_string(seg.index) + "(" + var + ")");
+    spec.r_node[i] = spec.graph.add_node(
+        "r" + std::to_string(seg.index) + "(" + var + ")");
+  }
+
+  auto add = [&](netflow::NodeId tail, netflow::NodeId head, double energy_cost,
+                 ArcKind kind, int from_seg, int to_seg,
+                 netflow::Flow cap = 1, netflow::Flow lower = 0) {
+    spec.graph.add_arc(tail, head, cap, quantizer.quantize(energy_cost),
+                       lower);
+    spec.arc_info.push_back({kind, from_seg, to_seg});
+  };
+
+  // Prefix counts of maximum-density boundaries for O(1) idle checks:
+  // a register may not sit idle across a boundary of maximum density in
+  // the paper's graph (that is what pins memory usage to its minimum).
+  std::vector<int> max_prefix(p.is_max_density.size() + 1, 0);
+  for (std::size_t b = 0; b < p.is_max_density.size(); ++b) {
+    max_prefix[b + 1] = max_prefix[b] + (p.is_max_density[b] ? 1 : 0);
+  }
+  // True if any max-density boundary lies in [from, to) (clamped to the
+  // valid boundary range 0..num_steps).
+  auto idle_crosses_peak = [&](int from, int to) {
+    const int lo = std::clamp(from, 0, p.num_steps + 1);
+    const int hi = std::clamp(to, 0, p.num_steps + 1);
+    if (lo >= hi) return false;
+    return max_prefix[static_cast<std::size_t>(hi)] -
+               max_prefix[static_cast<std::size_t>(lo)] >
+           0;
+  };
+  auto transition_allowed = [&](int read_time, int write_time) {
+    if (read_time > write_time) return false;
+    if (style == GraphStyle::kAllPairs) return true;
+    return !idle_crosses_peak(read_time, write_time);
+  };
+
+  // Segment arcs w_i(v) -> r_i(v): cost 0 (eq. 3), capacity 1, lower
+  // bound 1 when the segment must sit in a register (§5.2) and capacity
+  // 0 when it is barred from the register file (§7 port constraints).
+  for (std::size_t i = 0; i < num_segs; ++i) {
+    assert(!(p.segments[i].forced_register &&
+             p.segments[i].forbidden_register));
+    add(spec.w_node[i], spec.r_node[i], 0.0, ArcKind::kSegment,
+        static_cast<int>(i), static_cast<int>(i),
+        p.segments[i].forbidden_register ? 0 : 1,
+        p.segments[i].forced_register ? 1 : 0);
+  }
+
+  // Chain arcs r_i(v) -> w_{i+1}(v) (eq. 9 generalised): the variable
+  // keeps its register across the cut.
+  for (std::size_t i = 0; i + 1 < num_segs; ++i) {
+    const Segment& cur = p.segments[i];
+    const Segment& next = p.segments[i + 1];
+    if (cur.var != next.var) continue;
+    double cost = 0;
+    if (cur.end_kind == CutKind::kRead) {
+      cost -= e.e_mem_read();  // Interior read served from the register.
+      if (!activity_model) cost += e.e_reg_read();
+    }
+    add(spec.r_node[i], spec.w_node[i + 1], cost, ArcKind::kChain,
+        static_cast<int>(i), static_cast<int>(i + 1));
+  }
+
+  // Transition arcs r_i(v1) -> w_j(v2), v1 != v2 (eqs. 4-8, 10).
+  for (std::size_t i = 0; i < num_segs; ++i) {
+    const Segment& from = p.segments[i];
+    for (std::size_t j = 0; j < num_segs; ++j) {
+      const Segment& to = p.segments[j];
+      if (from.var == to.var) continue;
+      if (!transition_allowed(from.end, to.start)) continue;
+      double cost = leave_energy(p, from) + enter_energy(p, to);
+      if (activity_model) {
+        cost += e.e_reg_transition(
+            p.activity.hamming(static_cast<std::size_t>(from.var),
+                               static_cast<std::size_t>(to.var)));
+      }
+      add(spec.r_node[i], spec.w_node[j], cost, ArcKind::kTransition,
+          static_cast<int>(i), static_cast<int>(j));
+    }
+  }
+
+  // s -> w_j(v): a register that starts the block empty.
+  for (std::size_t j = 0; j < num_segs; ++j) {
+    const Segment& to = p.segments[j];
+    if (!transition_allowed(0, to.start)) continue;
+    double cost = enter_energy(p, to);
+    if (activity_model) {
+      cost += e.e_reg_transition(
+          p.activity.initial(static_cast<std::size_t>(to.var)));
+    }
+    add(spec.s, spec.w_node[j], cost, ArcKind::kFromSource, -1,
+        static_cast<int>(j));
+  }
+
+  // r_i(v) -> t: a register that idles to the end of the block.
+  for (std::size_t i = 0; i < num_segs; ++i) {
+    const Segment& from = p.segments[i];
+    if (!transition_allowed(from.end, p.num_steps + 1)) continue;
+    add(spec.r_node[i], spec.t, leave_energy(p, from), ArcKind::kToSink,
+        static_cast<int>(i), -1);
+  }
+
+  // s -> t bypass for registers the optimum leaves unused.
+  if (p.num_registers > 0) {
+    add(spec.s, spec.t, 0.0, ArcKind::kBypass, -1, -1, p.num_registers);
+  }
+
+  // Base energy: every variable charged as if it lived in memory.
+  for (const lifetime::Lifetime& lt : p.lifetimes) {
+    spec.base_energy += e.e_mem_write() +
+                        static_cast<double>(lt.read_times.size()) *
+                            e.e_mem_read();
+  }
+  return spec;
+}
+
+}  // namespace lera::alloc

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocator.hpp"
+
+/// \file hierarchy.hpp
+/// Two-level memory hierarchy on top of the register flow — the §7
+/// projection ("significantly larger savings are expected when this
+/// network flow technique is applied to offchip memory, where energy
+/// dissipation is several orders of magnitude higher") and the
+/// internal/external access optimisation of the paper's own refs
+/// [20, 21].
+///
+/// Stage 1 is the ordinary simultaneous register/memory flow. Stage 2
+/// decides, for every *memory run* (maximal span a variable spends in
+/// memory), whether it lives in the on-chip scratchpad or in off-chip
+/// memory: runs are intervals, the scratchpad holds at most C of them at
+/// once, and placing a run on-chip saves (its accesses) x (off-chip
+/// minus on-chip energy). That is again a minimum-cost interval flow —
+/// F = C units of "scratchpad residency" flow through run arcs whose
+/// cost is minus the run's savings — so stage 2 is optimal for its model
+/// just like stage 1.
+
+namespace lera::alloc {
+
+/// Where a lifetime segment ultimately lives.
+enum class StorageLevel { kRegister, kOnchip, kOffchip };
+
+struct HierarchyParams {
+  /// Scratchpad capacity in words (simultaneously resident runs).
+  int onchip_capacity = 8;
+  /// Off-chip access energies at nominal voltage (the [14] ratio puts
+  /// one off-chip transfer at ~11 adds; writes drive higher-capacitance
+  /// I/O and DRAM precharge).
+  double offchip_read = 11.0;
+  double offchip_write = 22.0;
+  /// Off-chip supply; scales the energies by (v/v_nominal)^2.
+  double v_offchip = 5.0;
+};
+
+struct HierarchicalResult {
+  bool feasible = false;
+  std::string message;
+
+  /// Stage-1 register/memory decision (energies therein price *all*
+  /// memory as on-chip; the hierarchy totals below re-price).
+  AllocationResult stage1;
+
+  /// Final level of every segment.
+  std::vector<StorageLevel> level;
+
+  int onchip_runs = 0;
+  int offchip_runs = 0;
+  int onchip_accesses = 0;
+  int offchip_accesses = 0;
+
+  /// Storage energy with the memory split applied (register part from
+  /// the chosen register model).
+  double total_static_energy = 0;
+  double total_activity_energy = 0;
+  /// Energy if every memory run were off-chip (no scratchpad): the
+  /// baseline the scratchpad savings are measured against.
+  double all_offchip_static_energy = 0;
+};
+
+HierarchicalResult allocate_hierarchical(
+    const AllocationProblem& p, const HierarchyParams& hierarchy,
+    const AllocatorOptions& options = {});
+
+}  // namespace lera::alloc

@@ -1,0 +1,41 @@
+#include "alloc/mem_runs.hpp"
+
+#include <algorithm>
+
+namespace lera::alloc {
+
+std::vector<MemRun> memory_runs(const AllocationProblem& p,
+                                const Assignment& a) {
+  std::vector<MemRun> runs;
+  std::size_t i = 0;
+  while (i < p.segments.size()) {
+    if (a.in_register(i)) {
+      ++i;
+      continue;
+    }
+    std::size_t last = i;
+    while (last + 1 < p.segments.size() && !a.in_register(last + 1) &&
+           p.segments[last + 1].var == p.segments[i].var) {
+      ++last;
+    }
+    runs.push_back({p.segments[i].var, p.segments[i].start,
+                    p.segments[last].end, i, last});
+    i = last + 1;
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const MemRun& x, const MemRun& y) { return x.start < y.start; });
+  return runs;
+}
+
+std::vector<int> run_index_by_segment(const AllocationProblem& p,
+                                      const std::vector<MemRun>& runs) {
+  std::vector<int> run_of(p.segments.size(), -1);
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    for (std::size_t s = runs[r].first_seg; s <= runs[r].last_seg; ++s) {
+      run_of[s] = static_cast<int>(r);
+    }
+  }
+  return run_of;
+}
+
+}  // namespace lera::alloc

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "alloc/assignment.hpp"
+
+/// \file mem_runs.hpp
+/// Memory runs: the maximal spans a variable spends in memory under an
+/// assignment. A run occupies one memory word for its whole interval,
+/// so runs are the allocation unit for both the second-stage address
+/// re-layout (memory_layout.hpp) and the on-/off-chip split
+/// (hierarchy.hpp).
+
+namespace lera::alloc {
+
+struct MemRun {
+  int var = -1;
+  int start = 0;
+  int end = 0;
+  std::size_t first_seg = 0;
+  std::size_t last_seg = 0;
+};
+
+/// Maximal runs of consecutive memory segments per variable, sorted by
+/// start time.
+std::vector<MemRun> memory_runs(const AllocationProblem& p,
+                                const Assignment& a);
+
+/// run_of[seg] = index into the run vector, or -1 for register segments.
+std::vector<int> run_index_by_segment(const AllocationProblem& p,
+                                      const std::vector<MemRun>& runs);
+
+}  // namespace lera::alloc

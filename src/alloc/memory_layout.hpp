@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "alloc/assignment.hpp"
+#include "energy/quantize.hpp"
+#include "netflow/solution.hpp"
+
+/// \file memory_layout.hpp
+/// Second stage of the paper's methodology (§5): "The lifetimes of data
+/// variables assigned to memory are then used to form another network
+/// flow graph [...] to reallocate memory using an activity based energy
+/// model." Memory-resident intervals are packed into the minimum number
+/// of addresses while minimising the switching activity between
+/// successive occupants of each location (cell rewrite energy, and a
+/// proxy for address-circuitry activity, the paper's §7 concern).
+
+namespace lera::alloc {
+
+struct MemoryLayout {
+  bool feasible = false;
+  int locations = 0;  ///< Number of memory addresses used (the minimum).
+  /// Address per segment; Assignment::kMemory-resident segments get an
+  /// address >= 0, register segments -1.
+  std::vector<int> address;
+  /// Total occupant-transition activity (Hamming fractions summed over
+  /// every location), priced by EnergyParams::e_mem_transition.
+  double optimized_activity = 0;
+  double optimized_energy = 0;
+  /// Same metrics for a plain left-edge packing (what a non-energy-aware
+  /// assigner would produce), for comparison.
+  double naive_activity = 0;
+  double naive_energy = 0;
+};
+
+/// Packs the memory-resident intervals of \p a into addresses via a
+/// min-cost flow over occupant transitions.
+MemoryLayout optimize_memory_layout(
+    const AllocationProblem& p, const Assignment& a,
+    const energy::Quantizer& quantizer = {},
+    netflow::SolverKind solver =
+        netflow::SolverKind::kSuccessiveShortestPaths);
+
+}  // namespace lera::alloc

@@ -1,0 +1,142 @@
+#include "alloc/offset_assignment.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+
+#include "alloc/evaluate.hpp"
+
+namespace lera::alloc {
+
+namespace {
+
+/// Union-find for the Kruskal-style path cover.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+int count_reloads(const std::vector<int>& sequence,
+                  const std::vector<int>& offset) {
+  int reloads = 0;
+  for (std::size_t i = 1; i < sequence.size(); ++i) {
+    const int prev = offset[static_cast<std::size_t>(sequence[i - 1])];
+    const int cur = offset[static_cast<std::size_t>(sequence[i])];
+    if (std::abs(cur - prev) > 1) ++reloads;
+  }
+  return reloads;
+}
+
+}  // namespace
+
+OffsetAssignment assign_offsets(const AllocationProblem& p,
+                                const Assignment& a,
+                                const std::vector<int>& address) {
+  OffsetAssignment out;
+  if (address.size() != p.segments.size()) return out;
+
+  // Temporal sequence of touched memory locations.
+  std::vector<int> sequence;
+  int num_locations = 0;
+  for (const StorageEvent& ev : enumerate_events(p, a)) {
+    if (ev.type != EventType::kMemRead && ev.type != EventType::kMemWrite) {
+      continue;
+    }
+    if (ev.seg < 0) continue;
+    const int loc = address[static_cast<std::size_t>(ev.seg)];
+    if (loc < 0) continue;  // Register-to-register corner: no address.
+    sequence.push_back(loc);
+    num_locations = std::max(num_locations, loc + 1);
+  }
+  out.feasible = true;
+  if (num_locations == 0) return out;
+
+  // Access-transition weights between distinct locations.
+  std::map<std::pair<int, int>, int> weight;
+  for (std::size_t i = 1; i < sequence.size(); ++i) {
+    const int u = std::min(sequence[i - 1], sequence[i]);
+    const int v = std::max(sequence[i - 1], sequence[i]);
+    if (u == v) continue;
+    ++weight[{u, v}];
+    ++out.total_transitions;
+  }
+
+  // Greedy max-weight path cover (Liao's SOA heuristic).
+  struct Edge {
+    int u;
+    int v;
+    int w;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(weight.size());
+  for (const auto& [uv, w] : weight) {
+    edges.push_back({uv.first, uv.second, w});
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a_, const Edge& b_) { return a_.w > b_.w; });
+
+  std::vector<int> degree(static_cast<std::size_t>(num_locations), 0);
+  std::vector<std::vector<int>> adjacent(
+      static_cast<std::size_t>(num_locations));
+  DisjointSets sets(static_cast<std::size_t>(num_locations));
+  for (const Edge& e : edges) {
+    const auto u = static_cast<std::size_t>(e.u);
+    const auto v = static_cast<std::size_t>(e.v);
+    if (degree[u] >= 2 || degree[v] >= 2) continue;
+    if (sets.find(u) == sets.find(v)) continue;  // Would close a cycle.
+    sets.unite(u, v);
+    ++degree[u];
+    ++degree[v];
+    adjacent[u].push_back(e.v);
+    adjacent[v].push_back(e.u);
+  }
+
+  // Lay the resulting paths out contiguously.
+  out.offset.assign(static_cast<std::size_t>(num_locations), -1);
+  int next_offset = 0;
+  for (int start = 0; start < num_locations; ++start) {
+    const auto s = static_cast<std::size_t>(start);
+    if (out.offset[s] >= 0 || degree[s] > 1) continue;  // Path ends only.
+    int prev = -1;
+    int cur = start;
+    while (cur >= 0 && out.offset[static_cast<std::size_t>(cur)] < 0) {
+      out.offset[static_cast<std::size_t>(cur)] = next_offset++;
+      int next = -1;
+      for (int n : adjacent[static_cast<std::size_t>(cur)]) {
+        if (n != prev) next = n;
+      }
+      prev = cur;
+      cur = next;
+    }
+  }
+
+  out.reloads = count_reloads(sequence, out.offset);
+  std::vector<int> identity(static_cast<std::size_t>(num_locations));
+  std::iota(identity.begin(), identity.end(), 0);
+  out.naive_reloads = count_reloads(sequence, identity);
+  if (out.reloads > out.naive_reloads) {
+    // The path-cover heuristic maximises covered transition weight, but
+    // the identity layout's chains of consecutive addresses can cover a
+    // better set; keep whichever wins.
+    out.offset = identity;
+    out.reloads = out.naive_reloads;
+  }
+  out.free_transitions = out.total_transitions - out.reloads;
+  return out;
+}
+
+}  // namespace lera::alloc

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "alloc/assignment.hpp"
+
+/// \file offset_assignment.hpp
+/// Simple offset assignment (SOA). The paper closes §7 with: "This
+/// approach has recently been extended to solve the multiple offset
+/// assignment problem in software synthesis for DSP processors" — DSP
+/// address generators step an address register by ±1 for free, while
+/// arbitrary jumps cost an extra instruction (and its energy). Given
+/// the temporal sequence of memory accesses an allocation produces,
+/// choosing *where in memory* each location lives decides how many
+/// accesses are reachable by free ±1 steps.
+///
+/// Classic SOA (Liao et al.): build the access-transition graph (nodes =
+/// memory locations, edge weights = #adjacent access pairs), pick a
+/// maximum-weight Hamiltonian-path-like edge set greedily (Kruskal with
+/// degree <= 2 and no cycles), and lay locations out along the resulting
+/// paths. Covered transitions are free; the rest cost an address-
+/// register reload.
+
+namespace lera::alloc {
+
+struct OffsetAssignment {
+  bool feasible = false;
+  /// Memory offset per location id (as produced by MemoryLayout /
+  /// left-edge addressing); offset[i] is location i's position.
+  std::vector<int> offset;
+  int total_transitions = 0;  ///< Adjacent access pairs observed.
+  int free_transitions = 0;   ///< Served by the ±1 auto-increment.
+  int reloads = 0;            ///< Address-register reloads needed.
+  /// Reloads a naive identity layout (offset[i] = i) would need.
+  int naive_reloads = 0;
+};
+
+/// Computes an offset assignment for the memory access sequence implied
+/// by \p a with locations given by \p address (per segment, -1 for
+/// register segments — e.g. MemoryLayout::address).
+OffsetAssignment assign_offsets(const AllocationProblem& p,
+                                const Assignment& a,
+                                const std::vector<int>& address);
+
+}  // namespace lera::alloc

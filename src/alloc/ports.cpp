@@ -1,0 +1,110 @@
+#include "alloc/ports.hpp"
+
+#include <map>
+#include <set>
+
+namespace lera::alloc {
+
+namespace {
+
+/// Events grouped per (step, type), with the segments whose re-pinning
+/// would remove them: memory traffic is relieved by *forcing* the
+/// responsible segment into a register, register traffic by *barring*
+/// it from the register file.
+struct Overload {
+  int step;
+  EventType type;
+  std::vector<int> candidate_segments;
+};
+
+int limit_of(const PortLimits& limits, EventType type) {
+  switch (type) {
+    case EventType::kMemRead: return limits.mem_read_ports;
+    case EventType::kMemWrite: return limits.mem_write_ports;
+    case EventType::kRegRead: return limits.reg_read_ports;
+    case EventType::kRegWrite: return limits.reg_write_ports;
+  }
+  return PortLimits::kUnlimited;
+}
+
+std::vector<Overload> find_overloads(const AllocationProblem& p,
+                                     const Assignment& a,
+                                     const PortLimits& limits) {
+  std::map<std::pair<int, EventType>, std::vector<int>> traffic;
+  for (const StorageEvent& ev : enumerate_events(p, a)) {
+    traffic[{ev.step, ev.type}].push_back(ev.seg);
+  }
+  std::vector<Overload> overloads;
+  for (const auto& [key, segs] : traffic) {
+    if (static_cast<int>(segs.size()) > limit_of(limits, key.second)) {
+      overloads.push_back({key.first, key.second, segs});
+    }
+  }
+  return overloads;
+}
+
+}  // namespace
+
+PortConstrainedResult allocate_with_port_limits(
+    const AllocationProblem& p, const PortLimits& limits,
+    const AllocatorOptions& options) {
+  PortConstrainedResult out;
+  AllocationProblem working = p;
+  std::set<int> forced;
+
+  // Each round forces at least one fresh segment; S rounds bound it.
+  const int max_rounds = static_cast<int>(p.segments.size()) + 1;
+  for (int round = 0; round < max_rounds; ++round) {
+    const AllocationResult result = allocate(working, options);
+    if (!result.feasible) {
+      // Forcing made the flow infeasible; report the last state.
+      if (out.rounds == 0) out.result = result;
+      out.met = false;
+      return out;
+    }
+    out.result = result;
+    out.rounds = round + 1;
+
+    const std::vector<Overload> overloads =
+        find_overloads(working, result.assignment, limits);
+    if (overloads.empty()) {
+      out.met = true;
+      return out;
+    }
+
+    // §5.2/§7 mechanism: pin the excess traffic's segments — into
+    // registers for memory overloads, out of them for register
+    // overloads. Pins are permanent, so the loop cannot oscillate.
+    bool progressed = false;
+    for (const Overload& ov : overloads) {
+      const bool memory_side = ov.type == EventType::kMemRead ||
+                               ov.type == EventType::kMemWrite;
+      int excess = static_cast<int>(ov.candidate_segments.size()) -
+                   limit_of(limits, ov.type);
+      for (int seg : ov.candidate_segments) {
+        if (excess <= 0) break;
+        if (seg < 0 || forced.count(seg) != 0) continue;
+        lifetime::Segment& segment =
+            working.segments[static_cast<std::size_t>(seg)];
+        if (segment.forced_register || segment.forbidden_register) {
+          continue;
+        }
+        (memory_side ? segment.forced_register
+                     : segment.forbidden_register) = true;
+        forced.insert(seg);
+        ++out.forced_segments;
+        progressed = true;
+        --excess;
+      }
+    }
+    if (!progressed) {
+      // Every responsible segment is already forced: the remaining
+      // traffic is irreducible under this mechanism.
+      out.met = false;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace lera::alloc

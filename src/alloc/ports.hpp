@@ -1,0 +1,46 @@
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+/// \file ports.hpp
+/// Port-constrained allocation (paper §7): "The number of memory or
+/// register file ports is determined from the solution of our network
+/// flow problem, however it could be also specified as a constraint ...
+/// the technique described in section 5.2 which sets certain arc flows
+/// to 1 can be used."
+///
+/// We implement exactly that: solve, inspect the steps whose memory
+/// traffic exceeds the port budget, force the segments responsible into
+/// registers (arc lower bound 1 — §5.2's mechanism), and re-solve.
+/// Each round strictly reduces attainable memory traffic at the
+/// offending steps, so the loop terminates; if the budget is impossible
+/// (even an all-register solution violates it, or forcing makes the
+/// flow infeasible) the result says so.
+
+namespace lera::alloc {
+
+struct PortLimits {
+  static constexpr int kUnlimited = 1 << 28;
+
+  /// Maximum simultaneous memory reads / writes per control step.
+  int mem_read_ports = 1;
+  int mem_write_ports = 1;
+  /// Register-file port budgets (default unlimited). Excess register
+  /// traffic is relieved by the dual mechanism: barring the responsible
+  /// segments from the register file (arc capacity 0).
+  int reg_read_ports = kUnlimited;
+  int reg_write_ports = kUnlimited;
+};
+
+struct PortConstrainedResult {
+  AllocationResult result;
+  int rounds = 0;           ///< Re-solve iterations used.
+  int forced_segments = 0;  ///< Segments pinned to registers by the loop.
+  bool met = false;         ///< Port budget satisfied.
+};
+
+PortConstrainedResult allocate_with_port_limits(
+    const AllocationProblem& p, const PortLimits& limits,
+    const AllocatorOptions& options = {});
+
+}  // namespace lera::alloc

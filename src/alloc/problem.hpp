@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "energy/activity.hpp"
+#include "energy/params.hpp"
+#include "ir/basic_block.hpp"
+#include "lifetime/lifetime.hpp"
+#include "lifetime/segment.hpp"
+#include "sched/schedule.hpp"
+
+/// \file problem.hpp
+/// The allocation problem instance (paper's Problem 1): scheduled data
+/// variable lifetimes (already split into segments), a register budget R,
+/// energy parameters and the pairwise switching activities.
+
+namespace lera::alloc {
+
+struct AllocationProblem {
+  std::vector<lifetime::Lifetime> lifetimes;
+  std::vector<lifetime::Segment> segments;
+  int num_steps = 0;       ///< x: schedule length in control steps.
+  int num_registers = 0;   ///< R: register-file capacity.
+  energy::EnergyParams params;
+  energy::ActivityMatrix activity{0};
+  /// The restricted-memory-access model the segments were built with
+  /// (period 1 = unrestricted). Retained so problems serialise fully.
+  lifetime::AccessModel access;
+
+  // Derived caches (filled by make_problem / refresh_density).
+  std::vector<int> density;              ///< Per boundary 0..x.
+  std::vector<bool> is_max_density;      ///< Per boundary 0..x.
+
+  int max_density() const;
+
+  /// First segment index of each variable plus segment counts; segments
+  /// are stored sorted by (var, index) so a variable's segments are a
+  /// contiguous range.
+  std::vector<int> first_segment_of_var() const;
+
+  /// Recomputes the density caches from lifetimes/num_steps.
+  void refresh_density();
+
+  /// Structural sanity checks (segment ordering, activity size, R >= 0);
+  /// empty string when consistent.
+  std::string verify() const;
+};
+
+/// Builds a problem straight from lifetimes (used by the paper's hand
+/// examples, where lifetimes are given rather than derived from code).
+AllocationProblem make_problem(std::vector<lifetime::Lifetime> lifetimes,
+                               int num_steps, int num_registers,
+                               const energy::EnergyParams& params,
+                               energy::ActivityMatrix activity,
+                               const lifetime::SplitOptions& split = {});
+
+/// Builds a problem from a scheduled basic block; switching activities
+/// are measured by evaluating the block on \p trace_inputs (one vector of
+/// input samples per trace row), or default to 0.5 if none are given.
+AllocationProblem make_problem_from_block(
+    const ir::BasicBlock& bb, const sched::Schedule& sched,
+    int num_registers, const energy::EnergyParams& params,
+    const std::vector<std::vector<std::int64_t>>& trace_inputs = {},
+    const lifetime::SplitOptions& split = {},
+    const lifetime::LifetimeOptions& lifetime_opts = {});
+
+}  // namespace lera::alloc

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "alloc/allocator.hpp"
+
+/// \file two_phase.hpp
+/// The "previous research" baseline the paper compares against (Figures
+/// 3a and 4a): first perform register allocation over *all* variables to
+/// minimise switched capacitance, as in Chang/Pedram [8]; then partition
+/// the resulting symbolic registers, keeping the R chains with the
+/// highest switching activity in the physical register file (switching is
+/// cheapest there) and demoting the rest wholesale to memory.
+
+namespace lera::alloc {
+
+struct TwoPhaseOptions {
+  /// Graph used by phase 1; [8] connects all non-overlapping lifetimes.
+  GraphStyle style = GraphStyle::kAllPairs;
+  netflow::SolverKind solver = netflow::SolverKind::kSuccessiveShortestPaths;
+  energy::Quantizer quantizer{};
+};
+
+/// Runs the two-phase baseline on \p p. The result's energies are priced
+/// by the same evaluator as the simultaneous allocator, so the two are
+/// directly comparable.
+AllocationResult two_phase_allocate(const AllocationProblem& p,
+                                    const TwoPhaseOptions& options = {});
+
+}  // namespace lera::alloc

@@ -1,0 +1,371 @@
+#include "codegen/codegen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ir/eval.hpp"
+
+namespace lera::codegen {
+
+namespace {
+
+using lifetime::CutKind;
+using lifetime::Segment;
+
+std::string operand_text(const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::kRegister:
+      return "r" + std::to_string(op.index);
+    case Operand::Kind::kMemory:
+      return "[" + std::to_string(op.index) + "]";
+    case Operand::Kind::kImmediate:
+      return "#" + std::to_string(op.value);
+  }
+  return "?";
+}
+
+/// Builder state shared across the emission passes.
+struct Emitter {
+  const ir::BasicBlock& bb;
+  const sched::Schedule& sched;
+  const alloc::AllocationProblem& p;
+  const alloc::Assignment& assignment;
+  const alloc::MemoryLayout& layout;
+
+  std::vector<int> var_of_value;  ///< ValueId -> lifetime index or -1.
+  std::vector<int> first_seg;
+  int scratch_address = -1;       ///< Home for model-mandated write-backs
+                                  ///< of values moving register to
+                                  ///< register (rare, never optimal).
+  Program program;
+  std::set<std::pair<int, int>> mem_reads_seen;  ///< (var, step) dedup.
+
+  Operand segment_location(std::size_t seg) const {
+    if (assignment.in_register(seg)) {
+      return Operand::reg(assignment.location(seg));
+    }
+    const int addr = layout.address[seg];
+    assert(addr >= 0 && "memory segment without an address");
+    return Operand::mem(addr);
+  }
+
+  /// Segment of \p var that is read at step \p t (ends there).
+  std::size_t segment_read_at(int var, int t) const {
+    for (std::size_t s = static_cast<std::size_t>(first_seg[
+             static_cast<std::size_t>(var)]);
+         s < p.segments.size() && p.segments[s].var == var; ++s) {
+      if (p.segments[s].end == t &&
+          p.segments[s].end_kind != CutKind::kBoundary) {
+        return s;
+      }
+    }
+    assert(false && "no segment read at the requested step");
+    return 0;
+  }
+
+  void count_read(int var, int step, const Operand& src) {
+    if (src.kind == Operand::Kind::kMemory &&
+        mem_reads_seen.insert({var, step}).second) {
+      ++program.loads;
+    }
+  }
+
+  /// Source operand for reading value \p v at step \p t.
+  Operand read_operand(ir::ValueId v, int t) {
+    const int var = var_of_value[static_cast<std::size_t>(v)];
+    if (var < 0) {  // Constant (immediate) operand.
+      return Operand::imm(bb.value(v).literal);
+    }
+    const Operand src = segment_location(segment_read_at(var, t));
+    count_read(var, t, src);
+    return src;
+  }
+
+  void emit_computes() {
+    for (const ir::Operation& op : bb.ops()) {
+      if (ir::is_source(op.opcode) || op.opcode == ir::Opcode::kOutput) {
+        continue;
+      }
+      Instruction instr;
+      instr.kind = Instruction::Kind::kCompute;
+      instr.opcode = op.opcode;
+      instr.issue_step = sched.start(op.id);
+      instr.write_step = sched.finish(bb, op.id);
+      instr.width = bb.value(op.result).width;
+      instr.comment = bb.value(op.result).name;
+      for (ir::ValueId operand : op.operands) {
+        instr.sources.push_back(read_operand(operand, instr.issue_step));
+      }
+      const int var = var_of_value[static_cast<std::size_t>(op.result)];
+      if (var < 0) {
+        instr.destination = Operand::imm(0);  // Dead result: discard.
+      } else {
+        instr.destination = segment_location(
+            static_cast<std::size_t>(first_seg[static_cast<std::size_t>(
+                var)]));
+        if (instr.destination.kind == Operand::Kind::kMemory) {
+          ++program.stores;
+        }
+      }
+      program.instructions.push_back(std::move(instr));
+    }
+  }
+
+  void add_transfer(Instruction::Kind kind, int step, Operand src,
+                    Operand dst, const std::string& comment) {
+    Instruction instr;
+    instr.kind = kind;
+    instr.issue_step = step;
+    instr.write_step = step;
+    instr.sources = {src};
+    instr.destination = dst;
+    instr.comment = comment;
+    if (kind == Instruction::Kind::kStore) ++program.stores;
+    program.instructions.push_back(std::move(instr));
+  }
+
+  void emit_cut_transfers() {
+    for (std::size_t s = 0; s + 1 < p.segments.size(); ++s) {
+      const Segment& cur = p.segments[s];
+      const Segment& next = p.segments[s + 1];
+      if (cur.var != next.var) continue;
+      const int cut = cur.end;
+      const Operand a = segment_location(s);
+      const Operand b = segment_location(s + 1);
+      const bool a_reg = a.kind == Operand::Kind::kRegister;
+      const bool b_reg = b.kind == Operand::Kind::kRegister;
+      const std::string& name =
+          p.lifetimes[static_cast<std::size_t>(cur.var)].name;
+
+      const bool leaving = a_reg && !(b_reg && b.index == a.index);
+      const bool entering = b_reg && !(a_reg && a.index == b.index);
+      if (leaving) {
+        // Write-back; register-to-register moves park the model-mandated
+        // copy in the scratch word (see DESIGN.md on the write-back
+        // semantics).
+        const Operand home = b.kind == Operand::Kind::kMemory
+                                 ? b
+                                 : Operand::mem(scratch_address);
+        add_transfer(Instruction::Kind::kStore, cut, a, home,
+                     name + " spill");
+      }
+      if (entering) {
+        if (cur.end_kind == CutKind::kBoundary) {
+          // Explicit reload at an access-time cut.
+          const Operand from = a.kind == Operand::Kind::kMemory
+                                   ? a
+                                   : Operand::mem(scratch_address);
+          if (from.kind == Operand::Kind::kMemory &&
+              from.index != scratch_address) {
+            count_read(cur.var, cut, from);
+          } else if (from.index == scratch_address) {
+            ++program.loads;  // Scratch round trip still costs a read.
+          }
+          add_transfer(Instruction::Kind::kLoad, cut, from, b,
+                       name + " reload");
+        } else if (a.kind == Operand::Kind::kMemory) {
+          // The consumer's fetch at this read doubles as the load; the
+          // LOAD shares that access (deduplicated in the counts).
+          count_read(cur.var, cut, a);
+          add_transfer(Instruction::Kind::kLoad, cut, a, b,
+                       name + " load-with-use");
+        } else {
+          add_transfer(Instruction::Kind::kMove, cut, a, b,
+                       name + " move");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  for (const Instruction& instr : instructions) {
+    os << "  " << instr.issue_step << ": ";
+    switch (instr.kind) {
+      case Instruction::Kind::kCompute:
+        os << ir::to_string(instr.opcode) << " "
+           << operand_text(instr.destination);
+        for (const Operand& src : instr.sources) {
+          os << ", " << operand_text(src);
+        }
+        break;
+      case Instruction::Kind::kLoad:
+        os << "load " << operand_text(instr.destination) << ", "
+           << operand_text(instr.sources[0]);
+        break;
+      case Instruction::Kind::kStore:
+        os << "store " << operand_text(instr.destination) << ", "
+           << operand_text(instr.sources[0]);
+        break;
+      case Instruction::Kind::kMove:
+        os << "move " << operand_text(instr.destination) << ", "
+           << operand_text(instr.sources[0]);
+        break;
+    }
+    if (!instr.comment.empty()) os << "   ; " << instr.comment;
+    os << "\n";
+  }
+  return os.str();
+}
+
+Program emit(const ir::BasicBlock& bb, const sched::Schedule& sched,
+             const alloc::AllocationProblem& p,
+             const alloc::Assignment& assignment,
+             const alloc::MemoryLayout& layout) {
+  Emitter e{bb, sched, p, assignment, layout, {}, {}, -1, {}, {}};
+  e.var_of_value.assign(bb.num_values(), -1);
+  for (std::size_t var = 0; var < p.lifetimes.size(); ++var) {
+    e.var_of_value[static_cast<std::size_t>(p.lifetimes[var].value)] =
+        static_cast<int>(var);
+  }
+  e.first_seg = p.first_segment_of_var();
+  e.scratch_address = layout.locations;  // One word past the image.
+
+  e.program.num_registers = p.num_registers;
+  e.program.num_memory_words = layout.locations + 1;  // + scratch.
+
+  // Input ABI: where the runner must place each kInput value.
+  for (const ir::Operation& op : bb.ops()) {
+    if (op.opcode != ir::Opcode::kInput) continue;
+    const int var = e.var_of_value[static_cast<std::size_t>(op.result)];
+    const Operand slot =
+        var < 0 ? Operand::imm(0)
+                : e.segment_location(static_cast<std::size_t>(
+                      e.first_seg[static_cast<std::size_t>(var)]));
+    // Placing a live-in value in memory is the producer's write; the
+    // energy model charges it to this block's base, so the traffic
+    // counts include it too.
+    if (slot.kind == Operand::Kind::kMemory) ++e.program.stores;
+    e.program.input_slots.push_back(slot);
+  }
+
+  e.emit_computes();
+  e.emit_cut_transfers();
+
+  // Output ABI: where each kOutput value ends up (its death location).
+  for (const ir::Operation& op : bb.ops()) {
+    if (op.opcode != ir::Opcode::kOutput) continue;
+    const ir::ValueId v = op.operands[0];
+    const int var = e.var_of_value[static_cast<std::size_t>(v)];
+    assert(var >= 0 && "outputs always have lifetimes");
+    const std::size_t seg =
+        e.segment_read_at(var, p.lifetimes[static_cast<std::size_t>(
+                                   var)].last_read());
+    const Operand slot = e.segment_location(seg);
+    e.count_read(var, p.lifetimes[static_cast<std::size_t>(var)].last_read(),
+                 slot);
+    e.program.output_slots.push_back(slot);
+  }
+
+  std::stable_sort(e.program.instructions.begin(),
+                   e.program.instructions.end(),
+                   [](const Instruction& x, const Instruction& y) {
+                     return x.issue_step < y.issue_step;
+                   });
+  return e.program;
+}
+
+std::vector<std::int64_t> run(const Program& program,
+                              const std::vector<std::int64_t>& inputs) {
+  std::vector<std::int64_t> regs(
+      static_cast<std::size_t>(std::max(1, program.num_registers)), 0);
+  std::vector<std::int64_t> mem(
+      static_cast<std::size_t>(std::max(1, program.num_memory_words)), 0);
+
+  auto write_to = [&](const Operand& dst, std::int64_t value) {
+    switch (dst.kind) {
+      case Operand::Kind::kRegister:
+        regs[static_cast<std::size_t>(dst.index)] = value;
+        break;
+      case Operand::Kind::kMemory:
+        mem[static_cast<std::size_t>(dst.index)] = value;
+        break;
+      case Operand::Kind::kImmediate:
+        break;  // Discard (dead result).
+    }
+  };
+  auto read_from = [&](const Operand& src) -> std::int64_t {
+    switch (src.kind) {
+      case Operand::Kind::kRegister:
+        return regs[static_cast<std::size_t>(src.index)];
+      case Operand::Kind::kMemory:
+        return mem[static_cast<std::size_t>(src.index)];
+      case Operand::Kind::kImmediate:
+        return src.value;
+    }
+    return 0;
+  };
+
+  // Place the live-in values.
+  assert(inputs.size() == program.input_slots.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    write_to(program.input_slots[i], inputs[i]);
+  }
+
+  // Execute step by step: all reads of a step happen before any write
+  // of that step; multi-cycle results land at their write step.
+  struct PendingWrite {
+    int step;
+    Operand destination;
+    std::int64_t value;
+  };
+  std::vector<PendingWrite> pending;
+
+  int last_step = 0;
+  for (const Instruction& instr : program.instructions) {
+    last_step = std::max(last_step, instr.write_step);
+  }
+
+  std::size_t next_instr = 0;
+  for (int step = 1; step <= last_step; ++step) {
+    // Read phase: latch operands of everything issuing this step.
+    while (next_instr < program.instructions.size() &&
+           program.instructions[next_instr].issue_step == step) {
+      const Instruction& instr = program.instructions[next_instr];
+      std::vector<std::int64_t> operands;
+      operands.reserve(instr.sources.size());
+      for (const Operand& src : instr.sources) {
+        operands.push_back(read_from(src));
+      }
+      std::int64_t value = 0;
+      switch (instr.kind) {
+        case Instruction::Kind::kCompute:
+          value = ir::apply_opcode(instr.opcode, operands, instr.width);
+          break;
+        case Instruction::Kind::kLoad:
+        case Instruction::Kind::kStore:
+        case Instruction::Kind::kMove:
+          value = operands[0];
+          break;
+      }
+      pending.push_back({instr.write_step, instr.destination, value});
+      ++next_instr;
+    }
+
+    // Write phase: apply everything scheduled to land at this step.
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->step == step) {
+        write_to(it->destination, it->value);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  assert(pending.empty());
+
+  std::vector<std::int64_t> outputs;
+  outputs.reserve(program.output_slots.size());
+  for (const Operand& slot : program.output_slots) {
+    outputs.push_back(read_from(slot));
+  }
+  return outputs;
+}
+
+}  // namespace lera::codegen

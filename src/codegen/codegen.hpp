@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/evaluate.hpp"
+#include "alloc/memory_layout.hpp"
+#include "sched/schedule.hpp"
+
+/// \file codegen.hpp
+/// Instruction mapping — the §5 methodology's final stage: "detailed
+/// instruction mapping and data layout (for example adding loads and
+/// stores, or substituting in instructions with a memory operand)".
+///
+/// emit() lowers a scheduled, allocated basic block to a DSP-style
+/// instruction sequence: compute instructions read register or memory
+/// operands (or immediates for constants) and write to a register or a
+/// memory word; explicit LOAD/STORE/MOVE instructions realise the
+/// allocation's spills, reloads and register moves at their cuts.
+///
+/// run() executes the program on a register-file + memory machine with
+/// read-before-write step semantics and returns the live-out values, so
+/// every allocation can be *proven* to compute the same results as the
+/// IR interpreter — tests do exactly that, and also check that the
+/// program's memory traffic equals the energy model's access counts.
+
+namespace lera::codegen {
+
+struct Operand {
+  enum class Kind { kRegister, kMemory, kImmediate };
+  Kind kind = Kind::kRegister;
+  int index = 0;            ///< Register index or memory address.
+  std::int64_t value = 0;   ///< Immediate payload.
+
+  static Operand reg(int r) { return {Kind::kRegister, r, 0}; }
+  static Operand mem(int addr) { return {Kind::kMemory, addr, 0}; }
+  static Operand imm(std::int64_t v) { return {Kind::kImmediate, 0, v}; }
+};
+
+struct Instruction {
+  enum class Kind { kCompute, kLoad, kStore, kMove };
+  Kind kind = Kind::kCompute;
+  int issue_step = 0;    ///< Operands are read at this step.
+  int write_step = 0;    ///< The destination is written at this step.
+  ir::Opcode opcode = ir::Opcode::kAdd;  ///< For kCompute.
+  int width = 16;
+  std::vector<Operand> sources;
+  Operand destination;
+  std::string comment;   ///< Value name, for the listing.
+};
+
+struct Program {
+  std::vector<Instruction> instructions;  ///< Sorted by issue step.
+  int num_registers = 0;
+  int num_memory_words = 0;
+  /// Indices of kInput values' initial locations, in input order
+  /// (register or memory operand each).
+  std::vector<Operand> input_slots;
+  /// Where each kOutput-read value sits at the end, in output order.
+  std::vector<Operand> output_slots;
+
+  int loads = 0;       ///< Explicit LOADs plus distinct memory operands.
+  int stores = 0;      ///< Explicit STOREs plus memory destinations.
+  int code_size() const { return static_cast<int>(instructions.size()); }
+
+  /// Assembly-like listing.
+  std::string to_string() const;
+};
+
+/// Lowers (bb, schedule, allocation, memory layout) to a Program.
+/// The layout's addresses must come from the same assignment.
+Program emit(const ir::BasicBlock& bb, const sched::Schedule& sched,
+             const alloc::AllocationProblem& p,
+             const alloc::Assignment& assignment,
+             const alloc::MemoryLayout& layout);
+
+/// Executes \p program with \p inputs (one per kInput, in order) and
+/// returns the output values (one per kOutput, in order). Step
+/// semantics: all reads of a step happen before any write of that step.
+std::vector<std::int64_t> run(const Program& program,
+                              const std::vector<std::int64_t>& inputs);
+
+}  // namespace lera::codegen

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+/// \file activity.hpp
+/// Switching activities H(v1, v2) between data variables (paper §3).
+/// Stored as *fractions* in [0, 1] — the paper's Figures 3 and 4 list
+/// them the same way ("number of bits which change over total number of
+/// bits"). The activity-based register energy of a transition is
+/// H(v1,v2) * C_rw^r * Vr^2 (EnergyParams::e_reg_transition).
+
+namespace lera::energy {
+
+class ActivityMatrix {
+ public:
+  /// \p n variables, all pairs defaulting to \p default_h; \p initial_h
+  /// is the activity of the first value written into an empty register
+  /// (the paper assumes 0.5 "at time 0" in Figure 3).
+  explicit ActivityMatrix(std::size_t n, double default_h = 0.5,
+                          double initial_h = 0.5);
+
+  std::size_t size() const { return n_; }
+
+  double hamming(std::size_t v1, std::size_t v2) const {
+    assert(v1 < n_ && v2 < n_);
+    return v1 == v2 ? 0.0 : h_[v1 * n_ + v2];
+  }
+
+  /// Sets H(v1,v2) = H(v2,v1) = h (bit flips are symmetric).
+  void set(std::size_t v1, std::size_t v2, double h);
+
+  double initial(std::size_t v) const {
+    assert(v < n_);
+    return initial_[v];
+  }
+  void set_initial(std::size_t v, double h);
+
+  /// Measures activities from a value trace: \p trace[s][i] is variable
+  /// i's value in sample s, \p widths[i] its bit width. H(i,j) is the
+  /// mean Hamming distance fraction across samples; initial(i) the mean
+  /// weight of i's own bits (register assumed cleared beforehand).
+  static ActivityMatrix from_trace(
+      const std::vector<std::vector<std::int64_t>>& trace,
+      const std::vector<int>& widths);
+
+ private:
+  std::size_t n_;
+  std::vector<double> h_;
+  std::vector<double> initial_;
+};
+
+/// Hamming distance between the low \p width bits of two words, as a
+/// fraction of \p width.
+double hamming_fraction(std::int64_t a, std::int64_t b, int width);
+
+}  // namespace lera::energy

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file params.hpp
+/// Storage-energy parameters (paper §3). All per-access energies are in
+/// "16-bit-add units" at the nominal supply voltage, following the ratios
+/// the paper quotes from [14]: on-chip memory read = 5, memory write =
+/// 10, off-chip transfer = 11, with register-file accesses around one add
+/// (the 16x16 register file switches far less capacitance than the
+/// 256x16 SRAM of [3]). Energies scale with the square of the supply
+/// voltage (E = C*V^2), which is how the restricted-access-time rows of
+/// Table 1 trade frequency for energy.
+
+namespace lera::energy {
+
+/// Which of the paper's two models (eq. 1 vs eq. 2) prices the register
+/// file. Memory is always priced statically; pricing memory by activity
+/// too would need a two-commodity flow, which the paper proves out of
+/// reach (NP-complete, §7).
+enum class RegisterModel {
+  kStatic,    ///< Eq. (1): fixed read/write energies.
+  kActivity,  ///< Eq. (2): Hamming distance x switched capacitance.
+};
+
+struct EnergyParams {
+  // Per-access energies at nominal voltage (add units).
+  double mem_read = 5.0;
+  double mem_write = 10.0;
+  double reg_read = 1.0;
+  double reg_write = 1.0;
+  /// Activity model: energy of flipping *all* bits of a register
+  /// (C_rw^r * Vnom^2 in the paper's notation); an actual transition
+  /// v1 -> v2 costs hamming_fraction(v1, v2) * reg_full_swing.
+  double reg_full_swing = 2.0;
+  /// Full-swing energy of a memory cell rewrite; used by the second-stage
+  /// memory reallocation flow (§5: "reallocate memory using an activity
+  /// based energy model"). Larger than reg_full_swing because the SRAM
+  /// bit lines switch far more capacitance than a register cell.
+  double mem_full_swing = 8.0;
+
+  // Supply voltages. Scaling a component's voltage scales its energies
+  // by (v / v_nominal)^2.
+  double v_nominal = 5.0;
+  double v_mem = 5.0;
+  double v_reg = 5.0;
+
+  RegisterModel register_model = RegisterModel::kStatic;
+
+  double mem_scale() const {
+    const double r = v_mem / v_nominal;
+    return r * r;
+  }
+  double reg_scale() const {
+    const double r = v_reg / v_nominal;
+    return r * r;
+  }
+
+  // Voltage-scaled per-access energies.
+  double e_mem_read() const { return mem_read * mem_scale(); }
+  double e_mem_write() const { return mem_write * mem_scale(); }
+  double e_reg_read() const { return reg_read * reg_scale(); }
+  double e_reg_write() const { return reg_write * reg_scale(); }
+  /// Activity-model register energy for a transition with Hamming
+  /// fraction \p h in [0, 1].
+  double e_reg_transition(double h) const {
+    return h * reg_full_swing * reg_scale();
+  }
+  /// Activity-model energy of writing a value over another in a memory
+  /// location (second-stage memory reallocation).
+  double e_mem_transition(double h) const {
+    return h * mem_full_swing * mem_scale();
+  }
+};
+
+}  // namespace lera::energy

@@ -1,0 +1,39 @@
+#include "energy/voltage.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lera::energy {
+
+double VoltageModel::relative_delay(double v) const {
+  assert(v > v_t);
+  const double nominal =
+      v_nominal / std::pow(v_nominal - v_t, alpha);
+  return (v / std::pow(v - v_t, alpha)) / nominal;
+}
+
+double voltage_for_slowdown(double slowdown, const VoltageModel& model) {
+  assert(slowdown >= 1.0);
+  if (slowdown == 1.0) return model.v_nominal;
+  // relative_delay is monotonically decreasing in v on (v_t, v_nominal],
+  // so bisect for relative_delay(v) == slowdown.
+  double lo = std::max(model.v_min, model.v_t + 1e-6);
+  double hi = model.v_nominal;
+  if (model.relative_delay(lo) <= slowdown) return lo;  // Clamp at v_min.
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (model.relative_delay(mid) > slowdown) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double energy_scale(double v, double v_nominal) {
+  const double r = v / v_nominal;
+  return r * r;
+}
+
+}  // namespace lera::energy

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file voltage.hpp
+/// Voltage scaling support (paper §2, §5.2 and Table 1). Lowering a
+/// memory module's supply voltage saves energy quadratically but slows
+/// it down; the delay follows the alpha-power law
+///     delay(V)  proportional to  V / (V - Vt)^alpha .
+/// Table 1 runs the RSP memory at f, f/2 and f/4 with supplies scaled
+/// from 5 V towards 2 V; voltage_for_slowdown() reproduces that mapping.
+
+namespace lera::energy {
+
+struct VoltageModel {
+  double v_nominal = 5.0;  ///< Full-speed supply.
+  double v_min = 1.2;      ///< Lowest usable supply.
+  double v_t = 0.8;        ///< Threshold voltage.
+  double alpha = 2.0;      ///< Velocity-saturation exponent.
+
+  /// Gate delay at supply \p v relative to delay at v_nominal (>= 1 for
+  /// v <= v_nominal).
+  double relative_delay(double v) const;
+};
+
+/// Smallest supply voltage at which the component still meets a clock
+/// slowed down by \p slowdown (slowdown = 1 returns v_nominal, 2 means
+/// the module may be twice as slow, ...). Solved by bisection; clamped
+/// to [v_min, v_nominal].
+double voltage_for_slowdown(double slowdown, const VoltageModel& model = {});
+
+/// Energy ratio (v / v_nominal)^2 of running at supply \p v.
+double energy_scale(double v, double v_nominal);
+
+}  // namespace lera::energy

@@ -1,0 +1,122 @@
+#include "ir/loop.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace lera::ir {
+
+std::string LoopKernel::verify() const {
+  std::ostringstream os;
+  const std::string body_issues = body.verify();
+  if (!body_issues.empty()) os << "body: " << body_issues;
+
+  auto is_input = [&](ValueId v) {
+    return v >= 0 && static_cast<std::size_t>(v) < body.num_values() &&
+           body.op(body.value(v).def).opcode == Opcode::kInput;
+  };
+  std::map<ValueId, int> target_seen;
+  for (const auto& [src, dst] : carried) {
+    if (src < 0 || static_cast<std::size_t>(src) >= body.num_values()) {
+      os << "carried source " << src << " is not a body value; ";
+    }
+    if (!is_input(dst)) {
+      os << "carried target " << dst << " is not a body input; ";
+    }
+    if (++target_seen[dst] > 1) {
+      os << "input " << dst << " receives two carried values; ";
+    }
+  }
+  for (ValueId v : invariant_inputs) {
+    if (!is_input(v)) {
+      os << "invariant " << v << " is not a body input; ";
+    }
+    if (target_seen.count(v) != 0) {
+      os << "input " << v << " is both carried and invariant; ";
+    }
+  }
+  return os.str();
+}
+
+BasicBlock unroll(const LoopKernel& kernel, int factor) {
+  assert(factor >= 1);
+  assert(kernel.verify().empty());
+  const BasicBlock& body = kernel.body;
+  BasicBlock out(body.name() + "_x" + std::to_string(factor));
+
+  std::map<ValueId, ValueId> carried_source_of;  // input <- body source
+  for (const auto& [src, dst] : kernel.carried) {
+    carried_source_of[dst] = src;
+  }
+  auto is_invariant = [&](ValueId v) {
+    return std::find(kernel.invariant_inputs.begin(),
+                     kernel.invariant_inputs.end(),
+                     v) != kernel.invariant_inputs.end();
+  };
+
+  // map[k][old value id] = new value id for iteration k.
+  std::vector<std::map<ValueId, ValueId>> map(
+      static_cast<std::size_t>(factor));
+
+  for (int k = 0; k < factor; ++k) {
+    auto& env = map[static_cast<std::size_t>(k)];
+    const std::string suffix = "@" + std::to_string(k);
+    for (const Operation& op : body.ops()) {
+      switch (op.opcode) {
+        case Opcode::kInput: {
+          const ValueId v = op.result;
+          const Value& value = body.value(v);
+          const auto carried = carried_source_of.find(v);
+          if (carried != carried_source_of.end() && k > 0) {
+            // Fed by last iteration's source value: no new op.
+            env[v] = map[static_cast<std::size_t>(k - 1)].at(
+                carried->second);
+          } else if (is_invariant(v) && k > 0) {
+            env[v] = map[0].at(v);
+          } else {
+            env[v] = out.input(value.name + (k == 0 || is_invariant(v)
+                                                 ? std::string{}
+                                                 : suffix),
+                               value.width);
+          }
+          break;
+        }
+        case Opcode::kConst: {
+          if (k == 0) {
+            const Value& value = body.value(op.result);
+            env[op.result] =
+                out.constant(value.literal, value.name, value.width);
+          } else {
+            env[op.result] = map[0].at(op.result);
+          }
+          break;
+        }
+        case Opcode::kOutput: {
+          out.output(env.at(op.operands[0]));
+          break;
+        }
+        default: {
+          std::vector<ValueId> operands;
+          operands.reserve(op.operands.size());
+          for (ValueId operand : op.operands) {
+            operands.push_back(env.at(operand));
+          }
+          const Value& value = body.value(op.result);
+          env[op.result] = out.emit(op.opcode, operands,
+                                    value.name + suffix, value.width);
+          break;
+        }
+      }
+    }
+  }
+
+  // The last iteration's carried sources feed the next loop execution.
+  for (const auto& [src, dst] : kernel.carried) {
+    (void)dst;
+    out.output(map.back().at(src));
+  }
+  assert(out.verify().empty());
+  return out;
+}
+
+}  // namespace lera::ir

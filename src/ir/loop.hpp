@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+
+/// \file loop.hpp
+/// Loop kernels and unrolling. The paper's setting is a straight-line
+/// basic block, and its related work ([8]) pairs register allocation
+/// with loop unrolling to expose longer lifetimes; this module provides
+/// that front end: describe one loop iteration plus its loop-carried
+/// dependences, unroll n iterations into a single block, and feed the
+/// result to the allocator.
+
+namespace lera::ir {
+
+/// One loop iteration. `carried` maps a value computed by the body to
+/// the body input that receives it in the *next* iteration (e.g. the
+/// accumulator, or a delay-line tap). Inputs not fed by a carried pair
+/// are either *streaming* (a fresh sample every iteration, the default)
+/// or *invariant* (one value shared by all iterations, e.g. filter
+/// coefficients).
+struct LoopKernel {
+  BasicBlock body;
+  std::vector<std::pair<ValueId, ValueId>> carried;
+  std::vector<ValueId> invariant_inputs;
+
+  /// Structural check: carried sources are body values, carried targets
+  /// and invariants are kInput values, no input is both carried and
+  /// invariant. Empty string when consistent.
+  std::string verify() const;
+};
+
+/// Unrolls \p factor iterations into one straight-line SSA block:
+///  * iteration 0 reads fresh inputs for every body input (carried
+///    targets become the loop's initial values);
+///  * iteration k > 0 wires each carried target directly to iteration
+///    k-1's source value, reuses invariant inputs and constants, and
+///    creates fresh streaming inputs;
+///  * body outputs are emitted every iteration (streamed out), and the
+///    final iteration's carried sources become live-out (they feed the
+///    next execution of the loop).
+BasicBlock unroll(const LoopKernel& kernel, int factor);
+
+}  // namespace lera::ir

@@ -1,0 +1,64 @@
+#include "ir/opcode.hpp"
+
+namespace lera::ir {
+
+int arity(Opcode op) {
+  switch (op) {
+    case Opcode::kInput:
+    case Opcode::kConst:
+      return 0;
+    case Opcode::kNeg:
+    case Opcode::kAbs:
+    case Opcode::kOutput:
+      return 1;
+    case Opcode::kMac:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+int default_latency(Opcode op) {
+  switch (op) {
+    case Opcode::kInput:
+    case Opcode::kConst:
+    case Opcode::kOutput:
+      return 0;
+    case Opcode::kMul:
+    case Opcode::kMac:
+      return 2;
+    case Opcode::kDiv:
+      return 4;
+    default:
+      return 1;
+  }
+}
+
+bool is_source(Opcode op) {
+  return op == Opcode::kInput || op == Opcode::kConst;
+}
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kInput: return "input";
+    case Opcode::kConst: return "const";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kMac: return "mac";
+    case Opcode::kDiv: return "div";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kAbs: return "abs";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kOutput: return "output";
+  }
+  return "?";
+}
+
+}  // namespace lera::ir

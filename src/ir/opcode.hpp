@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+/// \file opcode.hpp
+/// Operation set of the data-flow-graph IR. The mix mirrors the DSP-style
+/// basic blocks the paper targets (radar/video/audio kernels): fixed-point
+/// arithmetic, shifts and logic, plus pseudo-ops for I/O boundaries.
+
+namespace lera::ir {
+
+enum class Opcode {
+  kInput,   ///< Value produced outside the block (live-in).
+  kConst,   ///< Compile-time constant (coefficients, masks).
+  kAdd,
+  kSub,
+  kMul,
+  kMac,     ///< Multiply-accumulate: a*b + c.
+  kDiv,
+  kShl,
+  kShr,
+  kAnd,
+  kOr,
+  kXor,
+  kNeg,
+  kAbs,
+  kMin,
+  kMax,
+  kOutput,  ///< Value consumed outside the block (live-out); no result.
+};
+
+/// Number of input operands expected by an opcode.
+int arity(Opcode op);
+
+/// Default latency in control steps (single-cycle ALU, two-cycle
+/// multiplier/divider — the usual HLS textbook assumption).
+int default_latency(Opcode op);
+
+/// True for kInput/kConst, which occupy no functional unit.
+bool is_source(Opcode op);
+
+std::string to_string(Opcode op);
+
+}  // namespace lera::ir

@@ -1,0 +1,250 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace lera::ir {
+
+namespace {
+
+/// Splits a line into identifier / number / operator tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == '#') break;  // Comment to end of line.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < line.size() &&
+             (std::isalnum(static_cast<unsigned char>(line[j])) ||
+              line[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back(line.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < line.size() &&
+         std::isdigit(static_cast<unsigned char>(line[i + 1])) &&
+         !tokens.empty() && tokens.back() == "=")) {
+      std::size_t j = i + 1;
+      while (j < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[j]))) {
+        ++j;
+      }
+      tokens.push_back(line.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < line.size()) {
+      const std::string two = line.substr(i, 2);
+      if (two == "<<" || two == ">>") {
+        tokens.push_back(two);
+        i += 2;
+        continue;
+      }
+    }
+    tokens.push_back(std::string(1, c));
+    ++i;
+  }
+  return tokens;
+}
+
+std::optional<Opcode> mnemonic(const std::string& s) {
+  static const std::map<std::string, Opcode> table = {
+      {"add", Opcode::kAdd}, {"sub", Opcode::kSub}, {"mul", Opcode::kMul},
+      {"mac", Opcode::kMac}, {"div", Opcode::kDiv}, {"shl", Opcode::kShl},
+      {"shr", Opcode::kShr}, {"and", Opcode::kAnd}, {"or", Opcode::kOr},
+      {"xor", Opcode::kXor}, {"neg", Opcode::kNeg}, {"abs", Opcode::kAbs},
+      {"min", Opcode::kMin}, {"max", Opcode::kMax},
+  };
+  const auto it = table.find(s);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Opcode> infix(const std::string& s) {
+  static const std::map<std::string, Opcode> table = {
+      {"+", Opcode::kAdd},  {"-", Opcode::kSub}, {"*", Opcode::kMul},
+      {"/", Opcode::kDiv},  {"<<", Opcode::kShl}, {">>", Opcode::kShr},
+      {"&", Opcode::kAnd},  {"|", Opcode::kOr},  {"^", Opcode::kXor},
+  };
+  const auto it = table.find(s);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+bool is_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ParseResult parse_block(const std::string& text, std::string name) {
+  BasicBlock bb(std::move(name));
+  std::map<std::string, ValueId> env;
+
+  auto fail = [](int line_no, const std::string& message) {
+    ParseResult r;
+    r.error = "line " + std::to_string(line_no) + ": " + message;
+    return r;
+  };
+  auto lookup = [&](const std::string& id) -> std::optional<ValueId> {
+    const auto it = env.find(id);
+    if (it == env.end()) return std::nullopt;
+    return it->second;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> t = tokenize(line);
+    if (t.empty()) continue;
+
+    if (t[0] == "in") {
+      // in x, y, z
+      for (std::size_t i = 1; i < t.size(); ++i) {
+        if (t[i] == ",") continue;
+        if (!is_identifier(t[i])) {
+          return fail(line_no, "expected identifier, got '" + t[i] + "'");
+        }
+        if (env.count(t[i]) != 0) {
+          return fail(line_no, "redefinition of '" + t[i] + "'");
+        }
+        env[t[i]] = bb.input(t[i]);
+      }
+      continue;
+    }
+
+    if (t[0] == "const") {
+      // const k = 42
+      if (t.size() != 4 || t[2] != "=" || !is_identifier(t[1])) {
+        return fail(line_no, "expected 'const <name> = <number>'");
+      }
+      if (env.count(t[1]) != 0) {
+        return fail(line_no, "redefinition of '" + t[1] + "'");
+      }
+      try {
+        env[t[1]] = bb.constant(std::stoll(t[3]), t[1]);
+      } catch (...) {
+        return fail(line_no, "bad constant literal '" + t[3] + "'");
+      }
+      continue;
+    }
+
+    if (t[0] == "out") {
+      // out t
+      if (t.size() != 2) return fail(line_no, "expected 'out <name>'");
+      const auto v = lookup(t[1]);
+      if (!v) return fail(line_no, "unknown value '" + t[1] + "'");
+      bb.output(*v);
+      continue;
+    }
+
+    // Assignment: <dst> = ...
+    if (t.size() < 3 || t[1] != "=" || !is_identifier(t[0])) {
+      return fail(line_no, "unrecognised statement");
+    }
+    if (env.count(t[0]) != 0) {
+      return fail(line_no, "redefinition of '" + t[0] + "' (blocks are SSA)");
+    }
+
+    // Infix binary: dst = a <op> b
+    if (t.size() == 5 && infix(t[3])) {
+      const auto a = lookup(t[2]);
+      const auto b = lookup(t[4]);
+      if (!a) return fail(line_no, "unknown value '" + t[2] + "'");
+      if (!b) return fail(line_no, "unknown value '" + t[4] + "'");
+      env[t[0]] = bb.emit(*infix(t[3]), {*a, *b}, t[0]);
+      continue;
+    }
+
+    // Mnemonic: dst = op a[, b[, c]]
+    const auto op = mnemonic(t[2]);
+    if (!op) {
+      return fail(line_no, "unknown operation '" + t[2] + "'");
+    }
+    std::vector<ValueId> operands;
+    for (std::size_t i = 3; i < t.size(); ++i) {
+      if (t[i] == ",") continue;
+      const auto v = lookup(t[i]);
+      if (!v) return fail(line_no, "unknown value '" + t[i] + "'");
+      operands.push_back(*v);
+    }
+    if (static_cast<int>(operands.size()) != arity(*op)) {
+      return fail(line_no, "'" + t[2] + "' expects " +
+                               std::to_string(arity(*op)) + " operands, got " +
+                               std::to_string(operands.size()));
+    }
+    env[t[0]] = bb.emit(*op, operands, t[0]);
+  }
+
+  ParseResult result;
+  const std::string issues = bb.verify();
+  if (!issues.empty()) {
+    result.error = "internal: " + issues;
+    return result;
+  }
+  result.block = std::move(bb);
+  return result;
+}
+
+std::string to_text(const BasicBlock& bb) {
+  auto identifier = [](const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        c = '_';
+      }
+    }
+    if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+      out.insert(out.begin(), 'v');
+    }
+    return out;
+  };
+
+  std::ostringstream os;
+  os << "# " << bb.name() << "\n";
+  for (const Operation& op : bb.ops()) {
+    switch (op.opcode) {
+      case Opcode::kInput:
+        os << "in " << identifier(bb.value(op.result).name) << "\n";
+        break;
+      case Opcode::kConst:
+        os << "const " << identifier(bb.value(op.result).name) << " = "
+           << bb.value(op.result).literal << "\n";
+        break;
+      case Opcode::kOutput:
+        os << "out " << identifier(bb.value(op.operands[0]).name) << "\n";
+        break;
+      default: {
+        os << identifier(bb.value(op.result).name) << " = "
+           << to_string(op.opcode);
+        for (std::size_t i = 0; i < op.operands.size(); ++i) {
+          os << (i ? ", " : " ")
+             << identifier(bb.value(op.operands[i]).name);
+        }
+        os << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lera::ir

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/basic_block.hpp"
+
+/// \file parser.hpp
+/// Tiny textual front end for basic blocks, so allocation problems can
+/// be written down instead of constructed by API calls. Grammar (one
+/// statement per line, '#' starts a comment):
+///
+///   in  x, y, z          declare live-in values
+///   const k = 42         declare a constant
+///   t = a + b            infix binary ops: + - * / % << >> & | ^
+///   t = add a, b         mnemonic form, any opcode: add sub mul mac
+///                        div shl shr and or xor neg abs min max
+///   out t                mark t live-out
+///
+/// Identifiers are [A-Za-z_][A-Za-z0-9_]*. Every value must be defined
+/// before use; redefinition is an error (blocks are SSA).
+
+namespace lera::ir {
+
+struct ParseResult {
+  std::optional<BasicBlock> block;
+  std::string error;  ///< "line N: message" when block is empty.
+
+  bool ok() const { return block.has_value(); }
+};
+
+ParseResult parse_block(const std::string& text, std::string name = "bb");
+
+/// Serialises \p bb in the grammar above (mnemonic form), so blocks
+/// round-trip through parse_block. Names are sanitised to identifiers
+/// (non-alphanumeric characters become '_'); blocks with duplicate
+/// value names cannot round-trip (SSA makes generated names unique).
+std::string to_text(const BasicBlock& bb);
+
+}  // namespace lera::ir

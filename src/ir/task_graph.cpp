@@ -1,0 +1,28 @@
+#include "ir/task_graph.hpp"
+
+#include <numeric>
+
+namespace lera::ir {
+
+TaskId TaskGraph::add_task(std::string name, BasicBlock block,
+                           std::vector<TaskId> deps) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  for ([[maybe_unused]] TaskId d : deps) {
+    assert(d >= 0 && d < id && "dependencies must reference earlier tasks");
+  }
+  Task t;
+  t.id = id;
+  t.name = std::move(name);
+  t.block = std::move(block);
+  t.deps = std::move(deps);
+  tasks_.push_back(std::move(t));
+  return id;
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<TaskId> order(tasks_.size());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+}  // namespace lera::ir

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+
+/// \file task_graph.hpp
+/// Coarse-grain task flow graph of the paper's methodology (§5): the
+/// application is a DAG of tasks, each task owning one scheduled basic
+/// block. The allocator runs per basic block; the task ordering decides
+/// which values are live-out of a block (read later by another task).
+
+namespace lera::ir {
+
+using TaskId = std::int32_t;
+
+struct Task {
+  TaskId id = -1;
+  std::string name;
+  BasicBlock block;
+  std::vector<TaskId> deps;  ///< Tasks that must complete before this one.
+};
+
+class TaskGraph {
+ public:
+  /// Adds a task owning \p block; dependencies refer to earlier tasks.
+  TaskId add_task(std::string name, BasicBlock block,
+                  std::vector<TaskId> deps = {});
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const Task& task(TaskId t) const {
+    assert(t >= 0 && static_cast<std::size_t>(t) < tasks_.size());
+    return tasks_[static_cast<std::size_t>(t)];
+  }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  /// Topological order of tasks (insertion order is already topological
+  /// because deps must point backwards; this validates and returns it).
+  std::vector<TaskId> topological_order() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace lera::ir

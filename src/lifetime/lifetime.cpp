@@ -1,0 +1,69 @@
+#include "lifetime/lifetime.hpp"
+
+#include <algorithm>
+
+namespace lera::lifetime {
+
+std::vector<Lifetime> analyze(const ir::BasicBlock& bb,
+                              const sched::Schedule& sched,
+                              const LifetimeOptions& opts) {
+  const int x = sched.length(bb);
+  std::vector<Lifetime> out;
+  for (const ir::Value& v : bb.values()) {
+    if (v.uses.empty()) continue;  // Dead value: never stored.
+    const ir::Opcode def_opcode = bb.op(v.def).opcode;
+    if (def_opcode == ir::Opcode::kConst && !opts.include_constants) continue;
+
+    Lifetime lt;
+    lt.value = v.id;
+    lt.name = v.name;
+    lt.width = v.width;
+    lt.write_time =
+        ir::is_source(def_opcode) ? 0 : sched.finish(bb, v.def);
+    for (ir::OpId use : v.uses) {
+      if (bb.op(use).opcode == ir::Opcode::kOutput) {
+        lt.live_out = true;
+        lt.read_times.push_back(x + 1);
+      } else {
+        lt.read_times.push_back(sched.start(use));
+      }
+    }
+    std::sort(lt.read_times.begin(), lt.read_times.end());
+    lt.read_times.erase(
+        std::unique(lt.read_times.begin(), lt.read_times.end()),
+        lt.read_times.end());
+    assert(lt.read_times.front() > lt.write_time &&
+           "value read no later than it is written");
+    out.push_back(std::move(lt));
+  }
+  return out;
+}
+
+std::vector<int> density_profile(const std::vector<Lifetime>& lifetimes,
+                                 int num_steps) {
+  std::vector<int> profile(static_cast<std::size_t>(num_steps) + 1, 0);
+  for (const Lifetime& lt : lifetimes) {
+    const int from = std::max(0, lt.write_time);
+    const int to = std::min(num_steps, lt.last_read() - 1);
+    for (int b = from; b <= to; ++b) {
+      ++profile[static_cast<std::size_t>(b)];
+    }
+  }
+  return profile;
+}
+
+int max_density(const std::vector<int>& profile) {
+  if (profile.empty()) return 0;
+  return *std::max_element(profile.begin(), profile.end());
+}
+
+std::vector<bool> max_density_boundaries(const std::vector<int>& profile) {
+  const int peak = max_density(profile);
+  std::vector<bool> is_max(profile.size());
+  for (std::size_t b = 0; b < profile.size(); ++b) {
+    is_max[b] = profile[b] == peak && peak > 0;
+  }
+  return is_max;
+}
+
+}  // namespace lera::lifetime

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+#include "sched/schedule.hpp"
+
+/// \file lifetime.hpp
+/// Data-variable lifetimes (Problem 1 of the paper): each value becomes
+/// an interval from its write time to its last read time, possibly with
+/// interior reads. Time is measured in control steps; *boundaries* sit
+/// between steps: boundary b separates step b from step b+1, so a
+/// variable written at step w and last read at step r occupies storage
+/// at exactly the boundaries b with w <= b < r.
+
+namespace lera::lifetime {
+
+/// One data variable's lifetime.
+struct Lifetime {
+  ir::ValueId value = ir::kNoValue;
+  std::string name;
+  int width = 16;
+  int write_time = 0;           ///< Step at which the value is produced.
+  std::vector<int> read_times;  ///< Sorted, deduplicated, all > write_time.
+  bool live_out = false;        ///< Last "read" is by a later task (x+1).
+
+  int last_read() const { return read_times.back(); }
+  /// True if the variable occupies storage at boundary \p b.
+  bool crosses(int b) const { return write_time <= b && b < last_read(); }
+};
+
+struct LifetimeOptions {
+  /// Constants are usually immediates; include them only when they are
+  /// materialised like ordinary data.
+  bool include_constants = false;
+};
+
+/// Extracts lifetimes from a scheduled block. Values without uses are
+/// dead code and excluded. Reads by kOutput are recorded at step x+1.
+std::vector<Lifetime> analyze(const ir::BasicBlock& bb,
+                              const sched::Schedule& sched,
+                              const LifetimeOptions& opts = {});
+
+/// Density (number of lifetimes crossing) at each boundary 0..x.
+std::vector<int> density_profile(const std::vector<Lifetime>& lifetimes,
+                                 int num_steps);
+
+/// Largest entry of the density profile (0 for an empty block).
+int max_density(const std::vector<int>& profile);
+
+/// profile[b] == max density?  (The paper's "regions of maximum lifetime
+/// density" are the maximal runs of true entries.)
+std::vector<bool> max_density_boundaries(const std::vector<int>& profile);
+
+}  // namespace lera::lifetime

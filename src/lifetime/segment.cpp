@@ -1,0 +1,80 @@
+#include "lifetime/segment.hpp"
+
+#include <algorithm>
+
+namespace lera::lifetime {
+
+std::vector<Segment> build_segments(const std::vector<Lifetime>& lifetimes,
+                                    int num_steps, const SplitOptions& opts) {
+  std::vector<Segment> segments;
+  const bool cut_at_access =
+      opts.split_at_access_times || opts.access.period > 1;
+
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    const Lifetime& lt = lifetimes[i];
+    const int death = lt.last_read();
+
+    // Collect interior cut times: reads first (they win over boundary
+    // cuts at the same step), then allowed-access-time cuts.
+    struct Cut {
+      int time;
+      CutKind kind;
+    };
+    std::vector<Cut> cuts;
+    cuts.push_back({lt.write_time, CutKind::kDef});
+    for (std::size_t r = 0; r + 1 < lt.read_times.size(); ++r) {
+      cuts.push_back({lt.read_times[r], CutKind::kRead});
+    }
+    auto has_cut_at = [&](int t) {
+      return std::any_of(cuts.begin(), cuts.end(),
+                         [t](const Cut& c) { return c.time == t; });
+    };
+    if (cut_at_access && opts.access.period > 0) {
+      for (int t = lt.write_time + 1; t < death; ++t) {
+        if (opts.access.allowed(t, num_steps) && !has_cut_at(t)) {
+          cuts.push_back({t, CutKind::kBoundary});
+        }
+      }
+    }
+    for (const auto& [var, t] : opts.manual_cuts) {
+      if (var == static_cast<int>(i) && t > lt.write_time && t < death &&
+          !has_cut_at(t)) {
+        cuts.push_back({t, CutKind::kBoundary});
+      }
+    }
+    std::sort(cuts.begin(), cuts.end(),
+              [](const Cut& a, const Cut& b) { return a.time < b.time; });
+
+    for (std::size_t c = 0; c < cuts.size(); ++c) {
+      Segment seg;
+      seg.var = static_cast<int>(i);
+      seg.index = static_cast<int>(c);
+      seg.start = cuts[c].time;
+      seg.start_kind = cuts[c].kind;
+      if (c + 1 < cuts.size()) {
+        seg.end = cuts[c + 1].time;
+        seg.end_kind = cuts[c + 1].kind;
+      } else {
+        seg.end = death;
+        seg.end_kind = CutKind::kDeath;
+      }
+      seg.forced_register =
+          !opts.access.allowed(seg.start, num_steps) ||
+          !opts.access.allowed(seg.end, num_steps);
+      assert(seg.start < seg.end && "degenerate lifetime segment");
+      segments.push_back(seg);
+    }
+  }
+  return segments;
+}
+
+std::vector<int> segments_per_var(const std::vector<Segment>& segments,
+                                  std::size_t num_vars) {
+  std::vector<int> count(num_vars, 0);
+  for (const Segment& s : segments) {
+    ++count[static_cast<std::size_t>(s.var)];
+  }
+  return count;
+}
+
+}  // namespace lera::lifetime

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "lifetime/lifetime.hpp"
+
+/// \file segment.hpp
+/// Split lifetimes (paper §5.2). A lifetime is cut at every interior
+/// read time and — when the memory module runs slower than the datapath —
+/// at every allowed memory-access time inside it. Each piece becomes a
+/// *segment* w_i(v) -> r_i(v) of the network flow graph.
+
+namespace lera::lifetime {
+
+/// Restricted memory access times: access to the memory module is only
+/// legal at steps t with (t - phase) mod period == 0. Boundary times
+/// t <= 0 (live-in values already reside in memory) and t > num_steps
+/// (live-out values are read later by another task) are always legal.
+struct AccessModel {
+  int period = 1;
+  int phase = 0;
+
+  bool allowed(int t, int num_steps) const {
+    if (t <= 0 || t > num_steps) return true;
+    return (t - phase) % period == 0;
+  }
+};
+
+/// Why a segment starts or ends at a given time.
+enum class CutKind {
+  kDef,       ///< Segment starts where the variable is defined.
+  kRead,      ///< Interior read: the variable lives on afterwards.
+  kDeath,     ///< The variable's final read.
+  kBoundary,  ///< Cut introduced at an allowed memory-access time.
+};
+
+/// One piece of a (possibly split) lifetime.
+struct Segment {
+  int var = -1;        ///< Index into the lifetime vector.
+  int index = 0;       ///< Position among the variable's segments.
+  int start = 0;       ///< w_i(v): step where the segment begins.
+  int end = 0;         ///< r_i(v): step where the segment ends.
+  CutKind start_kind = CutKind::kDef;
+  CutKind end_kind = CutKind::kDeath;
+  /// Paper §5.2: a segment that begins and/or ends between allowed
+  /// memory-access times cannot be parked in memory, so its flow arc
+  /// carries a lower bound of 1 (it must occupy a register).
+  bool forced_register = false;
+  /// Dual mechanism (§7 port constraints): a segment barred from the
+  /// register file — its flow arc gets capacity 0, pinning it to
+  /// memory. Mutually exclusive with forced_register.
+  bool forbidden_register = false;
+};
+
+struct SplitOptions {
+  AccessModel access;
+  /// Additionally cut lifetimes at every allowed access time they span
+  /// (the paper notes variables "could have also" been split there; more
+  /// cuts only widen the solution space). Implied when period > 1.
+  bool split_at_access_times = false;
+  /// Explicit (var index, step) cuts, e.g. the paper's Figure 4c splits
+  /// variable f by hand to trade a memory access for a storage location.
+  std::vector<std::pair<int, int>> manual_cuts;
+};
+
+/// Builds the segments of every lifetime, ordered by (var, index).
+std::vector<Segment> build_segments(const std::vector<Lifetime>& lifetimes,
+                                    int num_steps,
+                                    const SplitOptions& opts = {});
+
+/// Segment count per variable (index aligned with \p lifetimes).
+std::vector<int> segments_per_var(const std::vector<Segment>& segments,
+                                  std::size_t num_vars);
+
+}  // namespace lera::lifetime

@@ -1,0 +1,196 @@
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "netflow/internal_solvers.hpp"
+#include "netflow/maxflow.hpp"
+#include "netflow/residual.hpp"
+
+/// Goldberg-Tarjan cost scaling (push-relabel refinement).
+///
+/// Costs are multiplied by alpha = n+1; a flow that is 1-optimal in the
+/// scaled costs (no residual arc has reduced cost <= -1) is exactly
+/// optimal in the original integer costs. Starting from
+/// epsilon = max scaled |cost|, each refine() converts an
+/// (2 epsilon)-optimal flow into an epsilon-optimal one by saturating
+/// all negative-reduced-cost arcs and then discharging the resulting
+/// excesses with push/relabel steps (admissible arc: residual capacity
+/// and reduced cost < 0; relabel: lower the node potential just enough
+/// to create one, a drop of at least epsilon).
+///
+/// Supplies enter as the initial excesses of the first refinement.
+/// Push-relabel only terminates if a feasible b-flow exists, so
+/// feasibility is established up front with one Dinic max-flow.
+
+namespace lera::netflow::internal {
+
+namespace {
+
+class CostScaling {
+ public:
+  explicit CostScaling(const Graph& g)
+      : graph_(g),
+        res_(g),
+        n_(g.num_nodes()),
+        alpha_(static_cast<Cost>(g.num_nodes()) + 1) {
+    scaled_cost_.reserve(static_cast<std::size_t>(res_.num_edges()));
+    Cost max_cost = 0;
+    for (int e = 0; e < res_.num_edges(); ++e) {
+      const Cost c = res_.edge(e).cost * alpha_;
+      scaled_cost_.push_back(c);
+      max_cost = std::max(max_cost, std::abs(c));
+    }
+    pi_.assign(static_cast<std::size_t>(n_), 0);
+    excess_.assign(static_cast<std::size_t>(n_), 0);
+    epsilon_ = max_cost;
+  }
+
+  FlowSolution run() {
+    if (!feasible()) return {};
+
+    for (NodeId v = 0; v < n_; ++v) {
+      excess_[static_cast<std::size_t>(v)] = graph_.supply(v);
+    }
+    while (epsilon_ >= 1) {
+      refine();
+      epsilon_ /= 2;
+    }
+
+    FlowSolution sol;
+    sol.status = SolveStatus::kOptimal;
+    sol.arc_flow = res_.arc_flows();
+    for (ArcId a = 0; a < graph_.num_arcs(); ++a) {
+      sol.cost +=
+          graph_.arc(a).cost * sol.arc_flow[static_cast<std::size_t>(a)];
+    }
+    return sol;
+  }
+
+ private:
+  Cost reduced_cost(int e, NodeId tail) const {
+    return scaled_cost_[static_cast<std::size_t>(e)] +
+           pi_[static_cast<std::size_t>(tail)] -
+           pi_[static_cast<std::size_t>(res_.edge(e).head)];
+  }
+
+  /// One Dinic run on a throwaway residual decides feasibility.
+  bool feasible() const {
+    Graph aug;
+    aug.add_nodes(n_);
+    for (ArcId a = 0; a < graph_.num_arcs(); ++a) {
+      const Arc& arc = graph_.arc(a);
+      aug.add_arc(arc.tail, arc.head, arc.upper, 0);
+    }
+    const NodeId s = aug.add_node();
+    const NodeId t = aug.add_node();
+    Flow need = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+      const Flow b = graph_.supply(v);
+      if (b > 0) {
+        aug.add_arc(s, v, b, 0);
+        need += b;
+      } else if (b < 0) {
+        aug.add_arc(v, t, -b, 0);
+      }
+    }
+    Residual scratch(aug);
+    return dinic_max_flow(scratch, s, t) == need;
+  }
+
+  void refine() {
+    // Saturate every residual arc with negative reduced cost.
+    for (int e = 0; e < res_.num_edges(); ++e) {
+      const NodeId tail = res_.tail(e);
+      if (res_.edge(e).cap > 0 && reduced_cost(e, tail) < 0) {
+        const Flow amount = res_.edge(e).cap;
+        res_.push(e, amount);
+        excess_[static_cast<std::size_t>(tail)] -= amount;
+        excess_[static_cast<std::size_t>(res_.edge(e).head)] += amount;
+      }
+    }
+
+    std::deque<NodeId> active;
+    std::vector<char> in_queue(static_cast<std::size_t>(n_), 0);
+    for (NodeId v = 0; v < n_; ++v) {
+      if (excess_[static_cast<std::size_t>(v)] > 0) {
+        active.push_back(v);
+        in_queue[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    std::vector<std::size_t> current(static_cast<std::size_t>(n_), 0);
+
+    while (!active.empty()) {
+      const NodeId v = active.front();
+      active.pop_front();
+      in_queue[static_cast<std::size_t>(v)] = 0;
+      discharge(v, active, in_queue, current);
+    }
+  }
+
+  void discharge(NodeId v, std::deque<NodeId>& active,
+                 std::vector<char>& in_queue,
+                 std::vector<std::size_t>& current) {
+    const auto& out = res_.out(v);
+    while (excess_[static_cast<std::size_t>(v)] > 0) {
+      if (current[static_cast<std::size_t>(v)] >= out.size()) {
+        relabel(v);
+        current[static_cast<std::size_t>(v)] = 0;
+        continue;
+      }
+      const int e = out[current[static_cast<std::size_t>(v)]];
+      if (res_.edge(e).cap > 0 && reduced_cost(e, v) < 0) {
+        const NodeId w = res_.edge(e).head;
+        const Flow amount =
+            std::min(excess_[static_cast<std::size_t>(v)], res_.edge(e).cap);
+        res_.push(e, amount);
+        excess_[static_cast<std::size_t>(v)] -= amount;
+        excess_[static_cast<std::size_t>(w)] += amount;
+        if (excess_[static_cast<std::size_t>(w)] > 0 &&
+            !in_queue[static_cast<std::size_t>(w)]) {
+          active.push_back(w);
+          in_queue[static_cast<std::size_t>(w)] = 1;
+        }
+      } else {
+        ++current[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+
+  /// Lower pi(v) just enough to make some residual arc admissible.
+  void relabel(NodeId v) {
+    Cost best = -kInfCost;
+    for (int e : res_.out(v)) {
+      if (res_.edge(e).cap <= 0) continue;
+      const Cost candidate =
+          pi_[static_cast<std::size_t>(res_.edge(e).head)] -
+          scaled_cost_[static_cast<std::size_t>(e)];
+      best = std::max(best, candidate);
+    }
+    assert(best > -kInfCost && "active node with no residual arcs");
+    pi_[static_cast<std::size_t>(v)] = best - epsilon_;
+  }
+
+  const Graph& graph_;
+  Residual res_;
+  NodeId n_;
+  Cost alpha_;
+  std::vector<Cost> scaled_cost_;
+  std::vector<Cost> pi_;
+  std::vector<Flow> excess_;
+  Cost epsilon_;
+};
+
+}  // namespace
+
+FlowSolution solve_cost_scaling(const Graph& g) {
+  if (g.total_supply() != 0) return {};
+  if (g.num_nodes() == 0) {
+    FlowSolution sol;
+    sol.status = SolveStatus::kOptimal;
+    return sol;
+  }
+  CostScaling solver(g);
+  return solver.run();
+}
+
+}  // namespace lera::netflow::internal

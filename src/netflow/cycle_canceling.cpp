@@ -1,0 +1,112 @@
+#include <algorithm>
+#include <vector>
+
+#include "netflow/internal_solvers.hpp"
+#include "netflow/maxflow.hpp"
+#include "netflow/residual.hpp"
+
+/// Klein's cycle-canceling algorithm.
+///
+/// A feasible flow is established by Dinic max-flow from a super source
+/// to a super sink (one arc per supply/deficit node); then Bellman-Ford
+/// repeatedly locates a negative-cost residual cycle and saturates it.
+/// With integral data every cancellation strictly decreases the cost, so
+/// the method terminates at an optimum. Asymptotically slow, but that is
+/// the point: it is an independent oracle for the faster solvers.
+
+namespace lera::netflow::internal {
+
+namespace {
+
+/// Finds any negative-cost cycle in the residual; returns the edge ids of
+/// the cycle (in traversal order), or empty if none exists.
+std::vector<int> find_negative_cycle(const Residual& res) {
+  const NodeId n = res.num_nodes();
+  std::vector<Cost> dist(static_cast<std::size_t>(n), 0);
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+
+  NodeId updated = kInvalidNode;
+  for (NodeId round = 0; round < n; ++round) {
+    updated = kInvalidNode;
+    for (int e = 0; e < res.num_edges(); ++e) {
+      const auto& edge = res.edge(e);
+      if (edge.cap <= 0) continue;
+      const NodeId u = res.tail(e);
+      if (dist[static_cast<std::size_t>(u)] + edge.cost <
+          dist[static_cast<std::size_t>(edge.head)]) {
+        dist[static_cast<std::size_t>(edge.head)] =
+            dist[static_cast<std::size_t>(u)] + edge.cost;
+        parent[static_cast<std::size_t>(edge.head)] = e;
+        updated = edge.head;
+      }
+    }
+    if (updated == kInvalidNode) return {};
+  }
+
+  // A relaxation happened in round n: walk back n steps to reach a node
+  // that is certainly on a negative cycle, then peel the cycle off.
+  NodeId v = updated;
+  for (NodeId i = 0; i < n; ++i) {
+    v = res.tail(parent[static_cast<std::size_t>(v)]);
+  }
+  std::vector<int> cycle;
+  NodeId u = v;
+  do {
+    const int e = parent[static_cast<std::size_t>(u)];
+    cycle.push_back(e);
+    u = res.tail(e);
+  } while (u != v);
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+}  // namespace
+
+FlowSolution solve_cycle_canceling(const Graph& g) {
+  if (g.total_supply() != 0) return {};
+
+  // Augmented instance with a super source/sink absorbing the supplies.
+  Graph aug;
+  aug.add_nodes(g.num_nodes());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const Arc& arc = g.arc(a);
+    aug.add_arc(arc.tail, arc.head, arc.upper, arc.cost);
+  }
+  const NodeId super_s = aug.add_node("super_s");
+  const NodeId super_t = aug.add_node("super_t");
+  Flow need = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Flow b = g.supply(v);
+    if (b > 0) {
+      aug.add_arc(super_s, v, b, 0);
+      need += b;
+    } else if (b < 0) {
+      aug.add_arc(v, super_t, -b, 0);
+    }
+  }
+
+  Residual res(aug);
+  if (dinic_max_flow(res, super_s, super_t) < need) return {};
+
+  // All super arcs are saturated, so no residual cycle can pass through
+  // the super nodes; canceling preserves feasibility of the b-flow.
+  for (;;) {
+    const std::vector<int> cycle = find_negative_cycle(res);
+    if (cycle.empty()) break;
+    Flow delta = kInfFlow;
+    for (int e : cycle) delta = std::min(delta, res.edge(e).cap);
+    assert(delta > 0);
+    for (int e : cycle) res.push(e, delta);
+  }
+
+  FlowSolution sol;
+  sol.status = SolveStatus::kOptimal;
+  sol.arc_flow.resize(static_cast<std::size_t>(g.num_arcs()));
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    sol.arc_flow[static_cast<std::size_t>(a)] = res.flow_of(a);
+    sol.cost += g.arc(a).cost * sol.arc_flow[static_cast<std::size_t>(a)];
+  }
+  return sol;
+}
+
+}  // namespace lera::netflow::internal

@@ -1,0 +1,117 @@
+#include "netflow/decompose.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lera::netflow {
+
+namespace {
+
+/// Walks arcs with remaining flow from \p start until a node with
+/// negative residual supply (a sink) is reached or a node repeats.
+/// Extracts the path/cycle found and subtracts its bottleneck.
+FlowComponent extract_component(const Graph& g, std::vector<Flow>& rem,
+                                std::vector<Flow>& sup,
+                                std::vector<std::size_t>& cursor,
+                                NodeId start) {
+  std::vector<ArcId> trail;
+  std::vector<NodeId> nodes{start};
+  std::vector<int> position(static_cast<std::size_t>(g.num_nodes()), -1);
+  position[static_cast<std::size_t>(start)] = 0;
+
+  NodeId v = start;
+  for (;;) {
+    if (sup[static_cast<std::size_t>(v)] < 0 && !trail.empty()) {
+      // Reached a demand node: source-to-sink path.
+      FlowComponent comp;
+      comp.arcs = trail;
+      comp.amount = std::min(sup[static_cast<std::size_t>(start)],
+                             -sup[static_cast<std::size_t>(v)]);
+      for (ArcId a : trail) {
+        comp.amount = std::min(comp.amount,
+                               rem[static_cast<std::size_t>(a)]);
+      }
+      assert(comp.amount > 0);
+      for (ArcId a : trail) rem[static_cast<std::size_t>(a)] -= comp.amount;
+      sup[static_cast<std::size_t>(start)] -= comp.amount;
+      sup[static_cast<std::size_t>(v)] += comp.amount;
+      return comp;
+    }
+
+    // Advance along any arc still carrying flow.
+    const auto& out = g.out_arcs(v);
+    std::size_t& cur = cursor[static_cast<std::size_t>(v)];
+    while (cur < out.size() &&
+           rem[static_cast<std::size_t>(out[cur])] == 0) {
+      ++cur;
+    }
+    assert(cur < out.size() &&
+           "conservation guarantees an outgoing arc with flow");
+    const ArcId a = out[cur];
+    trail.push_back(a);
+    v = g.arc(a).head;
+
+    const int seen = position[static_cast<std::size_t>(v)];
+    if (seen >= 0) {
+      // Closed a cycle: peel off the arcs from the repeat point on.
+      FlowComponent comp;
+      comp.is_cycle = true;
+      comp.arcs.assign(trail.begin() + seen, trail.end());
+      comp.amount = kInfFlow;
+      for (ArcId arc : comp.arcs) {
+        comp.amount = std::min(comp.amount,
+                               rem[static_cast<std::size_t>(arc)]);
+      }
+      assert(comp.amount > 0);
+      for (ArcId arc : comp.arcs) {
+        rem[static_cast<std::size_t>(arc)] -= comp.amount;
+      }
+      return comp;
+    }
+    position[static_cast<std::size_t>(v)] =
+        static_cast<int>(nodes.size());
+    nodes.push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<FlowComponent> decompose_flow(const Graph& g,
+                                          const std::vector<Flow>& flow) {
+  assert(flow.size() == static_cast<std::size_t>(g.num_arcs()));
+  std::vector<Flow> rem = flow;
+  // Residual supply implied by the flow itself (out - in per node); for
+  // a feasible flow this matches g.supply but we derive it so arbitrary
+  // feasible flows decompose too.
+  std::vector<Flow> sup(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    sup[static_cast<std::size_t>(g.arc(a).tail)] +=
+        flow[static_cast<std::size_t>(a)];
+    sup[static_cast<std::size_t>(g.arc(a).head)] -=
+        flow[static_cast<std::size_t>(a)];
+  }
+
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(g.num_nodes()),
+                                  0);
+  std::vector<FlowComponent> components;
+
+  // Paths first: drain every supply node.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    while (sup[static_cast<std::size_t>(v)] > 0) {
+      // Cursors may need rewinding when cycles were peeled mid-walk.
+      std::fill(cursor.begin(), cursor.end(), 0);
+      components.push_back(extract_component(g, rem, sup, cursor, v));
+    }
+  }
+  // Remaining flow is a circulation: peel cycles.
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    while (rem[static_cast<std::size_t>(a)] > 0) {
+      std::fill(cursor.begin(), cursor.end(), 0);
+      components.push_back(
+          extract_component(g, rem, sup, cursor, g.arc(a).tail));
+    }
+  }
+  return components;
+}
+
+}  // namespace lera::netflow

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "netflow/graph.hpp"
+
+/// \file decompose.hpp
+/// Flow decomposition: any feasible b-flow splits into at most m
+/// source-to-sink paths and cycles, each carrying a positive amount.
+/// The allocator reads its register chains straight off capacity-1
+/// arcs, but general clients (and the tests that audit solver output)
+/// use this decomposition.
+
+namespace lera::netflow {
+
+struct FlowComponent {
+  std::vector<ArcId> arcs;  ///< In traversal order.
+  Flow amount = 0;
+  bool is_cycle = false;    ///< Cycle (returns to its first node) or a
+                            ///< supply-to-demand path.
+};
+
+/// Decomposes \p flow (a feasible flow on \p g). The sum of components
+/// reproduces the arc flows exactly; at most num_arcs components are
+/// produced.
+std::vector<FlowComponent> decompose_flow(const Graph& g,
+                                          const std::vector<Flow>& flow);
+
+}  // namespace lera::netflow

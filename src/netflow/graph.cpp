@@ -1,0 +1,63 @@
+#include "netflow/graph.hpp"
+
+#include <numeric>
+
+namespace lera::netflow {
+
+NodeId Graph::add_node(std::string name) {
+  supply_.push_back(0);
+  names_.push_back(std::move(name));
+  adjacency_valid_ = false;
+  return num_nodes() - 1;
+}
+
+NodeId Graph::add_nodes(NodeId n) {
+  assert(n >= 0);
+  const NodeId first = num_nodes();
+  supply_.resize(supply_.size() + static_cast<std::size_t>(n), 0);
+  names_.resize(names_.size() + static_cast<std::size_t>(n));
+  adjacency_valid_ = false;
+  return first;
+}
+
+ArcId Graph::add_arc(NodeId tail, NodeId head, Flow upper, Cost cost,
+                     Flow lower) {
+  assert(tail >= 0 && tail < num_nodes());
+  assert(head >= 0 && head < num_nodes());
+  assert(lower >= 0 && lower <= upper);
+  arcs_.push_back(Arc{tail, head, lower, upper, cost});
+  has_lower_bounds_ = has_lower_bounds_ || lower > 0;
+  has_negative_costs_ = has_negative_costs_ || cost < 0;
+  adjacency_valid_ = false;
+  return num_arcs() - 1;
+}
+
+Flow Graph::total_supply() const {
+  return std::accumulate(supply_.begin(), supply_.end(), Flow{0});
+}
+
+void Graph::ensure_adjacency() const {
+  if (adjacency_valid_) return;
+  out_.assign(supply_.size(), {});
+  in_.assign(supply_.size(), {});
+  for (ArcId a = 0; a < num_arcs(); ++a) {
+    const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+    out_[static_cast<std::size_t>(arc.tail)].push_back(a);
+    in_[static_cast<std::size_t>(arc.head)].push_back(a);
+  }
+  adjacency_valid_ = true;
+}
+
+const std::vector<ArcId>& Graph::out_arcs(NodeId v) const {
+  assert(v >= 0 && v < num_nodes());
+  ensure_adjacency();
+  return out_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<ArcId>& Graph::in_arcs(NodeId v) const {
+  assert(v >= 0 && v < num_nodes());
+  ensure_adjacency();
+  return in_[static_cast<std::size_t>(v)];
+}
+
+}  // namespace lera::netflow

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "netflow/types.hpp"
+
+/// \file graph.hpp
+/// Directed graph with per-arc lower bound, capacity and cost, plus
+/// per-node supply, describing a *b-flow* (transshipment) instance:
+///
+///   minimise   sum_a cost(a) * x(a)
+///   subject to sum_{a out of v} x(a) - sum_{a into v} x(a) = supply(v)
+///              lower(a) <= x(a) <= upper(a)
+///
+/// The classic s-t fixed-flow problem of the paper (flow value F = number
+/// of registers R) is expressed by supply(s) = +F, supply(t) = -F.
+
+namespace lera::netflow {
+
+/// One directed arc. Plain data; invariants are enforced by Graph.
+struct Arc {
+  NodeId tail = kInvalidNode;  ///< Arc leaves this node.
+  NodeId head = kInvalidNode;  ///< Arc enters this node.
+  Flow lower = 0;              ///< Minimum flow on the arc.
+  Flow upper = 0;              ///< Maximum flow on the arc.
+  Cost cost = 0;               ///< Cost per unit of flow.
+};
+
+/// Mutable builder + storage for a b-flow instance.
+///
+/// Nodes are created with add_node() and optionally carry a debug name.
+/// Arcs keep insertion order, so solution vectors index by ArcId.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with \p n unnamed nodes.
+  explicit Graph(NodeId n) { add_nodes(n); }
+
+  /// Adds one node and returns its id.
+  NodeId add_node(std::string name = {});
+
+  /// Adds \p n unnamed nodes; returns the id of the first.
+  NodeId add_nodes(NodeId n);
+
+  /// Adds an arc tail->head with bounds [lower, upper] and unit cost.
+  /// Requires 0 <= lower <= upper and valid endpoint ids.
+  ArcId add_arc(NodeId tail, NodeId head, Flow upper, Cost cost,
+                Flow lower = 0);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(supply_.size()); }
+  ArcId num_arcs() const { return static_cast<ArcId>(arcs_.size()); }
+
+  const Arc& arc(ArcId a) const {
+    assert(a >= 0 && a < num_arcs());
+    return arcs_[static_cast<std::size_t>(a)];
+  }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  /// Node supply: positive = source of flow, negative = sink.
+  Flow supply(NodeId v) const {
+    assert(v >= 0 && v < num_nodes());
+    return supply_[static_cast<std::size_t>(v)];
+  }
+  void set_supply(NodeId v, Flow b) {
+    assert(v >= 0 && v < num_nodes());
+    supply_[static_cast<std::size_t>(v)] = b;
+  }
+  void add_supply(NodeId v, Flow b) {
+    assert(v >= 0 && v < num_nodes());
+    supply_[static_cast<std::size_t>(v)] += b;
+  }
+
+  /// Sum of all node supplies. A feasible instance requires 0.
+  Flow total_supply() const;
+
+  /// True if any arc has a nonzero lower bound.
+  bool has_lower_bounds() const { return has_lower_bounds_; }
+
+  /// True if any arc has a negative cost.
+  bool has_negative_costs() const { return has_negative_costs_; }
+
+  /// Debug name of a node ("" if unnamed).
+  const std::string& node_name(NodeId v) const {
+    assert(v >= 0 && v < num_nodes());
+    return names_[static_cast<std::size_t>(v)];
+  }
+  void set_node_name(NodeId v, std::string name) {
+    assert(v >= 0 && v < num_nodes());
+    names_[static_cast<std::size_t>(v)] = std::move(name);
+  }
+
+  /// Outgoing arc ids of \p v (built lazily, invalidated by add_arc).
+  const std::vector<ArcId>& out_arcs(NodeId v) const;
+  /// Incoming arc ids of \p v (built lazily, invalidated by add_arc).
+  const std::vector<ArcId>& in_arcs(NodeId v) const;
+
+ private:
+  void ensure_adjacency() const;
+
+  std::vector<Arc> arcs_;
+  std::vector<Flow> supply_;
+  std::vector<std::string> names_;
+  bool has_lower_bounds_ = false;
+  bool has_negative_costs_ = false;
+
+  // Lazily built adjacency; mutable because it is a cache.
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<std::vector<ArcId>> out_;
+  mutable std::vector<std::vector<ArcId>> in_;
+};
+
+}  // namespace lera::netflow

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "netflow/graph.hpp"
+#include "netflow/solution.hpp"
+
+/// \file internal_solvers.hpp
+/// Entry points of the individual algorithms. All require an instance
+/// with zero lower bounds (use remove_lower_bounds() first); the public
+/// solve() wrapper in solution.hpp takes care of that.
+
+namespace lera::netflow::internal {
+
+/// Successive shortest paths with node potentials. Negative-cost arcs
+/// are pre-saturated so Dijkstra applies throughout.
+FlowSolution solve_ssp(const Graph& g);
+
+/// Establishes any feasible flow with Dinic, then cancels Bellman-Ford
+/// negative cycles until optimal. Slow; used as a cross-check.
+FlowSolution solve_cycle_canceling(const Graph& g);
+
+/// Primal network simplex with an artificial root and strongly feasible
+/// pivoting.
+FlowSolution solve_network_simplex(const Graph& g);
+
+/// Goldberg-Tarjan cost-scaling push-relabel.
+FlowSolution solve_cost_scaling(const Graph& g);
+
+}  // namespace lera::netflow::internal

@@ -1,0 +1,39 @@
+#include "netflow/lower_bounds.hpp"
+
+#include <cassert>
+
+namespace lera::netflow {
+
+LowerBoundReduction remove_lower_bounds(const Graph& g) {
+  LowerBoundReduction red;
+  red.lower.reserve(static_cast<std::size_t>(g.num_arcs()));
+  Graph& out = red.reduced;
+  out.add_nodes(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out.set_supply(v, g.supply(v));
+    out.set_node_name(v, g.node_name(v));
+  }
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const Arc& arc = g.arc(a);
+    out.add_arc(arc.tail, arc.head, arc.upper - arc.lower, arc.cost);
+    red.lower.push_back(arc.lower);
+    if (arc.lower > 0) {
+      out.add_supply(arc.tail, -arc.lower);
+      out.add_supply(arc.head, arc.lower);
+      red.fixed_cost += arc.lower * arc.cost;
+    }
+  }
+  return red;
+}
+
+std::vector<Flow> restore_lower_bounds(const LowerBoundReduction& red,
+                                       const std::vector<Flow>& reduced_flow) {
+  assert(reduced_flow.size() == red.lower.size());
+  std::vector<Flow> flow(reduced_flow.size());
+  for (std::size_t a = 0; a < flow.size(); ++a) {
+    flow[a] = reduced_flow[a] + red.lower[a];
+  }
+  return flow;
+}
+
+}  // namespace lera::netflow

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "netflow/graph.hpp"
+
+/// \file lower_bounds.hpp
+/// Standard reduction of arc lower bounds to node supplies.
+///
+/// The paper's restricted-memory-access-time extension (§5.2) forces
+/// certain lifetime segments into registers by putting a lower bound of 1
+/// on their arcs. Solvers here work on lower-bound-free instances, so we
+/// pre-send lower(a) units along every arc a (shifting x' = x - lower),
+/// which turns bounds into supply adjustments:
+///   supply'(tail) -= lower,  supply'(head) += lower,
+///   upper' = upper - lower,  fixed cost += lower * cost.
+
+namespace lera::netflow {
+
+/// Result of remove_lower_bounds(); keeps what is needed to undo it.
+struct LowerBoundReduction {
+  Graph reduced;            ///< Equivalent instance with all lower bounds 0.
+  Cost fixed_cost = 0;      ///< Cost contributed by the mandatory flow.
+  std::vector<Flow> lower;  ///< Original lower bound per arc.
+};
+
+/// Builds the equivalent lower-bound-free instance.
+LowerBoundReduction remove_lower_bounds(const Graph& g);
+
+/// Maps a solution of the reduced instance back to the original arcs
+/// (adds the lower bound back onto each arc's flow).
+std::vector<Flow> restore_lower_bounds(const LowerBoundReduction& red,
+                                       const std::vector<Flow>& reduced_flow);
+
+}  // namespace lera::netflow

@@ -1,0 +1,96 @@
+#include "netflow/maxflow.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace lera::netflow {
+
+namespace {
+
+/// BFS level graph; returns true if t is reachable.
+bool build_levels(const Residual& res, NodeId s, NodeId t,
+                  std::vector<int>& level) {
+  std::fill(level.begin(), level.end(), -1);
+  std::queue<NodeId> queue;
+  level[static_cast<std::size_t>(s)] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (int e : res.out(u)) {
+      const auto& edge = res.edge(e);
+      if (edge.cap <= 0) continue;
+      if (level[static_cast<std::size_t>(edge.head)] >= 0) continue;
+      level[static_cast<std::size_t>(edge.head)] =
+          level[static_cast<std::size_t>(u)] + 1;
+      queue.push(edge.head);
+    }
+  }
+  return level[static_cast<std::size_t>(t)] >= 0;
+}
+
+/// DFS blocking-flow augmentation with the current-edge optimisation.
+Flow augment(Residual& res, const std::vector<int>& level,
+             std::vector<std::size_t>& next, NodeId u, NodeId t,
+             Flow limit) {
+  if (u == t) return limit;
+  const auto& edges = res.out(u);
+  for (std::size_t& i = next[static_cast<std::size_t>(u)]; i < edges.size();
+       ++i) {
+    const int e = edges[i];
+    const auto& edge = res.edge(e);
+    if (edge.cap <= 0) continue;
+    if (level[static_cast<std::size_t>(edge.head)] !=
+        level[static_cast<std::size_t>(u)] + 1) {
+      continue;
+    }
+    const Flow pushed =
+        augment(res, level, next, edge.head, t, std::min(limit, edge.cap));
+    if (pushed > 0) {
+      res.push(e, pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Flow dinic_max_flow(Residual& res, NodeId s, NodeId t) {
+  assert(s != t);
+  std::vector<int> level(static_cast<std::size_t>(res.num_nodes()));
+  std::vector<std::size_t> next(static_cast<std::size_t>(res.num_nodes()));
+  Flow total = 0;
+  while (build_levels(res, s, t, level)) {
+    std::fill(next.begin(), next.end(), 0);
+    for (;;) {
+      const Flow pushed = augment(res, level, next, s, t, kInfFlow);
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::vector<bool> min_cut_side(const Residual& res, NodeId s) {
+  std::vector<bool> side(static_cast<std::size_t>(res.num_nodes()), false);
+  std::queue<NodeId> queue;
+  side[static_cast<std::size_t>(s)] = true;
+  queue.push(s);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (int e : res.out(u)) {
+      const auto& edge = res.edge(e);
+      if (edge.cap <= 0 || side[static_cast<std::size_t>(edge.head)]) {
+        continue;
+      }
+      side[static_cast<std::size_t>(edge.head)] = true;
+      queue.push(edge.head);
+    }
+  }
+  return side;
+}
+
+}  // namespace lera::netflow

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "netflow/residual.hpp"
+#include "netflow/types.hpp"
+
+/// \file maxflow.hpp
+/// Dinic's maximum-flow algorithm, operating directly on a Residual
+/// network so it can (a) find a feasible b-flow for the cycle-canceling
+/// solver and (b) answer standalone feasibility questions such as
+/// "can R registers cover all forced segments?".
+
+namespace lera::netflow {
+
+/// Augments \p res until no s->t path remains; returns the amount pushed.
+/// The residual is modified in place (the flow stays in it).
+Flow dinic_max_flow(Residual& res, NodeId s, NodeId t);
+
+/// After a max flow saturates the network, the nodes still reachable
+/// from \p s in the residual form the s-side of a minimum cut
+/// (max-flow/min-cut theorem). Returns one flag per node.
+std::vector<bool> min_cut_side(const Residual& res, NodeId s);
+
+}  // namespace lera::netflow

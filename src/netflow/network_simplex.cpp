@@ -1,0 +1,332 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "netflow/internal_solvers.hpp"
+
+/// Primal network simplex (Ahuja/Magnanti/Orlin ch. 11 formulation).
+///
+/// An artificial root is connected to every node by a big-M arc carrying
+/// the node's initial imbalance, giving a strongly feasible starting
+/// basis. Entering arcs are found by cyclic block search on reduced
+/// costs; the leaving arc is the *last* blocking arc met when traversing
+/// the pivot cycle along its orientation starting at the apex, which
+/// preserves strong feasibility and rules out cycling. Potentials and
+/// depths are recomputed from the parent array after every tree change;
+/// this is O(n) per pivot and perfectly adequate at allocation-problem
+/// scale while keeping the code auditable.
+
+namespace lera::netflow::internal {
+
+namespace {
+
+enum class ArcState : char { kTree, kLower, kUpper };
+
+struct SimplexArc {
+  NodeId tail;
+  NodeId head;
+  Flow cap;
+  Cost cost;
+};
+
+class NetworkSimplex {
+ public:
+  explicit NetworkSimplex(const Graph& g) : orig_arcs_(g.num_arcs()) {
+    const NodeId n = g.num_nodes();
+    root_ = n;
+    num_nodes_ = n + 1;
+
+    Cost max_abs_cost = 1;
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      const Arc& arc = g.arc(a);
+      arcs_.push_back(SimplexArc{arc.tail, arc.head, arc.upper, arc.cost});
+      max_abs_cost = std::max(max_abs_cost, std::abs(arc.cost));
+    }
+    const Cost big_m = max_abs_cost * static_cast<Cost>(num_nodes_ + 1) + 1;
+
+    flow_.assign(arcs_.size(), 0);
+    state_.assign(arcs_.size(), ArcState::kLower);
+
+    parent_.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
+    pred_arc_.assign(static_cast<std::size_t>(num_nodes_), kInvalidArc);
+    depth_.assign(static_cast<std::size_t>(num_nodes_), 0);
+    pi_.assign(static_cast<std::size_t>(num_nodes_), 0);
+
+    // Artificial big-M arcs form the initial spanning-tree basis.
+    for (NodeId v = 0; v < n; ++v) {
+      const Flow b = g.supply(v);
+      const ArcId a = static_cast<ArcId>(arcs_.size());
+      if (b >= 0) {
+        arcs_.push_back(SimplexArc{v, root_, kInfFlow, big_m});
+        flow_.push_back(b);
+      } else {
+        arcs_.push_back(SimplexArc{root_, v, kInfFlow, big_m});
+        flow_.push_back(-b);
+      }
+      state_.push_back(ArcState::kTree);
+      parent_[static_cast<std::size_t>(v)] = root_;
+      pred_arc_[static_cast<std::size_t>(v)] = a;
+      depth_[static_cast<std::size_t>(v)] = 1;
+    }
+    refresh_potentials();
+  }
+
+  FlowSolution run(const Graph& g) {
+    const std::size_t block =
+        std::max<std::size_t>(8, static_cast<std::size_t>(
+                                     std::sqrt(static_cast<double>(
+                                         arcs_.size()))));
+    std::size_t scan_start = 0;
+    for (;;) {
+      const ArcId entering = select_entering(block, &scan_start);
+      if (entering == kInvalidArc) break;
+      pivot(entering);
+    }
+
+    // Positive flow left on an artificial arc means no feasible b-flow.
+    for (std::size_t a = static_cast<std::size_t>(orig_arcs_);
+         a < arcs_.size(); ++a) {
+      if (flow_[a] > 0) return {};
+    }
+
+    FlowSolution sol;
+    sol.status = SolveStatus::kOptimal;
+    sol.arc_flow.assign(flow_.begin(),
+                        flow_.begin() + static_cast<std::ptrdiff_t>(orig_arcs_));
+    for (ArcId a = 0; a < orig_arcs_; ++a) {
+      sol.cost += g.arc(a).cost * sol.arc_flow[static_cast<std::size_t>(a)];
+    }
+    return sol;
+  }
+
+ private:
+  Cost reduced_cost(ArcId a) const {
+    const SimplexArc& arc = arcs_[static_cast<std::size_t>(a)];
+    return arc.cost + pi_[static_cast<std::size_t>(arc.tail)] -
+           pi_[static_cast<std::size_t>(arc.head)];
+  }
+
+  /// Cyclic block search: returns the most violating arc of the first
+  /// block that contains any violation, or kInvalidArc at optimality.
+  ArcId select_entering(std::size_t block, std::size_t* scan_start) {
+    std::size_t scanned = 0;
+    std::size_t i = *scan_start;
+    ArcId best = kInvalidArc;
+    Cost best_violation = 0;
+    while (scanned < arcs_.size()) {
+      for (std::size_t in_block = 0;
+           in_block < block && scanned < arcs_.size();
+           ++in_block, ++scanned, i = (i + 1) % arcs_.size()) {
+        const ArcId a = static_cast<ArcId>(i);
+        Cost violation = 0;
+        if (state_[i] == ArcState::kLower) {
+          violation = -reduced_cost(a);
+        } else if (state_[i] == ArcState::kUpper) {
+          violation = reduced_cost(a);
+        }
+        if (violation > best_violation) {
+          best_violation = violation;
+          best = a;
+        }
+      }
+      if (best != kInvalidArc) {
+        *scan_start = i;
+        return best;
+      }
+    }
+    return kInvalidArc;
+  }
+
+  void pivot(ArcId entering) {
+    const SimplexArc& earc = arcs_[static_cast<std::size_t>(entering)];
+    const bool increasing = state_[static_cast<std::size_t>(entering)] ==
+                            ArcState::kLower;
+    // Push direction p -> q through the entering arc.
+    const NodeId p = increasing ? earc.tail : earc.head;
+    const NodeId q = increasing ? earc.head : earc.tail;
+
+    const NodeId join = find_join(p, q);
+
+    // Cycle traversal along the orientation starting at the apex:
+    //   join --(tree, downward)--> p --(entering)--> q --(tree, up)--> join.
+    // Collect (arc, forward?) in that order; forward means the push goes
+    // with the arc's own direction.
+    struct CycleStep {
+      ArcId arc;
+      bool with_arc_direction;
+      NodeId below;  ///< Subtree-side endpoint (kInvalidNode for entering).
+    };
+    std::vector<CycleStep> steps;
+
+    // p-side: path p..join collected bottom-up, then reversed so the
+    // traversal runs join -> p. Walking down from join towards p, the
+    // push direction at tree arc (w, parent(w)) is parent(w) -> w.
+    std::vector<CycleStep> p_side;
+    for (NodeId w = p; w != join; w = parent_[static_cast<std::size_t>(w)]) {
+      const ArcId t = pred_arc_[static_cast<std::size_t>(w)];
+      const bool with_dir =
+          arcs_[static_cast<std::size_t>(t)].tail ==
+          parent_[static_cast<std::size_t>(w)];
+      p_side.push_back(CycleStep{t, with_dir, w});
+    }
+    std::reverse(p_side.begin(), p_side.end());
+    steps.insert(steps.end(), p_side.begin(), p_side.end());
+
+    steps.push_back(CycleStep{entering, increasing, kInvalidNode});
+
+    // q-side: walking up from q to join; push direction w -> parent(w).
+    for (NodeId w = q; w != join; w = parent_[static_cast<std::size_t>(w)]) {
+      const ArcId t = pred_arc_[static_cast<std::size_t>(w)];
+      const bool with_dir =
+          arcs_[static_cast<std::size_t>(t)].tail == w;
+      steps.push_back(CycleStep{t, with_dir, w});
+    }
+
+    // Bottleneck and leaving arc: the LAST blocking arc along the
+    // traversal preserves strong feasibility (AMO §11.13).
+    Flow delta = kInfFlow;
+    std::size_t leave_index = steps.size();
+    for (std::size_t idx = 0; idx < steps.size(); ++idx) {
+      const CycleStep& s = steps[idx];
+      const SimplexArc& arc = arcs_[static_cast<std::size_t>(s.arc)];
+      const Flow slack = s.with_arc_direction
+                             ? arc.cap - flow_[static_cast<std::size_t>(s.arc)]
+                             : flow_[static_cast<std::size_t>(s.arc)];
+      if (slack < delta) {
+        delta = slack;
+        leave_index = idx;
+      } else if (slack == delta) {
+        leave_index = idx;
+      }
+    }
+    assert(leave_index < steps.size());
+    assert(delta < kInfFlow && "unbounded pivot; use finite capacities");
+
+    if (delta > 0) {
+      for (const CycleStep& s : steps) {
+        flow_[static_cast<std::size_t>(s.arc)] +=
+            s.with_arc_direction ? delta : -delta;
+      }
+    }
+
+    const CycleStep leaving = steps[leave_index];
+    if (leaving.arc == entering) {
+      // Degenerate-in-structure pivot: the entering arc saturates without
+      // changing the basis; it flips to the other bound.
+      state_[static_cast<std::size_t>(entering)] =
+          increasing ? ArcState::kUpper : ArcState::kLower;
+      return;
+    }
+
+    // The leaving tree arc drops to whichever bound it hit.
+    state_[static_cast<std::size_t>(leaving.arc)] =
+        flow_[static_cast<std::size_t>(leaving.arc)] == 0 ? ArcState::kLower
+                                                          : ArcState::kUpper;
+    state_[static_cast<std::size_t>(entering)] = ArcState::kTree;
+
+    // Removing the leaving arc detaches the subtree rooted at
+    // leaving.below; exactly one endpoint of the entering arc lies in it.
+    const NodeId detached_root = leaving.below;
+    const NodeId in_subtree = in_detached_subtree(earc.tail, detached_root)
+                                  ? earc.tail
+                                  : earc.head;
+    assert(in_detached_subtree(in_subtree, detached_root));
+    const NodeId outside =
+        in_subtree == earc.tail ? earc.head : earc.tail;
+
+    // Re-root the detached subtree at in_subtree by reversing the parent
+    // chain in_subtree -> ... -> detached_root, then hang it on outside.
+    NodeId child = in_subtree;
+    NodeId child_parent = parent_[static_cast<std::size_t>(child)];
+    ArcId child_arc = pred_arc_[static_cast<std::size_t>(child)];
+    parent_[static_cast<std::size_t>(in_subtree)] = outside;
+    pred_arc_[static_cast<std::size_t>(in_subtree)] = entering;
+    while (child != detached_root) {
+      const NodeId next_parent =
+          parent_[static_cast<std::size_t>(child_parent)];
+      const ArcId next_arc = pred_arc_[static_cast<std::size_t>(child_parent)];
+      parent_[static_cast<std::size_t>(child_parent)] = child;
+      pred_arc_[static_cast<std::size_t>(child_parent)] = child_arc;
+      child = child_parent;
+      child_parent = next_parent;
+      child_arc = next_arc;
+    }
+
+    refresh_potentials();
+  }
+
+  /// Lowest common ancestor of u and v in the current tree.
+  NodeId find_join(NodeId u, NodeId v) const {
+    while (u != v) {
+      if (depth_[static_cast<std::size_t>(u)] >=
+          depth_[static_cast<std::size_t>(v)]) {
+        u = parent_[static_cast<std::size_t>(u)];
+      } else {
+        v = parent_[static_cast<std::size_t>(v)];
+      }
+    }
+    return u;
+  }
+
+  /// True if \p v lies in the subtree rooted at \p subtree_root (walk up;
+  /// note depths are still those from before the tree update).
+  bool in_detached_subtree(NodeId v, NodeId subtree_root) const {
+    while (v != kInvalidNode &&
+           depth_[static_cast<std::size_t>(v)] >=
+               depth_[static_cast<std::size_t>(subtree_root)]) {
+      if (v == subtree_root) return true;
+      v = parent_[static_cast<std::size_t>(v)];
+    }
+    return false;
+  }
+
+  /// Rebuilds depth_ and pi_ from parent_/pred_arc_ by DFS from the root.
+  void refresh_potentials() {
+    std::vector<std::vector<NodeId>> children(
+        static_cast<std::size_t>(num_nodes_));
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      if (v == root_) continue;
+      children[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])]
+          .push_back(v);
+    }
+    depth_[static_cast<std::size_t>(root_)] = 0;
+    pi_[static_cast<std::size_t>(root_)] = 0;
+    std::vector<NodeId> stack{root_};
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId c : children[static_cast<std::size_t>(u)]) {
+        depth_[static_cast<std::size_t>(c)] =
+            depth_[static_cast<std::size_t>(u)] + 1;
+        const SimplexArc& arc =
+            arcs_[static_cast<std::size_t>(pred_arc_[static_cast<std::size_t>(c)])];
+        // Tree arcs have zero reduced cost: cost + pi[tail] - pi[head] = 0.
+        pi_[static_cast<std::size_t>(c)] =
+            arc.tail == u ? pi_[static_cast<std::size_t>(u)] + arc.cost
+                          : pi_[static_cast<std::size_t>(u)] - arc.cost;
+        stack.push_back(c);
+      }
+    }
+  }
+
+  ArcId orig_arcs_;
+  NodeId root_ = kInvalidNode;
+  NodeId num_nodes_ = 0;
+  std::vector<SimplexArc> arcs_;
+  std::vector<Flow> flow_;
+  std::vector<ArcState> state_;
+  std::vector<NodeId> parent_;
+  std::vector<ArcId> pred_arc_;
+  std::vector<NodeId> depth_;
+  std::vector<Cost> pi_;
+};
+
+}  // namespace
+
+FlowSolution solve_network_simplex(const Graph& g) {
+  if (g.total_supply() != 0) return {};
+  NetworkSimplex simplex(g);
+  return simplex.run(g);
+}
+
+}  // namespace lera::netflow::internal

@@ -1,0 +1,37 @@
+#include "netflow/residual.hpp"
+
+namespace lera::netflow {
+
+Residual::Residual(const Graph& g) : num_nodes_(g.num_nodes()) {
+  assert(!g.has_lower_bounds() &&
+         "remove lower bounds before building a residual network");
+  edges_.reserve(static_cast<std::size_t>(g.num_arcs()) * 2);
+  out_.assign(static_cast<std::size_t>(num_nodes_), {});
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const Arc& arc = g.arc(a);
+    edges_.push_back(Edge{arc.head, arc.upper, arc.cost});
+    edges_.push_back(Edge{arc.tail, 0, -arc.cost});
+    out_[static_cast<std::size_t>(arc.tail)].push_back(2 * a);
+    out_[static_cast<std::size_t>(arc.head)].push_back(2 * a + 1);
+  }
+}
+
+void Residual::push(int e, Flow amount) {
+  assert(e >= 0 && e < num_edges());
+  assert(amount >= 0);
+  Edge& fwd = edges_[static_cast<std::size_t>(e)];
+  Edge& bwd = edges_[static_cast<std::size_t>(twin(e))];
+  assert(amount <= fwd.cap);
+  fwd.cap -= amount;
+  bwd.cap += amount;
+}
+
+std::vector<Flow> Residual::arc_flows() const {
+  std::vector<Flow> flows(edges_.size() / 2);
+  for (std::size_t a = 0; a < flows.size(); ++a) {
+    flows[a] = edges_[2 * a + 1].cap;
+  }
+  return flows;
+}
+
+}  // namespace lera::netflow

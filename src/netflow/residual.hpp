@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "netflow/graph.hpp"
+#include "netflow/types.hpp"
+
+/// \file residual.hpp
+/// Residual-network representation shared by the augmenting solvers.
+///
+/// Every original arc a becomes a forward edge 2a and a backward twin
+/// 2a+1. Pushing flow on one edge frees capacity on its twin. Lower
+/// bounds must already have been removed (see lower_bounds.hpp); the
+/// constructor asserts this.
+
+namespace lera::netflow {
+
+class Residual {
+ public:
+  /// One directed residual edge.
+  struct Edge {
+    NodeId head = kInvalidNode;  ///< Edge points at this node.
+    Flow cap = 0;                ///< Remaining residual capacity.
+    Cost cost = 0;               ///< Cost per unit (negated on twins).
+  };
+
+  explicit Residual(const Graph& g);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(int e) const {
+    assert(e >= 0 && e < num_edges());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  /// Edge ids leaving \p v (both forward edges and backward twins).
+  const std::vector<int>& out(NodeId v) const {
+    assert(v >= 0 && v < num_nodes_);
+    return out_[static_cast<std::size_t>(v)];
+  }
+
+  /// Tail of edge \p e (the head of its twin).
+  NodeId tail(int e) const { return edges_[static_cast<std::size_t>(twin(e))].head; }
+
+  /// The paired reverse edge.
+  static int twin(int e) { return e ^ 1; }
+
+  /// True for edges that correspond to an original arc direction.
+  static bool is_forward(int e) { return (e & 1) == 0; }
+
+  /// Original arc id of edge \p e.
+  static ArcId arc_of(int e) { return static_cast<ArcId>(e >> 1); }
+
+  /// Moves \p amount units along edge \p e (reduces its capacity, grows
+  /// the twin's). Requires 0 <= amount <= cap(e).
+  void push(int e, Flow amount);
+
+  /// Flow currently assigned to original arc \p a.
+  Flow flow_of(ArcId a) const {
+    return edges_[static_cast<std::size_t>(2 * a + 1)].cap;
+  }
+
+  /// Extracts per-arc flows for a FlowSolution.
+  std::vector<Flow> arc_flows() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_;
+};
+
+}  // namespace lera::netflow

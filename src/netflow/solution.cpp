@@ -1,0 +1,70 @@
+#include "netflow/solution.hpp"
+
+#include "netflow/graph.hpp"
+#include "netflow/internal_solvers.hpp"
+#include "netflow/lower_bounds.hpp"
+
+namespace lera::netflow {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+  }
+  return "unknown";
+}
+
+std::string to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kSuccessiveShortestPaths:
+      return "successive-shortest-paths";
+    case SolverKind::kCycleCanceling:
+      return "cycle-canceling";
+    case SolverKind::kNetworkSimplex:
+      return "network-simplex";
+    case SolverKind::kCostScaling:
+      return "cost-scaling";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FlowSolution dispatch(const Graph& g, SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kSuccessiveShortestPaths:
+      return internal::solve_ssp(g);
+    case SolverKind::kCycleCanceling:
+      return internal::solve_cycle_canceling(g);
+    case SolverKind::kNetworkSimplex:
+      return internal::solve_network_simplex(g);
+    case SolverKind::kCostScaling:
+      return internal::solve_cost_scaling(g);
+  }
+  return {};
+}
+
+}  // namespace
+
+FlowSolution solve(const Graph& g, SolverKind kind) {
+  if (!g.has_lower_bounds()) return dispatch(g, kind);
+
+  const LowerBoundReduction red = remove_lower_bounds(g);
+  FlowSolution sol = dispatch(red.reduced, kind);
+  if (!sol.optimal()) return sol;
+  sol.arc_flow = restore_lower_bounds(red, sol.arc_flow);
+  sol.cost += red.fixed_cost;
+  return sol;
+}
+
+FlowSolution solve_st_flow(const Graph& g, NodeId s, NodeId t, Flow value,
+                           SolverKind kind) {
+  Graph copy = g;
+  copy.add_supply(s, value);
+  copy.add_supply(t, -value);
+  return solve(copy, kind);
+}
+
+}  // namespace lera::netflow

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netflow/types.hpp"
+
+/// \file solution.hpp
+/// Result types shared by all minimum-cost flow solvers.
+
+namespace lera::netflow {
+
+class Graph;
+
+/// Outcome of a solve attempt.
+enum class SolveStatus {
+  kOptimal,     ///< An optimal feasible flow was found.
+  kInfeasible,  ///< No flow satisfies the supplies / lower bounds.
+};
+
+/// Human-readable name of a status, for logs and test messages.
+std::string to_string(SolveStatus status);
+
+/// A (candidate) solution to a b-flow instance.
+struct FlowSolution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  /// Flow on every arc, indexed by ArcId of the input Graph. Empty when
+  /// the instance is infeasible.
+  std::vector<Flow> arc_flow;
+  /// Total cost sum_a cost(a)*flow(a) of the returned flow.
+  Cost cost = 0;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Available algorithms. All produce identical (optimal) objective values;
+/// they differ only in running time characteristics.
+enum class SolverKind {
+  kSuccessiveShortestPaths,  ///< Dijkstra-with-potentials augmentation.
+  kCycleCanceling,           ///< Feasible flow + Bellman-Ford cycle cancel.
+  kNetworkSimplex,           ///< Primal network simplex.
+  kCostScaling,              ///< Goldberg-Tarjan epsilon-scaling.
+};
+
+std::string to_string(SolverKind kind);
+
+/// Solves the b-flow instance described by \p g (supplies, lower bounds,
+/// capacities, costs) to optimality.
+///
+/// Preconditions: g.total_supply() == 0 for feasibility; arcs may carry
+/// negative costs and nonzero lower bounds.
+FlowSolution solve(const Graph& g,
+                   SolverKind kind = SolverKind::kSuccessiveShortestPaths);
+
+/// Convenience wrapper for the classic fixed-value s-t flow problem used
+/// by the paper (flow value F = number of registers R): sets
+/// supply(s)=+F, supply(t)=-F on a copy of \p g and solves it.
+FlowSolution solve_st_flow(const Graph& g, NodeId s, NodeId t, Flow value,
+                           SolverKind kind = SolverKind::kSuccessiveShortestPaths);
+
+}  // namespace lera::netflow

@@ -1,0 +1,214 @@
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "netflow/internal_solvers.hpp"
+#include "netflow/residual.hpp"
+
+/// Successive-shortest-path minimum-cost flow.
+///
+/// Negative costs are handled in one of two ways. If the arc set has no
+/// negative-cost directed cycle (always true for the DAG-shaped
+/// allocation graphs), Bellman-Ford potentials make all reduced costs
+/// non-negative up front, so only |b|/2-ish augmentations are needed.
+/// Otherwise every negative arc is saturated first (turning its reverse
+/// edge into a positive-cost one) at the price of one augmentation per
+/// saturated unit. Each augmentation is a multi-source Dijkstra from the
+/// excess nodes to the nearest deficit node, followed by the standard
+/// potential update. With integral data every augmentation moves at
+/// least one unit, guaranteeing termination and an integral optimum.
+
+namespace lera::netflow::internal {
+
+namespace {
+
+struct QueueItem {
+  Cost dist;
+  NodeId node;
+  bool operator>(const QueueItem& other) const { return dist > other.dist; }
+};
+
+/// Computes valid starting potentials (shortest distances from a virtual
+/// source at distance 0 everywhere) so that all reduced costs start
+/// non-negative. On a DAG this is a single topological-order pass; on a
+/// cyclic graph it falls back to Bellman-Ford. Returns false if a
+/// negative-cost cycle exists (no valid potentials).
+bool initial_potentials(const Graph& g, std::vector<Cost>& pi) {
+  const NodeId n = g.num_nodes();
+  pi.assign(static_cast<std::size_t>(n), 0);
+
+  // Kahn topological sort over arcs with positive capacity.
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (g.arc(a).upper > 0) {
+      ++indegree[static_cast<std::size_t>(g.arc(a).head)];
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    if (indegree[static_cast<std::size_t>(v)] == 0) order.push_back(v);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (ArcId a : g.out_arcs(order[i])) {
+      if (g.arc(a).upper <= 0) continue;
+      if (--indegree[static_cast<std::size_t>(g.arc(a).head)] == 0) {
+        order.push_back(g.arc(a).head);
+      }
+    }
+  }
+
+  if (order.size() == static_cast<std::size_t>(n)) {
+    // DAG: one relaxation pass in topological order is exact.
+    for (NodeId v : order) {
+      for (ArcId a : g.out_arcs(v)) {
+        const Arc& arc = g.arc(a);
+        if (arc.upper <= 0) continue;
+        pi[static_cast<std::size_t>(arc.head)] =
+            std::min(pi[static_cast<std::size_t>(arc.head)],
+                     pi[static_cast<std::size_t>(v)] + arc.cost);
+      }
+    }
+    return true;
+  }
+
+  // Cyclic graph: Bellman-Ford with negative-cycle detection.
+  for (NodeId round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      const Arc& arc = g.arc(a);
+      if (arc.upper <= 0) continue;
+      if (pi[static_cast<std::size_t>(arc.tail)] + arc.cost <
+          pi[static_cast<std::size_t>(arc.head)]) {
+        if (round == n) return false;
+        pi[static_cast<std::size_t>(arc.head)] =
+            pi[static_cast<std::size_t>(arc.tail)] + arc.cost;
+        changed = true;
+      }
+    }
+    if (!changed) return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+FlowSolution solve_ssp(const Graph& g) {
+  if (g.total_supply() != 0) return {};
+
+  Residual res(g);
+  const NodeId n = g.num_nodes();
+  std::vector<Flow> excess(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    excess[static_cast<std::size_t>(v)] = g.supply(v);
+  }
+
+  std::vector<Cost> pi(static_cast<std::size_t>(n), 0);
+  if (g.has_negative_costs() && !initial_potentials(g, pi)) {
+    // Negative cycle: saturate negative arcs instead; the resulting
+    // imbalance joins the excesses and the reverse edges (now the only
+    // residual direction of those arcs) have positive cost.
+    std::fill(pi.begin(), pi.end(), 0);
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      const Arc& arc = g.arc(a);
+      if (arc.cost < 0 && arc.upper > 0) {
+        res.push(2 * a, arc.upper);
+        excess[static_cast<std::size_t>(arc.tail)] -= arc.upper;
+        excess[static_cast<std::size_t>(arc.head)] += arc.upper;
+      }
+    }
+  }
+  std::vector<Cost> dist(static_cast<std::size_t>(n));
+  std::vector<int> parent_edge(static_cast<std::size_t>(n));
+  std::vector<char> settled(static_cast<std::size_t>(n));
+
+  for (;;) {
+    // Collect remaining excess nodes.
+    bool any_excess = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (excess[static_cast<std::size_t>(v)] > 0) {
+        any_excess = true;
+        break;
+      }
+    }
+    if (!any_excess) break;
+
+    // Multi-source Dijkstra over reduced costs.
+    std::fill(dist.begin(), dist.end(), kInfCost);
+    std::fill(parent_edge.begin(), parent_edge.end(), -1);
+    std::fill(settled.begin(), settled.end(), 0);
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+    for (NodeId v = 0; v < n; ++v) {
+      if (excess[static_cast<std::size_t>(v)] > 0) {
+        dist[static_cast<std::size_t>(v)] = 0;
+        pq.push({0, v});
+      }
+    }
+
+    NodeId sink = kInvalidNode;
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (settled[static_cast<std::size_t>(u)]) continue;
+      settled[static_cast<std::size_t>(u)] = 1;
+      if (excess[static_cast<std::size_t>(u)] < 0) {
+        sink = u;
+        break;
+      }
+      for (int e : res.out(u)) {
+        const auto& edge = res.edge(e);
+        if (edge.cap <= 0) continue;
+        const Cost rc = edge.cost + pi[static_cast<std::size_t>(u)] -
+                        pi[static_cast<std::size_t>(edge.head)];
+        assert(rc >= 0 && "reduced-cost invariant violated");
+        const Cost nd = d + rc;
+        if (nd < dist[static_cast<std::size_t>(edge.head)]) {
+          dist[static_cast<std::size_t>(edge.head)] = nd;
+          parent_edge[static_cast<std::size_t>(edge.head)] = e;
+          pq.push({nd, edge.head});
+        }
+      }
+    }
+
+    if (sink == kInvalidNode) return {};  // Excess cannot reach a deficit.
+
+    // Potential update keeps all residual reduced costs non-negative.
+    const Cost dt = dist[static_cast<std::size_t>(sink)];
+    for (NodeId v = 0; v < n; ++v) {
+      pi[static_cast<std::size_t>(v)] +=
+          std::min(dist[static_cast<std::size_t>(v)], dt);
+    }
+
+    // Trace the augmenting path and find the bottleneck.
+    Flow delta = -excess[static_cast<std::size_t>(sink)];
+    NodeId v = sink;
+    while (parent_edge[static_cast<std::size_t>(v)] >= 0) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      delta = std::min(delta, res.edge(e).cap);
+      v = res.tail(e);
+    }
+    delta = std::min(delta, excess[static_cast<std::size_t>(v)]);
+    assert(delta > 0);
+
+    excess[static_cast<std::size_t>(v)] -= delta;
+    excess[static_cast<std::size_t>(sink)] += delta;
+    v = sink;
+    while (parent_edge[static_cast<std::size_t>(v)] >= 0) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      res.push(e, delta);
+      v = res.tail(e);
+    }
+  }
+
+  // All excesses are zero; with total supply zero all deficits are too.
+  FlowSolution sol;
+  sol.status = SolveStatus::kOptimal;
+  sol.arc_flow = res.arc_flows();
+  sol.cost = 0;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    sol.cost += g.arc(a).cost * sol.arc_flow[static_cast<std::size_t>(a)];
+  }
+  return sol;
+}
+
+}  // namespace lera::netflow::internal

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental scalar types for the minimum-cost network-flow library.
+///
+/// Costs and capacities are 64-bit signed integers. The optimal-flow
+/// integrality theorem (Nemhauser & Wolsey [17] in the paper) only holds
+/// for integral data, so callers quantise real-valued energies with
+/// lera::energy::quantize() before building a flow problem.
+
+namespace lera::netflow {
+
+/// Index of a node in a Graph. Dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Index of an arc in a Graph. Dense, 0-based, in insertion order.
+using ArcId = std::int32_t;
+
+/// Arc cost per unit of flow (quantised energy).
+using Cost = std::int64_t;
+
+/// Arc capacity / flow amount.
+using Flow = std::int64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Sentinel for "no arc".
+inline constexpr ArcId kInvalidArc = -1;
+
+/// A cost value safely summable a few times without overflow.
+inline constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+/// A capacity that behaves as "unbounded" for all practical instances.
+inline constexpr Flow kInfFlow = std::numeric_limits<Flow>::max() / 4;
+
+}  // namespace lera::netflow

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netflow/graph.hpp"
+
+/// \file validate.hpp
+/// Independent checks on candidate flows. Used by tests and by the
+/// allocator's debug paths to certify that a solver's answer is (a) a
+/// feasible b-flow and (b) optimal, without trusting the solver itself.
+
+namespace lera::netflow {
+
+/// Result of a validity check; `ok` plus a diagnostic on failure.
+struct CheckResult {
+  bool ok = true;
+  std::string message;
+};
+
+/// Verifies bounds and per-node conservation of \p flow against \p g.
+CheckResult check_feasible(const Graph& g, const std::vector<Flow>& flow);
+
+/// Total cost of a flow vector under \p g's arc costs.
+Cost flow_cost(const Graph& g, const std::vector<Flow>& flow);
+
+/// Certifies optimality of a *feasible* flow by proving the residual
+/// network contains no negative-cost directed cycle (Bellman-Ford).
+/// This is the textbook optimality condition for min-cost b-flows.
+bool certify_optimal(const Graph& g, const std::vector<Flow>& flow);
+
+}  // namespace lera::netflow

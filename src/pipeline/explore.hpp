@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+
+/// \file explore.hpp
+/// Schedule/allocation co-exploration. The methodology (§5) schedules
+/// first and allocates second, but the schedule decides the lifetime
+/// density the allocator must cover — so the natural design loop tries
+/// several schedules and keeps the one whose *allocation* is cheapest.
+/// Candidates: resource-constrained list schedules over a small
+/// resource sweep plus force-directed schedules at increasing latency
+/// slack.
+
+namespace lera::pipeline {
+
+struct ScheduleCandidate {
+  std::string label;
+  sched::Schedule schedule;
+  int length = 0;
+  int max_density = 0;
+  double energy = 0;       ///< Storage energy of the optimal allocation.
+  bool feasible = false;
+};
+
+struct ExploreOptions {
+  int num_registers = 4;
+  energy::EnergyParams params;
+  lifetime::SplitOptions split;
+  alloc::AllocatorOptions alloc;
+  /// Latest acceptable schedule length (0 = no deadline).
+  int deadline = 0;
+  /// Resource sweeps for the list scheduler.
+  std::vector<sched::Resources> resource_options{{1, 1}, {2, 1}, {2, 2}};
+  /// Extra latency slack levels for force-directed schedules.
+  std::vector<int> slack_options{0, 2, 4};
+};
+
+struct ExploreResult {
+  std::vector<ScheduleCandidate> candidates;  ///< All evaluated.
+  int best = -1;  ///< Index of the cheapest feasible candidate (or -1).
+};
+
+/// Evaluates every candidate schedule of \p bb and returns them with the
+/// cheapest-energy feasible one marked.
+ExploreResult explore_schedules(const ir::BasicBlock& bb,
+                                const ExploreOptions& options = {});
+
+struct RegisterFileSizing {
+  int registers = 0;      ///< Chosen register-file size.
+  double energy = 0;      ///< Storage energy at that size.
+  double asymptote = 0;   ///< Energy with registers = peak density.
+};
+
+/// Sizes the register file: the smallest R whose optimal allocation is
+/// within \p tolerance (fractional) of the all-registers asymptote.
+/// Registers are area; this finds the knee of the energy/R curve.
+RegisterFileSizing size_register_file(const alloc::AllocationProblem& base,
+                                      double tolerance = 0.05);
+
+}  // namespace lera::pipeline

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/memory_layout.hpp"
+#include "ir/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+/// \file pipeline.hpp
+/// The paper's complete methodology (§5) as one driver: "Each task is
+/// placed in an ordered list, and detailed scheduling of computations
+/// within each task is performed. Finally the minimum cost network flow
+/// approach is applied to each basic block in each task ... The
+/// lifetimes of data variables assigned to memory are then used to form
+/// another network flow graph [for] an activity based energy model."
+///
+/// run_pipeline schedules every task, measures switching activities by
+/// interpreting the block on random input traces, runs the simultaneous
+/// allocator per basic block, re-packs the memory image, and aggregates
+/// the storage-energy picture of the whole application.
+
+namespace lera::pipeline {
+
+struct PipelineOptions {
+  sched::Resources resources{2, 1};
+  int num_registers = 4;
+  energy::EnergyParams params;
+  lifetime::SplitOptions split;
+  alloc::AllocatorOptions alloc;
+  /// Input samples used to measure Hamming activities (0 = use the
+  /// default 0.5 activities instead of simulating).
+  int trace_samples = 32;
+  std::uint64_t trace_seed = 1;
+  /// Run the second-stage memory reallocation flow per task.
+  bool relayout_memory = true;
+};
+
+struct TaskReport {
+  ir::TaskId task = -1;
+  std::string name;
+  int schedule_length = 0;
+  int max_density = 0;
+  alloc::AllocationResult result;
+  alloc::MemoryLayout layout;
+};
+
+struct PipelineReport {
+  std::vector<TaskReport> tasks;
+  bool all_feasible = true;
+
+  double total_static_energy = 0;
+  double total_activity_energy = 0;
+  int total_mem_accesses = 0;
+  int total_reg_accesses = 0;
+  /// Largest per-task memory image: the memory must be sized for the
+  /// worst task (tasks execute in sequence, addresses are reused).
+  int peak_mem_locations = 0;
+  /// Largest port requirement over all tasks.
+  int peak_mem_read_ports = 0;
+  int peak_mem_write_ports = 0;
+};
+
+PipelineReport run_pipeline(const ir::TaskGraph& graph,
+                            const PipelineOptions& options = {});
+
+}  // namespace lera::pipeline

@@ -1,0 +1,76 @@
+#include "report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lera::report {
+
+namespace {
+
+char register_glyph(int reg) {
+  if (reg < 10) return static_cast<char>('0' + reg);
+  if (reg < 36) return static_cast<char>('a' + reg - 10);
+  return '+';
+}
+
+}  // namespace
+
+void draw_lifetimes(std::ostream& os, const alloc::AllocationProblem& p,
+                    const alloc::Assignment* a) {
+  const std::size_t n = p.lifetimes.size();
+  if (n == 0) {
+    os << "(no lifetimes)\n";
+    return;
+  }
+
+  // Column headers: one character per variable, with a legend when
+  // names do not fit in one character.
+  os << "boundary ";
+  bool legend_needed = false;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::string& name = p.lifetimes[v].name;
+    os << (name.size() == 1 ? name : std::string(1, '?')) << ' ';
+    legend_needed = legend_needed || name.size() != 1;
+  }
+  os << "  density\n";
+
+  for (int b = 0; b <= p.num_steps; ++b) {
+    os << (b < 10 ? "       " : "      ") << b << ' ';
+    for (std::size_t v = 0; v < n; ++v) {
+      char glyph = ' ';
+      for (std::size_t s = 0; s < p.segments.size(); ++s) {
+        const lifetime::Segment& seg = p.segments[s];
+        if (static_cast<std::size_t>(seg.var) != v) continue;
+        if (seg.start <= b && b < seg.end) {
+          if (a == nullptr) {
+            glyph = '|';
+          } else if (a->in_register(s)) {
+            glyph = register_glyph(a->location(s));
+          } else {
+            glyph = '*';
+          }
+          break;
+        }
+      }
+      os << glyph << ' ';
+    }
+    os << "  " << p.density[static_cast<std::size_t>(b)];
+    if (p.is_max_density[static_cast<std::size_t>(b)]) os << " <- peak";
+    os << "\n";
+  }
+
+  if (legend_needed) {
+    os << "legend:";
+    for (std::size_t v = 0; v < n; ++v) {
+      os << ' ' << v << '=' << p.lifetimes[v].name;
+    }
+    os << "\n";
+  }
+  if (a != nullptr) {
+    os << "(digits = register index, '*' = memory)\n";
+  }
+}
+
+}  // namespace lera::report

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "alloc/assignment.hpp"
+
+/// \file ascii_chart.hpp
+/// Terminal rendering of lifetime/allocation diagrams in the style of
+/// the paper's Figures 1, 3 and 4: one column per variable, one row per
+/// boundary between control steps. Register-resident spans print the
+/// register index (0-9, then a-z), memory-resident spans print '*'.
+
+namespace lera::report {
+
+/// Draws the lifetimes of \p p; if \p a is non-null the placement of
+/// every segment is shown (register digit vs '*'), otherwise plain
+/// lifetime bars ('|') are drawn.
+void draw_lifetimes(std::ostream& os, const alloc::AllocationProblem& p,
+                    const alloc::Assignment* a = nullptr);
+
+}  // namespace lera::report

@@ -1,0 +1,43 @@
+#include "report/dot.hpp"
+
+#include <ostream>
+
+namespace lera::report {
+
+void write_dot(std::ostream& os, const alloc::FlowGraphSpec& spec,
+               const netflow::FlowSolution* solution) {
+  const netflow::Graph& g = spec.graph;
+  os << "digraph flow {\n  rankdir=TB;\n  node [shape=circle];\n";
+  for (netflow::NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\"" << g.node_name(v) << "\"];\n";
+  }
+  for (netflow::ArcId a = 0; a < g.num_arcs(); ++a) {
+    const netflow::Arc& arc = g.arc(a);
+    const alloc::FlowGraphSpec::ArcInfo& info =
+        spec.arc_info[static_cast<std::size_t>(a)];
+    os << "  n" << arc.tail << " -> n" << arc.head << " [";
+    switch (info.kind) {
+      case alloc::ArcKind::kSegment:
+        os << (arc.lower > 0 ? "style=bold" : "style=solid");
+        break;
+      case alloc::ArcKind::kChain:
+        os << "style=dotted";
+        break;
+      default:
+        os << "style=dashed";
+        break;
+    }
+    os << ", label=\"" << arc.cost;
+    if (solution && solution->optimal() &&
+        solution->arc_flow[static_cast<std::size_t>(a)] > 0) {
+      os << " f=" << solution->arc_flow[static_cast<std::size_t>(a)];
+      os << "\", color=red";
+    } else {
+      os << "\"";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace lera::report

@@ -1,0 +1,89 @@
+#include "report/gantt.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lera::report {
+
+void draw_schedule(std::ostream& os, const ir::BasicBlock& bb,
+                   const sched::Schedule& sched) {
+  const int x = sched.length(bb);
+  struct Slot {
+    sched::FuClass cls;
+    std::vector<std::string> by_step;  // Label per step, "" if idle.
+  };
+  std::vector<Slot> slots;
+
+  auto place = [&](const ir::Operation& op) {
+    const sched::FuClass cls = sched::fu_class(op.opcode);
+    const int start = sched.start(op.id);
+    const int finish = sched.finish(bb, op.id);
+    const std::string label =
+        ir::to_string(op.opcode) + " " +
+        (op.result != ir::kNoValue ? bb.value(op.result).name : "");
+    for (Slot& slot : slots) {
+      if (slot.cls != cls) continue;
+      bool free = true;
+      for (int s = start; s <= finish && free; ++s) {
+        free = slot.by_step[static_cast<std::size_t>(s)].empty();
+      }
+      if (free) {
+        for (int s = start; s <= finish; ++s) {
+          slot.by_step[static_cast<std::size_t>(s)] = label;
+        }
+        return;
+      }
+    }
+    Slot fresh;
+    fresh.cls = cls;
+    fresh.by_step.assign(static_cast<std::size_t>(x) + 1, "");
+    for (int s = start; s <= finish; ++s) {
+      fresh.by_step[static_cast<std::size_t>(s)] = label;
+    }
+    slots.push_back(std::move(fresh));
+  };
+
+  for (const ir::Operation& op : bb.ops()) {
+    if (ir::is_source(op.opcode) || op.opcode == ir::Opcode::kOutput) {
+      continue;
+    }
+    place(op);
+  }
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const Slot& a, const Slot& b) {
+                     return a.cls < b.cls;
+                   });
+
+  std::size_t width = 8;
+  for (const Slot& slot : slots) {
+    for (const std::string& label : slot.by_step) {
+      width = std::max(width, label.size() + 1);
+    }
+  }
+
+  os << "step |";
+  int alu = 0;
+  int mul = 0;
+  for (const Slot& slot : slots) {
+    const std::string head =
+        slot.cls == sched::FuClass::kAlu
+            ? "alu" + std::to_string(alu++)
+            : "mul" + std::to_string(mul++);
+    os << ' ' << std::left << std::setw(static_cast<int>(width)) << head
+       << '|';
+  }
+  os << "\n";
+  for (int s = 1; s <= x; ++s) {
+    os << std::right << std::setw(4) << s << " |";
+    for (const Slot& slot : slots) {
+      os << ' ' << std::left << std::setw(static_cast<int>(width))
+         << slot.by_step[static_cast<std::size_t>(s)] << '|';
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace lera::report

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "ir/basic_block.hpp"
+#include "sched/schedule.hpp"
+
+/// \file gantt.hpp
+/// ASCII Gantt rendering of a schedule: one row per control step, one
+/// column per functional-unit instance, showing which operation each
+/// unit executes (multi-cycle operations span several rows).
+
+namespace lera::report {
+
+/// Draws \p sched for \p bb. Columns are assigned greedily per FU class
+/// in op order; the drawing is purely informational (the scheduler
+/// enforces the real resource limits).
+void draw_schedule(std::ostream& os, const ir::BasicBlock& bb,
+                   const sched::Schedule& sched);
+
+}  // namespace lera::report

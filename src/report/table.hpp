@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Small text-table builder used by the benchmark binaries to print the
+/// paper's tables/figures and by examples for human-readable output.
+
+namespace lera::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; cells beyond the header count are dropped, missing
+  /// cells are blank.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with \p precision digits.
+  static std::string num(double v, int precision = 2);
+  static std::string num(int v);
+
+  /// Renders as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (header row first).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lera::report

@@ -1,0 +1,187 @@
+#include "sched/force_directed.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace lera::sched {
+
+namespace {
+
+int op_latency(const ir::BasicBlock& bb, ir::OpId o) {
+  return LatencyModel{}(bb.op(o));
+}
+
+bool is_schedulable(const ir::Operation& op) {
+  return !ir::is_source(op.opcode) && op.opcode != ir::Opcode::kOutput;
+}
+
+/// Mobility window [early, late] of each op's start step, refined as
+/// operations get pinned.
+struct Windows {
+  std::vector<int> early;
+  std::vector<int> late;
+};
+
+/// Recomputes windows from dependencies given the currently pinned ops
+/// (pinned ops have early == late == their start).
+Windows compute_windows(const ir::BasicBlock& bb, int latency,
+                        const std::vector<int>& pinned) {
+  const std::size_t n = bb.num_ops();
+  Windows w;
+  w.early.assign(n, 1);
+  w.late.assign(n, latency);
+
+  // Forward pass (ops are stored topologically).
+  for (const ir::Operation& op : bb.ops()) {
+    if (!is_schedulable(op)) continue;
+    int early = 1;
+    for (ir::ValueId operand : op.operands) {
+      const ir::OpId def = bb.value(operand).def;
+      if (ir::is_source(bb.op(def).opcode)) continue;
+      early = std::max(
+          early, w.early[static_cast<std::size_t>(def)] + op_latency(bb, def));
+    }
+    if (pinned[static_cast<std::size_t>(op.id)] > 0) {
+      early = pinned[static_cast<std::size_t>(op.id)];
+    }
+    w.early[static_cast<std::size_t>(op.id)] = early;
+  }
+
+  // Backward pass.
+  for (auto it = bb.ops().rbegin(); it != bb.ops().rend(); ++it) {
+    const ir::Operation& op = *it;
+    if (!is_schedulable(op)) continue;
+    int late = latency - op_latency(bb, op.id) + 1;
+    for (ir::OpId use : bb.value(op.result).uses) {
+      if (bb.op(use).opcode == ir::Opcode::kOutput) continue;
+      late = std::min(late,
+                      w.late[static_cast<std::size_t>(use)] -
+                          op_latency(bb, op.id));
+    }
+    if (pinned[static_cast<std::size_t>(op.id)] > 0) {
+      late = pinned[static_cast<std::size_t>(op.id)];
+    }
+    w.late[static_cast<std::size_t>(op.id)] = late;
+  }
+  return w;
+}
+
+/// Distribution graphs: expected number of ops of each FU class active
+/// at every step, assuming each op starts uniformly in its window.
+std::vector<std::vector<double>> distribution(const ir::BasicBlock& bb,
+                                              int latency,
+                                              const Windows& w) {
+  std::vector<std::vector<double>> dg(
+      2, std::vector<double>(static_cast<std::size_t>(latency) + 2, 0.0));
+  for (const ir::Operation& op : bb.ops()) {
+    if (!is_schedulable(op)) continue;
+    const int e = w.early[static_cast<std::size_t>(op.id)];
+    const int l = w.late[static_cast<std::size_t>(op.id)];
+    if (l < e) continue;  // Over-constrained; caller detects infeasibility.
+    const double prob = 1.0 / (l - e + 1);
+    const int lat = op_latency(bb, op.id);
+    auto& row = dg[fu_class(op.opcode) == FuClass::kAlu ? 0 : 1];
+    for (int start = e; start <= l; ++start) {
+      for (int k = 0; k < lat; ++k) {
+        const int step = start + k;
+        if (step >= 1 && step <= latency + 1) {
+          row[static_cast<std::size_t>(step)] += prob;
+        }
+      }
+    }
+  }
+  return dg;
+}
+
+}  // namespace
+
+Schedule force_directed_schedule(const ir::BasicBlock& bb, int latency) {
+  const std::size_t n = bb.num_ops();
+  std::vector<int> pinned(n, 0);
+  Schedule sched(n);
+
+  std::size_t remaining = 0;
+  for (const ir::Operation& op : bb.ops()) {
+    if (is_schedulable(op)) ++remaining;
+  }
+
+  while (remaining > 0) {
+    const Windows w = compute_windows(bb, latency, pinned);
+    const auto dg = distribution(bb, latency, w);
+
+    // Pick the (op, step) assignment with the lowest self force.
+    ir::OpId best_op = -1;
+    int best_step = -1;
+    double best_force = 0;
+    for (const ir::Operation& op : bb.ops()) {
+      if (!is_schedulable(op) || pinned[static_cast<std::size_t>(op.id)]) {
+        continue;
+      }
+      const int e = w.early[static_cast<std::size_t>(op.id)];
+      const int l = w.late[static_cast<std::size_t>(op.id)];
+      assert(l >= e && "latency bound below the critical path");
+      const int lat = op_latency(bb, op.id);
+      const double prob = 1.0 / (l - e + 1);
+      const auto& row = dg[fu_class(op.opcode) == FuClass::kAlu ? 0 : 1];
+
+      // Mean DG value over the op's whole window (its current expected
+      // contribution background).
+      double mean = 0;
+      for (int start = e; start <= l; ++start) {
+        for (int k = 0; k < lat; ++k) {
+          mean += row[static_cast<std::size_t>(start + k)];
+        }
+      }
+      mean *= prob;
+
+      for (int start = e; start <= l; ++start) {
+        double here = 0;
+        for (int k = 0; k < lat; ++k) {
+          here += row[static_cast<std::size_t>(start + k)];
+        }
+        const double force = here - mean;
+        if (best_op < 0 || force < best_force - 1e-12) {
+          best_op = op.id;
+          best_step = start;
+          best_force = force;
+        }
+      }
+    }
+
+    assert(best_op >= 0);
+    pinned[static_cast<std::size_t>(best_op)] = best_step;
+    sched.set_start(best_op, best_step);
+    --remaining;
+  }
+
+  // Pseudo-op placement mirrors the list scheduler's conventions.
+  for (const ir::Operation& op : bb.ops()) {
+    if (ir::is_source(op.opcode)) sched.set_start(op.id, 0);
+  }
+  const int x = sched.length(bb);
+  for (const ir::Operation& op : bb.ops()) {
+    if (op.opcode == ir::Opcode::kOutput) sched.set_start(op.id, x + 1);
+  }
+  return sched;
+}
+
+FuUsage measure_fu_usage(const ir::BasicBlock& bb, const Schedule& sched) {
+  FuUsage usage;
+  const int x = sched.length(bb);
+  for (int step = 1; step <= x; ++step) {
+    int alus = 0;
+    int muls = 0;
+    for (const ir::Operation& op : bb.ops()) {
+      if (!is_schedulable(op)) continue;
+      if (sched.start(op.id) <= step && step <= sched.finish(bb, op.id)) {
+        (fu_class(op.opcode) == FuClass::kAlu ? alus : muls)++;
+      }
+    }
+    usage.peak_alus = std::max(usage.peak_alus, alus);
+    usage.peak_muls = std::max(usage.peak_muls, muls);
+  }
+  return usage;
+}
+
+}  // namespace lera::sched

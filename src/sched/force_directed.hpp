@@ -1,0 +1,30 @@
+#pragma once
+
+#include "sched/schedule.hpp"
+
+/// \file force_directed.hpp
+/// Force-directed scheduling (Paulin & Knight), the classic
+/// time-constrained HLS scheduler: operations are placed one at a time
+/// at the control step that minimises the "force" — the increase in the
+/// expected concurrency of their functional-unit class — balancing FU
+/// usage across the latency budget. The paper's methodology (§5)
+/// performs "detailed scheduling of computations within each task"
+/// before the allocation flow runs; this gives LERA a time-constrained
+/// option next to the resource-constrained list scheduler.
+
+namespace lera::sched {
+
+/// Schedules \p bb within \p latency control steps (must be >= the ASAP
+/// length; pass asap(bb).length(bb) for the tightest bound). Ties are
+/// broken deterministically.
+Schedule force_directed_schedule(const ir::BasicBlock& bb, int latency);
+
+/// Peak per-step usage of each FU class under a schedule (useful to
+/// compare schedulers: force-directed should balance, ASAP piles up).
+struct FuUsage {
+  int peak_alus = 0;
+  int peak_muls = 0;
+};
+FuUsage measure_fu_usage(const ir::BasicBlock& bb, const Schedule& sched);
+
+}  // namespace lera::sched

@@ -1,0 +1,182 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lera::sched {
+
+int Schedule::length(const ir::BasicBlock& bb) const {
+  int x = 0;
+  for (const ir::Operation& op : bb.ops()) {
+    if (ir::is_source(op.opcode) || op.opcode == ir::Opcode::kOutput) {
+      continue;
+    }
+    x = std::max(x, finish(bb, op.id));
+  }
+  return x;
+}
+
+std::string Schedule::verify(const ir::BasicBlock& bb) const {
+  std::ostringstream os;
+  const int x = length(bb);
+  for (const ir::Operation& op : bb.ops()) {
+    const int s = start(op.id);
+    if (ir::is_source(op.opcode)) {
+      if (s != 0) os << "source op " << op.id << " not at step 0; ";
+      continue;
+    }
+    if (op.opcode == ir::Opcode::kOutput) {
+      if (s != x + 1) os << "output op " << op.id << " not at step x+1; ";
+      continue;
+    }
+    if (s < 1) os << "op " << op.id << " starts before step 1; ";
+    for (ir::ValueId operand : op.operands) {
+      const ir::OpId def = bb.value(operand).def;
+      if (ir::is_source(bb.op(def).opcode)) continue;
+      // A value is available at the end of its defining op's last step;
+      // chaining within a step is not modelled, so a consumer must start
+      // strictly later.
+      if (s <= finish(bb, def)) {
+        os << "op " << op.id << " starts at " << s << " but operand "
+           << bb.value(operand).name << " finishes at " << finish(bb, def)
+           << "; ";
+      }
+    }
+  }
+  return os.str();
+}
+
+FuClass fu_class(ir::Opcode op) {
+  switch (op) {
+    case ir::Opcode::kMul:
+    case ir::Opcode::kMac:
+    case ir::Opcode::kDiv:
+      return FuClass::kMul;
+    default:
+      return FuClass::kAlu;
+  }
+}
+
+namespace {
+
+int op_latency(const ir::BasicBlock& bb, ir::OpId o) {
+  return LatencyModel{}(bb.op(o));
+}
+
+bool is_schedulable(const ir::Operation& op) {
+  return !ir::is_source(op.opcode) && op.opcode != ir::Opcode::kOutput;
+}
+
+/// Places source ops at 0 and output ops at length+1 after the real ops
+/// have been placed.
+void finalize_pseudo_ops(const ir::BasicBlock& bb, Schedule& sched) {
+  const int x = sched.length(bb);
+  for (const ir::Operation& op : bb.ops()) {
+    if (ir::is_source(op.opcode)) {
+      sched.set_start(op.id, 0);
+    } else if (op.opcode == ir::Opcode::kOutput) {
+      sched.set_start(op.id, x + 1);
+    }
+  }
+}
+
+}  // namespace
+
+Schedule asap(const ir::BasicBlock& bb) {
+  Schedule sched(bb.num_ops());
+  for (const ir::Operation& op : bb.ops()) {
+    if (!is_schedulable(op)) continue;
+    int earliest = 1;
+    for (ir::ValueId operand : op.operands) {
+      const ir::OpId def = bb.value(operand).def;
+      if (ir::is_source(bb.op(def).opcode)) continue;
+      earliest = std::max(earliest,
+                          sched.start(def) + op_latency(bb, def));
+    }
+    sched.set_start(op.id, earliest);
+  }
+  finalize_pseudo_ops(bb, sched);
+  return sched;
+}
+
+Schedule alap(const ir::BasicBlock& bb, int latest) {
+  Schedule sched(bb.num_ops());
+  // Walk ops in reverse topological (= reverse emission) order.
+  for (auto it = bb.ops().rbegin(); it != bb.ops().rend(); ++it) {
+    const ir::Operation& op = *it;
+    if (!is_schedulable(op)) continue;
+    int deadline = latest - op_latency(bb, op.id) + 1;
+    for (ir::OpId use : bb.value(op.result).uses) {
+      if (bb.op(use).opcode == ir::Opcode::kOutput) continue;
+      deadline = std::min(deadline, sched.start(use) - op_latency(bb, op.id));
+    }
+    sched.set_start(op.id, deadline);
+  }
+  finalize_pseudo_ops(bb, sched);
+  return sched;
+}
+
+Schedule list_schedule(const ir::BasicBlock& bb, const Resources& res) {
+  const Schedule asap_sched = asap(bb);
+  const Schedule alap_sched = alap(bb, asap_sched.length(bb) * 4 + 4);
+
+  Schedule sched(bb.num_ops());
+  std::vector<char> placed(bb.num_ops(), 0);
+  std::size_t remaining = 0;
+  for (const ir::Operation& op : bb.ops()) {
+    if (is_schedulable(op)) ++remaining;
+  }
+
+  for (int step = 1; remaining > 0; ++step) {
+    // Busy FU slots from multi-cycle ops still executing this step.
+    int busy_alu = 0;
+    int busy_mul = 0;
+    for (const ir::Operation& op : bb.ops()) {
+      if (!is_schedulable(op) || !placed[static_cast<std::size_t>(op.id)]) {
+        continue;
+      }
+      if (sched.start(op.id) <= step && step <= sched.finish(bb, op.id)) {
+        (fu_class(op.opcode) == FuClass::kAlu ? busy_alu : busy_mul)++;
+      }
+    }
+
+    // Ready ops: all operand defs placed and finished before this step.
+    std::vector<ir::OpId> ready;
+    for (const ir::Operation& op : bb.ops()) {
+      if (!is_schedulable(op) || placed[static_cast<std::size_t>(op.id)]) {
+        continue;
+      }
+      bool ok = true;
+      for (ir::ValueId operand : op.operands) {
+        const ir::OpId def = bb.value(operand).def;
+        if (ir::is_source(bb.op(def).opcode)) continue;
+        if (!placed[static_cast<std::size_t>(def)] ||
+            sched.finish(bb, def) >= step) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(op.id);
+    }
+    // Urgency: earlier ALAP step first (least slack).
+    std::stable_sort(ready.begin(), ready.end(),
+                     [&](ir::OpId a, ir::OpId b) {
+                       return alap_sched.start(a) < alap_sched.start(b);
+                     });
+
+    for (ir::OpId o : ready) {
+      const FuClass c = fu_class(bb.op(o).opcode);
+      int& busy = c == FuClass::kAlu ? busy_alu : busy_mul;
+      if (busy >= res.limit(c)) continue;
+      ++busy;
+      sched.set_start(o, step);
+      placed[static_cast<std::size_t>(o)] = 1;
+      --remaining;
+    }
+  }
+
+  finalize_pseudo_ops(bb, sched);
+  return sched;
+}
+
+}  // namespace lera::sched

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+
+/// \file schedule.hpp
+/// A schedule assigns every operation of a basic block a start control
+/// step. Conventions (used consistently by the lifetime analysis):
+///   * real operations start at step >= 1;
+///   * source pseudo-ops (kInput/kConst) sit at step 0 — their values
+///     exist when the block begins;
+///   * kOutput pseudo-ops sit at step length()+1 — live-out values are
+///     read "after the last time" by another task, exactly as variables
+///     c and d in the paper's Figure 1.
+
+namespace lera::sched {
+
+/// Latency (control steps) of each operation; defaults to
+/// ir::default_latency. Index by OpId via (*this)(op).
+class LatencyModel {
+ public:
+  LatencyModel() = default;
+
+  int operator()(const ir::Operation& op) const {
+    return ir::default_latency(op.opcode);
+  }
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::size_t num_ops) : start_(num_ops, -1) {}
+
+  int start(ir::OpId o) const {
+    assert(o >= 0 && static_cast<std::size_t>(o) < start_.size());
+    return start_[static_cast<std::size_t>(o)];
+  }
+  void set_start(ir::OpId o, int step) {
+    assert(o >= 0 && static_cast<std::size_t>(o) < start_.size());
+    start_[static_cast<std::size_t>(o)] = step;
+  }
+
+  /// Last step occupied by \p op (start for zero/one-cycle ops).
+  int finish(const ir::BasicBlock& bb, ir::OpId o) const {
+    const int latency = LatencyModel{}(bb.op(o));
+    return start(o) + (latency > 0 ? latency - 1 : 0);
+  }
+
+  /// Number of control steps x: the largest finish step of any real op.
+  int length(const ir::BasicBlock& bb) const;
+
+  std::size_t num_ops() const { return start_.size(); }
+
+  /// Empty string if the schedule respects data dependencies and the
+  /// step conventions above.
+  std::string verify(const ir::BasicBlock& bb) const;
+
+ private:
+  std::vector<int> start_;
+};
+
+/// Functional-unit classes for resource-constrained scheduling.
+enum class FuClass { kAlu, kMul };
+
+/// Which FU class executes an opcode (sources/outputs use none).
+FuClass fu_class(ir::Opcode op);
+
+/// Resource budget per control step.
+struct Resources {
+  int alus = 2;
+  int muls = 1;
+
+  int limit(FuClass c) const { return c == FuClass::kAlu ? alus : muls; }
+};
+
+/// Unconstrained as-soon-as-possible schedule.
+Schedule asap(const ir::BasicBlock& bb);
+
+/// As-late-as-possible schedule against deadline \p latest (use
+/// asap-length for the tightest feasible deadline).
+Schedule alap(const ir::BasicBlock& bb, int latest);
+
+/// Resource-constrained list scheduling with ALAP-slack priority.
+Schedule list_schedule(const ir::BasicBlock& bb, const Resources& res);
+
+}  // namespace lera::sched

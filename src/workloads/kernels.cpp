@@ -1,0 +1,515 @@
+#include "workloads/kernels.hpp"
+
+#include <cmath>
+#include <random>
+#include <string>
+
+namespace lera::workloads {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Opcode;
+using ir::ValueId;
+
+}  // namespace
+
+BasicBlock make_fir(int taps) {
+  BasicBlock bb("fir" + std::to_string(taps));
+  std::vector<ValueId> x(static_cast<std::size_t>(taps));
+  std::vector<ValueId> c(static_cast<std::size_t>(taps));
+  for (int k = 0; k < taps; ++k) {
+    x[static_cast<std::size_t>(k)] = bb.input("x" + std::to_string(k));
+    c[static_cast<std::size_t>(k)] =
+        bb.constant(3 * k + 1, "c" + std::to_string(k));
+  }
+  ValueId acc = bb.emit(Opcode::kMul, {x[0], c[0]}, "p0");
+  for (int k = 1; k < taps; ++k) {
+    acc = bb.emit(Opcode::kMac,
+                  {x[static_cast<std::size_t>(k)],
+                   c[static_cast<std::size_t>(k)], acc},
+                  "acc" + std::to_string(k));
+  }
+  bb.output(acc);
+  return bb;
+}
+
+BasicBlock make_iir_biquad() {
+  BasicBlock bb("iir_biquad");
+  const ValueId x = bb.input("x");
+  const ValueId x1 = bb.input("x1");   // x[n-1]
+  const ValueId x2 = bb.input("x2");   // x[n-2]
+  const ValueId y1 = bb.input("y1");   // y[n-1]
+  const ValueId y2 = bb.input("y2");   // y[n-2]
+  const ValueId b0 = bb.constant(7, "b0");
+  const ValueId b1 = bb.constant(5, "b1");
+  const ValueId b2 = bb.constant(3, "b2");
+  const ValueId a1 = bb.constant(2, "a1");
+  const ValueId a2 = bb.constant(1, "a2");
+
+  const ValueId ff0 = bb.emit(Opcode::kMul, {x, b0}, "ff0");
+  const ValueId ff1 = bb.emit(Opcode::kMac, {x1, b1, ff0}, "ff1");
+  const ValueId ff2 = bb.emit(Opcode::kMac, {x2, b2, ff1}, "ff2");
+  const ValueId fb1 = bb.emit(Opcode::kMul, {y1, a1}, "fb1");
+  const ValueId fb2 = bb.emit(Opcode::kMac, {y2, a2, fb1}, "fb2");
+  const ValueId y = bb.emit(Opcode::kSub, {ff2, fb2}, "y");
+  bb.output(y);
+  return bb;
+}
+
+BasicBlock make_elliptic_wave_filter() {
+  // The standard fifth-order elliptic wave filter benchmark DFG
+  // (Kung/Whitehouse formulation used throughout the HLS literature).
+  BasicBlock bb("ewf");
+  const ValueId in = bb.input("in");
+  ValueId sv[8];
+  for (int i = 0; i < 7; ++i) {
+    sv[i] = bb.input("sv" + std::to_string(i));
+  }
+  auto add = [&](ValueId a, ValueId b, const char* n) {
+    return bb.emit(Opcode::kAdd, {a, b}, n);
+  };
+  auto mul = [&](ValueId a, ValueId b, const char* n) {
+    return bb.emit(Opcode::kMul, {a, b}, n);
+  };
+  const ValueId k1 = bb.constant(3, "k1");
+  const ValueId k2 = bb.constant(5, "k2");
+
+  const ValueId t1 = add(in, sv[0], "t1");
+  const ValueId t2 = add(t1, sv[1], "t2");
+  const ValueId m1 = mul(t2, k1, "m1");
+  const ValueId t3 = add(m1, sv[2], "t3");
+  const ValueId t4 = add(t3, sv[3], "t4");
+  const ValueId m2 = mul(t4, k2, "m2");
+  const ValueId t5 = add(m2, t1, "t5");
+  const ValueId t6 = add(t5, sv[4], "t6");
+  const ValueId m3 = mul(t6, k1, "m3");
+  const ValueId t7 = add(m3, t3, "t7");
+  const ValueId m4 = mul(t7, k2, "m4");
+  const ValueId t8 = add(m4, sv[5], "t8");
+  const ValueId t9 = add(t8, t6, "t9");
+  const ValueId m5 = mul(t9, k1, "m5");
+  const ValueId t10 = add(m5, sv[6], "t10");
+  const ValueId t11 = add(t10, t8, "t11");
+  const ValueId m6 = mul(t11, k2, "m6");
+  const ValueId t12 = add(m6, t5, "t12");
+  const ValueId t13 = add(t12, t9, "t13");
+  const ValueId m7 = mul(t13, k1, "m7");
+  const ValueId t14 = add(m7, t10, "t14");
+  const ValueId m8 = mul(t14, k2, "m8");
+  const ValueId out = add(m8, t12, "out");
+  bb.output(out);
+  bb.output(t14);  // Next-state feedback values are live-out.
+  bb.output(t13);
+  bb.output(t11);
+  return bb;
+}
+
+BasicBlock make_fft_butterfly() {
+  BasicBlock bb("fft_butterfly");
+  const ValueId ar = bb.input("ar");
+  const ValueId ai = bb.input("ai");
+  const ValueId br = bb.input("br");
+  const ValueId bi = bb.input("bi");
+  const ValueId wr = bb.input("wr");  // Twiddle factor (data-dependent).
+  const ValueId wi = bb.input("wi");
+
+  // t = w * b (complex multiply).
+  const ValueId p0 = bb.emit(Opcode::kMul, {br, wr}, "p0");
+  const ValueId p1 = bb.emit(Opcode::kMul, {bi, wi}, "p1");
+  const ValueId p2 = bb.emit(Opcode::kMul, {br, wi}, "p2");
+  const ValueId p3 = bb.emit(Opcode::kMul, {bi, wr}, "p3");
+  const ValueId tr = bb.emit(Opcode::kSub, {p0, p1}, "tr");
+  const ValueId ti = bb.emit(Opcode::kAdd, {p2, p3}, "ti");
+
+  // Outputs: a + t, a - t.
+  bb.output(bb.emit(Opcode::kAdd, {ar, tr}, "xr"));
+  bb.output(bb.emit(Opcode::kAdd, {ai, ti}, "xi"));
+  bb.output(bb.emit(Opcode::kSub, {ar, tr}, "yr"));
+  bb.output(bb.emit(Opcode::kSub, {ai, ti}, "yi"));
+  return bb;
+}
+
+BasicBlock make_dct4() {
+  BasicBlock bb("dct4");
+  ValueId x[4];
+  for (int i = 0; i < 4; ++i) {
+    x[i] = bb.input("x" + std::to_string(i));
+  }
+  // Even/odd decomposition.
+  const ValueId s0 = bb.emit(Opcode::kAdd, {x[0], x[3]}, "s0");
+  const ValueId s1 = bb.emit(Opcode::kAdd, {x[1], x[2]}, "s1");
+  const ValueId d0 = bb.emit(Opcode::kSub, {x[0], x[3]}, "d0");
+  const ValueId d1 = bb.emit(Opcode::kSub, {x[1], x[2]}, "d1");
+  const ValueId c0 = bb.constant(23170 >> 8, "c0");
+  const ValueId c1 = bb.constant(30274 >> 8, "c1");
+  const ValueId c2 = bb.constant(12540 >> 8, "c2");
+
+  bb.output(bb.emit(Opcode::kMul, {bb.emit(Opcode::kAdd, {s0, s1}, "e0"),
+                                   c0},
+                    "X0"));
+  bb.output(bb.emit(Opcode::kMul, {bb.emit(Opcode::kSub, {s0, s1}, "e1"),
+                                   c0},
+                    "X2"));
+  const ValueId o0 = bb.emit(Opcode::kMul, {d0, c1}, "o0");
+  const ValueId o1 = bb.emit(Opcode::kMul, {d1, c2}, "o1");
+  bb.output(bb.emit(Opcode::kAdd, {o0, o1}, "X1"));
+  const ValueId o2 = bb.emit(Opcode::kMul, {d0, c2}, "o2");
+  const ValueId o3 = bb.emit(Opcode::kMul, {d1, c1}, "o3");
+  bb.output(bb.emit(Opcode::kSub, {o2, o3}, "X3"));
+  return bb;
+}
+
+BasicBlock make_fft(int n) {
+  assert(n >= 2 && (n & (n - 1)) == 0 && "n must be a power of two");
+  BasicBlock bb("fft" + std::to_string(n));
+  std::vector<ValueId> re(static_cast<std::size_t>(n));
+  std::vector<ValueId> im(static_cast<std::size_t>(n));
+  // Bit-reversed input order, as hardware pipelines consume it.
+  for (int i = 0; i < n; ++i) {
+    re[static_cast<std::size_t>(i)] = bb.input("xr" + std::to_string(i));
+    im[static_cast<std::size_t>(i)] = bb.input("xi" + std::to_string(i));
+  }
+  // One twiddle pair per distinct angle (data inputs: they come from a
+  // coefficient RAM updated by the tuner).
+  std::vector<ValueId> wr(static_cast<std::size_t>(n / 2));
+  std::vector<ValueId> wi(static_cast<std::size_t>(n / 2));
+  for (int i = 0; i < n / 2; ++i) {
+    wr[static_cast<std::size_t>(i)] = bb.input("wr" + std::to_string(i));
+    wi[static_cast<std::size_t>(i)] = bb.input("wi" + std::to_string(i));
+  }
+
+  for (int len = 2; len <= n; len *= 2) {
+    const int twiddle_stride = n / len;
+    for (int base = 0; base < n; base += len) {
+      for (int k = 0; k < len / 2; ++k) {
+        const auto a = static_cast<std::size_t>(base + k);
+        const auto b = static_cast<std::size_t>(base + k + len / 2);
+        const auto w = static_cast<std::size_t>(k * twiddle_stride);
+        const std::string tag = std::to_string(len) + "_" +
+                                std::to_string(base + k);
+        // t = w * x[b] (complex).
+        const ValueId p0 = bb.emit(Opcode::kMul, {re[b], wr[w]},
+                                   "p0_" + tag);
+        const ValueId p1 = bb.emit(Opcode::kMul, {im[b], wi[w]},
+                                   "p1_" + tag);
+        const ValueId p2 = bb.emit(Opcode::kMul, {re[b], wi[w]},
+                                   "p2_" + tag);
+        const ValueId p3 = bb.emit(Opcode::kMul, {im[b], wr[w]},
+                                   "p3_" + tag);
+        const ValueId tr = bb.emit(Opcode::kSub, {p0, p1}, "tr_" + tag);
+        const ValueId ti = bb.emit(Opcode::kAdd, {p2, p3}, "ti_" + tag);
+        const ValueId ar = re[a];
+        const ValueId ai = im[a];
+        re[a] = bb.emit(Opcode::kAdd, {ar, tr}, "ur_" + tag);
+        im[a] = bb.emit(Opcode::kAdd, {ai, ti}, "ui_" + tag);
+        re[b] = bb.emit(Opcode::kSub, {ar, tr}, "lr_" + tag);
+        im[b] = bb.emit(Opcode::kSub, {ai, ti}, "li_" + tag);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    bb.output(re[static_cast<std::size_t>(i)]);
+    bb.output(im[static_cast<std::size_t>(i)]);
+  }
+  return bb;
+}
+
+BasicBlock make_matmul(int n) {
+  BasicBlock bb("matmul" + std::to_string(n));
+  std::vector<ValueId> a(static_cast<std::size_t>(n * n));
+  std::vector<ValueId> b(static_cast<std::size_t>(n * n));
+  for (int i = 0; i < n * n; ++i) {
+    a[static_cast<std::size_t>(i)] = bb.input("a" + std::to_string(i));
+    b[static_cast<std::size_t>(i)] = bb.input("b" + std::to_string(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ValueId acc = bb.emit(
+          Opcode::kMul,
+          {a[static_cast<std::size_t>(i * n)],
+           b[static_cast<std::size_t>(j)]},
+          "c" + std::to_string(i) + std::to_string(j) + "_0");
+      for (int k = 1; k < n; ++k) {
+        acc = bb.emit(Opcode::kMac,
+                      {a[static_cast<std::size_t>(i * n + k)],
+                       b[static_cast<std::size_t>(k * n + j)], acc},
+                      "c" + std::to_string(i) + std::to_string(j) + "_" +
+                          std::to_string(k));
+      }
+      bb.output(acc);
+    }
+  }
+  return bb;
+}
+
+BasicBlock make_conv3x3() {
+  BasicBlock bb("conv3x3");
+  ValueId acc = ir::kNoValue;
+  for (int i = 0; i < 9; ++i) {
+    const ValueId pixel = bb.input("px" + std::to_string(i));
+    const ValueId coeff = bb.constant(i - 4, "k" + std::to_string(i));
+    acc = i == 0 ? bb.emit(Opcode::kMul, {pixel, coeff}, "m0")
+                 : bb.emit(Opcode::kMac, {pixel, coeff, acc},
+                           "s" + std::to_string(i));
+  }
+  const ValueId shifted =
+      bb.emit(Opcode::kShr, {acc, bb.constant(4, "norm")}, "shifted");
+  const ValueId clamped = bb.emit(
+      Opcode::kMax, {shifted, bb.constant(0, "lo")}, "clamped");
+  bb.output(bb.emit(Opcode::kMin, {clamped, bb.constant(255, "hi")},
+                    "pixel_out"));
+  return bb;
+}
+
+BasicBlock make_lattice(int stages) {
+  BasicBlock bb("lattice" + std::to_string(stages));
+  ValueId f = bb.input("x");  // Forward residual.
+  std::vector<ValueId> g(static_cast<std::size_t>(stages));
+  std::vector<ValueId> k(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    g[static_cast<std::size_t>(s)] = bb.input("g" + std::to_string(s));
+    k[static_cast<std::size_t>(s)] = bb.input("k" + std::to_string(s));
+  }
+  for (int s = 0; s < stages; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    // f' = f - k*g ; g' = g - k*f (normalised section).
+    const ValueId kf = bb.emit(Opcode::kMul, {k[i], g[i]},
+                               "kg" + std::to_string(s));
+    const ValueId f_next =
+        bb.emit(Opcode::kSub, {f, kf}, "f" + std::to_string(s + 1));
+    const ValueId kg = bb.emit(Opcode::kMul, {k[i], f},
+                               "kf" + std::to_string(s));
+    const ValueId g_next =
+        bb.emit(Opcode::kSub, {g[i], kg}, "gq" + std::to_string(s + 1));
+    bb.output(g_next);  // Next-sample state, live-out.
+    f = f_next;
+  }
+  bb.output(f);
+  return bb;
+}
+
+BasicBlock make_lms(int taps) {
+  BasicBlock bb("lms" + std::to_string(taps));
+  std::vector<ValueId> x(static_cast<std::size_t>(taps));
+  std::vector<ValueId> w(static_cast<std::size_t>(taps));
+  for (int k = 0; k < taps; ++k) {
+    x[static_cast<std::size_t>(k)] = bb.input("x" + std::to_string(k));
+    w[static_cast<std::size_t>(k)] = bb.input("w" + std::to_string(k));
+  }
+  const ValueId desired = bb.input("d");
+  const ValueId mu = bb.input("mu");
+
+  // y = sum w_k * x_k.
+  ValueId y = bb.emit(Opcode::kMul, {w[0], x[0]}, "y0");
+  for (int k = 1; k < taps; ++k) {
+    y = bb.emit(Opcode::kMac,
+                {w[static_cast<std::size_t>(k)],
+                 x[static_cast<std::size_t>(k)], y},
+                "y" + std::to_string(k));
+  }
+  bb.output(y);
+
+  // e = d - y; step = mu * e (shifted down to stay in range).
+  const ValueId e = bb.emit(Opcode::kSub, {desired, y}, "e");
+  const ValueId mue = bb.emit(Opcode::kMul, {mu, e}, "mue");
+  const ValueId step =
+      bb.emit(Opcode::kShr, {mue, bb.constant(8, "shift")}, "step");
+
+  // Coefficient updates, all live-out.
+  for (int k = 0; k < taps; ++k) {
+    const auto i = static_cast<std::size_t>(k);
+    const ValueId w_next = bb.emit(Opcode::kMac, {step, x[i], w[i]},
+                                   "wn" + std::to_string(k));
+    bb.output(w_next);
+  }
+  return bb;
+}
+
+BasicBlock make_viterbi_acs() {
+  BasicBlock bb("viterbi_acs");
+  const ValueId pm0 = bb.input("pm0");  // Path metrics.
+  const ValueId pm1 = bb.input("pm1");
+  const ValueId bm00 = bb.input("bm00");  // Branch metrics.
+  const ValueId bm01 = bb.input("bm01");
+  const ValueId bm10 = bb.input("bm10");
+  const ValueId bm11 = bb.input("bm11");
+
+  const ValueId a0 = bb.emit(Opcode::kAdd, {pm0, bm00}, "a0");
+  const ValueId a1 = bb.emit(Opcode::kAdd, {pm1, bm10}, "a1");
+  const ValueId b0 = bb.emit(Opcode::kAdd, {pm0, bm01}, "b0");
+  const ValueId b1 = bb.emit(Opcode::kAdd, {pm1, bm11}, "b1");
+  const ValueId new0 = bb.emit(Opcode::kMin, {a0, a1}, "new0");
+  const ValueId new1 = bb.emit(Opcode::kMin, {b0, b1}, "new1");
+  // Survivor decisions (sign of the metric differences).
+  const ValueId d0 = bb.emit(Opcode::kSub, {a0, a1}, "d0");
+  const ValueId d1 = bb.emit(Opcode::kSub, {b0, b1}, "d1");
+  bb.output(new0);
+  bb.output(new1);
+  bb.output(d0);
+  bb.output(d1);
+  return bb;
+}
+
+BasicBlock make_goertzel(int iterations) {
+  BasicBlock bb("goertzel" + std::to_string(iterations));
+  ValueId s1 = bb.input("s1");
+  ValueId s2 = bb.input("s2");
+  const ValueId coeff = bb.input("coeff");  // 2*cos(w), tuner-provided.
+  for (int i = 0; i < iterations; ++i) {
+    const ValueId x = bb.input("x" + std::to_string(i));
+    const ValueId cs = bb.emit(Opcode::kMul, {coeff, s1},
+                               "cs" + std::to_string(i));
+    const ValueId shifted = bb.emit(Opcode::kShr,
+                                    {cs, bb.constant(8, "q")},
+                                    "csq" + std::to_string(i));
+    const ValueId t = bb.emit(Opcode::kSub, {shifted, s2},
+                              "t" + std::to_string(i));
+    const ValueId s = bb.emit(Opcode::kAdd, {t, x},
+                              "s" + std::to_string(i));
+    s2 = s1;
+    s1 = s;
+  }
+  bb.output(s1);
+  bb.output(s2);
+  return bb;
+}
+
+BasicBlock make_rsp(int taps) {
+  // Complex matched filter over I/Q samples, Doppler mix, squared
+  // magnitude, CFAR threshold. All inputs are data (coefficients arrive
+  // from a tracking loop, so they are variables, not immediates).
+  BasicBlock bb("rsp" + std::to_string(taps));
+  std::vector<ValueId> xi(static_cast<std::size_t>(taps));
+  std::vector<ValueId> xq(static_cast<std::size_t>(taps));
+  std::vector<ValueId> ci(static_cast<std::size_t>(taps));
+  std::vector<ValueId> cq(static_cast<std::size_t>(taps));
+  for (int k = 0; k < taps; ++k) {
+    xi[static_cast<std::size_t>(k)] = bb.input("xi" + std::to_string(k));
+    xq[static_cast<std::size_t>(k)] = bb.input("xq" + std::to_string(k));
+    ci[static_cast<std::size_t>(k)] = bb.input("ci" + std::to_string(k));
+    cq[static_cast<std::size_t>(k)] = bb.input("cq" + std::to_string(k));
+  }
+  const ValueId dop_r = bb.input("dop_r");
+  const ValueId dop_i = bb.input("dop_i");
+  const ValueId noise = bb.input("noise");
+
+  // yi = sum(xi*ci - xq*cq), yq = sum(xi*cq + xq*ci).
+  ValueId yi = ir::kNoValue;
+  ValueId yq = ir::kNoValue;
+  for (int k = 0; k < taps; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const ValueId pii =
+        bb.emit(Opcode::kMul, {xi[ks], ci[ks]}, "pii" + std::to_string(k));
+    const ValueId pqq =
+        bb.emit(Opcode::kMul, {xq[ks], cq[ks]}, "pqq" + std::to_string(k));
+    const ValueId piq =
+        bb.emit(Opcode::kMul, {xi[ks], cq[ks]}, "piq" + std::to_string(k));
+    const ValueId pqi =
+        bb.emit(Opcode::kMul, {xq[ks], ci[ks]}, "pqi" + std::to_string(k));
+    const ValueId ti =
+        bb.emit(Opcode::kSub, {pii, pqq}, "ti" + std::to_string(k));
+    const ValueId tq =
+        bb.emit(Opcode::kAdd, {piq, pqi}, "tq" + std::to_string(k));
+    yi = k == 0 ? ti
+                : bb.emit(Opcode::kAdd, {yi, ti}, "yi" + std::to_string(k));
+    yq = k == 0 ? tq
+                : bb.emit(Opcode::kAdd, {yq, tq}, "yq" + std::to_string(k));
+  }
+
+  // Doppler mix: z = y * dop (complex).
+  const ValueId zr0 = bb.emit(Opcode::kMul, {yi, dop_r}, "zr0");
+  const ValueId zr1 = bb.emit(Opcode::kMul, {yq, dop_i}, "zr1");
+  const ValueId zi0 = bb.emit(Opcode::kMul, {yi, dop_i}, "zi0");
+  const ValueId zi1 = bb.emit(Opcode::kMul, {yq, dop_r}, "zi1");
+  const ValueId zr = bb.emit(Opcode::kSub, {zr0, zr1}, "zr");
+  const ValueId zi = bb.emit(Opcode::kAdd, {zi0, zi1}, "zi");
+
+  // Squared magnitude and threshold.
+  const ValueId mr = bb.emit(Opcode::kMul, {zr, zr}, "mr");
+  const ValueId mi = bb.emit(Opcode::kMul, {zi, zi}, "mi");
+  const ValueId mag = bb.emit(Opcode::kAdd, {mr, mi}, "mag");
+  const ValueId over = bb.emit(Opcode::kSub, {mag, noise}, "over");
+  const ValueId det = bb.emit(Opcode::kMax, {over, bb.constant(0, "zero")},
+                              "det");
+  bb.output(det);
+  bb.output(mag);  // Logged for the tracking loop.
+  return bb;
+}
+
+std::vector<std::vector<std::int64_t>> correlated_inputs(
+    const ir::BasicBlock& bb, int samples, Stimulus stimulus,
+    std::uint64_t seed) {
+  if (stimulus == Stimulus::kUniform) {
+    return random_inputs(bb, samples, seed);
+  }
+  int num_inputs = 0;
+  for (const ir::Operation& op : bb.ops()) {
+    if (op.opcode == Opcode::kInput) ++num_inputs;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> phase(0.0, 6.28318530718);
+  std::uniform_real_distribution<double> freq(0.02, 0.2);
+  std::normal_distribution<double> noise(0.0, 1500.0);
+  std::uniform_int_distribution<std::int64_t> start(-8000, 8000);
+  std::uniform_int_distribution<std::int64_t> slope(-13, 13);
+
+  std::vector<std::vector<std::int64_t>> rows(
+      static_cast<std::size_t>(samples),
+      std::vector<std::int64_t>(static_cast<std::size_t>(num_inputs)));
+  for (int i = 0; i < num_inputs; ++i) {
+    const auto col = static_cast<std::size_t>(i);
+    switch (stimulus) {
+      case Stimulus::kSine: {
+        const double p = phase(rng);
+        const double f = freq(rng);
+        for (int s = 0; s < samples; ++s) {
+          rows[static_cast<std::size_t>(s)][col] = static_cast<std::int64_t>(
+              12000.0 * std::sin(p + f * s));
+        }
+        break;
+      }
+      case Stimulus::kAr1: {
+        double value = 0;
+        for (int s = 0; s < samples; ++s) {
+          value = 0.95 * value + noise(rng);
+          rows[static_cast<std::size_t>(s)][col] =
+              static_cast<std::int64_t>(value);
+        }
+        break;
+      }
+      case Stimulus::kRamp: {
+        std::int64_t value = start(rng);
+        const std::int64_t step = slope(rng);
+        for (int s = 0; s < samples; ++s) {
+          rows[static_cast<std::size_t>(s)][col] = value;
+          value += step;
+        }
+        break;
+      }
+      case Stimulus::kUniform:
+        break;  // Handled above.
+    }
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::int64_t>> random_inputs(const ir::BasicBlock& bb,
+                                                     int samples,
+                                                     std::uint64_t seed) {
+  int num_inputs = 0;
+  for (const ir::Operation& op : bb.ops()) {
+    if (op.opcode == Opcode::kInput) ++num_inputs;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> dist(-32768, 32767);
+  std::vector<std::vector<std::int64_t>> rows(
+      static_cast<std::size_t>(samples));
+  for (auto& row : rows) {
+    row.resize(static_cast<std::size_t>(num_inputs));
+    for (auto& v : row) v = dist(rng);
+  }
+  return rows;
+}
+
+}  // namespace lera::workloads

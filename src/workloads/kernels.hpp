@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+
+/// \file kernels.hpp
+/// DSP kernels of the kind the paper's introduction motivates (audio,
+/// video, radar). Each returns a basic block ready for scheduling; the
+/// coefficient constants are folded in as kConst values (excluded from
+/// allocation by default, like immediates).
+
+namespace lera::workloads {
+
+/// Direct-form FIR filter: y = sum_{k} c_k * x_k.
+ir::BasicBlock make_fir(int taps = 8);
+
+/// Biquad IIR section (Direct Form I): two feedforward + two feedback
+/// taps around a recurrence.
+ir::BasicBlock make_iir_biquad();
+
+/// The classic fifth-order elliptic wave filter HLS benchmark
+/// (26 additions, 8 multiplications).
+ir::BasicBlock make_elliptic_wave_filter();
+
+/// Radix-2 FFT butterfly on complex fixed-point inputs.
+ir::BasicBlock make_fft_butterfly();
+
+/// 4-point DCT (matrix form, 16 MACs folded into mul/add).
+ir::BasicBlock make_dct4();
+
+/// Full radix-2 decimation-in-time FFT over \p n complex points
+/// (n = power of two): log2(n) stages of butterflies with data-dependent
+/// twiddles. The biggest regular kernel of the suite.
+ir::BasicBlock make_fft(int n = 8);
+
+/// Dense matrix multiply C = A x B over n x n 16-bit matrices.
+ir::BasicBlock make_matmul(int n = 3);
+
+/// 3x3 convolution of one output pixel neighbourhood (image kernels are
+/// the "video algorithms" of the paper's introduction).
+ir::BasicBlock make_conv3x3();
+
+/// Normalised lattice filter section chain (speech-coding style):
+/// \p stages forward/backward recursions with carried state.
+ir::BasicBlock make_lattice(int stages = 4);
+
+/// One LMS adaptive-filter update step: y = w.x, e = d - y,
+/// w'_k = w_k + (mu*e)*x_k. Coefficients are live-out (next sample).
+ir::BasicBlock make_lms(int taps = 4);
+
+/// Viterbi add-compare-select butterfly (two states, two branch
+/// metrics): the decision kernel of convolutional decoders.
+ir::BasicBlock make_viterbi_acs();
+
+/// Goertzel single-bin DFT recurrence, \p iterations unrolled steps:
+/// s = x + 2cos(w)*s1 - s2 (tone detection, DTMF-style).
+ir::BasicBlock make_goertzel(int iterations = 4);
+
+/// Radar-signal-processing proxy for the paper's industrial example:
+/// a complex matched filter (I/Q FIR), Doppler mixing, squared-magnitude
+/// detection and CFAR-style thresholding. \p taps sizes the instance;
+/// taps = 6 with two ALUs and two multipliers gives a maximum lifetime
+/// density in the mid-twenties, matching the paper's reported 26.
+ir::BasicBlock make_rsp(int taps = 6);
+
+/// Uniform pseudo-random input samples for activity measurement:
+/// \p samples rows of \p width-bit values, one per kInput of the block.
+std::vector<std::vector<std::int64_t>> random_inputs(
+    const ir::BasicBlock& bb, int samples, std::uint64_t seed = 1);
+
+/// Input stimulus shapes for activity measurement. Uniform noise makes
+/// every Hamming distance hover near 0.5; real DSP signals are strongly
+/// correlated, which is where measuring H (rather than assuming 0.5)
+/// pays off.
+enum class Stimulus {
+  kUniform,   ///< Independent uniform samples (same as random_inputs).
+  kSine,      ///< Sampled sinusoids, one phase offset per input.
+  kAr1,       ///< First-order autoregressive ("speech-like") process.
+  kRamp,      ///< Slow counters (sensor/index-like data).
+};
+
+/// Correlated input rows: \p samples rows, one column per kInput.
+std::vector<std::vector<std::int64_t>> correlated_inputs(
+    const ir::BasicBlock& bb, int samples, Stimulus stimulus,
+    std::uint64_t seed = 1);
+
+}  // namespace lera::workloads

@@ -1,0 +1,76 @@
+#include "workloads/paper_examples.hpp"
+
+namespace lera::workloads {
+
+namespace {
+
+lifetime::Lifetime make_lifetime(const char* name, int write, int read,
+                                 bool live_out = false) {
+  lifetime::Lifetime lt;
+  lt.value = 0;  // Hand examples have no IR behind them.
+  lt.name = name;
+  lt.write_time = write;
+  lt.read_times = {read};
+  lt.live_out = live_out;
+  return lt;
+}
+
+}  // namespace
+
+alloc::AllocationProblem figure3_problem(const energy::EnergyParams& params) {
+  // a=[1,3] b=[3,5] c=[5,7] d=[1,2] e=[2,3] f=[3,7]; x = 7, R = 1.
+  std::vector<lifetime::Lifetime> lifetimes = {
+      make_lifetime("a", 1, 3), make_lifetime("b", 3, 5),
+      make_lifetime("c", 5, 7), make_lifetime("d", 1, 2),
+      make_lifetime("e", 2, 3), make_lifetime("f", 3, 7),
+  };
+  enum { A, B, C, D, E, F };
+  energy::ActivityMatrix activity(lifetimes.size(), 0.5, 0.5);
+  activity.set(A, B, 0.2);
+  activity.set(A, F, 0.5);
+  activity.set(E, B, 0.6);
+  activity.set(E, F, 0.3);
+  activity.set(B, C, 0.8);
+  activity.set(D, E, 0.1);
+  return alloc::make_problem(std::move(lifetimes), /*num_steps=*/7,
+                             /*num_registers=*/1, params,
+                             std::move(activity));
+}
+
+alloc::AllocationProblem figure4_problem(const Figure4Options& opts) {
+  // a=[1,3] d=[1,2] e=[2,3] f=[3,6] b=[6,8] c=[8,9]; x = 9, R = 1.
+  std::vector<lifetime::Lifetime> lifetimes = {
+      make_lifetime("a", 1, 3), make_lifetime("b", 6, 8),
+      make_lifetime("c", 8, 9), make_lifetime("d", 1, 2),
+      make_lifetime("e", 2, 3), make_lifetime("f", 3, 6),
+  };
+  enum { A, B, C, D, E, F };
+  energy::ActivityMatrix activity(lifetimes.size(), 0.5, 0.5);
+  activity.set(A, B, 0.2);
+  activity.set(A, F, 0.5);
+  activity.set(E, B, 0.6);
+  activity.set(E, F, 0.3);
+  activity.set(B, C, 0.8);
+  activity.set(D, E, 0.1);
+  activity.set(F, B, 0.5);
+  lifetime::SplitOptions split;
+  if (opts.split_f) {
+    split.manual_cuts.push_back({F, 4});
+  }
+  return alloc::make_problem(std::move(lifetimes), /*num_steps=*/9,
+                             /*num_registers=*/1, opts.params,
+                             std::move(activity), split);
+}
+
+std::vector<lifetime::Lifetime> figure1_lifetimes() {
+  // a=[1,3] b=[2,3] c=[2,->] d=[3,->] e=[4,6]; x = 7; c and d are read
+  // "after time 7 by another task" (read time 8 = x+1).
+  return {
+      make_lifetime("a", 1, 3), make_lifetime("b", 2, 3),
+      make_lifetime("c", 2, 8, /*live_out=*/true),
+      make_lifetime("d", 3, 8, /*live_out=*/true),
+      make_lifetime("e", 4, 6),
+  };
+}
+
+}  // namespace lera::workloads

@@ -1,0 +1,186 @@
+#include "workloads/problem_io.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace lera::workloads {
+
+namespace {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) {
+    if (word[0] == '#') break;
+    words.push_back(word);
+  }
+  return words;
+}
+
+}  // namespace
+
+ProblemParseResult parse_problem(const std::string& text,
+                                 const energy::EnergyParams& params) {
+  int steps = -1;
+  int registers = 0;
+  lifetime::SplitOptions split;
+  std::vector<lifetime::Lifetime> lifetimes;
+  std::map<std::string, std::size_t> index_of;
+  struct PendingActivity {
+    std::string a;
+    std::string b;  // empty for 'initial'
+    double h;
+    int line;
+  };
+  std::vector<PendingActivity> pending;
+
+  auto fail = [](int line_no, const std::string& message) {
+    ProblemParseResult r;
+    r.error = "line " + std::to_string(line_no) + ": " + message;
+    return r;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> w = split_words(line);
+    if (w.empty()) continue;
+    try {
+      if (w[0] == "steps" && w.size() == 2) {
+        steps = std::stoi(w[1]);
+      } else if (w[0] == "registers" && w.size() == 2) {
+        registers = std::stoi(w[1]);
+      } else if (w[0] == "access" && w.size() >= 3 && w[1] == "period") {
+        split.access.period = std::stoi(w[2]);
+        if (w.size() == 5 && w[3] == "phase") {
+          split.access.phase = std::stoi(w[4]);
+        } else if (w.size() != 3) {
+          return fail(line_no, "expected 'access period N [phase M]'");
+        }
+      } else if (w[0] == "var") {
+        // var <name> [width W] write T reads T1 T2 ... [liveout]
+        if (w.size() < 5) return fail(line_no, "truncated var directive");
+        lifetime::Lifetime lt;
+        lt.value = static_cast<ir::ValueId>(lifetimes.size());
+        lt.name = w[1];
+        if (index_of.count(lt.name) != 0) {
+          return fail(line_no, "duplicate variable '" + lt.name + "'");
+        }
+        std::size_t i = 2;
+        if (w[i] == "width") {
+          lt.width = std::stoi(w[i + 1]);
+          i += 2;
+        }
+        if (i + 1 >= w.size() || w[i] != "write") {
+          return fail(line_no, "expected 'write <step>'");
+        }
+        lt.write_time = std::stoi(w[i + 1]);
+        i += 2;
+        if (i >= w.size() || w[i] != "reads") {
+          return fail(line_no, "expected 'reads <steps...>'");
+        }
+        ++i;
+        for (; i < w.size(); ++i) {
+          if (w[i] == "liveout") {
+            lt.live_out = true;
+          } else {
+            lt.read_times.push_back(std::stoi(w[i]));
+          }
+        }
+        if (lt.read_times.empty() && !lt.live_out) {
+          return fail(line_no, "variable without reads");
+        }
+        index_of[lt.name] = lifetimes.size();
+        lifetimes.push_back(std::move(lt));
+      } else if (w[0] == "activity" && w.size() == 4) {
+        pending.push_back({w[1], w[2], std::stod(w[3]), line_no});
+      } else if (w[0] == "initial" && w.size() == 3) {
+        pending.push_back({w[1], "", std::stod(w[2]), line_no});
+      } else {
+        return fail(line_no, "unrecognised directive '" + w[0] + "'");
+      }
+    } catch (...) {
+      return fail(line_no, "malformed number");
+    }
+  }
+
+  if (steps < 0) return fail(0, "missing 'steps' directive");
+  // Live-out variables read at x+1; resolve now that steps is known.
+  for (lifetime::Lifetime& lt : lifetimes) {
+    if (lt.live_out) {
+      lt.read_times.push_back(steps + 1);
+    }
+    std::sort(lt.read_times.begin(), lt.read_times.end());
+    lt.read_times.erase(
+        std::unique(lt.read_times.begin(), lt.read_times.end()),
+        lt.read_times.end());
+    if (lt.read_times.front() <= lt.write_time) {
+      ProblemParseResult r;
+      r.error = "variable '" + lt.name + "' read at or before its write";
+      return r;
+    }
+  }
+
+  energy::ActivityMatrix activity(lifetimes.size());
+  for (const PendingActivity& pa : pending) {
+    const auto a = index_of.find(pa.a);
+    if (a == index_of.end()) {
+      return fail(pa.line, "unknown variable '" + pa.a + "'");
+    }
+    if (pa.h < 0 || pa.h > 1) {
+      return fail(pa.line, "activity outside [0,1]");
+    }
+    if (pa.b.empty()) {
+      activity.set_initial(a->second, pa.h);
+    } else {
+      const auto b = index_of.find(pa.b);
+      if (b == index_of.end()) {
+        return fail(pa.line, "unknown variable '" + pa.b + "'");
+      }
+      activity.set(a->second, b->second, pa.h);
+    }
+  }
+
+  ProblemParseResult result;
+  result.problem = alloc::make_problem(std::move(lifetimes), steps,
+                                       registers, params,
+                                       std::move(activity), split);
+  return result;
+}
+
+void write_problem(std::ostream& os, const alloc::AllocationProblem& p) {
+  os << "# lera allocation problem\n";
+  os << "steps " << p.num_steps << "\n";
+  os << "registers " << p.num_registers << "\n";
+  if (p.access.period > 1) {
+    os << "access period " << p.access.period << " phase "
+       << p.access.phase << "\n";
+  }
+  for (std::size_t v = 0; v < p.lifetimes.size(); ++v) {
+    const lifetime::Lifetime& lt = p.lifetimes[v];
+    os << "var " << lt.name << " width " << lt.width << " write "
+       << lt.write_time << " reads";
+    for (int r : lt.read_times) {
+      if (lt.live_out && r == p.num_steps + 1) continue;
+      os << " " << r;
+    }
+    if (lt.live_out) os << " liveout";
+    os << "\n";
+  }
+  for (std::size_t a = 0; a < p.lifetimes.size(); ++a) {
+    os << "initial " << p.lifetimes[a].name << " "
+       << p.activity.initial(a) << "\n";
+    for (std::size_t b = a + 1; b < p.lifetimes.size(); ++b) {
+      os << "activity " << p.lifetimes[a].name << " "
+         << p.lifetimes[b].name << " " << p.activity.hamming(a, b) << "\n";
+    }
+  }
+}
+
+}  // namespace lera::workloads

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "alloc/problem.hpp"
+
+/// \file problem_io.hpp
+/// Plain-text serialisation of allocation problems, so instances can be
+/// shipped around without code (the hand examples of papers, regression
+/// cases, generator outputs). Format, one directive per line, '#'
+/// comments:
+///
+///   steps 7
+///   registers 1
+///   access period 2 phase 1        # optional; default unrestricted
+///   var a write 1 reads 3          # read list; 'liveout' marks x+1
+///   var c write 2 reads 8 liveout width 16
+///   activity a b 0.2               # pairwise H, default 0.5
+///   initial a 0.4                  # first-write activity, default 0.5
+///
+/// Energy parameters stay code-side (they are platform, not instance).
+
+namespace lera::workloads {
+
+struct ProblemParseResult {
+  std::optional<alloc::AllocationProblem> problem;
+  std::string error;
+
+  bool ok() const { return problem.has_value(); }
+};
+
+/// Parses the format above; \p params and \p split_all supply the
+/// platform side (split cuts are derived from the file's access model).
+ProblemParseResult parse_problem(const std::string& text,
+                                 const energy::EnergyParams& params = {});
+
+/// Writes \p p in the same format (round-trips through parse_problem).
+void write_problem(std::ostream& os, const alloc::AllocationProblem& p);
+
+}  // namespace lera::workloads

@@ -1,0 +1,135 @@
+#include "workloads/random_gen.hpp"
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+namespace lera::workloads {
+
+netflow::Graph random_flow_problem(std::uint64_t seed,
+                                   const RandomFlowOptions& opts) {
+  std::mt19937_64 rng(seed);
+  netflow::Graph g(opts.num_nodes);
+  std::uniform_int_distribution<netflow::NodeId> node(0, opts.num_nodes - 1);
+  std::uniform_int_distribution<netflow::Flow> cap(1, opts.max_capacity);
+  std::uniform_int_distribution<netflow::Cost> cost(opts.min_cost,
+                                                    opts.max_cost);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  // Feasibility backbone from source to sink.
+  for (netflow::NodeId v = 0; v + 1 < opts.num_nodes; ++v) {
+    g.add_arc(v, v + 1, opts.supply + opts.max_capacity,
+              std::abs(cost(rng)));
+  }
+  for (int a = 0; a < opts.num_arcs; ++a) {
+    const netflow::NodeId tail = node(rng);
+    const netflow::NodeId head = node(rng);
+    if (tail == head) continue;
+    const netflow::Flow upper = cap(rng);
+    netflow::Flow lower = 0;
+    if (uniform(rng) < opts.lower_bound_prob) {
+      lower = std::uniform_int_distribution<netflow::Flow>(0, upper)(rng);
+    }
+    g.add_arc(tail, head, upper, cost(rng), lower);
+  }
+  if (opts.supply > 0) {
+    g.add_supply(0, opts.supply);
+    g.add_supply(opts.num_nodes - 1, -opts.supply);
+  }
+  return g;
+}
+
+std::vector<lifetime::Lifetime> random_lifetimes(
+    std::uint64_t seed, const RandomLifetimeOptions& opts) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> step(0, opts.num_steps - 1);
+  std::uniform_int_distribution<int> extra_reads(0, opts.max_reads);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  std::vector<lifetime::Lifetime> lifetimes;
+  for (int v = 0; v < opts.num_vars; ++v) {
+    lifetime::Lifetime lt;
+    lt.value = v;
+    lt.name = "v" + std::to_string(v);
+    lt.write_time = step(rng);
+    if (uniform(rng) < opts.live_out_prob) {
+      lt.live_out = true;
+      lt.read_times.push_back(opts.num_steps + 1);
+    } else {
+      lt.read_times.push_back(std::uniform_int_distribution<int>(
+          lt.write_time + 1, opts.num_steps)(rng));
+    }
+    const int extras = extra_reads(rng);
+    for (int r = 0; r < extras; ++r) {
+      const int hi = std::min(lt.read_times.back(), opts.num_steps);
+      if (hi <= lt.write_time + 1) break;
+      lt.read_times.push_back(std::uniform_int_distribution<int>(
+          lt.write_time + 1, hi)(rng));
+    }
+    std::sort(lt.read_times.begin(), lt.read_times.end());
+    lt.read_times.erase(
+        std::unique(lt.read_times.begin(), lt.read_times.end()),
+        lt.read_times.end());
+    lifetimes.push_back(std::move(lt));
+  }
+  return lifetimes;
+}
+
+energy::ActivityMatrix random_activity(std::uint64_t seed, std::size_t n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  energy::ActivityMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set_initial(i, uniform(rng));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.set(i, j, uniform(rng));
+    }
+  }
+  return m;
+}
+
+ir::BasicBlock random_dfg(std::uint64_t seed, const RandomDfgOptions& opts) {
+  std::mt19937_64 rng(seed);
+  ir::BasicBlock bb("rand" + std::to_string(seed));
+  std::vector<ir::ValueId> pool;
+  for (int i = 0; i < opts.num_inputs; ++i) {
+    pool.push_back(bb.input("in" + std::to_string(i)));
+  }
+
+  const ir::Opcode menu[] = {ir::Opcode::kAdd, ir::Opcode::kSub,
+                             ir::Opcode::kMul, ir::Opcode::kXor,
+                             ir::Opcode::kAnd, ir::Opcode::kMin,
+                             ir::Opcode::kMax};
+  std::uniform_int_distribution<std::size_t> pick_op(0, std::size(menu) - 1);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  // Bias operand choice towards recent values so lifetimes stay bounded.
+  auto pick_value = [&]() -> ir::ValueId {
+    const std::size_t n = pool.size();
+    const std::size_t window = std::max<std::size_t>(4, n / 3);
+    const std::size_t lo = n > window ? n - window : 0;
+    return pool[std::uniform_int_distribution<std::size_t>(lo, n - 1)(rng)];
+  };
+
+  for (int i = 0; i < opts.num_ops; ++i) {
+    const ir::Opcode op = menu[pick_op(rng)];
+    pool.push_back(bb.emit(op, {pick_value(), pick_value()}));
+  }
+
+  // Values never read would be dead code; export a sample of sinks.
+  for (const ir::Value& v : bb.values()) {
+    if (v.uses.empty() && uniform(rng) < opts.output_prob) {
+      bb.output(v.id);
+    }
+  }
+  // Guarantee at least one output so the block is not fully dead.
+  for (const ir::Value& v : bb.values()) {
+    if (v.uses.empty()) {
+      bb.output(v.id);
+      break;
+    }
+  }
+  return bb;
+}
+
+}  // namespace lera::workloads

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/problem.hpp"
+#include "ir/basic_block.hpp"
+#include "netflow/graph.hpp"
+
+/// \file random_gen.hpp
+/// Seeded random instance generators: flow problems for solver
+/// cross-checks, lifetime sets and DFGs for allocator property tests and
+/// scalability benchmarks. All generators are deterministic in the seed.
+
+namespace lera::workloads {
+
+struct RandomFlowOptions {
+  int num_nodes = 12;
+  int num_arcs = 30;
+  netflow::Flow max_capacity = 6;
+  netflow::Cost min_cost = -20;
+  netflow::Cost max_cost = 40;
+  /// Total amount pushed from node 0 to node num_nodes-1 (0 = pure
+  /// circulation, interesting when negative-cost cycles exist).
+  netflow::Flow supply = 4;
+  /// Probability of adding a lower bound (uniform in [0, cap]).
+  double lower_bound_prob = 0.0;
+};
+
+/// Random b-flow instance. Arcs are sampled uniformly over ordered node
+/// pairs; a chain 0 -> 1 -> ... -> n-1 of generous arcs keeps most
+/// instances feasible (infeasible ones are still valid test inputs).
+netflow::Graph random_flow_problem(std::uint64_t seed,
+                                   const RandomFlowOptions& opts = {});
+
+struct RandomLifetimeOptions {
+  int num_vars = 8;
+  int num_steps = 10;
+  int max_reads = 2;     ///< Additional interior reads beyond the last.
+  double live_out_prob = 0.15;
+};
+
+/// Random lifetime set (write < reads <= x, live-outs read at x+1).
+std::vector<lifetime::Lifetime> random_lifetimes(
+    std::uint64_t seed, const RandomLifetimeOptions& opts = {});
+
+/// Random activity matrix with entries uniform in [0, 1].
+energy::ActivityMatrix random_activity(std::uint64_t seed, std::size_t n);
+
+struct RandomDfgOptions {
+  int num_ops = 40;
+  int num_inputs = 6;
+  double output_prob = 0.2;  ///< Chance a sink value becomes live-out.
+};
+
+/// Random arithmetic basic block: each operation draws operands from
+/// earlier values (biased towards recent ones to bound lifetime spans).
+ir::BasicBlock random_dfg(std::uint64_t seed,
+                          const RandomDfgOptions& opts = {});
+
+}  // namespace lera::workloads

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "alloc/evaluate.hpp"
+#include "alloc/problem.hpp"
+
+namespace lera::alloc {
+namespace {
+
+using lifetime::Lifetime;
+
+Lifetime lt(const char* name, int w, std::vector<int> reads) {
+  Lifetime out;
+  out.value = 0;
+  out.name = name;
+  out.write_time = w;
+  out.read_times = std::move(reads);
+  return out;
+}
+
+AllocationProblem one_var(std::vector<int> reads, int R = 1,
+                          lifetime::SplitOptions split = {}) {
+  energy::EnergyParams params;
+  return make_problem({lt("v", 1, std::move(reads))}, 8, R, params,
+                      energy::ActivityMatrix(1, 0.5, 0.5), split);
+}
+
+int count(const std::vector<StorageEvent>& events, EventType type) {
+  int n = 0;
+  for (const auto& ev : events) n += ev.type == type ? 1 : 0;
+  return n;
+}
+
+TEST(Evaluate, AllMemorySingleRead) {
+  const AllocationProblem p = one_var({5});
+  Assignment a(p.segments.size());  // Default: memory.
+  const auto events = enumerate_events(p, a);
+  EXPECT_EQ(count(events, EventType::kMemWrite), 1);
+  EXPECT_EQ(count(events, EventType::kMemRead), 1);
+  EXPECT_EQ(count(events, EventType::kRegRead), 0);
+
+  const auto e = evaluate_energy(p, a, energy::RegisterModel::kStatic);
+  EXPECT_DOUBLE_EQ(e.memory, p.params.e_mem_write() + p.params.e_mem_read());
+  EXPECT_DOUBLE_EQ(e.register_file, 0);
+}
+
+TEST(Evaluate, AllRegisterSingleRead) {
+  const AllocationProblem p = one_var({5});
+  Assignment a(p.segments.size());
+  a.assign_register(0, 0);
+  const auto events = enumerate_events(p, a);
+  EXPECT_EQ(count(events, EventType::kRegWrite), 1);
+  EXPECT_EQ(count(events, EventType::kRegRead), 1);
+  EXPECT_EQ(count(events, EventType::kMemRead), 0);
+  EXPECT_EQ(count(events, EventType::kMemWrite), 0);
+
+  const auto stat = evaluate_energy(p, a, energy::RegisterModel::kStatic);
+  EXPECT_DOUBLE_EQ(stat.register_file,
+                   p.params.e_reg_write() + p.params.e_reg_read());
+  const auto act = evaluate_energy(p, a, energy::RegisterModel::kActivity);
+  EXPECT_DOUBLE_EQ(act.register_file, p.params.e_reg_transition(0.5));
+}
+
+TEST(Evaluate, SpillAfterInteriorRead) {
+  // Two reads; first segment in a register, second in memory: the
+  // interior read comes from the register, then a write-back, then the
+  // final read from memory.
+  const AllocationProblem p = one_var({3, 6});
+  ASSERT_EQ(p.segments.size(), 2u);
+  Assignment a(2);
+  a.assign_register(0, 0);
+  const auto events = enumerate_events(p, a);
+  EXPECT_EQ(count(events, EventType::kRegWrite), 1);   // def
+  EXPECT_EQ(count(events, EventType::kRegRead), 1);    // read@3
+  EXPECT_EQ(count(events, EventType::kMemWrite), 1);   // write-back@3
+  EXPECT_EQ(count(events, EventType::kMemRead), 1);    // death@6
+}
+
+TEST(Evaluate, ReloadAfterMemoryStart) {
+  // First segment memory, second register: the interior read doubles as
+  // the load (one memory read only).
+  const AllocationProblem p = one_var({3, 6});
+  Assignment a(2);
+  a.assign_register(1, 0);
+  const auto events = enumerate_events(p, a);
+  EXPECT_EQ(count(events, EventType::kMemWrite), 1);  // def
+  EXPECT_EQ(count(events, EventType::kMemRead), 1);   // read@3 (=load)
+  EXPECT_EQ(count(events, EventType::kRegWrite), 1);  // load target
+  EXPECT_EQ(count(events, EventType::kRegRead), 1);   // death@6
+}
+
+TEST(Evaluate, ChainedRegisterSegmentsHaveNoMemoryTraffic) {
+  const AllocationProblem p = one_var({3, 6});
+  Assignment a(2);
+  a.assign_register(0, 0);
+  a.assign_register(1, 0);  // Same register: stays put.
+  const auto events = enumerate_events(p, a);
+  EXPECT_EQ(count(events, EventType::kMemRead), 0);
+  EXPECT_EQ(count(events, EventType::kMemWrite), 0);
+  EXPECT_EQ(count(events, EventType::kRegRead), 2);
+  EXPECT_EQ(count(events, EventType::kRegWrite), 1);
+}
+
+TEST(Evaluate, BoundaryCutLoadAndSpill) {
+  lifetime::SplitOptions split;
+  split.access.period = 4;  // Allowed at steps 4, 8.
+  const AllocationProblem p = one_var({7}, 1, split);
+  // v = [1,7] cut at 4: [1,4)(forced? starts at 1: (1-0)%4 != 0 ->
+  // not allowed -> forced) and [4,7) (7 not allowed -> forced).
+  ASSERT_EQ(p.segments.size(), 2u);
+
+  // Memory then register: explicit load at the boundary.
+  Assignment a(2);
+  a.assign_register(1, 0);
+  auto events = enumerate_events(p, a);
+  EXPECT_EQ(count(events, EventType::kMemWrite), 1);  // def
+  EXPECT_EQ(count(events, EventType::kMemRead), 1);   // load@4
+  EXPECT_EQ(count(events, EventType::kRegWrite), 1);
+  EXPECT_EQ(count(events, EventType::kRegRead), 1);   // death@7
+
+  // Register then memory: spill at the boundary, no read there.
+  Assignment b(2);
+  b.assign_register(0, 0);
+  events = enumerate_events(p, b);
+  EXPECT_EQ(count(events, EventType::kRegWrite), 1);
+  EXPECT_EQ(count(events, EventType::kMemWrite), 1);  // spill@4
+  EXPECT_EQ(count(events, EventType::kMemRead), 1);   // death@7
+  EXPECT_EQ(count(events, EventType::kRegRead), 0);
+}
+
+TEST(Evaluate, ActivityTracksRegisterOccupants) {
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  energy::ActivityMatrix act(2, 0.5, 0.5);
+  act.set(0, 1, 0.125);
+  act.set_initial(0, 0.25);
+  AllocationProblem p =
+      make_problem({lt("u", 1, {3}), lt("w", 3, {5})}, 6, 1, params,
+                   std::move(act));
+  Assignment a(2);
+  a.assign_register(0, 0);
+  a.assign_register(1, 0);  // w replaces u in register 0.
+  const auto e = evaluate_energy(p, a, energy::RegisterModel::kActivity);
+  EXPECT_DOUBLE_EQ(e.register_file,
+                   p.params.e_reg_transition(0.25) +    // initial u
+                       p.params.e_reg_transition(0.125));  // u -> w
+}
+
+TEST(Evaluate, AccessStatsAndPorts) {
+  // Two variables written at the same step, read at the same step, all
+  // in memory: 2 write ports and 2 read ports needed.
+  energy::EnergyParams params;
+  AllocationProblem p =
+      make_problem({lt("u", 1, {4}), lt("w", 1, {4})}, 5, 0, params,
+                   energy::ActivityMatrix(2));
+  Assignment a(2);
+  const AccessStats stats = count_accesses(p, a);
+  EXPECT_EQ(stats.mem_reads, 2);
+  EXPECT_EQ(stats.mem_writes, 2);
+  EXPECT_EQ(stats.mem_read_ports, 2);
+  EXPECT_EQ(stats.mem_write_ports, 2);
+  EXPECT_EQ(stats.mem_accesses(), 4);
+  EXPECT_EQ(stats.mem_locations, 2);
+}
+
+TEST(Evaluate, MemoryLocationsCountsPeakResidency) {
+  energy::EnergyParams params;
+  AllocationProblem p = make_problem(
+      {lt("u", 1, {3}), lt("w", 3, {6}), lt("z", 2, {5})}, 7, 1, params,
+      energy::ActivityMatrix(3));
+  Assignment a(3);
+  // u,w sequential share; z overlaps both.
+  EXPECT_EQ(memory_locations(p, a), 2);
+  a.assign_register(2, 0);  // z to a register.
+  EXPECT_EQ(memory_locations(p, a), 1);
+}
+
+TEST(Evaluate, ValidationCatchesOverlapAndCapacity) {
+  energy::EnergyParams params;
+  AllocationProblem p = make_problem(
+      {lt("u", 1, {4}), lt("w", 2, {5})}, 6, 1, params,
+      energy::ActivityMatrix(2));
+  Assignment a(2);
+  a.assign_register(0, 0);
+  a.assign_register(1, 0);  // Overlapping segments in the same register.
+  EXPECT_FALSE(validate_assignment(p, a).empty());
+
+  Assignment b(2);
+  b.assign_register(0, 0);
+  b.assign_register(1, 5);  // Register index out of range (R = 1).
+  EXPECT_FALSE(validate_assignment(p, b).empty());
+
+  Assignment c(2);
+  c.assign_register(0, 0);
+  EXPECT_TRUE(validate_assignment(p, c).empty());
+}
+
+TEST(Evaluate, ForcedSegmentInMemoryIsInvalid) {
+  lifetime::SplitOptions split;
+  split.access.period = 4;
+  const AllocationProblem p = one_var({7}, 1, split);
+  Assignment a(p.segments.size());  // All memory, but segments forced.
+  EXPECT_FALSE(validate_assignment(p, a).empty());
+}
+
+TEST(Evaluate, RegisterToRegisterMoveAtReadCut) {
+  // v's first segment in r0, second in r1 (a different register): the
+  // model charges the write-back (memory copies are not kept) but the
+  // move itself is free of memory reads (documented semantics).
+  const AllocationProblem p = one_var({3, 6});
+  Assignment a(2);
+  a.assign_register(0, 0);
+  a.assign_register(1, 1);
+  const auto events = enumerate_events(p, a);
+  EXPECT_EQ(count(events, EventType::kRegWrite), 2);  // Enter r0, r1.
+  EXPECT_EQ(count(events, EventType::kRegRead), 2);   // read@3, death@6.
+  EXPECT_EQ(count(events, EventType::kMemWrite), 1);  // Write-back@3.
+  EXPECT_EQ(count(events, EventType::kMemRead), 0);   // Move is free.
+}
+
+TEST(Evaluate, RegisterToRegisterMoveAtBoundaryCut) {
+  lifetime::SplitOptions split;
+  split.access.period = 4;
+  const AllocationProblem p = one_var({7}, 2, split);
+  ASSERT_EQ(p.segments.size(), 2u);
+  Assignment a(2);
+  a.assign_register(0, 0);
+  a.assign_register(1, 1);
+  const auto events = enumerate_events(p, a);
+  // At an access-boundary cut a cross-register move costs a write-back
+  // AND an explicit reload (no consumer read doubles as the load).
+  EXPECT_EQ(count(events, EventType::kMemWrite), 1);
+  EXPECT_EQ(count(events, EventType::kMemRead), 1);
+  EXPECT_EQ(count(events, EventType::kRegWrite), 2);
+}
+
+TEST(Evaluate, EventsSortedByStep) {
+  const AllocationProblem p = one_var({3, 6});
+  Assignment a(2);
+  a.assign_register(0, 0);
+  const auto events = enumerate_events(p, a);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].step, events[i].step);
+  }
+}
+
+TEST(Evaluate, SegFieldPointsAtResponsibleSegment) {
+  const AllocationProblem p = one_var({3, 6});
+  Assignment a(2);  // All memory.
+  for (const StorageEvent& ev : enumerate_events(p, a)) {
+    ASSERT_GE(ev.seg, 0);
+    ASSERT_LT(ev.seg, 2);
+    // The event's step lies on the segment's boundary (its start cut,
+    // end cut, or the death read).
+    const auto& seg = p.segments[static_cast<std::size_t>(ev.seg)];
+    EXPECT_TRUE(ev.step == seg.start || ev.step == seg.end)
+        << "step " << ev.step << " seg [" << seg.start << "," << seg.end
+        << ")";
+  }
+}
+
+}  // namespace
+}  // namespace lera::alloc

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "alloc/flow_graph.hpp"
+#include "workloads/paper_examples.hpp"
+
+namespace lera::alloc {
+namespace {
+
+using lifetime::Lifetime;
+
+Lifetime lt(const char* name, int w, int r) {
+  Lifetime out;
+  out.value = 0;
+  out.name = name;
+  out.write_time = w;
+  out.read_times = {r};
+  return out;
+}
+
+AllocationProblem tiny_problem(energy::RegisterModel model =
+                                   energy::RegisterModel::kStatic) {
+  energy::EnergyParams params;
+  params.register_model = model;
+  // v0 = [1,3], v1 = [3,5]: sequential, max density 1 everywhere.
+  return make_problem({lt("v0", 1, 3), lt("v1", 3, 5)}, 5, 1, params,
+                      energy::ActivityMatrix(2, 0.25, 0.5));
+}
+
+std::map<ArcKind, int> count_kinds(const FlowGraphSpec& spec) {
+  std::map<ArcKind, int> counts;
+  for (const auto& info : spec.arc_info) ++counts[info.kind];
+  return counts;
+}
+
+netflow::ArcId find_arc(const FlowGraphSpec& spec, ArcKind kind, int from,
+                        int to) {
+  for (std::size_t a = 0; a < spec.arc_info.size(); ++a) {
+    const auto& info = spec.arc_info[a];
+    if (info.kind == kind && info.from_seg == from && info.to_seg == to) {
+      return static_cast<netflow::ArcId>(a);
+    }
+  }
+  return netflow::kInvalidArc;
+}
+
+TEST(FlowGraph, TinyStructure) {
+  const AllocationProblem p = tiny_problem();
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kDensityRegions);
+  // Nodes: s, t + 2 per segment.
+  EXPECT_EQ(spec.graph.num_nodes(), 2 + 2 * 2);
+  const auto kinds = count_kinds(spec);
+  EXPECT_EQ(kinds.at(ArcKind::kSegment), 2);
+  EXPECT_EQ(kinds.at(ArcKind::kTransition), 1);  // r(v0) -> w(v1) only.
+  EXPECT_EQ(kinds.at(ArcKind::kBypass), 1);
+  // v1 cannot start a register (idle would cross the peak at boundary 1
+  // ... actually max density 1 holds everywhere alive; s->w(v1) idles
+  // across boundaries 0..2 which include max-density boundaries 1,2.
+  EXPECT_EQ(kinds.at(ArcKind::kFromSource), 1);
+  EXPECT_EQ(kinds.at(ArcKind::kToSink), 1);
+}
+
+TEST(FlowGraph, AllPairsAddsIdleArcs) {
+  const AllocationProblem p = tiny_problem();
+  const FlowGraphSpec spec = build_flow_graph(p, GraphStyle::kAllPairs);
+  const auto kinds = count_kinds(spec);
+  // All-pairs: both variables reachable from s, both reach t.
+  EXPECT_EQ(kinds.at(ArcKind::kFromSource), 2);
+  EXPECT_EQ(kinds.at(ArcKind::kToSink), 2);
+}
+
+TEST(FlowGraph, StaticCostAlgebra) {
+  const AllocationProblem p = tiny_problem(energy::RegisterModel::kStatic);
+  const energy::EnergyParams& e = p.params;
+  const energy::Quantizer q;
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kDensityRegions, q);
+
+  // Segment arcs are free (eq. 3).
+  const netflow::ArcId seg = find_arc(spec, ArcKind::kSegment, 0, 0);
+  EXPECT_EQ(spec.graph.arc(seg).cost, 0);
+
+  // s -> w(v0): enter at a definition = -E_w^m + E_w^r (eq. 4 terms).
+  const netflow::ArcId src = find_arc(spec, ArcKind::kFromSource, -1, 0);
+  ASSERT_NE(src, netflow::kInvalidArc);
+  EXPECT_EQ(spec.graph.arc(src).cost,
+            q.quantize(-e.e_mem_write() + e.e_reg_write()));
+
+  // r(v0) -> w(v1): death-read leave + def enter (eq. 4).
+  const netflow::ArcId trans = find_arc(spec, ArcKind::kTransition, 0, 1);
+  ASSERT_NE(trans, netflow::kInvalidArc);
+  EXPECT_EQ(spec.graph.arc(trans).cost,
+            q.quantize(-e.e_mem_read() + e.e_reg_read() - e.e_mem_write() +
+                       e.e_reg_write()));
+
+  // r(v1) -> t: death-read leave only.
+  const netflow::ArcId sink = find_arc(spec, ArcKind::kToSink, 1, -1);
+  ASSERT_NE(sink, netflow::kInvalidArc);
+  EXPECT_EQ(spec.graph.arc(sink).cost,
+            q.quantize(-e.e_mem_read() + e.e_reg_read()));
+
+  // Base: both variables charged one write + one read to memory.
+  EXPECT_DOUBLE_EQ(spec.base_energy,
+                   2 * (e.e_mem_write() + e.e_mem_read()));
+}
+
+TEST(FlowGraph, ActivityCostUsesHamming) {
+  const AllocationProblem p =
+      tiny_problem(energy::RegisterModel::kActivity);
+  const energy::EnergyParams& e = p.params;
+  const energy::Quantizer q;
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kDensityRegions, q);
+
+  // Transition carries H(v0,v1) * swing = 0.25 * 2.0 (eq. 5).
+  const netflow::ArcId trans = find_arc(spec, ArcKind::kTransition, 0, 1);
+  EXPECT_EQ(spec.graph.arc(trans).cost,
+            q.quantize(-e.e_mem_read() - e.e_mem_write() +
+                       e.e_reg_transition(0.25)));
+  // Source arc charges the initial write activity (0.5).
+  const netflow::ArcId src = find_arc(spec, ArcKind::kFromSource, -1, 0);
+  EXPECT_EQ(spec.graph.arc(src).cost,
+            q.quantize(-e.e_mem_write() + e.e_reg_transition(0.5)));
+}
+
+TEST(FlowGraph, Figure3DensityGraphMatchesPaperArcList) {
+  // The reconstruction's whole point: the six listed transitions are
+  // exactly the arcs of the density-region construction.
+  const AllocationProblem p = workloads::figure3_problem();
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kDensityRegions);
+
+  std::set<std::pair<std::string, std::string>> transitions;
+  for (std::size_t a = 0; a < spec.arc_info.size(); ++a) {
+    const auto& info = spec.arc_info[a];
+    if (info.kind != ArcKind::kTransition) continue;
+    transitions.insert(
+        {p.lifetimes[static_cast<std::size_t>(
+             p.segments[static_cast<std::size_t>(info.from_seg)].var)].name,
+         p.lifetimes[static_cast<std::size_t>(
+             p.segments[static_cast<std::size_t>(info.to_seg)].var)].name});
+  }
+  const std::set<std::pair<std::string, std::string>> expected = {
+      {"a", "b"}, {"a", "f"}, {"e", "b"},
+      {"e", "f"}, {"b", "c"}, {"d", "e"},
+  };
+  EXPECT_EQ(transitions, expected);
+}
+
+TEST(FlowGraph, ForcedSegmentsGetLowerBounds) {
+  energy::EnergyParams params;
+  lifetime::SplitOptions split;
+  split.access.period = 2;
+  split.access.phase = 1;
+  // v = [2,4]: starts and ends at even (disallowed) steps -> forced.
+  AllocationProblem p =
+      make_problem({lt("v", 2, 4)}, 6, 1, params,
+                   energy::ActivityMatrix(1), split);
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kDensityRegions);
+  int forced_arcs = 0;
+  for (std::size_t a = 0; a < spec.arc_info.size(); ++a) {
+    if (spec.arc_info[a].kind == ArcKind::kSegment &&
+        spec.graph.arc(static_cast<netflow::ArcId>(a)).lower == 1) {
+      ++forced_arcs;
+    }
+  }
+  EXPECT_GT(forced_arcs, 0);
+  EXPECT_TRUE(spec.graph.has_lower_bounds());
+}
+
+TEST(FlowGraph, ChainArcsConnectSplitLifetimes) {
+  energy::EnergyParams params;
+  Lifetime v;
+  v.value = 0;
+  v.name = "v";
+  v.write_time = 1;
+  v.read_times = {3, 6};
+  AllocationProblem p = make_problem({v}, 7, 1, params,
+                                     energy::ActivityMatrix(1));
+  ASSERT_EQ(p.segments.size(), 2u);
+  const energy::Quantizer q;
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kDensityRegions, q);
+  const netflow::ArcId chain = find_arc(spec, ArcKind::kChain, 0, 1);
+  ASSERT_NE(chain, netflow::kInvalidArc);
+  // Eq. (9): staying in the register saves the interior memory read
+  // (plus the static register read for serving the consumer).
+  EXPECT_EQ(spec.graph.arc(chain).cost,
+            q.quantize(-p.params.e_mem_read() + p.params.e_reg_read()));
+  // Base charges one write + two reads.
+  EXPECT_DOUBLE_EQ(spec.base_energy,
+                   p.params.e_mem_write() + 2 * p.params.e_mem_read());
+}
+
+TEST(FlowGraph, BypassCapacityEqualsRegisters) {
+  AllocationProblem p = tiny_problem();
+  p.num_registers = 7;
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kDensityRegions);
+  for (std::size_t a = 0; a < spec.arc_info.size(); ++a) {
+    if (spec.arc_info[a].kind == ArcKind::kBypass) {
+      EXPECT_EQ(spec.graph.arc(static_cast<netflow::ArcId>(a)).upper, 7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lera::alloc

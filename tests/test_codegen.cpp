@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.hpp"
+#include "alloc/memory_layout.hpp"
+#include "codegen/codegen.hpp"
+#include "ir/eval.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_gen.hpp"
+
+/// The §5 instruction-mapping stage, proven end to end: for every
+/// kernel and random block, the emitted load/store/compute sequence is
+/// *executed* on the register+memory machine and must produce exactly
+/// the outputs of the IR interpreter, while its memory traffic must
+/// equal the energy model's access counts.
+
+namespace lera::codegen {
+namespace {
+
+struct Lowered {
+  alloc::AllocationProblem problem;
+  alloc::AllocationResult result;
+  alloc::MemoryLayout layout;
+  Program program;
+};
+
+Lowered lower(const ir::BasicBlock& bb, const sched::Schedule& s, int R,
+              int access_period = 1) {
+  Lowered out;
+  energy::EnergyParams params;
+  lifetime::SplitOptions split;
+  split.access.period = access_period;
+  out.problem = alloc::make_problem_from_block(bb, s, R, params, {}, split);
+  out.result = alloc::allocate(out.problem);
+  EXPECT_TRUE(out.result.feasible) << out.result.message;
+  out.layout =
+      alloc::optimize_memory_layout(out.problem, out.result.assignment);
+  EXPECT_TRUE(out.layout.feasible);
+  out.program =
+      emit(bb, s, out.problem, out.result.assignment, out.layout);
+  return out;
+}
+
+void expect_executes_like_ir(const ir::BasicBlock& bb,
+                             const Lowered& lowered, std::uint64_t seed) {
+  const auto inputs = workloads::random_inputs(bb, 6, seed);
+  for (const auto& row : inputs) {
+    const auto env = ir::evaluate(bb, row);
+    std::vector<std::int64_t> expected;
+    for (const ir::Operation& op : bb.ops()) {
+      if (op.opcode == ir::Opcode::kOutput) {
+        expected.push_back(env[static_cast<std::size_t>(op.operands[0])]);
+      }
+    }
+    EXPECT_EQ(run(lowered.program, row), expected)
+        << bb.name() << "\n" << lowered.program.to_string();
+  }
+}
+
+TEST(Codegen, AllRegisterProgramHasNoMemoryTraffic) {
+  const ir::BasicBlock bb = workloads::make_fft_butterfly();
+  const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+  energy::EnergyParams params;
+  alloc::AllocationProblem p = alloc::make_problem_from_block(bb, s, 1,
+                                                              params);
+  p.num_registers = p.max_density();
+  const alloc::AllocationResult r = alloc::allocate(p);
+  ASSERT_TRUE(r.feasible);
+  const alloc::MemoryLayout layout =
+      alloc::optimize_memory_layout(p, r.assignment);
+  const Program program = emit(bb, s, p, r.assignment, layout);
+  EXPECT_EQ(program.loads, 0);
+  EXPECT_EQ(program.stores, 0);
+  Lowered lowered{p, r, layout, program};
+  expect_executes_like_ir(bb, lowered, 3);
+}
+
+TEST(Codegen, KernelsExecuteCorrectlyUnderPressure) {
+  int checked = 0;
+  for (const ir::BasicBlock& bb :
+       {workloads::make_fir(8), workloads::make_iir_biquad(),
+        workloads::make_elliptic_wave_filter(),
+        workloads::make_fft_butterfly(), workloads::make_dct4(),
+        workloads::make_lms(3), workloads::make_viterbi_acs(),
+        workloads::make_goertzel(3), workloads::make_conv3x3()}) {
+    const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+    energy::EnergyParams params;
+    alloc::AllocationProblem probe =
+        alloc::make_problem_from_block(bb, s, 1, params);
+    for (int r :
+         {1, std::max(1, probe.max_density() / 2), probe.max_density()}) {
+      const Lowered lowered = lower(bb, s, r);
+      expect_executes_like_ir(bb, lowered, 7 + r);
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 27);
+}
+
+TEST(Codegen, TrafficMatchesEnergyModelCounts) {
+  for (const ir::BasicBlock& bb :
+       {workloads::make_fir(8), workloads::make_elliptic_wave_filter(),
+        workloads::make_rsp(3)}) {
+    const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+    energy::EnergyParams params;
+    alloc::AllocationProblem probe =
+        alloc::make_problem_from_block(bb, s, 1, params);
+    for (int r : {1, 2, std::max(1, probe.max_density() / 2)}) {
+      const Lowered lowered = lower(bb, s, r);
+      EXPECT_EQ(lowered.program.loads, lowered.result.stats.mem_reads)
+          << bb.name() << " R=" << r;
+      EXPECT_EQ(lowered.program.stores, lowered.result.stats.mem_writes)
+          << bb.name() << " R=" << r;
+    }
+  }
+}
+
+TEST(Codegen, RestrictedAccessEmitsReloads) {
+  const ir::BasicBlock bb = workloads::make_fir(6);
+  const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+  energy::EnergyParams params;
+  lifetime::SplitOptions split;
+  split.access.period = 2;
+  alloc::AllocationProblem probe =
+      alloc::make_problem_from_block(bb, s, 1, params, {}, split);
+  probe.num_registers = std::max(2, probe.max_density() / 2);
+  const alloc::AllocationResult r = alloc::allocate(probe);
+  if (!r.feasible) GTEST_SKIP() << r.message;
+  const alloc::MemoryLayout layout =
+      alloc::optimize_memory_layout(probe, r.assignment);
+  const Program program = emit(bb, s, probe, r.assignment, layout);
+  Lowered lowered{probe, r, layout, program};
+  expect_executes_like_ir(bb, lowered, 11);
+  EXPECT_EQ(program.loads, r.stats.mem_reads);
+  EXPECT_EQ(program.stores, r.stats.mem_writes);
+}
+
+TEST(Codegen, RandomBlocksFuzz) {
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    workloads::RandomDfgOptions dopts;
+    dopts.num_ops = 15 + static_cast<int>(seed % 20);
+    const ir::BasicBlock bb = workloads::random_dfg(seed, dopts);
+    const sched::Schedule s = sched::list_schedule(
+        bb, {1 + static_cast<int>(seed % 3), 1});
+    energy::EnergyParams params;
+    lifetime::SplitOptions split;
+    split.access.period = 1 + static_cast<int>(seed % 2);
+    alloc::AllocationProblem p =
+        alloc::make_problem_from_block(bb, s, 1, params, {}, split);
+    p.num_registers = std::max(1, p.max_density() / 2);
+    const alloc::AllocationResult r = alloc::allocate(p);
+    if (!r.feasible) continue;
+    const alloc::MemoryLayout layout =
+        alloc::optimize_memory_layout(p, r.assignment);
+    ASSERT_TRUE(layout.feasible);
+    const Program program = emit(bb, s, p, r.assignment, layout);
+    const Lowered lowered{p, r, layout, program};
+    expect_executes_like_ir(bb, lowered, seed);
+    EXPECT_EQ(program.loads, r.stats.mem_reads) << "seed " << seed;
+    EXPECT_EQ(program.stores, r.stats.mem_writes) << "seed " << seed;
+  }
+}
+
+TEST(Codegen, ListingMentionsEveryInstructionKind) {
+  const ir::BasicBlock bb = workloads::make_fir(8);
+  const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+  const Lowered lowered = lower(bb, s, 2);
+  const std::string listing = lowered.program.to_string();
+  EXPECT_NE(listing.find("mac"), std::string::npos);
+  int computes = 0;
+  for (const ir::Operation& op : bb.ops()) {
+    if (!ir::is_source(op.opcode) && op.opcode != ir::Opcode::kOutput) {
+      ++computes;
+    }
+  }
+  // Every real operation becomes an instruction; spills add more.
+  EXPECT_GE(lowered.program.code_size(), computes);
+}
+
+}  // namespace
+}  // namespace lera::codegen

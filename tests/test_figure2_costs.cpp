@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "alloc/flow_graph.hpp"
+
+/// The paper's Figure 2 catalogues the transition-arc costs between
+/// split lifetimes, eqs. (6)-(10). This suite pins our implementation of
+/// each case to its hand-derived value. One deliberate deviation is
+/// documented in DESIGN.md: eq. (7) as printed omits the -E_r^m(v1)
+/// read saving on a mid-lifetime *read* cut, which contradicts both
+/// eq. (6) and the paper's own accounting narrative; we keep the term.
+/// A true access-boundary cut (no read at the cut) does match the
+/// printed eq. (7): no read saving, only the write-back.
+
+namespace lera::alloc {
+namespace {
+
+using lifetime::Lifetime;
+
+Lifetime lt(const char* name, int w, std::vector<int> reads) {
+  Lifetime out;
+  out.value = 0;
+  out.name = name;
+  out.write_time = w;
+  out.read_times = std::move(reads);
+  return out;
+}
+
+netflow::Cost arc_cost(const FlowGraphSpec& spec, int from_seg,
+                       int to_seg) {
+  for (std::size_t a = 0; a < spec.arc_info.size(); ++a) {
+    const auto& info = spec.arc_info[a];
+    if (info.kind == ArcKind::kTransition && info.from_seg == from_seg &&
+        info.to_seg == to_seg) {
+      return spec.graph.arc(static_cast<netflow::ArcId>(a)).cost;
+    }
+  }
+  return netflow::kInfCost;
+}
+
+class Figure2 : public ::testing::Test {
+ protected:
+  // v1 has reads at 3 and 8 (split at 3); v2 has reads at 5 and 9
+  // (split at 5, written at 4). Segment ids: v1 -> 0 [1,3), 1 [3,8);
+  // v2 -> 2 [4,5), 3 [5,9).
+  Figure2() {
+    params_.register_model = energy::RegisterModel::kActivity;
+    energy::ActivityMatrix act(2, 0.5, 0.5);
+    act.set(0, 1, 0.25);
+    p_ = make_problem({lt("v1", 1, {3, 8}), lt("v2", 4, {5, 9})}, 10, 1,
+                      params_, std::move(act));
+    spec_ = build_flow_graph(p_, GraphStyle::kAllPairs, quantizer_);
+  }
+
+  double h_term() const { return params_.e_reg_transition(0.25); }
+  double er() const { return params_.e_mem_read(); }
+  double ew() const { return params_.e_mem_write(); }
+
+  energy::EnergyParams params_;
+  energy::Quantizer quantizer_;
+  AllocationProblem p_;
+  FlowGraphSpec spec_;
+};
+
+TEST_F(Figure2, CaseA_LastReadToFirstWrite_Eq10) {
+  // r_last(v1) -> w_1(v2): impossible here (v1's last read at 8 is
+  // after v2's write at 4); use the reverse direction instead:
+  // r_last(v2)=9 -> nothing. Build a separate simple instance.
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  energy::ActivityMatrix act(2, 0.5, 0.5);
+  act.set(0, 1, 0.25);
+  const AllocationProblem p = make_problem(
+      {lt("v1", 1, {3}), lt("v2", 4, {6})}, 7, 1, params, std::move(act));
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kAllPairs, quantizer_);
+  // eq. (10): -E_w^m(v2) - E_r^m(v1) + H*C.
+  EXPECT_EQ(arc_cost(spec, 0, 1),
+            quantizer_.quantize(-params.e_mem_write() -
+                                params.e_mem_read() +
+                                params.e_reg_transition(0.25)));
+}
+
+TEST_F(Figure2, CaseB_InteriorReadToFirstWrite_Eq6) {
+  // r_1(v1) (read at 3, not last) -> w_1(v2) (definition at 4).
+  // eq. (6): -E_r^m(v1) - E_w^m(v2) + E_w^m(v1) + H*C.
+  EXPECT_EQ(arc_cost(spec_, 0, 2),
+            quantizer_.quantize(-er() - ew() + ew() + h_term()));
+}
+
+TEST_F(Figure2, CaseC_InteriorReadToInteriorWrite_Eq7Corrected) {
+  // r_1(v1) (read at 3, not last) -> w_2(v2) (interior read cut at 5).
+  // Printed eq. (7): E_w^m(v1) + H*C. Corrected (DESIGN.md): the read
+  // at 3 is served from the register, so -E_r^m(v1) applies too.
+  EXPECT_EQ(arc_cost(spec_, 0, 3),
+            quantizer_.quantize(-er() + ew() + h_term()));
+}
+
+TEST_F(Figure2, CaseD_LastReadToInteriorWrite_Eq8) {
+  // r_last(v1) (read at 8) -> w_2(v2)? v2's interior cut is at 5 < 8:
+  // not compatible. Use v2's last segment end 9 -> nothing. Instead
+  // check r_last(v2) -> nothing exists and test eq. (8) on a fresh
+  // instance: v1 dies at 3, v2 is split with an interior cut at 5.
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  energy::ActivityMatrix act(2, 0.5, 0.5);
+  act.set(0, 1, 0.25);
+  const AllocationProblem p = make_problem(
+      {lt("v1", 1, {3}), lt("v2", 2, {5, 8})}, 9, 1, params,
+      std::move(act));
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kAllPairs, quantizer_);
+  // v1 -> segment 0; v2 -> segments 1 [2,5), 2 [5,8).
+  // r_last(v1)=3 -> w_2(v2)=5: eq. (8): -E_r^m(v1) + H*C (the entering
+  // read at 5 doubles as the load, no write saving).
+  EXPECT_EQ(arc_cost(spec, 0, 2),
+            quantizer_.quantize(-params.e_mem_read() +
+                                params.e_reg_transition(0.25)));
+}
+
+TEST_F(Figure2, ChainArc_Eq9) {
+  // r_1(v) -> w_2(v) of the same variable: eq. (9): -E_r^m(v).
+  for (std::size_t a = 0; a < spec_.arc_info.size(); ++a) {
+    const auto& info = spec_.arc_info[a];
+    if (info.kind == ArcKind::kChain && info.from_seg == 0) {
+      EXPECT_EQ(spec_.graph.arc(static_cast<netflow::ArcId>(a)).cost,
+                quantizer_.quantize(-er()));
+    }
+  }
+}
+
+TEST_F(Figure2, BoundaryCutLeaveMatchesPrintedEq7) {
+  // With restricted access times the cut is *not* a read: leaving the
+  // register there costs only the write-back — the printed eq. (7).
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  lifetime::SplitOptions split;
+  split.access.period = 3;  // Allowed at 3, 6, 9.
+  energy::ActivityMatrix act(2, 0.5, 0.5);
+  act.set(0, 1, 0.25);
+  const AllocationProblem p = make_problem(
+      {lt("v1", 1, {7}), lt("v2", 4, {8})}, 9, 1, params, std::move(act),
+      split);
+  // v1: [1,3) boundary [3,6) boundary [6,7); v2: [4,6) boundary [6,8).
+  const FlowGraphSpec spec =
+      build_flow_graph(p, GraphStyle::kAllPairs, quantizer_);
+  // r of v1's first segment (boundary cut at 3) -> w of v2's first
+  // segment (definition at 4): +E_w^m(v1) - E_w^m(v2) + H*C.
+  EXPECT_EQ(arc_cost(spec, 0, 3),
+            quantizer_.quantize(params.e_mem_write() -
+                                params.e_mem_write() +
+                                params.e_reg_transition(0.25)));
+  // Boundary-cut entry (v2's segment at 6) from v1's boundary cut at 3:
+  // +E_w^m(v1) + E_r^m(v2) + H*C (write-back plus explicit reload).
+  EXPECT_EQ(arc_cost(spec, 0, 4),
+            quantizer_.quantize(params.e_mem_write() +
+                                params.e_mem_read() +
+                                params.e_reg_transition(0.25)));
+}
+
+}  // namespace
+}  // namespace lera::alloc

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.hpp"
+#include "sched/force_directed.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_gen.hpp"
+
+namespace lera::sched {
+namespace {
+
+TEST(ForceDirected, ValidAtTightestLatency) {
+  const ir::BasicBlock bb = workloads::make_elliptic_wave_filter();
+  const int bound = asap(bb).length(bb);
+  const Schedule s = force_directed_schedule(bb, bound);
+  EXPECT_TRUE(s.verify(bb).empty()) << s.verify(bb);
+  EXPECT_LE(s.length(bb), bound);
+}
+
+TEST(ForceDirected, ValidWithSlack) {
+  const ir::BasicBlock bb = workloads::make_fir(8);
+  const int bound = asap(bb).length(bb) + 6;
+  const Schedule s = force_directed_schedule(bb, bound);
+  EXPECT_TRUE(s.verify(bb).empty()) << s.verify(bb);
+  EXPECT_LE(s.length(bb), bound);
+}
+
+TEST(ForceDirected, BalancesFunctionalUnits) {
+  // With slack, force-directed spreading must not exceed ASAP's peaks,
+  // and usually improves the multiplier peak on MUL-heavy kernels.
+  const ir::BasicBlock bb = workloads::make_rsp(4);
+  const Schedule greedy = asap(bb);
+  const FuUsage asap_usage = measure_fu_usage(bb, greedy);
+  const Schedule fd =
+      force_directed_schedule(bb, greedy.length(bb) + 4);
+  const FuUsage fd_usage = measure_fu_usage(bb, fd);
+  EXPECT_TRUE(fd.verify(bb).empty()) << fd.verify(bb);
+  EXPECT_LE(fd_usage.peak_muls, asap_usage.peak_muls);
+  EXPECT_LE(fd_usage.peak_alus, asap_usage.peak_alus);
+  EXPECT_LT(fd_usage.peak_muls + fd_usage.peak_alus,
+            asap_usage.peak_muls + asap_usage.peak_alus);
+}
+
+TEST(ForceDirected, DeterministicAcrossRuns) {
+  const ir::BasicBlock bb = workloads::make_dct4();
+  const int bound = asap(bb).length(bb) + 2;
+  const Schedule a = force_directed_schedule(bb, bound);
+  const Schedule b = force_directed_schedule(bb, bound);
+  for (const ir::Operation& op : bb.ops()) {
+    EXPECT_EQ(a.start(op.id), b.start(op.id));
+  }
+}
+
+TEST(ForceDirected, RandomBlocksStayValid) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const ir::BasicBlock bb = workloads::random_dfg(seed);
+    const int bound = asap(bb).length(bb) + static_cast<int>(seed % 5);
+    const Schedule s = force_directed_schedule(bb, bound);
+    EXPECT_TRUE(s.verify(bb).empty())
+        << "seed " << seed << ": " << s.verify(bb);
+    EXPECT_LE(s.length(bb), bound) << "seed " << seed;
+  }
+}
+
+TEST(ForceDirected, FeedsTheAllocator) {
+  const ir::BasicBlock bb = workloads::make_fft_butterfly();
+  const Schedule s =
+      force_directed_schedule(bb, asap(bb).length(bb) + 3);
+  energy::EnergyParams params;
+  const alloc::AllocationProblem p =
+      alloc::make_problem_from_block(bb, s, 4, params);
+  const alloc::AllocationResult r = alloc::allocate(p);
+  EXPECT_TRUE(r.feasible) << r.message;
+}
+
+TEST(MeasureFuUsage, CountsMultiCycleOccupancy) {
+  ir::BasicBlock bb("t");
+  const ir::ValueId a = bb.input("a");
+  const ir::ValueId b = bb.input("b");
+  const ir::ValueId m1 = bb.emit(ir::Opcode::kMul, {a, b}, "m1");
+  const ir::ValueId m2 = bb.emit(ir::Opcode::kMul, {a, b}, "m2");
+  bb.output(m1);
+  bb.output(m2);
+  const Schedule s = asap(bb);  // Both muls start at step 1.
+  const FuUsage usage = measure_fu_usage(bb, s);
+  EXPECT_EQ(usage.peak_muls, 2);
+  EXPECT_EQ(usage.peak_alus, 0);
+}
+
+}  // namespace
+}  // namespace lera::sched

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.hpp"
+#include "alloc/banking.hpp"
+#include "alloc/coloring.hpp"
+#include "alloc/hierarchy.hpp"
+#include "alloc/memory_layout.hpp"
+#include "alloc/offset_assignment.hpp"
+#include "alloc/two_phase.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_gen.hpp"
+
+/// Whole-stack randomized battery: random DFGs through scheduling,
+/// allocation (every style/model), both baselines and every memory
+/// post-pass, checking the full invariant set on each. One test per
+/// seed so failures bisect instantly.
+
+namespace lera {
+namespace {
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipeline, EndToEndInvariants) {
+  const std::uint64_t seed = GetParam();
+
+  workloads::RandomDfgOptions dopts;
+  dopts.num_ops = 20 + static_cast<int>(seed % 30);
+  dopts.num_inputs = 3 + static_cast<int>(seed % 5);
+  const ir::BasicBlock bb = workloads::random_dfg(seed, dopts);
+  ASSERT_TRUE(bb.verify().empty());
+
+  const sched::Resources res{1 + static_cast<int>(seed % 3),
+                             1 + static_cast<int>(seed % 2)};
+  const sched::Schedule s = sched::list_schedule(bb, res);
+  ASSERT_TRUE(s.verify(bb).empty());
+
+  energy::EnergyParams params;
+  params.register_model = seed % 2 == 0
+                              ? energy::RegisterModel::kStatic
+                              : energy::RegisterModel::kActivity;
+  lifetime::SplitOptions split;
+  split.access.period = 1 + static_cast<int>(seed % 3);
+
+  alloc::AllocationProblem p = alloc::make_problem_from_block(
+      bb, s, 1, params, workloads::random_inputs(bb, 8, seed), split);
+  p.num_registers = std::max(1, p.max_density() / 2 +
+                                    static_cast<int>(seed % 3) - 1);
+
+  alloc::AllocatorOptions opts;
+  opts.style = seed % 3 == 0 ? alloc::GraphStyle::kAllPairs
+                             : alloc::GraphStyle::kDensityRegions;
+  opts.certify = true;
+  const alloc::AllocationResult r = alloc::allocate(p, opts);
+  if (!r.feasible) {
+    // Only legitimate cause: forced segments exceeding R.
+    EXPECT_NE(r.message.find("forced"), std::string::npos) << r.message;
+    return;
+  }
+
+  // Invariant battery on the optimal result.
+  EXPECT_TRUE(alloc::validate_assignment(p, r.assignment).empty());
+  const double replayed = r.energy(p);
+  EXPECT_NEAR(r.model_energy, replayed, 1e-3 + 1e-9 * std::abs(replayed));
+
+  // Baselines are valid and never beat the optimum.
+  const alloc::AllocationResult coloring = alloc::coloring_allocate(p);
+  if (coloring.feasible) {
+    EXPECT_TRUE(alloc::validate_assignment(p, coloring.assignment).empty());
+    EXPECT_LE(r.energy(p), coloring.energy(p) + 1e-9);
+  }
+  if (split.access.period == 1) {  // Two-phase needs unforced segments.
+    const alloc::AllocationResult two = alloc::two_phase_allocate(p);
+    if (two.feasible && opts.style == alloc::GraphStyle::kAllPairs) {
+      EXPECT_LE(r.energy(p), two.energy(p) + 1e-9);
+    }
+  }
+
+  // Memory post-passes.
+  const alloc::MemoryLayout layout =
+      alloc::optimize_memory_layout(p, r.assignment);
+  ASSERT_TRUE(layout.feasible);
+  EXPECT_EQ(layout.locations, r.stats.mem_locations);
+  EXPECT_LE(layout.optimized_activity, layout.naive_activity + 1e-9);
+
+  const alloc::OffsetAssignment offsets =
+      alloc::assign_offsets(p, r.assignment, layout.address);
+  ASSERT_TRUE(offsets.feasible);
+  EXPECT_LE(offsets.reloads, offsets.naive_reloads);
+
+  const alloc::BankAssignment banks =
+      alloc::assign_banks(p, r.assignment, layout.address, 2);
+  ASSERT_TRUE(banks.feasible);
+  EXPECT_LE(banks.conflicts, banks.naive_conflicts);
+
+  alloc::HierarchyParams h;
+  h.onchip_capacity = 1 + static_cast<int>(seed % 4);
+  const alloc::HierarchicalResult hier = alloc::allocate_hierarchical(p, h);
+  ASSERT_TRUE(hier.feasible) << hier.message;
+  EXPECT_LE(hier.total_static_energy,
+            hier.all_offchip_static_energy + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<std::uint64_t>(100, 160));
+
+}  // namespace
+}  // namespace lera

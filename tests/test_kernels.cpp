@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "alloc/allocator.hpp"
+#include "energy/activity.hpp"
+#include "ir/eval.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/kernels.hpp"
+
+namespace lera::workloads {
+namespace {
+
+TEST(Kernels, NewKernelsVerify) {
+  for (const ir::BasicBlock& bb :
+       {make_fft(8), make_matmul(3), make_conv3x3(), make_lattice(4)}) {
+    EXPECT_TRUE(bb.verify().empty()) << bb.name() << ": " << bb.verify();
+  }
+}
+
+TEST(Kernels, FftSizesScale) {
+  EXPECT_LT(make_fft(4).num_ops(), make_fft(8).num_ops());
+  EXPECT_LT(make_fft(8).num_ops(), make_fft(16).num_ops());
+}
+
+TEST(Kernels, FftDcInputGivesFlatSpectrumBins) {
+  // All-ones real input with unit twiddles (wr = 1, wi = 0): bin 0
+  // accumulates the sum (8), and with w = 1 everywhere the other
+  // "bins" of this untwiddled transform collapse to 0.
+  const ir::BasicBlock bb = make_fft(8);
+  std::vector<std::int64_t> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(1);  // xr
+    inputs.push_back(0);  // xi
+  }
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(1);  // wr
+    inputs.push_back(0);  // wi
+  }
+  const auto env = ir::evaluate(bb, inputs);
+  // The first output op reads bin 0's real part.
+  std::int64_t bin0 = 0;
+  for (const ir::Operation& op : bb.ops()) {
+    if (op.opcode == ir::Opcode::kOutput) {
+      bin0 = env[static_cast<std::size_t>(op.operands[0])];
+      break;
+    }
+  }
+  EXPECT_EQ(bin0, 8);
+}
+
+TEST(Kernels, MatmulComputesProduct) {
+  const ir::BasicBlock bb = make_matmul(2);
+  // A = [1 2; 3 4], B = [5 6; 7 8] -> C = [19 22; 43 50]. Inputs are
+  // emitted interleaved: a0,b0,a1,b1,...
+  const auto env = ir::evaluate(bb, {1, 5, 2, 6, 3, 7, 4, 8});
+  std::vector<std::int64_t> c;
+  for (const ir::Operation& op : bb.ops()) {
+    if (op.opcode == ir::Opcode::kOutput) {
+      c.push_back(env[static_cast<std::size_t>(op.operands[0])]);
+    }
+  }
+  EXPECT_EQ(c, (std::vector<std::int64_t>{19, 22, 43, 50}));
+}
+
+TEST(Kernels, Conv3x3ClampsToByteRange) {
+  const ir::BasicBlock bb = make_conv3x3();
+  {
+    // All-zero pixels -> zero.
+    const auto env = ir::evaluate(bb, std::vector<std::int64_t>(9, 0));
+    std::int64_t out = -1;
+    for (const ir::Operation& op : bb.ops()) {
+      if (op.opcode == ir::Opcode::kOutput) {
+        out = env[static_cast<std::size_t>(op.operands[0])];
+      }
+    }
+    EXPECT_EQ(out, 0);
+  }
+  {
+    // Large positive pixels saturate at 255 after the >>4 and clamp.
+    const auto env = ir::evaluate(bb, std::vector<std::int64_t>(9, 4000));
+    std::int64_t out = -1;
+    for (const ir::Operation& op : bb.ops()) {
+      if (op.opcode == ir::Opcode::kOutput) {
+        out = env[static_cast<std::size_t>(op.operands[0])];
+      }
+    }
+    EXPECT_LE(out, 255);
+    EXPECT_GE(out, 0);
+  }
+}
+
+TEST(Kernels, LatticeSectionRecursion) {
+  const ir::BasicBlock bb = make_lattice(1);
+  // f' = x - k*g ; g' = g - k*x  with x=10, g=4, k=2.
+  const auto env = ir::evaluate(bb, {10, 4, 2});
+  std::int64_t f1 = 0;
+  std::int64_t g1 = 0;
+  for (const ir::Value& v : bb.values()) {
+    if (v.name == "f1") f1 = env[static_cast<std::size_t>(v.id)];
+    if (v.name == "gq1") g1 = env[static_cast<std::size_t>(v.id)];
+  }
+  EXPECT_EQ(f1, 10 - 2 * 4);
+  EXPECT_EQ(g1, 4 - 2 * 10);
+}
+
+TEST(Kernels, WholeSuiteSchedulesAndAllocates) {
+  for (const ir::BasicBlock& bb :
+       {make_fft(8), make_matmul(3), make_conv3x3(), make_lattice(4)}) {
+    const sched::Schedule s = sched::list_schedule(bb, {2, 2});
+    ASSERT_TRUE(s.verify(bb).empty()) << bb.name();
+    energy::EnergyParams params;
+    params.register_model = energy::RegisterModel::kActivity;
+    alloc::AllocationProblem p = alloc::make_problem_from_block(
+        bb, s, 1, params, random_inputs(bb, 16, 3));
+    p.num_registers = std::max(1, p.max_density() / 2);
+    const alloc::AllocationResult r = alloc::allocate(p);
+    ASSERT_TRUE(r.feasible) << bb.name() << ": " << r.message;
+    EXPECT_TRUE(alloc::validate_assignment(p, r.assignment).empty())
+        << bb.name();
+  }
+}
+
+TEST(Kernels, Fft8IsLargeEnoughToStressTheFlow) {
+  const ir::BasicBlock bb = make_fft(8);
+  const sched::Schedule s = sched::list_schedule(bb, {4, 4});
+  energy::EnergyParams params;
+  const alloc::AllocationProblem p =
+      alloc::make_problem_from_block(bb, s, 8, params);
+  EXPECT_GT(p.lifetimes.size(), 80u);
+  EXPECT_GT(p.max_density(), 16);
+  const alloc::AllocationResult r = alloc::allocate(p);
+  ASSERT_TRUE(r.feasible);
+  // With R = 8 and that density, memory is provably at its minimum.
+  EXPECT_EQ(r.stats.mem_locations, p.max_density() - 8);
+}
+
+TEST(Kernels, LmsUpdateSemantics) {
+  const ir::BasicBlock bb = make_lms(2);
+  // Inputs interleaved: x0,w0,x1,w1 then d, mu.
+  // x = (2, 3), w = (10, 20), d = 100, mu = 256.
+  // y = 2*10 + 3*20 = 80; e = 20; step = (256*20)>>8 = 20.
+  // w0' = 10 + 20*2 = 50; w1' = 20 + 20*3 = 80.
+  const auto env = ir::evaluate(bb, {2, 10, 3, 20, 100, 256});
+  std::map<std::string, std::int64_t> named;
+  for (const ir::Value& v : bb.values()) {
+    named[v.name] = env[static_cast<std::size_t>(v.id)];
+  }
+  EXPECT_EQ(named.at("y1"), 80);
+  EXPECT_EQ(named.at("e"), 20);
+  EXPECT_EQ(named.at("step"), 20);
+  EXPECT_EQ(named.at("wn0"), 50);
+  EXPECT_EQ(named.at("wn1"), 80);
+}
+
+TEST(Kernels, ViterbiAcsPicksSurvivors) {
+  const ir::BasicBlock bb = make_viterbi_acs();
+  // pm = (5, 9); bm00=1 bm01=7 bm10=2 bm11=0.
+  // a0 = 6, a1 = 11 -> new0 = 6; b0 = 12, b1 = 9 -> new1 = 9.
+  const auto env = ir::evaluate(bb, {5, 9, 1, 7, 2, 0});
+  std::map<std::string, std::int64_t> named;
+  for (const ir::Value& v : bb.values()) {
+    named[v.name] = env[static_cast<std::size_t>(v.id)];
+  }
+  EXPECT_EQ(named.at("new0"), 6);
+  EXPECT_EQ(named.at("new1"), 9);
+  EXPECT_LT(named.at("d0"), 0);  // a0 won.
+  EXPECT_GT(named.at("d1"), 0);  // b1 won.
+}
+
+TEST(Kernels, GoertzelRecurrence) {
+  const ir::BasicBlock bb = make_goertzel(1);
+  // s1=4, s2=1, coeff=512 (2.0 in Q8): s = ((512*4)>>8) - 1 + x.
+  const auto env = ir::evaluate(bb, {4, 1, 512, 10});
+  std::map<std::string, std::int64_t> named;
+  for (const ir::Value& v : bb.values()) {
+    named[v.name] = env[static_cast<std::size_t>(v.id)];
+  }
+  EXPECT_EQ(named.at("s0"), 8 - 1 + 10);
+}
+
+TEST(Kernels, NewDspKernelsAllocate) {
+  for (const ir::BasicBlock& bb :
+       {make_lms(4), make_viterbi_acs(), make_goertzel(4)}) {
+    EXPECT_TRUE(bb.verify().empty()) << bb.name();
+    const sched::Schedule s = sched::list_schedule(bb, {2, 1});
+    energy::EnergyParams params;
+    alloc::AllocationProblem p = alloc::make_problem_from_block(
+        bb, s, 1, params, random_inputs(bb, 16, 3));
+    p.num_registers = std::max(1, p.max_density() / 2);
+    const alloc::AllocationResult r = alloc::allocate(p);
+    ASSERT_TRUE(r.feasible) << bb.name() << ": " << r.message;
+  }
+}
+
+TEST(Stimuli, ShapesAreDistinctAndDeterministic) {
+  const ir::BasicBlock bb = make_fir(4);
+  for (auto kind : {Stimulus::kUniform, Stimulus::kSine, Stimulus::kAr1,
+                    Stimulus::kRamp}) {
+    const auto a = correlated_inputs(bb, 32, kind, 7);
+    const auto b = correlated_inputs(bb, 32, kind, 7);
+    EXPECT_EQ(a, b);  // Deterministic in the seed.
+    ASSERT_EQ(a.size(), 32u);
+    ASSERT_EQ(a[0].size(), 4u);  // One column per kInput.
+  }
+}
+
+TEST(Stimuli, CorrelatedSignalsSwitchLessThanUniform) {
+  // Mean successive-sample Hamming distance: AR(1) and ramps toggle far
+  // fewer bits than uniform noise. (This is why ablation E measures H
+  // with correlated stimuli.)
+  const ir::BasicBlock bb = make_fir(2);
+  auto mean_successive_h = [&](Stimulus kind) {
+    const auto rows = correlated_inputs(bb, 256, kind, 3);
+    double acc = 0;
+    int n = 0;
+    for (std::size_t s = 1; s < rows.size(); ++s) {
+      for (std::size_t c = 0; c < rows[s].size(); ++c) {
+        acc += energy::hamming_fraction(rows[s - 1][c], rows[s][c], 16);
+        ++n;
+      }
+    }
+    return acc / n;
+  };
+  const double uniform = mean_successive_h(Stimulus::kUniform);
+  const double ramp = mean_successive_h(Stimulus::kRamp);
+  const double ar1 = mean_successive_h(Stimulus::kAr1);
+  EXPECT_NEAR(uniform, 0.5, 0.05);
+  EXPECT_LT(ramp, uniform);
+  EXPECT_LT(ar1, uniform);
+}
+
+TEST(Stimuli, SineStaysInSixteenBitRange) {
+  const ir::BasicBlock bb = make_fir(3);
+  for (const auto& row : correlated_inputs(bb, 64, Stimulus::kSine, 9)) {
+    for (std::int64_t v : row) {
+      EXPECT_LE(v, 32767);
+      EXPECT_GE(v, -32768);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lera::workloads

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "lifetime/lifetime.hpp"
+#include "lifetime/segment.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_gen.hpp"
+
+namespace lera::lifetime {
+namespace {
+
+TEST(Analyze, SimpleChain) {
+  ir::BasicBlock bb("t");
+  const ir::ValueId x = bb.input("x");
+  const ir::ValueId y = bb.input("y");
+  const ir::ValueId a = bb.emit(ir::Opcode::kAdd, {x, y}, "a");
+  const ir::ValueId b = bb.emit(ir::Opcode::kAdd, {a, x}, "b");
+  bb.output(b);
+  const sched::Schedule s = sched::asap(bb);
+
+  const auto lifetimes = analyze(bb, s);
+  ASSERT_EQ(lifetimes.size(), 4u);  // x, y, a, b
+
+  // x: written at 0 (input), read at steps of both adds.
+  const Lifetime& lx = lifetimes[0];
+  EXPECT_EQ(lx.name, "x");
+  EXPECT_EQ(lx.write_time, 0);
+  EXPECT_EQ(lx.read_times, (std::vector<int>{1, 2}));
+
+  // b: defined at step 2, live-out -> read at x+1 = 3.
+  const Lifetime& lb = lifetimes[3];
+  EXPECT_EQ(lb.name, "b");
+  EXPECT_TRUE(lb.live_out);
+  EXPECT_EQ(lb.write_time, 2);
+  EXPECT_EQ(lb.read_times, (std::vector<int>{3}));
+}
+
+TEST(Analyze, ConstantsExcludedByDefault) {
+  ir::BasicBlock bb("t");
+  const ir::ValueId x = bb.input("x");
+  const ir::ValueId c = bb.constant(3);
+  bb.output(bb.emit(ir::Opcode::kAdd, {x, c}, "a"));
+  const sched::Schedule s = sched::asap(bb);
+  EXPECT_EQ(analyze(bb, s).size(), 2u);  // x and a, not c.
+  LifetimeOptions opts;
+  opts.include_constants = true;
+  EXPECT_EQ(analyze(bb, s, opts).size(), 3u);
+}
+
+TEST(Analyze, DeadValuesSkipped) {
+  ir::BasicBlock bb("t");
+  const ir::ValueId x = bb.input("x");
+  const ir::ValueId y = bb.input("y");
+  bb.emit(ir::Opcode::kAdd, {x, y}, "dead");
+  bb.output(bb.emit(ir::Opcode::kSub, {x, y}, "live"));
+  const sched::Schedule s = sched::asap(bb);
+  for (const Lifetime& lt : analyze(bb, s)) {
+    EXPECT_NE(lt.name, "dead");
+  }
+}
+
+TEST(Density, Figure1Profile) {
+  // The paper's Figure 1: peaks of density 3 around boundaries 2 and
+  // 4-5, dipping to 2 at boundary 3 where a and b die and d, e begin.
+  const auto lifetimes = workloads::figure1_lifetimes();
+  const auto profile = density_profile(lifetimes, 7);
+  ASSERT_EQ(profile.size(), 8u);
+  EXPECT_EQ(profile[0], 0);
+  EXPECT_EQ(profile[1], 1);
+  EXPECT_EQ(profile[2], 3);
+  EXPECT_EQ(profile[3], 2);
+  EXPECT_EQ(profile[4], 3);
+  EXPECT_EQ(profile[5], 3);
+  EXPECT_EQ(profile[6], 2);
+  EXPECT_EQ(profile[7], 2);
+  EXPECT_EQ(max_density(profile), 3);
+
+  const auto is_max = max_density_boundaries(profile);
+  EXPECT_TRUE(is_max[2]);
+  EXPECT_FALSE(is_max[3]);
+  EXPECT_TRUE(is_max[4]);
+  EXPECT_TRUE(is_max[5]);
+}
+
+TEST(Density, CrossesSemantics) {
+  Lifetime lt;
+  lt.write_time = 2;
+  lt.read_times = {5};
+  EXPECT_FALSE(lt.crosses(1));
+  EXPECT_TRUE(lt.crosses(2));
+  EXPECT_TRUE(lt.crosses(4));
+  EXPECT_FALSE(lt.crosses(5));
+}
+
+TEST(Segments, SingleReadIsOneSegment) {
+  Lifetime lt;
+  lt.value = 0;
+  lt.name = "v";
+  lt.write_time = 1;
+  lt.read_times = {4};
+  const auto segs = build_segments({lt}, 6, {});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].start, 1);
+  EXPECT_EQ(segs[0].end, 4);
+  EXPECT_EQ(segs[0].start_kind, CutKind::kDef);
+  EXPECT_EQ(segs[0].end_kind, CutKind::kDeath);
+  EXPECT_FALSE(segs[0].forced_register);
+}
+
+TEST(Segments, MultipleReadsSplit) {
+  Lifetime lt;
+  lt.value = 0;
+  lt.name = "v";
+  lt.write_time = 1;
+  lt.read_times = {3, 5, 7};
+  const auto segs = build_segments({lt}, 8, {});
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].end, 3);
+  EXPECT_EQ(segs[0].end_kind, CutKind::kRead);
+  EXPECT_EQ(segs[1].start, 3);
+  EXPECT_EQ(segs[1].end, 5);
+  EXPECT_EQ(segs[2].end, 7);
+  EXPECT_EQ(segs[2].end_kind, CutKind::kDeath);
+  EXPECT_EQ(segs[2].index, 2);
+}
+
+TEST(Segments, RestrictedAccessTimesForceRegisters) {
+  // Access allowed at odd steps (1,3,5,...) as in the paper's Fig. 1c.
+  SplitOptions opts;
+  opts.access.period = 2;
+  opts.access.phase = 1;
+
+  // Variable e of Fig. 1c: lives entirely between allowed times 3 and 5?
+  // e = [4,6]: starts at 4 (not allowed) -> forced into a register.
+  Lifetime e;
+  e.value = 0;
+  e.name = "e";
+  e.write_time = 4;
+  e.read_times = {6};
+  {
+    const auto segs = build_segments({e}, 7, opts);
+    // Cut at allowed time 5 inside [4,6]: two segments.
+    ASSERT_EQ(segs.size(), 2u);
+    EXPECT_TRUE(segs[0].forced_register);  // [4,5): begins at 4 (even).
+    EXPECT_TRUE(segs[1].forced_register);  // [5,6): read at 6 (even).
+  }
+}
+
+TEST(Segments, AccessBoundaryCutKinds) {
+  SplitOptions opts;
+  opts.access.period = 2;
+  opts.access.phase = 1;
+  Lifetime c;
+  c.value = 0;
+  c.name = "c";
+  c.write_time = 2;
+  c.read_times = {8};  // x = 7 -> 8 means live-out, always accessible.
+  const auto segs = build_segments({c}, 7, opts);
+  // Allowed interior times 3, 5, 7 cut [2,8] into 4 segments.
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[0].start, 2);
+  EXPECT_EQ(segs[0].end, 3);
+  EXPECT_EQ(segs[0].end_kind, CutKind::kBoundary);
+  EXPECT_TRUE(segs[0].forced_register);  // Starts at even step 2.
+  EXPECT_FALSE(segs[1].forced_register);
+  EXPECT_EQ(segs[3].end, 8);
+  EXPECT_EQ(segs[3].end_kind, CutKind::kDeath);
+}
+
+TEST(Segments, ManualCuts) {
+  Lifetime f;
+  f.value = 0;
+  f.name = "f";
+  f.write_time = 3;
+  f.read_times = {6};
+  SplitOptions opts;
+  opts.manual_cuts.push_back({0, 4});
+  const auto segs = build_segments({f}, 9, opts);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].end, 4);
+  EXPECT_EQ(segs[0].end_kind, CutKind::kBoundary);
+}
+
+TEST(Segments, ManualCutOutsideLifetimeIgnored) {
+  Lifetime f;
+  f.value = 0;
+  f.name = "f";
+  f.write_time = 3;
+  f.read_times = {6};
+  SplitOptions opts;
+  opts.manual_cuts.push_back({0, 3});   // At the write: no cut.
+  opts.manual_cuts.push_back({0, 6});   // At the death: no cut.
+  opts.manual_cuts.push_back({0, 9});   // Beyond: no cut.
+  EXPECT_EQ(build_segments({f}, 9, opts).size(), 1u);
+}
+
+TEST(Segments, ReadCutWinsOverBoundaryCut) {
+  SplitOptions opts;
+  opts.access.period = 2;
+  opts.access.phase = 1;
+  Lifetime v;
+  v.value = 0;
+  v.name = "v";
+  v.write_time = 1;
+  v.read_times = {3, 7};  // Read at 3 coincides with an allowed time.
+  const auto segs = build_segments({v}, 7, opts);
+  // Cuts: read@3 (kRead, not kBoundary), boundary@5.
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].end_kind, CutKind::kRead);
+  EXPECT_EQ(segs[1].end, 5);
+  EXPECT_EQ(segs[1].end_kind, CutKind::kBoundary);
+}
+
+TEST(Segments, SegmentsPerVarCounts) {
+  const auto lifetimes = workloads::figure1_lifetimes();
+  const auto segs = build_segments(lifetimes, 7, {});
+  const auto counts = segments_per_var(segs, lifetimes.size());
+  for (int c : counts) EXPECT_EQ(c, 1);  // Single-read variables.
+}
+
+TEST(Segments, RandomLifetimesAreContiguous) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    workloads::RandomLifetimeOptions lopts;
+    lopts.num_vars = 12;
+    lopts.max_reads = 3;
+    const auto lifetimes = workloads::random_lifetimes(seed, lopts);
+    SplitOptions sopts;
+    sopts.access.period = (seed % 3 == 0) ? 2 : 1;
+    const auto segs = build_segments(lifetimes, lopts.num_steps, sopts);
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      EXPECT_LT(segs[i].start, segs[i].end);
+      if (i > 0 && segs[i].var == segs[i - 1].var) {
+        EXPECT_EQ(segs[i].start, segs[i - 1].end);
+        EXPECT_EQ(segs[i].index, segs[i - 1].index + 1);
+      }
+    }
+    // The segments of each variable must tile its lifetime exactly.
+    const auto counts = segments_per_var(segs, lifetimes.size());
+    std::size_t seg_idx = 0;
+    for (std::size_t v = 0; v < lifetimes.size(); ++v) {
+      EXPECT_EQ(segs[seg_idx].start, lifetimes[v].write_time);
+      seg_idx += static_cast<std::size_t>(counts[v]);
+      EXPECT_EQ(segs[seg_idx - 1].end, lifetimes[v].last_read());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lera::lifetime

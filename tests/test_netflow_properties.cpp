@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "netflow/netflow.hpp"
+#include "workloads/random_gen.hpp"
+
+/// Property-based cross-checks: on random instances all three solvers
+/// must agree on feasibility and optimal cost, every returned flow must
+/// be feasible, and every returned flow must pass the residual-cycle
+/// optimality certificate.
+
+namespace lera::netflow {
+namespace {
+
+using workloads::RandomFlowOptions;
+using workloads::random_flow_problem;
+
+struct PropertyCase {
+  std::uint64_t seed;
+  RandomFlowOptions opts;
+};
+
+class RandomInstanceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+void check_all_solvers_agree(const Graph& g) {
+  const FlowSolution ssp = solve(g, SolverKind::kSuccessiveShortestPaths);
+  const FlowSolution cc = solve(g, SolverKind::kCycleCanceling);
+  const FlowSolution ns = solve(g, SolverKind::kNetworkSimplex);
+  const FlowSolution cs = solve(g, SolverKind::kCostScaling);
+
+  ASSERT_EQ(ssp.status, cc.status);
+  ASSERT_EQ(ssp.status, ns.status);
+  ASSERT_EQ(ssp.status, cs.status);
+  if (!ssp.optimal()) return;
+
+  EXPECT_EQ(ssp.cost, cc.cost);
+  EXPECT_EQ(ssp.cost, ns.cost);
+  EXPECT_EQ(ssp.cost, cs.cost);
+  for (const FlowSolution* sol : {&ssp, &cc, &ns, &cs}) {
+    const CheckResult feasible = check_feasible(g, sol->arc_flow);
+    EXPECT_TRUE(feasible.ok) << feasible.message;
+    EXPECT_TRUE(certify_optimal(g, sol->arc_flow));
+    EXPECT_EQ(flow_cost(g, sol->arc_flow), sol->cost);
+  }
+}
+
+TEST_P(RandomInstanceTest, PlainTransportProblems) {
+  RandomFlowOptions opts;
+  opts.min_cost = 0;  // Non-negative costs.
+  check_all_solvers_agree(random_flow_problem(GetParam(), opts));
+}
+
+TEST_P(RandomInstanceTest, NegativeCosts) {
+  RandomFlowOptions opts;
+  opts.min_cost = -30;
+  check_all_solvers_agree(random_flow_problem(GetParam(), opts));
+}
+
+TEST_P(RandomInstanceTest, PureCirculations) {
+  RandomFlowOptions opts;
+  opts.supply = 0;
+  opts.min_cost = -30;
+  check_all_solvers_agree(random_flow_problem(GetParam(), opts));
+}
+
+TEST_P(RandomInstanceTest, WithLowerBounds) {
+  RandomFlowOptions opts;
+  opts.lower_bound_prob = 0.4;
+  opts.min_cost = -15;
+  check_all_solvers_agree(random_flow_problem(GetParam(), opts));
+}
+
+TEST_P(RandomInstanceTest, DenseSmallGraphs) {
+  RandomFlowOptions opts;
+  opts.num_nodes = 6;
+  opts.num_arcs = 40;
+  opts.min_cost = -25;
+  opts.lower_bound_prob = 0.2;
+  check_all_solvers_agree(random_flow_problem(GetParam(), opts));
+}
+
+TEST_P(RandomInstanceTest, LargerSparseGraphs) {
+  RandomFlowOptions opts;
+  opts.num_nodes = 40;
+  opts.num_arcs = 120;
+  opts.supply = 9;
+  opts.min_cost = -10;
+  check_all_solvers_agree(random_flow_problem(GetParam(), opts));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// Larger stress sweep for the two fast solvers only (cycle canceling is
+// O(instance) slower; the suite above already pins it to the others).
+TEST(RandomInstanceStress, SspMatchesNetworkSimplex) {
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    RandomFlowOptions opts;
+    opts.num_nodes = 60;
+    opts.num_arcs = 240;
+    opts.min_cost = -20;
+    opts.supply = 12;
+    opts.lower_bound_prob = 0.1;
+    const Graph g = random_flow_problem(seed, opts);
+    const FlowSolution ssp = solve(g, SolverKind::kSuccessiveShortestPaths);
+    const FlowSolution ns = solve(g, SolverKind::kNetworkSimplex);
+    ASSERT_EQ(ssp.status, ns.status) << "seed " << seed;
+    if (ssp.optimal()) {
+      EXPECT_EQ(ssp.cost, ns.cost) << "seed " << seed;
+      EXPECT_TRUE(certify_optimal(g, ssp.arc_flow)) << "seed " << seed;
+      EXPECT_TRUE(certify_optimal(g, ns.arc_flow)) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lera::netflow

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.hpp"
+#include "alloc/memory_layout.hpp"
+#include "alloc/offset_assignment.hpp"
+#include "workloads/random_gen.hpp"
+
+namespace lera::alloc {
+namespace {
+
+using lifetime::Lifetime;
+
+Lifetime lt(const char* name, int w, std::vector<int> reads) {
+  Lifetime out;
+  out.value = 0;
+  out.name = name;
+  out.write_time = w;
+  out.read_times = std::move(reads);
+  return out;
+}
+
+TEST(OffsetAssignment, EmptyWhenNoMemoryTraffic) {
+  energy::EnergyParams params;
+  const AllocationProblem p = make_problem(
+      {lt("u", 1, {3})}, 4, 1, params, energy::ActivityMatrix(1));
+  Assignment a(1);
+  a.assign_register(0, 0);
+  const OffsetAssignment out =
+      assign_offsets(p, a, std::vector<int>(1, -1));
+  EXPECT_TRUE(out.feasible);
+  EXPECT_EQ(out.total_transitions, 0);
+  EXPECT_EQ(out.reloads, 0);
+}
+
+TEST(OffsetAssignment, AlternatingPairBecomesAdjacent) {
+  // Access sequence alternates u,v,u,v...: SOA must place them next to
+  // each other so every transition is a free +-1 step.
+  energy::EnergyParams params;
+  // u written 1 read 4,6; v written 2 read 5,7 -> interleaved accesses.
+  const AllocationProblem p = make_problem(
+      {lt("u", 1, {4, 6}), lt("v", 2, {5, 7})}, 8, 0, params,
+      energy::ActivityMatrix(2));
+  Assignment a(p.segments.size());  // All memory.
+  // Distinct addresses far apart to make the naive layout pay.
+  std::vector<int> address(p.segments.size());
+  for (std::size_t s = 0; s < p.segments.size(); ++s) {
+    address[s] = p.segments[s].var == 0 ? 0 : 3;
+  }
+  const OffsetAssignment out = assign_offsets(p, a, address);
+  ASSERT_TRUE(out.feasible);
+  EXPECT_GT(out.total_transitions, 0);
+  // Locations 0 and 3 end up adjacent, so no reloads at all.
+  EXPECT_EQ(out.reloads, 0);
+  EXPECT_EQ(out.free_transitions, out.total_transitions);
+  EXPECT_EQ(std::abs(out.offset[0] - out.offset[3]), 1);
+  // The naive identity layout pays for every 0 <-> 3 hop.
+  EXPECT_GT(out.naive_reloads, 0);
+}
+
+TEST(OffsetAssignment, NeverWorseThanNaiveOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    workloads::RandomLifetimeOptions lopts;
+    lopts.num_vars = 12;
+    lopts.max_reads = 3;
+    energy::EnergyParams params;
+    const AllocationProblem p = make_problem(
+        workloads::random_lifetimes(seed, lopts), lopts.num_steps, 2,
+        params, workloads::random_activity(seed, 12));
+    const AllocationResult r = allocate(p);
+    ASSERT_TRUE(r.feasible);
+    const MemoryLayout layout = optimize_memory_layout(p, r.assignment);
+    ASSERT_TRUE(layout.feasible);
+    const OffsetAssignment out =
+        assign_offsets(p, r.assignment, layout.address);
+    ASSERT_TRUE(out.feasible);
+    EXPECT_LE(out.reloads, out.naive_reloads) << "seed " << seed;
+    EXPECT_EQ(out.free_transitions + out.reloads, out.total_transitions)
+        << "seed " << seed;
+    // Offsets form a permutation of the used locations.
+    std::vector<int> seen(out.offset.size(), 0);
+    for (int o : out.offset) {
+      ASSERT_GE(o, 0);
+      ASSERT_LT(o, static_cast<int>(out.offset.size()));
+      ++seen[static_cast<std::size_t>(o)];
+    }
+    for (int c : seen) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(OffsetAssignment, ChainOfThreeLocations) {
+  // Sequence touches a,b,a,b,c,b: SOA should chain b between a and c.
+  energy::EnergyParams params;
+  const AllocationProblem p = make_problem(
+      {lt("a", 1, {3, 5}), lt("b", 2, {4, 6, 8}), lt("c", 6, {9})}, 10, 0,
+      params, energy::ActivityMatrix(3));
+  Assignment all_mem(p.segments.size());
+  std::vector<int> address(p.segments.size());
+  for (std::size_t s = 0; s < p.segments.size(); ++s) {
+    address[s] = p.segments[s].var;  // One address per variable.
+  }
+  const OffsetAssignment out = assign_offsets(p, all_mem, address);
+  ASSERT_TRUE(out.feasible);
+  // b must sit next to a (their transition weight dominates).
+  EXPECT_EQ(std::abs(out.offset[0] - out.offset[1]), 1);
+  EXPECT_LE(out.reloads, out.naive_reloads);
+}
+
+}  // namespace
+}  // namespace lera::alloc

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "ir/eval.hpp"
+#include "ir/parser.hpp"
+#include "workloads/kernels.hpp"
+
+namespace lera::ir {
+namespace {
+
+TEST(Parser, InfixExpressions) {
+  const ParseResult r = parse_block(R"(
+    in a, b
+    t = a + b
+    u = t * a
+    out u
+  )");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto env = evaluate(*r.block, {3, 4});
+  // u = (3+4)*3 = 21; u is the last defined value.
+  std::int64_t u = 0;
+  for (const Value& v : r.block->values()) {
+    if (v.name == "u") u = env[static_cast<std::size_t>(v.id)];
+  }
+  EXPECT_EQ(u, 21);
+}
+
+TEST(Parser, MnemonicAndConst) {
+  const ParseResult r = parse_block(R"(
+    in x
+    const k = 7
+    p = mul x, k
+    q = mac x, k, p   # x*k + p
+    n = neg q
+    out n
+  )");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto env = evaluate(*r.block, {2});
+  std::int64_t n = 0;
+  for (const Value& v : r.block->values()) {
+    if (v.name == "n") n = env[static_cast<std::size_t>(v.id)];
+  }
+  EXPECT_EQ(n, -(2 * 7 + 14));
+}
+
+TEST(Parser, AllInfixOperators) {
+  const ParseResult r = parse_block(R"(
+    in a, b
+    t0 = a + b
+    t1 = a - b
+    t2 = a * b
+    t3 = a / b
+    t4 = a << b
+    t5 = a >> b
+    t6 = a & b
+    t7 = a | b
+    t8 = a ^ b
+    out t8
+  )");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.block->num_ops(), 2u + 9u + 1u);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const ParseResult r = parse_block(R"(
+    # a comment-only line
+
+    in a   # trailing comment
+    out a
+  )");
+  ASSERT_TRUE(r.ok()) << r.error;
+}
+
+TEST(Parser, NegativeConstants) {
+  const ParseResult r = parse_block("const k = -12\nin a\ns = a + k\nout s");
+  ASSERT_TRUE(r.ok()) << r.error;
+  for (const Value& v : r.block->values()) {
+    if (v.name == "k") EXPECT_EQ(v.literal, -12);
+  }
+}
+
+TEST(Parser, ErrorUnknownValue) {
+  const ParseResult r = parse_block("in a\nt = a + missing\nout t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+  EXPECT_NE(r.error.find("missing"), std::string::npos);
+}
+
+TEST(Parser, ErrorRedefinition) {
+  const ParseResult r = parse_block("in a\na = a + a");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("redefinition"), std::string::npos);
+}
+
+TEST(Parser, ErrorWrongArity) {
+  const ParseResult r = parse_block("in a\nt = mac a, a\nout t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("expects 3 operands"), std::string::npos);
+}
+
+TEST(Parser, ErrorUnknownOpcode) {
+  const ParseResult r = parse_block("in a\nt = frobnicate a, a");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unknown operation"), std::string::npos);
+}
+
+TEST(Parser, ErrorBadOutTarget) {
+  const ParseResult r = parse_block("out nothing");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, ErrorGarbageLine) {
+  const ParseResult r = parse_block("in a\n???");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(Parser, ParsedBlockSchedulesAndAllocates) {
+  // End-to-end: text -> block -> verification.
+  const ParseResult r = parse_block(R"(
+    in x0, x1, x2
+    const c0 = 3
+    const c1 = 5
+    p0 = x0 * c0
+    p1 = x1 * c1
+    s0 = p0 + p1
+    s1 = s0 + x2
+    out s1
+  )");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.block->verify().empty());
+  EXPECT_EQ(r.block->name(), "bb");
+}
+
+TEST(ToText, RoundTripsKernels) {
+  for (const BasicBlock& original :
+       {workloads::make_fir(6), workloads::make_iir_biquad(),
+        workloads::make_dct4(), workloads::make_viterbi_acs()}) {
+    const std::string text = to_text(original);
+    const ParseResult reparsed = parse_block(text, original.name());
+    ASSERT_TRUE(reparsed.ok()) << original.name() << ": " << reparsed.error
+                               << "\n" << text;
+    EXPECT_EQ(reparsed.block->num_ops(), original.num_ops());
+    EXPECT_EQ(reparsed.block->num_values(), original.num_values());
+    // Semantics survive the round trip.
+    const auto inputs = workloads::random_inputs(original, 4, 5);
+    for (const auto& row : inputs) {
+      EXPECT_EQ(evaluate(original, row), evaluate(*reparsed.block, row))
+          << original.name();
+    }
+  }
+}
+
+TEST(ToText, SanitisesAwkwardNames) {
+  BasicBlock bb("t");
+  const ValueId x = bb.input("x@0");  // Loop-unroll style name.
+  bb.output(bb.emit(Opcode::kNeg, {x}, "1bad"));
+  const std::string text = to_text(bb);
+  const ParseResult r = parse_block(text);
+  ASSERT_TRUE(r.ok()) << r.error << "\n" << text;
+  EXPECT_EQ(r.block->num_ops(), bb.num_ops());
+}
+
+}  // namespace
+}  // namespace lera::ir

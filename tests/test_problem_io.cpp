@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "alloc/allocator.hpp"
+#include "workloads/problem_io.hpp"
+#include "workloads/paper_examples.hpp"
+#include "workloads/random_gen.hpp"
+
+namespace lera::workloads {
+namespace {
+
+constexpr const char* kFigure3Text = R"(
+# figure 3 of the paper
+steps 7
+registers 1
+var a write 1 reads 3
+var b write 3 reads 5
+var c write 5 reads 7
+var d write 1 reads 2
+var e write 2 reads 3
+var f write 3 reads 7
+activity a b 0.2
+activity a f 0.5
+activity e b 0.6
+activity e f 0.3
+activity b c 0.8
+activity d e 0.1
+)";
+
+TEST(ProblemIo, ParsesFigure3) {
+  const ProblemParseResult r = parse_problem(kFigure3Text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const alloc::AllocationProblem& p = *r.problem;
+  EXPECT_EQ(p.lifetimes.size(), 6u);
+  EXPECT_EQ(p.num_steps, 7);
+  EXPECT_EQ(p.num_registers, 1);
+  EXPECT_EQ(p.max_density(), 2);
+  EXPECT_DOUBLE_EQ(p.activity.hamming(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(p.activity.hamming(3, 4), 0.1);  // d, e
+  EXPECT_DOUBLE_EQ(p.activity.hamming(0, 2), 0.5);  // default
+}
+
+TEST(ProblemIo, ParsedFigure3MatchesBuiltIn) {
+  // The text instance must produce identical allocation results to the
+  // programmatic workloads::figure3_problem().
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  const ProblemParseResult parsed = parse_problem(kFigure3Text, params);
+  ASSERT_TRUE(parsed.ok());
+  const alloc::AllocationProblem builtin = figure3_problem(params);
+
+  const alloc::AllocationResult a = alloc::allocate(*parsed.problem);
+  const alloc::AllocationResult b = alloc::allocate(builtin);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_NEAR(a.activity_energy.total(), b.activity_energy.total(), 1e-9);
+  EXPECT_EQ(a.stats.mem_accesses(), b.stats.mem_accesses());
+}
+
+TEST(ProblemIo, LiveoutAndAccessDirectives) {
+  const ProblemParseResult r = parse_problem(R"(
+    steps 7
+    registers 3
+    access period 2 phase 1
+    var c write 2 reads liveout
+    var e write 4 reads 6
+  )");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const alloc::AllocationProblem& p = *r.problem;
+  EXPECT_TRUE(p.lifetimes[0].live_out);
+  EXPECT_EQ(p.lifetimes[0].last_read(), 8);
+  // Splitting at the odd access times applies (c spans 3,5,7).
+  EXPECT_GT(p.segments.size(), 2u);
+  bool any_forced = false;
+  for (const auto& seg : p.segments) any_forced |= seg.forced_register;
+  EXPECT_TRUE(any_forced);  // e = [4,6] starts and ends off-grid.
+}
+
+TEST(ProblemIo, WidthAndInitial) {
+  const ProblemParseResult r = parse_problem(R"(
+    steps 5
+    registers 1
+    var w width 24 write 1 reads 4
+    initial w 0.125
+  )");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.problem->lifetimes[0].width, 24);
+  EXPECT_DOUBLE_EQ(r.problem->activity.initial(0), 0.125);
+}
+
+TEST(ProblemIo, Errors) {
+  EXPECT_FALSE(parse_problem("registers 1").ok());         // No steps.
+  EXPECT_FALSE(parse_problem("steps 5\nbogus 1").ok());    // Directive.
+  EXPECT_FALSE(parse_problem("steps 5\nvar a write 3 reads 2").ok());
+  EXPECT_FALSE(
+      parse_problem("steps 5\nvar a write 1 reads 3\n"
+                    "activity a ghost 0.5").ok());
+  EXPECT_FALSE(
+      parse_problem("steps 5\nvar a write 1 reads 3\n"
+                    "activity a a 7.0").ok());              // H > 1.
+  EXPECT_FALSE(parse_problem("steps 5\nvar a write 1 reads 3\n"
+                             "var a write 2 reads 4").ok());  // Dup.
+  const ProblemParseResult r = parse_problem("steps x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 1"), std::string::npos);
+}
+
+TEST(ProblemIo, RoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomLifetimeOptions lopts;
+    lopts.num_vars = 8;
+    energy::EnergyParams params;
+    const alloc::AllocationProblem original = alloc::make_problem(
+        random_lifetimes(seed, lopts), lopts.num_steps, 3, params,
+        random_activity(seed, 8));
+
+    std::ostringstream os;
+    write_problem(os, original);
+    const ProblemParseResult reparsed = parse_problem(os.str(), params);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+
+    const alloc::AllocationProblem& p = *reparsed.problem;
+    ASSERT_EQ(p.lifetimes.size(), original.lifetimes.size());
+    for (std::size_t v = 0; v < p.lifetimes.size(); ++v) {
+      EXPECT_EQ(p.lifetimes[v].name, original.lifetimes[v].name);
+      EXPECT_EQ(p.lifetimes[v].write_time,
+                original.lifetimes[v].write_time);
+      EXPECT_EQ(p.lifetimes[v].read_times,
+                original.lifetimes[v].read_times);
+      EXPECT_EQ(p.lifetimes[v].live_out, original.lifetimes[v].live_out);
+    }
+    // Same optimal energy through the solver.
+    const alloc::AllocationResult a = alloc::allocate(original);
+    const alloc::AllocationResult b = alloc::allocate(p);
+    ASSERT_TRUE(a.feasible && b.feasible);
+    EXPECT_NEAR(a.model_energy, b.model_energy, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(ProblemIo, RoundTripPreservesAccessModel) {
+  const ProblemParseResult first = parse_problem(R"(
+    steps 8
+    registers 2
+    access period 2 phase 1
+    var u write 2 reads 6
+    var v write 1 reads 5
+  )");
+  ASSERT_TRUE(first.ok()) << first.error;
+  ASSERT_EQ(first.problem->access.period, 2);
+
+  std::ostringstream os;
+  write_problem(os, *first.problem);
+  const ProblemParseResult second = parse_problem(os.str());
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_EQ(second.problem->access.period, 2);
+  EXPECT_EQ(second.problem->access.phase, 1);
+  EXPECT_EQ(second.problem->segments.size(),
+            first.problem->segments.size());
+  for (std::size_t i = 0; i < first.problem->segments.size(); ++i) {
+    EXPECT_EQ(second.problem->segments[i].forced_register,
+              first.problem->segments[i].forced_register);
+  }
+}
+
+}  // namespace
+}  // namespace lera::workloads

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sched/schedule.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_gen.hpp"
+
+namespace lera::sched {
+namespace {
+
+ir::BasicBlock two_level_block() {
+  ir::BasicBlock bb("t");
+  const ir::ValueId x = bb.input("x");
+  const ir::ValueId y = bb.input("y");
+  const ir::ValueId a = bb.emit(ir::Opcode::kAdd, {x, y}, "a");
+  const ir::ValueId b = bb.emit(ir::Opcode::kMul, {a, x}, "b");
+  bb.output(b);
+  return bb;
+}
+
+TEST(Asap, RespectsDependenciesAndLatencies) {
+  const ir::BasicBlock bb = two_level_block();
+  const Schedule s = asap(bb);
+  // add at step 1; mul (2-cycle) can start at 2, finishing at 3.
+  const ir::OpId add = bb.value(2).def;
+  const ir::OpId mul = bb.value(3).def;
+  EXPECT_EQ(s.start(add), 1);
+  EXPECT_EQ(s.start(mul), 2);
+  EXPECT_EQ(s.finish(bb, mul), 3);
+  EXPECT_EQ(s.length(bb), 3);
+  EXPECT_TRUE(s.verify(bb).empty()) << s.verify(bb);
+}
+
+TEST(Asap, PseudoOpPlacement) {
+  const ir::BasicBlock bb = two_level_block();
+  const Schedule s = asap(bb);
+  EXPECT_EQ(s.start(0), 0);                  // input x
+  EXPECT_EQ(s.start(1), 0);                  // input y
+  EXPECT_EQ(s.start(static_cast<ir::OpId>(bb.num_ops() - 1)),
+            s.length(bb) + 1);               // output
+}
+
+TEST(Alap, PushesOpsLate) {
+  const ir::BasicBlock bb = two_level_block();
+  const Schedule s = alap(bb, 5);
+  const ir::OpId add = bb.value(2).def;
+  const ir::OpId mul = bb.value(3).def;
+  // mul must finish by 5 -> start 4; add must finish before 4 -> start 3.
+  EXPECT_EQ(s.start(mul), 4);
+  EXPECT_EQ(s.start(add), 3);
+  EXPECT_TRUE(s.verify(bb).empty()) << s.verify(bb);
+}
+
+TEST(Alap, TightDeadlineEqualsAsapForChains) {
+  const ir::BasicBlock bb = two_level_block();
+  const Schedule a = asap(bb);
+  const Schedule l = alap(bb, a.length(bb));
+  for (const ir::Operation& op : bb.ops()) {
+    if (ir::is_source(op.opcode) || op.opcode == ir::Opcode::kOutput) {
+      continue;
+    }
+    EXPECT_EQ(a.start(op.id), l.start(op.id));
+  }
+}
+
+TEST(FuClass, Partition) {
+  EXPECT_EQ(fu_class(ir::Opcode::kAdd), FuClass::kAlu);
+  EXPECT_EQ(fu_class(ir::Opcode::kXor), FuClass::kAlu);
+  EXPECT_EQ(fu_class(ir::Opcode::kMul), FuClass::kMul);
+  EXPECT_EQ(fu_class(ir::Opcode::kMac), FuClass::kMul);
+  EXPECT_EQ(fu_class(ir::Opcode::kDiv), FuClass::kMul);
+}
+
+TEST(ListSchedule, RespectsResourceLimits) {
+  const ir::BasicBlock bb = workloads::make_fir(8);
+  Resources res;
+  res.alus = 1;
+  res.muls = 1;
+  const Schedule s = list_schedule(bb, res);
+  EXPECT_TRUE(s.verify(bb).empty()) << s.verify(bb);
+
+  // Count per-step FU occupancy (multi-cycle ops occupy all their steps).
+  for (int step = 1; step <= s.length(bb); ++step) {
+    int alu = 0;
+    int mul = 0;
+    for (const ir::Operation& op : bb.ops()) {
+      if (ir::is_source(op.opcode) || op.opcode == ir::Opcode::kOutput) {
+        continue;
+      }
+      if (s.start(op.id) <= step && step <= s.finish(bb, op.id)) {
+        (fu_class(op.opcode) == FuClass::kAlu ? alu : mul)++;
+      }
+    }
+    EXPECT_LE(alu, res.alus) << "step " << step;
+    EXPECT_LE(mul, res.muls) << "step " << step;
+  }
+}
+
+TEST(ListSchedule, MoreResourcesNeverSlower) {
+  const ir::BasicBlock bb = workloads::make_rsp(4);
+  Resources tight{1, 1};
+  Resources loose{4, 4};
+  const int t = list_schedule(bb, tight).length(bb);
+  const int l = list_schedule(bb, loose).length(bb);
+  EXPECT_LE(l, t);
+  // Unconstrained ASAP is a lower bound on any list schedule.
+  EXPECT_LE(asap(bb).length(bb), l);
+}
+
+TEST(ListSchedule, ValidOnRandomBlocks) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const ir::BasicBlock bb = workloads::random_dfg(seed);
+    const Schedule s = list_schedule(bb, Resources{2, 1});
+    EXPECT_TRUE(s.verify(bb).empty()) << "seed " << seed << ": "
+                                      << s.verify(bb);
+  }
+}
+
+TEST(ListSchedule, AllKernelsSchedule) {
+  for (const ir::BasicBlock& bb :
+       {workloads::make_fir(8), workloads::make_iir_biquad(),
+        workloads::make_elliptic_wave_filter(),
+        workloads::make_fft_butterfly(), workloads::make_dct4(),
+        workloads::make_rsp(6)}) {
+    const Schedule s = list_schedule(bb, Resources{2, 2});
+    EXPECT_TRUE(s.verify(bb).empty()) << bb.name() << ": " << s.verify(bb);
+    EXPECT_GT(s.length(bb), 0) << bb.name();
+  }
+}
+
+}  // namespace
+}  // namespace lera::sched
