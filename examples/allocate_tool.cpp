@@ -14,6 +14,7 @@
 // With no file argument a built-in demo kernel is used. See
 // src/ir/parser.hpp and src/workloads/problem_io.hpp for the grammars.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -66,10 +67,20 @@ int main(int argc, char** argv) {
     auto next = [&]() -> std::string {
       return i + 1 < argc ? argv[++i] : std::string{};
     };
+    auto next_int = [&](const char* flag) {
+      const std::string v = next();
+      try {
+        return std::stoi(v);
+      } catch (...) {
+        std::cerr << "error: " << flag << " requires an integer, got '"
+                  << v << "'\n";
+        std::exit(1);
+      }
+    };
     if (arg == "-r") {
-      registers = std::stoi(next());
+      registers = next_int("-r");
     } else if (arg == "-p") {
-      period = std::stoi(next());
+      period = next_int("-p");
     } else if (arg == "-m") {
       const std::string m = next();
       params.register_model = m == "static"
@@ -142,7 +153,16 @@ int main(int argc, char** argv) {
   const alloc::AllocationResult r = alloc::allocate(p, alloc_opts);
   if (!r.feasible) {
     std::cerr << "allocation infeasible: " << r.message << "\n";
+    std::cerr << "solver diagnostics: " << r.solve_diagnostics.summary()
+              << "\n";
+    for (const std::string& issue :
+         r.solve_diagnostics.instance_errors) {
+      std::cerr << "  instance error: " << issue << "\n";
+    }
     return 1;
+  }
+  if (r.degraded) {
+    std::cerr << "warning: " << r.message << "\n";
   }
 
   report::Table table({"segment", "interval", "placement"});
@@ -163,7 +183,15 @@ int main(int argc, char** argv) {
     std::cout << "mem_accesses," << r.stats.mem_accesses() << "\n"
               << "reg_accesses," << r.stats.reg_accesses() << "\n"
               << "mem_locations," << r.stats.mem_locations << "\n"
-              << "energy," << r.energy(p) << "\n";
+              << "energy," << r.energy(p) << "\n"
+              << "degraded," << (r.degraded ? 1 : 0) << "\n"
+              << "solver,"
+              << (r.degraded
+                      ? std::string("two-phase-baseline")
+                      : to_string(r.solve_diagnostics.solver_used))
+              << "\n"
+              << "solver_fallbacks,"
+              << r.solve_diagnostics.fallbacks_taken << "\n";
     return 0;
   }
 
@@ -180,6 +208,7 @@ int main(int argc, char** argv) {
               << program.stores << " stores):\n"
               << program.to_string();
   }
+  std::cout << "\nsolver: " << r.solve_diagnostics.summary() << "\n";
   std::cout << "\nmem accesses " << r.stats.mem_accesses()
             << ", reg accesses " << r.stats.reg_accesses()
             << ", memory locations " << r.stats.mem_locations

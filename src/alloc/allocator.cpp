@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "alloc/two_phase.hpp"
 #include "netflow/validate.hpp"
 
 namespace lera::alloc {
@@ -17,24 +18,51 @@ void finish_result(const AllocationProblem& p, AllocationResult& result) {
 
 namespace {
 
+/// Maps AllocatorOptions onto the robust solve layer: the configured
+/// primary solver leads the fallback chain, and `certify` selects the
+/// optimality certificate on top of the always-on feasibility checks.
+netflow::SolveOptions robust_options(const AllocatorOptions& options) {
+  netflow::SolveOptions solve = options.solve;
+  if (solve.chain.empty()) {
+    solve.chain = {options.solver, netflow::SolverKind::kNetworkSimplex,
+                   netflow::SolverKind::kSuccessiveShortestPaths,
+                   netflow::SolverKind::kCycleCanceling};
+  }
+  solve.certify = options.certify ? netflow::CertifyLevel::kOptimal
+                                  : netflow::CertifyLevel::kFeasible;
+  return solve;
+}
+
 /// Solve + chain extraction against a prebuilt flow graph. The spec's
 /// bypass capacity must be >= p.num_registers.
 AllocationResult solve_with_spec(const AllocationProblem& p,
                                  const FlowGraphSpec& spec,
                                  const AllocatorOptions& options) {
   AllocationResult result;
-  const netflow::FlowSolution sol = netflow::solve_st_flow(
-      spec.graph, spec.s, spec.t, p.num_registers, options.solver);
+  const netflow::FlowSolution sol = netflow::solve_st_flow_robust(
+      spec.graph, spec.s, spec.t, p.num_registers, robust_options(options),
+      &result.solve_diagnostics);
   if (!sol.optimal()) {
-    result.message =
-        "no feasible flow: the forced (register-only) segments cannot be "
-        "covered by R=" +
-        std::to_string(p.num_registers) + " registers";
-    return result;
-  }
-  if (options.certify &&
-      !netflow::certify_optimal(spec.graph, sol.arc_flow)) {
-    result.message = "solver returned a non-optimal flow";
+    switch (sol.status) {
+      case netflow::SolveStatus::kInfeasible:
+        result.message =
+            "no feasible flow: the forced (register-only) segments cannot "
+            "be covered by R=" +
+            std::to_string(p.num_registers) + " registers";
+        break;
+      case netflow::SolveStatus::kBadInstance:
+        result.message = "bad flow instance: " + sol.message;
+        break;
+      case netflow::SolveStatus::kBudgetExceeded:
+        result.message = "solve budget exhausted: " + sol.message;
+        break;
+      case netflow::SolveStatus::kUncertified:
+        result.message =
+            "solver chain failed certification: " + sol.message;
+        break;
+      case netflow::SolveStatus::kOptimal:
+        break;  // Unreachable.
+    }
     return result;
   }
 
@@ -85,6 +113,31 @@ AllocationResult solve_with_spec(const AllocationProblem& p,
   return result;
 }
 
+/// solve_with_spec plus the graceful-degradation contract: when the flow
+/// path fails and the caller opted in, fall back to the two-phase
+/// baseline and record the downgrade instead of failing outright.
+AllocationResult solve_or_degrade(const AllocationProblem& p,
+                                  const FlowGraphSpec& spec,
+                                  const AllocatorOptions& options) {
+  AllocationResult result = solve_with_spec(p, spec, options);
+  if (result.feasible || !options.fallback_to_baseline) return result;
+
+  TwoPhaseOptions baseline;
+  baseline.solver = options.solver;
+  baseline.quantizer = options.quantizer;
+  AllocationResult fallback = two_phase_allocate(p, baseline);
+  if (!fallback.feasible) {
+    result.message +=
+        "; two-phase fallback also failed: " + fallback.message;
+    return result;
+  }
+  fallback.degraded = true;
+  fallback.solve_diagnostics = std::move(result.solve_diagnostics);
+  fallback.message =
+      "degraded to two-phase baseline (" + result.message + ")";
+  return fallback;
+}
+
 }  // namespace
 
 AllocationResult allocate(const AllocationProblem& p,
@@ -97,7 +150,7 @@ AllocationResult allocate(const AllocationProblem& p,
   }
   const FlowGraphSpec spec =
       build_flow_graph(p, options.style, options.quantizer);
-  return solve_with_spec(p, spec, options);
+  return solve_or_degrade(p, spec, options);
 }
 
 std::vector<AllocationResult> allocate_sweep(
@@ -120,7 +173,7 @@ std::vector<AllocationResult> allocate_sweep(
       build_flow_graph(working, options.style, options.quantizer);
   for (int registers : register_counts) {
     working.num_registers = registers;
-    results.push_back(solve_with_spec(working, spec, options));
+    results.push_back(solve_or_degrade(working, spec, options));
   }
   return results;
 }

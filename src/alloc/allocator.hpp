@@ -4,6 +4,7 @@
 
 #include "alloc/evaluate.hpp"
 #include "alloc/flow_graph.hpp"
+#include "netflow/robust.hpp"
 #include "netflow/solution.hpp"
 
 /// \file allocator.hpp
@@ -18,13 +19,31 @@ struct AllocatorOptions {
   netflow::SolverKind solver = netflow::SolverKind::kSuccessiveShortestPaths;
   energy::Quantizer quantizer{};
   /// Certify the flow returned by the solver against the residual-cycle
-  /// optimality condition (cheap; catches solver regressions).
+  /// optimality condition (cheap; catches solver regressions). Even when
+  /// off, the robust solve path still validates the instance and checks
+  /// feasibility + cost consistency of every accepted flow.
   bool certify = false;
+  /// Budgets and fallback chain for the robust solve path. An empty
+  /// chain starts with `solver` and falls back through the remaining
+  /// algorithms; the certification level is derived from `certify`.
+  netflow::SolveOptions solve;
+  /// When the flow path fails (bad instance, budget exhausted, chain
+  /// uncertified, or infeasible), degrade to the two-phase baseline
+  /// instead of failing outright; the downgrade is recorded in
+  /// AllocationResult::degraded. Off by default: optimality-sensitive
+  /// callers (tests, benchmarks) want failures loud.
+  bool fallback_to_baseline = false;
 };
 
 struct AllocationResult {
   bool feasible = false;
-  std::string message;  ///< Diagnostic when infeasible/invalid.
+  std::string message;  ///< Diagnostic when infeasible/invalid/degraded.
+  /// True when the optimal flow path failed and the result came from the
+  /// two-phase baseline instead (see AllocatorOptions::fallback_to_baseline).
+  bool degraded = false;
+  /// What the robust solve layer observed: validation findings, solver
+  /// attempts/fallbacks, certification verdict, wall time.
+  netflow::SolveDiagnostics solve_diagnostics;
 
   Assignment assignment;
   AccessStats stats;

@@ -23,10 +23,17 @@ class Quantizer {
     assert(resolution > 0);
   }
 
+  /// Quantises \p energy to integer ticks, saturating at +/-kInfCost so
+  /// that out-of-range energies (or NaN, mapped to +kInfCost) produce a
+  /// valid — and certifiably suspicious — flow cost instead of the UB of
+  /// an overflowing llround cast.
   netflow::Cost quantize(double energy) const {
     const double ticks = energy / resolution_;
-    assert(std::abs(ticks) < 9.0e15 && "energy too large to quantise");
-    return static_cast<netflow::Cost>(std::llround(ticks));
+    if (!(std::abs(ticks) < static_cast<double>(netflow::kInfCost))) {
+      return ticks < 0 ? -netflow::kInfCost : netflow::kInfCost;
+    }
+    return netflow::saturate_cost(
+        static_cast<netflow::Cost>(std::llround(ticks)));
   }
 
   double dequantize(netflow::Cost ticks) const {

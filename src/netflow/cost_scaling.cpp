@@ -45,14 +45,18 @@ class CostScaling {
     epsilon_ = max_cost;
   }
 
-  FlowSolution run() {
+  FlowSolution run(SolveGuard* guard) {
     if (!feasible()) return {};
 
+    guard_ = guard;
     for (NodeId v = 0; v < n_; ++v) {
       excess_[static_cast<std::size_t>(v)] = graph_.supply(v);
     }
     while (epsilon_ >= 1) {
       refine();
+      if (guard_ != nullptr && guard_->exceeded) {
+        return budget_exceeded(SolverKind::kCostScaling);
+      }
       epsilon_ /= 2;
     }
 
@@ -120,6 +124,7 @@ class CostScaling {
     std::vector<std::size_t> current(static_cast<std::size_t>(n_), 0);
 
     while (!active.empty()) {
+      if (guard_ != nullptr && !guard_->tick()) return;
       const NodeId v = active.front();
       active.pop_front();
       in_queue[static_cast<std::size_t>(v)] = 0;
@@ -178,11 +183,12 @@ class CostScaling {
   std::vector<Cost> pi_;
   std::vector<Flow> excess_;
   Cost epsilon_;
+  SolveGuard* guard_ = nullptr;
 };
 
 }  // namespace
 
-FlowSolution solve_cost_scaling(const Graph& g) {
+FlowSolution solve_cost_scaling(const Graph& g, SolveGuard* guard) {
   if (g.total_supply() != 0) return {};
   if (g.num_nodes() == 0) {
     FlowSolution sol;
@@ -190,7 +196,7 @@ FlowSolution solve_cost_scaling(const Graph& g) {
     return sol;
   }
   CostScaling solver(g);
-  return solver.run();
+  return solver.run(guard);
 }
 
 }  // namespace lera::netflow::internal

@@ -62,7 +62,7 @@ std::vector<int> find_negative_cycle(const Residual& res) {
 
 }  // namespace
 
-FlowSolution solve_cycle_canceling(const Graph& g) {
+FlowSolution solve_cycle_canceling(const Graph& g, SolveGuard* guard) {
   if (g.total_supply() != 0) return {};
 
   // Augmented instance with a super source/sink absorbing the supplies.
@@ -91,6 +91,9 @@ FlowSolution solve_cycle_canceling(const Graph& g) {
   // All super arcs are saturated, so no residual cycle can pass through
   // the super nodes; canceling preserves feasibility of the b-flow.
   for (;;) {
+    if (guard != nullptr && !guard->tick()) {
+      return budget_exceeded(SolverKind::kCycleCanceling);
+    }
     const std::vector<int> cycle = find_negative_cycle(res);
     if (cycle.empty()) break;
     Flow delta = kInfFlow;

@@ -1,0 +1,132 @@
+#include "netflow/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "netflow/decompose.hpp"
+
+namespace lera::netflow {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFlipArcFlow:
+      return "flip-arc-flow";
+    case FaultKind::kDropArcFlow:
+      return "drop-arc-flow";
+    case FaultKind::kCorruptCost:
+      return "corrupt-cost";
+    case FaultKind::kTruncateAugmentation:
+      return "truncate-augmentation";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed,
+                             FaultInjectorOptions options)
+    : state_(seed + 0x9e3779b97f4a7c15ULL), options_(options) {}
+
+std::uint64_t FaultInjector::next() {
+  // splitmix64: tiny, seed-stable across platforms and libstdc++
+  // versions (std::mt19937_64 would be too, but distributions are not).
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SolveOptions::SolutionHook FaultInjector::hook() {
+  return [this](const Graph& g, FlowSolution& sol) { perturb(g, sol); };
+}
+
+void FaultInjector::perturb(const Graph& g, FlowSolution& sol) {
+  if (sol.status != SolveStatus::kOptimal) return;
+  if (attempts_seen_++ >= options_.max_faulty_attempts) return;
+
+  // Every fault below breaks flow conservation or the cost equality, so
+  // CertifyLevel::kFeasible certification already detects all of them.
+  FaultKind kind = static_cast<FaultKind>(next() % 4);
+  const ArcId m = g.num_arcs();
+
+  // Degenerate solutions cannot host some flow faults; fall back to the
+  // always-applicable cost corruption.
+  if (m == 0) kind = FaultKind::kCorruptCost;
+
+  switch (kind) {
+    case FaultKind::kFlipArcFlow: {
+      // Self-loops conserve flow at their endpoint; skip them so the
+      // corruption is guaranteed detectable.
+      std::vector<ArcId> candidates;
+      for (ArcId a = 0; a < m; ++a) {
+        if (g.arc(a).tail != g.arc(a).head) candidates.push_back(a);
+      }
+      if (candidates.empty()) {
+        kind = FaultKind::kCorruptCost;
+        break;
+      }
+      const ArcId a = candidates[next() % candidates.size()];
+      const Flow delta =
+          (next() % 2 == 0 ? 1 : -1) * static_cast<Flow>(1 + next() % 3);
+      sol.arc_flow[static_cast<std::size_t>(a)] += delta;
+      ++faults_injected_;
+      log_.push_back("flip-arc-flow: arc " + std::to_string(a) + " by " +
+                     std::to_string(delta));
+      return;
+    }
+    case FaultKind::kDropArcFlow: {
+      std::vector<ArcId> flowing;
+      for (ArcId a = 0; a < m; ++a) {
+        if (g.arc(a).tail != g.arc(a).head &&
+            sol.arc_flow[static_cast<std::size_t>(a)] > g.arc(a).lower) {
+          flowing.push_back(a);
+        }
+      }
+      if (flowing.empty()) {
+        kind = FaultKind::kCorruptCost;
+        break;
+      }
+      const ArcId a = flowing[next() % flowing.size()];
+      sol.arc_flow[static_cast<std::size_t>(a)] = g.arc(a).lower;
+      ++faults_injected_;
+      log_.push_back("drop-arc-flow: arc " + std::to_string(a) +
+                     " reset to lower bound");
+      return;
+    }
+    case FaultKind::kTruncateAugmentation: {
+      // Removing one unit along a whole source->sink path keeps interior
+      // conservation but breaks the balance at both endpoints.
+      const std::vector<FlowComponent> components =
+          decompose_flow(g, sol.arc_flow);
+      std::vector<const FlowComponent*> paths;
+      for (const FlowComponent& c : components) {
+        if (!c.is_cycle && !c.arcs.empty()) paths.push_back(&c);
+      }
+      if (paths.empty()) {
+        kind = FaultKind::kCorruptCost;
+        break;
+      }
+      const FlowComponent& path = *paths[next() % paths.size()];
+      for (ArcId a : path.arcs) {
+        sol.arc_flow[static_cast<std::size_t>(a)] -= 1;
+      }
+      ++faults_injected_;
+      log_.push_back("truncate-augmentation: path of " +
+                     std::to_string(path.arcs.size()) +
+                     " arc(s) reduced by one unit");
+      return;
+    }
+    case FaultKind::kCorruptCost:
+      break;
+  }
+
+  const Cost delta =
+      (next() % 2 == 0 ? 1 : -1) * static_cast<Cost>(1 + next() % 1000);
+  const Cost original = sol.cost;
+  Cost corrupted = original;
+  if (!checked_add(original, delta, corrupted) || corrupted == original) {
+    corrupted = original - 1;  // Guarantee a visible, in-range change.
+  }
+  sol.cost = corrupted;
+  ++faults_injected_;
+  log_.push_back("corrupt-cost: shifted by " + std::to_string(delta));
+}
+
+}  // namespace lera::netflow

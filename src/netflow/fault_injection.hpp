@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netflow/robust.hpp"
+
+/// \file fault_injection.hpp
+/// Deterministic fault injector for the robust solve path. Plugged into
+/// SolveOptions::post_solve_hook, it perturbs solver outputs (flip an
+/// arc flow, corrupt the reported cost, truncate an augmenting path,
+/// drop an arc's flow) so tests can prove that the certification layer
+/// catches every such fault: a corrupted answer is either rejected and
+/// corrected by a fallback solver, or surfaced as kUncertified — never
+/// silently returned as optimal.
+
+namespace lera::netflow {
+
+/// The ways a solver output can be corrupted.
+enum class FaultKind {
+  kFlipArcFlow,           ///< Add a nonzero delta to one arc's flow.
+  kDropArcFlow,           ///< Reset one flowing arc to its lower bound.
+  kCorruptCost,           ///< Shift the reported total cost.
+  kTruncateAugmentation,  ///< Remove one unit along a decomposed path.
+};
+
+std::string to_string(FaultKind kind);
+
+struct FaultInjectorOptions {
+  /// Corrupt at most this many solver attempts (the first N that claim
+  /// optimality); later attempts pass through untouched, which lets the
+  /// fallback chain recover. Use a large value to corrupt every attempt
+  /// and force the kUncertified surfacing path.
+  int max_faulty_attempts = 1;
+};
+
+/// Seed-deterministic corruption of FlowSolutions. One injector instance
+/// is good for one solve_robust call (it counts the attempts it saw).
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed,
+                         FaultInjectorOptions options = {});
+
+  /// Adapter for SolveOptions::post_solve_hook. The injector must
+  /// outlive the solve_robust call using the hook.
+  SolveOptions::SolutionHook hook();
+
+  /// Perturbs \p sol in place (only solutions claiming optimality, and
+  /// only while under the max_faulty_attempts allowance).
+  void perturb(const Graph& g, FlowSolution& sol);
+
+  /// Number of faults actually applied.
+  int faults_injected() const { return faults_injected_; }
+
+  /// Human-readable description of each applied fault.
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  std::uint64_t next();  ///< splitmix64 step; seed-deterministic.
+
+  std::uint64_t state_;
+  FaultInjectorOptions options_;
+  int attempts_seen_ = 0;
+  int faults_injected_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace lera::netflow

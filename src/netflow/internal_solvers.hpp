@@ -6,23 +6,31 @@
 /// \file internal_solvers.hpp
 /// Entry points of the individual algorithms. All require an instance
 /// with zero lower bounds (use remove_lower_bounds() first); the public
-/// solve() wrapper in solution.hpp takes care of that.
+/// solve() wrapper in solution.hpp takes care of that, and of rejecting
+/// unbalanced instances. Each solver honours an optional SolveGuard by
+/// ticking it once per major iteration and returning kBudgetExceeded
+/// when it trips.
 
 namespace lera::netflow::internal {
 
+/// Returns the canonical budget-exhausted verdict.
+FlowSolution budget_exceeded(SolverKind kind);
+
 /// Successive shortest paths with node potentials. Negative-cost arcs
 /// are pre-saturated so Dijkstra applies throughout.
-FlowSolution solve_ssp(const Graph& g);
+FlowSolution solve_ssp(const Graph& g, SolveGuard* guard = nullptr);
 
 /// Establishes any feasible flow with Dinic, then cancels Bellman-Ford
 /// negative cycles until optimal. Slow; used as a cross-check.
-FlowSolution solve_cycle_canceling(const Graph& g);
+FlowSolution solve_cycle_canceling(const Graph& g,
+                                   SolveGuard* guard = nullptr);
 
 /// Primal network simplex with an artificial root and strongly feasible
 /// pivoting.
-FlowSolution solve_network_simplex(const Graph& g);
+FlowSolution solve_network_simplex(const Graph& g,
+                                   SolveGuard* guard = nullptr);
 
 /// Goldberg-Tarjan cost-scaling push-relabel.
-FlowSolution solve_cost_scaling(const Graph& g);
+FlowSolution solve_cost_scaling(const Graph& g, SolveGuard* guard = nullptr);
 
 }  // namespace lera::netflow::internal

@@ -71,13 +71,16 @@ class NetworkSimplex {
     refresh_potentials();
   }
 
-  FlowSolution run(const Graph& g) {
+  FlowSolution run(const Graph& g, SolveGuard* guard) {
     const std::size_t block =
         std::max<std::size_t>(8, static_cast<std::size_t>(
                                      std::sqrt(static_cast<double>(
                                          arcs_.size()))));
     std::size_t scan_start = 0;
     for (;;) {
+      if (guard != nullptr && !guard->tick()) {
+        return budget_exceeded(SolverKind::kNetworkSimplex);
+      }
       const ArcId entering = select_entering(block, &scan_start);
       if (entering == kInvalidArc) break;
       pivot(entering);
@@ -323,10 +326,10 @@ class NetworkSimplex {
 
 }  // namespace
 
-FlowSolution solve_network_simplex(const Graph& g) {
+FlowSolution solve_network_simplex(const Graph& g, SolveGuard* guard) {
   if (g.total_supply() != 0) return {};
   NetworkSimplex simplex(g);
-  return simplex.run(g);
+  return simplex.run(g, guard);
 }
 
 }  // namespace lera::netflow::internal

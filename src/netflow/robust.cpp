@@ -1,0 +1,329 @@
+#include "netflow/robust.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "netflow/validate.hpp"
+
+namespace lera::netflow {
+
+std::string to_string(CertifyLevel level) {
+  switch (level) {
+    case CertifyLevel::kNone:
+      return "none";
+    case CertifyLevel::kFeasible:
+      return "feasible";
+    case CertifyLevel::kOptimal:
+      return "optimal";
+  }
+  return "unknown";
+}
+
+std::string to_string(CertificationVerdict verdict) {
+  switch (verdict) {
+    case CertificationVerdict::kNotRun:
+      return "not-run";
+    case CertificationVerdict::kPassed:
+      return "passed";
+    case CertificationVerdict::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::string SolveDiagnostics::summary() const {
+  std::ostringstream os;
+  os << message;
+  if (!attempts.empty()) {
+    os << " [attempts:";
+    for (const SolveAttempt& a : attempts) {
+      os << " " << to_string(a.solver) << "=" << to_string(a.status);
+      if (!a.certified && !a.note.empty()) os << "(rejected)";
+    }
+    os << " cert=" << to_string(certification) << "]";
+  }
+  return os.str();
+}
+
+InstanceReport validate_instance(const Graph& g) {
+  InstanceReport report;
+  auto error = [&report](const std::string& m) { report.errors.push_back(m); };
+
+  if (g.total_supply() != 0) {
+    error("unbalanced instance: total supply is " +
+          std::to_string(g.total_supply()) +
+          ", a feasible b-flow requires 0");
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Flow b = g.supply(v);
+    if (b > kInfFlow || b < -kInfFlow) {
+      error("node " + std::to_string(v) + " supply " + std::to_string(b) +
+            " exceeds the safe magnitude kInfFlow");
+    }
+  }
+
+  Cost worst_case = 0;
+  bool worst_case_overflow = false;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const Arc& arc = g.arc(a);
+    const std::string label = "arc " + std::to_string(a);
+    if (arc.tail < 0 || arc.tail >= g.num_nodes() || arc.head < 0 ||
+        arc.head >= g.num_nodes()) {
+      error(label + " has an endpoint outside the node range");
+      continue;
+    }
+    if (arc.lower < 0) {
+      error(label + " has negative lower bound " +
+            std::to_string(arc.lower));
+    }
+    if (arc.lower > arc.upper) {
+      error(label + " has lower bound " + std::to_string(arc.lower) +
+            " above capacity " + std::to_string(arc.upper));
+    }
+    if (arc.upper > kInfFlow) {
+      error(label + " capacity " + std::to_string(arc.upper) +
+            " exceeds the safe magnitude kInfFlow");
+    }
+    if (arc.cost > kInfCost || arc.cost < -kInfCost) {
+      error(label + " cost " + std::to_string(arc.cost) +
+            " exceeds the overflow-safe magnitude kInfCost");
+    }
+    // Overflow-checked worst-case objective magnitude |cost| * capacity.
+    Cost term = 0;
+    const Cost abs_cost = arc.cost < 0 ? -arc.cost : arc.cost;
+    const Flow cap = std::max<Flow>(arc.upper, 0);
+    if (!checked_mul(abs_cost, cap, term) ||
+        !checked_add(worst_case, term, worst_case)) {
+      worst_case_overflow = true;
+    }
+  }
+  if (worst_case_overflow) {
+    report.warnings.push_back(
+        "worst-case |cost|*capacity sum overflows Cost; objective values "
+        "near the optimum may be unreliable");
+  }
+  return report;
+}
+
+namespace {
+
+std::vector<SolverKind> effective_chain(const SolveOptions& options) {
+  std::vector<SolverKind> chain = options.chain;
+  if (chain.empty()) {
+    chain = {SolverKind::kNetworkSimplex,
+             SolverKind::kSuccessiveShortestPaths,
+             SolverKind::kCycleCanceling};
+  }
+  // Drop duplicates, keeping first occurrences: retrying the identical
+  // deterministic algorithm cannot change the answer.
+  std::vector<SolverKind> unique;
+  for (SolverKind kind : chain) {
+    if (std::find(unique.begin(), unique.end(), kind) == unique.end()) {
+      unique.push_back(kind);
+    }
+  }
+  return unique;
+}
+
+/// Runs the configured certification checks; returns true when the
+/// answer passes, otherwise false with the reason in \p why.
+bool certify_answer(const Graph& g, const FlowSolution& sol,
+                    CertifyLevel level, std::string& why) {
+  if (level == CertifyLevel::kNone) return true;
+  const CheckResult feasible = check_feasible(g, sol.arc_flow);
+  if (!feasible.ok) {
+    why = "not a feasible b-flow: " + feasible.message;
+    return false;
+  }
+  Cost actual = 0;
+  if (!checked_flow_cost(g, sol.arc_flow, actual)) {
+    why = "flow cost overflows Cost";
+    return false;
+  }
+  if (actual != sol.cost) {
+    why = "reported cost " + std::to_string(sol.cost) +
+          " does not match recomputed cost " + std::to_string(actual);
+    return false;
+  }
+  if (level == CertifyLevel::kOptimal && !certify_optimal(g, sol.arc_flow)) {
+    why = "residual network has a negative-cost cycle (non-optimal)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
+                          SolveDiagnostics* diagnostics) {
+  SolveDiagnostics local;
+  SolveDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
+  diag = SolveDiagnostics{};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&t0]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  auto finish = [&](FlowSolution sol) {
+    diag.wall_seconds = elapsed();
+    return sol;
+  };
+
+  const InstanceReport report = validate_instance(g);
+  diag.instance_errors = report.errors;
+  diag.instance_warnings = report.warnings;
+  if (!report.ok()) {
+    FlowSolution bad;
+    bad.status = SolveStatus::kBadInstance;
+    bad.message = report.errors.front();
+    if (report.errors.size() > 1) {
+      bad.message += " (+" + std::to_string(report.errors.size() - 1) +
+                     " more finding(s))";
+    }
+    diag.message = "rejected: " + bad.message;
+    return finish(bad);
+  }
+
+  const std::vector<SolverKind> chain = effective_chain(options);
+  int infeasible_votes = 0;
+  FlowSolution uncertified;
+  bool have_uncertified = false;
+  bool budget_hit = false;
+
+  for (SolverKind kind : chain) {
+    SolveGuard guard;
+    guard.max_iterations = options.max_iterations_per_solver;
+    if (options.max_seconds_total > 0) {
+      const double remaining = options.max_seconds_total - elapsed();
+      if (remaining <= 0) {
+        budget_hit = true;
+        break;
+      }
+      guard.max_seconds = remaining;
+    }
+
+    const double t_attempt = elapsed();
+    FlowSolution sol = solve(g, kind, &guard);
+    if (sol.status == SolveStatus::kOptimal && options.post_solve_hook) {
+      options.post_solve_hook(g, sol);
+    }
+
+    SolveAttempt attempt;
+    attempt.solver = kind;
+    attempt.status = sol.status;
+    attempt.iterations = guard.iterations;
+    attempt.seconds = elapsed() - t_attempt;
+    diag.iterations += guard.iterations;
+
+    switch (sol.status) {
+      case SolveStatus::kOptimal: {
+        std::string why;
+        if (certify_answer(g, sol, options.certify, why)) {
+          attempt.certified = options.certify != CertifyLevel::kNone;
+          diag.attempts.push_back(attempt);
+          diag.solver_used = kind;
+          diag.fallbacks_taken =
+              static_cast<int>(diag.attempts.size()) - 1;
+          diag.certification = options.certify == CertifyLevel::kNone
+                                   ? CertificationVerdict::kNotRun
+                                   : CertificationVerdict::kPassed;
+          diag.message = "optimal via " + to_string(kind) +
+                         (diag.fallbacks_taken > 0
+                              ? " after " +
+                                    std::to_string(diag.fallbacks_taken) +
+                                    " fallback(s)"
+                              : "");
+          return finish(sol);
+        }
+        attempt.note = "certification failed: " + why;
+        diag.attempts.push_back(attempt);
+        uncertified = std::move(sol);
+        have_uncertified = true;
+        break;
+      }
+      case SolveStatus::kInfeasible: {
+        ++infeasible_votes;
+        diag.attempts.push_back(attempt);
+        const bool need_confirmation = options.cross_check_infeasible &&
+                                       options.certify != CertifyLevel::kNone;
+        if (!need_confirmation || infeasible_votes >= 2) {
+          diag.fallbacks_taken =
+              static_cast<int>(diag.attempts.size()) - 1;
+          diag.message = "infeasible (confirmed by " +
+                         std::to_string(infeasible_votes) + " solver(s))";
+          FlowSolution inf;
+          inf.status = SolveStatus::kInfeasible;
+          return finish(inf);
+        }
+        break;
+      }
+      case SolveStatus::kBudgetExceeded: {
+        budget_hit = true;
+        attempt.note = sol.message;
+        diag.attempts.push_back(attempt);
+        break;
+      }
+      case SolveStatus::kBadInstance:
+      case SolveStatus::kUncertified: {
+        // Unreachable after validate_instance, but fail loud, not wrong.
+        attempt.note = sol.message;
+        diag.attempts.push_back(attempt);
+        diag.message = "rejected by " + to_string(kind) + ": " + sol.message;
+        return finish(sol);
+      }
+    }
+  }
+
+  diag.fallbacks_taken =
+      std::max(0, static_cast<int>(diag.attempts.size()) - 1);
+
+  if (have_uncertified) {
+    // Every optimality claim flunked certification: surface the failure
+    // loudly instead of returning a plausible-but-wrong flow.
+    diag.certification = CertificationVerdict::kFailed;
+    uncertified.status = SolveStatus::kUncertified;
+    uncertified.message =
+        "every solver answer failed certification; flow must not be used";
+    if (infeasible_votes > 0) {
+      uncertified.message += " (chain verdicts also conflict: " +
+                             std::to_string(infeasible_votes) +
+                             " infeasible vote(s))";
+    }
+    diag.message = uncertified.message;
+    return finish(uncertified);
+  }
+  if (infeasible_votes > 0) {
+    diag.message = "infeasible (single solver verdict, chain exhausted)";
+    FlowSolution inf;
+    inf.status = SolveStatus::kInfeasible;
+    return finish(inf);
+  }
+  if (budget_hit) {
+    FlowSolution out;
+    out.status = SolveStatus::kBudgetExceeded;
+    out.message = "iteration/time budget exhausted across " +
+                  std::to_string(diag.attempts.size()) + " attempt(s)";
+    diag.message = out.message;
+    return finish(out);
+  }
+  FlowSolution out;
+  out.status = SolveStatus::kBadInstance;
+  out.message = "empty solver chain";
+  diag.message = out.message;
+  return finish(out);
+}
+
+FlowSolution solve_st_flow_robust(const Graph& g, NodeId s, NodeId t,
+                                  Flow value, const SolveOptions& options,
+                                  SolveDiagnostics* diagnostics) {
+  Graph copy = g;
+  copy.add_supply(s, value);
+  copy.add_supply(t, -value);
+  return solve_robust(copy, options, diagnostics);
+}
+
+}  // namespace lera::netflow

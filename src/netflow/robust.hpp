@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netflow/graph.hpp"
+#include "netflow/solution.hpp"
+
+/// \file robust.hpp
+/// The guarded solve path: validate the instance, run the primary solver
+/// under an iteration/time budget, fall back through a configurable
+/// solver chain on failure, and certify every accepted answer against
+/// the independent checks in validate.hpp. Real min-cost-flow codes are
+/// known to diverge on degenerate instances (Kiraly & Kovacs 2012), so
+/// production callers (the allocator, the pipeline) go through
+/// solve_robust instead of trusting any single algorithm.
+
+namespace lera::netflow {
+
+/// How much of validate.hpp to run on every accepted answer.
+enum class CertifyLevel {
+  kNone,      ///< Trust the solver (fastest; test/bench only).
+  kFeasible,  ///< check_feasible + exact cost recomputation.
+  kOptimal,   ///< kFeasible plus the residual negative-cycle certificate.
+};
+
+std::string to_string(CertifyLevel level);
+
+/// Options for solve_robust.
+struct SolveOptions {
+  /// Solvers to try, in order. Empty selects the default chain
+  /// network simplex -> successive shortest paths -> cycle canceling.
+  std::vector<SolverKind> chain;
+  /// Per-attempt iteration budget (0 = unlimited); see SolveGuard.
+  std::int64_t max_iterations_per_solver = 0;
+  /// Wall-time budget shared by all attempts (0 = unlimited).
+  double max_seconds_total = 0;
+  /// Certification applied to every optimal answer before accepting it.
+  CertifyLevel certify = CertifyLevel::kOptimal;
+  /// Require a second solver to confirm an infeasible verdict (when the
+  /// chain has one and certification is enabled): a buggy solver can
+  /// report infeasible just as it can report a wrong optimum.
+  bool cross_check_infeasible = true;
+
+  /// Test-only seam: invoked on every solver answer that claims
+  /// optimality, before certification. The fault-injection harness uses
+  /// it to prove the certification layer catches corrupted solutions.
+  using SolutionHook = std::function<void(const Graph&, FlowSolution&)>;
+  SolutionHook post_solve_hook;
+};
+
+/// Outcome of validate_instance: errors reject the instance outright,
+/// warnings flag numerically suspicious (but solvable) data.
+struct InstanceReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Pre-solve sanity checks: supply balance, bound sanity
+/// (0 <= lower <= upper <= kInfFlow), cost magnitudes within kInfCost,
+/// and an overflow-checked worst-case |cost|*capacity sum.
+InstanceReport validate_instance(const Graph& g);
+
+/// One solver attempt inside solve_robust, for diagnostics.
+struct SolveAttempt {
+  SolverKind solver = SolverKind::kSuccessiveShortestPaths;
+  SolveStatus status = SolveStatus::kInfeasible;
+  std::int64_t iterations = 0;  ///< Guard ticks consumed.
+  double seconds = 0;           ///< Wall time of this attempt.
+  bool certified = false;       ///< Passed the configured certification.
+  std::string note;             ///< Why the attempt was rejected, if it was.
+};
+
+/// Verdict of the certification layer over the whole robust solve.
+enum class CertificationVerdict {
+  kNotRun,  ///< CertifyLevel::kNone, or no optimal answer to certify.
+  kPassed,  ///< The returned answer passed every configured check.
+  kFailed,  ///< Every solver's answer failed certification.
+};
+
+std::string to_string(CertificationVerdict verdict);
+
+/// Everything solve_robust observed, for logs, reports and tests.
+struct SolveDiagnostics {
+  std::vector<std::string> instance_errors;
+  std::vector<std::string> instance_warnings;
+  std::vector<SolveAttempt> attempts;
+  /// Solver whose answer was returned (valid when the returned status is
+  /// kOptimal).
+  SolverKind solver_used = SolverKind::kSuccessiveShortestPaths;
+  /// Attempts beyond the first, certification re-solves included.
+  int fallbacks_taken = 0;
+  CertificationVerdict certification = CertificationVerdict::kNotRun;
+  double wall_seconds = 0;        ///< Whole robust solve, validation included.
+  std::int64_t iterations = 0;    ///< Guard ticks summed over all attempts.
+  std::string message;            ///< One-line human-readable outcome.
+
+  /// Compact "status solver=... fallbacks=N cert=..." line for reports.
+  std::string summary() const;
+};
+
+/// Validated + budgeted + certified min-cost flow solve. Never throws
+/// and never trips solver-internal asserts on malformed instances:
+/// those come back as kBadInstance, budget exhaustion as
+/// kBudgetExceeded, and a chain whose every answer flunks certification
+/// as kUncertified. \p diagnostics (optional) receives the full story.
+FlowSolution solve_robust(const Graph& g, const SolveOptions& options = {},
+                          SolveDiagnostics* diagnostics = nullptr);
+
+/// solve_st_flow through the robust path: adds +/-value at s/t on a
+/// copy of \p g and calls solve_robust.
+FlowSolution solve_st_flow_robust(const Graph& g, NodeId s, NodeId t,
+                                  Flow value,
+                                  const SolveOptions& options = {},
+                                  SolveDiagnostics* diagnostics = nullptr);
+
+}  // namespace lera::netflow

@@ -12,6 +12,12 @@ std::string to_string(SolveStatus status) {
       return "optimal";
     case SolveStatus::kInfeasible:
       return "infeasible";
+    case SolveStatus::kBadInstance:
+      return "bad-instance";
+    case SolveStatus::kBudgetExceeded:
+      return "budget-exceeded";
+    case SolveStatus::kUncertified:
+      return "uncertified";
   }
   return "unknown";
 }
@@ -30,29 +36,50 @@ std::string to_string(SolverKind kind) {
   return "unknown";
 }
 
+namespace internal {
+
+FlowSolution budget_exceeded(SolverKind kind) {
+  FlowSolution out;
+  out.status = SolveStatus::kBudgetExceeded;
+  out.message = to_string(kind) + ": iteration/time budget exhausted";
+  return out;
+}
+
+}  // namespace internal
+
 namespace {
 
-FlowSolution dispatch(const Graph& g, SolverKind kind) {
+FlowSolution dispatch(const Graph& g, SolverKind kind, SolveGuard* guard) {
   switch (kind) {
     case SolverKind::kSuccessiveShortestPaths:
-      return internal::solve_ssp(g);
+      return internal::solve_ssp(g, guard);
     case SolverKind::kCycleCanceling:
-      return internal::solve_cycle_canceling(g);
+      return internal::solve_cycle_canceling(g, guard);
     case SolverKind::kNetworkSimplex:
-      return internal::solve_network_simplex(g);
+      return internal::solve_network_simplex(g, guard);
     case SolverKind::kCostScaling:
-      return internal::solve_cost_scaling(g);
+      return internal::solve_cost_scaling(g, guard);
   }
   return {};
 }
 
 }  // namespace
 
-FlowSolution solve(const Graph& g, SolverKind kind) {
-  if (!g.has_lower_bounds()) return dispatch(g, kind);
+FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard) {
+  if (g.total_supply() != 0) {
+    FlowSolution bad;
+    bad.status = SolveStatus::kBadInstance;
+    bad.message = "unbalanced instance: total supply is " +
+                  std::to_string(g.total_supply()) +
+                  ", a feasible b-flow requires 0";
+    return bad;
+  }
+  if (guard != nullptr) guard->start();
+
+  if (!g.has_lower_bounds()) return dispatch(g, kind, guard);
 
   const LowerBoundReduction red = remove_lower_bounds(g);
-  FlowSolution sol = dispatch(red.reduced, kind);
+  FlowSolution sol = dispatch(red.reduced, kind, guard);
   if (!sol.optimal()) return sol;
   sol.arc_flow = restore_lower_bounds(red, sol.arc_flow);
   sol.cost += red.fixed_cost;
@@ -60,11 +87,11 @@ FlowSolution solve(const Graph& g, SolverKind kind) {
 }
 
 FlowSolution solve_st_flow(const Graph& g, NodeId s, NodeId t, Flow value,
-                           SolverKind kind) {
+                           SolverKind kind, SolveGuard* guard) {
   Graph copy = g;
   copy.add_supply(s, value);
   copy.add_supply(t, -value);
-  return solve(copy, kind);
+  return solve(copy, kind, guard);
 }
 
 }  // namespace lera::netflow

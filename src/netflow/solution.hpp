@@ -1,5 +1,7 @@
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,8 +16,14 @@ class Graph;
 
 /// Outcome of a solve attempt.
 enum class SolveStatus {
-  kOptimal,     ///< An optimal feasible flow was found.
-  kInfeasible,  ///< No flow satisfies the supplies / lower bounds.
+  kOptimal,         ///< An optimal feasible flow was found.
+  kInfeasible,      ///< No flow satisfies the supplies / lower bounds.
+  kBadInstance,     ///< The instance violates a precondition (for example
+                    ///< unbalanced supplies); nothing was solved.
+  kBudgetExceeded,  ///< An iteration or wall-time budget ran out first.
+  kUncertified,     ///< Every solver in a robust fallback chain produced
+                    ///< an answer that failed independent certification;
+                    ///< the returned flow must not be trusted.
 };
 
 /// Human-readable name of a status, for logs and test messages.
@@ -25,12 +33,53 @@ std::string to_string(SolveStatus status);
 struct FlowSolution {
   SolveStatus status = SolveStatus::kInfeasible;
   /// Flow on every arc, indexed by ArcId of the input Graph. Empty when
-  /// the instance is infeasible.
+  /// the instance is infeasible / rejected / out of budget.
   std::vector<Flow> arc_flow;
   /// Total cost sum_a cost(a)*flow(a) of the returned flow.
   Cost cost = 0;
+  /// Diagnostic for kBadInstance / kBudgetExceeded outcomes ("" for the
+  /// ordinary optimal and infeasible verdicts).
+  std::string message;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Cooperative budget for one solver run. Solvers call tick() once per
+/// major iteration (SSP augmentation, simplex pivot, cycle cancellation,
+/// push-relabel discharge) and abandon the run with kBudgetExceeded when
+/// it returns false. Zero limits mean "unlimited"; the wall clock is
+/// polled only every 256 ticks to keep the guard off the hot path.
+struct SolveGuard {
+  std::int64_t max_iterations = 0;  ///< 0 = unlimited.
+  double max_seconds = 0;           ///< 0 = unlimited (wall clock).
+
+  std::int64_t iterations = 0;  ///< Out: iterations consumed so far.
+  bool exceeded = false;        ///< Out: true once a limit tripped.
+
+  /// Stamps the reference point for max_seconds. Called by solve().
+  void start() { start_time_ = std::chrono::steady_clock::now(); }
+
+  /// Accounts one iteration; false once any budget is exhausted.
+  bool tick() {
+    if (exceeded) return false;
+    ++iterations;
+    if (max_iterations > 0 && iterations > max_iterations) {
+      exceeded = true;
+      return false;
+    }
+    if (max_seconds > 0 && iterations % 256 == 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time_)
+                .count() > max_seconds) {
+      exceeded = true;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_time_{
+      std::chrono::steady_clock::now()};
 };
 
 /// Available algorithms. All produce identical (optimal) objective values;
@@ -47,15 +96,19 @@ std::string to_string(SolverKind kind);
 /// Solves the b-flow instance described by \p g (supplies, lower bounds,
 /// capacities, costs) to optimality.
 ///
-/// Preconditions: g.total_supply() == 0 for feasibility; arcs may carry
-/// negative costs and nonzero lower bounds.
+/// Unbalanced instances (g.total_supply() != 0) are rejected with
+/// kBadInstance; arcs may carry negative costs and nonzero lower bounds.
+/// An optional \p guard imposes iteration / wall-time budgets on the run
+/// (kBudgetExceeded when they run out).
 FlowSolution solve(const Graph& g,
-                   SolverKind kind = SolverKind::kSuccessiveShortestPaths);
+                   SolverKind kind = SolverKind::kSuccessiveShortestPaths,
+                   SolveGuard* guard = nullptr);
 
 /// Convenience wrapper for the classic fixed-value s-t flow problem used
 /// by the paper (flow value F = number of registers R): sets
 /// supply(s)=+F, supply(t)=-F on a copy of \p g and solves it.
 FlowSolution solve_st_flow(const Graph& g, NodeId s, NodeId t, Flow value,
-                           SolverKind kind = SolverKind::kSuccessiveShortestPaths);
+                           SolverKind kind = SolverKind::kSuccessiveShortestPaths,
+                           SolveGuard* guard = nullptr);
 
 }  // namespace lera::netflow

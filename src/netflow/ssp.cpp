@@ -93,7 +93,7 @@ bool initial_potentials(const Graph& g, std::vector<Cost>& pi) {
 
 }  // namespace
 
-FlowSolution solve_ssp(const Graph& g) {
+FlowSolution solve_ssp(const Graph& g, SolveGuard* guard) {
   if (g.total_supply() != 0) return {};
 
   Residual res(g);
@@ -123,6 +123,9 @@ FlowSolution solve_ssp(const Graph& g) {
   std::vector<char> settled(static_cast<std::size_t>(n));
 
   for (;;) {
+    if (guard != nullptr && !guard->tick()) {
+      return budget_exceeded(SolverKind::kSuccessiveShortestPaths);
+    }
     // Collect remaining excess nodes.
     bool any_excess = false;
     for (NodeId v = 0; v < n; ++v) {

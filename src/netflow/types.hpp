@@ -37,4 +37,31 @@ inline constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
 /// A capacity that behaves as "unbounded" for all practical instances.
 inline constexpr Flow kInfFlow = std::numeric_limits<Flow>::max() / 4;
 
+/// Overflow-checked a + b. Writes the sum into \p out and returns true,
+/// or leaves \p out untouched and returns false when the exact result
+/// does not fit in Cost. Used by the validators and the robust solve
+/// path so that a pathological instance surfaces as a diagnostic rather
+/// than as signed-overflow UB.
+inline bool checked_add(Cost a, Cost b, Cost& out) {
+  Cost r = 0;
+  if (__builtin_add_overflow(a, b, &r)) return false;
+  out = r;
+  return true;
+}
+
+/// Overflow-checked a * b; same contract as checked_add.
+inline bool checked_mul(Cost a, Cost b, Cost& out) {
+  Cost r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) return false;
+  out = r;
+  return true;
+}
+
+/// Clamps \p v into the safely-summable range [-kInfCost, kInfCost].
+inline Cost saturate_cost(Cost v) {
+  if (v > kInfCost) return kInfCost;
+  if (v < -kInfCost) return -kInfCost;
+  return v;
+}
+
 }  // namespace lera::netflow

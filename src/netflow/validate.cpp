@@ -40,11 +40,38 @@ CheckResult check_feasible(const Graph& g, const std::vector<Flow>& flow) {
 }
 
 Cost flow_cost(const Graph& g, const std::vector<Flow>& flow) {
+  if (flow.size() != static_cast<std::size_t>(g.num_arcs())) return 0;
   Cost total = 0;
+  if (checked_flow_cost(g, flow, total)) return total;
+  // Saturate towards the sign of the first overflowing partial sum.
+  Cost running = 0;
   for (ArcId a = 0; a < g.num_arcs(); ++a) {
-    total += g.arc(a).cost * flow[static_cast<std::size_t>(a)];
+    Cost term = 0;
+    if (!checked_mul(g.arc(a).cost, flow[static_cast<std::size_t>(a)],
+                     term) ||
+        !checked_add(running, term, running)) {
+      const bool negative =
+          (g.arc(a).cost < 0) != (flow[static_cast<std::size_t>(a)] < 0);
+      return negative ? -kInfCost : kInfCost;
+    }
   }
-  return total;
+  return saturate_cost(running);
+}
+
+bool checked_flow_cost(const Graph& g, const std::vector<Flow>& flow,
+                       Cost& total) {
+  if (flow.size() != static_cast<std::size_t>(g.num_arcs())) return false;
+  Cost running = 0;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    Cost term = 0;
+    if (!checked_mul(g.arc(a).cost, flow[static_cast<std::size_t>(a)],
+                     term) ||
+        !checked_add(running, term, running)) {
+      return false;
+    }
+  }
+  total = running;
+  return true;
 }
 
 bool certify_optimal(const Graph& g, const std::vector<Flow>& flow) {

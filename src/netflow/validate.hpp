@@ -21,8 +21,17 @@ struct CheckResult {
 /// Verifies bounds and per-node conservation of \p flow against \p g.
 CheckResult check_feasible(const Graph& g, const std::vector<Flow>& flow);
 
-/// Total cost of a flow vector under \p g's arc costs.
+/// Total cost of a flow vector under \p g's arc costs. Accumulates with
+/// overflow-checked arithmetic and saturates at +/-kInfCost when the
+/// exact total would not fit (see checked_flow_cost for the detecting
+/// variant).
 Cost flow_cost(const Graph& g, const std::vector<Flow>& flow);
+
+/// Overflow-detecting total cost: writes the exact total into \p total
+/// and returns true, or returns false when any term or partial sum
+/// overflows Cost (\p total is left untouched).
+bool checked_flow_cost(const Graph& g, const std::vector<Flow>& flow,
+                       Cost& total);
 
 /// Certifies optimality of a *feasible* flow by proving the residual
 /// network contains no negative-cost directed cycle (Bellman-Ford).

@@ -53,7 +53,18 @@ PipelineReport run_pipeline(const ir::TaskGraph& graph,
         options.split);
     tr.max_density = p.max_density();
 
-    tr.result = alloc::allocate(p, options.alloc);
+    alloc::AllocatorOptions alloc_options = options.alloc;
+    alloc_options.fallback_to_baseline =
+        alloc_options.fallback_to_baseline ||
+        options.degrade_on_solver_failure;
+    tr.result = alloc::allocate(p, alloc_options);
+    tr.solve_summary = tr.result.solve_diagnostics.summary();
+    if (tr.result.degraded) {
+      ++report.tasks_degraded;
+      tr.solve_summary += " [degraded to two-phase baseline]";
+    }
+    report.total_solver_fallbacks +=
+        tr.result.solve_diagnostics.fallbacks_taken;
     if (!tr.result.feasible) {
       report.all_feasible = false;
       report.tasks.push_back(std::move(tr));

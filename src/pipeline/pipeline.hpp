@@ -36,6 +36,11 @@ struct PipelineOptions {
   std::uint64_t trace_seed = 1;
   /// Run the second-stage memory reallocation flow per task.
   bool relayout_memory = true;
+  /// Degrade a task to the two-phase baseline when its flow solve fails
+  /// (bad instance, budget, certification), instead of marking the whole
+  /// run infeasible. Downgrades are counted in PipelineReport and
+  /// flagged per task; heavy-traffic runs fail loud, not wrong.
+  bool degrade_on_solver_failure = true;
 };
 
 struct TaskReport {
@@ -45,11 +50,21 @@ struct TaskReport {
   int max_density = 0;
   alloc::AllocationResult result;
   alloc::MemoryLayout layout;
+  /// One-line robust-solve story for this task's allocation (solver
+  /// used, fallbacks, certification verdict); see also
+  /// result.solve_diagnostics for the full structure.
+  std::string solve_summary;
 };
 
 struct PipelineReport {
   std::vector<TaskReport> tasks;
   bool all_feasible = true;
+
+  /// Solver-robustness accounting across the run: tasks that fell back
+  /// to the two-phase baseline, and solver fallbacks taken inside the
+  /// flow solves that did succeed.
+  int tasks_degraded = 0;
+  int total_solver_fallbacks = 0;
 
   double total_static_energy = 0;
   double total_activity_energy = 0;

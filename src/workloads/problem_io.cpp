@@ -54,12 +54,25 @@ ProblemParseResult parse_problem(const std::string& text,
     try {
       if (w[0] == "steps" && w.size() == 2) {
         steps = std::stoi(w[1]);
+        if (steps < 1) {
+          return fail(line_no, "'steps' must be at least 1");
+        }
       } else if (w[0] == "registers" && w.size() == 2) {
         registers = std::stoi(w[1]);
+        if (registers < 0) {
+          return fail(line_no, "'registers' must be non-negative");
+        }
       } else if (w[0] == "access" && w.size() >= 3 && w[1] == "period") {
         split.access.period = std::stoi(w[2]);
+        if (split.access.period < 1) {
+          return fail(line_no, "access period must be at least 1");
+        }
         if (w.size() == 5 && w[3] == "phase") {
           split.access.phase = std::stoi(w[4]);
+          if (split.access.phase < 0 ||
+              split.access.phase >= split.access.period) {
+            return fail(line_no, "access phase must be in [0, period)");
+          }
         } else if (w.size() != 3) {
           return fail(line_no, "expected 'access period N [phase M]'");
         }
@@ -74,13 +87,22 @@ ProblemParseResult parse_problem(const std::string& text,
         }
         std::size_t i = 2;
         if (w[i] == "width") {
+          if (i + 1 >= w.size()) {
+            return fail(line_no, "truncated 'width' (expected a value)");
+          }
           lt.width = std::stoi(w[i + 1]);
+          if (lt.width < 1 || lt.width > 64) {
+            return fail(line_no, "width must be in [1, 64]");
+          }
           i += 2;
         }
         if (i + 1 >= w.size() || w[i] != "write") {
           return fail(line_no, "expected 'write <step>'");
         }
         lt.write_time = std::stoi(w[i + 1]);
+        if (lt.write_time < 0) {
+          return fail(line_no, "negative write time");
+        }
         i += 2;
         if (i >= w.size() || w[i] != "reads") {
           return fail(line_no, "expected 'reads <steps...>'");
@@ -90,7 +112,9 @@ ProblemParseResult parse_problem(const std::string& text,
           if (w[i] == "liveout") {
             lt.live_out = true;
           } else {
-            lt.read_times.push_back(std::stoi(w[i]));
+            const int t = std::stoi(w[i]);
+            if (t < 0) return fail(line_no, "negative read time");
+            lt.read_times.push_back(t);
           }
         }
         if (lt.read_times.empty() && !lt.live_out) {
@@ -113,6 +137,18 @@ ProblemParseResult parse_problem(const std::string& text,
   if (steps < 0) return fail(0, "missing 'steps' directive");
   // Live-out variables read at x+1; resolve now that steps is known.
   for (lifetime::Lifetime& lt : lifetimes) {
+    if (lt.write_time > steps) {
+      ProblemParseResult r;
+      r.error = "variable '" + lt.name + "' written after the last step";
+      return r;
+    }
+    for (int t : lt.read_times) {
+      if (t > steps) {
+        ProblemParseResult r;
+        r.error = "variable '" + lt.name + "' read after the last step";
+        return r;
+      }
+    }
     if (lt.live_out) {
       lt.read_times.push_back(steps + 1);
     }

@@ -9,6 +9,7 @@
 #include "alloc/two_phase.hpp"
 #include "sched/schedule.hpp"
 #include "workloads/kernels.hpp"
+#include "workloads/problem_io.hpp"
 #include "workloads/random_gen.hpp"
 
 /// Whole-stack randomized battery: random DFGs through scheduling,
@@ -103,6 +104,47 @@ TEST_P(FuzzPipeline, EndToEndInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
                          ::testing::Range<std::uint64_t>(100, 160));
+
+TEST(FuzzPipeline, MalformedProblemCorpusFailsStructured) {
+  // Hardening corpus for the .lt problem reader: truncated directives,
+  // out-of-range numbers, duplicates. Every entry must produce a
+  // structured parse error — no crash, no assert, no bogus problem.
+  const char* corpus[] = {
+      "steps",                                         // Truncated steps.
+      "steps zero",                                    // Non-numeric.
+      "steps 0",                                       // Below minimum.
+      "steps -3",                                      // Negative.
+      "steps 99999999999999999999",                    // Overflow.
+      "registers -1\nsteps 4",                         // Negative registers.
+      "steps 4\naccess period 0",                      // Bad period.
+      "steps 4\naccess period 2 phase 2",              // Phase >= period.
+      "steps 4\naccess period 2 phase -1",             // Negative phase.
+      "steps 4\naccess period 2 banana",               // Trailing garbage.
+      "steps 4\nvar a",                                // Truncated var.
+      "steps 4\nvar a width",                          // Width value missing.
+      "steps 4\nvar a width 0 write 0 reads 1",        // Width too small.
+      "steps 4\nvar a width 65 write 0 reads 1",       // Width too large.
+      "steps 4\nvar a write -1 reads 1",               // Negative write.
+      "steps 4\nvar a write 0 reads -2",               // Negative read.
+      "steps 4\nvar a write 0 reads",                  // No read steps.
+      "steps 4\nvar a write 9 reads 10",               // Beyond last step.
+      "steps 4\nvar a write 0 reads 9",                // Read after end.
+      "steps 4\nvar a write 2 reads 1",                // Read before write.
+      "steps 4\nvar a write 0 reads 1\nvar a write 1 reads 2",  // Duplicate.
+      "steps 4\nvar a write 0 reads 1\nactivity a ghost 0.5",   // Unknown.
+      "steps 4\nvar a write 0 reads 1\nactivity a a 2.0",  // Out of [0,1].
+      "steps 4\nvar a write 0 reads 1\ninitial ghost 0.5",  // Unknown var.
+      "steps 4\nfrobnicate 1",                         // Unknown directive.
+      "var a write 0 reads 1",                         // Missing steps.
+  };
+  const energy::EnergyParams params;
+  for (const char* text : corpus) {
+    const workloads::ProblemParseResult r =
+        workloads::parse_problem(text, params);
+    EXPECT_FALSE(r.ok()) << "accepted malformed problem: " << text;
+    EXPECT_FALSE(r.error.empty()) << text;
+  }
+}
 
 }  // namespace
 }  // namespace lera

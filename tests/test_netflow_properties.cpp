@@ -112,5 +112,78 @@ TEST(RandomInstanceStress, SspMatchesNetworkSimplex) {
   }
 }
 
+// Fault-injection sweep: corrupt solver outputs on seeded random
+// instances and require that the robust path either corrects the answer
+// through its fallback chain (same optimal cost as the un-corrupted
+// reference) or surfaces the failure as kUncertified — a corrupted flow
+// must never come back labelled optimal.
+class FaultInjectionSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Graph make_instance(std::uint64_t seed) const {
+    RandomFlowOptions opts;
+    opts.num_nodes = 8 + static_cast<int>(seed % 6);
+    opts.num_arcs = 18 + static_cast<int>(seed % 12);
+    opts.min_cost = -15;
+    opts.supply = 2 + static_cast<Flow>(seed % 5);
+    opts.lower_bound_prob = seed % 3 == 0 ? 0.3 : 0.0;
+    return random_flow_problem(seed, opts);
+  }
+};
+
+TEST_P(FaultInjectionSweep, SingleFaultIsCorrectedByTheFallbackChain) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = make_instance(seed);
+  const FlowSolution reference = solve(g);
+
+  FaultInjector injector(seed * 2654435761u + 1);
+  SolveOptions options;
+  options.post_solve_hook = injector.hook();
+  SolveDiagnostics diag;
+  const FlowSolution sol = solve_robust(g, options, &diag);
+
+  if (!reference.optimal()) {
+    EXPECT_EQ(sol.status, reference.status) << "seed " << seed;
+    return;
+  }
+  ASSERT_TRUE(sol.optimal()) << "seed " << seed << ": " << diag.summary();
+  EXPECT_EQ(sol.cost, reference.cost) << "seed " << seed;
+  EXPECT_EQ(diag.certification, CertificationVerdict::kPassed);
+  if (injector.faults_injected() > 0) {
+    EXPECT_GE(diag.fallbacks_taken, 1) << "seed " << seed;
+  }
+  const CheckResult feasible = check_feasible(g, sol.arc_flow);
+  EXPECT_TRUE(feasible.ok) << "seed " << seed << ": " << feasible.message;
+}
+
+TEST_P(FaultInjectionSweep, PersistentFaultsAreSurfacedNotReturned) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = make_instance(seed);
+  const FlowSolution reference = solve(g);
+
+  FaultInjectorOptions fopts;
+  fopts.max_faulty_attempts = 1 << 20;  // Corrupt every attempt.
+  FaultInjector injector(seed * 0x9e3779b97f4a7c15ull + 3, fopts);
+  SolveOptions options;
+  options.post_solve_hook = injector.hook();
+  SolveDiagnostics diag;
+  const FlowSolution sol = solve_robust(g, options, &diag);
+
+  if (!reference.optimal()) {
+    EXPECT_EQ(sol.status, reference.status) << "seed " << seed;
+    return;
+  }
+  // Every solver's answer was corrupted, so nothing may certify: the
+  // robust path must refuse to bless any of them.
+  EXPECT_EQ(sol.status, SolveStatus::kUncertified)
+      << "seed " << seed << ": " << diag.summary();
+  EXPECT_EQ(diag.certification, CertificationVerdict::kFailed);
+  EXPECT_EQ(injector.faults_injected(),
+            static_cast<int>(diag.attempts.size()))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultInjectionSweep,
+                         ::testing::Range<std::uint64_t>(1, 101));
+
 }  // namespace
 }  // namespace lera::netflow

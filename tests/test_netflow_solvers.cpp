@@ -102,12 +102,17 @@ TEST_P(SolverTest, InfeasibleWhenCutTooSmall) {
   EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
 }
 
-TEST_P(SolverTest, InfeasibleWhenSuppliesDoNotBalance) {
+TEST_P(SolverTest, BadInstanceWhenSuppliesDoNotBalance) {
+  // No b-flow exists when supplies do not sum to zero; the instance is
+  // rejected up front (kBadInstance) instead of reaching a solver that
+  // might assert or loop on it.
   Graph g(2);
   g.add_arc(0, 1, 5, 1);
   g.set_supply(0, 2);
   const FlowSolution sol = solve(g, GetParam());
-  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(sol.status, SolveStatus::kBadInstance);
+  EXPECT_FALSE(sol.message.empty());
+  EXPECT_NE(sol.message.find("supply"), std::string::npos);
 }
 
 TEST_P(SolverTest, HonoursLowerBounds) {

@@ -74,7 +74,9 @@ TEST(Parser, NegativeConstants) {
   const ParseResult r = parse_block("const k = -12\nin a\ns = a + k\nout s");
   ASSERT_TRUE(r.ok()) << r.error;
   for (const Value& v : r.block->values()) {
-    if (v.name == "k") EXPECT_EQ(v.literal, -12);
+    if (v.name == "k") {
+      EXPECT_EQ(v.literal, -12);
+    }
   }
 }
 
@@ -147,6 +149,36 @@ TEST(ToText, RoundTripsKernels) {
       EXPECT_EQ(evaluate(original, row), evaluate(*reparsed.block, row))
           << original.name();
     }
+  }
+}
+
+TEST(Parser, MalformedInputCorpusNeverCrashes) {
+  // Hardening corpus: every entry must come back as a structured error
+  // (never a crash, assert, or silently wrong block).
+  const char* corpus[] = {
+      "t =",                              // Truncated assignment.
+      "t = a +",                          // Truncated infix.
+      "const k =",                        // Truncated constant.
+      "const k = 99999999999999999999",   // Literal overflows int64.
+      "const k = banana",                 // Non-numeric literal.
+      "in a\nout",                        // Truncated out.
+      "in a\nout a b",                    // Extra token after out.
+      "in a\nin a",                       // Duplicate input.
+      "in a\nt = a + a\nt = a + a",       // SSA redefinition.
+      "in a\nt = mac a",                  // Arity too low.
+      "in a\nt = neg a, a",               // Arity too high.
+      "in a\nt = a ? a",                  // Unknown operator.
+      "in a\nt = frobnicate a",           // Unknown mnemonic.
+      "in a\nt = a + ghost",              // Unknown operand.
+      "out ghost",                        // Output of unknown value.
+      "in 5",                             // Number where a name must be.
+      "= a + a",                          // Missing destination.
+      "\x01\x02\x03",                     // Binary garbage.
+  };
+  for (const char* text : corpus) {
+    const ParseResult r = parse_block(text);
+    EXPECT_FALSE(r.ok()) << "accepted malformed input: " << text;
+    EXPECT_FALSE(r.error.empty()) << text;
   }
 }
 
