@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "alloc/allocator.hpp"
+#include "engine/engine.hpp"
 #include "workloads/random_gen.hpp"
 
 using namespace lera;
@@ -78,6 +79,61 @@ BENCHMARK(BM_BuildFlowGraphOnly)
     ->RangeMultiplier(2)
     ->Range(16, 1024)
     ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+// Parallel engine scalability: a fixed batch of independent instances
+// through engine::Engine::allocate_batch, swept over the thread count.
+// Real time is what parallelism buys, so measure wall clock.
+void BM_EngineAllocateBatch(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::vector<alloc::AllocationProblem> batch;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    batch.push_back(
+        make_instance(64, 1000 + seed, energy::RegisterModel::kActivity));
+  }
+  engine::EngineOptions eopts;
+  eopts.threads = threads;
+  const engine::Engine eng(eopts);
+  for (auto _ : state) {
+    std::vector<alloc::AllocationResult> r = eng.allocate_batch(batch);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = threads;
+  state.counters["solves_per_s"] = benchmark::Counter(
+      static_cast<double>(batch.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineAllocateBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The whole-application driver at 1 vs N threads (bit-identical
+// reports; only the wall clock moves).
+void BM_EngineRunTaskGraph(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ir::TaskGraph tg;
+  workloads::RandomDfgOptions dopts;
+  dopts.num_ops = 24;
+  for (int i = 0; i < 12; ++i) {
+    tg.add_task("t" + std::to_string(i),
+                workloads::random_dfg(static_cast<std::uint64_t>(i), dopts));
+  }
+  engine::EngineOptions eopts;
+  eopts.threads = threads;
+  const engine::Engine eng(eopts);
+  for (auto _ : state) {
+    engine::PipelineReport r = eng.run(tg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_EngineRunTaskGraph)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

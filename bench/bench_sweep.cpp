@@ -5,12 +5,16 @@
 // improvement factor of the simultaneous flow over the two-phase [8]
 // baseline under both energy models.
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "alloc/allocator.hpp"
 #include "alloc/coloring.hpp"
 #include "alloc/two_phase.hpp"
+#include "engine/engine.hpp"
 #include "report/table.hpp"
 #include "sched/schedule.hpp"
 #include "workloads/kernels.hpp"
@@ -27,6 +31,26 @@ struct Sample {
   double activity_improvement = 0;
   double coloring_improvement = 0;
 };
+
+/// Best-of-3 wall time for solving \p problems on \p threads threads
+/// through the engine, in milliseconds.
+double time_batch_ms(const std::vector<alloc::AllocationProblem>& problems,
+                     int threads) {
+  lera::engine::EngineOptions eopts;
+  eopts.threads = threads;
+  const lera::engine::Engine engine(eopts);
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = engine.allocate_batch(problems);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+    if (results.size() != problems.size()) std::abort();
+  }
+  return best;
+}
 
 Sample measure(const std::string& name, const alloc::AllocationProblem& p) {
   Sample s;
@@ -56,6 +80,8 @@ int main() {
                "research]\n\n";
 
   std::vector<Sample> samples;
+  // Every measured instance also joins the parallel-speedup batch below.
+  std::vector<alloc::AllocationProblem> batch;
 
   const std::vector<ir::BasicBlock> kernels = {
       workloads::make_fir(8),
@@ -82,6 +108,7 @@ int main() {
       alloc::AllocationProblem p = probe;
       p.num_registers = r;
       samples.push_back(measure(bb.name(), p));
+      batch.push_back(std::move(p));
     }
   }
 
@@ -97,6 +124,7 @@ int main() {
     alloc::AllocationProblem p = probe;
     p.num_registers = std::max(1, probe.max_density() / 3);
     samples.push_back(measure(bb.name(), p));
+    batch.push_back(std::move(p));
   }
 
   report::Table table({"workload", "R", "improvement E(static)",
@@ -134,5 +162,22 @@ int main() {
                 << "x geomean\n";
     }
   }
+
+  // Parallel engine: the same batch of independent solves, single-thread
+  // vs multi-thread, plus a machine-readable line so the speedup
+  // trajectory can be tracked across PRs.
+  const int threads = 4;
+  const double t1_ms = time_batch_ms(batch, 1);
+  const double tn_ms = time_batch_ms(batch, threads);
+  const double speedup = tn_ms > 0 ? t1_ms / tn_ms : 0;
+  std::cout << "\n=== parallel engine: " << batch.size()
+            << " batched solves ===\n"
+            << "1 thread:  " << report::Table::num(t1_ms) << " ms\n"
+            << threads << " threads: " << report::Table::num(tn_ms)
+            << " ms  (speedup " << report::Table::num(speedup) << "x, "
+            << std::thread::hardware_concurrency() << " hardware threads)\n";
+  std::cout << "LERA_METRIC bench=sweep metric=parallel_speedup threads="
+            << threads << " batch=" << batch.size() << " t1_ms=" << t1_ms
+            << " tn_ms=" << tn_ms << " speedup=" << speedup << "\n";
   return 0;
 }

@@ -8,6 +8,10 @@
 //     -g GRAPH      density | allpairs (default density)
 //     -l FILE       read a lifetime problem (problem_io format) instead
 //                   of a code kernel; -r/-p of the file take precedence
+//     --threads N   engine worker threads (0 = all cores, 1 = sequential;
+//                   results are identical either way)
+//     --explore     co-explore schedules via the parallel engine and
+//                   print the candidate table instead of one allocation
 //     --csv         machine-readable output
 //     --asm         also print the lowered load/store/compute listing
 //
@@ -24,6 +28,7 @@
 #include "alloc/allocator.hpp"
 #include "alloc/memory_layout.hpp"
 #include "codegen/codegen.hpp"
+#include "engine/engine.hpp"
 #include "ir/parser.hpp"
 #include "report/ascii_chart.hpp"
 #include "report/table.hpp"
@@ -56,8 +61,10 @@ int main(int argc, char** argv) {
   std::string lifetimes_path;
   int registers = 4;
   int period = 1;
+  int threads = 1;
   bool csv = false;
   bool emit_asm = false;
+  bool explore = false;
   energy::EnergyParams params;
   params.register_model = energy::RegisterModel::kActivity;
   alloc::AllocatorOptions alloc_opts;
@@ -92,13 +99,18 @@ int main(int argc, char** argv) {
                              : alloc::GraphStyle::kDensityRegions;
     } else if (arg == "-l") {
       lifetimes_path = next();
+    } else if (arg == "--threads") {
+      threads = next_int("--threads");
+    } else if (arg == "--explore") {
+      explore = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--asm") {
       emit_asm = true;
     } else if (arg == "-h" || arg == "--help") {
       std::cout << "usage: allocate_tool [file.lera] [-r N] [-p N] "
-                   "[-m static|activity] [-g density|allpairs] [--csv]\n";
+                   "[-m static|activity] [-g density|allpairs] "
+                   "[--threads N] [--explore] [--csv]\n";
       return 0;
     } else {
       std::ifstream in(arg);
@@ -150,7 +162,44 @@ int main(int argc, char** argv) {
               << block_schedule->length(bb) << " steps, R = " << registers
               << "\n\n";
   }
-  const alloc::AllocationResult r = alloc::allocate(p, alloc_opts);
+  // One unified option core drives every solve below: the single
+  // allocation and the (parallel) schedule exploration.
+  engine::EngineOptions eng_opts;
+  eng_opts.num_registers = registers;
+  eng_opts.params = params;
+  eng_opts.split.access.period = period;
+  eng_opts.alloc = alloc_opts;
+  eng_opts.threads = threads;
+  const engine::Engine engine(eng_opts);
+
+  if (explore) {
+    if (!block) {
+      std::cerr << "--explore needs a code kernel, not a lifetime file\n";
+      return 1;
+    }
+    const engine::ExploreResult ex = engine.explore(*block);
+    report::Table candidates(
+        {"candidate", "length", "max density", "energy", "feasible"});
+    for (std::size_t i = 0; i < ex.candidates.size(); ++i) {
+      const engine::ScheduleCandidate& c = ex.candidates[i];
+      candidates.add_row(
+          {(static_cast<int>(i) == ex.best ? "* " : "  ") + c.label,
+           report::Table::num(c.length), report::Table::num(c.max_density),
+           c.feasible ? report::Table::num(c.energy) : "-",
+           c.feasible ? "yes" : "no"});
+    }
+    if (csv) {
+      candidates.print_csv(std::cout);
+    } else {
+      candidates.print(std::cout);
+      std::cout << "\n(" << engine.threads()
+                << " engine threads; * marks the cheapest feasible "
+                   "candidate)\n";
+    }
+    return ex.best >= 0 ? 0 : 1;
+  }
+
+  const alloc::AllocationResult r = engine.allocate_batch({p}).front();
   if (!r.feasible) {
     std::cerr << "allocation infeasible: " << r.message << "\n";
     std::cerr << "solver diagnostics: " << r.solve_diagnostics.summary()

@@ -68,6 +68,12 @@ struct AllocationResult {
 /// Solves Problem 1 to optimality (under the configured register model
 /// and graph style). Infeasible only when the forced segments cannot be
 /// covered by R registers.
+///
+/// Thread safety: a pure function of its arguments — no global or
+/// function-local mutable state anywhere on the solve path — so
+/// concurrent calls on distinct (or shared, since both parameters are
+/// read-only) problems are safe. engine::Engine relies on this to fan
+/// batched solves across threads.
 AllocationResult allocate(const AllocationProblem& p,
                           const AllocatorOptions& options = {});
 

@@ -35,6 +35,10 @@ struct MemoryLayout {
 
 /// Packs the memory-resident intervals of \p a into addresses via a
 /// min-cost flow over occupant transitions.
+///
+/// Thread safety: like alloc::allocate, a pure function of its
+/// arguments; safe to run concurrently (engine::Engine calls it from
+/// multiple task-solve threads).
 MemoryLayout optimize_memory_layout(
     const AllocationProblem& p, const Assignment& a,
     const energy::Quantizer& quantizer = {},

@@ -1,0 +1,263 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <random>
+
+#include "sched/force_directed.hpp"
+
+namespace lera::engine {
+
+namespace {
+
+/// Uniform random 16-bit input rows for activity measurement. Seeded per
+/// task (trace_seed + task_id), so the trace — and therefore the whole
+/// allocation — is a pure function of the task and the options, not of
+/// the thread that happens to run it.
+std::vector<std::vector<std::int64_t>> make_trace(const ir::BasicBlock& bb,
+                                                  int samples,
+                                                  std::uint64_t seed) {
+  int inputs = 0;
+  for (const ir::Operation& op : bb.ops()) {
+    if (op.opcode == ir::Opcode::kInput) ++inputs;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> dist(-32768, 32767);
+  std::vector<std::vector<std::int64_t>> rows(
+      static_cast<std::size_t>(samples));
+  for (auto& row : rows) {
+    row.resize(static_cast<std::size_t>(inputs));
+    for (auto& v : row) v = dist(rng);
+  }
+  return rows;
+}
+
+/// One task's end of the §5 methodology: schedule, trace, allocate,
+/// re-pack memory. Pure function of (task, options) — safe to run on any
+/// thread concurrently with other tasks.
+TaskReport solve_task(const ir::Task& task, const EngineOptions& options) {
+  TaskReport tr;
+  tr.task = task.id;
+  tr.name = task.name;
+
+  const sched::Schedule schedule =
+      sched::list_schedule(task.block, options.resources);
+  tr.schedule_length = schedule.length(task.block);
+
+  const auto trace =
+      options.trace_samples > 0
+          ? make_trace(task.block, options.trace_samples,
+                       options.trace_seed +
+                           static_cast<std::uint64_t>(task.id))
+          : std::vector<std::vector<std::int64_t>>{};
+  const alloc::AllocationProblem p = alloc::make_problem_from_block(
+      task.block, schedule, options.num_registers, options.params, trace,
+      options.split);
+  tr.max_density = p.max_density();
+
+  alloc::AllocatorOptions alloc_options = options.alloc;
+  alloc_options.fallback_to_baseline =
+      alloc_options.fallback_to_baseline ||
+      options.degrade_on_solver_failure;
+  tr.result = alloc::allocate(p, alloc_options);
+  tr.feasible = tr.result.feasible;
+  tr.solve_summary = tr.result.solve_diagnostics.summary();
+  if (tr.result.degraded) {
+    tr.solve_summary += " [degraded to two-phase baseline]";
+  }
+  if (!tr.feasible) {
+    tr.failure_reason = tr.result.message.empty()
+                            ? "allocation infeasible"
+                            : tr.result.message;
+    tr.solve_summary += " [infeasible: " + tr.failure_reason + "]";
+    return tr;
+  }
+
+  if (options.relayout_memory) {
+    tr.layout = alloc::optimize_memory_layout(
+        p, tr.result.assignment, options.alloc.quantizer,
+        options.alloc.solver);
+  }
+  return tr;
+}
+
+/// Candidate evaluation for explore(): schedule is prebuilt (cheap and
+/// sequential); the expensive problem build + allocation runs here, on
+/// any thread.
+ScheduleCandidate evaluate_candidate(const ir::BasicBlock& bb,
+                                     ScheduleCandidate c,
+                                     const EngineOptions& options) {
+  c.length = c.schedule.length(bb);
+  const alloc::AllocationProblem p = alloc::make_problem_from_block(
+      bb, c.schedule, options.num_registers, options.params, {},
+      options.split);
+  c.max_density = p.max_density();
+  const alloc::AllocationResult r = alloc::allocate(p, options.alloc);
+  if (r.feasible && (options.deadline == 0 || c.length <= options.deadline)) {
+    c.feasible = true;
+    c.energy = r.energy(p);
+  }
+  return c;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<ThreadPool>(options_.threads)) {}
+
+PipelineReport Engine::run(const ir::TaskGraph& graph) const {
+  const std::vector<ir::TaskId> order = graph.topological_order();
+  std::vector<TaskReport> tasks(order.size());
+
+  // Fan the independent per-task solves out; slot i belongs to the i-th
+  // task in topological order regardless of which thread solves it.
+  pool_->parallel_for(order.size(), [&](std::size_t i) {
+    tasks[i] = solve_task(graph.task(order[i]), options_);
+  });
+
+  // Aggregate sequentially in topological order: the report is built in
+  // exactly the order the sequential pipeline built it, so parallel and
+  // sequential runs are field-for-field identical.
+  PipelineReport report;
+  report.tasks.reserve(tasks.size());
+  for (TaskReport& tr : tasks) {
+    if (tr.result.degraded) ++report.tasks_degraded;
+    report.total_solver_fallbacks +=
+        tr.result.solve_diagnostics.fallbacks_taken;
+    if (!tr.feasible) {
+      report.all_feasible = false;
+      report.infeasible_tasks.push_back(tr.task);
+      report.tasks.push_back(std::move(tr));
+      continue;
+    }
+    report.total_static_energy += tr.result.static_energy.total();
+    report.total_activity_energy += tr.result.activity_energy.total();
+    report.total_mem_accesses += tr.result.stats.mem_accesses();
+    report.total_reg_accesses += tr.result.stats.reg_accesses();
+    report.peak_mem_locations =
+        std::max(report.peak_mem_locations, tr.result.stats.mem_locations);
+    report.peak_mem_read_ports = std::max(report.peak_mem_read_ports,
+                                          tr.result.stats.mem_read_ports);
+    report.peak_mem_write_ports = std::max(
+        report.peak_mem_write_ports, tr.result.stats.mem_write_ports);
+    report.tasks.push_back(std::move(tr));
+  }
+  return report;
+}
+
+ExploreResult Engine::explore(const ir::BasicBlock& bb) const {
+  ExploreResult out;
+
+  // Candidate generation is cheap and order-defining: do it inline.
+  for (const sched::Resources& res : options_.resource_options) {
+    ScheduleCandidate c;
+    c.label = "list " + std::to_string(res.alus) + "alu/" +
+              std::to_string(res.muls) + "mul";
+    c.schedule = sched::list_schedule(bb, res);
+    out.candidates.push_back(std::move(c));
+  }
+  const int critical_path = sched::asap(bb).length(bb);
+  for (int slack : options_.slack_options) {
+    ScheduleCandidate c;
+    c.label = "force-directed +" + std::to_string(slack);
+    c.schedule = sched::force_directed_schedule(bb, critical_path + slack);
+    out.candidates.push_back(std::move(c));
+  }
+
+  // Candidate evaluation (problem build + optimal allocation) is the
+  // expensive part and candidates are independent: fan out.
+  pool_->parallel_for(out.candidates.size(), [&](std::size_t i) {
+    out.candidates[i] =
+        evaluate_candidate(bb, std::move(out.candidates[i]), options_);
+  });
+
+  for (std::size_t i = 0; i < out.candidates.size(); ++i) {
+    const ScheduleCandidate& c = out.candidates[i];
+    if (!c.feasible) continue;
+    if (out.best < 0 ||
+        c.energy <
+            out.candidates[static_cast<std::size_t>(out.best)].energy) {
+      out.best = static_cast<int>(i);
+    }
+  }
+  return out;
+}
+
+std::vector<alloc::AllocationResult> Engine::allocate_batch(
+    const std::vector<alloc::AllocationProblem>& problems) const {
+  std::vector<alloc::AllocationResult> results(problems.size());
+  pool_->parallel_for(problems.size(), [&](std::size_t i) {
+    results[i] = alloc::allocate(problems[i], options_.alloc);
+  });
+  return results;
+}
+
+// --- Session ------------------------------------------------------------
+
+/// Shared between the Session handle and in-flight pool jobs, so a
+/// Session can be moved (or destroyed) while solves are still running.
+struct Session::State {
+  std::mutex mutex;
+  std::condition_variable done_changed;
+  /// Slot i holds ticket i's result. deque-of-slots semantics via
+  /// unique_ptr: growing the vector never moves a slot a worker writes.
+  std::vector<std::unique_ptr<alloc::AllocationResult>> results;
+  std::vector<bool> done;
+};
+
+Session::Session(const Engine& engine)
+    : engine_(&engine), state_(std::make_shared<State>()) {}
+
+std::size_t Session::submit(alloc::AllocationProblem problem) {
+  std::size_t ticket;
+  alloc::AllocationResult* slot;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    ticket = state_->results.size();
+    state_->results.push_back(std::make_unique<alloc::AllocationResult>());
+    state_->done.push_back(false);
+    slot = state_->results.back().get();
+  }
+  // The job owns its problem and a share of the state; it never touches
+  // the Session handle, so moving/destroying the Session is safe.
+  engine_->pool_->submit(
+      [state = state_, slot, problem = std::move(problem),
+       options = engine_->options_.alloc, ticket] {
+        *slot = alloc::allocate(problem, options);
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->done[ticket] = true;
+        }
+        state->done_changed.notify_all();
+      });
+  return ticket;
+}
+
+std::size_t Session::submitted() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->results.size();
+}
+
+const alloc::AllocationResult& Session::result(std::size_t ticket) const {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->done_changed.wait(
+      lock, [&] { return ticket < state_->done.size() &&
+                         state_->done[ticket]; });
+  return *state_->results[ticket];
+}
+
+std::vector<alloc::AllocationResult> Session::collect() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->done_changed.wait(lock, [&] {
+    return std::all_of(state_->done.begin(), state_->done.end(),
+                       [](bool d) { return d; });
+  });
+  std::vector<alloc::AllocationResult> out;
+  out.reserve(state_->results.size());
+  for (auto& r : state_->results) out.push_back(std::move(*r));
+  return out;
+}
+
+}  // namespace lera::engine

@@ -1,0 +1,206 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/memory_layout.hpp"
+#include "engine/thread_pool.hpp"
+#include "ir/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+/// \file engine.hpp
+/// The parallel allocation engine: one front door for every batched
+/// solve in the system. The paper (§5) applies the network-flow
+/// allocator "to each basic block in each task" — those per-task solves
+/// are independent, as are the schedule candidates of an exploration and
+/// the instances of a design sweep, so the Engine fans them out across a
+/// thread pool while guaranteeing *bit-identical* results to the
+/// sequential code path: work item i always lands in result slot i, and
+/// every aggregation runs sequentially in a fixed order.
+///
+/// Construct an Engine once from EngineOptions (the unified option core
+/// that PipelineOptions / ExploreOptions used to copy-paste), then:
+///
+///   engine::Engine eng(opts);
+///   engine::PipelineReport rep = eng.run(task_graph);
+///   engine::ExploreResult  exp = eng.explore(bb);
+///   auto results = eng.allocate_batch(problems);
+///   engine::Session s = eng.open_session();   // incremental batching
+///
+/// The legacy free functions pipeline::run_pipeline and
+/// pipeline::explore_schedules are thin wrappers over this API.
+
+namespace lera::engine {
+
+/// Unified option core. Absorbs the fields that were duplicated across
+/// pipeline::PipelineOptions, pipeline::ExploreOptions and the bench
+/// mains: the solve core (num_registers / params / split / alloc) is
+/// specified once, here, and every Engine entry point reads it.
+struct EngineOptions {
+  // --- Shared solve core ------------------------------------------------
+  int num_registers = 4;
+  energy::EnergyParams params;
+  lifetime::SplitOptions split;
+  alloc::AllocatorOptions alloc;
+
+  // --- Execution --------------------------------------------------------
+  /// Worker threads for batched solves. 0 = all hardware threads;
+  /// 1 = strictly sequential on the caller's thread (no pool). Results
+  /// are identical for every value — threads only buy wall clock.
+  int threads = 0;
+
+  // --- run(): scheduling + activity tracing -----------------------------
+  sched::Resources resources{2, 1};
+  /// Input samples used to measure Hamming activities (0 = use the
+  /// default 0.5 activities instead of simulating).
+  int trace_samples = 32;
+  /// Per-task trace seeds are derived as trace_seed + task_id, so the
+  /// measured activities do not depend on which thread runs the task.
+  std::uint64_t trace_seed = 1;
+  /// Run the second-stage memory reallocation flow per task.
+  bool relayout_memory = true;
+  /// Degrade a task to the two-phase baseline when its flow solve fails
+  /// (bad instance, budget, certification), instead of marking the whole
+  /// run infeasible. Downgrades are counted in PipelineReport and
+  /// flagged per task; heavy-traffic runs fail loud, not wrong.
+  bool degrade_on_solver_failure = true;
+
+  // --- explore(): schedule candidate generation -------------------------
+  /// Latest acceptable schedule length (0 = no deadline).
+  int deadline = 0;
+  /// Resource sweeps for the list scheduler.
+  std::vector<sched::Resources> resource_options{{1, 1}, {2, 1}, {2, 2}};
+  /// Extra latency slack levels for force-directed schedules.
+  std::vector<int> slack_options{0, 2, 4};
+};
+
+struct TaskReport {
+  ir::TaskId task = -1;
+  std::string name;
+  /// Mirror of result.feasible, hoisted so batch callers can scan for
+  /// failures without digging into the allocation result.
+  bool feasible = false;
+  /// Why this task failed (empty when feasible): the allocator's
+  /// diagnostic message, e.g. which resource could not be covered.
+  std::string failure_reason;
+  int schedule_length = 0;
+  int max_density = 0;
+  alloc::AllocationResult result;
+  alloc::MemoryLayout layout;
+  /// One-line robust-solve story for this task's allocation (solver
+  /// used, fallbacks, certification verdict); see also
+  /// result.solve_diagnostics for the full structure.
+  std::string solve_summary;
+};
+
+struct PipelineReport {
+  std::vector<TaskReport> tasks;
+  bool all_feasible = true;
+  /// Ids of the tasks whose allocation failed, in topological order
+  /// (empty when all_feasible). TaskReport::failure_reason says why.
+  std::vector<ir::TaskId> infeasible_tasks;
+
+  /// Solver-robustness accounting across the run: tasks that fell back
+  /// to the two-phase baseline, and solver fallbacks taken inside the
+  /// flow solves that did succeed.
+  int tasks_degraded = 0;
+  int total_solver_fallbacks = 0;
+
+  double total_static_energy = 0;
+  double total_activity_energy = 0;
+  int total_mem_accesses = 0;
+  int total_reg_accesses = 0;
+  /// Largest per-task memory image: the memory must be sized for the
+  /// worst task (tasks execute in sequence, addresses are reused).
+  int peak_mem_locations = 0;
+  /// Largest port requirement over all tasks.
+  int peak_mem_read_ports = 0;
+  int peak_mem_write_ports = 0;
+};
+
+struct ScheduleCandidate {
+  std::string label;
+  sched::Schedule schedule;
+  int length = 0;
+  int max_density = 0;
+  double energy = 0;       ///< Storage energy of the optimal allocation.
+  bool feasible = false;
+};
+
+struct ExploreResult {
+  std::vector<ScheduleCandidate> candidates;  ///< All evaluated.
+  int best = -1;  ///< Index of the cheapest feasible candidate (or -1).
+};
+
+class Engine;
+
+/// Incremental batched solving: submit problems as they become
+/// available, read results by ticket. Work starts immediately on the
+/// Engine's pool; results are indexed by submission order, never by
+/// completion order. A Session must not outlive its Engine.
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  /// Enqueues one allocation solve; returns its ticket (the submission
+  /// index, dense from 0).
+  std::size_t submit(alloc::AllocationProblem problem);
+
+  std::size_t submitted() const;
+
+  /// Blocks until the solve behind \p ticket finishes. The reference is
+  /// valid until the Session is destroyed.
+  const alloc::AllocationResult& result(std::size_t ticket) const;
+
+  /// Blocks until every submitted solve finishes and returns all
+  /// results in submission order.
+  std::vector<alloc::AllocationResult> collect();
+
+ private:
+  friend class Engine;
+  struct State;
+  explicit Session(const Engine& engine);
+
+  const Engine* engine_;
+  std::shared_ptr<State> state_;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  const EngineOptions& options() const { return options_; }
+  /// Resolved thread count (options.threads with 0 expanded).
+  int threads() const { return pool_->size(); }
+
+  /// The paper's §5 methodology over a whole task graph: schedule every
+  /// task, measure activities, allocate per block, re-pack memory, and
+  /// aggregate. Task solves run in parallel; the report is bit-identical
+  /// to a threads=1 run (and to the legacy pipeline::run_pipeline).
+  PipelineReport run(const ir::TaskGraph& graph) const;
+
+  /// Schedule/allocation co-exploration of one block: evaluates every
+  /// list-schedule and force-directed candidate (in parallel) and marks
+  /// the cheapest-energy feasible one.
+  ExploreResult explore(const ir::BasicBlock& bb) const;
+
+  /// Solves every problem with the engine's allocator options; results
+  /// are in input order.
+  std::vector<alloc::AllocationResult> allocate_batch(
+      const std::vector<alloc::AllocationProblem>& problems) const;
+
+  /// Opens an incremental batching session (see Session).
+  Session open_session() const { return Session(*this); }
+
+ private:
+  friend class Session;
+
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace lera::engine

@@ -1,0 +1,116 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace lera::engine {
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : num_threads_(resolve_threads(threads)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    // No workers: run inline so a size-1 pool is exactly sequential.
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared loop state: threads claim the next unclaimed index. The
+  // claim order is racy but the *placement* of results is not — fn(i)
+  // writes to slot i, so output is independent of the interleaving.
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t total = 0;
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<ForState>();
+  state->total = n;
+
+  auto drain = [state, &fn] {
+    for (;;) {
+      const std::size_t i =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->total) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->first_error) {
+          state->first_error = std::current_exception();
+        }
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->total) {
+        // Lock so the notify cannot slip between the caller's predicate
+        // check and its wait.
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min(workers_.size(), n - 1);  // The caller drains too.
+  for (std::size_t k = 0; k < helpers; ++k) submit(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace lera::engine

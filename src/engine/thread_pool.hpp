@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// Worker pool behind lera::engine. Allocation solves are coarse
+/// (milliseconds each) and independent, so a single shared queue with a
+/// grab-next-index loop for parallel_for is all the stealing the
+/// workload needs; the interesting contract is *determinism*: results
+/// are always written to caller-chosen slots indexed by the work item,
+/// never in completion order.
+
+namespace lera::engine {
+
+class ThreadPool {
+ public:
+  /// \p threads <= 0 selects the hardware concurrency; 1 creates no
+  /// workers at all (every call runs inline on the caller's thread, so a
+  /// threads=1 engine is bit-for-bit the sequential code path).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute work, counting the caller thread
+  /// (always >= 1; a pool of size 1 has no workers).
+  int size() const { return num_threads_; }
+
+  /// Enqueues one job. Jobs must not throw; use parallel_for when
+  /// exceptions have to propagate.
+  void submit(std::function<void()> job);
+
+  /// Runs fn(0), ..., fn(n-1) across the pool (the caller thread
+  /// participates) and returns when all calls have finished. Indices are
+  /// claimed dynamically, so callers must make fn(i) depend only on i —
+  /// writing result i to slot i keeps the output deterministic no matter
+  /// which thread ran it. The first exception thrown by any fn is
+  /// rethrown on the caller's thread after the loop drains.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Maps the ThreadPool(threads) argument to the actual thread count.
+  static int resolve_threads(int requested);
+
+ private:
+  void worker_loop();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace lera::engine

@@ -1,63 +1,10 @@
 #include "pipeline/explore.hpp"
 
-#include <string>
-
-#include "sched/force_directed.hpp"
-
 namespace lera::pipeline {
-
-namespace {
-
-ScheduleCandidate evaluate(const ir::BasicBlock& bb, std::string label,
-                           sched::Schedule schedule,
-                           const ExploreOptions& options) {
-  ScheduleCandidate c;
-  c.label = std::move(label);
-  c.length = schedule.length(bb);
-  c.schedule = std::move(schedule);
-  const alloc::AllocationProblem p = alloc::make_problem_from_block(
-      bb, c.schedule, options.num_registers, options.params, {},
-      options.split);
-  c.max_density = p.max_density();
-  const alloc::AllocationResult r = alloc::allocate(p, options.alloc);
-  if (r.feasible && (options.deadline == 0 || c.length <= options.deadline)) {
-    c.feasible = true;
-    c.energy = r.energy(p);
-  }
-  return c;
-}
-
-}  // namespace
 
 ExploreResult explore_schedules(const ir::BasicBlock& bb,
                                 const ExploreOptions& options) {
-  ExploreResult out;
-
-  for (const sched::Resources& res : options.resource_options) {
-    out.candidates.push_back(evaluate(
-        bb,
-        "list " + std::to_string(res.alus) + "alu/" +
-            std::to_string(res.muls) + "mul",
-        sched::list_schedule(bb, res), options));
-  }
-  const int critical_path = sched::asap(bb).length(bb);
-  for (int slack : options.slack_options) {
-    out.candidates.push_back(evaluate(
-        bb, "force-directed +" + std::to_string(slack),
-        sched::force_directed_schedule(bb, critical_path + slack),
-        options));
-  }
-
-  for (std::size_t i = 0; i < out.candidates.size(); ++i) {
-    const ScheduleCandidate& c = out.candidates[i];
-    if (!c.feasible) continue;
-    if (out.best < 0 ||
-        c.energy <
-            out.candidates[static_cast<std::size_t>(out.best)].energy) {
-      out.best = static_cast<int>(i);
-    }
-  }
-  return out;
+  return engine::Engine(options).explore(bb);
 }
 
 RegisterFileSizing size_register_file(const alloc::AllocationProblem& base,

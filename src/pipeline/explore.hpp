@@ -13,38 +13,23 @@
 /// Candidates: resource-constrained list schedules over a small
 /// resource sweep plus force-directed schedules at increasing latency
 /// slack.
+///
+/// Like pipeline.hpp, this is now a compatibility layer over
+/// engine/engine.hpp: explore_schedules is a deprecated-but-working
+/// wrapper around engine::Engine::explore, which evaluates the
+/// candidates in parallel with identical results.
 
 namespace lera::pipeline {
 
-struct ScheduleCandidate {
-  std::string label;
-  sched::Schedule schedule;
-  int length = 0;
-  int max_density = 0;
-  double energy = 0;       ///< Storage energy of the optimal allocation.
-  bool feasible = false;
-};
+using ScheduleCandidate = engine::ScheduleCandidate;
+using ExploreResult = engine::ExploreResult;
 
-struct ExploreOptions {
-  int num_registers = 4;
-  energy::EnergyParams params;
-  lifetime::SplitOptions split;
-  alloc::AllocatorOptions alloc;
-  /// Latest acceptable schedule length (0 = no deadline).
-  int deadline = 0;
-  /// Resource sweeps for the list scheduler.
-  std::vector<sched::Resources> resource_options{{1, 1}, {2, 1}, {2, 2}};
-  /// Extra latency slack levels for force-directed schedules.
-  std::vector<int> slack_options{0, 2, 4};
-};
+/// Deprecated alias of engine::EngineOptions; the exploration knobs
+/// (deadline, resource_options, slack_options) live there now with
+/// unchanged names and defaults.
+using ExploreOptions = engine::EngineOptions;
 
-struct ExploreResult {
-  std::vector<ScheduleCandidate> candidates;  ///< All evaluated.
-  int best = -1;  ///< Index of the cheapest feasible candidate (or -1).
-};
-
-/// Evaluates every candidate schedule of \p bb and returns them with the
-/// cheapest-energy feasible one marked.
+/// Deprecated: equivalent to engine::Engine(options).explore(bb).
 ExploreResult explore_schedules(const ir::BasicBlock& bb,
                                 const ExploreOptions& options = {});
 

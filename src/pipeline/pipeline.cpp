@@ -1,95 +1,10 @@
 #include "pipeline/pipeline.hpp"
 
-#include <algorithm>
-#include <random>
-
 namespace lera::pipeline {
-
-namespace {
-
-/// Uniform random 16-bit input rows for activity measurement (local
-/// helper so the pipeline library does not depend on workloads).
-std::vector<std::vector<std::int64_t>> make_trace(const ir::BasicBlock& bb,
-                                                  int samples,
-                                                  std::uint64_t seed) {
-  int inputs = 0;
-  for (const ir::Operation& op : bb.ops()) {
-    if (op.opcode == ir::Opcode::kInput) ++inputs;
-  }
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<std::int64_t> dist(-32768, 32767);
-  std::vector<std::vector<std::int64_t>> rows(
-      static_cast<std::size_t>(samples));
-  for (auto& row : rows) {
-    row.resize(static_cast<std::size_t>(inputs));
-    for (auto& v : row) v = dist(rng);
-  }
-  return rows;
-}
-
-}  // namespace
 
 PipelineReport run_pipeline(const ir::TaskGraph& graph,
                             const PipelineOptions& options) {
-  PipelineReport report;
-  for (ir::TaskId t : graph.topological_order()) {
-    const ir::Task& task = graph.task(t);
-
-    TaskReport tr;
-    tr.task = t;
-    tr.name = task.name;
-
-    const sched::Schedule schedule =
-        sched::list_schedule(task.block, options.resources);
-    tr.schedule_length = schedule.length(task.block);
-
-    const auto trace =
-        options.trace_samples > 0
-            ? make_trace(task.block, options.trace_samples,
-                         options.trace_seed + static_cast<std::uint64_t>(t))
-            : std::vector<std::vector<std::int64_t>>{};
-    const alloc::AllocationProblem p = alloc::make_problem_from_block(
-        task.block, schedule, options.num_registers, options.params, trace,
-        options.split);
-    tr.max_density = p.max_density();
-
-    alloc::AllocatorOptions alloc_options = options.alloc;
-    alloc_options.fallback_to_baseline =
-        alloc_options.fallback_to_baseline ||
-        options.degrade_on_solver_failure;
-    tr.result = alloc::allocate(p, alloc_options);
-    tr.solve_summary = tr.result.solve_diagnostics.summary();
-    if (tr.result.degraded) {
-      ++report.tasks_degraded;
-      tr.solve_summary += " [degraded to two-phase baseline]";
-    }
-    report.total_solver_fallbacks +=
-        tr.result.solve_diagnostics.fallbacks_taken;
-    if (!tr.result.feasible) {
-      report.all_feasible = false;
-      report.tasks.push_back(std::move(tr));
-      continue;
-    }
-
-    if (options.relayout_memory) {
-      tr.layout = alloc::optimize_memory_layout(p, tr.result.assignment,
-                                                options.alloc.quantizer,
-                                                options.alloc.solver);
-    }
-
-    report.total_static_energy += tr.result.static_energy.total();
-    report.total_activity_energy += tr.result.activity_energy.total();
-    report.total_mem_accesses += tr.result.stats.mem_accesses();
-    report.total_reg_accesses += tr.result.stats.reg_accesses();
-    report.peak_mem_locations =
-        std::max(report.peak_mem_locations, tr.result.stats.mem_locations);
-    report.peak_mem_read_ports = std::max(report.peak_mem_read_ports,
-                                          tr.result.stats.mem_read_ports);
-    report.peak_mem_write_ports = std::max(
-        report.peak_mem_write_ports, tr.result.stats.mem_write_ports);
-    report.tasks.push_back(std::move(tr));
-  }
-  return report;
+  return engine::Engine(options).run(graph);
 }
 
 }  // namespace lera::pipeline

@@ -1,13 +1,6 @@
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "alloc/allocator.hpp"
-#include "alloc/memory_layout.hpp"
-#include "ir/task_graph.hpp"
-#include "sched/schedule.hpp"
+#include "engine/engine.hpp"
 
 /// \file pipeline.hpp
 /// The paper's complete methodology (§5) as one driver: "Each task is
@@ -21,63 +14,28 @@
 /// interpreting the block on random input traces, runs the simultaneous
 /// allocator per basic block, re-packs the memory image, and aggregates
 /// the storage-energy picture of the whole application.
+///
+/// This header is now a thin compatibility layer: the implementation
+/// (and the option/report types) moved into engine/engine.hpp, where
+/// the same solves run batched and in parallel. New code should
+/// construct an engine::Engine once and call engine.run(graph);
+/// run_pipeline stays as a deprecated-but-working alias for one
+/// release. The two are bit-for-bit identical (see docs/API.md,
+/// "Determinism").
 
 namespace lera::pipeline {
 
-struct PipelineOptions {
-  sched::Resources resources{2, 1};
-  int num_registers = 4;
-  energy::EnergyParams params;
-  lifetime::SplitOptions split;
-  alloc::AllocatorOptions alloc;
-  /// Input samples used to measure Hamming activities (0 = use the
-  /// default 0.5 activities instead of simulating).
-  int trace_samples = 32;
-  std::uint64_t trace_seed = 1;
-  /// Run the second-stage memory reallocation flow per task.
-  bool relayout_memory = true;
-  /// Degrade a task to the two-phase baseline when its flow solve fails
-  /// (bad instance, budget, certification), instead of marking the whole
-  /// run infeasible. Downgrades are counted in PipelineReport and
-  /// flagged per task; heavy-traffic runs fail loud, not wrong.
-  bool degrade_on_solver_failure = true;
-};
+/// Deprecated alias of engine::EngineOptions (the unified option core).
+/// Every field PipelineOptions used to declare — resources,
+/// num_registers, params, split, alloc, trace_samples, trace_seed,
+/// relayout_memory, degrade_on_solver_failure — lives there now with
+/// unchanged names and defaults.
+using PipelineOptions = engine::EngineOptions;
 
-struct TaskReport {
-  ir::TaskId task = -1;
-  std::string name;
-  int schedule_length = 0;
-  int max_density = 0;
-  alloc::AllocationResult result;
-  alloc::MemoryLayout layout;
-  /// One-line robust-solve story for this task's allocation (solver
-  /// used, fallbacks, certification verdict); see also
-  /// result.solve_diagnostics for the full structure.
-  std::string solve_summary;
-};
+using TaskReport = engine::TaskReport;
+using PipelineReport = engine::PipelineReport;
 
-struct PipelineReport {
-  std::vector<TaskReport> tasks;
-  bool all_feasible = true;
-
-  /// Solver-robustness accounting across the run: tasks that fell back
-  /// to the two-phase baseline, and solver fallbacks taken inside the
-  /// flow solves that did succeed.
-  int tasks_degraded = 0;
-  int total_solver_fallbacks = 0;
-
-  double total_static_energy = 0;
-  double total_activity_energy = 0;
-  int total_mem_accesses = 0;
-  int total_reg_accesses = 0;
-  /// Largest per-task memory image: the memory must be sized for the
-  /// worst task (tasks execute in sequence, addresses are reused).
-  int peak_mem_locations = 0;
-  /// Largest port requirement over all tasks.
-  int peak_mem_read_ports = 0;
-  int peak_mem_write_ports = 0;
-};
-
+/// Deprecated: equivalent to engine::Engine(options).run(graph).
 PipelineReport run_pipeline(const ir::TaskGraph& graph,
                             const PipelineOptions& options = {});
 

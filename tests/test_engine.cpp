@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/thread_pool.hpp"
+#include "pipeline/explore.hpp"
+#include "pipeline/pipeline.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/random_gen.hpp"
+
+namespace lera::engine {
+namespace {
+
+// ---------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SizeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.parallel_for(4, [&](std::size_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i % 7 == 3) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+
+ir::TaskGraph paper_example_app() {
+  // Paper-flavoured application: the elliptic wave filter (the paper's
+  // benchmark kernel) feeding an FFT stage and an RSP detector.
+  ir::TaskGraph tg;
+  const ir::TaskId ewf =
+      tg.add_task("ewf", workloads::make_elliptic_wave_filter());
+  const ir::TaskId fft =
+      tg.add_task("fft", workloads::make_fft_butterfly(), {ewf});
+  tg.add_task("detect", workloads::make_rsp(3), {fft});
+  tg.add_task("filter", workloads::make_fir(6), {ewf});
+  return tg;
+}
+
+ir::TaskGraph random_app(std::uint64_t seed, int num_tasks) {
+  ir::TaskGraph tg;
+  workloads::RandomDfgOptions dopts;
+  dopts.num_ops = 18;
+  for (int i = 0; i < num_tasks; ++i) {
+    std::vector<ir::TaskId> deps;
+    if (i > 0) deps.push_back(static_cast<ir::TaskId>(i - 1));
+    tg.add_task("t" + std::to_string(i),
+                workloads::random_dfg(seed + static_cast<std::uint64_t>(i),
+                                      dopts),
+                std::move(deps));
+  }
+  return tg;
+}
+
+alloc::AllocationProblem random_problem(std::uint64_t seed) {
+  workloads::RandomLifetimeOptions lopts;
+  lopts.num_vars = 24;
+  lopts.num_steps = 16;
+  energy::EnergyParams params;
+  params.register_model = energy::RegisterModel::kActivity;
+  return alloc::make_problem(
+      workloads::random_lifetimes(seed, lopts), lopts.num_steps, 4, params,
+      workloads::random_activity(seed + 1,
+                                 static_cast<std::size_t>(lopts.num_vars)));
+}
+
+void expect_same_result(const alloc::AllocationResult& a,
+                        const alloc::AllocationResult& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.feasible, b.feasible) << what;
+  EXPECT_EQ(a.degraded, b.degraded) << what;
+  EXPECT_EQ(a.flow_cost, b.flow_cost) << what;
+  EXPECT_EQ(a.model_energy, b.model_energy) << what;
+  EXPECT_EQ(a.registers_used, b.registers_used) << what;
+  EXPECT_EQ(a.static_energy.total(), b.static_energy.total()) << what;
+  EXPECT_EQ(a.activity_energy.total(), b.activity_energy.total()) << what;
+  EXPECT_EQ(a.stats.mem_accesses(), b.stats.mem_accesses()) << what;
+  EXPECT_EQ(a.stats.reg_accesses(), b.stats.reg_accesses()) << what;
+  EXPECT_EQ(a.stats.mem_locations, b.stats.mem_locations) << what;
+  ASSERT_EQ(a.assignment.size(), b.assignment.size()) << what;
+  for (std::size_t s = 0; s < a.assignment.size(); ++s) {
+    EXPECT_EQ(a.assignment.location(s), b.assignment.location(s))
+        << what << " segment " << s;
+  }
+}
+
+/// Field-for-field equality of two pipeline reports — the determinism
+/// guarantee is *bit-identical*, so doubles compare with ==.
+void expect_same_report(const PipelineReport& a, const PipelineReport& b) {
+  EXPECT_EQ(a.all_feasible, b.all_feasible);
+  EXPECT_EQ(a.infeasible_tasks, b.infeasible_tasks);
+  EXPECT_EQ(a.tasks_degraded, b.tasks_degraded);
+  EXPECT_EQ(a.total_solver_fallbacks, b.total_solver_fallbacks);
+  EXPECT_EQ(a.total_static_energy, b.total_static_energy);
+  EXPECT_EQ(a.total_activity_energy, b.total_activity_energy);
+  EXPECT_EQ(a.total_mem_accesses, b.total_mem_accesses);
+  EXPECT_EQ(a.total_reg_accesses, b.total_reg_accesses);
+  EXPECT_EQ(a.peak_mem_locations, b.peak_mem_locations);
+  EXPECT_EQ(a.peak_mem_read_ports, b.peak_mem_read_ports);
+  EXPECT_EQ(a.peak_mem_write_ports, b.peak_mem_write_ports);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    const TaskReport& ta = a.tasks[i];
+    const TaskReport& tb = b.tasks[i];
+    EXPECT_EQ(ta.task, tb.task);
+    EXPECT_EQ(ta.name, tb.name);
+    EXPECT_EQ(ta.feasible, tb.feasible);
+    EXPECT_EQ(ta.failure_reason, tb.failure_reason);
+    EXPECT_EQ(ta.schedule_length, tb.schedule_length);
+    EXPECT_EQ(ta.max_density, tb.max_density);
+    EXPECT_EQ(ta.solve_summary, tb.solve_summary);
+    expect_same_result(ta.result, tb.result, ta.name);
+    EXPECT_EQ(ta.layout.feasible, tb.layout.feasible);
+    EXPECT_EQ(ta.layout.locations, tb.layout.locations);
+    EXPECT_EQ(ta.layout.address, tb.layout.address);
+    EXPECT_EQ(ta.layout.optimized_energy, tb.layout.optimized_energy);
+    EXPECT_EQ(ta.layout.naive_energy, tb.layout.naive_energy);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: parallel == sequential, bit for bit.
+
+TEST(Engine, RunDeterministicAcrossThreadCountsPaperExample) {
+  const ir::TaskGraph tg = paper_example_app();
+  EngineOptions opts;
+  opts.num_registers = 5;
+
+  opts.threads = 1;
+  const PipelineReport sequential = Engine(opts).run(tg);
+  for (int threads : {2, 4, 8}) {
+    opts.threads = threads;
+    expect_same_report(sequential, Engine(opts).run(tg));
+  }
+  // The legacy free function is a wrapper over the same engine.
+  opts.threads = 0;
+  expect_same_report(sequential, pipeline::run_pipeline(tg, opts));
+}
+
+TEST(Engine, RunDeterministicAcrossThreadCountsRandomGraphs) {
+  for (std::uint64_t seed : {11u, 23u}) {
+    const ir::TaskGraph tg = random_app(seed, 6);
+    EngineOptions opts;
+    opts.num_registers = 4;
+    opts.trace_seed = seed;
+
+    opts.threads = 1;
+    const PipelineReport sequential = Engine(opts).run(tg);
+    opts.threads = 8;
+    expect_same_report(sequential, Engine(opts).run(tg));
+  }
+}
+
+TEST(Engine, ExploreDeterministicAcrossThreadCounts) {
+  const ir::BasicBlock bb = workloads::make_elliptic_wave_filter();
+  EngineOptions opts;
+  opts.threads = 1;
+  const ExploreResult sequential = Engine(opts).explore(bb);
+  opts.threads = 8;
+  const ExploreResult parallel = Engine(opts).explore(bb);
+
+  EXPECT_EQ(sequential.best, parallel.best);
+  ASSERT_EQ(sequential.candidates.size(), parallel.candidates.size());
+  for (std::size_t i = 0; i < sequential.candidates.size(); ++i) {
+    const ScheduleCandidate& a = sequential.candidates[i];
+    const ScheduleCandidate& b = parallel.candidates[i];
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.length, b.length);
+    EXPECT_EQ(a.max_density, b.max_density);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.energy, b.energy);
+  }
+  // And the legacy wrapper agrees on the winner.
+  const pipeline::ExploreResult legacy = pipeline::explore_schedules(bb);
+  EXPECT_EQ(legacy.best, sequential.best);
+}
+
+// ---------------------------------------------------------------------
+// Batched solving
+
+TEST(Engine, AllocateBatchMatchesSequentialSolves) {
+  std::vector<alloc::AllocationProblem> problems;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    problems.push_back(random_problem(seed));
+  }
+  EngineOptions opts;
+  opts.threads = 4;
+  const std::vector<alloc::AllocationResult> batch =
+      Engine(opts).allocate_batch(problems);
+  ASSERT_EQ(batch.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const alloc::AllocationResult lone = alloc::allocate(problems[i]);
+    expect_same_result(lone, batch[i], "problem " + std::to_string(i));
+  }
+}
+
+TEST(Engine, ConcurrencyStress64SolvesAcross8Threads) {
+  // >= 64 batched solves across 8 threads; every result must be
+  // feasible, optimal and land in its submission slot.
+  std::vector<alloc::AllocationProblem> problems;
+  for (std::uint64_t seed = 100; seed < 164; ++seed) {
+    problems.push_back(random_problem(seed));
+  }
+  EngineOptions opts;
+  opts.threads = 8;
+  const Engine engine(opts);
+  EXPECT_EQ(engine.threads(), 8);
+  const std::vector<alloc::AllocationResult> batch =
+      engine.allocate_batch(problems);
+  ASSERT_EQ(batch.size(), 64u);
+  // Spot-check slot placement against fresh sequential solves.
+  for (std::size_t i : {std::size_t{0}, std::size_t{17}, std::size_t{63}}) {
+    expect_same_result(alloc::allocate(problems[i]), batch[i],
+                       "slot " + std::to_string(i));
+  }
+  for (const alloc::AllocationResult& r : batch) {
+    EXPECT_TRUE(r.feasible);
+    EXPECT_FALSE(r.degraded);
+  }
+}
+
+TEST(Engine, SessionDeliversResultsByTicket) {
+  EngineOptions opts;
+  opts.threads = 8;
+  const Engine engine(opts);
+  Session session = engine.open_session();
+
+  std::vector<alloc::AllocationProblem> problems;
+  for (std::uint64_t seed = 200; seed < 264; ++seed) {
+    problems.push_back(random_problem(seed));
+  }
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    EXPECT_EQ(session.submit(problems[i]), i);
+  }
+  EXPECT_EQ(session.submitted(), problems.size());
+
+  // Tickets resolve out of submission order without deadlock.
+  expect_same_result(alloc::allocate(problems[63]), session.result(63),
+                     "ticket 63");
+  expect_same_result(alloc::allocate(problems[0]), session.result(0),
+                     "ticket 0");
+
+  const std::vector<alloc::AllocationResult> all = session.collect();
+  ASSERT_EQ(all.size(), problems.size());
+  expect_same_result(alloc::allocate(problems[31]), all[31], "collected 31");
+}
+
+// ---------------------------------------------------------------------
+// Per-task failure visibility
+
+TEST(Engine, InfeasibleTasksAreNamedInTheReport) {
+  // Force infeasibility: a memory access period > 1 creates forced
+  // (register-only) segments, and R=1 cannot cover the butterfly's
+  // parallel lifetimes. Degradation off so the failure surfaces.
+  ir::TaskGraph tg;
+  tg.add_task("tiny", workloads::make_fir(2));
+  tg.add_task("wide", workloads::make_fft_butterfly());
+
+  EngineOptions opts;
+  opts.num_registers = 1;
+  opts.split.access.period = 3;
+  opts.degrade_on_solver_failure = false;
+  opts.alloc.fallback_to_baseline = false;
+  const PipelineReport report = Engine(opts).run(tg);
+
+  ASSERT_EQ(report.tasks.size(), 2u);
+  bool any_infeasible = false;
+  for (const TaskReport& tr : report.tasks) {
+    EXPECT_EQ(tr.feasible, tr.result.feasible) << tr.name;
+    if (!tr.feasible) {
+      any_infeasible = true;
+      EXPECT_FALSE(tr.failure_reason.empty()) << tr.name;
+      EXPECT_NE(tr.solve_summary.find("infeasible"), std::string::npos)
+          << tr.name << ": " << tr.solve_summary;
+      EXPECT_NE(std::find(report.infeasible_tasks.begin(),
+                          report.infeasible_tasks.end(), tr.task),
+                report.infeasible_tasks.end())
+          << tr.name;
+    } else {
+      EXPECT_TRUE(tr.failure_reason.empty()) << tr.name;
+    }
+  }
+  ASSERT_TRUE(any_infeasible)
+      << "expected at least one infeasible task in this configuration";
+  EXPECT_FALSE(report.all_feasible);
+  EXPECT_EQ(report.infeasible_tasks.empty(), report.all_feasible);
+}
+
+TEST(Engine, FeasibleRunHasNoInfeasibleTasks) {
+  EngineOptions opts;
+  opts.num_registers = 6;
+  const PipelineReport report = Engine(opts).run(paper_example_app());
+  EXPECT_TRUE(report.all_feasible);
+  EXPECT_TRUE(report.infeasible_tasks.empty());
+  for (const TaskReport& tr : report.tasks) {
+    EXPECT_TRUE(tr.feasible) << tr.name;
+    EXPECT_TRUE(tr.failure_reason.empty()) << tr.name;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Unified options
+
+TEST(Engine, LegacyOptionStructsAreTheEngineOptionCore) {
+  // PipelineOptions / ExploreOptions are deprecated aliases: one struct,
+  // one place to set num_registers.
+  static_assert(std::is_same_v<pipeline::PipelineOptions, EngineOptions>);
+  static_assert(std::is_same_v<pipeline::ExploreOptions, EngineOptions>);
+  pipeline::PipelineOptions opts;
+  opts.num_registers = 7;
+  opts.threads = 2;
+  const Engine engine(opts);
+  EXPECT_EQ(engine.options().num_registers, 7);
+  EXPECT_EQ(engine.threads(), 2);
+}
+
+}  // namespace
+}  // namespace lera::engine
