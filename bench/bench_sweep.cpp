@@ -35,9 +35,11 @@ struct Sample {
 /// Best-of-3 wall time for solving \p problems on \p threads threads
 /// through the engine, in milliseconds.
 double time_batch_ms(const std::vector<alloc::AllocationProblem>& problems,
-                     int threads) {
+                     int threads,
+                     audit::AuditLevel audit = audit::AuditLevel::kOff) {
   lera::engine::EngineOptions eopts;
   eopts.threads = threads;
+  eopts.audit_level = audit;
   const lera::engine::Engine engine(eopts);
   double best = 0;
   for (int rep = 0; rep < 3; ++rep) {
@@ -179,5 +181,21 @@ int main() {
   std::cout << "LERA_METRIC bench=sweep metric=parallel_speedup threads="
             << threads << " batch=" << batch.size() << " t1_ms=" << t1_ms
             << " tn_ms=" << tn_ms << " speedup=" << speedup << "\n";
+
+  // Audit overhead: the same batch with the full-cost independent audit
+  // on every result vs audit off. The audit re-derives legality and the
+  // complete energy accounting per solve, so this prices the "trust but
+  // verify" mode for production batches.
+  const double off_ms = time_batch_ms(batch, threads);
+  const double full_ms =
+      time_batch_ms(batch, threads, audit::AuditLevel::kFullCost);
+  const double overhead = off_ms > 0 ? full_ms / off_ms : 0;
+  std::cout << "\n=== audit overhead: full-cost audit vs off ===\n"
+            << "audit off:  " << report::Table::num(off_ms) << " ms\n"
+            << "audit full: " << report::Table::num(full_ms) << " ms  ("
+            << report::Table::num(overhead) << "x)\n";
+  std::cout << "LERA_METRIC bench=sweep metric=audit_overhead threads="
+            << threads << " batch=" << batch.size() << " off_ms=" << off_ms
+            << " full_ms=" << full_ms << " overhead=" << overhead << "\n";
   return 0;
 }

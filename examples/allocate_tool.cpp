@@ -10,20 +10,35 @@
 //                   of a code kernel; -r/-p of the file take precedence
 //     --threads N   engine worker threads (0 = all cores, 1 = sequential;
 //                   results are identical either way)
+//     --audit L     off | legality | full (default off): run the
+//                   independent auditor on every result; findings are
+//                   printed as LERA_AUDIT lines and make the exit
+//                   non-zero
+//     --pipeline    treat every positional file as one task of a task
+//                   chain and run the whole §5 pipeline; each infeasible
+//                   task prints "LERA_ERROR <task> <reason>" and the
+//                   exit is non-zero
 //     --explore     co-explore schedules via the parallel engine and
 //                   print the candidate table instead of one allocation
 //     --csv         machine-readable output
 //     --asm         also print the lowered load/store/compute listing
 //
+// Any infeasible allocation prints a machine-readable line
+//   LERA_ERROR <task> <reason>
+// on stdout and exits non-zero, so scripts can grep for failures
+// without parsing the human-facing report.
+//
 // With no file argument a built-in demo kernel is used. See
 // src/ir/parser.hpp and src/workloads/problem_io.hpp for the grammars.
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "alloc/allocator.hpp"
 #include "alloc/memory_layout.hpp"
@@ -37,6 +52,22 @@
 #include "workloads/problem_io.hpp"
 
 namespace {
+
+/// One machine-readable failure line per infeasible task. Grep target
+/// for scripts; keep the format in sync with the header comment.
+void print_error_line(const std::string& task, const std::string& reason) {
+  std::cout << "LERA_ERROR " << task << " "
+            << (reason.empty() ? "allocation infeasible" : reason) << "\n";
+}
+
+/// Audit findings in the same grep-friendly shape (non-zero exit is the
+/// caller's job).
+void print_audit_findings(const std::string& task,
+                          const lera::audit::AuditReport& audit) {
+  for (const lera::audit::AuditFinding& f : audit.findings) {
+    std::cout << "LERA_AUDIT " << task << " " << f.to_string() << "\n";
+  }
+}
 
 constexpr const char* kDemo = R"(# demo: complex multiply + accumulate
 in ar, ai, br, bi, acc
@@ -59,12 +90,15 @@ int main(int argc, char** argv) {
   std::string source = kDemo;
   std::string source_name = "(built-in demo)";
   std::string lifetimes_path;
+  std::vector<std::string> positional;
   int registers = 4;
   int period = 1;
   int threads = 1;
   bool csv = false;
   bool emit_asm = false;
   bool explore = false;
+  bool pipeline = false;
+  audit::AuditLevel audit_level = audit::AuditLevel::kOff;
   energy::EnergyParams params;
   params.register_model = energy::RegisterModel::kActivity;
   alloc::AllocatorOptions alloc_opts;
@@ -101,6 +135,21 @@ int main(int argc, char** argv) {
       lifetimes_path = next();
     } else if (arg == "--threads") {
       threads = next_int("--threads");
+    } else if (arg == "--audit") {
+      const std::string level = next();
+      if (level == "off") {
+        audit_level = audit::AuditLevel::kOff;
+      } else if (level == "legality") {
+        audit_level = audit::AuditLevel::kLegality;
+      } else if (level == "full") {
+        audit_level = audit::AuditLevel::kFullCost;
+      } else {
+        std::cerr << "error: --audit expects off|legality|full, got '"
+                  << level << "'\n";
+        return 1;
+      }
+    } else if (arg == "--pipeline") {
+      pipeline = true;
     } else if (arg == "--explore") {
       explore = true;
     } else if (arg == "--csv") {
@@ -108,27 +157,39 @@ int main(int argc, char** argv) {
     } else if (arg == "--asm") {
       emit_asm = true;
     } else if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: allocate_tool [file.lera] [-r N] [-p N] "
+      std::cout << "usage: allocate_tool [file.lera...] [-r N] [-p N] "
                    "[-m static|activity] [-g density|allpairs] "
-                   "[--threads N] [--explore] [--csv]\n";
+                   "[--threads N] [--audit off|legality|full] "
+                   "[--pipeline] [--explore] [--csv]\n";
       return 0;
     } else {
-      std::ifstream in(arg);
-      if (!in) {
-        std::cerr << "cannot open " << arg << "\n";
-        return 1;
-      }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      source = buffer.str();
-      source_name = arg;
+      positional.push_back(arg);
     }
+  }
+
+  if (!pipeline && positional.size() > 1) {
+    std::cerr << "error: multiple input files need --pipeline\n";
+    return 1;
+  }
+  if (!positional.empty() && !pipeline) {
+    std::ifstream in(positional.front());
+    if (!in) {
+      std::cerr << "cannot open " << positional.front() << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+    source_name = positional.front();
   }
 
   alloc::AllocationProblem p;
   std::optional<ir::BasicBlock> block;
   std::optional<sched::Schedule> block_schedule;
-  if (!lifetimes_path.empty()) {
+  if (pipeline) {
+    // Problem setup below is for the single-kernel modes; the pipeline
+    // branch parses its own task files.
+  } else if (!lifetimes_path.empty()) {
     std::ifstream in(lifetimes_path);
     if (!in) {
       std::cerr << "cannot open " << lifetimes_path << "\n";
@@ -170,7 +231,82 @@ int main(int argc, char** argv) {
   eng_opts.split.access.period = period;
   eng_opts.alloc = alloc_opts;
   eng_opts.threads = threads;
+  eng_opts.audit_level = audit_level;
   const engine::Engine engine(eng_opts);
+
+  if (pipeline) {
+    if (positional.empty()) {
+      std::cerr << "error: --pipeline needs at least one kernel file\n";
+      return 1;
+    }
+    // Each file is one task; files form a chain (task i depends on
+    // task i-1), matching the paper's sequential task execution model.
+    ir::TaskGraph graph;
+    ir::TaskId prev = -1;
+    for (const std::string& path : positional) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const ir::ParseResult parsed = ir::parse_block(buffer.str(), path);
+      if (!parsed.ok()) {
+        std::cerr << path << ": " << parsed.error << "\n";
+        return 1;
+      }
+      prev = graph.add_task(
+          path, *parsed.block,
+          prev >= 0 ? std::vector<ir::TaskId>{prev}
+                    : std::vector<ir::TaskId>{});
+    }
+
+    const engine::PipelineReport rep = engine.run(graph);
+    report::Table tasks_table(
+        {"task", "steps", "energy", "mem", "reg", "status"});
+    for (const engine::TaskReport& tr : rep.tasks) {
+      const double task_energy =
+          params.register_model == energy::RegisterModel::kStatic
+              ? tr.result.static_energy.total()
+              : tr.result.activity_energy.total();
+      tasks_table.add_row(
+          {tr.name, report::Table::num(tr.schedule_length),
+           tr.feasible ? report::Table::num(task_energy) : "-",
+           report::Table::num(tr.result.stats.mem_accesses()),
+           report::Table::num(tr.result.stats.reg_accesses()),
+           tr.feasible ? (tr.result.degraded ? "degraded" : "ok")
+                       : "INFEASIBLE"});
+    }
+    if (csv) {
+      tasks_table.print_csv(std::cout);
+    } else {
+      tasks_table.print(std::cout);
+      std::cout << "\ntotal energy "
+                << report::Table::num(rep.total_static_energy +
+                                      rep.total_activity_energy)
+                << ", peak memory " << rep.peak_mem_locations
+                << " locations (" << engine.threads()
+                << " engine threads)\n";
+    }
+
+    bool audit_failed = false;
+    for (const engine::TaskReport& tr : rep.tasks) {
+      if (tr.audit.audited && !tr.audit.clean()) {
+        audit_failed = true;
+        print_audit_findings(tr.name, tr.audit);
+      }
+    }
+    for (const ir::TaskId id : rep.infeasible_tasks) {
+      const engine::TaskReport& tr =
+          *std::find_if(rep.tasks.begin(), rep.tasks.end(),
+                        [&](const engine::TaskReport& t) {
+                          return t.task == id;
+                        });
+      print_error_line(tr.name, tr.failure_reason);
+    }
+    return rep.all_feasible ? (audit_failed ? 2 : 0) : 1;
+  }
 
   if (explore) {
     if (!block) {
@@ -201,6 +337,7 @@ int main(int argc, char** argv) {
 
   const alloc::AllocationResult r = engine.allocate_batch({p}).front();
   if (!r.feasible) {
+    print_error_line(source_name, r.message);
     std::cerr << "allocation infeasible: " << r.message << "\n";
     std::cerr << "solver diagnostics: " << r.solve_diagnostics.summary()
               << "\n";
@@ -212,6 +349,11 @@ int main(int argc, char** argv) {
   }
   if (r.degraded) {
     std::cerr << "warning: " << r.message << "\n";
+  }
+  if (r.audit.audited && !r.audit.clean()) {
+    print_audit_findings(source_name, r.audit);
+    std::cerr << "audit: " << r.audit.summary() << "\n";
+    return 2;
   }
 
   report::Table table({"segment", "interval", "placement"});

@@ -4,6 +4,7 @@
 
 #include "alloc/evaluate.hpp"
 #include "alloc/flow_graph.hpp"
+#include "audit/report.hpp"
 #include "netflow/robust.hpp"
 #include "netflow/solution.hpp"
 
@@ -44,6 +45,10 @@ struct AllocationResult {
   /// What the robust solve layer observed: validation findings, solver
   /// attempts/fallbacks, certification verdict, wall time.
   netflow::SolveDiagnostics solve_diagnostics;
+  /// Independent-auditor verdict (audit/audit.hpp). Empty unless the
+  /// caller audits — allocate() itself never does; engine::Engine fills
+  /// it when EngineOptions::audit_level is on.
+  audit::AuditReport audit;
 
   Assignment assignment;
   AccessStats stats;

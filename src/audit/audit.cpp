@@ -1,0 +1,604 @@
+#include "audit/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "alloc/evaluate.hpp"
+#include "alloc/exhaustive.hpp"
+
+namespace lera::audit {
+
+namespace {
+
+using alloc::AllocationProblem;
+using alloc::AllocationResult;
+using alloc::Assignment;
+using lifetime::CutKind;
+using lifetime::Segment;
+
+/// Finding collector with a cap, so one corruption that violates every
+/// boundary it crosses cannot balloon the report.
+class Findings {
+ public:
+  Findings(AuditReport& report, std::size_t cap)
+      : report_(report), cap_(cap) {}
+
+  void add(AuditFinding f) {
+    if (report_.findings.size() < cap_) {
+      report_.findings.push_back(std::move(f));
+    }
+  }
+
+  AuditFinding& make(FindingKind kind) {
+    scratch_ = AuditFinding{};
+    scratch_.kind = kind;
+    return scratch_;
+  }
+
+  void commit() { add(scratch_); }
+
+ private:
+  AuditReport& report_;
+  std::size_t cap_;
+  AuditFinding scratch_;
+};
+
+bool close(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// Structural soundness: the segments must tile every lifetime exactly
+/// (start at the write, chain contiguously, die at the last read) and
+/// the assignment must cover them one-to-one. Nothing downstream is
+/// trustworthy when this fails.
+bool check_structure(const AllocationProblem& p, const Assignment& a,
+                     Findings& out) {
+  bool ok = true;
+  if (a.size() != p.segments.size()) {
+    auto& f = out.make(FindingKind::kStructure);
+    f.expected = static_cast<double>(p.segments.size());
+    f.actual = static_cast<double>(a.size());
+    f.detail = "assignment size != segment count";
+    out.commit();
+    return false;
+  }
+  if (p.activity.size() != p.lifetimes.size()) {
+    auto& f = out.make(FindingKind::kStructure);
+    f.detail = "activity matrix size != variable count";
+    out.commit();
+    ok = false;
+  }
+
+  std::vector<bool> seen(p.lifetimes.size(), false);
+  std::size_t i = 0;
+  while (i < p.segments.size()) {
+    const int var = p.segments[i].var;
+    if (var < 0 || static_cast<std::size_t>(var) >= p.lifetimes.size()) {
+      auto& f = out.make(FindingKind::kStructure);
+      f.seg = static_cast<int>(i);
+      f.detail = "segment references unknown variable";
+      out.commit();
+      return false;
+    }
+    if (seen[static_cast<std::size_t>(var)]) {
+      auto& f = out.make(FindingKind::kStructure);
+      f.var = var;
+      f.detail = "variable's segments are not contiguous in the array";
+      out.commit();
+      return false;
+    }
+    seen[static_cast<std::size_t>(var)] = true;
+
+    const lifetime::Lifetime& lt =
+        p.lifetimes[static_cast<std::size_t>(var)];
+    if (lt.read_times.empty()) {
+      auto& f = out.make(FindingKind::kStructure);
+      f.var = var;
+      f.detail = "variable has no reads";
+      out.commit();
+      return false;
+    }
+    std::size_t last = i;
+    while (last + 1 < p.segments.size() &&
+           p.segments[last + 1].var == var) {
+      ++last;
+    }
+    if (p.segments[i].start != lt.write_time) {
+      auto& f = out.make(FindingKind::kStructure);
+      f.var = var;
+      f.seg = static_cast<int>(i);
+      f.detail = "first segment does not start at the write time";
+      out.commit();
+      ok = false;
+    }
+    for (std::size_t s = i; s < last; ++s) {
+      if (p.segments[s + 1].start != p.segments[s].end) {
+        auto& f = out.make(FindingKind::kStructure);
+        f.var = var;
+        f.seg = static_cast<int>(s + 1);
+        f.detail = "segment chain has a gap or overlap";
+        out.commit();
+        ok = false;
+      }
+    }
+    if (p.segments[last].end != lt.last_read() ||
+        p.segments[last].end_kind != CutKind::kDeath) {
+      auto& f = out.make(FindingKind::kStructure);
+      f.var = var;
+      f.seg = static_cast<int>(last);
+      f.detail = "last segment does not die at the final read";
+      out.commit();
+      ok = false;
+    }
+    i = last + 1;
+  }
+  for (std::size_t v = 0; v < p.lifetimes.size(); ++v) {
+    if (!seen[v]) {
+      auto& f = out.make(FindingKind::kStructure);
+      f.var = static_cast<int>(v);
+      f.detail = "variable has no segments (value stored nowhere)";
+      out.commit();
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// First-principles legality: pins, register range, and a fresh
+/// boundary sweep for exclusivity and the R capacity.
+void check_legality(const AllocationProblem& p, const Assignment& a,
+                    Findings& out) {
+  for (std::size_t s = 0; s < p.segments.size(); ++s) {
+    const Segment& seg = p.segments[s];
+    if (seg.forced_register && !a.in_register(s)) {
+      auto& f = out.make(FindingKind::kForcedInMemory);
+      f.var = seg.var;
+      f.seg = static_cast<int>(s);
+      f.step = seg.start;
+      f.detail = "segment starts/ends off the memory-access grid";
+      out.commit();
+    }
+    if (seg.forbidden_register && a.in_register(s)) {
+      auto& f = out.make(FindingKind::kForbiddenInRegister);
+      f.var = seg.var;
+      f.seg = static_cast<int>(s);
+      f.step = seg.start;
+      f.location = a.location(s);
+      out.commit();
+    }
+    if (a.in_register(s) && a.location(s) >= p.num_registers) {
+      auto& f = out.make(FindingKind::kRegisterRange);
+      f.var = seg.var;
+      f.seg = static_cast<int>(s);
+      f.location = a.location(s);
+      f.expected = p.num_registers;
+      f.actual = a.location(s);
+      out.commit();
+    }
+  }
+
+  // Segment [start, end) occupies its register at boundaries
+  // start..end-1, so chained same-variable segments never collide here.
+  for (int b = 0; b <= p.num_steps; ++b) {
+    std::map<int, int> holder;  // register -> segment seen at b
+    int resident = 0;
+    for (std::size_t s = 0; s < p.segments.size(); ++s) {
+      if (!a.in_register(s)) continue;
+      const Segment& seg = p.segments[s];
+      if (!(seg.start <= b && b < seg.end)) continue;
+      ++resident;
+      const auto [it, fresh] =
+          holder.emplace(a.location(s), static_cast<int>(s));
+      if (!fresh) {
+        auto& f = out.make(FindingKind::kRegisterOverlap);
+        f.var = seg.var;
+        f.seg = static_cast<int>(s);
+        f.step = b;
+        f.location = a.location(s);
+        f.detail = "also held by segment " + std::to_string(it->second);
+        out.commit();
+      }
+    }
+    if (resident > p.num_registers) {
+      auto& f = out.make(FindingKind::kCapacityExceeded);
+      f.step = b;
+      f.expected = p.num_registers;
+      f.actual = resident;
+      out.commit();
+    }
+  }
+}
+
+/// Per-step traffic tallies feeding the port audit.
+struct StepTraffic {
+  int mem_reads = 0;
+  int mem_writes = 0;
+  int reg_reads = 0;
+  int reg_writes = 0;
+};
+
+}  // namespace
+
+Recount recount_allocation(const AllocationProblem& p, const Assignment& a) {
+  Recount rc;
+  if (a.size() != p.segments.size()) return rc;
+
+  const energy::EnergyParams& e = p.params;
+  std::map<int, StepTraffic> per_step;
+  // Register writes in generation order; the activity replay below
+  // re-sorts them by (step, generation) so concurrent writes to
+  // different registers transition in a deterministic order.
+  struct RegWrite {
+    int step;
+    int order;
+    int var;
+    int reg;
+  };
+  std::vector<RegWrite> reg_writes;
+  std::set<int> regs_touched;
+  int order = 0;
+
+  auto mem_read = [&](int t) {
+    ++rc.stats.mem_reads;
+    ++per_step[t].mem_reads;
+    rc.static_memory += e.e_mem_read();
+  };
+  auto mem_write = [&](int t) {
+    ++rc.stats.mem_writes;
+    ++per_step[t].mem_writes;
+    rc.static_memory += e.e_mem_write();
+  };
+  auto reg_read = [&](int t) {
+    ++rc.stats.reg_reads;
+    ++per_step[t].reg_reads;
+    rc.static_register += e.e_reg_read();
+  };
+  auto reg_write = [&](int t, int var, int reg) {
+    ++rc.stats.reg_writes;
+    ++per_step[t].reg_writes;
+    rc.static_register += e.e_reg_write();
+    reg_writes.push_back({t, order++, var, reg});
+    regs_touched.insert(reg);
+  };
+
+  // Per-variable walk over its segment chain. The semantics re-derived
+  // here (independently of evaluate.cpp's event enumeration) are the
+  // ones DESIGN.md fixes for the flow model: a definition writes to
+  // wherever the first segment lives; at an interior read the value is
+  // fetched from wherever it lives; a value leaving a register before
+  // its death is written back to memory; entering a register costs an
+  // explicit memory read only at a pure access-boundary cut (at a read
+  // cut the consumer's fetch doubles as the load, and register-to-
+  // register moves carry no memory read); the death is a final fetch.
+  std::size_t i = 0;
+  while (i < p.segments.size()) {
+    const int var = p.segments[i].var;
+    std::size_t last = i;
+    while (last + 1 < p.segments.size() &&
+           p.segments[last + 1].var == var) {
+      ++last;
+    }
+
+    if (a.in_register(i)) {
+      reg_write(p.segments[i].start, var, a.location(i));
+    } else {
+      mem_write(p.segments[i].start);
+    }
+
+    for (std::size_t s = i; s < last; ++s) {
+      const Segment& cur = p.segments[s];
+      const int loc_cur = a.location(s);
+      const int loc_next = a.location(s + 1);
+      if (cur.end_kind == CutKind::kRead) {
+        loc_cur >= 0 ? reg_read(cur.end) : mem_read(cur.end);
+      }
+      if (loc_cur >= 0 && loc_next != loc_cur) mem_write(cur.end);
+      if (loc_next >= 0 && loc_next != loc_cur) {
+        if (cur.end_kind == CutKind::kBoundary) mem_read(cur.end);
+        reg_write(cur.end, var, loc_next);
+      }
+    }
+
+    const Segment& end_seg = p.segments[last];
+    a.in_register(last) ? reg_read(end_seg.end) : mem_read(end_seg.end);
+    i = last + 1;
+  }
+
+  // Activity model: replay the register writes chronologically, pricing
+  // each by the Hamming activity against the register's previous
+  // occupant (initial activity for a cold register).
+  std::stable_sort(reg_writes.begin(), reg_writes.end(),
+                   [](const RegWrite& x, const RegWrite& y) {
+                     return x.step != y.step ? x.step < y.step
+                                             : x.order < y.order;
+                   });
+  std::map<int, int> occupant;
+  for (const RegWrite& w : reg_writes) {
+    const auto it = occupant.find(w.reg);
+    const double h =
+        it == occupant.end()
+            ? p.activity.initial(static_cast<std::size_t>(w.var))
+            : p.activity.hamming(static_cast<std::size_t>(it->second),
+                                 static_cast<std::size_t>(w.var));
+    rc.activity_register += e.e_reg_transition(h);
+    occupant[w.reg] = w.var;
+  }
+
+  for (const auto& [step, t] : per_step) {
+    rc.stats.mem_read_ports = std::max(rc.stats.mem_read_ports, t.mem_reads);
+    rc.stats.mem_write_ports =
+        std::max(rc.stats.mem_write_ports, t.mem_writes);
+    rc.stats.reg_read_ports = std::max(rc.stats.reg_read_ports, t.reg_reads);
+    rc.stats.reg_write_ports =
+        std::max(rc.stats.reg_write_ports, t.reg_writes);
+  }
+
+  // Peak simultaneous memory residency, by a fresh boundary sweep.
+  for (int b = 0; b <= p.num_steps; ++b) {
+    int resident = 0;
+    for (std::size_t s = 0; s < p.segments.size(); ++s) {
+      if (a.in_register(s)) continue;
+      if (p.segments[s].start <= b && b < p.segments[s].end) ++resident;
+    }
+    rc.stats.mem_locations = std::max(rc.stats.mem_locations, resident);
+  }
+
+  rc.registers_used = static_cast<int>(regs_touched.size());
+  rc.ok = true;
+  return rc;
+}
+
+namespace {
+
+/// Port budgets (§7): re-tally per-step traffic and compare each
+/// channel against its limit.
+void check_ports(const AllocationProblem& p, const Assignment& a,
+                 const alloc::PortLimits& limits, Findings& out) {
+  std::map<int, StepTraffic> per_step;
+  // Reuse the recount's walk indirectly: recount_allocation already
+  // tallied peaks, but the port audit needs the offending *steps*, so
+  // tally again here from the event set evaluate.hpp exposes — this
+  // intentionally uses the enumerate_events path, making the port audit
+  // sensitive to disagreements between the two derivations as well.
+  for (const alloc::StorageEvent& ev : alloc::enumerate_events(p, a)) {
+    StepTraffic& t = per_step[ev.step];
+    switch (ev.type) {
+      case alloc::EventType::kMemRead: ++t.mem_reads; break;
+      case alloc::EventType::kMemWrite: ++t.mem_writes; break;
+      case alloc::EventType::kRegRead: ++t.reg_reads; break;
+      case alloc::EventType::kRegWrite: ++t.reg_writes; break;
+    }
+  }
+  for (const auto& [step, t] : per_step) {
+    const std::pair<int, std::pair<int, const char*>> channels[] = {
+        {t.mem_reads, {limits.mem_read_ports, "memory read"}},
+        {t.mem_writes, {limits.mem_write_ports, "memory write"}},
+        {t.reg_reads, {limits.reg_read_ports, "register read"}},
+        {t.reg_writes, {limits.reg_write_ports, "register write"}},
+    };
+    for (const auto& [count, budget] : channels) {
+      if (count > budget.first) {
+        auto& f = out.make(FindingKind::kPortOverload);
+        f.step = step;
+        f.expected = budget.first;
+        f.actual = count;
+        f.detail = std::string(budget.second) + " ports";
+        out.commit();
+      }
+    }
+  }
+}
+
+/// Cross-checks the independent recount against evaluate.hpp — the two
+/// derivations must tell the same story for this assignment.
+void check_evaluator_agreement(const AllocationProblem& p,
+                               const Assignment& a, const Recount& rc,
+                               double tol, Findings& out) {
+  const alloc::AccessStats ev = alloc::count_accesses(p, a);
+  if (ev.mem_reads != rc.stats.mem_reads ||
+      ev.mem_writes != rc.stats.mem_writes ||
+      ev.reg_reads != rc.stats.reg_reads ||
+      ev.reg_writes != rc.stats.reg_writes ||
+      ev.mem_locations != rc.stats.mem_locations) {
+    auto& f = out.make(FindingKind::kStatsMismatch);
+    f.expected = rc.stats.mem_accesses() + rc.stats.reg_accesses();
+    f.actual = ev.mem_accesses() + ev.reg_accesses();
+    f.detail = "evaluate.hpp access counts disagree with the recount";
+    out.commit();
+  }
+  const double ev_static =
+      alloc::evaluate_energy(p, a, energy::RegisterModel::kStatic).total();
+  const double ev_activity =
+      alloc::evaluate_energy(p, a, energy::RegisterModel::kActivity)
+          .total();
+  if (!close(ev_static, rc.static_total(), tol)) {
+    auto& f = out.make(FindingKind::kEnergyMismatch);
+    f.expected = rc.static_total();
+    f.actual = ev_static;
+    f.detail = "evaluate.hpp static energy disagrees with the recount";
+    out.commit();
+  }
+  if (!close(ev_activity, rc.activity_total(), tol)) {
+    auto& f = out.make(FindingKind::kEnergyMismatch);
+    f.expected = rc.activity_total();
+    f.actual = ev_activity;
+    f.detail = "evaluate.hpp activity energy disagrees with the recount";
+    out.commit();
+  }
+}
+
+bool exhaustive_applicable(const AllocationProblem& p,
+                           const AuditOptions& opts) {
+  if (static_cast<int>(p.segments.size()) > opts.exhaustive_max_segments) {
+    return false;
+  }
+  if (p.params.register_model == energy::RegisterModel::kActivity &&
+      p.num_registers > 1) {
+    return false;
+  }
+  // exhaustive_allocate honours forced pins but not forbidden ones; a
+  // problem with forbidden segments would yield bogus "optima".
+  for (const Segment& s : p.segments) {
+    if (s.forbidden_register) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AuditReport audit_allocation(const AllocationProblem& p, const Assignment& a,
+                             const AuditOptions& opts) {
+  AuditReport report;
+  report.level = opts.level;
+  if (opts.level == AuditLevel::kOff) return report;
+  report.audited = true;
+
+  Findings out(report, opts.max_findings);
+  if (!check_structure(p, a, out)) return report;
+  check_legality(p, a, out);
+  if (opts.ports) check_ports(p, a, *opts.ports, out);
+
+  if (opts.level == AuditLevel::kFullCost) {
+    const Recount rc = recount_allocation(p, a);
+    if (rc.ok) {
+      check_evaluator_agreement(p, a, rc, opts.tolerance, out);
+    }
+  }
+  return report;
+}
+
+AuditReport audit_result(const AllocationProblem& p,
+                         const AllocationResult& r,
+                         const AuditOptions& opts) {
+  AuditReport report;
+  report.level = opts.level;
+  if (opts.level == AuditLevel::kOff) return report;
+  report.audited = true;
+  Findings out(report, opts.max_findings);
+
+  if (!r.feasible) {
+    // Audit the infeasibility claim itself. The only legitimate
+    // *instance* cause is the forced segments not fitting in R; solver
+    // failures (budget, certification) are honest too and are visible
+    // in the diagnostics. When the exhaustive search is in reach it
+    // settles the question outright.
+    if (opts.level == AuditLevel::kFullCost && opts.check_optimality &&
+        exhaustive_applicable(p, opts)) {
+      const auto truth =
+          alloc::exhaustive_allocate(p, p.params.register_model);
+      if (truth.has_value()) {
+        auto& f = out.make(FindingKind::kFalseInfeasible);
+        f.expected = truth->energy;
+        f.detail =
+            "exhaustive search found a valid assignment: " + r.message;
+        out.commit();
+      }
+    }
+    return report;
+  }
+
+  const AuditReport base = audit_allocation(p, r.assignment, opts);
+  report.findings.insert(report.findings.end(), base.findings.begin(),
+                         base.findings.end());
+  if (report.findings.size() > opts.max_findings) {
+    report.findings.resize(opts.max_findings);
+  }
+  if (!base.clean() && !base.legal()) {
+    // The assignment itself is broken; comparing its claimed prices
+    // against a recount of an illegal placement adds noise, not signal.
+    return report;
+  }
+
+  if (opts.level != AuditLevel::kFullCost) return report;
+
+  const Recount rc = recount_allocation(p, r.assignment);
+  if (!rc.ok) return report;
+  const double tol = opts.tolerance;
+
+  // The result's claimed access statistics.
+  const struct {
+    const char* name;
+    int claimed;
+    int recounted;
+  } counts[] = {
+      {"mem_reads", r.stats.mem_reads, rc.stats.mem_reads},
+      {"mem_writes", r.stats.mem_writes, rc.stats.mem_writes},
+      {"reg_reads", r.stats.reg_reads, rc.stats.reg_reads},
+      {"reg_writes", r.stats.reg_writes, rc.stats.reg_writes},
+      {"mem_read_ports", r.stats.mem_read_ports, rc.stats.mem_read_ports},
+      {"mem_write_ports", r.stats.mem_write_ports,
+       rc.stats.mem_write_ports},
+      {"reg_read_ports", r.stats.reg_read_ports, rc.stats.reg_read_ports},
+      {"reg_write_ports", r.stats.reg_write_ports,
+       rc.stats.reg_write_ports},
+      {"mem_locations", r.stats.mem_locations, rc.stats.mem_locations},
+      {"registers_used", r.registers_used, rc.registers_used},
+  };
+  for (const auto& c : counts) {
+    if (c.claimed != c.recounted) {
+      auto& f = out.make(FindingKind::kStatsMismatch);
+      f.expected = c.recounted;
+      f.actual = c.claimed;
+      f.detail = c.name;
+      out.commit();
+    }
+  }
+
+  // The result's claimed energies, under both models.
+  if (!close(r.static_energy.total(), rc.static_total(), tol)) {
+    auto& f = out.make(FindingKind::kEnergyMismatch);
+    f.expected = rc.static_total();
+    f.actual = r.static_energy.total();
+    f.detail = "static energy";
+    out.commit();
+  }
+  if (!close(r.activity_energy.total(), rc.activity_total(), tol)) {
+    auto& f = out.make(FindingKind::kEnergyMismatch);
+    f.expected = rc.activity_total();
+    f.actual = r.activity_energy.total();
+    f.detail = "activity energy";
+    out.commit();
+  }
+
+  // model_energy is base + dequantised flow cost — the objective the
+  // flow minimised. It must equal the replay under the configured model
+  // up to quantisation slack (resolution 1e-6 per arc; 1e-3 absolute
+  // covers any realistic arc count). Baselines and degraded results are
+  // not flow-derived and leave it 0 (two_phase.cpp), so skip them.
+  const double replayed = rc.total(p.params.register_model);
+  const bool flow_derived =
+      !r.degraded && (r.model_energy != 0 || r.flow_cost != 0);
+  if (flow_derived &&
+      std::abs(r.model_energy - replayed) >
+          1e-3 + std::max(tol, 1e-9) * std::abs(replayed)) {
+    auto& f = out.make(FindingKind::kCostInconsistent);
+    f.expected = replayed;
+    f.actual = r.model_energy;
+    f.detail = "base + flow cost vs independent replay";
+    out.commit();
+  }
+
+  // Ground truth on small instances: the flow result claims optimality
+  // unless it was degraded to the two-phase baseline.
+  if (opts.check_optimality && !r.degraded && exhaustive_applicable(p, opts)) {
+    const auto truth =
+        alloc::exhaustive_allocate(p, p.params.register_model);
+    if (truth.has_value()) {
+      const double claimed = rc.total(p.params.register_model);
+      if (claimed > truth->energy &&
+          !close(claimed, truth->energy, std::max(tol, 1e-6))) {
+        auto& f = out.make(FindingKind::kNotOptimal);
+        f.expected = truth->energy;
+        f.actual = claimed;
+        f.detail = "exhaustive optimum is cheaper";
+        out.commit();
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace lera::audit

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <optional>
+
+#include "alloc/allocator.hpp"
+#include "alloc/ports.hpp"
+#include "audit/report.hpp"
+
+/// \file audit.hpp
+/// The independent allocation auditor. Everything above the flow solver
+/// — flow decomposition into register/memory assignments, lifetime
+/// overlap and pin legality, the energy accounting — is re-derived here
+/// from first principles, with code that shares *nothing* with the
+/// solve path: its own boundary sweeps for capacity/overlap, its own
+/// per-variable storage-event recount for access counts and energies,
+/// and (on small instances) the brute-force optimum as ground truth.
+///
+/// A clean report certifies that the allocation is legal under the
+/// paper's §5-§6 semantics (one live value per register per boundary,
+/// register budget R, §5.2/§7 pins, optional port budgets) and — at
+/// full-cost level — that every number the result claims (stats,
+/// static/activity energies, model_energy) matches the independent
+/// recount and that evaluate.hpp agrees with it.
+
+namespace lera::audit {
+
+struct AuditOptions {
+  AuditLevel level = AuditLevel::kFullCost;
+  /// Relative tolerance for energy comparisons.
+  double tolerance = 1e-6;
+  /// Port budgets to enforce (§7). Unset = ports unconstrained.
+  std::optional<alloc::PortLimits> ports;
+  /// Cross-check the result against the exhaustive optimum when the
+  /// instance is small enough (audit_result only; skipped for degraded
+  /// results, which never claim optimality).
+  bool check_optimality = true;
+  /// Exhaustive search is 2^segments; keep this modest.
+  int exhaustive_max_segments = 14;
+  /// Stop collecting findings beyond this many (a single corruption can
+  /// violate every boundary it crosses).
+  std::size_t max_findings = 100;
+};
+
+/// Audits a bare assignment: structure, legality and — at full-cost
+/// level — agreement between the independent recount and evaluate.hpp.
+AuditReport audit_allocation(const alloc::AllocationProblem& p,
+                             const alloc::Assignment& a,
+                             const AuditOptions& opts = {});
+
+/// Audits a complete allocator result: everything audit_allocation
+/// checks, plus the result's claimed stats/energies/model_energy against
+/// the recount, and the exhaustive optimum on small instances. An
+/// infeasibility claim is itself audited: if first principles (forced
+/// density, or the exhaustive search) prove a valid assignment exists,
+/// the claim is flagged kFalseInfeasible.
+AuditReport audit_result(const alloc::AllocationProblem& p,
+                         const alloc::AllocationResult& r,
+                         const AuditOptions& opts = {});
+
+/// The auditor's independent recount of an assignment's storage
+/// behaviour (exposed for tests and the fuzz driver).
+struct Recount {
+  bool ok = false;  ///< False when structure findings aborted the count.
+  alloc::AccessStats stats;
+  double static_memory = 0;
+  double static_register = 0;
+  double activity_register = 0;  ///< Memory term is always static.
+  int registers_used = 0;
+
+  double static_total() const { return static_memory + static_register; }
+  double activity_total() const {
+    return static_memory + activity_register;
+  }
+  double total(energy::RegisterModel model) const {
+    return model == energy::RegisterModel::kStatic ? static_total()
+                                                   : activity_total();
+  }
+};
+
+/// Recounts accesses/energies for \p a without touching evaluate.hpp.
+Recount recount_allocation(const alloc::AllocationProblem& p,
+                           const alloc::Assignment& a);
+
+}  // namespace lera::audit

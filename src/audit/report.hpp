@@ -1,0 +1,158 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file report.hpp
+/// Typed audit findings. These are the *output* types of the allocation
+/// auditor (audit/audit.hpp) and deliberately depend on nothing but the
+/// standard library, so any layer — including alloc::AllocationResult,
+/// which the auditor itself inspects — can carry an AuditReport without
+/// a dependency cycle.
+///
+/// A finding is a structured fact (kind + value/step/location + the
+/// expected-vs-actual numbers), not a string: callers dispatch on
+/// FindingKind, the fuzz shrinker matches findings across problem
+/// reductions, and summary() exists only for humans.
+
+namespace lera::audit {
+
+/// How much checking the auditor performs (Engine/Session option).
+enum class AuditLevel {
+  kOff,       ///< No auditing; results pass through untouched.
+  kLegality,  ///< Structural legality only (capacity, overlap, pins).
+  kFullCost,  ///< Legality + independent energy/stats recount +
+              ///< exhaustive-optimum cross-check on small instances.
+};
+
+enum class FindingKind {
+  /// Problem/assignment structure is broken (segment coverage, size
+  /// mismatch) — the remaining checks may be meaningless.
+  kStructure,
+  /// A segment uses a register index outside [0, R).
+  kRegisterRange,
+  /// One register holds two different live values at some boundary.
+  kRegisterOverlap,
+  /// More than R register-resident segments at some boundary.
+  kCapacityExceeded,
+  /// A forced_register segment (§5.2 lower bound 1) placed in memory.
+  kForcedInMemory,
+  /// A forbidden_register segment (§7 capacity 0) placed in a register.
+  kForbiddenInRegister,
+  /// Per-step storage traffic exceeds a port budget (§7).
+  kPortOverload,
+  /// The result's claimed access counts differ from the recount.
+  kStatsMismatch,
+  /// The result's claimed energy differs from the independent replay.
+  kEnergyMismatch,
+  /// model_energy (base + flow cost) disagrees with the replayed energy
+  /// under the configured register model — the eqs. (3)-(10) arc-cost
+  /// algebra and the replay no longer tell the same story.
+  kCostInconsistent,
+  /// The result's energy exceeds the exhaustive optimum.
+  kNotOptimal,
+  /// The result claims infeasibility that first principles refute.
+  kFalseInfeasible,
+};
+
+inline const char* to_string(FindingKind k) {
+  switch (k) {
+    case FindingKind::kStructure: return "structure";
+    case FindingKind::kRegisterRange: return "register-range";
+    case FindingKind::kRegisterOverlap: return "register-overlap";
+    case FindingKind::kCapacityExceeded: return "capacity-exceeded";
+    case FindingKind::kForcedInMemory: return "forced-in-memory";
+    case FindingKind::kForbiddenInRegister: return "forbidden-in-register";
+    case FindingKind::kPortOverload: return "port-overload";
+    case FindingKind::kStatsMismatch: return "stats-mismatch";
+    case FindingKind::kEnergyMismatch: return "energy-mismatch";
+    case FindingKind::kCostInconsistent: return "cost-inconsistent";
+    case FindingKind::kNotOptimal: return "not-optimal";
+    case FindingKind::kFalseInfeasible: return "false-infeasible";
+  }
+  return "unknown";
+}
+
+inline const char* to_string(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff: return "off";
+    case AuditLevel::kLegality: return "legality";
+    case AuditLevel::kFullCost: return "full-cost";
+  }
+  return "unknown";
+}
+
+struct AuditFinding {
+  FindingKind kind = FindingKind::kStructure;
+  int var = -1;       ///< Variable involved (index into lifetimes), or -1.
+  int seg = -1;       ///< Segment involved, or -1.
+  int step = -1;      ///< Control step / boundary involved, or -1.
+  int location = -1;  ///< Register index involved, or -1 (memory / n/a).
+  double expected = 0;  ///< For numeric mismatches: the recomputed truth.
+  double actual = 0;    ///< For numeric mismatches: the claimed value.
+  std::string detail;   ///< Human-readable elaboration.
+
+  std::string to_string() const {
+    std::string s = audit::to_string(kind);
+    if (var >= 0) s += " var=" + std::to_string(var);
+    if (seg >= 0) s += " seg=" + std::to_string(seg);
+    if (step >= 0) s += " step=" + std::to_string(step);
+    if (location >= 0) s += " reg=" + std::to_string(location);
+    if (expected != 0 || actual != 0) {
+      s += " expected=" + std::to_string(expected) +
+           " actual=" + std::to_string(actual);
+    }
+    if (!detail.empty()) s += " (" + detail + ")";
+    return s;
+  }
+};
+
+struct AuditReport {
+  AuditLevel level = AuditLevel::kOff;
+  /// True when the auditor actually ran (level != off).
+  bool audited = false;
+  std::vector<AuditFinding> findings;
+
+  bool clean() const { return findings.empty(); }
+  bool has(FindingKind kind) const {
+    for (const AuditFinding& f : findings) {
+      if (f.kind == kind) return true;
+    }
+    return false;
+  }
+  /// Findings that make the allocation *illegal* (as opposed to merely
+  /// mis-priced): structure, range, overlap, capacity, pins, ports.
+  bool legal() const {
+    for (const AuditFinding& f : findings) {
+      switch (f.kind) {
+        case FindingKind::kStructure:
+        case FindingKind::kRegisterRange:
+        case FindingKind::kRegisterOverlap:
+        case FindingKind::kCapacityExceeded:
+        case FindingKind::kForcedInMemory:
+        case FindingKind::kForbiddenInRegister:
+        case FindingKind::kPortOverload:
+          return false;
+        default:
+          break;
+      }
+    }
+    return true;
+  }
+
+  std::string summary() const {
+    if (!audited) return "audit: off";
+    std::string s = "audit(";
+    s += audit::to_string(level);
+    s += "): ";
+    if (clean()) return s + "clean";
+    s += std::to_string(findings.size()) + " finding(s): ";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      if (i) s += "; ";
+      s += findings[i].to_string();
+    }
+    return s;
+  }
+};
+
+}  // namespace lera::audit

@@ -1,0 +1,171 @@
+#include "audit/shrink.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace lera::audit {
+
+namespace {
+
+using alloc::AllocationProblem;
+using lifetime::Lifetime;
+
+/// Rebuilds a candidate problem from edited lifetimes, re-deriving
+/// segments/density through make_problem so split cuts and forced flags
+/// stay faithful to the original access model.
+AllocationProblem rebuild(const AllocationProblem& base,
+                          std::vector<Lifetime> lifetimes, int num_steps,
+                          energy::ActivityMatrix activity) {
+  for (std::size_t v = 0; v < lifetimes.size(); ++v) {
+    lifetimes[v].value = static_cast<ir::ValueId>(v);
+  }
+  lifetime::SplitOptions split;
+  split.access = base.access;
+  return alloc::make_problem(std::move(lifetimes), num_steps,
+                             base.num_registers, base.params,
+                             std::move(activity), split);
+}
+
+energy::ActivityMatrix drop_var_activity(const energy::ActivityMatrix& m,
+                                         std::size_t dropped) {
+  energy::ActivityMatrix out(m.size() - 1);
+  auto old_index = [&](std::size_t i) { return i < dropped ? i : i + 1; };
+  for (std::size_t i = 0; i + 1 < m.size(); ++i) {
+    out.set_initial(i, m.initial(old_index(i)));
+    for (std::size_t j = i + 1; j + 1 < m.size(); ++j) {
+      out.set(i, j, m.hamming(old_index(i), old_index(j)));
+    }
+  }
+  return out;
+}
+
+/// Remaps every lifetime onto a dense time axis containing only the
+/// steps some write or (interior) read actually uses. Returns false
+/// when no step can be removed.
+bool compress_time(const AllocationProblem& p,
+                   std::vector<Lifetime>& lifetimes, int& num_steps) {
+  std::vector<int> used;
+  for (const Lifetime& lt : p.lifetimes) {
+    used.push_back(lt.write_time);
+    for (int t : lt.read_times) {
+      if (t <= p.num_steps) used.push_back(t);
+    }
+  }
+  if (used.empty()) return false;
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+
+  std::map<int, int> rank;
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    rank[used[i]] = static_cast<int>(i);
+  }
+  int new_steps = 0;
+  lifetimes = p.lifetimes;
+  for (Lifetime& lt : lifetimes) {
+    lt.write_time = rank[lt.write_time];
+    bool had_liveout_read = false;
+    std::vector<int> reads;
+    for (int t : lt.read_times) {
+      if (t > p.num_steps) {
+        had_liveout_read = true;
+      } else {
+        reads.push_back(rank[t]);
+        new_steps = std::max(new_steps, rank[t]);
+      }
+    }
+    lt.read_times = std::move(reads);
+    // Re-append the live-out sentinel once the new x is known (below).
+    lt.live_out = lt.live_out || had_liveout_read;
+  }
+  new_steps = std::max(new_steps, 1);
+  for (Lifetime& lt : lifetimes) {
+    new_steps = std::max(new_steps, lt.write_time);
+  }
+  if (new_steps >= p.num_steps) return false;
+  for (Lifetime& lt : lifetimes) {
+    if (lt.live_out) lt.read_times.push_back(new_steps + 1);
+    if (lt.read_times.empty()) return false;  // Liveout-less dead value.
+  }
+  num_steps = new_steps;
+  return true;
+}
+
+}  // namespace
+
+int problem_size(const AllocationProblem& p) {
+  return static_cast<int>(p.lifetimes.size()) + p.num_steps;
+}
+
+ShrinkResult shrink_problem(const AllocationProblem& p,
+                            const ReproPredicate& reproduces,
+                            const ShrinkOptions& opts) {
+  ShrinkResult out;
+  out.problem = p;
+  out.original_size = problem_size(p);
+  out.shrunk_size = out.original_size;
+
+  auto try_candidate = [&](AllocationProblem candidate) {
+    ++out.predicate_calls;
+    if (!reproduces(candidate)) return false;
+    out.problem = std::move(candidate);
+    out.shrunk_size = problem_size(out.problem);
+    ++out.reductions;
+    return true;
+  };
+
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    bool reduced = false;
+    const AllocationProblem& cur = out.problem;
+
+    // Drop whole variables, most-recently-indexed first (random
+    // generators append the least structured variables last).
+    for (std::size_t v = cur.lifetimes.size(); v-- > 0;) {
+      const AllocationProblem& now = out.problem;
+      if (v >= now.lifetimes.size() || now.lifetimes.size() <= 1) continue;
+      std::vector<Lifetime> fewer = now.lifetimes;
+      fewer.erase(fewer.begin() + static_cast<std::ptrdiff_t>(v));
+      reduced |= try_candidate(rebuild(now, std::move(fewer),
+                                       now.num_steps,
+                                       drop_var_activity(now.activity, v)));
+    }
+
+    // Drop individual reads (keeping at least one per variable). A
+    // removed live-out sentinel also clears the flag.
+    for (std::size_t v = 0; v < out.problem.lifetimes.size(); ++v) {
+      for (std::size_t ri = out.problem.lifetimes[v].read_times.size();
+           ri-- > 0;) {
+        const AllocationProblem& now = out.problem;
+        if (v >= now.lifetimes.size() ||
+            ri >= now.lifetimes[v].read_times.size() ||
+            now.lifetimes[v].read_times.size() <= 1) {
+          continue;
+        }
+        std::vector<Lifetime> edited = now.lifetimes;
+        Lifetime& lt = edited[v];
+        const int removed = lt.read_times[ri];
+        lt.read_times.erase(lt.read_times.begin() +
+                            static_cast<std::ptrdiff_t>(ri));
+        if (removed > now.num_steps) lt.live_out = false;
+        reduced |= try_candidate(rebuild(now, std::move(edited),
+                                         now.num_steps, now.activity));
+      }
+    }
+
+    // Compress unused control steps away.
+    {
+      const AllocationProblem& now = out.problem;
+      std::vector<Lifetime> remapped;
+      int new_steps = now.num_steps;
+      if (compress_time(now, remapped, new_steps)) {
+        reduced |= try_candidate(
+            rebuild(now, std::move(remapped), new_steps, now.activity));
+      }
+    }
+
+    if (!reduced) break;
+  }
+  return out;
+}
+
+}  // namespace lera::audit

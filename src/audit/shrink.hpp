@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+
+#include "alloc/problem.hpp"
+
+/// \file shrink.hpp
+/// Delta-debugging for allocation problems: given a failing instance
+/// and a predicate that re-checks the failure, greedily remove
+/// variables, interior reads and control steps while the failure keeps
+/// reproducing. Fuzz findings shrink from dozens of variables to the
+/// two or three that actually interact, which is what gets committed as
+/// a reproducer.
+
+namespace lera::audit {
+
+/// Returns true when the (rebuilt) candidate problem still exhibits the
+/// failure being minimised. The predicate must be deterministic.
+using ReproPredicate =
+    std::function<bool(const alloc::AllocationProblem&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on full passes over the reduction operators; each
+  /// accepted reduction strictly shrinks the problem, so this is a
+  /// safety net, not a tuning knob.
+  int max_passes = 64;
+};
+
+struct ShrinkResult {
+  alloc::AllocationProblem problem;  ///< The minimised instance.
+  int original_size = 0;             ///< problem_size() before.
+  int shrunk_size = 0;               ///< problem_size() after.
+  int reductions = 0;                ///< Accepted reduction steps.
+  int predicate_calls = 0;
+};
+
+/// Size metric used for the shrink goal: variables + control steps.
+int problem_size(const alloc::AllocationProblem& p);
+
+/// Greedily minimises \p p under \p reproduces. The input problem must
+/// itself reproduce (if not, it is returned unchanged). Reductions
+/// tried, to fixpoint: drop a variable, drop an interior read, clear a
+/// live-out flag, and compress away control steps no lifetime event
+/// uses. Every candidate is rebuilt through make_problem with the
+/// problem's own access model, so segment splitting and forced flags
+/// stay faithful to the original semantics.
+ShrinkResult shrink_problem(const alloc::AllocationProblem& p,
+                            const ReproPredicate& reproduces,
+                            const ShrinkOptions& opts = {});
+
+}  // namespace lera::audit

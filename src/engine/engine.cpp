@@ -5,11 +5,26 @@
 #include <mutex>
 #include <random>
 
+#include "audit/audit.hpp"
 #include "sched/force_directed.hpp"
 
 namespace lera::engine {
 
 namespace {
+
+/// Maps the engine's audit knobs onto the auditor and stamps the
+/// verdict into the result. Auditing is observation-only: it never
+/// alters the allocation, throws, or stops sibling solves, so one bad
+/// result in a batch still leaves every other slot intact.
+void maybe_audit(const alloc::AllocationProblem& p,
+                 alloc::AllocationResult& r,
+                 const EngineOptions& options) {
+  if (options.audit_level == audit::AuditLevel::kOff) return;
+  audit::AuditOptions aopts;
+  aopts.level = options.audit_level;
+  aopts.ports = options.audit_ports;
+  r.audit = audit::audit_result(p, r, aopts);
+}
 
 /// Uniform random 16-bit input rows for activity measurement. Seeded per
 /// task (trace_seed + task_id), so the trace — and therefore the whole
@@ -61,6 +76,8 @@ TaskReport solve_task(const ir::Task& task, const EngineOptions& options) {
       alloc_options.fallback_to_baseline ||
       options.degrade_on_solver_failure;
   tr.result = alloc::allocate(p, alloc_options);
+  maybe_audit(p, tr.result, options);
+  tr.audit = tr.result.audit;
   tr.feasible = tr.result.feasible;
   tr.solve_summary = tr.result.solve_diagnostics.summary();
   if (tr.result.degraded) {
@@ -124,6 +141,9 @@ PipelineReport Engine::run(const ir::TaskGraph& graph) const {
   report.tasks.reserve(tasks.size());
   for (TaskReport& tr : tasks) {
     if (tr.result.degraded) ++report.tasks_degraded;
+    if (tr.audit.audited && !tr.audit.clean()) {
+      ++report.tasks_with_audit_findings;
+    }
     report.total_solver_fallbacks +=
         tr.result.solve_diagnostics.fallbacks_taken;
     if (!tr.feasible) {
@@ -190,6 +210,7 @@ std::vector<alloc::AllocationResult> Engine::allocate_batch(
   std::vector<alloc::AllocationResult> results(problems.size());
   pool_->parallel_for(problems.size(), [&](std::size_t i) {
     results[i] = alloc::allocate(problems[i], options_.alloc);
+    maybe_audit(problems[i], results[i], options_);
   });
   return results;
 }
@@ -224,8 +245,9 @@ std::size_t Session::submit(alloc::AllocationProblem problem) {
   // the Session handle, so moving/destroying the Session is safe.
   engine_->pool_->submit(
       [state = state_, slot, problem = std::move(problem),
-       options = engine_->options_.alloc, ticket] {
-        *slot = alloc::allocate(problem, options);
+       options = engine_->options_, ticket] {
+        *slot = alloc::allocate(problem, options.alloc);
+        maybe_audit(problem, *slot, options);
         {
           std::lock_guard<std::mutex> lock(state->mutex);
           state->done[ticket] = true;

@@ -2,11 +2,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "alloc/allocator.hpp"
 #include "alloc/memory_layout.hpp"
+#include "alloc/ports.hpp"
+#include "audit/report.hpp"
 #include "engine/thread_pool.hpp"
 #include "ir/task_graph.hpp"
 #include "sched/schedule.hpp"
@@ -68,6 +71,16 @@ struct EngineOptions {
   /// flagged per task; heavy-traffic runs fail loud, not wrong.
   bool degrade_on_solver_failure = true;
 
+  // --- Auditing ---------------------------------------------------------
+  /// Independent re-derivation of every solve's legality (and, at
+  /// kFullCost, its energy accounting) by audit::audit_result. Findings
+  /// land in AllocationResult::audit / TaskReport::audit; they never
+  /// alter the allocation or tear down sibling solves, and kOff is
+  /// bit-identical to the pre-audit engine.
+  audit::AuditLevel audit_level = audit::AuditLevel::kOff;
+  /// Optional §7 port budgets the auditor enforces on every result.
+  std::optional<alloc::PortLimits> audit_ports;
+
   // --- explore(): schedule candidate generation -------------------------
   /// Latest acceptable schedule length (0 = no deadline).
   int deadline = 0;
@@ -94,6 +107,9 @@ struct TaskReport {
   /// used, fallbacks, certification verdict); see also
   /// result.solve_diagnostics for the full structure.
   std::string solve_summary;
+  /// Mirror of result.audit (the independent auditor's verdict), hoisted
+  /// like `feasible` so batch callers can scan without digging.
+  audit::AuditReport audit;
 };
 
 struct PipelineReport {
@@ -108,6 +124,9 @@ struct PipelineReport {
   /// flow solves that did succeed.
   int tasks_degraded = 0;
   int total_solver_fallbacks = 0;
+  /// Tasks whose independent audit reported findings (0 when
+  /// EngineOptions::audit_level is kOff).
+  int tasks_with_audit_findings = 0;
 
   double total_static_energy = 0;
   double total_activity_energy = 0;

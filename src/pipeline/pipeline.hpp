@@ -29,7 +29,9 @@ namespace lera::pipeline {
 /// Every field PipelineOptions used to declare — resources,
 /// num_registers, params, split, alloc, trace_samples, trace_seed,
 /// relayout_memory, degrade_on_solver_failure — lives there now with
-/// unchanged names and defaults.
+/// unchanged names and defaults. New engine capabilities (such as
+/// audit_level / audit_ports, the independent per-solve auditor) are
+/// available through this alias too.
 using PipelineOptions = engine::EngineOptions;
 
 using TaskReport = engine::TaskReport;

@@ -1,6 +1,8 @@
 #include "workloads/problem_io.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -191,6 +193,11 @@ ProblemParseResult parse_problem(const std::string& text,
 }
 
 void write_problem(std::ostream& os, const alloc::AllocationProblem& p) {
+  // Reproducer files must reload byte-identically: write doubles at
+  // max_digits10 so write -> parse -> write is a fixed point, and restore
+  // the caller's stream state on the way out.
+  const std::streamsize saved_precision = os.precision(
+      std::numeric_limits<double>::max_digits10);
   os << "# lera allocation problem\n";
   os << "steps " << p.num_steps << "\n";
   os << "registers " << p.num_registers << "\n";
@@ -217,6 +224,7 @@ void write_problem(std::ostream& os, const alloc::AllocationProblem& p) {
          << p.lifetimes[b].name << " " << p.activity.hamming(a, b) << "\n";
     }
   }
+  os.precision(saved_precision);
 }
 
 }  // namespace lera::workloads

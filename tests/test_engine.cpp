@@ -333,6 +333,156 @@ TEST(Engine, FeasibleRunHasNoInfeasibleTasks) {
 }
 
 // ---------------------------------------------------------------------
+// Auditing
+
+TEST(Engine, AuditOffIsBitIdenticalToPreAuditReports) {
+  // audit_level = kOff must not perturb a single byte of the report:
+  // same graph, same options, audit off vs on, non-audit fields equal.
+  const ir::TaskGraph tg = paper_example_app();
+  EngineOptions off;
+  off.threads = 2;
+  EngineOptions on = off;
+  on.audit_level = audit::AuditLevel::kFullCost;
+
+  const PipelineReport a = Engine(off).run(tg);
+  const PipelineReport b = Engine(on).run(tg);
+  expect_same_report(a, b);  // Compares every non-audit field.
+
+  EXPECT_EQ(a.tasks_with_audit_findings, 0);
+  for (const TaskReport& tr : a.tasks) {
+    EXPECT_FALSE(tr.audit.audited) << tr.name;
+    EXPECT_FALSE(tr.result.audit.audited) << tr.name;
+  }
+  for (const TaskReport& tr : b.tasks) {
+    EXPECT_TRUE(tr.audit.audited) << tr.name;
+    EXPECT_TRUE(tr.audit.clean()) << tr.name << ": "
+                                  << tr.audit.summary();
+  }
+}
+
+TEST(Engine, AuditFindingsPropagateThroughRunWithoutTeardown) {
+  // An impossible port budget turns every task with storage traffic
+  // into an audited failure — but the solves themselves must all still
+  // complete and the report must stay fully populated.
+  EngineOptions opts;
+  opts.threads = 4;
+  opts.audit_level = audit::AuditLevel::kFullCost;
+  opts.audit_ports = alloc::PortLimits{};
+  opts.audit_ports->mem_read_ports = 0;
+  opts.audit_ports->mem_write_ports = 0;
+  opts.audit_ports->reg_read_ports = 0;
+  opts.audit_ports->reg_write_ports = 0;
+
+  const PipelineReport report = Engine(opts).run(paper_example_app());
+  EXPECT_TRUE(report.all_feasible);
+  EXPECT_GT(report.tasks_with_audit_findings, 0);
+  int with_findings = 0;
+  for (const TaskReport& tr : report.tasks) {
+    EXPECT_TRUE(tr.feasible) << tr.name;  // Audit never kills a solve.
+    EXPECT_TRUE(tr.audit.audited) << tr.name;
+    if (!tr.audit.clean()) {
+      ++with_findings;
+      EXPECT_TRUE(tr.audit.has(audit::FindingKind::kPortOverload))
+          << tr.name << ": " << tr.audit.summary();
+    }
+  }
+  EXPECT_EQ(with_findings, report.tasks_with_audit_findings);
+}
+
+TEST(Engine, AllocateBatchAuditsEveryResultWithoutTeardown) {
+  EngineOptions opts;
+  opts.threads = 4;
+  opts.audit_level = audit::AuditLevel::kFullCost;
+  opts.audit_ports = alloc::PortLimits{};
+  opts.audit_ports->mem_read_ports = 0;
+  opts.audit_ports->mem_write_ports = 0;
+  opts.audit_ports->reg_read_ports = 0;
+  opts.audit_ports->reg_write_ports = 0;
+  const Engine engine(opts);
+
+  std::vector<alloc::AllocationProblem> problems;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    problems.push_back(random_problem(seed));
+  }
+  const std::vector<alloc::AllocationResult> results =
+      engine.allocate_batch(problems);
+  ASSERT_EQ(results.size(), problems.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].feasible) << "problem " << i;
+    EXPECT_TRUE(results[i].audit.audited) << "problem " << i;
+    // Every one of these problems has storage traffic, so the zero-port
+    // budget must flag every single slot — siblings never mask findings.
+    EXPECT_TRUE(results[i].audit.has(audit::FindingKind::kPortOverload))
+        << "problem " << i << ": " << results[i].audit.summary();
+  }
+}
+
+TEST(Engine, AllocateBatchAuditOffLeavesResultsUntouched) {
+  EngineOptions off;
+  off.threads = 2;
+  EngineOptions on = off;
+  on.audit_level = audit::AuditLevel::kLegality;
+
+  std::vector<alloc::AllocationProblem> problems;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    problems.push_back(random_problem(seed));
+  }
+  const auto a = Engine(off).allocate_batch(problems);
+  const auto b = Engine(on).allocate_batch(problems);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_same_result(a[i], b[i], "problem " + std::to_string(i));
+    EXPECT_FALSE(a[i].audit.audited);
+    EXPECT_TRUE(b[i].audit.audited);
+    EXPECT_TRUE(b[i].audit.clean()) << b[i].audit.summary();
+  }
+}
+
+TEST(Engine, SessionCarriesAuditVerdicts) {
+  EngineOptions opts;
+  opts.threads = 4;
+  opts.audit_level = audit::AuditLevel::kFullCost;
+  const Engine engine(opts);
+  Session session = engine.open_session();
+
+  std::vector<std::size_t> tickets;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    tickets.push_back(session.submit(random_problem(seed)));
+  }
+  const std::vector<alloc::AllocationResult> results = session.collect();
+  ASSERT_EQ(results.size(), tickets.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].feasible) << "ticket " << i;
+    EXPECT_TRUE(results[i].audit.audited) << "ticket " << i;
+    EXPECT_TRUE(results[i].audit.clean())
+        << "ticket " << i << ": " << results[i].audit.summary();
+  }
+}
+
+TEST(Engine, SessionAuditFindingsDoNotBlockSiblingTickets) {
+  EngineOptions opts;
+  opts.threads = 4;
+  opts.audit_level = audit::AuditLevel::kFullCost;
+  opts.audit_ports = alloc::PortLimits{};
+  opts.audit_ports->mem_read_ports = 0;
+  const Engine engine(opts);
+  Session session = engine.open_session();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    session.submit(random_problem(seed));
+  }
+  const std::vector<alloc::AllocationResult> results = session.collect();
+  int flagged = 0;
+  for (const alloc::AllocationResult& r : results) {
+    EXPECT_TRUE(r.feasible);
+    if (!r.audit.clean()) ++flagged;
+  }
+  // Memory-heavy random problems with 4 registers always read memory
+  // somewhere, so the zero-read-port budget flags them all — and every
+  // sibling solve still delivered a result.
+  EXPECT_EQ(flagged, static_cast<int>(results.size()));
+}
+
+// ---------------------------------------------------------------------
 // Unified options
 
 TEST(Engine, LegacyOptionStructsAreTheEngineOptionCore) {

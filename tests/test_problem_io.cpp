@@ -137,6 +137,112 @@ TEST(ProblemIo, RoundTrip) {
   }
 }
 
+// write -> parse -> write must be a fixed point at the byte level: the
+// fuzzer's reproducer files are only trustworthy if reloading one and
+// re-serialising it reproduces the artifact exactly.
+TEST(ProblemIo, RoundTripIsByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    RandomLifetimeOptions lopts;
+    lopts.num_vars = 2 + static_cast<int>(seed % 7);
+    energy::EnergyParams params;
+    const alloc::AllocationProblem original = alloc::make_problem(
+        random_lifetimes(seed, lopts), lopts.num_steps,
+        1 + static_cast<int>(seed % 4), params,
+        random_activity(seed, static_cast<std::size_t>(lopts.num_vars)));
+
+    std::ostringstream first;
+    write_problem(first, original);
+    const ProblemParseResult reparsed = parse_problem(first.str(), params);
+    ASSERT_TRUE(reparsed.ok()) << "seed " << seed << ": " << reparsed.error;
+
+    std::ostringstream second;
+    write_problem(second, *reparsed.problem);
+    EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
+
+    // And the reloaded doubles are the originals, not 6-digit survivors.
+    for (std::size_t a = 0; a < original.lifetimes.size(); ++a) {
+      EXPECT_EQ(reparsed.problem->activity.initial(a),
+                original.activity.initial(a));
+      for (std::size_t b = a + 1; b < original.lifetimes.size(); ++b) {
+        EXPECT_EQ(reparsed.problem->activity.hamming(a, b),
+                  original.activity.hamming(a, b));
+      }
+    }
+  }
+}
+
+TEST(ProblemIo, WriteRestoresStreamPrecision) {
+  energy::EnergyParams params;
+  const alloc::AllocationProblem p = alloc::make_problem(
+      random_lifetimes(3), 10, 2, params, random_activity(3, 8));
+  std::ostringstream os;
+  os.precision(4);
+  write_problem(os, p);
+  EXPECT_EQ(os.precision(), 4);
+}
+
+// Degenerate shapes the shrinker routinely produces must survive the
+// trip: no variables at all, a single control step, and liveout-only
+// variables with no interior reads.
+TEST(ProblemIo, RoundTripDegenerateShapes) {
+  energy::EnergyParams params;
+
+  {  // Zero variables.
+    const alloc::AllocationProblem empty = alloc::make_problem(
+        {}, 3, 2, params, energy::ActivityMatrix(0));
+    std::ostringstream os;
+    write_problem(os, empty);
+    const ProblemParseResult r = parse_problem(os.str(), params);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.problem->lifetimes.size(), 0u);
+    EXPECT_EQ(r.problem->num_steps, 3);
+    std::ostringstream again;
+    write_problem(again, *r.problem);
+    EXPECT_EQ(os.str(), again.str());
+  }
+
+  {  // Single control step.
+    lifetime::Lifetime lt;
+    lt.value = 0;
+    lt.name = "only";
+    lt.write_time = 0;
+    lt.read_times = {1};
+    const alloc::AllocationProblem tiny = alloc::make_problem(
+        {lt}, 1, 1, params, energy::ActivityMatrix(1));
+    std::ostringstream os;
+    write_problem(os, tiny);
+    const ProblemParseResult r = parse_problem(os.str(), params);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.problem->num_steps, 1);
+    ASSERT_EQ(r.problem->lifetimes.size(), 1u);
+    EXPECT_EQ(r.problem->lifetimes[0].read_times, std::vector<int>{1});
+    std::ostringstream again;
+    write_problem(again, *r.problem);
+    EXPECT_EQ(os.str(), again.str());
+  }
+
+  {  // Liveout-only: the sole read is the live-out sentinel at x + 1.
+    lifetime::Lifetime lt;
+    lt.value = 0;
+    lt.name = "exported";
+    lt.write_time = 2;
+    lt.live_out = true;
+    lt.read_times = {6};  // num_steps + 1 sentinel.
+    const alloc::AllocationProblem liveout = alloc::make_problem(
+        {lt}, 5, 1, params, energy::ActivityMatrix(1));
+    std::ostringstream os;
+    write_problem(os, liveout);
+    const ProblemParseResult r = parse_problem(os.str(), params);
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_EQ(r.problem->lifetimes.size(), 1u);
+    EXPECT_TRUE(r.problem->lifetimes[0].live_out);
+    EXPECT_EQ(r.problem->lifetimes[0].read_times, std::vector<int>{6});
+    std::ostringstream again;
+    write_problem(again, *r.problem);
+    EXPECT_EQ(os.str(), again.str());
+  }
+}
+
 TEST(ProblemIo, RoundTripPreservesAccessModel) {
   const ProblemParseResult first = parse_problem(R"(
     steps 8
