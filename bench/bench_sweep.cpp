@@ -36,10 +36,12 @@ struct Sample {
 /// through the engine, in milliseconds.
 double time_batch_ms(const std::vector<alloc::AllocationProblem>& problems,
                      int threads,
-                     audit::AuditLevel audit = audit::AuditLevel::kOff) {
+                     audit::AuditLevel audit = audit::AuditLevel::kOff,
+                     double task_deadline_seconds = 0) {
   lera::engine::EngineOptions eopts;
   eopts.threads = threads;
   eopts.audit_level = audit;
+  eopts.task_deadline_seconds = task_deadline_seconds;
   const lera::engine::Engine engine(eopts);
   double best = 0;
   for (int rep = 0; rep < 3; ++rep) {
@@ -197,5 +199,23 @@ int main() {
   std::cout << "LERA_METRIC bench=sweep metric=audit_overhead threads="
             << threads << " batch=" << batch.size() << " off_ms=" << off_ms
             << " full_ms=" << full_ms << " overhead=" << overhead << "\n";
+
+  // Deadline supervision overhead: the same batch with a generous
+  // per-solve deadline (nothing actually times out) vs none. This
+  // prices the supervision machinery itself — deadline arithmetic plus
+  // the guards' adaptive clock polling — which should stay within noise
+  // of the unsupervised run.
+  const double plain_ms = time_batch_ms(batch, threads);
+  const double deadline_ms =
+      time_batch_ms(batch, threads, audit::AuditLevel::kOff, 60.0);
+  const double deadline_overhead = plain_ms > 0 ? deadline_ms / plain_ms : 0;
+  std::cout << "\n=== deadline overhead: 60 s per-solve deadline vs none ===\n"
+            << "no deadline:   " << report::Table::num(plain_ms) << " ms\n"
+            << "with deadline: " << report::Table::num(deadline_ms)
+            << " ms  (" << report::Table::num(deadline_overhead) << "x)\n";
+  std::cout << "LERA_METRIC bench=sweep metric=deadline_overhead threads="
+            << threads << " batch=" << batch.size()
+            << " plain_ms=" << plain_ms << " deadline_ms=" << deadline_ms
+            << " overhead=" << deadline_overhead << "\n";
   return 0;
 }

@@ -10,6 +10,13 @@
 //                   of a code kernel; -r/-p of the file take precedence
 //     --threads N   engine worker threads (0 = all cores, 1 = sequential;
 //                   results are identical either way)
+//     --deadline-ms N  wall-clock budget for the whole run; overrunning
+//                   solves degrade to the two-phase baseline (or are
+//                   skipped) and print "LERA_TIMEOUT <task> <detail>";
+//                   a run curtailed this way exits 3
+//     --retries N   re-run a solver whose answer flunks certification up
+//                   to N times (transient-fault healing) before falling
+//                   through the chain
 //     --audit L     off | legality | full (default off): run the
 //                   independent auditor on every result; findings are
 //                   printed as LERA_AUDIT lines and make the exit
@@ -26,7 +33,12 @@
 // Any infeasible allocation prints a machine-readable line
 //   LERA_ERROR <task> <reason>
 // on stdout and exits non-zero, so scripts can grep for failures
-// without parsing the human-facing report.
+// without parsing the human-facing report. Deadline-curtailed work
+// prints
+//   LERA_TIMEOUT <task> <detail>
+// the same way. Exit codes: 0 ok, 1 infeasible/usage, 2 audit
+// findings, 3 timed-out-degraded (usable but deadline-curtailed
+// output).
 //
 // With no file argument a built-in demo kernel is used. See
 // src/ir/parser.hpp and src/workloads/problem_io.hpp for the grammars.
@@ -69,6 +81,14 @@ void print_audit_findings(const std::string& task,
   }
 }
 
+/// Deadline-curtailed work, grep-friendly like LERA_ERROR (exit 3 is
+/// the caller's job).
+void print_timeout_line(const std::string& task, const std::string& detail) {
+  std::cout << "LERA_TIMEOUT " << task << " "
+            << (detail.empty() ? "deadline curtailed the solve" : detail)
+            << "\n";
+}
+
 constexpr const char* kDemo = R"(# demo: complex multiply + accumulate
 in ar, ai, br, bi, acc
 p0 = ar * br
@@ -94,6 +114,8 @@ int main(int argc, char** argv) {
   int registers = 4;
   int period = 1;
   int threads = 1;
+  int deadline_ms = 0;
+  int retries = 0;
   bool csv = false;
   bool emit_asm = false;
   bool explore = false;
@@ -135,6 +157,10 @@ int main(int argc, char** argv) {
       lifetimes_path = next();
     } else if (arg == "--threads") {
       threads = next_int("--threads");
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = next_int("--deadline-ms");
+    } else if (arg == "--retries") {
+      retries = next_int("--retries");
     } else if (arg == "--audit") {
       const std::string level = next();
       if (level == "off") {
@@ -159,7 +185,8 @@ int main(int argc, char** argv) {
     } else if (arg == "-h" || arg == "--help") {
       std::cout << "usage: allocate_tool [file.lera...] [-r N] [-p N] "
                    "[-m static|activity] [-g density|allpairs] "
-                   "[--threads N] [--audit off|legality|full] "
+                   "[--threads N] [--deadline-ms N] [--retries N] "
+                   "[--audit off|legality|full] "
                    "[--pipeline] [--explore] [--csv]\n";
       return 0;
     } else {
@@ -232,6 +259,13 @@ int main(int argc, char** argv) {
   eng_opts.alloc = alloc_opts;
   eng_opts.threads = threads;
   eng_opts.audit_level = audit_level;
+  if (deadline_ms > 0) {
+    eng_opts.run_deadline_seconds = deadline_ms / 1000.0;
+    // Anytime mode: an overrunning flow solve degrades to the two-phase
+    // baseline (flagged + exit 3) instead of failing outright.
+    eng_opts.alloc.fallback_to_baseline = true;
+  }
+  eng_opts.solver_retries = retries;
   const engine::Engine engine(eng_opts);
 
   if (pipeline) {
@@ -297,15 +331,34 @@ int main(int argc, char** argv) {
         print_audit_findings(tr.name, tr.audit);
       }
     }
+    // A task the deadline curtailed prints LERA_TIMEOUT; only tasks
+    // that are infeasible for real reasons print LERA_ERROR. Exit: a
+    // genuine infeasibility wins (1), then audit findings (2), then a
+    // deadline-curtailed-but-usable run (3).
+    bool genuine_infeasible = false;
     for (const ir::TaskId id : rep.infeasible_tasks) {
       const engine::TaskReport& tr =
           *std::find_if(rep.tasks.begin(), rep.tasks.end(),
                         [&](const engine::TaskReport& t) {
                           return t.task == id;
                         });
+      if (tr.timed_out) continue;
+      genuine_infeasible = true;
       print_error_line(tr.name, tr.failure_reason);
     }
-    return rep.all_feasible ? (audit_failed ? 2 : 0) : 1;
+    for (const ir::TaskId id : rep.timed_out_tasks) {
+      const engine::TaskReport& tr =
+          *std::find_if(rep.tasks.begin(), rep.tasks.end(),
+                        [&](const engine::TaskReport& t) {
+                          return t.task == id;
+                        });
+      print_timeout_line(tr.name, tr.feasible
+                                      ? "solve degraded under the deadline"
+                                      : tr.failure_reason);
+    }
+    if (genuine_infeasible) return 1;
+    if (audit_failed) return 2;
+    return rep.tasks_timed_out > 0 ? 3 : 0;
   }
 
   if (explore) {
@@ -337,6 +390,14 @@ int main(int argc, char** argv) {
 
   const alloc::AllocationResult r = engine.allocate_batch({p}).front();
   if (!r.feasible) {
+    if (r.timed_out) {
+      // No usable answer, but the cause is the deadline, not the
+      // problem: scripts distinguish "deadline too tight" (3) from
+      // "problem infeasible" (1).
+      print_timeout_line(source_name, r.message);
+      std::cerr << "deadline curtailed the solve: " << r.message << "\n";
+      return 3;
+    }
     print_error_line(source_name, r.message);
     std::cerr << "allocation infeasible: " << r.message << "\n";
     std::cerr << "solver diagnostics: " << r.solve_diagnostics.summary()
@@ -346,6 +407,11 @@ int main(int argc, char** argv) {
       std::cerr << "  instance error: " << issue << "\n";
     }
     return 1;
+  }
+  int exit_code = 0;
+  if (r.timed_out) {
+    exit_code = 3;
+    print_timeout_line(source_name, "solve degraded under the deadline");
   }
   if (r.degraded) {
     std::cerr << "warning: " << r.message << "\n";
@@ -376,6 +442,7 @@ int main(int argc, char** argv) {
               << "mem_locations," << r.stats.mem_locations << "\n"
               << "energy," << r.energy(p) << "\n"
               << "degraded," << (r.degraded ? 1 : 0) << "\n"
+              << "timed_out," << (r.timed_out ? 1 : 0) << "\n"
               << "solver,"
               << (r.degraded
                       ? std::string("two-phase-baseline")
@@ -383,7 +450,7 @@ int main(int argc, char** argv) {
               << "\n"
               << "solver_fallbacks,"
               << r.solve_diagnostics.fallbacks_taken << "\n";
-    return 0;
+    return exit_code;
   }
 
   report::draw_lifetimes(std::cout, p, &r.assignment);
@@ -409,5 +476,5 @@ int main(int argc, char** argv) {
                     ? "static"
                     : "activity")
             << " model)\n";
-  return 0;
+  return exit_code;
 }

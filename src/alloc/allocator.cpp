@@ -54,11 +54,16 @@ AllocationResult solve_with_spec(const AllocationProblem& p,
         result.message = "bad flow instance: " + sol.message;
         break;
       case netflow::SolveStatus::kBudgetExceeded:
+        result.timed_out = result.solve_diagnostics.deadline_hit;
         result.message = "solve budget exhausted: " + sol.message;
         break;
       case netflow::SolveStatus::kUncertified:
         result.message =
             "solver chain failed certification: " + sol.message;
+        break;
+      case netflow::SolveStatus::kCancelled:
+        result.cancelled = true;
+        result.message = "solve cancelled: " + sol.message;
         break;
       case netflow::SolveStatus::kOptimal:
         break;  // Unreachable.
@@ -120,7 +125,11 @@ AllocationResult solve_or_degrade(const AllocationProblem& p,
                                   const FlowGraphSpec& spec,
                                   const AllocatorOptions& options) {
   AllocationResult result = solve_with_spec(p, spec, options);
-  if (result.feasible || !options.fallback_to_baseline) return result;
+  // A cancelled request is never degraded: the caller withdrew it, so
+  // spending baseline time on an answer nobody wants would be waste.
+  if (result.feasible || result.cancelled || !options.fallback_to_baseline) {
+    return result;
+  }
 
   TwoPhaseOptions baseline;
   baseline.solver = options.solver;
@@ -132,6 +141,7 @@ AllocationResult solve_or_degrade(const AllocationProblem& p,
     return result;
   }
   fallback.degraded = true;
+  fallback.timed_out = result.timed_out;
   fallback.solve_diagnostics = std::move(result.solve_diagnostics);
   fallback.message =
       "degraded to two-phase baseline (" + result.message + ")";

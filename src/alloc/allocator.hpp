@@ -42,6 +42,15 @@ struct AllocationResult {
   /// True when the optimal flow path failed and the result came from the
   /// two-phase baseline instead (see AllocatorOptions::fallback_to_baseline).
   bool degraded = false;
+  /// The wall clock — a per-solve budget or a deadline — stopped the flow
+  /// solve (SolveDiagnostics::deadline_hit). Combined with `degraded` this
+  /// is the anytime verdict: a usable baseline answer produced because the
+  /// optimal one ran out of time.
+  bool timed_out = false;
+  /// A CancelToken withdrew the request mid-solve. A cancelled result is
+  /// never degraded to the baseline — the caller no longer wants any
+  /// answer — and carries no assignment.
+  bool cancelled = false;
   /// What the robust solve layer observed: validation findings, solver
   /// attempts/fallbacks, certification verdict, wall time.
   netflow::SolveDiagnostics solve_diagnostics;

@@ -1,6 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <random>
@@ -11,6 +12,68 @@
 namespace lera::engine {
 
 namespace {
+
+/// The supervision state one Engine entry point threads into its
+/// solves: the run-wide deadline (armed at entry), the cancel token the
+/// solves observe, and the shared breaker/stats. All observation-only
+/// until a knob is set — a default Supervision leaves the solve path
+/// bit-identical to the unsupervised engine.
+struct Supervision {
+  netflow::Deadline run_deadline;
+  netflow::CancelToken cancel;
+  netflow::CircuitBreaker* breaker = nullptr;
+  detail::EngineStatsCore* stats = nullptr;
+};
+
+/// Arms the run-wide deadline for one entry-point call.
+netflow::Deadline run_deadline_of(const EngineOptions& options) {
+  return options.run_deadline_seconds > 0
+             ? netflow::Deadline::after(options.run_deadline_seconds)
+             : netflow::Deadline();
+}
+
+/// One request's effective deadline: the tighter of the run-wide
+/// deadline and a fresh per-request one.
+netflow::Deadline request_deadline(const EngineOptions& options,
+                                   const netflow::Deadline& run_deadline) {
+  netflow::Deadline d = run_deadline;
+  if (options.task_deadline_seconds > 0) {
+    d = netflow::Deadline::earlier(
+        d, netflow::Deadline::after(options.task_deadline_seconds));
+  }
+  return d;
+}
+
+/// Threads the supervision knobs into one solve's allocator options.
+/// Only knobs that are actually set override anything, so a caller's
+/// hand-rolled SolveOptions keep working.
+void apply_supervision(alloc::AllocatorOptions& a, const EngineOptions& o,
+                       const netflow::Deadline& deadline,
+                       const netflow::CancelToken& cancel,
+                       netflow::CircuitBreaker* breaker) {
+  a.solve.cancel = cancel;
+  a.solve.deadline = netflow::Deadline::earlier(a.solve.deadline, deadline);
+  if (o.solver_retries > 0) {
+    a.solve.max_retries_per_solver = o.solver_retries;
+    a.solve.retry_backoff_seconds = o.retry_backoff_seconds;
+    a.solve.retry_seed = o.retry_seed;
+  }
+  if (breaker != nullptr) a.solve.breaker = breaker;
+}
+
+/// Books one finished allocator call into the stats core.
+void record_solve(detail::EngineStatsCore* stats,
+                  const alloc::AllocationResult& r) {
+  if (stats == nullptr) return;
+  stats->completed.fetch_add(1, std::memory_order_relaxed);
+  if (r.cancelled) stats->cancelled.fetch_add(1, std::memory_order_relaxed);
+  if (r.timed_out) stats->timed_out.fetch_add(1, std::memory_order_relaxed);
+  if (r.degraded) stats->degraded.fetch_add(1, std::memory_order_relaxed);
+  if (r.solve_diagnostics.retries > 0) {
+    stats->retried.fetch_add(r.solve_diagnostics.retries,
+                             std::memory_order_relaxed);
+  }
+}
 
 /// Maps the engine's audit knobs onto the auditor and stamps the
 /// verdict into the result. Auditing is observation-only: it never
@@ -51,10 +114,27 @@ std::vector<std::vector<std::int64_t>> make_trace(const ir::BasicBlock& bb,
 /// One task's end of the §5 methodology: schedule, trace, allocate,
 /// re-pack memory. Pure function of (task, options) — safe to run on any
 /// thread concurrently with other tasks.
-TaskReport solve_task(const ir::Task& task, const EngineOptions& options) {
+TaskReport solve_task(const ir::Task& task, const EngineOptions& options,
+                      const Supervision& sup) {
   TaskReport tr;
   tr.task = task.id;
   tr.name = task.name;
+
+  // Anytime contract: work not yet started when the run deadline fires
+  // (or the run is cancelled) is skipped outright and flagged — the
+  // report stays partial-but-honest instead of blocking past the
+  // deadline on tasks nobody will wait for.
+  if (sup.run_deadline.expired()) {
+    tr.timed_out = true;
+    tr.failure_reason = "run deadline expired before the task started";
+    tr.solve_summary = "[skipped: run deadline expired]";
+    return tr;
+  }
+  if (sup.cancel.cancelled()) {
+    tr.failure_reason = "cancelled before the task started";
+    tr.solve_summary = "[skipped: cancelled]";
+    return tr;
+  }
 
   const sched::Schedule schedule =
       sched::list_schedule(task.block, options.resources);
@@ -71,17 +151,29 @@ TaskReport solve_task(const ir::Task& task, const EngineOptions& options) {
       options.split);
   tr.max_density = p.max_density();
 
+  const netflow::Deadline deadline =
+      request_deadline(options, sup.run_deadline);
   alloc::AllocatorOptions alloc_options = options.alloc;
   alloc_options.fallback_to_baseline =
       alloc_options.fallback_to_baseline ||
       options.degrade_on_solver_failure;
+  apply_supervision(alloc_options, options, deadline, sup.cancel,
+                    sup.breaker);
+  if (sup.stats != nullptr) {
+    sup.stats->started.fetch_add(1, std::memory_order_relaxed);
+  }
   tr.result = alloc::allocate(p, alloc_options);
+  record_solve(sup.stats, tr.result);
   maybe_audit(p, tr.result, options);
   tr.audit = tr.result.audit;
   tr.feasible = tr.result.feasible;
+  tr.timed_out = tr.result.timed_out;
   tr.solve_summary = tr.result.solve_diagnostics.summary();
   if (tr.result.degraded) {
     tr.solve_summary += " [degraded to two-phase baseline]";
+  }
+  if (tr.result.timed_out) {
+    tr.solve_summary += " [timed out]";
   }
   if (!tr.feasible) {
     tr.failure_reason = tr.result.message.empty()
@@ -92,9 +184,16 @@ TaskReport solve_task(const ir::Task& task, const EngineOptions& options) {
   }
 
   if (options.relayout_memory) {
-    tr.layout = alloc::optimize_memory_layout(
-        p, tr.result.assignment, options.alloc.quantizer,
-        options.alloc.solver);
+    // The relayout flow is not worth starting on an expired deadline;
+    // the allocation above is complete and usable without it.
+    if (deadline.expired()) {
+      tr.timed_out = true;
+      tr.solve_summary += " [relayout skipped: deadline expired]";
+    } else {
+      tr.layout = alloc::optimize_memory_layout(
+          p, tr.result.assignment, options.alloc.quantizer,
+          options.alloc.solver);
+    }
   }
   return tr;
 }
@@ -104,13 +203,26 @@ TaskReport solve_task(const ir::Task& task, const EngineOptions& options) {
 /// any thread.
 ScheduleCandidate evaluate_candidate(const ir::BasicBlock& bb,
                                      ScheduleCandidate c,
-                                     const EngineOptions& options) {
+                                     const EngineOptions& options,
+                                     const Supervision& sup) {
   c.length = c.schedule.length(bb);
+  // Same anytime contract as solve_task: candidates not started when
+  // the run deadline fires (or the run is cancelled) stay infeasible
+  // instead of blocking the explore past its budget.
+  if (sup.run_deadline.expired() || sup.cancel.cancelled()) return c;
   const alloc::AllocationProblem p = alloc::make_problem_from_block(
       bb, c.schedule, options.num_registers, options.params, {},
       options.split);
   c.max_density = p.max_density();
-  const alloc::AllocationResult r = alloc::allocate(p, options.alloc);
+  alloc::AllocatorOptions alloc_options = options.alloc;
+  apply_supervision(alloc_options, options,
+                    request_deadline(options, sup.run_deadline), sup.cancel,
+                    sup.breaker);
+  if (sup.stats != nullptr) {
+    sup.stats->started.fetch_add(1, std::memory_order_relaxed);
+  }
+  const alloc::AllocationResult r = alloc::allocate(p, alloc_options);
+  record_solve(sup.stats, r);
   if (r.feasible && (options.deadline == 0 || c.length <= options.deadline)) {
     c.feasible = true;
     c.energy = r.energy(p);
@@ -122,16 +234,51 @@ ScheduleCandidate evaluate_candidate(const ir::BasicBlock& bb,
 
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
+      breaker_(options_.breaker_threshold > 0
+                   ? std::make_shared<netflow::CircuitBreaker>(
+                         options_.breaker_threshold)
+                   : nullptr),
+      stats_core_(std::make_shared<detail::EngineStatsCore>()),
       pool_(std::make_unique<ThreadPool>(options_.threads)) {}
 
+Engine::~Engine() {
+  // Graceful drain: fire the shutdown token first so every queued or
+  // in-flight solve (Session jobs included — their tokens chain to this
+  // one) winds down at its next poll, then join the pool. The pool
+  // destructor runs the remaining queue, so every ticket still reaches
+  // a terminal state; it just reaches it fast.
+  shutdown_.request_cancel();
+  pool_.reset();
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.solves_started = stats_core_->started.load(std::memory_order_relaxed);
+  s.solves_completed =
+      stats_core_->completed.load(std::memory_order_relaxed);
+  s.solves_cancelled =
+      stats_core_->cancelled.load(std::memory_order_relaxed);
+  s.solves_timed_out =
+      stats_core_->timed_out.load(std::memory_order_relaxed);
+  s.solves_degraded = stats_core_->degraded.load(std::memory_order_relaxed);
+  s.solves_retried = stats_core_->retried.load(std::memory_order_relaxed);
+  if (breaker_ != nullptr) {
+    s.breaker_threshold = breaker_->threshold();
+    s.open_breakers = breaker_->open_solvers();
+  }
+  return s;
+}
+
 PipelineReport Engine::run(const ir::TaskGraph& graph) const {
+  const Supervision sup{run_deadline_of(options_), shutdown_,
+                        breaker_.get(), stats_core_.get()};
   const std::vector<ir::TaskId> order = graph.topological_order();
   std::vector<TaskReport> tasks(order.size());
 
   // Fan the independent per-task solves out; slot i belongs to the i-th
   // task in topological order regardless of which thread solves it.
   pool_->parallel_for(order.size(), [&](std::size_t i) {
-    tasks[i] = solve_task(graph.task(order[i]), options_);
+    tasks[i] = solve_task(graph.task(order[i]), options_, sup);
   });
 
   // Aggregate sequentially in topological order: the report is built in
@@ -141,6 +288,10 @@ PipelineReport Engine::run(const ir::TaskGraph& graph) const {
   report.tasks.reserve(tasks.size());
   for (TaskReport& tr : tasks) {
     if (tr.result.degraded) ++report.tasks_degraded;
+    if (tr.timed_out) {
+      ++report.tasks_timed_out;
+      report.timed_out_tasks.push_back(tr.task);
+    }
     if (tr.audit.audited && !tr.audit.clean()) {
       ++report.tasks_with_audit_findings;
     }
@@ -168,6 +319,8 @@ PipelineReport Engine::run(const ir::TaskGraph& graph) const {
 }
 
 ExploreResult Engine::explore(const ir::BasicBlock& bb) const {
+  const Supervision sup{run_deadline_of(options_), shutdown_,
+                        breaker_.get(), stats_core_.get()};
   ExploreResult out;
 
   // Candidate generation is cheap and order-defining: do it inline.
@@ -190,7 +343,7 @@ ExploreResult Engine::explore(const ir::BasicBlock& bb) const {
   // expensive part and candidates are independent: fan out.
   pool_->parallel_for(out.candidates.size(), [&](std::size_t i) {
     out.candidates[i] =
-        evaluate_candidate(bb, std::move(out.candidates[i]), options_);
+        evaluate_candidate(bb, std::move(out.candidates[i]), options_, sup);
   });
 
   for (std::size_t i = 0; i < out.candidates.size(); ++i) {
@@ -207,15 +360,50 @@ ExploreResult Engine::explore(const ir::BasicBlock& bb) const {
 
 std::vector<alloc::AllocationResult> Engine::allocate_batch(
     const std::vector<alloc::AllocationProblem>& problems) const {
+  const Supervision sup{run_deadline_of(options_), shutdown_,
+                        breaker_.get(), stats_core_.get()};
   std::vector<alloc::AllocationResult> results(problems.size());
   pool_->parallel_for(problems.size(), [&](std::size_t i) {
-    results[i] = alloc::allocate(problems[i], options_.alloc);
+    // Anytime contract: problems not started when the run deadline
+    // fires (or the engine shuts down) are skipped before paying the
+    // flow-graph build, flagged on their result.
+    if (sup.run_deadline.expired()) {
+      results[i].timed_out = true;
+      results[i].message = "run deadline expired before the solve started";
+      return;
+    }
+    if (sup.cancel.cancelled()) {
+      results[i].cancelled = true;
+      results[i].message = "cancelled before the solve started";
+      return;
+    }
+    alloc::AllocatorOptions alloc_options = options_.alloc;
+    apply_supervision(alloc_options, options_,
+                      request_deadline(options_, sup.run_deadline),
+                      sup.cancel, sup.breaker);
+    sup.stats->started.fetch_add(1, std::memory_order_relaxed);
+    results[i] = alloc::allocate(problems[i], alloc_options);
+    record_solve(sup.stats, results[i]);
     maybe_audit(problems[i], results[i], options_);
   });
   return results;
 }
 
 // --- Session ------------------------------------------------------------
+
+std::string to_string(TicketStatus status) {
+  switch (status) {
+    case TicketStatus::kPending:
+      return "pending";
+    case TicketStatus::kRunning:
+      return "running";
+    case TicketStatus::kDone:
+      return "done";
+    case TicketStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
 
 /// Shared between the Session handle and in-flight pool jobs, so a
 /// Session can be moved (or destroyed) while solves are still running.
@@ -226,30 +414,67 @@ struct Session::State {
   /// unique_ptr: growing the vector never moves a slot a worker writes.
   std::vector<std::unique_ptr<alloc::AllocationResult>> results;
   std::vector<bool> done;
+  std::vector<bool> running;
+  /// Ticket i's cancel token: a child of `all`, which is itself a child
+  /// of the engine's shutdown token, so cancel(ticket) < cancel_all() <
+  /// ~Engine each widen the blast radius without extra bookkeeping.
+  std::vector<netflow::CancelToken> tokens;
+  netflow::CancelToken all;
 };
 
 Session::Session(const Engine& engine)
-    : engine_(&engine), state_(std::make_shared<State>()) {}
+    : engine_(&engine), state_(std::make_shared<State>()) {
+  state_->all = engine.shutdown_.child();
+}
 
 std::size_t Session::submit(alloc::AllocationProblem problem) {
+  return submit(std::move(problem), 0);
+}
+
+std::size_t Session::submit(alloc::AllocationProblem problem,
+                            double deadline_seconds) {
   std::size_t ticket;
   alloc::AllocationResult* slot;
+  netflow::CancelToken token;
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
     ticket = state_->results.size();
     state_->results.push_back(std::make_unique<alloc::AllocationResult>());
     state_->done.push_back(false);
+    state_->running.push_back(false);
+    state_->tokens.push_back(state_->all.child());
+    token = state_->tokens.back();
     slot = state_->results.back().get();
   }
-  // The job owns its problem and a share of the state; it never touches
-  // the Session handle, so moving/destroying the Session is safe.
+  // Per-request deadline, armed at submission so queue wait counts
+  // against it — a deadline is a promise to the requester, not to the
+  // worker that eventually picks the job up.
+  const double budget = deadline_seconds > 0
+                            ? deadline_seconds
+                            : engine_->options_.task_deadline_seconds;
+  const netflow::Deadline deadline =
+      budget > 0 ? netflow::Deadline::after(budget) : netflow::Deadline();
+  // The job owns its problem and a share of the state (and of the
+  // engine's breaker/stats); it never touches the Session handle, so
+  // moving/destroying the Session is safe.
   engine_->pool_->submit(
       [state = state_, slot, problem = std::move(problem),
-       options = engine_->options_, ticket] {
-        *slot = alloc::allocate(problem, options.alloc);
+       options = engine_->options_, ticket, token, deadline,
+       stats = engine_->stats_core_, breaker = engine_->breaker_] {
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->running[ticket] = true;
+        }
+        alloc::AllocatorOptions alloc_options = options.alloc;
+        apply_supervision(alloc_options, options, deadline, token,
+                          breaker.get());
+        stats->started.fetch_add(1, std::memory_order_relaxed);
+        *slot = alloc::allocate(problem, alloc_options);
+        record_solve(stats.get(), *slot);
         maybe_audit(problem, *slot, options);
         {
           std::lock_guard<std::mutex> lock(state->mutex);
+          state->running[ticket] = false;
           state->done[ticket] = true;
         }
         state->done_changed.notify_all();
@@ -269,6 +494,46 @@ const alloc::AllocationResult& Session::result(std::size_t ticket) const {
                          state_->done[ticket]; });
   return *state_->results[ticket];
 }
+
+const alloc::AllocationResult* Session::try_result(
+    std::size_t ticket) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (ticket >= state_->done.size() || !state_->done[ticket]) {
+    return nullptr;
+  }
+  return state_->results[ticket].get();
+}
+
+bool Session::wait_for(std::size_t ticket, double seconds) const {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->done_changed.wait_for(
+      lock, std::chrono::duration<double>(seconds),
+      [&] { return ticket < state_->done.size() && state_->done[ticket]; });
+}
+
+TicketStatus Session::status(std::size_t ticket) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (ticket >= state_->done.size()) return TicketStatus::kPending;
+  if (state_->done[ticket]) {
+    return state_->results[ticket]->cancelled ? TicketStatus::kCancelled
+                                              : TicketStatus::kDone;
+  }
+  if (state_->tokens[ticket].cancelled()) return TicketStatus::kCancelled;
+  return state_->running[ticket] ? TicketStatus::kRunning
+                                 : TicketStatus::kPending;
+}
+
+void Session::cancel(std::size_t ticket) {
+  netflow::CancelToken token;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (ticket >= state_->tokens.size()) return;
+    token = state_->tokens[ticket];
+  }
+  token.request_cancel();
+}
+
+void Session::cancel_all() { state_->all.request_cancel(); }
 
 std::vector<alloc::AllocationResult> Session::collect() {
   std::unique_lock<std::mutex> lock(state_->mutex);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -12,6 +13,7 @@
 #include "audit/report.hpp"
 #include "engine/thread_pool.hpp"
 #include "ir/task_graph.hpp"
+#include "netflow/cancel.hpp"
 #include "sched/schedule.hpp"
 
 /// \file engine.hpp
@@ -82,13 +84,81 @@ struct EngineOptions {
   std::optional<alloc::PortLimits> audit_ports;
 
   // --- explore(): schedule candidate generation -------------------------
-  /// Latest acceptable schedule length (0 = no deadline).
+  /// Latest acceptable schedule length in cycles (0 = no length limit).
+  /// Unrelated to the wall-clock deadlines below.
   int deadline = 0;
   /// Resource sweeps for the list scheduler.
   std::vector<sched::Resources> resource_options{{1, 1}, {2, 1}, {2, 2}};
   /// Extra latency slack levels for force-directed schedules.
   std::vector<int> slack_options{0, 2, 4};
+
+  // --- Supervision: deadlines, retry, circuit breaking ------------------
+  /// With every knob here at its default, the engine's output is
+  /// bit-identical to the unsupervised engine — the supervision layer
+  /// only ever observes the solve path until a knob turns it on.
+  ///
+  /// Wall-clock budget for one solve request, in seconds (0 = none).
+  /// Counted from when the request's task starts (run/explore) or from
+  /// submission (Session::submit). An overrunning flow solve is
+  /// cancelled and — under degrade_on_solver_failure / the allocator's
+  /// fallback_to_baseline — degraded to the two-phase baseline, flagged
+  /// timed_out + degraded: an anytime answer, never a silent hang.
+  double task_deadline_seconds = 0;
+  /// Wall-clock budget for one whole run()/explore()/allocate_batch()
+  /// call, in seconds (0 = none). When it expires mid-run, work not yet
+  /// started is skipped (flagged timed_out) and in-flight solves wind
+  /// down as for task_deadline_seconds; the partial report still
+  /// aggregates everything that did finish.
+  double run_deadline_seconds = 0;
+  /// Transient-failure retries per solver: re-run a solver whose answer
+  /// flunked certification up to this many times before falling through
+  /// the chain (netflow::SolveOptions::max_retries_per_solver).
+  int solver_retries = 0;
+  /// Base of the seeded jittered exponential backoff between retries.
+  double retry_backoff_seconds = 0;
+  /// Seed of the backoff jitter.
+  std::uint64_t retry_seed = 1;
+  /// Consecutive certification failures after which a solver's circuit
+  /// breaker opens and the engine skips it in subsequent solves
+  /// (netflow::CircuitBreaker). 0 = no breaker.
+  int breaker_threshold = 0;
 };
+
+/// Snapshot of the engine's supervision counters (Engine::stats()).
+/// "Solves" are allocator calls the engine issued: one per task in
+/// run(), one per candidate in explore(), one per problem in
+/// allocate_batch() / Session::submit. Work skipped outright (run
+/// deadline expired before start) is not a started solve.
+struct EngineStats {
+  std::int64_t solves_started = 0;
+  std::int64_t solves_completed = 0;
+  /// Completed solves a CancelToken withdrew (session cancel / engine
+  /// shutdown); always also counted in solves_completed.
+  std::int64_t solves_cancelled = 0;
+  /// Completed solves whose flow phase ran out of wall clock.
+  std::int64_t solves_timed_out = 0;
+  /// Completed solves answered by the two-phase baseline.
+  std::int64_t solves_degraded = 0;
+  /// Transient-failure re-runs summed over all solves.
+  std::int64_t solves_retried = 0;
+  /// Solvers whose circuit breaker is currently open (display names;
+  /// empty when breaker_threshold is 0).
+  std::vector<std::string> open_breakers;
+  int breaker_threshold = 0;
+};
+
+namespace detail {
+/// Lock-free counters behind EngineStats, shared (by shared_ptr) with
+/// queued Session jobs so they outlive any one handle.
+struct EngineStatsCore {
+  std::atomic<std::int64_t> started{0};
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> cancelled{0};
+  std::atomic<std::int64_t> timed_out{0};
+  std::atomic<std::int64_t> degraded{0};
+  std::atomic<std::int64_t> retried{0};
+};
+}  // namespace detail
 
 struct TaskReport {
   ir::TaskId task = -1;
@@ -99,6 +169,10 @@ struct TaskReport {
   /// Why this task failed (empty when feasible): the allocator's
   /// diagnostic message, e.g. which resource could not be covered.
   std::string failure_reason;
+  /// A wall-clock deadline curtailed this task: its solve was skipped or
+  /// degraded, or its relayout was skipped (mirrors result.timed_out
+  /// plus the skipped-outright cases). See PipelineReport::timed_out_tasks.
+  bool timed_out = false;
   int schedule_length = 0;
   int max_density = 0;
   alloc::AllocationResult result;
@@ -124,6 +198,12 @@ struct PipelineReport {
   /// flow solves that did succeed.
   int tasks_degraded = 0;
   int total_solver_fallbacks = 0;
+  /// Tasks a wall-clock deadline curtailed (TaskReport::timed_out), in
+  /// topological order. A timed-out task may still be feasible — the
+  /// anytime contract degrades it to the baseline when possible — so
+  /// this is disjoint bookkeeping from infeasible_tasks.
+  int tasks_timed_out = 0;
+  std::vector<ir::TaskId> timed_out_tasks;
   /// Tasks whose independent audit reported findings (0 when
   /// EngineOptions::audit_level is kOff).
   int tasks_with_audit_findings = 0;
@@ -156,18 +236,45 @@ struct ExploreResult {
 
 class Engine;
 
+/// Lifecycle of one Session ticket. Every ticket reaches a terminal
+/// state (kDone or kCancelled) even across cancellation and engine
+/// shutdown: cancelled jobs still run, fast-exit at their first poll,
+/// and publish a result with AllocationResult::cancelled set.
+enum class TicketStatus {
+  kPending,    ///< Queued, not yet picked up by a worker.
+  kRunning,    ///< A worker is solving it right now.
+  kDone,       ///< Result available (possibly timed-out/degraded).
+  kCancelled,  ///< Cancellation requested or already took effect; the
+               ///< result (once done) carries cancelled=true.
+};
+
+std::string to_string(TicketStatus status);
+
 /// Incremental batched solving: submit problems as they become
 /// available, read results by ticket. Work starts immediately on the
 /// Engine's pool; results are indexed by submission order, never by
 /// completion order. A Session must not outlive its Engine.
+///
+/// Supervision: every ticket carries its own CancelToken, chained
+/// session -> engine, so cancel(ticket) withdraws one solve,
+/// cancel_all() the whole session, and destroying the Engine the whole
+/// world — in-flight solves wind down cooperatively at their next
+/// guard poll rather than blocking to completion.
 class Session {
  public:
   Session(Session&&) = default;
   Session& operator=(Session&&) = default;
 
   /// Enqueues one allocation solve; returns its ticket (the submission
-  /// index, dense from 0).
+  /// index, dense from 0). The request inherits the engine's
+  /// task_deadline_seconds (counted from submission, queue wait
+  /// included).
   std::size_t submit(alloc::AllocationProblem problem);
+
+  /// \overload with an explicit per-request deadline in seconds from
+  /// submission; <= 0 falls back to the engine's task_deadline_seconds.
+  std::size_t submit(alloc::AllocationProblem problem,
+                     double deadline_seconds);
 
   std::size_t submitted() const;
 
@@ -175,8 +282,27 @@ class Session {
   /// valid until the Session is destroyed.
   const alloc::AllocationResult& result(std::size_t ticket) const;
 
+  /// Non-blocking peek: the result if \p ticket already finished,
+  /// nullptr otherwise (including unknown tickets).
+  const alloc::AllocationResult* try_result(std::size_t ticket) const;
+
+  /// Blocks until \p ticket finishes or \p seconds elapse; true when
+  /// the result is available.
+  bool wait_for(std::size_t ticket, double seconds) const;
+
+  TicketStatus status(std::size_t ticket) const;
+
+  /// Withdraws one request. Queued jobs fast-exit when a worker reaches
+  /// them; a running solve stops at its next guard poll. Idempotent;
+  /// too late to matter once the ticket is done.
+  void cancel(std::size_t ticket);
+
+  /// Withdraws every request of this session, current and future.
+  void cancel_all();
+
   /// Blocks until every submitted solve finishes and returns all
-  /// results in submission order.
+  /// results in submission order (cancelled tickets included, flagged
+  /// on the result).
   std::vector<alloc::AllocationResult> collect();
 
  private:
@@ -191,6 +317,14 @@ class Session {
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+
+  /// Graceful drain: fires the engine-wide shutdown token (every queued
+  /// or in-flight solve — Session jobs included — winds down at its
+  /// next poll), then joins the pool. Never blocks on a full solve.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   const EngineOptions& options() const { return options_; }
   /// Resolved thread count (options.threads with 0 expanded).
@@ -215,10 +349,25 @@ class Engine {
   /// Opens an incremental batching session (see Session).
   Session open_session() const { return Session(*this); }
 
+  /// Snapshot of the supervision counters and breaker state. Counters
+  /// are monotonic over the engine's lifetime and shared by every entry
+  /// point and session.
+  EngineStats stats() const;
+
+  /// The engine-wide shutdown token (parent of every session token).
+  /// Exposed so callers can chain their own tokens under the engine's
+  /// lifetime; fired by ~Engine.
+  netflow::CancelToken shutdown_token() const { return shutdown_; }
+
  private:
   friend class Session;
 
   EngineOptions options_;
+  netflow::CancelToken shutdown_{netflow::CancelToken::make()};
+  /// Non-null when options_.breaker_threshold > 0; shared with queued
+  /// Session jobs so it outlives any one handle.
+  std::shared_ptr<netflow::CircuitBreaker> breaker_;
+  std::shared_ptr<detail::EngineStatsCore> stats_core_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

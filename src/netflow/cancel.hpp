@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+/// \file cancel.hpp
+/// Cooperative cancellation and wall-clock deadlines, shared by every
+/// layer of the solve stack. A CancelToken is a copyable handle to a
+/// shared flag: the owner calls request_cancel(), and anything polling
+/// the token (SolveGuard::tick(), the engine's task loops, queued
+/// Session jobs) winds down at its next check instead of blocking to
+/// completion. Tokens chain: a child token reports cancelled when any
+/// ancestor is, which is how one Engine-wide shutdown token fans out to
+/// per-session and per-ticket tokens without bookkeeping.
+///
+/// A Deadline is an absolute point on the steady clock (never the wall
+/// clock of the calendar, which can jump). Layers combine deadlines by
+/// taking the earlier one and convert to "remaining seconds" right
+/// before arming a SolveGuard.
+
+namespace lera::netflow {
+
+/// Copyable, thread-safe cancellation handle. A default-constructed
+/// token is inert: it never reports cancelled and request_cancel() on it
+/// is a no-op. Use CancelToken::make() for a live token and child() to
+/// derive tokens that inherit an ancestor's cancellation.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Fresh, independently cancellable token.
+  static CancelToken make() {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// Token that is cancelled when either it or this (or any ancestor of
+  /// this) is cancelled. Calling child() on an inert token returns a
+  /// fresh independent token.
+  CancelToken child() const {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    t.state_->parent = state_;
+    return t;
+  }
+
+  /// Requests cancellation; sticky and idempotent. Safe from any thread.
+  void request_cancel() {
+    if (state_ != nullptr) {
+      state_->flag.store(true, std::memory_order_release);
+    }
+  }
+
+  /// True once this token or any ancestor was cancelled.
+  bool cancelled() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->flag.load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  }
+
+  /// False for the inert default token (which can never fire).
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    std::shared_ptr<const State> parent;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Absolute steady-clock deadline. Default-constructed = unlimited.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// Deadline \p seconds from now. Non-positive seconds produce an
+  /// already-expired deadline, not an unlimited one — callers encode
+  /// "no deadline" by not constructing one.
+  static Deadline after(double seconds) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline at(Clock::time_point when) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.at_ = when;
+    return d;
+  }
+
+  /// The earlier of two deadlines (unlimited acts as +infinity).
+  static Deadline earlier(const Deadline& a, const Deadline& b) {
+    if (a.unlimited_) return b;
+    if (b.unlimited_) return a;
+    return a.at_ < b.at_ ? a : b;
+  }
+
+  bool unlimited() const { return unlimited_; }
+
+  bool expired() const { return !unlimited_ && Clock::now() >= at_; }
+
+  /// Seconds until expiry: +infinity when unlimited, <= 0 once expired.
+  double remaining_seconds() const {
+    if (unlimited_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
+ private:
+  bool unlimited_ = true;
+  Clock::time_point at_{};
+};
+
+}  // namespace lera::netflow

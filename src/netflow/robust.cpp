@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "netflow/validate.hpp"
 
@@ -33,6 +35,16 @@ std::string to_string(CertificationVerdict verdict) {
   return "unknown";
 }
 
+std::vector<std::string> CircuitBreaker::open_solvers() const {
+  std::vector<std::string> out;
+  for (SolverKind kind :
+       {SolverKind::kSuccessiveShortestPaths, SolverKind::kCycleCanceling,
+        SolverKind::kNetworkSimplex, SolverKind::kCostScaling}) {
+    if (open(kind)) out.push_back(to_string(kind));
+  }
+  return out;
+}
+
 std::string SolveDiagnostics::summary() const {
   std::ostringstream os;
   os << message;
@@ -42,7 +54,13 @@ std::string SolveDiagnostics::summary() const {
       os << " " << to_string(a.solver) << "=" << to_string(a.status);
       if (!a.certified && !a.note.empty()) os << "(rejected)";
     }
+    if (retries > 0) os << " retries=" << retries;
     os << " cert=" << to_string(certification) << "]";
+  }
+  if (!breaker_skips.empty()) {
+    os << " [breaker-skipped:";
+    for (const std::string& s : breaker_skips) os << " " << s;
+    os << "]";
   }
   return os.str();
 }
@@ -172,6 +190,29 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
     diag.wall_seconds = elapsed();
     return sol;
   };
+  /// Seconds of time budget left: the tighter of max_seconds_total and
+  /// the absolute deadline; +infinity when neither is configured.
+  auto remaining_budget = [&]() {
+    double remaining = std::numeric_limits<double>::infinity();
+    if (options.max_seconds_total > 0) {
+      remaining = options.max_seconds_total - elapsed();
+    }
+    if (!options.deadline.unlimited()) {
+      remaining = std::min(remaining, options.deadline.remaining_seconds());
+    }
+    return remaining;
+  };
+  auto cancelled_verdict = [&]() {
+    diag.cancelled = true;
+    FlowSolution out;
+    out.status = SolveStatus::kCancelled;
+    out.message = "cancelled by caller";
+    diag.message = "cancelled after " +
+                   std::to_string(diag.attempts.size()) + " attempt(s)";
+    return finish(out);
+  };
+
+  if (options.cancel.cancelled()) return cancelled_verdict();
 
   const InstanceReport report = validate_instance(g);
   diag.instance_errors = report.errors;
@@ -193,87 +234,150 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
   FlowSolution uncertified;
   bool have_uncertified = false;
   bool budget_hit = false;
+  bool chain_stopped = false;
+
+  // Seeded backoff jitter (splitmix64), deterministic per solve.
+  std::uint64_t rng_state =
+      options.retry_seed * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL;
+  auto backoff = [&](int retry) {
+    if (options.retry_backoff_seconds <= 0) return;
+    std::uint64_t z = (rng_state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double jitter =
+        0.5 + 0.5 * (static_cast<double>(z >> 11) / 9007199254740992.0);
+    double sleep_s = options.retry_backoff_seconds *
+                     static_cast<double>(std::int64_t{1}
+                                         << std::min(retry, 20)) *
+                     jitter;
+    const double remaining = remaining_budget();
+    if (remaining < sleep_s) sleep_s = std::max(0.0, remaining);
+    if (sleep_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    }
+  };
 
   for (SolverKind kind : chain) {
-    SolveGuard guard;
-    guard.max_iterations = options.max_iterations_per_solver;
-    if (options.max_seconds_total > 0) {
-      const double remaining = options.max_seconds_total - elapsed();
+    if (chain_stopped) break;
+    if (options.breaker != nullptr && !options.breaker->allow(kind)) {
+      diag.breaker_skips.push_back(to_string(kind));
+      continue;
+    }
+
+    bool next_solver = false;
+    for (int retry = 0; !next_solver; ++retry) {
+      if (options.cancel.cancelled()) return cancelled_verdict();
+
+      SolveGuard guard;
+      guard.max_iterations = options.max_iterations_per_solver;
+      guard.cancel = options.cancel;
+      const double remaining = remaining_budget();
       if (remaining <= 0) {
         budget_hit = true;
+        diag.deadline_hit = true;
+        chain_stopped = true;
         break;
       }
-      guard.max_seconds = remaining;
-    }
+      if (remaining != std::numeric_limits<double>::infinity()) {
+        guard.max_seconds = remaining;
+      }
 
-    const double t_attempt = elapsed();
-    FlowSolution sol = solve(g, kind, &guard);
-    if (sol.status == SolveStatus::kOptimal && options.post_solve_hook) {
-      options.post_solve_hook(g, sol);
-    }
+      const double t_attempt = elapsed();
+      FlowSolution sol = solve(g, kind, &guard);
+      if (sol.status == SolveStatus::kOptimal && options.post_solve_hook) {
+        options.post_solve_hook(g, sol);
+      }
 
-    SolveAttempt attempt;
-    attempt.solver = kind;
-    attempt.status = sol.status;
-    attempt.iterations = guard.iterations;
-    attempt.seconds = elapsed() - t_attempt;
-    diag.iterations += guard.iterations;
+      SolveAttempt attempt;
+      attempt.solver = kind;
+      attempt.status = sol.status;
+      attempt.iterations = guard.iterations;
+      attempt.seconds = elapsed() - t_attempt;
+      attempt.retry = retry;
+      diag.iterations += guard.iterations;
 
-    switch (sol.status) {
-      case SolveStatus::kOptimal: {
-        std::string why;
-        if (certify_answer(g, sol, options.certify, why)) {
-          attempt.certified = options.certify != CertifyLevel::kNone;
+      switch (sol.status) {
+        case SolveStatus::kOptimal: {
+          std::string why;
+          if (certify_answer(g, sol, options.certify, why)) {
+            attempt.certified = options.certify != CertifyLevel::kNone;
+            diag.attempts.push_back(attempt);
+            diag.solver_used = kind;
+            diag.fallbacks_taken =
+                static_cast<int>(diag.attempts.size()) - 1;
+            diag.certification = options.certify == CertifyLevel::kNone
+                                     ? CertificationVerdict::kNotRun
+                                     : CertificationVerdict::kPassed;
+            diag.message = "optimal via " + to_string(kind) +
+                           (diag.fallbacks_taken > 0
+                                ? " after " +
+                                      std::to_string(diag.fallbacks_taken) +
+                                      " fallback(s)"
+                                : "");
+            if (options.breaker != nullptr) {
+              options.breaker->record_success(kind);
+            }
+            return finish(sol);
+          }
+          attempt.note = "certification failed: " + why;
           diag.attempts.push_back(attempt);
-          diag.solver_used = kind;
-          diag.fallbacks_taken =
-              static_cast<int>(diag.attempts.size()) - 1;
-          diag.certification = options.certify == CertifyLevel::kNone
-                                   ? CertificationVerdict::kNotRun
-                                   : CertificationVerdict::kPassed;
-          diag.message = "optimal via " + to_string(kind) +
-                         (diag.fallbacks_taken > 0
-                              ? " after " +
-                                    std::to_string(diag.fallbacks_taken) +
-                                    " fallback(s)"
-                              : "");
+          uncertified = std::move(sol);
+          have_uncertified = true;
+          if (options.breaker != nullptr) {
+            options.breaker->record_failure(kind);
+          }
+          // A flunked certificate is the transient-fault signature (the
+          // solver itself is deterministic, its answer was corrupted in
+          // flight): re-run the same solver under the retry budget
+          // before falling through the chain.
+          if (retry < options.max_retries_per_solver) {
+            ++diag.retries;
+            backoff(retry);
+            continue;
+          }
+          next_solver = true;
+          break;
+        }
+        case SolveStatus::kInfeasible: {
+          ++infeasible_votes;
+          diag.attempts.push_back(attempt);
+          const bool need_confirmation =
+              options.cross_check_infeasible &&
+              options.certify != CertifyLevel::kNone;
+          if (!need_confirmation || infeasible_votes >= 2) {
+            diag.fallbacks_taken =
+                static_cast<int>(diag.attempts.size()) - 1;
+            diag.message = "infeasible (confirmed by " +
+                           std::to_string(infeasible_votes) + " solver(s))";
+            FlowSolution inf;
+            inf.status = SolveStatus::kInfeasible;
+            return finish(inf);
+          }
+          next_solver = true;
+          break;
+        }
+        case SolveStatus::kBudgetExceeded: {
+          budget_hit = true;
+          diag.deadline_hit = diag.deadline_hit || guard.time_exceeded;
+          attempt.note = sol.message;
+          diag.attempts.push_back(attempt);
+          next_solver = true;
+          break;
+        }
+        case SolveStatus::kCancelled: {
+          attempt.note = sol.message;
+          diag.attempts.push_back(attempt);
+          return cancelled_verdict();
+        }
+        case SolveStatus::kBadInstance:
+        case SolveStatus::kUncertified: {
+          // Unreachable after validate_instance, but fail loud, not wrong.
+          attempt.note = sol.message;
+          diag.attempts.push_back(attempt);
+          diag.message = "rejected by " + to_string(kind) + ": " + sol.message;
           return finish(sol);
         }
-        attempt.note = "certification failed: " + why;
-        diag.attempts.push_back(attempt);
-        uncertified = std::move(sol);
-        have_uncertified = true;
-        break;
-      }
-      case SolveStatus::kInfeasible: {
-        ++infeasible_votes;
-        diag.attempts.push_back(attempt);
-        const bool need_confirmation = options.cross_check_infeasible &&
-                                       options.certify != CertifyLevel::kNone;
-        if (!need_confirmation || infeasible_votes >= 2) {
-          diag.fallbacks_taken =
-              static_cast<int>(diag.attempts.size()) - 1;
-          diag.message = "infeasible (confirmed by " +
-                         std::to_string(infeasible_votes) + " solver(s))";
-          FlowSolution inf;
-          inf.status = SolveStatus::kInfeasible;
-          return finish(inf);
-        }
-        break;
-      }
-      case SolveStatus::kBudgetExceeded: {
-        budget_hit = true;
-        attempt.note = sol.message;
-        diag.attempts.push_back(attempt);
-        break;
-      }
-      case SolveStatus::kBadInstance:
-      case SolveStatus::kUncertified: {
-        // Unreachable after validate_instance, but fail loud, not wrong.
-        attempt.note = sol.message;
-        diag.attempts.push_back(attempt);
-        diag.message = "rejected by " + to_string(kind) + ": " + sol.message;
-        return finish(sol);
       }
     }
   }
@@ -307,6 +411,16 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
     out.status = SolveStatus::kBudgetExceeded;
     out.message = "iteration/time budget exhausted across " +
                   std::to_string(diag.attempts.size()) + " attempt(s)";
+    diag.message = out.message;
+    return finish(out);
+  }
+  if (!diag.breaker_skips.empty()) {
+    // Every chain entry was skipped by an open breaker: no solver ran,
+    // so there is no answer to certify and nothing to trust.
+    FlowSolution out;
+    out.status = SolveStatus::kUncertified;
+    out.message =
+        "every solver in the chain is circuit-broken (breaker open)";
     diag.message = out.message;
     return finish(out);
   }

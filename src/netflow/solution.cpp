@@ -18,6 +18,8 @@ std::string to_string(SolveStatus status) {
       return "budget-exceeded";
     case SolveStatus::kUncertified:
       return "uncertified";
+    case SolveStatus::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -49,6 +51,14 @@ FlowSolution budget_exceeded(SolverKind kind) {
 
 namespace {
 
+/// The canonical cooperatively-cancelled verdict.
+FlowSolution cancelled_solution(SolverKind kind) {
+  FlowSolution out;
+  out.status = SolveStatus::kCancelled;
+  out.message = to_string(kind) + ": cancelled by caller";
+  return out;
+}
+
 FlowSolution dispatch(const Graph& g, SolverKind kind, SolveGuard* guard) {
   switch (kind) {
     case SolverKind::kSuccessiveShortestPaths:
@@ -74,12 +84,32 @@ FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard) {
                   ", a feasible b-flow requires 0";
     return bad;
   }
-  if (guard != nullptr) guard->start();
+  if (guard != nullptr) {
+    guard->start();
+    // Cheap pre-flight: an already-cancelled request never reaches a
+    // solver (and never pays the lower-bound reduction below).
+    if (guard->cancel.cancelled()) {
+      guard->cancelled = true;
+      guard->exceeded = true;
+      return cancelled_solution(kind);
+    }
+  }
 
-  if (!g.has_lower_bounds()) return dispatch(g, kind, guard);
+  // Solvers report any guard trip as kBudgetExceeded; rewrite the runs
+  // the token stopped so callers can tell a withdrawn request from an
+  // exhausted budget.
+  auto relabel_cancelled = [&](FlowSolution sol) {
+    if (guard != nullptr && guard->cancelled &&
+        sol.status == SolveStatus::kBudgetExceeded) {
+      return cancelled_solution(kind);
+    }
+    return sol;
+  };
+
+  if (!g.has_lower_bounds()) return relabel_cancelled(dispatch(g, kind, guard));
 
   const LowerBoundReduction red = remove_lower_bounds(g);
-  FlowSolution sol = dispatch(red.reduced, kind, guard);
+  FlowSolution sol = relabel_cancelled(dispatch(red.reduced, kind, guard));
   if (!sol.optimal()) return sol;
   sol.arc_flow = restore_lower_bounds(red, sol.arc_flow);
   sol.cost += red.fixed_cost;

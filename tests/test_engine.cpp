@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
@@ -480,6 +481,346 @@ TEST(Engine, SessionAuditFindingsDoNotBlockSiblingTickets) {
   // somewhere, so the zero-read-port budget flags them all — and every
   // sibling solve still delivered a result.
   EXPECT_EQ(flagged, static_cast<int>(results.size()));
+}
+
+// ---------------------------------------------------------------------
+// Deadlines: the anytime contract
+
+TEST(Engine, RunDeadlineReturnsPartialReportPromptly) {
+  // A 1 ms run deadline on a 24-task graph: most tasks cannot even
+  // start. run() must come back promptly with every task accounted for,
+  // the curtailed ones flagged — and no task may carry an unflagged
+  // (silently uncertified) flow answer.
+  const ir::TaskGraph tg = random_app(7, 24);
+  EngineOptions opts;
+  opts.threads = 4;
+  opts.num_registers = 4;
+  opts.run_deadline_seconds = 0.001;
+  const Engine engine(opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const PipelineReport report = engine.run(tg);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ASSERT_EQ(report.tasks.size(), 24u);
+  EXPECT_GT(report.tasks_timed_out, 0);
+  EXPECT_EQ(report.timed_out_tasks.size(),
+            static_cast<std::size_t>(report.tasks_timed_out));
+  for (const TaskReport& tr : report.tasks) {
+    if (tr.timed_out) {
+      // Anytime answers only: when the *solve itself* ran out of time,
+      // the answer is either degraded to the certified-by-construction
+      // baseline or honestly infeasible — never an unflagged,
+      // uncertified flow. (A task may also be flagged because only its
+      // relayout was skipped; its completed flow answer stands.)
+      if (tr.result.timed_out) {
+        EXPECT_TRUE(tr.result.degraded || !tr.feasible) << tr.name;
+      }
+      EXPECT_NE(std::find(report.timed_out_tasks.begin(),
+                          report.timed_out_tasks.end(), tr.task),
+                report.timed_out_tasks.end())
+          << tr.name;
+      if (!tr.feasible) {
+        EXPECT_FALSE(tr.failure_reason.empty()) << tr.name;
+      }
+    }
+  }
+  // "Deadline + small epsilon": in-flight solves wind down at their
+  // next guard poll. Generous bound so sanitizer builds pass, still
+  // orders of magnitude below running the whole graph.
+  EXPECT_LT(elapsed, 10.0);
+
+  const EngineStats stats = engine.stats();
+  // Skipped-outright tasks never count as started solves.
+  EXPECT_LT(stats.solves_started, 24);
+  EXPECT_EQ(stats.solves_completed, stats.solves_started);
+}
+
+TEST(Engine, TaskDeadlineDegradesToAnytimeBaseline) {
+  // A per-task deadline that has already expired when each solve
+  // starts: the flow phase is cancelled immediately and every task
+  // falls back to the two-phase baseline, flagged timed_out — an
+  // anytime answer instead of a silent hang or a silent lie.
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.num_registers = 6;
+  opts.task_deadline_seconds = 1e-9;
+  const Engine engine(opts);
+  const PipelineReport report = engine.run(paper_example_app());
+
+  ASSERT_EQ(report.tasks.size(), 4u);
+  EXPECT_EQ(report.tasks_timed_out, 4);
+  for (const TaskReport& tr : report.tasks) {
+    EXPECT_TRUE(tr.timed_out) << tr.name;
+    EXPECT_TRUE(tr.result.degraded || !tr.feasible) << tr.name;
+    EXPECT_NE(tr.solve_summary.find("[timed out]"), std::string::npos)
+        << tr.name << ": " << tr.solve_summary;
+  }
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.solves_started, 4);
+  EXPECT_EQ(stats.solves_completed, 4);
+  EXPECT_EQ(stats.solves_timed_out, 4);
+  EXPECT_EQ(stats.solves_cancelled, 0);
+}
+
+TEST(Engine, StatsCountCleanWork) {
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.breaker_threshold = 3;
+  const Engine engine(opts);
+
+  const EngineStats fresh = engine.stats();
+  EXPECT_EQ(fresh.solves_started, 0);
+  EXPECT_EQ(fresh.solves_completed, 0);
+  EXPECT_EQ(fresh.breaker_threshold, 3);
+  EXPECT_TRUE(fresh.open_breakers.empty());
+
+  std::vector<alloc::AllocationProblem> problems;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    problems.push_back(random_problem(seed));
+  }
+  const auto results = engine.allocate_batch(problems);
+  ASSERT_EQ(results.size(), 8u);
+
+  const EngineStats after = engine.stats();
+  EXPECT_EQ(after.solves_started, 8);
+  EXPECT_EQ(after.solves_completed, 8);
+  EXPECT_EQ(after.solves_cancelled, 0);
+  EXPECT_EQ(after.solves_timed_out, 0);
+  EXPECT_EQ(after.solves_degraded, 0);
+  EXPECT_EQ(after.solves_retried, 0);
+  // Healthy solves never open a breaker.
+  EXPECT_TRUE(after.open_breakers.empty());
+}
+
+// ---------------------------------------------------------------------
+// Session: non-blocking APIs and cancellation
+
+TEST(Engine, SessionNonBlockingApis) {
+  EngineOptions opts;
+  opts.threads = 2;
+  const Engine engine(opts);
+  Session session = engine.open_session();
+
+  // Unknown tickets: peek says nothing yet, nothing blocks.
+  EXPECT_EQ(session.try_result(0), nullptr);
+  EXPECT_EQ(session.status(99), TicketStatus::kPending);
+  EXPECT_FALSE(session.wait_for(99, 0.0));
+
+  const alloc::AllocationProblem p = random_problem(5);
+  const std::size_t ticket = session.submit(p);
+  EXPECT_TRUE(session.wait_for(ticket, 60.0));
+  EXPECT_EQ(session.status(ticket), TicketStatus::kDone);
+  const alloc::AllocationResult* r = session.try_result(ticket);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->feasible);
+  EXPECT_FALSE(r->cancelled);
+  EXPECT_FALSE(r->timed_out);
+  expect_same_result(alloc::allocate(p), *r, "non-blocking ticket");
+
+  EXPECT_EQ(to_string(TicketStatus::kPending), "pending");
+  EXPECT_EQ(to_string(TicketStatus::kRunning), "running");
+  EXPECT_EQ(to_string(TicketStatus::kDone), "done");
+  EXPECT_EQ(to_string(TicketStatus::kCancelled), "cancelled");
+  session.collect();
+}
+
+TEST(Engine, SessionPerRequestDeadlineArmsAtSubmission) {
+  EngineOptions opts;
+  opts.threads = 2;
+  const Engine engine(opts);
+  Session session = engine.open_session();
+
+  // Ticket 0: a deadline that expired before any worker could pick the
+  // job up — queue wait counts, so the solve must surface timed_out
+  // with at most a baseline (degraded) answer.
+  const std::size_t rushed = session.submit(random_problem(3), 1e-9);
+  // Ticket 1: the same engine, no deadline — completely unaffected.
+  const alloc::AllocationProblem p = random_problem(4);
+  const std::size_t calm = session.submit(p);
+
+  const alloc::AllocationResult& r0 = session.result(rushed);
+  EXPECT_TRUE(r0.timed_out);
+  EXPECT_TRUE(r0.degraded || !r0.feasible);
+  const alloc::AllocationResult& r1 = session.result(calm);
+  EXPECT_FALSE(r1.timed_out);
+  EXPECT_FALSE(r1.degraded);
+  expect_same_result(alloc::allocate(p), r1, "calm ticket");
+  session.collect();
+}
+
+TEST(Engine, SessionCancelSingleTicketLeavesSiblingsAlone) {
+  EngineOptions opts;
+  opts.threads = 2;
+  const Engine engine(opts);
+  Session session = engine.open_session();
+
+  std::vector<alloc::AllocationProblem> problems;
+  for (std::uint64_t seed = 50; seed < 66; ++seed) {
+    problems.push_back(random_problem(seed));
+  }
+  for (const alloc::AllocationProblem& p : problems) session.submit(p);
+  const std::size_t last = problems.size() - 1;
+  session.cancel(last);
+  session.cancel(last);   // Idempotent.
+  session.cancel(9999);   // Unknown ticket: harmless no-op.
+
+  const std::vector<alloc::AllocationResult> results = session.collect();
+  ASSERT_EQ(results.size(), problems.size());
+  // The cancelled ticket raced the workers: it either got withdrawn or
+  // had already finished — both are terminal, neither hangs.
+  EXPECT_TRUE(results[last].cancelled || results[last].feasible);
+  // Its siblings must be entirely untouched by the cancellation.
+  for (std::size_t i = 0; i < last; ++i) {
+    EXPECT_FALSE(results[i].cancelled) << "ticket " << i;
+    expect_same_result(alloc::allocate(problems[i]), results[i],
+                       "ticket " + std::to_string(i));
+  }
+}
+
+TEST(Engine, SessionCancelAllWindsDownEveryTicket) {
+  EngineOptions opts;
+  opts.threads = 4;
+  const Engine engine(opts);
+  Session session = engine.open_session();
+  constexpr std::size_t kN = 32;
+  for (std::uint64_t seed = 1; seed <= kN; ++seed) {
+    session.submit(random_problem(seed));
+  }
+  session.cancel_all();
+
+  // collect() must not hang: cancelled jobs still run and fast-exit.
+  const std::vector<alloc::AllocationResult> results = session.collect();
+  ASSERT_EQ(results.size(), kN);
+  std::int64_t cancelled = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TicketStatus st = session.status(i);
+    EXPECT_TRUE(st == TicketStatus::kDone || st == TicketStatus::kCancelled)
+        << "ticket " << i << " ended " << to_string(st);
+    if (results[i].cancelled) {
+      ++cancelled;
+      EXPECT_FALSE(results[i].feasible) << "ticket " << i;
+    }
+  }
+  // With 32 solves on 4 threads and an immediate cancel_all, the queue
+  // depth guarantees most tickets get withdrawn before a worker starts.
+  EXPECT_GT(cancelled, 0);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.solves_started, static_cast<std::int64_t>(kN));
+  EXPECT_EQ(stats.solves_completed, static_cast<std::int64_t>(kN));
+  EXPECT_EQ(stats.solves_cancelled, cancelled);
+
+  // Cancellation is sticky: later submissions on this session are
+  // born-cancelled and still reach a terminal state.
+  const std::size_t late = session.submit(random_problem(99));
+  const alloc::AllocationResult& r = session.result(late);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(session.status(late), TicketStatus::kCancelled);
+}
+
+TEST(Engine, SessionCancelAllStressUnderContention) {
+  // TSan target: hammer cancellation and status polling against an
+  // 8-thread session mid-flight. The invariants under fire: no data
+  // race, no hang, and every ticket reaches a terminal state.
+  EngineOptions opts;
+  opts.threads = 8;
+  const Engine engine(opts);
+  Session session = engine.open_session();
+  constexpr std::size_t kN = 64;
+
+  std::vector<alloc::AllocationProblem> problems;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    problems.push_back(random_problem(300 + seed));
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    session.submit(problems[i % problems.size()]);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread canceller([&] {
+    std::size_t t = 0;
+    while (!stop.load()) {
+      session.cancel(t % kN);
+      t += 7;  // Visit tickets in a scrambled order.
+      std::this_thread::yield();
+    }
+  });
+  std::thread poller([&] {
+    std::size_t t = 0;
+    while (!stop.load()) {
+      (void)session.status(t % kN);
+      (void)session.try_result(t % kN);
+      (void)session.submitted();
+      ++t;
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::size_t i = 16; i < kN; ++i) {
+    session.submit(problems[i % problems.size()]);
+    if (i == kN / 2) session.cancel_all();
+  }
+  session.cancel_all();
+
+  const std::vector<alloc::AllocationResult> results = session.collect();
+  stop.store(true);
+  canceller.join();
+  poller.join();
+
+  ASSERT_EQ(results.size(), kN);
+  std::int64_t cancelled = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const TicketStatus st = session.status(i);
+    EXPECT_TRUE(st == TicketStatus::kDone || st == TicketStatus::kCancelled)
+        << "ticket " << i << " ended " << to_string(st);
+    if (results[i].cancelled) ++cancelled;
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.solves_started, static_cast<std::int64_t>(kN));
+  EXPECT_EQ(stats.solves_completed, static_cast<std::int64_t>(kN));
+  EXPECT_EQ(stats.solves_cancelled, cancelled);
+}
+
+TEST(Engine, DestructionDrainsOutstandingSessionWork) {
+  // Destroying the Engine mid-flight fires the shutdown token: queued
+  // session jobs still run (the pool drains), but they fast-exit, so
+  // teardown is prompt and every slot is written before the pool joins.
+  auto engine = std::make_unique<Engine>([] {
+    EngineOptions opts;
+    opts.threads = 4;
+    return opts;
+  }());
+  Session session = engine->open_session();
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    session.submit(random_problem(seed));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.reset();  // Graceful drain.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 10.0);
+  // The pool is gone, so every ticket is terminal by construction.
+  const std::vector<alloc::AllocationResult> results = session.collect();
+  ASSERT_EQ(results.size(), 32u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].cancelled || results[i].feasible)
+        << "ticket " << i;
+  }
+}
+
+TEST(Engine, ShutdownTokenIsExposedForChaining) {
+  netflow::CancelToken chained;
+  {
+    const Engine engine;
+    chained = engine.shutdown_token().child();
+    EXPECT_FALSE(chained.cancelled());
+  }
+  EXPECT_TRUE(chained.cancelled());  // ~Engine fired the parent.
 }
 
 // ---------------------------------------------------------------------
