@@ -2,11 +2,25 @@
 // solved ... more commonly by using faster and more efficient network
 // algorithms". Compares the three implemented algorithms on identical
 // random instances and on real allocation flow graphs.
+//
+// Besides the google-benchmark suites, `bench_solvers --smoke [out.json]`
+// runs a fixed CI smoke: cold-vs-workspace solver throughput, ns per
+// augmentation, and a warm-start cost-perturbation sweep, printed as
+// grep-able "LERA_METRIC bench=solvers ..." lines and optionally written
+// as JSON for artifact upload.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
 #include "alloc/flow_graph.hpp"
-#include "netflow/solution.hpp"
+#include "netflow/netflow.hpp"
 #include "workloads/random_gen.hpp"
 
 using namespace lera;
@@ -84,6 +98,164 @@ BENCHMARK(BM_AllocationGraph<netflow::SolverKind::kCostScaling>)
     ->Range(16, 256)
     ->Complexity();
 
+// --- CI smoke mode ------------------------------------------------------
+
+using SmokeClock = std::chrono::steady_clock;
+
+double ns_between(SmokeClock::time_point a, SmokeClock::time_point b) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+struct SmokeMetric {
+  std::string name;
+  double value = 0;
+  std::string extra;  ///< Additional key=value pairs for the METRIC line.
+};
+
+/// Fixed-instance CI smoke. Everything is best-of-3 and deterministic;
+/// wall times vary with the machine but the metric *names* and solution
+/// checks are stable, so CI can both grep the numbers and fail on any
+/// cross-check mismatch (non-zero return).
+int run_smoke(const char* json_path) {
+  std::vector<SmokeMetric> metrics;
+
+  // Large-instance solver throughput, cold (fresh allocations per
+  // solve) vs through one reused workspace. Same instances, same
+  // solver; flows must match exactly.
+  std::vector<netflow::Graph> instances;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    instances.push_back(make_random(512, seed));
+  }
+  double cold_ns = 0;
+  double ws_ns = 0;
+  netflow::SolverWorkspace ws;
+  std::vector<netflow::FlowSolution> cold_sols;
+  for (int rep = 0; rep < 3; ++rep) {
+    cold_sols.clear();
+    const auto t0 = SmokeClock::now();
+    for (const netflow::Graph& g : instances) {
+      cold_sols.push_back(
+          netflow::solve(g, netflow::SolverKind::kSuccessiveShortestPaths));
+    }
+    const double ns = ns_between(t0, SmokeClock::now());
+    if (rep == 0 || ns < cold_ns) cold_ns = ns;
+  }
+  const netflow::PerfCounters before_ws = ws.counters;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = SmokeClock::now();
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const netflow::FlowSolution sol =
+          netflow::solve(instances[i],
+                         netflow::SolverKind::kSuccessiveShortestPaths,
+                         nullptr, &ws);
+      if (sol.status != cold_sols[i].status ||
+          sol.arc_flow != cold_sols[i].arc_flow) {
+        std::fprintf(stderr,
+                     "smoke: workspace solve diverged on instance %zu\n", i);
+        return 1;
+      }
+    }
+    const double ns = ns_between(t0, SmokeClock::now());
+    if (rep == 0 || ns < ws_ns) ws_ns = ns;
+  }
+  const netflow::PerfCounters ws_delta = ws.counters.delta_since(before_ws);
+  const double per_aug =
+      ws_delta.augmentations > 0
+          ? ws_ns / static_cast<double>(ws_delta.augmentations / 3)
+          : 0;
+  metrics.push_back({"solver_ns_per_augmentation", per_aug,
+                     "augmentations=" +
+                         std::to_string(ws_delta.augmentations / 3)});
+  metrics.push_back(
+      {"workspace_speedup", ws_ns > 0 ? cold_ns / ws_ns : 0,
+       "cold_ms=" + std::to_string(cold_ns / 1e6) +
+           " ws_ms=" + std::to_string(ws_ns / 1e6)});
+
+  // Warm-start cost-perturbation sweep: one 256-node base instance,
+  // 32 small cost perturbations, each solved cold and via warm resolve
+  // from the base optimum. Objectives must agree.
+  const netflow::Graph base = make_random(256, 42);
+  const netflow::FlowSolution base_sol =
+      netflow::solve(base, netflow::SolverKind::kSuccessiveShortestPaths);
+  if (!base_sol.optimal()) {
+    std::fprintf(stderr, "smoke: base instance unexpectedly not optimal\n");
+    return 1;
+  }
+  netflow::WarmStartCache cache;
+  cache.store(base, base_sol.arc_flow);
+  std::vector<netflow::Graph> sweep;
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<netflow::Cost> dcost(-2, 2);
+  for (int k = 0; k < 32; ++k) {
+    netflow::Graph g = base;
+    for (netflow::ArcId a = 0; a < g.num_arcs(); ++a) {
+      g.set_arc_cost(a, g.arc(a).cost + dcost(rng));
+    }
+    sweep.push_back(std::move(g));
+  }
+  double sweep_cold_ns = 0;
+  double sweep_warm_ns = 0;
+  netflow::SolverWorkspace warm_ws;
+  for (int rep = 0; rep < 3; ++rep) {
+    double cold = 0;
+    double warm = 0;
+    for (const netflow::Graph& g : sweep) {
+      const auto t0 = SmokeClock::now();
+      const netflow::FlowSolution c =
+          netflow::solve(g, netflow::SolverKind::kSuccessiveShortestPaths);
+      const auto t1 = SmokeClock::now();
+      const netflow::FlowSolution w =
+          netflow::resolve_warm(g, cache, nullptr, &warm_ws);
+      const auto t2 = SmokeClock::now();
+      cold += ns_between(t0, t1);
+      warm += ns_between(t1, t2);
+      if (!c.optimal() || !w.optimal() || c.cost != w.cost) {
+        std::fprintf(stderr, "smoke: warm resolve diverged from cold\n");
+        return 1;
+      }
+    }
+    if (rep == 0 || cold < sweep_cold_ns) sweep_cold_ns = cold;
+    if (rep == 0 || warm < sweep_warm_ns) sweep_warm_ns = warm;
+  }
+  metrics.push_back(
+      {"warm_start_speedup",
+       sweep_warm_ns > 0 ? sweep_cold_ns / sweep_warm_ns : 0,
+       "cold_ms=" + std::to_string(sweep_cold_ns / 1e6) +
+           " warm_ms=" + std::to_string(sweep_warm_ns / 1e6) +
+           " sweep=" + std::to_string(sweep.size())});
+
+  for (const SmokeMetric& m : metrics) {
+    std::printf("LERA_METRIC bench=solvers metric=%s value=%.3f %s\n",
+                m.name.c_str(), m.value, m.extra.c_str());
+  }
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << "{\n";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      out << "  \"" << metrics[i].name << "\": " << metrics[i].value
+          << (i + 1 < metrics.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    if (!out) {
+      std::fprintf(stderr, "smoke: cannot write %s\n", json_path);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return run_smoke(i + 1 < argc ? argv[i + 1] : nullptr);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

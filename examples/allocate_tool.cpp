@@ -27,6 +27,9 @@
 //                   exit is non-zero
 //     --explore     co-explore schedules via the parallel engine and
 //                   print the candidate table instead of one allocation
+//     --perf        print the engine's solver performance counters
+//                   (augmentations, heap traffic, workspace/warm-start
+//                   hits, per-phase ns) as one "LERA_PERF ..." line
 //     --csv         machine-readable output
 //     --asm         also print the lowered load/store/compute listing
 //
@@ -117,6 +120,7 @@ int main(int argc, char** argv) {
   int deadline_ms = 0;
   int retries = 0;
   bool csv = false;
+  bool perf = false;
   bool emit_asm = false;
   bool explore = false;
   bool pipeline = false;
@@ -178,6 +182,8 @@ int main(int argc, char** argv) {
       pipeline = true;
     } else if (arg == "--explore") {
       explore = true;
+    } else if (arg == "--perf") {
+      perf = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--asm") {
@@ -187,7 +193,7 @@ int main(int argc, char** argv) {
                    "[-m static|activity] [-g density|allpairs] "
                    "[--threads N] [--deadline-ms N] [--retries N] "
                    "[--audit off|legality|full] "
-                   "[--pipeline] [--explore] [--csv]\n";
+                   "[--pipeline] [--explore] [--perf] [--csv]\n";
       return 0;
     } else {
       positional.push_back(arg);
@@ -267,6 +273,13 @@ int main(int argc, char** argv) {
   }
   eng_opts.solver_retries = retries;
   const engine::Engine engine(eng_opts);
+  // Solver perf counters are aggregated engine-wide; one grep-friendly
+  // line after the mode's output (see netflow::PerfCounters::summary).
+  const auto print_perf = [&engine, perf] {
+    if (perf) {
+      std::cout << "LERA_PERF " << engine.stats().perf.summary() << "\n";
+    }
+  };
 
   if (pipeline) {
     if (positional.empty()) {
@@ -324,6 +337,7 @@ int main(int argc, char** argv) {
                 << " engine threads)\n";
     }
 
+    print_perf();
     bool audit_failed = false;
     for (const engine::TaskReport& tr : rep.tasks) {
       if (tr.audit.audited && !tr.audit.clean()) {
@@ -385,10 +399,12 @@ int main(int argc, char** argv) {
                 << " engine threads; * marks the cheapest feasible "
                    "candidate)\n";
     }
+    print_perf();
     return ex.best >= 0 ? 0 : 1;
   }
 
   const alloc::AllocationResult r = engine.allocate_batch({p}).front();
+  print_perf();
   if (!r.feasible) {
     if (r.timed_out) {
       // No usable answer, but the cause is the deadline, not the

@@ -81,6 +81,10 @@ FlowGraphSpec build_flow_graph(const AllocationProblem& p, GraphStyle style,
   const std::size_t num_segs = p.segments.size();
 
   FlowGraphSpec spec;
+  // Exactly s, t and a w/r pair per segment — reserve up front so node
+  // construction never reallocates.
+  spec.graph.reserve_nodes(
+      static_cast<netflow::NodeId>(2 + 2 * num_segs));
   spec.s = spec.graph.add_node("s");
   spec.t = spec.graph.add_node("t");
   spec.w_node.resize(num_segs);
@@ -126,6 +130,35 @@ FlowGraphSpec build_flow_graph(const AllocationProblem& p, GraphStyle style,
     if (style == GraphStyle::kAllPairs) return true;
     return !idle_crosses_peak(read_time, write_time);
   };
+
+  // Counting prepass: reserve the exact arc capacity so the O(n^2)
+  // transition fill below never reallocates. Mirrors the emission loops
+  // exactly (same transition_allowed predicate).
+  {
+    std::size_t arcs = num_segs;  // Segment arcs.
+    for (std::size_t i = 0; i + 1 < num_segs; ++i) {
+      if (p.segments[i].var == p.segments[i + 1].var) ++arcs;  // Chain.
+    }
+    for (std::size_t i = 0; i < num_segs; ++i) {
+      for (std::size_t j = 0; j < num_segs; ++j) {
+        if (p.segments[i].var == p.segments[j].var) continue;
+        if (transition_allowed(p.segments[i].end, p.segments[j].start)) {
+          ++arcs;  // Transition.
+        }
+      }
+    }
+    for (std::size_t j = 0; j < num_segs; ++j) {
+      if (transition_allowed(0, p.segments[j].start)) ++arcs;  // Source.
+    }
+    for (std::size_t i = 0; i < num_segs; ++i) {
+      if (transition_allowed(p.segments[i].end, p.num_steps + 1)) {
+        ++arcs;  // Sink.
+      }
+    }
+    if (p.num_registers > 0) ++arcs;  // Bypass.
+    spec.graph.reserve_arcs(static_cast<netflow::ArcId>(arcs));
+    spec.arc_info.reserve(arcs);
+  }
 
   // Segment arcs w_i(v) -> r_i(v): cost 0 (eq. 3), capacity 1, lower
   // bound 1 when the segment must sit in a register (§5.2) and capacity

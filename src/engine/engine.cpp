@@ -23,6 +23,34 @@ struct Supervision {
   netflow::CancelToken cancel;
   netflow::CircuitBreaker* breaker = nullptr;
   detail::EngineStatsCore* stats = nullptr;
+  detail::ContextBank* bank = nullptr;
+};
+
+/// Checks a SolveContext out of the bank for one allocator call and
+/// threads it into the solve options; returns it on destruction. With a
+/// null bank (both knobs off) this is a no-op and the solve path is
+/// untouched.
+class ContextLease {
+ public:
+  ContextLease(detail::ContextBank* bank, const EngineOptions& o,
+               alloc::AllocatorOptions& a)
+      : bank_(bank) {
+    if (bank_ == nullptr) return;
+    ctx_ = bank_->acquire();
+    if (o.reuse_workspaces) a.solve.workspace = &ctx_->workspace;
+    if (o.warm_start) a.solve.warm_cache = &ctx_->warm;
+  }
+
+  ~ContextLease() {
+    if (bank_ != nullptr) bank_->release(std::move(ctx_));
+  }
+
+  ContextLease(const ContextLease&) = delete;
+  ContextLease& operator=(const ContextLease&) = delete;
+
+ private:
+  detail::ContextBank* bank_;
+  std::unique_ptr<detail::SolveContext> ctx_;
 };
 
 /// Arms the run-wide deadline for one entry-point call.
@@ -73,6 +101,22 @@ void record_solve(detail::EngineStatsCore* stats,
     stats->retried.fetch_add(r.solve_diagnostics.retries,
                              std::memory_order_relaxed);
   }
+  const netflow::PerfCounters& p = r.solve_diagnostics.perf;
+  const auto bump = [](std::atomic<std::int64_t>& a, std::int64_t v) {
+    if (v != 0) a.fetch_add(v, std::memory_order_relaxed);
+  };
+  bump(stats->perf_solves, p.solves);
+  bump(stats->perf_augmentations, p.augmentations);
+  bump(stats->perf_settles, p.dijkstra_settles);
+  bump(stats->perf_heap_pushes, p.heap_pushes);
+  bump(stats->perf_heap_pops, p.heap_pops);
+  bump(stats->perf_pivots, p.simplex_pivots);
+  bump(stats->perf_workspace_reuse, p.workspace_reuse_hits);
+  bump(stats->perf_warm_hits, p.warm_start_hits);
+  bump(stats->perf_warm_misses, p.warm_start_misses);
+  bump(stats->perf_validate_ns, p.validate_ns);
+  bump(stats->perf_solve_ns, p.solve_ns);
+  bump(stats->perf_certify_ns, p.certify_ns);
 }
 
 /// Maps the engine's audit knobs onto the auditor and stamps the
@@ -159,6 +203,7 @@ TaskReport solve_task(const ir::Task& task, const EngineOptions& options,
       options.degrade_on_solver_failure;
   apply_supervision(alloc_options, options, deadline, sup.cancel,
                     sup.breaker);
+  const ContextLease lease(sup.bank, options, alloc_options);
   if (sup.stats != nullptr) {
     sup.stats->started.fetch_add(1, std::memory_order_relaxed);
   }
@@ -218,6 +263,7 @@ ScheduleCandidate evaluate_candidate(const ir::BasicBlock& bb,
   apply_supervision(alloc_options, options,
                     request_deadline(options, sup.run_deadline), sup.cancel,
                     sup.breaker);
+  const ContextLease lease(sup.bank, options, alloc_options);
   if (sup.stats != nullptr) {
     sup.stats->started.fetch_add(1, std::memory_order_relaxed);
   }
@@ -239,6 +285,9 @@ Engine::Engine(EngineOptions options)
                          options_.breaker_threshold)
                    : nullptr),
       stats_core_(std::make_shared<detail::EngineStatsCore>()),
+      bank_(options_.reuse_workspaces || options_.warm_start
+                ? std::make_shared<detail::ContextBank>()
+                : nullptr),
       pool_(std::make_unique<ThreadPool>(options_.threads)) {}
 
 Engine::~Engine() {
@@ -262,6 +311,22 @@ EngineStats Engine::stats() const {
       stats_core_->timed_out.load(std::memory_order_relaxed);
   s.solves_degraded = stats_core_->degraded.load(std::memory_order_relaxed);
   s.solves_retried = stats_core_->retried.load(std::memory_order_relaxed);
+  const auto& c = *stats_core_;
+  s.perf.solves = c.perf_solves.load(std::memory_order_relaxed);
+  s.perf.augmentations =
+      c.perf_augmentations.load(std::memory_order_relaxed);
+  s.perf.dijkstra_settles = c.perf_settles.load(std::memory_order_relaxed);
+  s.perf.heap_pushes = c.perf_heap_pushes.load(std::memory_order_relaxed);
+  s.perf.heap_pops = c.perf_heap_pops.load(std::memory_order_relaxed);
+  s.perf.simplex_pivots = c.perf_pivots.load(std::memory_order_relaxed);
+  s.perf.workspace_reuse_hits =
+      c.perf_workspace_reuse.load(std::memory_order_relaxed);
+  s.perf.warm_start_hits = c.perf_warm_hits.load(std::memory_order_relaxed);
+  s.perf.warm_start_misses =
+      c.perf_warm_misses.load(std::memory_order_relaxed);
+  s.perf.validate_ns = c.perf_validate_ns.load(std::memory_order_relaxed);
+  s.perf.solve_ns = c.perf_solve_ns.load(std::memory_order_relaxed);
+  s.perf.certify_ns = c.perf_certify_ns.load(std::memory_order_relaxed);
   if (breaker_ != nullptr) {
     s.breaker_threshold = breaker_->threshold();
     s.open_breakers = breaker_->open_solvers();
@@ -271,7 +336,7 @@ EngineStats Engine::stats() const {
 
 PipelineReport Engine::run(const ir::TaskGraph& graph) const {
   const Supervision sup{run_deadline_of(options_), shutdown_,
-                        breaker_.get(), stats_core_.get()};
+                        breaker_.get(), stats_core_.get(), bank_.get()};
   const std::vector<ir::TaskId> order = graph.topological_order();
   std::vector<TaskReport> tasks(order.size());
 
@@ -320,7 +385,7 @@ PipelineReport Engine::run(const ir::TaskGraph& graph) const {
 
 ExploreResult Engine::explore(const ir::BasicBlock& bb) const {
   const Supervision sup{run_deadline_of(options_), shutdown_,
-                        breaker_.get(), stats_core_.get()};
+                        breaker_.get(), stats_core_.get(), bank_.get()};
   ExploreResult out;
 
   // Candidate generation is cheap and order-defining: do it inline.
@@ -361,7 +426,7 @@ ExploreResult Engine::explore(const ir::BasicBlock& bb) const {
 std::vector<alloc::AllocationResult> Engine::allocate_batch(
     const std::vector<alloc::AllocationProblem>& problems) const {
   const Supervision sup{run_deadline_of(options_), shutdown_,
-                        breaker_.get(), stats_core_.get()};
+                        breaker_.get(), stats_core_.get(), bank_.get()};
   std::vector<alloc::AllocationResult> results(problems.size());
   pool_->parallel_for(problems.size(), [&](std::size_t i) {
     // Anytime contract: problems not started when the run deadline
@@ -381,6 +446,7 @@ std::vector<alloc::AllocationResult> Engine::allocate_batch(
     apply_supervision(alloc_options, options_,
                       request_deadline(options_, sup.run_deadline),
                       sup.cancel, sup.breaker);
+    const ContextLease lease(sup.bank, options_, alloc_options);
     sup.stats->started.fetch_add(1, std::memory_order_relaxed);
     results[i] = alloc::allocate(problems[i], alloc_options);
     record_solve(sup.stats, results[i]);
@@ -460,7 +526,8 @@ std::size_t Session::submit(alloc::AllocationProblem problem,
   engine_->pool_->submit(
       [state = state_, slot, problem = std::move(problem),
        options = engine_->options_, ticket, token, deadline,
-       stats = engine_->stats_core_, breaker = engine_->breaker_] {
+       stats = engine_->stats_core_, breaker = engine_->breaker_,
+       bank = engine_->bank_] {
         {
           std::lock_guard<std::mutex> lock(state->mutex);
           state->running[ticket] = true;
@@ -468,6 +535,7 @@ std::size_t Session::submit(alloc::AllocationProblem problem,
         alloc::AllocatorOptions alloc_options = options.alloc;
         apply_supervision(alloc_options, options, deadline, token,
                           breaker.get());
+        const ContextLease lease(bank.get(), options, alloc_options);
         stats->started.fetch_add(1, std::memory_order_relaxed);
         *slot = alloc::allocate(problem, alloc_options);
         record_solve(stats.get(), *slot);

@@ -3,8 +3,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "alloc/allocator.hpp"
@@ -14,6 +16,8 @@
 #include "engine/thread_pool.hpp"
 #include "ir/task_graph.hpp"
 #include "netflow/cancel.hpp"
+#include "netflow/warm.hpp"
+#include "netflow/workspace.hpp"
 #include "sched/schedule.hpp"
 
 /// \file engine.hpp
@@ -122,6 +126,20 @@ struct EngineOptions {
   /// breaker opens and the engine skips it in subsequent solves
   /// (netflow::CircuitBreaker). 0 = no breaker.
   int breaker_threshold = 0;
+
+  // --- Solver workspaces and warm starts --------------------------------
+  /// Lease every solve a reusable netflow::SolverWorkspace from the
+  /// engine's context bank, so repeated solves stop paying per-solve
+  /// allocation. Bit-identical to running without one (a workspace only
+  /// changes allocation behavior), so it defaults on.
+  bool reuse_workspaces = true;
+  /// Also lease each solve a netflow::WarmStartCache and let same-
+  /// topology re-submissions resolve from the previous optimal flow.
+  /// Warm answers are always re-certified, but they may pick a
+  /// *different* equal-cost optimum than a cold solve, so this is
+  /// opt-in: the default engine stays bit-identical across runs and
+  /// thread counts.
+  bool warm_start = false;
 };
 
 /// Snapshot of the engine's supervision counters (Engine::stats()).
@@ -145,6 +163,10 @@ struct EngineStats {
   /// empty when breaker_threshold is 0).
   std::vector<std::string> open_breakers;
   int breaker_threshold = 0;
+  /// Solver-level performance counters summed over every completed
+  /// solve (augmentations, heap traffic, workspace/warm-start hits,
+  /// per-phase wall time); see netflow::PerfCounters.
+  netflow::PerfCounters perf;
 };
 
 namespace detail {
@@ -157,6 +179,54 @@ struct EngineStatsCore {
   std::atomic<std::int64_t> timed_out{0};
   std::atomic<std::int64_t> degraded{0};
   std::atomic<std::int64_t> retried{0};
+  /// Atomic mirror of netflow::PerfCounters, harvested from each
+  /// solve's diagnostics as it completes.
+  std::atomic<std::int64_t> perf_solves{0};
+  std::atomic<std::int64_t> perf_augmentations{0};
+  std::atomic<std::int64_t> perf_settles{0};
+  std::atomic<std::int64_t> perf_heap_pushes{0};
+  std::atomic<std::int64_t> perf_heap_pops{0};
+  std::atomic<std::int64_t> perf_pivots{0};
+  std::atomic<std::int64_t> perf_workspace_reuse{0};
+  std::atomic<std::int64_t> perf_warm_hits{0};
+  std::atomic<std::int64_t> perf_warm_misses{0};
+  std::atomic<std::int64_t> perf_validate_ns{0};
+  std::atomic<std::int64_t> perf_solve_ns{0};
+  std::atomic<std::int64_t> perf_certify_ns{0};
+};
+
+/// A leased per-solve context: one solver workspace plus one warm-start
+/// cache. Belongs to exactly one in-flight solve at a time; the bank
+/// below enforces that by handing out exclusive ownership.
+struct SolveContext {
+  netflow::SolverWorkspace workspace;
+  netflow::WarmStartCache warm;
+};
+
+/// Mutex-guarded freelist of SolveContexts, shared (by shared_ptr) with
+/// queued Session jobs. The pool has no thread identity to key on, so
+/// solves check a context out for their duration instead: at most
+/// pool-width contexts ever exist, each used strictly sequentially —
+/// which is exactly the SolverWorkspace ownership contract.
+class ContextBank {
+ public:
+  std::unique_ptr<SolveContext> acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) return std::make_unique<SolveContext>();
+    std::unique_ptr<SolveContext> ctx = std::move(free_.back());
+    free_.pop_back();
+    return ctx;
+  }
+
+  void release(std::unique_ptr<SolveContext> ctx) {
+    if (ctx == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(ctx));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<SolveContext>> free_;
 };
 }  // namespace detail
 
@@ -368,6 +438,9 @@ class Engine {
   /// Session jobs so it outlives any one handle.
   std::shared_ptr<netflow::CircuitBreaker> breaker_;
   std::shared_ptr<detail::EngineStatsCore> stats_core_;
+  /// Non-null when reuse_workspaces or warm_start is set; shared with
+  /// queued Session jobs like the breaker and stats core.
+  std::shared_ptr<detail::ContextBank> bank_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

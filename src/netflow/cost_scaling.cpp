@@ -188,7 +188,9 @@ class CostScaling {
 
 }  // namespace
 
-FlowSolution solve_cost_scaling(const Graph& g, SolveGuard* guard) {
+FlowSolution solve_cost_scaling(const Graph& g, SolveGuard* guard,
+                                SolverWorkspace* ws) {
+  if (ws != nullptr) ++ws->counters.solves;
   if (g.total_supply() != 0) return {};
   if (g.num_nodes() == 0) {
     FlowSolution sol;

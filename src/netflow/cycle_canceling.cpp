@@ -62,8 +62,13 @@ std::vector<int> find_negative_cycle(const Residual& res) {
 
 }  // namespace
 
-FlowSolution solve_cycle_canceling(const Graph& g, SolveGuard* guard) {
+FlowSolution solve_cycle_canceling(const Graph& g, SolveGuard* guard,
+                                   SolverWorkspace* ws) {
   if (g.total_supply() != 0) return {};
+
+  SolverWorkspace local;
+  SolverWorkspace& w = ws != nullptr ? *ws : local;
+  ++w.counters.solves;
 
   // Augmented instance with a super source/sink absorbing the supplies.
   Graph aug;
@@ -85,7 +90,8 @@ FlowSolution solve_cycle_canceling(const Graph& g, SolveGuard* guard) {
     }
   }
 
-  Residual res(aug);
+  Residual& res = w.residual;
+  res.assign(aug);
   if (dinic_max_flow(res, super_s, super_t) < need) return {};
 
   // All super arcs are saturated, so no residual cycle can pass through

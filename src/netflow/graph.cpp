@@ -4,19 +4,35 @@
 
 namespace lera::netflow {
 
+namespace {
+// Fold the overflow lists back into flat CSR once they hold more than
+// this share of all arcs (plus a small absolute slack so tiny graphs
+// never thrash). Keeps interleaved build/query/mutate amortized O(1)
+// per added arc.
+constexpr ArcId kOverflowSlack = 64;
+}  // namespace
+
+void Graph::reserve_nodes(NodeId n) {
+  assert(n >= 0);
+  supply_.reserve(static_cast<std::size_t>(n));
+}
+
+void Graph::reserve_arcs(ArcId m) {
+  assert(m >= 0);
+  arcs_.reserve(static_cast<std::size_t>(m));
+}
+
 NodeId Graph::add_node(std::string name) {
   supply_.push_back(0);
-  names_.push_back(std::move(name));
-  adjacency_valid_ = false;
-  return num_nodes() - 1;
+  const NodeId id = num_nodes() - 1;
+  if (!name.empty()) set_node_name(id, std::move(name));
+  return id;
 }
 
 NodeId Graph::add_nodes(NodeId n) {
   assert(n >= 0);
   const NodeId first = num_nodes();
   supply_.resize(supply_.size() + static_cast<std::size_t>(n), 0);
-  names_.resize(names_.size() + static_cast<std::size_t>(n));
-  adjacency_valid_ = false;
   return first;
 }
 
@@ -28,36 +44,115 @@ ArcId Graph::add_arc(NodeId tail, NodeId head, Flow upper, Cost cost,
   arcs_.push_back(Arc{tail, head, lower, upper, cost});
   has_lower_bounds_ = has_lower_bounds_ || lower > 0;
   has_negative_costs_ = has_negative_costs_ || cost < 0;
-  adjacency_valid_ = false;
-  return num_arcs() - 1;
+  const ArcId a = num_arcs() - 1;
+  if (adjacency_valid_) note_arc_added(a);
+  return a;
+}
+
+const std::string& Graph::node_name(NodeId v) const {
+  assert(v >= 0 && v < num_nodes());
+  static const std::string kUnnamed;
+  const auto i = static_cast<std::size_t>(v);
+  return i < names_.size() ? names_[i] : kUnnamed;
+}
+
+void Graph::set_node_name(NodeId v, std::string name) {
+  assert(v >= 0 && v < num_nodes());
+  const auto i = static_cast<std::size_t>(v);
+  if (i >= names_.size()) {
+    if (name.empty()) return;
+    names_.resize(i + 1);
+  }
+  names_[i] = std::move(name);
 }
 
 Flow Graph::total_supply() const {
   return std::accumulate(supply_.begin(), supply_.end(), Flow{0});
 }
 
+void Graph::note_arc_added(ArcId a) {
+  ++overflow_arcs_;
+  if (overflow_arcs_ > kOverflowSlack && overflow_arcs_ > num_arcs() / 4) {
+    // Overflow got big; drop the cache and let the next query rebuild.
+    adjacency_valid_ = false;
+    overflow_out_.clear();
+    overflow_in_.clear();
+    overflow_arcs_ = 0;
+    return;
+  }
+  const auto n = static_cast<std::size_t>(num_nodes());
+  if (overflow_out_.size() < n) {
+    overflow_out_.resize(n);
+    overflow_in_.resize(n);
+  }
+  const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+  overflow_out_[static_cast<std::size_t>(arc.tail)].push_back(a);
+  overflow_in_[static_cast<std::size_t>(arc.head)].push_back(a);
+}
+
 void Graph::ensure_adjacency() const {
   if (adjacency_valid_) return;
-  out_.assign(supply_.size(), {});
-  in_.assign(supply_.size(), {});
+  const auto n = static_cast<std::size_t>(num_nodes());
+  const auto m = static_cast<std::size_t>(num_arcs());
+  // Two-pass counting build: degree histogram, prefix sums, then a fill
+  // pass in arc order so each node's ids keep insertion order.
+  first_out_.assign(n + 1, 0);
+  first_in_.assign(n + 1, 0);
+  for (const Arc& arc : arcs_) {
+    ++first_out_[static_cast<std::size_t>(arc.tail) + 1];
+    ++first_in_[static_cast<std::size_t>(arc.head) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    first_out_[v + 1] += first_out_[v];
+    first_in_[v + 1] += first_in_[v];
+  }
+  out_ids_.resize(m);
+  in_ids_.resize(m);
+  std::vector<ArcId> out_cursor(first_out_.begin(), first_out_.end() - 1);
+  std::vector<ArcId> in_cursor(first_in_.begin(), first_in_.end() - 1);
   for (ArcId a = 0; a < num_arcs(); ++a) {
     const Arc& arc = arcs_[static_cast<std::size_t>(a)];
-    out_[static_cast<std::size_t>(arc.tail)].push_back(a);
-    in_[static_cast<std::size_t>(arc.head)].push_back(a);
+    out_ids_[static_cast<std::size_t>(
+        out_cursor[static_cast<std::size_t>(arc.tail)]++)] = a;
+    in_ids_[static_cast<std::size_t>(
+        in_cursor[static_cast<std::size_t>(arc.head)]++)] = a;
   }
+  csr_nodes_ = num_nodes();
+  csr_arcs_ = num_arcs();
+  overflow_out_.clear();
+  overflow_in_.clear();
+  overflow_arcs_ = 0;
   adjacency_valid_ = true;
 }
 
-const std::vector<ArcId>& Graph::out_arcs(NodeId v) const {
+Graph::ArcRange Graph::out_arcs(NodeId v) const {
   assert(v >= 0 && v < num_nodes());
   ensure_adjacency();
-  return out_[static_cast<std::size_t>(v)];
+  const auto i = static_cast<std::size_t>(v);
+  const ArcId* seg = nullptr;
+  std::size_t seg_size = 0;
+  if (v < csr_nodes_) {
+    seg = out_ids_.data() + first_out_[i];
+    seg_size = static_cast<std::size_t>(first_out_[i + 1] - first_out_[i]);
+  }
+  const std::vector<ArcId>* extra =
+      i < overflow_out_.size() ? &overflow_out_[i] : nullptr;
+  return ArcRange(seg, seg_size, extra);
 }
 
-const std::vector<ArcId>& Graph::in_arcs(NodeId v) const {
+Graph::ArcRange Graph::in_arcs(NodeId v) const {
   assert(v >= 0 && v < num_nodes());
   ensure_adjacency();
-  return in_[static_cast<std::size_t>(v)];
+  const auto i = static_cast<std::size_t>(v);
+  const ArcId* seg = nullptr;
+  std::size_t seg_size = 0;
+  if (v < csr_nodes_) {
+    seg = in_ids_.data() + first_in_[i];
+    seg_size = static_cast<std::size_t>(first_in_[i + 1] - first_in_[i]);
+  }
+  const std::vector<ArcId>* extra =
+      i < overflow_in_.size() ? &overflow_in_[i] : nullptr;
+  return ArcRange(seg, seg_size, extra);
 }
 
 }  // namespace lera::netflow

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -30,14 +32,29 @@ struct Arc {
 
 /// Mutable builder + storage for a b-flow instance.
 ///
-/// Nodes are created with add_node() and optionally carry a debug name.
-/// Arcs keep insertion order, so solution vectors index by ArcId.
+/// Nodes are created with add_node() and optionally carry a debug name;
+/// names live in a lazily grown side table so graphs built on the hot
+/// path (unnamed nodes) never touch string storage. Arcs keep insertion
+/// order, so solution vectors index by ArcId.
+///
+/// Adjacency is a flat CSR (compressed sparse row) cache built lazily on
+/// first query: `out_ids_[first_out_[v] .. first_out_[v+1])` holds the
+/// outgoing arc ids of `v` in insertion order (same for `in_`). Arcs
+/// added after a build land in small per-node overflow lists, so
+/// interleaved build/query/mutate stays O(degree) per operation instead
+/// of re-running the full O(V+E) rebuild; once enough arcs accumulate in
+/// overflow the next query folds them back into the flat arrays.
 class Graph {
  public:
   Graph() = default;
 
   /// Creates a graph with \p n unnamed nodes.
   explicit Graph(NodeId n) { add_nodes(n); }
+
+  /// Pre-sizes node storage for \p n total nodes.
+  void reserve_nodes(NodeId n);
+  /// Pre-sizes arc storage for \p m total arcs.
+  void reserve_arcs(ArcId m);
 
   /// Adds one node and returns its id.
   NodeId add_node(std::string name = {});
@@ -58,6 +75,24 @@ class Graph {
     return arcs_[static_cast<std::size_t>(a)];
   }
   const std::vector<Arc>& arcs() const { return arcs_; }
+
+  /// Re-prices an existing arc. Topology (and therefore the adjacency
+  /// cache and any WarmStartCache match) is untouched. The
+  /// has_negative_costs() flag only ever widens — it may stay
+  /// conservatively true after the last negative arc is re-priced
+  /// positive, which costs one potentials pass, never correctness.
+  void set_arc_cost(ArcId a, Cost cost) {
+    assert(a >= 0 && a < num_arcs());
+    arcs_[static_cast<std::size_t>(a)].cost = cost;
+    if (cost < 0) has_negative_costs_ = true;
+  }
+
+  /// Re-sizes an existing arc's capacity. Requires upper >= lower.
+  void set_arc_capacity(ArcId a, Flow upper) {
+    assert(a >= 0 && a < num_arcs());
+    assert(upper >= arcs_[static_cast<std::size_t>(a)].lower);
+    arcs_[static_cast<std::size_t>(a)].upper = upper;
+  }
 
   /// Node supply: positive = source of flow, negative = sink.
   Flow supply(NodeId v) const {
@@ -83,33 +118,100 @@ class Graph {
   bool has_negative_costs() const { return has_negative_costs_; }
 
   /// Debug name of a node ("" if unnamed).
-  const std::string& node_name(NodeId v) const {
-    assert(v >= 0 && v < num_nodes());
-    return names_[static_cast<std::size_t>(v)];
-  }
-  void set_node_name(NodeId v, std::string name) {
-    assert(v >= 0 && v < num_nodes());
-    names_[static_cast<std::size_t>(v)] = std::move(name);
-  }
+  const std::string& node_name(NodeId v) const;
+  void set_node_name(NodeId v, std::string name);
 
-  /// Outgoing arc ids of \p v (built lazily, invalidated by add_arc).
-  const std::vector<ArcId>& out_arcs(NodeId v) const;
-  /// Incoming arc ids of \p v (built lazily, invalidated by add_arc).
-  const std::vector<ArcId>& in_arcs(NodeId v) const;
+  /// Read-only view over a node's adjacency: the CSR segment plus any
+  /// arcs appended since the last rebuild. Indexable and iterable; ids
+  /// appear in arc insertion order.
+  class ArcRange {
+   public:
+    ArcRange(const ArcId* seg, std::size_t seg_size,
+             const std::vector<ArcId>* extra)
+        : seg_(seg),
+          seg_size_(seg_size),
+          extra_(extra && !extra->empty() ? extra : nullptr) {}
+
+    std::size_t size() const {
+      return seg_size_ + (extra_ ? extra_->size() : 0);
+    }
+    bool empty() const { return size() == 0; }
+    ArcId operator[](std::size_t i) const {
+      assert(i < size());
+      return i < seg_size_ ? seg_[i] : (*extra_)[i - seg_size_];
+    }
+
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = ArcId;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const ArcId*;
+      using reference = ArcId;
+
+      iterator(const ArcRange* r, std::size_t i) : r_(r), i_(i) {}
+      ArcId operator*() const { return (*r_)[i_]; }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator copy = *this;
+        ++i_;
+        return copy;
+      }
+      bool operator==(const iterator& o) const { return i_ == o.i_; }
+      bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+     private:
+      const ArcRange* r_;
+      std::size_t i_;
+    };
+
+    iterator begin() const { return iterator(this, 0); }
+    iterator end() const { return iterator(this, size()); }
+
+    std::vector<ArcId> to_vector() const {
+      return std::vector<ArcId>(begin(), end());
+    }
+
+   private:
+    const ArcId* seg_;
+    std::size_t seg_size_;
+    const std::vector<ArcId>* extra_;
+  };
+
+  /// Outgoing arc ids of \p v in insertion order (CSR cache, built
+  /// lazily; stays valid across add_arc via per-node overflow lists).
+  ArcRange out_arcs(NodeId v) const;
+  /// Incoming arc ids of \p v in insertion order (see out_arcs).
+  ArcRange in_arcs(NodeId v) const;
 
  private:
   void ensure_adjacency() const;
+  void note_arc_added(ArcId a);
 
   std::vector<Arc> arcs_;
   std::vector<Flow> supply_;
+  /// Debug-name side table, grown only when a node is actually named;
+  /// shorter than num_nodes() when trailing nodes are unnamed.
   std::vector<std::string> names_;
   bool has_lower_bounds_ = false;
   bool has_negative_costs_ = false;
 
-  // Lazily built adjacency; mutable because it is a cache.
+  // Lazily built CSR adjacency; mutable because it is a cache. Covers
+  // arcs [0, csr_arcs_) over csr_nodes_ nodes; later arcs sit in the
+  // overflow lists until the next fold-in.
   mutable bool adjacency_valid_ = false;
-  mutable std::vector<std::vector<ArcId>> out_;
-  mutable std::vector<std::vector<ArcId>> in_;
+  mutable NodeId csr_nodes_ = 0;
+  mutable ArcId csr_arcs_ = 0;
+  mutable std::vector<ArcId> first_out_;
+  mutable std::vector<ArcId> out_ids_;
+  mutable std::vector<ArcId> first_in_;
+  mutable std::vector<ArcId> in_ids_;
+  mutable std::vector<std::vector<ArcId>> overflow_out_;
+  mutable std::vector<std::vector<ArcId>> overflow_in_;
+  mutable ArcId overflow_arcs_ = 0;
 };
 
 }  // namespace lera::netflow

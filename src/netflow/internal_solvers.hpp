@@ -2,6 +2,7 @@
 
 #include "netflow/graph.hpp"
 #include "netflow/solution.hpp"
+#include "netflow/workspace.hpp"
 
 /// \file internal_solvers.hpp
 /// Entry points of the individual algorithms. All require an instance
@@ -9,7 +10,8 @@
 /// solve() wrapper in solution.hpp takes care of that, and of rejecting
 /// unbalanced instances. Each solver honours an optional SolveGuard by
 /// ticking it once per major iteration and returning kBudgetExceeded
-/// when it trips.
+/// when it trips, and an optional SolverWorkspace whose scratch arrays
+/// it reuses instead of allocating (results are identical either way).
 
 namespace lera::netflow::internal {
 
@@ -18,19 +20,39 @@ FlowSolution budget_exceeded(SolverKind kind);
 
 /// Successive shortest paths with node potentials. Negative-cost arcs
 /// are pre-saturated so Dijkstra applies throughout.
-FlowSolution solve_ssp(const Graph& g, SolveGuard* guard = nullptr);
+FlowSolution solve_ssp(const Graph& g, SolveGuard* guard = nullptr,
+                       SolverWorkspace* ws = nullptr);
+
+/// Drains every positive excess in \p res to a deficit node via
+/// successive shortest augmenting paths over reduced costs. Shared by
+/// solve_ssp and the warm-start resolve. On entry ws.ssp.excess holds
+/// the node imbalances and ws.ssp.pi valid potentials (all residual
+/// reduced costs non-negative); ws.ssp.prepare() must have run for
+/// res.num_nodes(). Returns kOptimal once balanced, kInfeasible when an
+/// excess cannot reach a deficit, or kBudgetExceeded.
+///
+/// \p max_sinks_per_round caps how many settled deficit nodes a single
+/// Dijkstra round augments to (from one shortest-path forest, potentials
+/// stay valid throughout). 1 is the canonical early-exit-at-nearest
+/// order the differential tests pin down; the warm-start resolve passes
+/// more because its saturation repair scatters many small excesses whose
+/// deficits cluster inside one search radius. Values > 1 may legally
+/// pick a different equal-cost optimum.
+SolveStatus ssp_drain(Residual& res, SolveGuard* guard, SolverWorkspace& ws,
+                      int max_sinks_per_round = 1);
 
 /// Establishes any feasible flow with Dinic, then cancels Bellman-Ford
 /// negative cycles until optimal. Slow; used as a cross-check.
-FlowSolution solve_cycle_canceling(const Graph& g,
-                                   SolveGuard* guard = nullptr);
+FlowSolution solve_cycle_canceling(const Graph& g, SolveGuard* guard = nullptr,
+                                   SolverWorkspace* ws = nullptr);
 
 /// Primal network simplex with an artificial root and strongly feasible
 /// pivoting.
-FlowSolution solve_network_simplex(const Graph& g,
-                                   SolveGuard* guard = nullptr);
+FlowSolution solve_network_simplex(const Graph& g, SolveGuard* guard = nullptr,
+                                   SolverWorkspace* ws = nullptr);
 
 /// Goldberg-Tarjan cost-scaling push-relabel.
-FlowSolution solve_cost_scaling(const Graph& g, SolveGuard* guard = nullptr);
+FlowSolution solve_cost_scaling(const Graph& g, SolveGuard* guard = nullptr,
+                                SolverWorkspace* ws = nullptr);
 
 }  // namespace lera::netflow::internal

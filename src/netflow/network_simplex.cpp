@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "netflow/internal_solvers.hpp"
+#include "netflow/workspace.hpp"
 
 /// Primal network simplex (Ahuja/Magnanti/Orlin ch. 11 formulation).
 ///
@@ -15,67 +16,77 @@
 /// depths are recomputed from the parent array after every tree change;
 /// this is O(n) per pivot and perfectly adequate at allocation-problem
 /// scale while keeping the code auditable.
+///
+/// All state lives in SoA arrays borrowed from a SimplexScratch, so a
+/// reused workspace makes repeated solves allocation-free; the pivot
+/// cycle and the child lists used by the potential refresh are likewise
+/// scratch-owned instead of being rebuilt on the heap every pivot.
 
 namespace lera::netflow::internal {
 
 namespace {
 
-enum class ArcState : char { kTree, kLower, kUpper };
-
-struct SimplexArc {
-  NodeId tail;
-  NodeId head;
-  Flow cap;
-  Cost cost;
-};
+constexpr signed char kTree = 0;
+constexpr signed char kLower = 1;
+constexpr signed char kUpper = 2;
 
 class NetworkSimplex {
  public:
-  explicit NetworkSimplex(const Graph& g) : orig_arcs_(g.num_arcs()) {
+  NetworkSimplex(const Graph& g, SimplexScratch& s)
+      : s_(s), orig_arcs_(g.num_arcs()) {
     const NodeId n = g.num_nodes();
     root_ = n;
     num_nodes_ = n + 1;
+    const auto total_arcs =
+        static_cast<std::size_t>(orig_arcs_) + static_cast<std::size_t>(n);
+
+    s_.tail.clear();
+    s_.head.clear();
+    s_.cap.clear();
+    s_.cost.clear();
+    s_.flow.clear();
+    s_.state.clear();
+    s_.tail.reserve(total_arcs);
+    s_.head.reserve(total_arcs);
+    s_.cap.reserve(total_arcs);
+    s_.cost.reserve(total_arcs);
+    s_.flow.reserve(total_arcs);
+    s_.state.reserve(total_arcs);
 
     Cost max_abs_cost = 1;
     for (ArcId a = 0; a < g.num_arcs(); ++a) {
       const Arc& arc = g.arc(a);
-      arcs_.push_back(SimplexArc{arc.tail, arc.head, arc.upper, arc.cost});
+      push_arc(arc.tail, arc.head, arc.upper, arc.cost, 0, kLower);
       max_abs_cost = std::max(max_abs_cost, std::abs(arc.cost));
     }
     const Cost big_m = max_abs_cost * static_cast<Cost>(num_nodes_ + 1) + 1;
 
-    flow_.assign(arcs_.size(), 0);
-    state_.assign(arcs_.size(), ArcState::kLower);
-
-    parent_.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
-    pred_arc_.assign(static_cast<std::size_t>(num_nodes_), kInvalidArc);
-    depth_.assign(static_cast<std::size_t>(num_nodes_), 0);
-    pi_.assign(static_cast<std::size_t>(num_nodes_), 0);
+    s_.parent.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
+    s_.pred_arc.assign(static_cast<std::size_t>(num_nodes_), kInvalidArc);
+    s_.depth.assign(static_cast<std::size_t>(num_nodes_), 0);
+    s_.pi.assign(static_cast<std::size_t>(num_nodes_), 0);
 
     // Artificial big-M arcs form the initial spanning-tree basis.
     for (NodeId v = 0; v < n; ++v) {
       const Flow b = g.supply(v);
-      const ArcId a = static_cast<ArcId>(arcs_.size());
+      const ArcId a = static_cast<ArcId>(s_.tail.size());
       if (b >= 0) {
-        arcs_.push_back(SimplexArc{v, root_, kInfFlow, big_m});
-        flow_.push_back(b);
+        push_arc(v, root_, kInfFlow, big_m, b, kTree);
       } else {
-        arcs_.push_back(SimplexArc{root_, v, kInfFlow, big_m});
-        flow_.push_back(-b);
+        push_arc(root_, v, kInfFlow, big_m, -b, kTree);
       }
-      state_.push_back(ArcState::kTree);
-      parent_[static_cast<std::size_t>(v)] = root_;
-      pred_arc_[static_cast<std::size_t>(v)] = a;
-      depth_[static_cast<std::size_t>(v)] = 1;
+      s_.parent[static_cast<std::size_t>(v)] = root_;
+      s_.pred_arc[static_cast<std::size_t>(v)] = a;
+      s_.depth[static_cast<std::size_t>(v)] = 1;
     }
     refresh_potentials();
   }
 
-  FlowSolution run(const Graph& g, SolveGuard* guard) {
+  FlowSolution run(const Graph& g, SolveGuard* guard, PerfCounters& pc) {
+    const std::size_t num_arcs = s_.tail.size();
     const std::size_t block =
-        std::max<std::size_t>(8, static_cast<std::size_t>(
-                                     std::sqrt(static_cast<double>(
-                                         arcs_.size()))));
+        std::max<std::size_t>(8, static_cast<std::size_t>(std::sqrt(
+                                     static_cast<double>(num_arcs))));
     std::size_t scan_start = 0;
     for (;;) {
       if (guard != nullptr && !guard->tick()) {
@@ -84,18 +95,20 @@ class NetworkSimplex {
       const ArcId entering = select_entering(block, &scan_start);
       if (entering == kInvalidArc) break;
       pivot(entering);
+      ++pc.simplex_pivots;
     }
 
     // Positive flow left on an artificial arc means no feasible b-flow.
-    for (std::size_t a = static_cast<std::size_t>(orig_arcs_);
-         a < arcs_.size(); ++a) {
-      if (flow_[a] > 0) return {};
+    for (std::size_t a = static_cast<std::size_t>(orig_arcs_); a < num_arcs;
+         ++a) {
+      if (s_.flow[a] > 0) return {};
     }
 
     FlowSolution sol;
     sol.status = SolveStatus::kOptimal;
-    sol.arc_flow.assign(flow_.begin(),
-                        flow_.begin() + static_cast<std::ptrdiff_t>(orig_arcs_));
+    sol.arc_flow.assign(
+        s_.flow.begin(),
+        s_.flow.begin() + static_cast<std::ptrdiff_t>(orig_arcs_));
     for (ArcId a = 0; a < orig_arcs_; ++a) {
       sol.cost += g.arc(a).cost * sol.arc_flow[static_cast<std::size_t>(a)];
     }
@@ -103,28 +116,38 @@ class NetworkSimplex {
   }
 
  private:
+  void push_arc(NodeId tail, NodeId head, Flow cap, Cost cost, Flow flow,
+                signed char state) {
+    s_.tail.push_back(tail);
+    s_.head.push_back(head);
+    s_.cap.push_back(cap);
+    s_.cost.push_back(cost);
+    s_.flow.push_back(flow);
+    s_.state.push_back(state);
+  }
+
   Cost reduced_cost(ArcId a) const {
-    const SimplexArc& arc = arcs_[static_cast<std::size_t>(a)];
-    return arc.cost + pi_[static_cast<std::size_t>(arc.tail)] -
-           pi_[static_cast<std::size_t>(arc.head)];
+    const auto i = static_cast<std::size_t>(a);
+    return s_.cost[i] + s_.pi[static_cast<std::size_t>(s_.tail[i])] -
+           s_.pi[static_cast<std::size_t>(s_.head[i])];
   }
 
   /// Cyclic block search: returns the most violating arc of the first
   /// block that contains any violation, or kInvalidArc at optimality.
   ArcId select_entering(std::size_t block, std::size_t* scan_start) {
+    const std::size_t num_arcs = s_.tail.size();
     std::size_t scanned = 0;
     std::size_t i = *scan_start;
     ArcId best = kInvalidArc;
     Cost best_violation = 0;
-    while (scanned < arcs_.size()) {
-      for (std::size_t in_block = 0;
-           in_block < block && scanned < arcs_.size();
-           ++in_block, ++scanned, i = (i + 1) % arcs_.size()) {
+    while (scanned < num_arcs) {
+      for (std::size_t in_block = 0; in_block < block && scanned < num_arcs;
+           ++in_block, ++scanned, i = (i + 1) % num_arcs) {
         const ArcId a = static_cast<ArcId>(i);
         Cost violation = 0;
-        if (state_[i] == ArcState::kLower) {
+        if (s_.state[i] == kLower) {
           violation = -reduced_cost(a);
-        } else if (state_[i] == ArcState::kUpper) {
+        } else if (s_.state[i] == kUpper) {
           violation = reduced_cost(a);
         }
         if (violation > best_violation) {
@@ -141,60 +164,60 @@ class NetworkSimplex {
   }
 
   void pivot(ArcId entering) {
-    const SimplexArc& earc = arcs_[static_cast<std::size_t>(entering)];
-    const bool increasing = state_[static_cast<std::size_t>(entering)] ==
-                            ArcState::kLower;
+    const auto ei = static_cast<std::size_t>(entering);
+    const bool increasing = s_.state[ei] == kLower;
     // Push direction p -> q through the entering arc.
-    const NodeId p = increasing ? earc.tail : earc.head;
-    const NodeId q = increasing ? earc.head : earc.tail;
+    const NodeId p = increasing ? s_.tail[ei] : s_.head[ei];
+    const NodeId q = increasing ? s_.head[ei] : s_.tail[ei];
 
     const NodeId join = find_join(p, q);
 
     // Cycle traversal along the orientation starting at the apex:
     //   join --(tree, downward)--> p --(entering)--> q --(tree, up)--> join.
     // Collect (arc, forward?) in that order; forward means the push goes
-    // with the arc's own direction.
-    struct CycleStep {
-      ArcId arc;
-      bool with_arc_direction;
-      NodeId below;  ///< Subtree-side endpoint (kInvalidNode for entering).
-    };
-    std::vector<CycleStep> steps;
+    // with the arc's own direction. Steps live in scratch-owned parallel
+    // arrays (cycle_arc / cycle_dir / cycle_below).
+    s_.cycle_arc.clear();
+    s_.cycle_dir.clear();
+    s_.cycle_below.clear();
 
     // p-side: path p..join collected bottom-up, then reversed so the
     // traversal runs join -> p. Walking down from join towards p, the
     // push direction at tree arc (w, parent(w)) is parent(w) -> w.
-    std::vector<CycleStep> p_side;
-    for (NodeId w = p; w != join; w = parent_[static_cast<std::size_t>(w)]) {
-      const ArcId t = pred_arc_[static_cast<std::size_t>(w)];
-      const bool with_dir =
-          arcs_[static_cast<std::size_t>(t)].tail ==
-          parent_[static_cast<std::size_t>(w)];
-      p_side.push_back(CycleStep{t, with_dir, w});
+    for (NodeId w = p; w != join; w = s_.parent[static_cast<std::size_t>(w)]) {
+      const ArcId t = s_.pred_arc[static_cast<std::size_t>(w)];
+      const bool with_dir = s_.tail[static_cast<std::size_t>(t)] ==
+                            s_.parent[static_cast<std::size_t>(w)];
+      s_.cycle_arc.push_back(t);
+      s_.cycle_dir.push_back(with_dir ? 1 : 0);
+      s_.cycle_below.push_back(w);
     }
-    std::reverse(p_side.begin(), p_side.end());
-    steps.insert(steps.end(), p_side.begin(), p_side.end());
+    std::reverse(s_.cycle_arc.begin(), s_.cycle_arc.end());
+    std::reverse(s_.cycle_dir.begin(), s_.cycle_dir.end());
+    std::reverse(s_.cycle_below.begin(), s_.cycle_below.end());
 
-    steps.push_back(CycleStep{entering, increasing, kInvalidNode});
+    s_.cycle_arc.push_back(entering);
+    s_.cycle_dir.push_back(increasing ? 1 : 0);
+    s_.cycle_below.push_back(kInvalidNode);
 
     // q-side: walking up from q to join; push direction w -> parent(w).
-    for (NodeId w = q; w != join; w = parent_[static_cast<std::size_t>(w)]) {
-      const ArcId t = pred_arc_[static_cast<std::size_t>(w)];
-      const bool with_dir =
-          arcs_[static_cast<std::size_t>(t)].tail == w;
-      steps.push_back(CycleStep{t, with_dir, w});
+    for (NodeId w = q; w != join; w = s_.parent[static_cast<std::size_t>(w)]) {
+      const ArcId t = s_.pred_arc[static_cast<std::size_t>(w)];
+      const bool with_dir = s_.tail[static_cast<std::size_t>(t)] == w;
+      s_.cycle_arc.push_back(t);
+      s_.cycle_dir.push_back(with_dir ? 1 : 0);
+      s_.cycle_below.push_back(w);
     }
 
     // Bottleneck and leaving arc: the LAST blocking arc along the
     // traversal preserves strong feasibility (AMO §11.13).
+    const std::size_t num_steps = s_.cycle_arc.size();
     Flow delta = kInfFlow;
-    std::size_t leave_index = steps.size();
-    for (std::size_t idx = 0; idx < steps.size(); ++idx) {
-      const CycleStep& s = steps[idx];
-      const SimplexArc& arc = arcs_[static_cast<std::size_t>(s.arc)];
-      const Flow slack = s.with_arc_direction
-                             ? arc.cap - flow_[static_cast<std::size_t>(s.arc)]
-                             : flow_[static_cast<std::size_t>(s.arc)];
+    std::size_t leave_index = num_steps;
+    for (std::size_t idx = 0; idx < num_steps; ++idx) {
+      const auto ai = static_cast<std::size_t>(s_.cycle_arc[idx]);
+      const Flow slack =
+          s_.cycle_dir[idx] != 0 ? s_.cap[ai] - s_.flow[ai] : s_.flow[ai];
       if (slack < delta) {
         delta = slack;
         leave_index = idx;
@@ -202,54 +225,53 @@ class NetworkSimplex {
         leave_index = idx;
       }
     }
-    assert(leave_index < steps.size());
+    assert(leave_index < num_steps);
     assert(delta < kInfFlow && "unbounded pivot; use finite capacities");
 
     if (delta > 0) {
-      for (const CycleStep& s : steps) {
-        flow_[static_cast<std::size_t>(s.arc)] +=
-            s.with_arc_direction ? delta : -delta;
+      for (std::size_t idx = 0; idx < num_steps; ++idx) {
+        const auto ai = static_cast<std::size_t>(s_.cycle_arc[idx]);
+        s_.flow[ai] += s_.cycle_dir[idx] != 0 ? delta : -delta;
       }
     }
 
-    const CycleStep leaving = steps[leave_index];
-    if (leaving.arc == entering) {
+    const ArcId leaving_arc = s_.cycle_arc[leave_index];
+    const NodeId leaving_below = s_.cycle_below[leave_index];
+    if (leaving_arc == entering) {
       // Degenerate-in-structure pivot: the entering arc saturates without
       // changing the basis; it flips to the other bound.
-      state_[static_cast<std::size_t>(entering)] =
-          increasing ? ArcState::kUpper : ArcState::kLower;
+      s_.state[ei] = increasing ? kUpper : kLower;
       return;
     }
 
     // The leaving tree arc drops to whichever bound it hit.
-    state_[static_cast<std::size_t>(leaving.arc)] =
-        flow_[static_cast<std::size_t>(leaving.arc)] == 0 ? ArcState::kLower
-                                                          : ArcState::kUpper;
-    state_[static_cast<std::size_t>(entering)] = ArcState::kTree;
+    s_.state[static_cast<std::size_t>(leaving_arc)] =
+        s_.flow[static_cast<std::size_t>(leaving_arc)] == 0 ? kLower : kUpper;
+    s_.state[ei] = kTree;
 
     // Removing the leaving arc detaches the subtree rooted at
-    // leaving.below; exactly one endpoint of the entering arc lies in it.
-    const NodeId detached_root = leaving.below;
-    const NodeId in_subtree = in_detached_subtree(earc.tail, detached_root)
-                                  ? earc.tail
-                                  : earc.head;
+    // leaving_below; exactly one endpoint of the entering arc lies in it.
+    const NodeId detached_root = leaving_below;
+    const NodeId in_subtree =
+        in_detached_subtree(s_.tail[ei], detached_root) ? s_.tail[ei]
+                                                        : s_.head[ei];
     assert(in_detached_subtree(in_subtree, detached_root));
     const NodeId outside =
-        in_subtree == earc.tail ? earc.head : earc.tail;
+        in_subtree == s_.tail[ei] ? s_.head[ei] : s_.tail[ei];
 
     // Re-root the detached subtree at in_subtree by reversing the parent
     // chain in_subtree -> ... -> detached_root, then hang it on outside.
     NodeId child = in_subtree;
-    NodeId child_parent = parent_[static_cast<std::size_t>(child)];
-    ArcId child_arc = pred_arc_[static_cast<std::size_t>(child)];
-    parent_[static_cast<std::size_t>(in_subtree)] = outside;
-    pred_arc_[static_cast<std::size_t>(in_subtree)] = entering;
+    NodeId child_parent = s_.parent[static_cast<std::size_t>(child)];
+    ArcId child_arc = s_.pred_arc[static_cast<std::size_t>(child)];
+    s_.parent[static_cast<std::size_t>(in_subtree)] = outside;
+    s_.pred_arc[static_cast<std::size_t>(in_subtree)] = entering;
     while (child != detached_root) {
       const NodeId next_parent =
-          parent_[static_cast<std::size_t>(child_parent)];
-      const ArcId next_arc = pred_arc_[static_cast<std::size_t>(child_parent)];
-      parent_[static_cast<std::size_t>(child_parent)] = child;
-      pred_arc_[static_cast<std::size_t>(child_parent)] = child_arc;
+          s_.parent[static_cast<std::size_t>(child_parent)];
+      const ArcId next_arc = s_.pred_arc[static_cast<std::size_t>(child_parent)];
+      s_.parent[static_cast<std::size_t>(child_parent)] = child;
+      s_.pred_arc[static_cast<std::size_t>(child_parent)] = child_arc;
       child = child_parent;
       child_parent = next_parent;
       child_arc = next_arc;
@@ -261,11 +283,11 @@ class NetworkSimplex {
   /// Lowest common ancestor of u and v in the current tree.
   NodeId find_join(NodeId u, NodeId v) const {
     while (u != v) {
-      if (depth_[static_cast<std::size_t>(u)] >=
-          depth_[static_cast<std::size_t>(v)]) {
-        u = parent_[static_cast<std::size_t>(u)];
+      if (s_.depth[static_cast<std::size_t>(u)] >=
+          s_.depth[static_cast<std::size_t>(v)]) {
+        u = s_.parent[static_cast<std::size_t>(u)];
       } else {
-        v = parent_[static_cast<std::size_t>(v)];
+        v = s_.parent[static_cast<std::size_t>(v)];
       }
     }
     return u;
@@ -275,61 +297,68 @@ class NetworkSimplex {
   /// note depths are still those from before the tree update).
   bool in_detached_subtree(NodeId v, NodeId subtree_root) const {
     while (v != kInvalidNode &&
-           depth_[static_cast<std::size_t>(v)] >=
-               depth_[static_cast<std::size_t>(subtree_root)]) {
+           s_.depth[static_cast<std::size_t>(v)] >=
+               s_.depth[static_cast<std::size_t>(subtree_root)]) {
       if (v == subtree_root) return true;
-      v = parent_[static_cast<std::size_t>(v)];
+      v = s_.parent[static_cast<std::size_t>(v)];
     }
     return false;
   }
 
-  /// Rebuilds depth_ and pi_ from parent_/pred_arc_ by DFS from the root.
+  /// Rebuilds depth_ and pi_ from parent/pred_arc by DFS from the root.
+  /// Children are threaded through scratch-owned intrusive lists
+  /// (child_first/child_next), so no per-pivot allocation; traversal
+  /// order does not affect the computed values (the tree fixes them).
   void refresh_potentials() {
-    std::vector<std::vector<NodeId>> children(
-        static_cast<std::size_t>(num_nodes_));
+    s_.child_first.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
+    s_.child_next.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
     for (NodeId v = 0; v < num_nodes_; ++v) {
       if (v == root_) continue;
-      children[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])]
-          .push_back(v);
+      const auto p = static_cast<std::size_t>(
+          s_.parent[static_cast<std::size_t>(v)]);
+      s_.child_next[static_cast<std::size_t>(v)] = s_.child_first[p];
+      s_.child_first[p] = v;
     }
-    depth_[static_cast<std::size_t>(root_)] = 0;
-    pi_[static_cast<std::size_t>(root_)] = 0;
-    std::vector<NodeId> stack{root_};
-    while (!stack.empty()) {
-      const NodeId u = stack.back();
-      stack.pop_back();
-      for (NodeId c : children[static_cast<std::size_t>(u)]) {
-        depth_[static_cast<std::size_t>(c)] =
-            depth_[static_cast<std::size_t>(u)] + 1;
-        const SimplexArc& arc =
-            arcs_[static_cast<std::size_t>(pred_arc_[static_cast<std::size_t>(c)])];
+    s_.depth[static_cast<std::size_t>(root_)] = 0;
+    s_.pi[static_cast<std::size_t>(root_)] = 0;
+    s_.stack.clear();
+    s_.stack.push_back(root_);
+    while (!s_.stack.empty()) {
+      const NodeId u = s_.stack.back();
+      s_.stack.pop_back();
+      for (NodeId c = s_.child_first[static_cast<std::size_t>(u)];
+           c != kInvalidNode;
+           c = s_.child_next[static_cast<std::size_t>(c)]) {
+        s_.depth[static_cast<std::size_t>(c)] =
+            s_.depth[static_cast<std::size_t>(u)] + 1;
+        const auto ai = static_cast<std::size_t>(
+            s_.pred_arc[static_cast<std::size_t>(c)]);
         // Tree arcs have zero reduced cost: cost + pi[tail] - pi[head] = 0.
-        pi_[static_cast<std::size_t>(c)] =
-            arc.tail == u ? pi_[static_cast<std::size_t>(u)] + arc.cost
-                          : pi_[static_cast<std::size_t>(u)] - arc.cost;
-        stack.push_back(c);
+        s_.pi[static_cast<std::size_t>(c)] =
+            s_.tail[ai] == u
+                ? s_.pi[static_cast<std::size_t>(u)] + s_.cost[ai]
+                : s_.pi[static_cast<std::size_t>(u)] - s_.cost[ai];
+        s_.stack.push_back(c);
       }
     }
   }
 
+  SimplexScratch& s_;
   ArcId orig_arcs_;
   NodeId root_ = kInvalidNode;
   NodeId num_nodes_ = 0;
-  std::vector<SimplexArc> arcs_;
-  std::vector<Flow> flow_;
-  std::vector<ArcState> state_;
-  std::vector<NodeId> parent_;
-  std::vector<ArcId> pred_arc_;
-  std::vector<NodeId> depth_;
-  std::vector<Cost> pi_;
 };
 
 }  // namespace
 
-FlowSolution solve_network_simplex(const Graph& g, SolveGuard* guard) {
+FlowSolution solve_network_simplex(const Graph& g, SolveGuard* guard,
+                                   SolverWorkspace* ws) {
   if (g.total_supply() != 0) return {};
-  NetworkSimplex simplex(g);
-  return simplex.run(g, guard);
+  SolverWorkspace local;
+  SolverWorkspace& w = ws != nullptr ? *ws : local;
+  ++w.counters.solves;
+  NetworkSimplex simplex(g, w.simplex);
+  return simplex.run(g, guard, w.counters);
 }
 
 }  // namespace lera::netflow::internal

@@ -2,17 +2,35 @@
 
 namespace lera::netflow {
 
-Residual::Residual(const Graph& g) : num_nodes_(g.num_nodes()) {
+void Residual::assign(const Graph& g) {
   assert(!g.has_lower_bounds() &&
          "remove lower bounds before building a residual network");
-  edges_.reserve(static_cast<std::size_t>(g.num_arcs()) * 2);
-  out_.assign(static_cast<std::size_t>(num_nodes_), {});
+  num_nodes_ = g.num_nodes();
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  const auto m = static_cast<std::size_t>(g.num_arcs());
+
+  edges_.clear();
+  edges_.reserve(m * 2);
+  // Degree histogram -> prefix sums -> fill pass in arc order. Each
+  // arc contributes its forward edge to the tail's list and its twin to
+  // the head's list, in that order, matching the historical build.
+  first_out_.assign(n + 1, 0);
+  for (const Arc& arc : g.arcs()) {
+    ++first_out_[static_cast<std::size_t>(arc.tail) + 1];
+    ++first_out_[static_cast<std::size_t>(arc.head) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) first_out_[v + 1] += first_out_[v];
+  out_ids_.resize(m * 2);
+  cursor_.assign(first_out_.begin(), first_out_.end() - 1);
+  std::vector<int>& cursor = cursor_;
   for (ArcId a = 0; a < g.num_arcs(); ++a) {
     const Arc& arc = g.arc(a);
     edges_.push_back(Edge{arc.head, arc.upper, arc.cost});
     edges_.push_back(Edge{arc.tail, 0, -arc.cost});
-    out_[static_cast<std::size_t>(arc.tail)].push_back(2 * a);
-    out_[static_cast<std::size_t>(arc.head)].push_back(2 * a + 1);
+    out_ids_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(arc.tail)]++)] = 2 * a;
+    out_ids_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(arc.head)]++)] = 2 * a + 1;
   }
 }
 

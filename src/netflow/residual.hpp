@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <vector>
 
 #include "netflow/graph.hpp"
@@ -13,6 +14,14 @@
 /// 2a+1. Pushing flow on one edge frees capacity on its twin. Lower
 /// bounds must already have been removed (see lower_bounds.hpp); the
 /// constructor asserts this.
+///
+/// Adjacency is flat CSR: `out_ids_[first_out_[v] .. first_out_[v+1])`
+/// lists the edge ids leaving v, both forward edges and backward twins,
+/// in arc insertion order (identical to the historical per-node
+/// push_back order, so solver iteration order — and therefore the exact
+/// solution picked among cost ties — is unchanged). assign() rebuilds in
+/// place so a workspace-owned Residual reuses its allocations across
+/// solves.
 
 namespace lera::netflow {
 
@@ -25,7 +34,29 @@ class Residual {
     Cost cost = 0;               ///< Cost per unit (negated on twins).
   };
 
-  explicit Residual(const Graph& g);
+  /// Lightweight view over the edge ids leaving one node.
+  class EdgeSpan {
+   public:
+    EdgeSpan(const int* first, const int* last) : first_(first), last_(last) {}
+    std::size_t size() const { return static_cast<std::size_t>(last_ - first_); }
+    bool empty() const { return first_ == last_; }
+    int operator[](std::size_t i) const {
+      assert(i < size());
+      return first_[i];
+    }
+    const int* begin() const { return first_; }
+    const int* end() const { return last_; }
+
+   private:
+    const int* first_;
+    const int* last_;
+  };
+
+  Residual() = default;
+  explicit Residual(const Graph& g) { assign(g); }
+
+  /// (Re)builds the residual network of \p g, reusing existing storage.
+  void assign(const Graph& g);
 
   NodeId num_nodes() const { return num_nodes_; }
   int num_edges() const { return static_cast<int>(edges_.size()); }
@@ -36,9 +67,11 @@ class Residual {
   }
 
   /// Edge ids leaving \p v (both forward edges and backward twins).
-  const std::vector<int>& out(NodeId v) const {
+  EdgeSpan out(NodeId v) const {
     assert(v >= 0 && v < num_nodes_);
-    return out_[static_cast<std::size_t>(v)];
+    const auto i = static_cast<std::size_t>(v);
+    return EdgeSpan(out_ids_.data() + first_out_[i],
+                    out_ids_.data() + first_out_[i + 1]);
   }
 
   /// Tail of edge \p e (the head of its twin).
@@ -68,7 +101,9 @@ class Residual {
  private:
   NodeId num_nodes_ = 0;
   std::vector<Edge> edges_;
-  std::vector<std::vector<int>> out_;
+  std::vector<int> first_out_;
+  std::vector<int> out_ids_;
+  std::vector<int> cursor_;  ///< Fill-pass scratch, kept for reuse.
 };
 
 }  // namespace lera::netflow

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "netflow/validate.hpp"
+#include "netflow/warm.hpp"
+#include "netflow/workspace.hpp"
 
 namespace lera::netflow {
 
@@ -180,14 +182,29 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
   SolveDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
   diag = SolveDiagnostics{};
 
+  // All attempts run through one scratch arena: the caller's, or a
+  // throwaway local one so the perf counters are populated either way.
+  SolverWorkspace local_ws;
+  SolverWorkspace* ws =
+      options.workspace != nullptr ? options.workspace : &local_ws;
+  if (ws->used) ++ws->counters.workspace_reuse_hits;
+  ws->used = true;
+  const PerfCounters perf_base = ws->counters;
+
   const auto t0 = std::chrono::steady_clock::now();
   auto elapsed = [&t0]() {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)
         .count();
   };
+  auto ns_since = [](std::chrono::steady_clock::time_point from) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - from)
+        .count();
+  };
   auto finish = [&](FlowSolution sol) {
     diag.wall_seconds = elapsed();
+    diag.perf = ws->counters.delta_since(perf_base);
     return sol;
   };
   /// Seconds of time budget left: the tighter of max_seconds_total and
@@ -214,7 +231,9 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
 
   if (options.cancel.cancelled()) return cancelled_verdict();
 
+  const auto t_validate = std::chrono::steady_clock::now();
   const InstanceReport report = validate_instance(g);
+  ws->counters.validate_ns += ns_since(t_validate);
   diag.instance_errors = report.errors;
   diag.instance_warnings = report.warnings;
   if (!report.ok()) {
@@ -227,6 +246,79 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
     }
     diag.message = "rejected: " + bad.message;
     return finish(bad);
+  }
+
+  // Timed wrapper for the certification checks.
+  auto certify_timed = [&](const FlowSolution& sol, CertifyLevel level,
+                           std::string& why) {
+    const auto t_cert = std::chrono::steady_clock::now();
+    const bool ok = certify_answer(g, sol, level, why);
+    ws->counters.certify_ns += ns_since(t_cert);
+    return ok;
+  };
+
+  // Warm start: when the cache holds a prior optimal flow for this very
+  // topology, repair it for the new costs/capacities instead of solving
+  // cold. The warm answer is always certified (at least kFeasible) so a
+  // stale or wrong cache entry falls back to the cold chain instead of
+  // leaking through.
+  if (options.warm_cache != nullptr && options.warm_cache->matches(g)) {
+    diag.warm_start_attempted = true;
+    const double remaining = remaining_budget();
+    if (remaining > 0) {
+      SolveGuard guard;
+      guard.max_iterations = options.max_iterations_per_solver;
+      guard.cancel = options.cancel;
+      if (remaining != std::numeric_limits<double>::infinity()) {
+        guard.max_seconds = remaining;
+      }
+      guard.start();
+      const double t_attempt = elapsed();
+      const auto t_solve = std::chrono::steady_clock::now();
+      FlowSolution sol = resolve_warm(g, *options.warm_cache, &guard, ws);
+      ws->counters.solve_ns += ns_since(t_solve);
+      if (sol.status == SolveStatus::kOptimal && options.post_solve_hook) {
+        options.post_solve_hook(g, sol);
+      }
+
+      SolveAttempt attempt;
+      attempt.solver = SolverKind::kSuccessiveShortestPaths;
+      attempt.status = sol.status;
+      attempt.iterations = guard.iterations;
+      attempt.seconds = elapsed() - t_attempt;
+      attempt.note = "warm-start";
+      diag.iterations += guard.iterations;
+
+      if (guard.cancelled) {
+        diag.attempts.push_back(attempt);
+        return cancelled_verdict();
+      }
+      if (sol.status == SolveStatus::kOptimal) {
+        const CertifyLevel level = options.certify == CertifyLevel::kNone
+                                       ? CertifyLevel::kFeasible
+                                       : options.certify;
+        std::string why;
+        if (certify_timed(sol, level, why)) {
+          attempt.certified = true;
+          diag.attempts.push_back(attempt);
+          diag.solver_used = SolverKind::kSuccessiveShortestPaths;
+          diag.certification = CertificationVerdict::kPassed;
+          diag.warm_start_hit = true;
+          ++ws->counters.warm_start_hits;
+          diag.message = "optimal via warm-start resolve";
+          options.warm_cache->store(g, sol.arc_flow);
+          return finish(sol);
+        }
+        attempt.note = "warm-start rejected: " + why;
+        diag.attempts.push_back(attempt);
+      } else {
+        attempt.note = "warm-start fell back to cold solve";
+        diag.attempts.push_back(attempt);
+      }
+    }
+  }
+  if (options.warm_cache != nullptr && !diag.warm_start_hit) {
+    ++ws->counters.warm_start_misses;
   }
 
   const std::vector<SolverKind> chain = effective_chain(options);
@@ -284,7 +376,9 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
       }
 
       const double t_attempt = elapsed();
-      FlowSolution sol = solve(g, kind, &guard);
+      const auto t_solve = std::chrono::steady_clock::now();
+      FlowSolution sol = solve(g, kind, &guard, ws);
+      ws->counters.solve_ns += ns_since(t_solve);
       if (sol.status == SolveStatus::kOptimal && options.post_solve_hook) {
         options.post_solve_hook(g, sol);
       }
@@ -300,7 +394,7 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
       switch (sol.status) {
         case SolveStatus::kOptimal: {
           std::string why;
-          if (certify_answer(g, sol, options.certify, why)) {
+          if (certify_timed(sol, options.certify, why)) {
             attempt.certified = options.certify != CertifyLevel::kNone;
             diag.attempts.push_back(attempt);
             diag.solver_used = kind;
@@ -317,6 +411,9 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
                                 : "");
             if (options.breaker != nullptr) {
               options.breaker->record_success(kind);
+            }
+            if (options.warm_cache != nullptr) {
+              options.warm_cache->store(g, sol.arc_flow);
             }
             return finish(sol);
           }

@@ -10,6 +10,7 @@
 #include "netflow/cancel.hpp"
 #include "netflow/graph.hpp"
 #include "netflow/solution.hpp"
+#include "netflow/workspace.hpp"
 
 /// \file robust.hpp
 /// The guarded solve path: validate the instance, run the primary solver
@@ -21,6 +22,8 @@
 /// solve_robust instead of trusting any single algorithm.
 
 namespace lera::netflow {
+
+class WarmStartCache;
 
 /// How much of validate.hpp to run on every accepted answer.
 enum class CertifyLevel {
@@ -128,6 +131,19 @@ struct SolveOptions {
   /// must outlive the solve; solve_robust never takes ownership.
   CircuitBreaker* breaker = nullptr;
 
+  /// Optional reusable scratch arena (workspace.hpp) lent to every
+  /// solver attempt; also accumulates the perf counters reported in
+  /// SolveDiagnostics::perf. Never owned; must not be shared with a
+  /// concurrently running solve. Results are identical with or without.
+  SolverWorkspace* workspace = nullptr;
+  /// Optional warm-start cache (warm.hpp). When the cache holds a prior
+  /// optimal flow for this topology, a warm resolve is attempted before
+  /// the solver chain; its answer is ALWAYS certified (at least
+  /// kFeasible, even under CertifyLevel::kNone), and any failure falls
+  /// back to the cold chain. Certified optimal answers — warm or cold —
+  /// refresh the cache. Never owned; single solve stream at a time.
+  WarmStartCache* warm_cache = nullptr;
+
   /// Test-only seam: invoked on every solver answer that claims
   /// optimality, before certification. The fault-injection harness uses
   /// it to prove the certification layer catches corrupted solutions.
@@ -191,6 +207,13 @@ struct SolveDiagnostics {
   /// names, in chain order.
   std::vector<std::string> breaker_skips;
   CertificationVerdict certification = CertificationVerdict::kNotRun;
+  /// A warm-start resolve actually ran (the cache matched the topology).
+  bool warm_start_attempted = false;
+  /// The returned answer came from the warm-start path.
+  bool warm_start_hit = false;
+  /// Solver performance counters for THIS solve (heap traffic,
+  /// augmentations, per-phase nanoseconds; see workspace.hpp glossary).
+  PerfCounters perf;
   double wall_seconds = 0;        ///< Whole robust solve, validation included.
   std::int64_t iterations = 0;    ///< Guard ticks summed over all attempts.
   std::string message;            ///< One-line human-readable outcome.

@@ -59,23 +59,25 @@ FlowSolution cancelled_solution(SolverKind kind) {
   return out;
 }
 
-FlowSolution dispatch(const Graph& g, SolverKind kind, SolveGuard* guard) {
+FlowSolution dispatch(const Graph& g, SolverKind kind, SolveGuard* guard,
+                      SolverWorkspace* ws) {
   switch (kind) {
     case SolverKind::kSuccessiveShortestPaths:
-      return internal::solve_ssp(g, guard);
+      return internal::solve_ssp(g, guard, ws);
     case SolverKind::kCycleCanceling:
-      return internal::solve_cycle_canceling(g, guard);
+      return internal::solve_cycle_canceling(g, guard, ws);
     case SolverKind::kNetworkSimplex:
-      return internal::solve_network_simplex(g, guard);
+      return internal::solve_network_simplex(g, guard, ws);
     case SolverKind::kCostScaling:
-      return internal::solve_cost_scaling(g, guard);
+      return internal::solve_cost_scaling(g, guard, ws);
   }
   return {};
 }
 
 }  // namespace
 
-FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard) {
+FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard,
+                   SolverWorkspace* ws) {
   if (g.total_supply() != 0) {
     FlowSolution bad;
     bad.status = SolveStatus::kBadInstance;
@@ -106,10 +108,12 @@ FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard) {
     return sol;
   };
 
-  if (!g.has_lower_bounds()) return relabel_cancelled(dispatch(g, kind, guard));
+  if (!g.has_lower_bounds()) {
+    return relabel_cancelled(dispatch(g, kind, guard, ws));
+  }
 
   const LowerBoundReduction red = remove_lower_bounds(g);
-  FlowSolution sol = relabel_cancelled(dispatch(red.reduced, kind, guard));
+  FlowSolution sol = relabel_cancelled(dispatch(red.reduced, kind, guard, ws));
   if (!sol.optimal()) return sol;
   sol.arc_flow = restore_lower_bounds(red, sol.arc_flow);
   sol.cost += red.fixed_cost;
@@ -117,11 +121,12 @@ FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard) {
 }
 
 FlowSolution solve_st_flow(const Graph& g, NodeId s, NodeId t, Flow value,
-                           SolverKind kind, SolveGuard* guard) {
+                           SolverKind kind, SolveGuard* guard,
+                           SolverWorkspace* ws) {
   Graph copy = g;
   copy.add_supply(s, value);
   copy.add_supply(t, -value);
-  return solve(copy, kind, guard);
+  return solve(copy, kind, guard, ws);
 }
 
 }  // namespace lera::netflow

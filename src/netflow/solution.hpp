@@ -16,6 +16,7 @@
 namespace lera::netflow {
 
 class Graph;
+struct SolverWorkspace;
 
 /// Outcome of a solve attempt.
 enum class SolveStatus {
@@ -166,16 +167,19 @@ std::string to_string(SolverKind kind);
 /// Unbalanced instances (g.total_supply() != 0) are rejected with
 /// kBadInstance; arcs may carry negative costs and nonzero lower bounds.
 /// An optional \p guard imposes iteration / wall-time budgets on the run
-/// (kBudgetExceeded when they run out).
+/// (kBudgetExceeded when they run out). An optional \p ws lends the
+/// solver reusable scratch storage (see workspace.hpp); passing one
+/// never changes the result, only allocation behavior.
 FlowSolution solve(const Graph& g,
                    SolverKind kind = SolverKind::kSuccessiveShortestPaths,
-                   SolveGuard* guard = nullptr);
+                   SolveGuard* guard = nullptr, SolverWorkspace* ws = nullptr);
 
 /// Convenience wrapper for the classic fixed-value s-t flow problem used
 /// by the paper (flow value F = number of registers R): sets
 /// supply(s)=+F, supply(t)=-F on a copy of \p g and solves it.
 FlowSolution solve_st_flow(const Graph& g, NodeId s, NodeId t, Flow value,
                            SolverKind kind = SolverKind::kSuccessiveShortestPaths,
-                           SolveGuard* guard = nullptr);
+                           SolveGuard* guard = nullptr,
+                           SolverWorkspace* ws = nullptr);
 
 }  // namespace lera::netflow

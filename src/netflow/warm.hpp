@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "netflow/graph.hpp"
+#include "netflow/solution.hpp"
+
+/// \file warm.hpp
+/// Warm-start resolve: reuse the optimal flow of a previous solve when a
+/// re-submitted instance shares its topology (same nodes, arcs and
+/// supplies) and differs only in arc costs and/or capacities — the
+/// explore-schedules and voltage-sweep pattern.
+///
+/// The cache stores the prior optimal flow *and* a set of potentials
+/// valid for it (computed once at store() time). The warm path clamps
+/// the cached flow to the new capacities (creating excesses where
+/// capacity shrank), then saturates every residual edge whose reduced
+/// cost went negative under the new costs — after which the cached
+/// potentials are valid again — and repairs the accumulated imbalance
+/// with ordinary SSP augmentations. Small perturbations violate few
+/// edges, so the repair is a handful of short Dijkstra runs instead of
+/// a full solve. The result satisfies the same optimality invariant as
+/// a cold SSP solve; callers are expected to certify it regardless
+/// (solve_robust always does), so a wrong warm start fails loudly,
+/// never silently.
+
+namespace lera::netflow {
+
+struct SolverWorkspace;
+
+/// Topology-keyed snapshot of the last certified-optimal solve. Not
+/// thread-safe: like a SolverWorkspace, a cache belongs to one
+/// sequential solve stream at a time.
+class WarmStartCache {
+ public:
+  /// True once store() has recorded a solve.
+  bool has_entry() const { return valid_; }
+
+  /// True when \p g has the cached topology: identical node/arc counts,
+  /// arc endpoints and supplies. Costs and capacities may differ.
+  /// Instances with lower bounds never match (the reduction would
+  /// change the topology underneath the cache).
+  bool matches(const Graph& g) const;
+
+  /// Records \p flow (an optimal feasible flow of \p g) as the seed for
+  /// future warm resolves, together with potentials proving its
+  /// optimality (label-corrected here, once, so every later resolve can
+  /// skip that work). No-op for graphs with lower bounds or if \p flow
+  /// is not actually optimal (its residual graph has a negative cycle).
+  void store(const Graph& g, const std::vector<Flow>& flow);
+
+  void clear();
+
+  const std::vector<Flow>& flow() const { return flow_; }
+  const std::vector<Cost>& potentials() const { return pi_; }
+
+ private:
+  bool valid_ = false;
+  std::vector<NodeId> tails_;
+  std::vector<NodeId> heads_;
+  std::vector<Flow> supplies_;
+  std::vector<Flow> flow_;
+  std::vector<Cost> pi_;
+};
+
+/// Re-solves \p g starting from the cached flow. Requires
+/// cache.matches(g). Returns kOptimal with the repaired flow on
+/// success; any other status (kInfeasible, kBudgetExceeded, or an
+/// internal bail-out) means the caller must fall back to a cold solve.
+FlowSolution resolve_warm(const Graph& g, const WarmStartCache& cache,
+                          SolveGuard* guard = nullptr,
+                          SolverWorkspace* ws = nullptr);
+
+}  // namespace lera::netflow

@@ -1,0 +1,205 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netflow/residual.hpp"
+#include "netflow/types.hpp"
+
+/// \file workspace.hpp
+/// Reusable scratch arena for the minimum-cost flow solvers.
+///
+/// A SolverWorkspace owns every allocation the hot solve path needs —
+/// the residual network, the SSP distance/potential/parent arrays and
+/// Dijkstra heap, and the network-simplex tree scratch — so a caller
+/// that solves many instances (Engine batch loops, explore sweeps,
+/// warm-start resolves) pays for vector growth once instead of per
+/// solve. Passing a workspace never changes results, only allocation
+/// behavior.
+///
+/// Ownership rules: a workspace may be reused across any number of
+/// sequential solves but must never be shared by two solves running
+/// concurrently — it is scratch memory, not shared state. The Engine
+/// keeps a bank of workspaces and leases one per in-flight solve.
+
+namespace lera::netflow {
+
+/// Monotonic performance counters accumulated by the solvers that run
+/// through a workspace. Aggregatable: add() folds one counter set into
+/// another (Engine-wide totals), delta_since() isolates a single solve.
+struct PerfCounters {
+  std::int64_t solves = 0;            ///< Solver runs through this arena.
+  std::int64_t augmentations = 0;     ///< SSP augmenting paths applied.
+  std::int64_t dijkstra_settles = 0;  ///< Nodes permanently labeled.
+  std::int64_t heap_pushes = 0;       ///< Dijkstra heap insertions.
+  std::int64_t heap_pops = 0;         ///< Dijkstra heap pop-mins.
+  std::int64_t simplex_pivots = 0;    ///< Network-simplex basis changes.
+  std::int64_t workspace_reuse_hits = 0;  ///< Solves on a pre-warmed arena.
+  std::int64_t warm_start_hits = 0;    ///< Resolves served from a prior flow.
+  std::int64_t warm_start_misses = 0;  ///< Warm attempts that fell to cold.
+  std::int64_t validate_ns = 0;  ///< Instance validation wall time.
+  std::int64_t solve_ns = 0;     ///< Solver-proper wall time.
+  std::int64_t certify_ns = 0;   ///< Certification wall time.
+
+  void reset() { *this = PerfCounters{}; }
+
+  void add(const PerfCounters& o) {
+    solves += o.solves;
+    augmentations += o.augmentations;
+    dijkstra_settles += o.dijkstra_settles;
+    heap_pushes += o.heap_pushes;
+    heap_pops += o.heap_pops;
+    simplex_pivots += o.simplex_pivots;
+    workspace_reuse_hits += o.workspace_reuse_hits;
+    warm_start_hits += o.warm_start_hits;
+    warm_start_misses += o.warm_start_misses;
+    validate_ns += o.validate_ns;
+    solve_ns += o.solve_ns;
+    certify_ns += o.certify_ns;
+  }
+
+  /// Counter values accumulated since \p base (field-wise this - base).
+  PerfCounters delta_since(const PerfCounters& base) const {
+    PerfCounters d;
+    d.solves = solves - base.solves;
+    d.augmentations = augmentations - base.augmentations;
+    d.dijkstra_settles = dijkstra_settles - base.dijkstra_settles;
+    d.heap_pushes = heap_pushes - base.heap_pushes;
+    d.heap_pops = heap_pops - base.heap_pops;
+    d.simplex_pivots = simplex_pivots - base.simplex_pivots;
+    d.workspace_reuse_hits = workspace_reuse_hits - base.workspace_reuse_hits;
+    d.warm_start_hits = warm_start_hits - base.warm_start_hits;
+    d.warm_start_misses = warm_start_misses - base.warm_start_misses;
+    d.validate_ns = validate_ns - base.validate_ns;
+    d.solve_ns = solve_ns - base.solve_ns;
+    d.certify_ns = certify_ns - base.certify_ns;
+    return d;
+  }
+
+  /// One-line key=value rendering for logs and --perf output.
+  std::string summary() const {
+    std::string out;
+    const auto field = [&out](const char* key, std::int64_t value) {
+      if (!out.empty()) out += ' ';
+      out += key;
+      out += '=';
+      out += std::to_string(value);
+    };
+    field("solves", solves);
+    field("augmentations", augmentations);
+    field("settles", dijkstra_settles);
+    field("heap_pushes", heap_pushes);
+    field("heap_pops", heap_pops);
+    field("pivots", simplex_pivots);
+    field("workspace_reuse", workspace_reuse_hits);
+    field("warm_hits", warm_start_hits);
+    field("warm_misses", warm_start_misses);
+    field("validate_ns", validate_ns);
+    field("solve_ns", solve_ns);
+    field("certify_ns", certify_ns);
+    return out;
+  }
+};
+
+/// SSP scratch: distance/parent/potential arrays plus the lazy 4-ary
+/// Dijkstra heap. Per-round state (dist, parent, heap membership) is
+/// validity-stamped with a round counter, so starting a new Dijkstra is
+/// one integer increment instead of three O(n) fills.
+struct SspScratch {
+  static constexpr std::int32_t kNotInHeap = -1;
+  static constexpr std::int32_t kSettled = -2;
+
+  /// Per-node Dijkstra state packed into one array so an edge
+  /// relaxation touches a single cache line instead of four parallel
+  /// vectors. Entry v is valid iff its round == current_round.
+  /// heap_pos only distinguishes kSettled from kNotInHeap — the heap is
+  /// lazy, so exact positions are never tracked.
+  struct NodeState {
+    Cost dist;
+    std::int32_t parent_edge;
+    std::int32_t heap_pos;
+    std::uint32_t round;
+  };
+  std::vector<NodeState> node;
+  std::vector<Cost> pi;
+  std::vector<Flow> excess;
+  /// The key is embedded in the entry so sift comparisons stay inside
+  /// the heap array instead of chasing dist[] cache lines.
+  struct HeapEntry {
+    Cost dist;
+    NodeId node;
+  };
+  std::vector<HeapEntry> heap;
+  /// Deficit nodes settled by the current Dijkstra round, in settle
+  /// order; the drain augments to each of them from one forest.
+  std::vector<NodeId> sinks;
+  std::uint32_t current_round = 0;
+  // initial_potentials() scratch.
+  std::vector<int> indegree;
+  std::vector<NodeId> order;
+
+  /// Sizes the stamped arrays for an n-node instance.
+  void prepare(NodeId n) {
+    const auto un = static_cast<std::size_t>(n);
+    if (node.size() < un) {
+      node.resize(un, NodeState{0, -1, kNotInHeap, 0});
+    }
+    heap.clear();
+  }
+
+  /// Starts a fresh Dijkstra round, invalidating all stamped entries.
+  void new_round() {
+    if (++current_round == 0) {
+      // Counter wrapped (after 2^32 rounds): hard-reset the stamps once.
+      for (NodeState& st : node) st.round = 0;
+      current_round = 1;
+    }
+    heap.clear();
+  }
+
+  bool stamped(NodeId v) const {
+    return node[static_cast<std::size_t>(v)].round == current_round;
+  }
+  void stamp(NodeId v) {
+    node[static_cast<std::size_t>(v)].round = current_round;
+  }
+};
+
+/// Network-simplex scratch: SoA arc arrays, spanning-tree arrays, and
+/// the pivot-cycle / child-list buffers that used to be allocated per
+/// pivot.
+struct SimplexScratch {
+  std::vector<NodeId> tail;
+  std::vector<NodeId> head;
+  std::vector<Flow> cap;
+  std::vector<Cost> cost;
+  std::vector<Flow> flow;
+  std::vector<signed char> state;
+  std::vector<NodeId> parent;
+  std::vector<ArcId> pred_arc;
+  std::vector<NodeId> depth;
+  std::vector<Cost> pi;
+  // refresh_potentials: intrusive child lists + DFS stack.
+  std::vector<NodeId> child_first;
+  std::vector<NodeId> child_next;
+  std::vector<NodeId> stack;
+  // pivot(): cycle steps (arc id, direction flag, subtree-side node).
+  std::vector<ArcId> cycle_arc;
+  std::vector<signed char> cycle_dir;
+  std::vector<NodeId> cycle_below;
+};
+
+/// One arena per sequential solve stream. See file comment for the
+/// ownership rules; treat the members as solver-internal.
+struct SolverWorkspace {
+  Residual residual;
+  SspScratch ssp;
+  SimplexScratch simplex;
+  PerfCounters counters;
+  /// True once any solve has run through this arena (used to count
+  /// workspace_reuse_hits).
+  bool used = false;
+};
+
+}  // namespace lera::netflow

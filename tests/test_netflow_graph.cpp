@@ -64,13 +64,23 @@ TEST(Graph, AdjacencyLists) {
   const ArcId a01 = g.add_arc(0, 1, 1, 0);
   const ArcId a02 = g.add_arc(0, 2, 1, 0);
   const ArcId a12 = g.add_arc(1, 2, 1, 0);
-  EXPECT_EQ(g.out_arcs(0), (std::vector<ArcId>{a01, a02}));
-  EXPECT_EQ(g.in_arcs(2), (std::vector<ArcId>{a02, a12}));
+  EXPECT_EQ(g.out_arcs(0).to_vector(), (std::vector<ArcId>{a01, a02}));
+  EXPECT_EQ(g.in_arcs(2).to_vector(), (std::vector<ArcId>{a02, a12}));
   EXPECT_TRUE(g.out_arcs(2).empty());
 
   // Adjacency refreshes after mutation.
   const ArcId a20 = g.add_arc(2, 0, 1, 0);
-  EXPECT_EQ(g.out_arcs(2), (std::vector<ArcId>{a20}));
+  EXPECT_EQ(g.out_arcs(2).to_vector(), (std::vector<ArcId>{a20}));
+  EXPECT_EQ(g.out_arcs(0).size(), 2u);
+  EXPECT_EQ(g.out_arcs(0)[1], a02);
+
+  // Nodes added after the adjacency is built start with no arcs, and
+  // arcs touching them are visible without a full rebuild.
+  const NodeId v3 = g.add_nodes(1);
+  EXPECT_TRUE(g.out_arcs(v3).empty());
+  const ArcId a30 = g.add_arc(v3, 0, 1, 0);
+  EXPECT_EQ(g.out_arcs(v3).to_vector(), (std::vector<ArcId>{a30}));
+  EXPECT_EQ(g.in_arcs(0).to_vector(), (std::vector<ArcId>{a20, a30}));
 }
 
 TEST(Residual, MirrorsArcsWithTwins) {
