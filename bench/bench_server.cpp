@@ -1,0 +1,533 @@
+// bench_server: load generator + chaos harness for the allocation
+// server (src/server/). Not a microbenchmark — it drives a real Server
+// over in-memory channels through three phases and checks the
+// robustness contract after each:
+//
+//   1. capacity  — closed-loop single client; baseline service latency
+//                  (p50/p95/p99) and throughput.
+//   2. overload  — 4x the admission capacity of open-loop pipelined
+//                  traffic, mixed small-interactive and large-batch.
+//                  Every request must come back as exactly one typed
+//                  response (result or LERA_REJECT ...) — zero silent
+//                  drops — and the server's own accounting identity
+//                  must hold.
+//   3. chaos     — N seeded runs injecting solver faults (via the
+//                  post-solve hook and netflow::FaultInjector), client
+//                  disconnects mid-request, and deadline storms, each
+//                  ending in a graceful drain. Every admitted request
+//                  must land in exactly one terminal state.
+//
+// Output: grep-friendly "LERA_METRIC bench_server_* ..." lines plus a
+// BENCH_server.json artifact. Exit 0 when every contract held, 1
+// otherwise.
+//
+//   ./build/bench/bench_server [--smoke] [--chaos-seeds N] [--out FILE]
+//
+// --smoke shrinks every phase for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netflow/fault_injection.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using lera::server::Frame;
+using lera::server::FrameVerb;
+using lera::server::MemoryChannel;
+using lera::server::Server;
+using lera::server::ServerOptions;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Random feasible-looking .lt problem text. Write/read steps are kept
+/// inside [1, steps] with read strictly after write, which the parser
+/// requires; whether the allocation itself is feasible is the server's
+/// problem, not ours.
+std::string make_lt(std::mt19937_64& rng, int vars, int steps, int regs) {
+  std::ostringstream os;
+  os << "steps " << steps << "\nregisters " << regs << "\n";
+  for (int v = 0; v < vars; ++v) {
+    const int write = 1 + static_cast<int>(rng() % (steps - 1));
+    const int read =
+        write + 1 + static_cast<int>(rng() % (steps - write));
+    os << "var v" << v << " write " << write << " reads "
+       << std::min(read, steps) << "\n";
+  }
+  return os.str();
+}
+
+/// One response line, reduced to what accounting needs.
+struct Response {
+  std::string type;  ///< LERA_RESULT, LERA_REJECT, ...
+  std::string rest;
+  Clock::time_point at;
+};
+
+/// One client connection: a MemoryChannel, the server thread serving
+/// its far end, and a reader thread collecting response lines by id.
+class Client {
+ public:
+  explicit Client(Server& server)
+      : server_thread_([this, &server] {
+          server.serve(channel_.server_end());
+        }),
+        reader_thread_([this] { read_loop(); }) {}
+
+  bool send(const Frame& frame) {
+    return channel_.client_end().write(lera::server::encode_frame(frame));
+  }
+
+  bool send_solve(const std::string& id, const std::string& payload,
+                  long long deadline_ms = -1,
+                  const std::string& tenant = "") {
+    Frame f;
+    f.verb = FrameVerb::kSolve;
+    f.id = id;
+    f.tenant = tenant;
+    f.deadline_ms = deadline_ms;
+    f.payload = payload;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sent_[id] = Clock::now();
+    }
+    return send(f);
+  }
+
+  void finish_sending() { channel_.close_client_writes(); }
+
+  /// Abrupt mid-request death (chaos): both directions fail fast.
+  void disconnect() { channel_.disconnect_client(); }
+
+  /// Joins the server thread, closes the response direction so the
+  /// reader drains to EOF, and joins it.
+  void join() {
+    if (server_thread_.joinable()) server_thread_.join();
+    channel_.close_server_writes();
+    if (reader_thread_.joinable()) reader_thread_.join();
+  }
+
+  /// Blocks until \p id has a response or \p timeout_s elapses.
+  bool wait_for(const std::string& id, double timeout_s) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(
+        lock, std::chrono::duration<double>(timeout_s),
+        [&] { return responses_.count(id) > 0; });
+  }
+
+  std::map<std::string, Response> responses() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return responses_;
+  }
+
+  std::map<std::string, Clock::time_point> sent() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sent_;
+  }
+
+ private:
+  void read_loop() {
+    char buffer[4096];
+    std::string acc;
+    for (;;) {
+      const std::ptrdiff_t n =
+          channel_.client_end().read(buffer, sizeof buffer);
+      if (n == lera::server::ByteStream::kReadAgain) continue;
+      if (n <= 0) break;
+      acc.append(buffer, static_cast<std::size_t>(n));
+      std::size_t nl;
+      while ((nl = acc.find('\n')) != std::string::npos) {
+        record_line(acc.substr(0, nl));
+        acc.erase(0, nl + 1);
+      }
+    }
+  }
+
+  void record_line(const std::string& line) {
+    std::istringstream is(line);
+    std::string type, id;
+    is >> type >> id;
+    // Only per-request verdicts feed accounting; metric/drain lines
+    // pass through.
+    if (type != "LERA_RESULT" && type != "LERA_ERROR" &&
+        type != "LERA_TIMEOUT" && type != "LERA_CANCELLED" &&
+        type != "LERA_REJECT") {
+      return;
+    }
+    std::string rest;
+    std::getline(is, rest);
+    std::lock_guard<std::mutex> lock(mutex_);
+    responses_[id] = Response{type, rest, Clock::now()};
+    cv_.notify_all();
+  }
+
+  MemoryChannel channel_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, Clock::time_point> sent_;
+  std::map<std::string, Response> responses_;
+  std::thread server_thread_;
+  std::thread reader_thread_;
+};
+
+double quantile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+struct PhaseReport {
+  std::string name;
+  std::int64_t requests = 0;
+  std::int64_t results = 0;
+  std::int64_t degraded = 0;
+  std::int64_t rejects = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t errors = 0;
+  std::int64_t unanswered = 0;  ///< Silent drops: must stay 0.
+  double seconds = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  bool accounting_ok = true;
+};
+
+/// Tallies client-side responses against what was sent; latency
+/// percentiles cover accepted-and-served requests only.
+PhaseReport tally(const std::string& name, Client& client,
+                  double seconds) {
+  PhaseReport r;
+  r.name = name;
+  r.seconds = seconds;
+  const auto sent = client.sent();
+  const auto responses = client.responses();
+  std::vector<double> latencies;
+  r.requests = static_cast<std::int64_t>(sent.size());
+  for (const auto& [id, at] : sent) {
+    const auto it = responses.find(id);
+    if (it == responses.end()) {
+      ++r.unanswered;
+      continue;
+    }
+    const Response& resp = it->second;
+    if (resp.type == "LERA_RESULT") {
+      ++r.results;
+      if (resp.rest.find("status=degraded") != std::string::npos) {
+        ++r.degraded;
+      }
+      latencies.push_back(ms_between(at, resp.at));
+    } else if (resp.type == "LERA_REJECT") {
+      ++r.rejects;
+    } else if (resp.type == "LERA_TIMEOUT") {
+      ++r.timeouts;
+    } else if (resp.type == "LERA_CANCELLED") {
+      ++r.cancelled;
+    } else {
+      ++r.errors;
+    }
+  }
+  r.p50_ms = quantile(latencies, 0.50);
+  r.p95_ms = quantile(latencies, 0.95);
+  r.p99_ms = quantile(latencies, 0.99);
+  return r;
+}
+
+void emit(const PhaseReport& r) {
+  const auto line = [&](const std::string& key, double value) {
+    std::cout << "LERA_METRIC bench_server_" << r.name << "_" << key
+              << " " << value << "\n";
+  };
+  line("requests", static_cast<double>(r.requests));
+  line("results", static_cast<double>(r.results));
+  line("degraded", static_cast<double>(r.degraded));
+  line("rejects", static_cast<double>(r.rejects));
+  line("timeouts", static_cast<double>(r.timeouts));
+  line("cancelled", static_cast<double>(r.cancelled));
+  line("errors", static_cast<double>(r.errors));
+  line("unanswered", static_cast<double>(r.unanswered));
+  if (r.seconds > 0) {
+    line("throughput_rps", static_cast<double>(r.results) / r.seconds);
+  }
+  line("latency_p50_ms", r.p50_ms);
+  line("latency_p95_ms", r.p95_ms);
+  line("latency_p99_ms", r.p99_ms);
+  line("accounting_ok", r.accounting_ok ? 1 : 0);
+}
+
+std::string json_of(const PhaseReport& r) {
+  std::ostringstream os;
+  os << "{\"requests\":" << r.requests << ",\"results\":" << r.results
+     << ",\"degraded\":" << r.degraded << ",\"rejects\":" << r.rejects
+     << ",\"timeouts\":" << r.timeouts << ",\"cancelled\":" << r.cancelled
+     << ",\"errors\":" << r.errors << ",\"unanswered\":" << r.unanswered
+     << ",\"seconds\":" << r.seconds << ",\"p50_ms\":" << r.p50_ms
+     << ",\"p95_ms\":" << r.p95_ms << ",\"p99_ms\":" << r.p99_ms
+     << ",\"accounting_ok\":" << (r.accounting_ok ? "true" : "false")
+     << "}";
+  return os.str();
+}
+
+/// Server-side accounting identity: every SOLVE frame reached exactly
+/// one terminal state or typed rejection.
+bool accounting_holds(const Server& server) {
+  const lera::server::MetricsSnapshot s = server.metrics();
+  return s.accounted_requests() == s.solve_requests;
+}
+
+ServerOptions base_options() {
+  ServerOptions opts;
+  opts.engine.threads = 2;
+  opts.engine.params.register_model =
+      lera::energy::RegisterModel::kActivity;
+  opts.echo_assignment = false;  // Response size, not protocol, here.
+  return opts;
+}
+
+// --- Phase 1: closed-loop capacity probe --------------------------------
+
+PhaseReport run_capacity(int requests) {
+  Server server(base_options());
+  Client client(server);
+  std::mt19937_64 rng(11);
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    const std::string id = "cap" + std::to_string(i);
+    client.send_solve(id, make_lt(rng, 6, 10, 3));
+    if (!client.wait_for(id, 30.0)) break;
+  }
+  const double seconds =
+      ms_between(start, Clock::now()) / 1000.0;
+  client.finish_sending();
+  client.join();
+  PhaseReport r = tally("capacity", client, seconds);
+  r.accounting_ok = accounting_holds(server);
+  return r;
+}
+
+// --- Phase 2: 4x overload with mixed traffic ----------------------------
+
+PhaseReport run_overload(int per_client_requests) {
+  ServerOptions opts = base_options();
+  opts.admission.max_queue = 8;
+  opts.admission.per_tenant_queue = 8;
+  Server server(opts);
+
+  // 4 open-loop clients against a queue of 8: sustained 4x overload.
+  constexpr int kClients = 4;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<Client>(server));
+  }
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> senders;
+  for (int c = 0; c < kClients; ++c) {
+    senders.emplace_back([&, c] {
+      std::mt19937_64 rng(100 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < per_client_requests; ++i) {
+        const std::string id =
+            "ov" + std::to_string(c) + "_" + std::to_string(i);
+        // Mixed traffic: mostly small interactive problems, every
+        // fourth a large batch one.
+        const std::string payload = (i % 4 == 3)
+                                        ? make_lt(rng, 40, 60, 4)
+                                        : make_lt(rng, 6, 10, 3);
+        clients[static_cast<std::size_t>(c)]->send_solve(
+            id, payload, /*deadline_ms=*/2000,
+            "tenant" + std::to_string(c));
+      }
+      clients[static_cast<std::size_t>(c)]->finish_sending();
+    });
+  }
+  for (std::thread& t : senders) t.join();
+  for (auto& c : clients) c->join();
+  const double seconds = ms_between(start, Clock::now()) / 1000.0;
+
+  PhaseReport total = tally("overload", *clients[0], seconds);
+  for (int c = 1; c < kClients; ++c) {
+    const PhaseReport r =
+        tally("overload", *clients[static_cast<std::size_t>(c)], 0);
+    total.requests += r.requests;
+    total.results += r.results;
+    total.degraded += r.degraded;
+    total.rejects += r.rejects;
+    total.timeouts += r.timeouts;
+    total.cancelled += r.cancelled;
+    total.errors += r.errors;
+    total.unanswered += r.unanswered;
+  }
+  total.accounting_ok = accounting_holds(server);
+  return total;
+}
+
+// --- Phase 3: seeded chaos ----------------------------------------------
+
+/// Thread-safe seeded fault source for the engine's post-solve hook:
+/// roughly every fourth solve attempt gets a corrupted solution, which
+/// certification + retries must heal or surface typed.
+struct ChaosHook {
+  std::mutex mutex;
+  std::mt19937_64 rng;
+
+  explicit ChaosHook(std::uint64_t seed) : rng(seed) {}
+
+  void operator()(const lera::netflow::Graph& g,
+                  lera::netflow::FlowSolution& sol) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (rng() % 4 == 0) {
+      lera::netflow::FaultInjector injector(rng());
+      injector.perturb(g, sol);
+    }
+  }
+};
+
+/// One chaos run: faulty solver, one client that disconnects
+/// mid-request, one deadline storm, then a graceful drain. True when
+/// the accounting identity held.
+bool run_chaos_seed(std::uint64_t seed, PhaseReport& agg) {
+  ServerOptions opts = base_options();
+  opts.engine.threads = 2;
+  opts.engine.solver_retries = 2;
+  opts.drain_grace_seconds = 0.25;
+  auto hook = std::make_shared<ChaosHook>(seed);
+  opts.engine.alloc.solve.post_solve_hook =
+      [hook](const lera::netflow::Graph& g,
+             lera::netflow::FlowSolution& sol) { (*hook)(g, sol); };
+  Server server(opts);
+
+  std::mt19937_64 rng(seed * 7919 + 1);
+  Client steady(server);
+  Client doomed(server);
+  Client storm(server);
+
+  for (int i = 0; i < 5; ++i) {
+    steady.send_solve("st" + std::to_string(i),
+                      make_lt(rng, 6, 10, 3));
+  }
+  for (int i = 0; i < 4; ++i) {
+    doomed.send_solve("dm" + std::to_string(i),
+                      make_lt(rng, 20, 30, 3));
+  }
+  // Deadline storm: budgets from infeasible (0) to barely-there.
+  for (int i = 0; i < 6; ++i) {
+    storm.send_solve("dl" + std::to_string(i), make_lt(rng, 6, 10, 3),
+                     /*deadline_ms=*/i);
+  }
+
+  doomed.disconnect();  // Mid-request: some responses are in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      static_cast<int>(rng() % 30)));
+  server.begin_drain();
+  steady.finish_sending();
+  storm.finish_sending();
+  steady.join();
+  doomed.join();
+  storm.join();
+
+  for (Client* c : {&steady, &storm}) {
+    const PhaseReport r = tally("chaos", *c, 0);
+    agg.requests += r.requests;
+    agg.results += r.results;
+    agg.degraded += r.degraded;
+    agg.rejects += r.rejects;
+    agg.timeouts += r.timeouts;
+    agg.cancelled += r.cancelled;
+    agg.errors += r.errors;
+    // The doomed client's unanswered requests are legitimate (it
+    // vanished); for surviving clients the server must still have
+    // answered or rejected everything it read before the drain cut.
+    agg.unanswered += r.unanswered;
+  }
+  agg.requests += 4;  // The doomed client's sends, accounted server-side.
+  return accounting_holds(server);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int chaos_seeds = 200;
+  std::string out_path = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--chaos-seeds" && i + 1 < argc) {
+      chaos_seeds = std::stoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_server [--smoke] [--chaos-seeds N] "
+                   "[--out FILE]\n";
+      return 1;
+    }
+  }
+  if (smoke) chaos_seeds = std::min(chaos_seeds, 10);
+
+  const PhaseReport capacity = run_capacity(smoke ? 30 : 150);
+  emit(capacity);
+  const PhaseReport overload = run_overload(smoke ? 20 : 60);
+  emit(overload);
+
+  PhaseReport chaos;
+  chaos.name = "chaos";
+  int accounting_failures = 0;
+  const Clock::time_point chaos_start = Clock::now();
+  for (int s = 0; s < chaos_seeds; ++s) {
+    if (!run_chaos_seed(static_cast<std::uint64_t>(s) + 1, chaos)) {
+      ++accounting_failures;
+    }
+  }
+  chaos.seconds = ms_between(chaos_start, Clock::now()) / 1000.0;
+  chaos.accounting_ok = accounting_failures == 0;
+  emit(chaos);
+  std::cout << "LERA_METRIC bench_server_chaos_seeds " << chaos_seeds
+            << "\n"
+            << "LERA_METRIC bench_server_chaos_accounting_failures "
+            << accounting_failures << "\n";
+
+  std::ofstream out(out_path);
+  out << "{\n  \"capacity\": " << json_of(capacity)
+      << ",\n  \"overload\": " << json_of(overload)
+      << ",\n  \"chaos\": " << json_of(chaos)
+      << ",\n  \"chaos_seeds\": " << chaos_seeds
+      << ",\n  \"chaos_accounting_failures\": " << accounting_failures
+      << "\n}\n";
+  out.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  // Contract: zero silent drops anywhere, typed sheds under overload,
+  // and every chaos seed's accounting identity intact.
+  bool ok = true;
+  if (capacity.unanswered > 0 || overload.unanswered > 0 ||
+      chaos.unanswered > 0) {
+    std::cout << "BENCH_FAIL silent drops detected\n";
+    ok = false;
+  }
+  if (overload.rejects == 0) {
+    std::cout << "BENCH_FAIL overload produced no typed rejections\n";
+    ok = false;
+  }
+  if (!capacity.accounting_ok || !overload.accounting_ok ||
+      accounting_failures > 0) {
+    std::cout << "BENCH_FAIL accounting identity violated\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

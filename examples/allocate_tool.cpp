@@ -36,12 +36,14 @@
 // Any infeasible allocation prints a machine-readable line
 //   LERA_ERROR <task> <reason>
 // on stdout and exits non-zero, so scripts can grep for failures
-// without parsing the human-facing report. Deadline-curtailed work
-// prints
+// without parsing the human-facing report. Malformed input files print
+//   LERA_ERROR <file> bad_request: <parser diagnostic>
+// (same reason word the server's LERA_REJECT uses), deadline-curtailed
+// work prints
 //   LERA_TIMEOUT <task> <detail>
-// the same way. Exit codes: 0 ok, 1 infeasible/usage, 2 audit
-// findings, 3 timed-out-degraded (usable but deadline-curtailed
-// output).
+// the same way. Exit codes: 0 ok, 1 infeasible or bad input (usage
+// errors included), 2 audit findings, 3 timed-out-degraded (usable but
+// deadline-curtailed output). Keep these aligned with docs/API.md.
 //
 // With no file argument a built-in demo kernel is used. See
 // src/ir/parser.hpp and src/workloads/problem_io.hpp for the grammars.
@@ -233,6 +235,9 @@ int main(int argc, char** argv) {
     const workloads::ProblemParseResult parsed =
         workloads::parse_problem(buffer.str(), params);
     if (!parsed.ok()) {
+      // Malformed input is a typed, grep-able failure like every other
+      // kind — same shape the server's bad_request rejection uses.
+      print_error_line(lifetimes_path, "bad_request: " + parsed.error);
       std::cerr << lifetimes_path << ": " << parsed.error << "\n";
       return 1;
     }
@@ -241,6 +246,7 @@ int main(int argc, char** argv) {
   } else {
     const ir::ParseResult parsed = ir::parse_block(source, source_name);
     if (!parsed.ok()) {
+      print_error_line(source_name, "bad_request: " + parsed.error);
       std::cerr << source_name << ": " << parsed.error << "\n";
       return 1;
     }
@@ -300,6 +306,7 @@ int main(int argc, char** argv) {
       buffer << in.rdbuf();
       const ir::ParseResult parsed = ir::parse_block(buffer.str(), path);
       if (!parsed.ok()) {
+        print_error_line(path, "bad_request: " + parsed.error);
         std::cerr << path << ": " << parsed.error << "\n";
         return 1;
       }

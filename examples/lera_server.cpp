@@ -1,0 +1,222 @@
+// lera_server: long-lived allocation service over the engine.
+//
+// Accepts length-framed .lt requests (see src/server/framing.hpp) and
+// streams back LERA_* response lines. Three transports, one request
+// path:
+//
+//   ./build/examples/lera_server --pipe           # stdin/stdout, 1 conn
+//   ./build/examples/lera_server --unix /tmp/lera.sock
+//   ./build/examples/lera_server --tcp 127.0.0.1:7411   # port 0 = any
+//
+// Options:
+//   --threads N         engine worker threads (default 0 = all cores)
+//   -r N                registers (default 4)
+//   -m static|activity  energy model (default activity)
+//   --deadline-ms N     default per-request deadline when a frame
+//                       declares none (0 = none)
+//   --max-queue N       global admission bound (default 64)
+//   --per-tenant N      per-tenant admission bound (default 16)
+//   --min-deadline-ms N shed requests declaring a tighter deadline
+//   --max-frame-bytes N frame payload cap (default 1 MiB)
+//   --queue-budget-ms N watchdog budget on rolling p95 queue wait
+//   --drain-grace-s X   drain grace before in-flight work is cancelled
+//   --no-assign         omit assign= from LERA_RESULT lines
+//
+// Signals and shutdown: SIGTERM/SIGINT begin a graceful drain — new
+// work is rejected with LERA_REJECT reason=draining, in-flight solves
+// get --drain-grace-s to finish (then are cancelled and accounted),
+// every response is flushed, and the process exits 0. A client can
+// trigger the same drain with a DRAIN frame.
+//
+// Exit codes: 0 clean end of service (EOF in pipe mode, completed
+// drain otherwise), 1 usage or bind error.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/listener.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+int usage(int code) {
+  std::cout
+      << "usage: lera_server (--pipe | --unix PATH | --tcp HOST:PORT)\n"
+         "  [--threads N] [-r N] [-m static|activity] [--deadline-ms N]\n"
+         "  [--max-queue N] [--per-tenant N] [--min-deadline-ms N]\n"
+         "  [--max-frame-bytes N] [--queue-budget-ms N]\n"
+         "  [--drain-grace-s X] [--no-assign]\n";
+  return code;
+}
+
+/// Waits for SIGTERM/SIGINT (blocked in every thread, collected here)
+/// and starts the graceful drain. Detached: at a normal exit it is
+/// still parked in sigwait and dies with the process.
+void spawn_signal_watcher(sigset_t set, lera::server::Server& server,
+                          lera::server::Listener* listener) {
+  std::thread([set, &server, listener] {
+    int sig = 0;
+    if (sigwait(&set, &sig) == 0) {
+      server.begin_drain();
+      if (listener != nullptr) listener->shutdown();
+    }
+  }).detach();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lera;
+
+  enum class Mode { kNone, kPipe, kUnix, kTcp };
+  Mode mode = Mode::kNone;
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = 0;
+  bool model_set = false;
+  server::ServerOptions opts;
+  opts.engine.threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string{};
+    };
+    auto next_num = [&](const char* flag) -> double {
+      const std::string v = next();
+      try {
+        return std::stod(v);
+      } catch (...) {
+        std::cerr << "error: " << flag << " requires a number, got '" << v
+                  << "'\n";
+        std::exit(1);
+      }
+    };
+    if (arg == "--pipe") {
+      mode = Mode::kPipe;
+    } else if (arg == "--unix") {
+      mode = Mode::kUnix;
+      unix_path = next();
+    } else if (arg == "--tcp") {
+      mode = Mode::kTcp;
+      const std::string hp = next();
+      const std::size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "error: --tcp expects HOST:PORT, got '" << hp
+                  << "'\n";
+        return 1;
+      }
+      tcp_host = hp.substr(0, colon);
+      try {
+        tcp_port = std::stoi(hp.substr(colon + 1));
+      } catch (...) {
+        std::cerr << "error: bad port in '" << hp << "'\n";
+        return 1;
+      }
+    } else if (arg == "--threads") {
+      opts.engine.threads = static_cast<int>(next_num("--threads"));
+    } else if (arg == "-r") {
+      opts.engine.num_registers = static_cast<int>(next_num("-r"));
+    } else if (arg == "-m") {
+      const std::string m = next();
+      opts.engine.params.register_model =
+          m == "static" ? energy::RegisterModel::kStatic
+                        : energy::RegisterModel::kActivity;
+      model_set = true;
+      if (m != "static" && m != "activity") {
+        std::cerr << "error: -m expects static|activity, got '" << m
+                  << "'\n";
+        return 1;
+      }
+    } else if (arg == "--deadline-ms") {
+      opts.engine.task_deadline_seconds =
+          next_num("--deadline-ms") / 1000.0;
+    } else if (arg == "--max-queue") {
+      opts.admission.max_queue = static_cast<int>(next_num("--max-queue"));
+    } else if (arg == "--per-tenant") {
+      opts.admission.per_tenant_queue =
+          static_cast<int>(next_num("--per-tenant"));
+    } else if (arg == "--min-deadline-ms") {
+      opts.admission.min_feasible_deadline_ms =
+          next_num("--min-deadline-ms");
+    } else if (arg == "--max-frame-bytes") {
+      opts.framing.max_frame_bytes =
+          static_cast<std::size_t>(next_num("--max-frame-bytes"));
+    } else if (arg == "--queue-budget-ms") {
+      opts.metrics.queue_budget_ms = next_num("--queue-budget-ms");
+    } else if (arg == "--drain-grace-s") {
+      opts.drain_grace_seconds = next_num("--drain-grace-s");
+    } else if (arg == "--no-assign") {
+      opts.echo_assignment = false;
+    } else if (arg == "-h" || arg == "--help") {
+      return usage(0);
+    } else {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return usage(1);
+    }
+  }
+  if (mode == Mode::kNone) {
+    std::cerr << "error: pick a transport\n";
+    return usage(1);
+  }
+  if (!model_set) {
+    opts.engine.params.register_model = energy::RegisterModel::kActivity;
+  }
+
+  // Route SIGTERM/SIGINT to the watcher thread (blocked everywhere
+  // else, so solver threads never race a handler).
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  server::Server server(opts);
+
+  if (mode == Mode::kPipe) {
+    spawn_signal_watcher(sigs, server, nullptr);
+    server::FdStream stream(0, 1, /*owns_fds=*/false);
+    server.serve(stream);
+    return 0;
+  }
+
+  std::string error;
+  std::unique_ptr<server::Listener> listener =
+      mode == Mode::kUnix
+          ? server::Listener::listen_unix(unix_path, &error)
+          : server::Listener::listen_tcp(tcp_host, tcp_port, &error);
+  if (listener == nullptr) {
+    std::cerr << "error: cannot listen: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "lera_server listening on " << listener->endpoint()
+            << "\n";
+  spawn_signal_watcher(sigs, server, listener.get());
+
+  // A DRAIN frame on any connection also ends service: mirror it to
+  // the listener so accept() unblocks.
+  std::thread drain_monitor([&server, &listener] {
+    while (!server.draining()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    listener->shutdown();
+  });
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    std::unique_ptr<server::FdStream> conn = listener->accept();
+    if (conn == nullptr) break;
+    connections.emplace_back(
+        [&server, stream = std::move(conn)] { server.serve(*stream); });
+  }
+  server.begin_drain();  // Unblocks drain_monitor on listener failure.
+  for (std::thread& t : connections) t.join();
+  drain_monitor.join();
+  std::cerr << "lera_server drained: " << server.metrics_json() << "\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "server/admission.hpp"
+
+#include <algorithm>
+
+namespace lera::server {
+
+std::string to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kTenantQuota:
+      return "tenant_quota";
+    case RejectReason::kDeadlineInfeasible:
+      return "deadline_infeasible";
+    case RejectReason::kFrameTooLarge:
+      return "frame_too_large";
+    case RejectReason::kBadFrame:
+      return "bad_frame";
+    case RejectReason::kBadRequest:
+      return "bad_request";
+    case RejectReason::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+AdmissionVerdict AdmissionController::try_admit(const std::string& tenant,
+                                                double deadline_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionVerdict v;
+  if (draining_) {
+    v.reason = RejectReason::kDraining;
+    v.detail = "server is draining; not accepting new work";
+    return v;
+  }
+  if (deadline_ms >= 0) {
+    if (deadline_ms == 0) {
+      v.reason = RejectReason::kDeadlineInfeasible;
+      v.detail = "zero-millisecond deadline can never be met";
+      return v;
+    }
+    if (options_.min_feasible_deadline_ms > 0 &&
+        deadline_ms < options_.min_feasible_deadline_ms) {
+      v.reason = RejectReason::kDeadlineInfeasible;
+      v.detail = "declared deadline of " + std::to_string(deadline_ms) +
+                 " ms is below the " +
+                 std::to_string(options_.min_feasible_deadline_ms) +
+                 " ms service floor";
+      return v;
+    }
+    if (options_.estimate_queue_wait && ewma_seeded_ &&
+        ewma_wait_ms_ > deadline_ms) {
+      v.reason = RejectReason::kDeadlineInfeasible;
+      v.detail = "estimated queue wait of " +
+                 std::to_string(ewma_wait_ms_) +
+                 " ms already exceeds the declared deadline of " +
+                 std::to_string(deadline_ms) + " ms";
+      return v;
+    }
+  }
+  if (in_flight_ >= options_.max_queue) {
+    v.reason = RejectReason::kQueueFull;
+    v.detail = "admission queue is full (" +
+               std::to_string(options_.max_queue) + " in flight)";
+    return v;
+  }
+  int& tenant_count =
+      per_tenant_[tenant.empty() ? std::string("default") : tenant];
+  if (options_.per_tenant_queue > 0 &&
+      tenant_count >= options_.per_tenant_queue) {
+    v.reason = RejectReason::kTenantQuota;
+    v.detail = "tenant quota is full (" +
+               std::to_string(options_.per_tenant_queue) +
+               " in flight for this tenant)";
+    return v;
+  }
+  ++in_flight_;
+  ++tenant_count;
+  v.admitted = true;
+  return v;
+}
+
+void AdmissionController::release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_flight_ = std::max(0, in_flight_ - 1);
+  const auto it =
+      per_tenant_.find(tenant.empty() ? std::string("default") : tenant);
+  if (it != per_tenant_.end()) {
+    it->second = std::max(0, it->second - 1);
+    if (it->second == 0) per_tenant_.erase(it);
+  }
+}
+
+void AdmissionController::record_queue_wait_ms(double ms) {
+  if (ms < 0) ms = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ewma_seeded_) {
+    ewma_wait_ms_ = ms;
+    ewma_seeded_ = true;
+    return;
+  }
+  ewma_wait_ms_ =
+      options_.ewma_alpha * ms + (1 - options_.ewma_alpha) * ewma_wait_ms_;
+}
+
+void AdmissionController::begin_drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+int AdmissionController::tenant_in_flight(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it =
+      per_tenant_.find(tenant.empty() ? std::string("default") : tenant);
+  return it == per_tenant_.end() ? 0 : it->second;
+}
+
+double AdmissionController::estimated_queue_wait_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ewma_seeded_ ? ewma_wait_ms_ : 0;
+}
+
+}  // namespace lera::server

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+/// \file admission.hpp
+/// Admission control for the allocation server: a bounded global queue
+/// with per-tenant quotas and shed-on-overload. Every SOLVE frame
+/// passes try_admit() before any parsing or solving happens; an
+/// admitted request holds one global slot and one tenant slot until it
+/// reaches a terminal state (served / degraded / infeasible / timed out
+/// / cancelled), at which point release() returns both. Overload is
+/// therefore shed at the cheapest possible point — before the .lt text
+/// is even parsed — and always with a machine-readable reason, never a
+/// silent drop.
+///
+/// Deadline infeasibility is also an admission concern: a request whose
+/// deadline is already smaller than the configured floor, or smaller
+/// than the currently *estimated* queue wait (an EWMA over recently
+/// observed waits), cannot be served in time no matter what, so it is
+/// rejected as deadline_infeasible instead of burning a queue slot to
+/// time out later.
+
+namespace lera::server {
+
+/// Every way the server refuses work, shared by the admission layer,
+/// the frame decoder mapping, and the response writer. The wire shape
+/// is "LERA_REJECT <id> reason=<to_string(reason)> detail=...".
+enum class RejectReason {
+  kQueueFull,           ///< Global admitted-work bound reached.
+  kTenantQuota,         ///< This tenant's quota reached (others fine).
+  kDeadlineInfeasible,  ///< Deadline unmeetable at admission time.
+  kFrameTooLarge,       ///< Declared payload above the frame cap.
+  kBadFrame,            ///< Garbage/truncated framing.
+  kBadRequest,          ///< Frame fine, .lt payload failed to parse.
+  kDraining,            ///< Server is shutting down gracefully.
+};
+
+std::string to_string(RejectReason reason);
+
+/// Number of RejectReason values (metrics arrays are indexed by it).
+inline constexpr int kNumRejectReasons = 7;
+
+struct AdmissionOptions {
+  /// Global bound on admitted-but-not-finished requests. <= 0 admits
+  /// nothing (useful for tests); overload above it sheds queue_full.
+  int max_queue = 64;
+  /// Per-tenant bound within the global one; <= 0 disables the
+  /// per-tenant check.
+  int per_tenant_queue = 16;
+  /// Static floor: a request declaring deadline_ms below this is
+  /// rejected deadline_infeasible up front. 0 = no floor.
+  double min_feasible_deadline_ms = 0;
+  /// Reject requests whose declared deadline is below the current
+  /// queue-wait estimate (EWMA of observed waits).
+  bool estimate_queue_wait = true;
+  /// EWMA smoothing factor for record_queue_wait_ms.
+  double ewma_alpha = 0.2;
+};
+
+struct AdmissionVerdict {
+  bool admitted = false;
+  RejectReason reason = RejectReason::kQueueFull;  ///< When !admitted.
+  std::string detail;                              ///< When !admitted.
+};
+
+/// Thread-safe; one instance per Server, shared by every connection.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Tries to take one global + one tenant slot for a request with the
+  /// given declared deadline (-1 = none). On success the caller MUST
+  /// eventually release(tenant) exactly once.
+  AdmissionVerdict try_admit(const std::string& tenant,
+                             double deadline_ms);
+
+  /// Returns the slots of one admitted request.
+  void release(const std::string& tenant);
+
+  /// Feeds one observed queue wait into the EWMA estimate.
+  void record_queue_wait_ms(double ms);
+
+  /// Refuse all future admissions with kDraining. Sticky.
+  void begin_drain();
+  bool draining() const;
+
+  int in_flight() const;
+  int tenant_in_flight(const std::string& tenant) const;
+  double estimated_queue_wait_ms() const;
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  bool draining_ = false;
+  int in_flight_ = 0;
+  double ewma_wait_ms_ = 0;
+  bool ewma_seeded_ = false;
+  std::unordered_map<std::string, int> per_tenant_;
+};
+
+}  // namespace lera::server

@@ -1,0 +1,332 @@
+#include "server/framing.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <sstream>
+
+namespace lera::server {
+
+namespace {
+
+constexpr std::size_t kMaxTokenBytes = 64;
+
+/// Strict non-negative integer parse into long long; nullopt on any
+/// non-digit, overflow, or empty input. The wire format never needs
+/// signs, exponents, or locale surprises.
+std::optional<long long> parse_uint(std::string_view text) {
+  if (text.empty() || text.size() > 18) return std::nullopt;
+  long long value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+std::optional<FrameVerb> parse_verb(std::string_view token) {
+  if (token == "SOLVE") return FrameVerb::kSolve;
+  if (token == "HEALTH") return FrameVerb::kHealth;
+  if (token == "STATS") return FrameVerb::kStats;
+  if (token == "DRAIN") return FrameVerb::kDrain;
+  if (token == "PING") return FrameVerb::kPing;
+  return std::nullopt;
+}
+
+/// Ids and tenant names travel inside response lines, so they must not
+/// be able to forge protocol structure: printable, no spaces/quotes.
+bool valid_token(std::string_view token) {
+  if (token.empty() || token.size() > kMaxTokenBytes) return false;
+  return std::all_of(token.begin(), token.end(), [](unsigned char c) {
+    return std::isgraph(c) != 0 && c != '"';
+  });
+}
+
+FrameEvent make_error(FrameError error, std::string id,
+                      std::string detail) {
+  FrameEvent ev;
+  ev.ok = false;
+  ev.error = error;
+  ev.id = std::move(id);
+  ev.detail = std::move(detail);
+  return ev;
+}
+
+}  // namespace
+
+std::string to_string(FrameVerb verb) {
+  switch (verb) {
+    case FrameVerb::kSolve:
+      return "SOLVE";
+    case FrameVerb::kHealth:
+      return "HEALTH";
+    case FrameVerb::kStats:
+      return "STATS";
+    case FrameVerb::kDrain:
+      return "DRAIN";
+    case FrameVerb::kPing:
+      return "PING";
+  }
+  return "UNKNOWN";
+}
+
+std::string to_string(FrameError error) {
+  switch (error) {
+    case FrameError::kBadFrame:
+      return "bad_frame";
+    case FrameError::kFrameTooLarge:
+      return "frame_too_large";
+  }
+  return "bad_frame";
+}
+
+FrameDecoder::FrameDecoder(Options options) : options_(options) {
+  options_.max_header_bytes = std::max<std::size_t>(
+      options_.max_header_bytes, 16);  // room for "SOLVE 0\n" at least
+}
+
+std::size_t FrameDecoder::buffered_bytes() const {
+  return header_.size() + pending_.payload.size();
+}
+
+void FrameDecoder::parse_header(const std::string& line,
+                                std::vector<FrameEvent>& out) {
+  // Tokenise on single spaces; tolerate repeated spaces.
+  std::vector<std::string_view> tokens;
+  std::string_view rest = line;
+  while (!rest.empty()) {
+    const std::size_t sp = rest.find(' ');
+    const std::string_view tok = rest.substr(0, sp);
+    if (!tok.empty()) tokens.push_back(tok);
+    if (sp == std::string_view::npos) break;
+    rest.remove_prefix(sp + 1);
+  }
+
+  // Best-effort id recovery so malformed headers can still be rejected
+  // by name: scan for an id=... token before validating anything else.
+  std::string found_id;
+  for (const std::string_view tok : tokens) {
+    if (tok.rfind("id=", 0) == 0 && valid_token(tok.substr(3))) {
+      found_id = std::string(tok.substr(3));
+    }
+  }
+
+  if (tokens.size() < 2) {
+    out.push_back(make_error(FrameError::kBadFrame, found_id,
+                             "header needs '<VERB> <payload_len>'"));
+    return;
+  }
+  const std::optional<FrameVerb> verb = parse_verb(tokens[0]);
+  if (!verb.has_value()) {
+    out.push_back(make_error(
+        FrameError::kBadFrame, found_id,
+        "unknown verb '" + std::string(tokens[0].substr(0, 16)) + "'"));
+    return;
+  }
+  const std::optional<long long> len = parse_uint(tokens[1]);
+  if (!len.has_value()) {
+    out.push_back(make_error(FrameError::kBadFrame, found_id,
+                             "payload length is not a non-negative "
+                             "integer"));
+    return;
+  }
+
+  Frame frame;
+  frame.verb = *verb;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string_view tok = tokens[i];
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      out.push_back(make_error(FrameError::kBadFrame, found_id,
+                               "malformed header token '" +
+                                   std::string(tok.substr(0, 24)) + "'"));
+      return;
+    }
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view value = tok.substr(eq + 1);
+    if (key == "id") {
+      if (!valid_token(value)) {
+        out.push_back(make_error(FrameError::kBadFrame, found_id,
+                                 "invalid id token"));
+        return;
+      }
+      frame.id = std::string(value);
+    } else if (key == "tenant") {
+      if (!valid_token(value)) {
+        out.push_back(make_error(FrameError::kBadFrame, found_id,
+                                 "invalid tenant token"));
+        return;
+      }
+      frame.tenant = std::string(value);
+    } else if (key == "deadline_ms") {
+      const std::optional<long long> ms = parse_uint(value);
+      if (!ms.has_value()) {
+        out.push_back(make_error(FrameError::kBadFrame, found_id,
+                                 "deadline_ms is not a non-negative "
+                                 "integer"));
+        return;
+      }
+      frame.deadline_ms = *ms;
+    }
+    // Unknown keys: ignored (forward compatibility).
+  }
+
+  if (frame.verb != FrameVerb::kSolve && *len != 0) {
+    out.push_back(make_error(FrameError::kBadFrame, frame.id,
+                             "control frame " + to_string(frame.verb) +
+                                 " must declare a zero-length payload"));
+    return;
+  }
+
+  const auto payload_len = static_cast<std::size_t>(*len);
+  if (payload_len > options_.max_frame_bytes) {
+    // Typed rejection now; the payload is skipped, not buffered, and
+    // the connection lives on to serve the next frame.
+    out.push_back(make_error(
+        FrameError::kFrameTooLarge, frame.id,
+        "declared payload of " + std::to_string(payload_len) +
+            " bytes exceeds the " +
+            std::to_string(options_.max_frame_bytes) + "-byte cap"));
+    pending_id_ = frame.id;
+    declared_ = payload_len;
+    remaining_ = payload_len;
+    state_ = remaining_ > 0 ? State::kSkipPayload : State::kHeader;
+    return;
+  }
+
+  if (payload_len == 0) {
+    out.push_back(FrameEvent{true, std::move(frame), FrameError::kBadFrame,
+                             "", ""});
+    state_ = State::kHeader;
+    return;
+  }
+  pending_ = std::move(frame);
+  pending_.payload.clear();
+  pending_.payload.reserve(payload_len);
+  declared_ = payload_len;
+  remaining_ = payload_len;
+  state_ = State::kPayload;
+}
+
+std::vector<FrameEvent> FrameDecoder::feed(std::string_view bytes) {
+  std::vector<FrameEvent> out;
+  while (!bytes.empty()) {
+    switch (state_) {
+      case State::kHeader: {
+        const std::size_t nl = bytes.find('\n');
+        const std::size_t take =
+            nl == std::string_view::npos ? bytes.size() : nl;
+        if (header_.size() + take > options_.max_header_bytes) {
+          out.push_back(make_error(
+              FrameError::kBadFrame, "",
+              "header exceeds " +
+                  std::to_string(options_.max_header_bytes) + " bytes"));
+          header_.clear();
+          state_ = State::kResync;
+          break;  // re-enter the loop in kResync on the same bytes
+        }
+        header_.append(bytes.substr(0, take));
+        if (nl == std::string_view::npos) {
+          bytes = {};
+          break;
+        }
+        bytes.remove_prefix(nl + 1);
+        if (!header_.empty() && header_.back() == '\r') {
+          header_.pop_back();
+        }
+        if (header_.empty() ||
+            header_.find_first_not_of(" \t") == std::string::npos) {
+          header_.clear();  // blank separator line
+          break;
+        }
+        const std::string line = std::move(header_);
+        header_.clear();
+        parse_header(line, out);
+        break;
+      }
+      case State::kPayload: {
+        const std::size_t take = std::min(remaining_, bytes.size());
+        pending_.payload.append(bytes.substr(0, take));
+        bytes.remove_prefix(take);
+        remaining_ -= take;
+        if (remaining_ == 0) {
+          out.push_back(FrameEvent{true, std::move(pending_),
+                                   FrameError::kBadFrame, "", ""});
+          pending_ = Frame{};
+          state_ = State::kHeader;
+        }
+        break;
+      }
+      case State::kSkipPayload: {
+        const std::size_t take = std::min(remaining_, bytes.size());
+        bytes.remove_prefix(take);
+        remaining_ -= take;
+        if (remaining_ == 0) {
+          pending_id_.clear();
+          state_ = State::kHeader;
+        }
+        break;
+      }
+      case State::kResync: {
+        const std::size_t nl = bytes.find('\n');
+        if (nl == std::string_view::npos) {
+          bytes = {};
+          break;
+        }
+        bytes.remove_prefix(nl + 1);
+        state_ = State::kHeader;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<FrameEvent> FrameDecoder::finish() {
+  switch (state_) {
+    case State::kHeader:
+      if (!header_.empty() &&
+          header_.find_first_not_of(" \t\r") != std::string::npos) {
+        header_.clear();
+        return make_error(FrameError::kBadFrame, "",
+                          "stream ended inside a frame header");
+      }
+      return std::nullopt;
+    case State::kPayload: {
+      FrameEvent ev = make_error(
+          FrameError::kBadFrame, pending_.id,
+          "stream ended " + std::to_string(remaining_) +
+              " bytes short of the declared " +
+              std::to_string(declared_) + "-byte payload");
+      pending_ = Frame{};
+      state_ = State::kHeader;
+      return ev;
+    }
+    case State::kSkipPayload: {
+      FrameEvent ev = make_error(
+          FrameError::kBadFrame, pending_id_,
+          "stream ended while skipping an oversized payload");
+      pending_id_.clear();
+      state_ = State::kHeader;
+      return ev;
+    }
+    case State::kResync:
+      state_ = State::kHeader;
+      return make_error(FrameError::kBadFrame, "",
+                        "stream ended while resynchronising after a "
+                        "malformed header");
+  }
+  return std::nullopt;
+}
+
+std::string encode_frame(const Frame& frame) {
+  std::ostringstream os;
+  os << to_string(frame.verb) << ' ' << frame.payload.size();
+  if (!frame.id.empty()) os << " id=" << frame.id;
+  if (!frame.tenant.empty()) os << " tenant=" << frame.tenant;
+  if (frame.deadline_ms >= 0) os << " deadline_ms=" << frame.deadline_ms;
+  os << '\n' << frame.payload;
+  return os.str();
+}
+
+}  // namespace lera::server

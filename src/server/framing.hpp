@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file framing.hpp
+/// Length-framed wire format for the allocation server, plus the
+/// hardened incremental decoder. One frame is an ASCII header line
+/// followed by exactly `payload_len` raw bytes:
+///
+///   SOLVE <payload_len> [id=<tok>] [tenant=<tok>] [deadline_ms=<n>]\n
+///   <payload_len bytes of problem_io .lt text>
+///
+/// Verbs: SOLVE (payload = .lt problem), and the zero-payload control
+/// verbs HEALTH, STATS, DRAIN, PING. Blank lines between frames are
+/// tolerated (telnet-friendliness), as is a '\r' before the '\n'.
+/// Unknown `key=value` tokens are ignored for forward compatibility.
+///
+/// The decoder is built for adversarial input: it is fed arbitrary
+/// byte chunks (a slowloris client dribbling one byte at a time costs
+/// nothing extra), never buffers more than the configured frame cap
+/// plus one header, and turns every malformed input into a *typed*
+/// event — truncated frames, oversized declarations, garbage headers,
+/// over-long headers — instead of desynchronising or growing memory.
+/// An oversized-but-well-formed frame is rejected up front and its
+/// payload is skipped unbuffered, so the connection survives to serve
+/// the next frame.
+
+namespace lera::server {
+
+enum class FrameVerb { kSolve, kHealth, kStats, kDrain, kPing };
+
+std::string to_string(FrameVerb verb);
+
+/// One well-formed frame.
+struct Frame {
+  FrameVerb verb = FrameVerb::kSolve;
+  std::string id;          ///< Client request id; "" = server assigns.
+  std::string tenant;      ///< "" = the default tenant.
+  long long deadline_ms = -1;  ///< -1 = no per-request deadline given.
+  std::string payload;
+};
+
+/// Why a frame was thrown out. Mirrors the LERA_REJECT reasons the
+/// server emits for transport-level garbage.
+enum class FrameError {
+  kBadFrame,       ///< Garbage/truncated header or truncated payload.
+  kFrameTooLarge,  ///< Declared payload exceeds the configured cap.
+};
+
+std::string to_string(FrameError error);
+
+/// One decoder output: either a Frame or a typed decode failure. The
+/// id is carried even for failures when the header got far enough to
+/// name one, so rejections can still be correlated by the client.
+struct FrameEvent {
+  bool ok = false;
+  Frame frame;         ///< Valid when ok.
+  FrameError error = FrameError::kBadFrame;  ///< Valid when !ok.
+  std::string id;      ///< Best-effort id for !ok events.
+  std::string detail;  ///< Human-readable diagnostic for !ok events.
+};
+
+/// Incremental, bounded-memory frame decoder; one per connection.
+class FrameDecoder {
+ public:
+  struct Options {
+    /// Hard cap on one frame's payload. Larger declarations are
+    /// rejected as kFrameTooLarge and skipped without buffering.
+    std::size_t max_frame_bytes = 1 << 20;
+    /// Cap on the header line (including the newline).
+    std::size_t max_header_bytes = 256;
+  };
+
+  FrameDecoder() : FrameDecoder(Options()) {}
+  explicit FrameDecoder(Options options);
+
+  /// Consumes one chunk of bytes (any size, including 1) and returns
+  /// the frames/failures completed by it, in stream order.
+  std::vector<FrameEvent> feed(std::string_view bytes);
+
+  /// Signals end-of-stream. Returns the typed failure for a frame
+  /// left incomplete (truncated mid-header or mid-payload), if any.
+  std::optional<FrameEvent> finish();
+
+  /// Bytes currently buffered — bounded by
+  /// max_header_bytes + max_frame_bytes by construction; tests assert
+  /// this never grows past the caps whatever the input.
+  std::size_t buffered_bytes() const;
+
+ private:
+  enum class State { kHeader, kPayload, kSkipPayload, kResync };
+
+  void parse_header(const std::string& line, std::vector<FrameEvent>& out);
+
+  Options options_;
+  State state_ = State::kHeader;
+  std::string header_;        ///< Partial header line (kHeader/kResync).
+  Frame pending_;             ///< Frame under construction (kPayload).
+  std::string pending_id_;    ///< Id of the frame being skipped.
+  std::size_t remaining_ = 0; ///< Payload bytes still owed.
+  std::size_t declared_ = 0;  ///< Declared payload size (diagnostics).
+};
+
+/// Serialises one frame in the wire format above (the encode side used
+/// by clients: the bench's load generator and the tests).
+std::string encode_frame(const Frame& frame);
+
+}  // namespace lera::server

@@ -1,0 +1,125 @@
+#include "server/listener.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lera::server {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Listener::Listener(int fd, int port, std::string endpoint,
+                   std::string unix_path)
+    : fd_(fd),
+      port_(port),
+      endpoint_(std::move(endpoint)),
+      unix_path_(std::move(unix_path)) {}
+
+Listener::~Listener() {
+  shutdown();
+  if (fd_ >= 0) ::close(fd_);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+std::unique_ptr<Listener> Listener::listen_unix(const std::string& path,
+                                                std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "unix socket path too long: " + path;
+    return nullptr;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_text("socket");
+    return nullptr;
+  }
+  ::unlink(path.c_str());  // Replace a stale socket file from a crash.
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, 64) < 0) {
+    if (error != nullptr) *error = errno_text("bind/listen");
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Listener>(
+      new Listener(fd, 0, "unix:" + path, path));
+}
+
+std::unique_ptr<Listener> Listener::listen_tcp(const std::string& host,
+                                               int port,
+                                               std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 address: " + host;
+    return nullptr;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_text("socket");
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, 64) < 0) {
+    if (error != nullptr) *error = errno_text("bind/listen");
+    ::close(fd);
+    return nullptr;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  int bound_port = port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port = ntohs(bound.sin_port);
+  }
+  return std::unique_ptr<Listener>(new Listener(
+      fd, bound_port,
+      "tcp:" + host + ":" + std::to_string(bound_port), std::string()));
+}
+
+std::unique_ptr<FdStream> Listener::accept() {
+  for (;;) {
+    if (shutdown_.load(std::memory_order_acquire)) return nullptr;
+    struct pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 250);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return nullptr;
+    }
+    if (ready == 0) continue;
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return nullptr;
+    }
+    return std::make_unique<FdStream>(conn, conn, /*owns_fds=*/true);
+  }
+}
+
+void Listener::shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+}
+
+}  // namespace lera::server

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "server/stream.hpp"
+
+/// \file listener.hpp
+/// Socket acceptor for the allocation server binary: binds a Unix
+/// domain socket or a loopback-friendly TCP socket and hands each
+/// accepted connection back as an FdStream for Server::serve(). The
+/// accept loop polls in bounded slices so shutdown() (wired to the
+/// drain signal handler) unblocks it promptly.
+
+namespace lera::server {
+
+class Listener {
+ public:
+  /// Binds a Unix domain socket at \p path (any stale socket file at
+  /// that path is replaced). Returns nullptr and sets \p error on
+  /// failure.
+  static std::unique_ptr<Listener> listen_unix(const std::string& path,
+                                               std::string* error);
+
+  /// Binds a TCP socket on \p host:\p port (port 0 = ephemeral; see
+  /// port()). Returns nullptr and sets \p error on failure.
+  static std::unique_ptr<Listener> listen_tcp(const std::string& host,
+                                              int port, std::string* error);
+
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Blocks for the next connection. Returns nullptr once shutdown()
+  /// was called (or the listening socket died).
+  std::unique_ptr<FdStream> accept();
+
+  /// Unblocks accept() and closes the listening socket. Idempotent and
+  /// async-signal-tolerant (only flips an atomic; the accept loop does
+  /// the teardown).
+  void shutdown();
+
+  /// The bound TCP port (resolves port 0 requests); 0 for Unix sockets.
+  int port() const { return port_; }
+
+  /// Human-readable bound endpoint for log lines.
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  Listener(int fd, int port, std::string endpoint, std::string unix_path);
+
+  int fd_;
+  int port_;
+  std::string endpoint_;
+  std::string unix_path_;  ///< Unlinked on destruction when non-empty.
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace lera::server

@@ -1,0 +1,199 @@
+#include "server/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace lera::server {
+
+std::string to_string(Terminal t) {
+  switch (t) {
+    case Terminal::kServed:
+      return "served";
+    case Terminal::kDegraded:
+      return "degraded";
+    case Terminal::kInfeasible:
+      return "infeasible";
+    case Terminal::kTimedOut:
+      return "timed_out";
+    case Terminal::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+// --- LatencyWindow ------------------------------------------------------
+
+LatencyWindow::LatencyWindow(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 8)) {
+  ring_.reserve(capacity_);
+}
+
+void LatencyWindow::record(double ms) {
+  if (ms < 0) ms = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ms);
+  } else {
+    ring_[next_] = ms;
+  }
+  next_ = (next_ + 1) % capacity_;
+  filled_ = ring_.size();
+  ++total_;
+  max_ms_ = std::max(max_ms_, ms);
+}
+
+double LatencyWindow::quantile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) return 0;
+  std::vector<double> scratch = ring_;
+  const auto rank = static_cast<std::size_t>(
+      std::clamp(p, 0.0, 1.0) * static_cast<double>(scratch.size() - 1) +
+      0.5);
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(rank),
+                   scratch.end());
+  return scratch[rank];
+}
+
+LatencySummary LatencyWindow::summary() const {
+  LatencySummary s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.count = total_;
+    s.max_ms = max_ms_;
+  }
+  s.p50_ms = quantile(0.50);
+  s.p95_ms = quantile(0.95);
+  s.p99_ms = quantile(0.99);
+  return s;
+}
+
+std::int64_t LatencyWindow::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+// --- ServerMetrics ------------------------------------------------------
+
+ServerMetrics::ServerMetrics(Options options)
+    : options_(options),
+      latency_(options.latency_window),
+      queue_wait_(options.latency_window) {}
+
+void ServerMetrics::on_reject(RejectReason reason) {
+  rejected_[static_cast<std::size_t>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ServerMetrics::on_terminal(Terminal t, double latency_ms,
+                                double queue_wait_ms) {
+  switch (t) {
+    case Terminal::kServed:
+      served_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Terminal::kDegraded:
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Terminal::kInfeasible:
+      infeasible_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Terminal::kTimedOut:
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Terminal::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  latency_.record(latency_ms);
+  queue_wait_.record(queue_wait_ms);
+  update_watchdog();
+}
+
+void ServerMetrics::update_watchdog() {
+  if (options_.queue_budget_ms <= 0) return;
+  if (queue_wait_.count() < options_.watchdog_min_samples) return;
+  const double p95 = queue_wait_.quantile(0.95);
+  if (p95 > options_.queue_budget_ms) {
+    tripped_.store(true, std::memory_order_release);
+  } else if (p95 < options_.queue_budget_ms * 0.5) {
+    // Hysteresis: recover only once the rolling p95 is clearly back
+    // under budget, so the health endpoint does not flap at the edge.
+    tripped_.store(false, std::memory_order_release);
+  }
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.frames_received = frames_.load(std::memory_order_relaxed);
+  s.solve_requests = requests_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.infeasible = infeasible_.load(std::memory_order_relaxed);
+  s.timed_out = timed_out_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumRejectReasons; ++i) {
+    s.rejected_by_reason[static_cast<std::size_t>(i)] =
+        rejected_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    s.rejected_total += s.rejected_by_reason[static_cast<std::size_t>(i)];
+  }
+  s.latency = latency_.summary();
+  s.queue_wait = queue_wait_.summary();
+  s.watchdog_tripped = tripped_.load(std::memory_order_acquire);
+  s.watchdog_budget_ms = options_.queue_budget_ms;
+  return s;
+}
+
+void ServerMetrics::emit_metric_lines(std::ostream& os) const {
+  const MetricsSnapshot s = snapshot();
+  os << "LERA_METRIC server_frames_received " << s.frames_received << "\n"
+     << "LERA_METRIC server_solve_requests " << s.solve_requests << "\n"
+     << "LERA_METRIC server_served " << s.served << "\n"
+     << "LERA_METRIC server_degraded " << s.degraded << "\n"
+     << "LERA_METRIC server_infeasible " << s.infeasible << "\n"
+     << "LERA_METRIC server_timed_out " << s.timed_out << "\n"
+     << "LERA_METRIC server_cancelled " << s.cancelled << "\n"
+     << "LERA_METRIC server_rejected_total " << s.rejected_total << "\n";
+  for (int i = 0; i < kNumRejectReasons; ++i) {
+    os << "LERA_METRIC server_rejected_"
+       << to_string(static_cast<RejectReason>(i)) << " "
+       << s.rejected_by_reason[static_cast<std::size_t>(i)] << "\n";
+  }
+  os << "LERA_METRIC server_latency_p50_ms " << s.latency.p50_ms << "\n"
+     << "LERA_METRIC server_latency_p95_ms " << s.latency.p95_ms << "\n"
+     << "LERA_METRIC server_latency_p99_ms " << s.latency.p99_ms << "\n"
+     << "LERA_METRIC server_queue_wait_p95_ms " << s.queue_wait.p95_ms
+     << "\n"
+     << "LERA_METRIC server_watchdog_tripped "
+     << (s.watchdog_tripped ? 1 : 0) << "\n";
+}
+
+std::string ServerMetrics::json() const {
+  const MetricsSnapshot s = snapshot();
+  std::ostringstream os;
+  os << "{";
+  os << "\"frames_received\":" << s.frames_received
+     << ",\"solve_requests\":" << s.solve_requests
+     << ",\"served\":" << s.served << ",\"degraded\":" << s.degraded
+     << ",\"infeasible\":" << s.infeasible
+     << ",\"timed_out\":" << s.timed_out
+     << ",\"cancelled\":" << s.cancelled
+     << ",\"rejected_total\":" << s.rejected_total << ",\"rejected\":{";
+  for (int i = 0; i < kNumRejectReasons; ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << to_string(static_cast<RejectReason>(i))
+       << "\":" << s.rejected_by_reason[static_cast<std::size_t>(i)];
+  }
+  os << "},\"latency_ms\":{\"p50\":" << s.latency.p50_ms
+     << ",\"p95\":" << s.latency.p95_ms << ",\"p99\":" << s.latency.p99_ms
+     << ",\"max\":" << s.latency.max_ms << "}"
+     << ",\"queue_wait_ms\":{\"p50\":" << s.queue_wait.p50_ms
+     << ",\"p95\":" << s.queue_wait.p95_ms
+     << ",\"p99\":" << s.queue_wait.p99_ms << "}"
+     << ",\"watchdog_tripped\":" << (s.watchdog_tripped ? "true" : "false")
+     << "}";
+  return os.str();
+}
+
+}  // namespace lera::server

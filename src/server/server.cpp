@@ -1,0 +1,389 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "workloads/problem_io.hpp"
+
+namespace lera::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Diagnostics travel inside single response lines, so newlines must
+/// not let them forge protocol structure.
+std::string sanitize(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ';';
+  }
+  return text;
+}
+
+std::string reject_line(const std::string& id, RejectReason reason,
+                        const std::string& detail) {
+  std::string line = "LERA_REJECT " + id + " reason=" + to_string(reason);
+  if (!detail.empty()) line += " detail=" + sanitize(detail);
+  line += "\n";
+  return line;
+}
+
+/// The disjoint terminal state of one finished solve (metrics.hpp).
+Terminal classify(const alloc::AllocationResult& r) {
+  if (r.cancelled) return Terminal::kCancelled;
+  if (!r.feasible && r.timed_out) return Terminal::kTimedOut;
+  if (!r.feasible) return Terminal::kInfeasible;
+  if (r.degraded) return Terminal::kDegraded;
+  return Terminal::kServed;
+}
+
+}  // namespace
+
+/// Per-connection state shared by the reader (serve's caller thread)
+/// and the writer thread. Entries flow reader -> writer in frame
+/// order; responses are written strictly in that order, so pipe-mode
+/// output is deterministic.
+struct Server::Conn {
+  struct Entry {
+    /// Ready-made response (rejections, control verbs).
+    std::string ready_text;
+    /// Pending solve: one single-ticket session per request, so each
+    /// request carries its own cancel token chained under the engine's
+    /// shutdown token.
+    std::optional<engine::Session> session;
+    std::size_t ticket = 0;
+    std::string id;
+    std::string tenant;
+    Clock::time_point admitted_at{};
+  };
+
+  explicit Conn(ByteStream& s) : stream(s) {}
+
+  ByteStream& stream;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Entry> queue;
+  bool reader_done = false;
+  /// Writer-only: a response write failed; the peer is gone. Remaining
+  /// solves are cancelled and accounted, never silently dropped.
+  bool client_gone = false;
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)),
+      admission_(options_.admission),
+      metrics_(options_.metrics) {
+  // Anytime answers under load: a deadline-hit flow solve must degrade
+  // to the two-phase baseline (flagged), not stall or die.
+  options_.engine.alloc.fallback_to_baseline = true;
+  engine_ = std::make_unique<engine::Engine>(options_.engine);
+}
+
+Server::~Server() {
+  // ~Engine fires the shutdown token and drains the pool; any Session
+  // still queued winds down to a terminal (cancelled) state first.
+  engine_.reset();
+}
+
+std::string Server::next_auto_id() {
+  return "#" + std::to_string(
+                   auto_id_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+void Server::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    if (drain_deadline_.unlimited()) {
+      drain_deadline_ =
+          netflow::Deadline::after(options_.drain_grace_seconds);
+    }
+  }
+  admission_.begin_drain();
+  draining_.store(true, std::memory_order_release);
+}
+
+HealthStatus Server::health() const {
+  const MetricsSnapshot s = metrics_.snapshot();
+  HealthStatus h;
+  h.overloaded = s.watchdog_tripped;
+  h.draining = draining();
+  h.in_flight = admission_.in_flight();
+  h.estimated_queue_wait_ms = admission_.estimated_queue_wait_ms();
+  h.queue_p95_ms = s.queue_wait.p95_ms;
+  h.shed_total = s.rejected_total;
+  return h;
+}
+
+void Server::handle_solve(Conn& conn, Frame frame, const std::string& id) {
+  const std::string tenant =
+      frame.tenant.empty() ? std::string("default") : frame.tenant;
+  Conn::Entry entry;
+  entry.id = id;
+
+  // Admission first — overload is shed before the payload is parsed,
+  // let alone solved.
+  const AdmissionVerdict verdict = admission_.try_admit(
+      tenant, static_cast<double>(frame.deadline_ms));
+  if (!verdict.admitted) {
+    metrics_.on_reject(verdict.reason);
+    entry.ready_text = reject_line(id, verdict.reason, verdict.detail);
+  } else {
+    const workloads::ProblemParseResult parsed =
+        workloads::parse_problem(frame.payload, options_.engine.params);
+    if (!parsed.ok()) {
+      // The parser's diagnostic maps to a typed bad_request rejection;
+      // the connection (and the process) live on.
+      admission_.release(tenant);
+      metrics_.on_reject(RejectReason::kBadRequest);
+      entry.ready_text =
+          reject_line(id, RejectReason::kBadRequest, parsed.error);
+    } else {
+      entry.session.emplace(engine_->open_session());
+      entry.tenant = tenant;
+      entry.admitted_at = Clock::now();
+      entry.ticket = entry.session->submit(
+          std::move(*parsed.problem),
+          frame.deadline_ms > 0 ? frame.deadline_ms / 1000.0 : 0.0);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn.mutex);
+    conn.queue.push_back(std::move(entry));
+  }
+  conn.cv.notify_all();
+}
+
+void Server::handle_event(Conn& conn, FrameEvent event) {
+  metrics_.on_frame();
+  std::string ready;
+  if (!event.ok) {
+    const RejectReason reason = event.error == FrameError::kFrameTooLarge
+                                    ? RejectReason::kFrameTooLarge
+                                    : RejectReason::kBadFrame;
+    metrics_.on_reject(reason);
+    const std::string id =
+        event.id.empty() ? next_auto_id() : event.id;
+    ready = reject_line(id, reason, event.detail);
+  } else {
+    Frame& frame = event.frame;
+    const std::string id =
+        frame.id.empty() ? next_auto_id() : frame.id;
+    switch (frame.verb) {
+      case FrameVerb::kSolve:
+        metrics_.on_solve_request();
+        handle_solve(conn, std::move(frame), id);
+        return;
+      case FrameVerb::kHealth: {
+        const HealthStatus h = health();
+        std::ostringstream os;
+        os << "LERA_HEALTH " << id << " status=" << h.status_word()
+           << " in_flight=" << h.in_flight << " est_queue_wait_ms="
+           << h.estimated_queue_wait_ms << " queue_p95_ms="
+           << h.queue_p95_ms << " shed=" << h.shed_total << "\n";
+        ready = os.str();
+        break;
+      }
+      case FrameVerb::kStats: {
+        std::ostringstream os;
+        metrics_.emit_metric_lines(os);
+        os << "LERA_STATS_END " << id << "\n";
+        ready = os.str();
+        break;
+      }
+      case FrameVerb::kPing:
+        ready = "LERA_PONG " + id + "\n";
+        break;
+      case FrameVerb::kDrain:
+        begin_drain();
+        ready = "LERA_DRAIN " + id + " state=started grace_s=" +
+                std::to_string(options_.drain_grace_seconds) + "\n";
+        break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn.mutex);
+    Conn::Entry entry;
+    entry.ready_text = std::move(ready);
+    conn.queue.push_back(std::move(entry));
+  }
+  conn.cv.notify_all();
+}
+
+void Server::writer_loop(Conn& conn) {
+  const auto write_out = [&](const std::string& text) {
+    if (conn.client_gone || text.empty()) return;
+    if (!conn.stream.write(text)) conn.client_gone = true;
+  };
+
+  for (;;) {
+    Conn::Entry entry;
+    {
+      std::unique_lock<std::mutex> lock(conn.mutex);
+      conn.cv.wait(lock, [&] {
+        return !conn.queue.empty() || conn.reader_done;
+      });
+      if (conn.queue.empty()) break;  // reader_done and drained
+      entry = std::move(conn.queue.front());
+      conn.queue.pop_front();
+    }
+
+    if (!entry.session.has_value()) {
+      write_out(entry.ready_text);
+      continue;
+    }
+
+    // A peer that vanished is not worth solving for: withdraw, but
+    // still wait for the terminal state so the request is accounted.
+    if (conn.client_gone) entry.session->cancel(entry.ticket);
+
+    // Wait for the result in bounded slices so an engine-wide drain
+    // can step in: past the drain grace, the solve is cancelled and
+    // result() blocks only until its fast-exit terminal state.
+    for (;;) {
+      double slice = 0.1;
+      if (draining()) {
+        double remaining;
+        {
+          std::lock_guard<std::mutex> lock(drain_mutex_);
+          remaining = drain_deadline_.remaining_seconds();
+        }
+        if (remaining <= 0) {
+          entry.session->cancel(entry.ticket);
+          entry.session->result(entry.ticket);
+          break;
+        }
+        slice = std::min(slice, remaining);
+      }
+      if (entry.session->wait_for(entry.ticket, slice)) break;
+    }
+
+    const alloc::AllocationResult& r =
+        entry.session->result(entry.ticket);
+    const double latency_ms = ms_since(entry.admitted_at);
+    const double queue_wait_ms = std::max(
+        0.0, latency_ms - r.solve_diagnostics.wall_seconds * 1000.0);
+    const Terminal terminal = classify(r);
+
+    admission_.release(entry.tenant);
+    admission_.record_queue_wait_ms(queue_wait_ms);
+    metrics_.on_terminal(terminal, latency_ms, queue_wait_ms);
+
+    std::ostringstream os;
+    switch (terminal) {
+      case Terminal::kServed:
+      case Terminal::kDegraded: {
+        const bool is_static = options_.engine.params.register_model ==
+                               energy::RegisterModel::kStatic;
+        const double energy = is_static ? r.static_energy.total()
+                                        : r.activity_energy.total();
+        os << "LERA_RESULT " << entry.id << " status="
+           << (terminal == Terminal::kDegraded ? "degraded" : "ok")
+           << " energy=" << energy
+           << " mem_accesses=" << r.stats.mem_accesses()
+           << " reg_accesses=" << r.stats.reg_accesses()
+           << " mem_locations=" << r.stats.mem_locations
+           << " registers_used=" << r.registers_used << " solver="
+           << (r.degraded
+                   ? std::string("two-phase-baseline")
+                   : netflow::to_string(r.solve_diagnostics.solver_used))
+           << " timed_out=" << (r.timed_out ? 1 : 0)
+           << " latency_ms=" << latency_ms;
+        if (options_.echo_assignment) {
+          os << " assign=";
+          if (r.assignment.size() == 0) {
+            os << "-";
+          } else {
+            for (std::size_t s = 0; s < r.assignment.size(); ++s) {
+              if (s > 0) os << ",";
+              if (r.assignment.in_register(s)) {
+                os << "r" << r.assignment.location(s);
+              } else {
+                os << "mem";
+              }
+            }
+          }
+        }
+        os << "\n";
+        break;
+      }
+      case Terminal::kInfeasible:
+        os << "LERA_ERROR " << entry.id << " "
+           << sanitize(r.message.empty() ? "allocation infeasible"
+                                         : r.message)
+           << "\n";
+        break;
+      case Terminal::kTimedOut:
+        os << "LERA_TIMEOUT " << entry.id << " "
+           << sanitize(r.message.empty()
+                           ? "deadline expired with no usable answer"
+                           : r.message)
+           << "\n";
+        break;
+      case Terminal::kCancelled:
+        os << "LERA_CANCELLED " << entry.id << " "
+           << sanitize(r.message.empty() ? "request withdrawn"
+                                         : r.message)
+           << "\n";
+        break;
+    }
+    write_out(os.str());
+  }
+}
+
+void Server::serve(ByteStream& stream) {
+  Conn conn(stream);
+  std::thread writer([this, &conn] { writer_loop(conn); });
+
+  FrameDecoder decoder(options_.framing);
+  char buffer[4096];
+  for (;;) {
+    if (draining()) {
+      // Past the drain grace the peer may never send EOF; cut the
+      // read loop so serve() can complete the drain.
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      if (!drain_deadline_.unlimited() && drain_deadline_.expired()) {
+        break;
+      }
+    }
+    const std::ptrdiff_t n = stream.read(buffer, sizeof buffer);
+    if (n == ByteStream::kReadAgain) continue;
+    if (n <= 0) break;
+    for (FrameEvent& event :
+         decoder.feed({buffer, static_cast<std::size_t>(n)})) {
+      handle_event(conn, std::move(event));
+    }
+  }
+  // A stream that ended mid-frame still gets a typed verdict.
+  if (std::optional<FrameEvent> truncated = decoder.finish()) {
+    handle_event(conn, std::move(*truncated));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn.mutex);
+    conn.reader_done = true;
+  }
+  conn.cv.notify_all();
+  writer.join();
+
+  if (draining() && options_.emit_metrics_on_drain) {
+    const MetricsSnapshot s = metrics_.snapshot();
+    std::ostringstream os;
+    os << "LERA_DRAIN - state=complete served=" << s.served
+       << " degraded=" << s.degraded << " infeasible=" << s.infeasible
+       << " timed_out=" << s.timed_out << " cancelled=" << s.cancelled
+       << " rejected=" << s.rejected_total << "\n";
+    metrics_.emit_metric_lines(os);
+    stream.write(os.str());
+  }
+}
+
+}  // namespace lera::server

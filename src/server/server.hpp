@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "netflow/cancel.hpp"
+#include "server/admission.hpp"
+#include "server/framing.hpp"
+#include "server/metrics.hpp"
+#include "server/stream.hpp"
+
+/// \file server.hpp
+/// The allocation service core: a long-lived front end over one shared
+/// engine::Engine that turns framed .lt requests (framing.hpp) into
+/// streamed LERA_* response lines, and degrades — never falls over —
+/// under overload, garbage input, deadline storms, and shutdown.
+///
+/// One serve(stream) call runs one connection: the calling thread
+/// reads and decodes frames, admits or sheds them (admission.hpp), and
+/// submits admitted problems to the engine; a per-connection writer
+/// thread streams responses back in frame order. Every SOLVE frame is
+/// answered with exactly one typed verdict:
+///
+///   LERA_RESULT <id> status=ok|degraded ... assign=...   (served)
+///   LERA_ERROR <id> <reason>                 (valid but infeasible)
+///   LERA_TIMEOUT <id> <detail>           (deadline, no usable answer)
+///   LERA_CANCELLED <id> <detail>           (disconnect/drain/shutdown)
+///   LERA_REJECT <id> reason=<r> detail=...   (shed before solving)
+///
+/// with reasons queue_full | tenant_quota | deadline_infeasible |
+/// frame_too_large | bad_frame | bad_request | draining. Control verbs
+/// HEALTH / STATS / PING answer inline; DRAIN (or begin_drain(), wired
+/// to SIGTERM by the binary) stops admissions, finishes or cancels
+/// in-flight work within the grace budget, flushes every response, and
+/// ends with "LERA_DRAIN - state=complete ..." so a supervisor can
+/// verify nothing was silently dropped.
+
+namespace lera::server {
+
+struct ServerOptions {
+  /// Engine configuration shared by every request. threads sizes the
+  /// solver pool; task_deadline_seconds is the default per-request
+  /// deadline when a frame declares none; alloc.fallback_to_baseline
+  /// is forced on so deadline-hit solves degrade to the two-phase
+  /// baseline instead of dying (anytime answers under load).
+  engine::EngineOptions engine;
+  FrameDecoder::Options framing;
+  AdmissionOptions admission;
+  ServerMetrics::Options metrics;
+  /// After begin_drain(), in-flight solves get this long to finish
+  /// before they are cancelled (and accounted as cancelled).
+  double drain_grace_seconds = 5;
+  /// Append the per-segment placement to LERA_RESULT lines
+  /// (assign=r0,mem,...). Off for benchmarking huge responses.
+  bool echo_assignment = true;
+  /// Write "LERA_DRAIN - state=complete ..." plus the LERA_METRIC
+  /// block when a drained connection closes.
+  bool emit_metrics_on_drain = true;
+};
+
+struct HealthStatus {
+  bool overloaded = false;  ///< Watchdog tripped: queue p95 over budget.
+  bool draining = false;
+  int in_flight = 0;
+  double estimated_queue_wait_ms = 0;
+  double queue_p95_ms = 0;
+  std::int64_t shed_total = 0;
+
+  std::string status_word() const {
+    return draining ? "draining" : overloaded ? "overloaded" : "ok";
+  }
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves one connection to completion: returns when the peer's
+  /// request stream ended (EOF, error, or drain deadline) AND every
+  /// pending response was written or accounted. Safe to call from many
+  /// threads at once, one per connection.
+  void serve(ByteStream& stream);
+
+  /// Graceful shutdown: stop admitting (typed `draining` rejections),
+  /// let in-flight work finish within drain_grace_seconds, cancel the
+  /// rest, flush responses. Idempotent; callable from any thread
+  /// (signal watchers included).
+  void begin_drain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  HealthStatus health() const;
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  std::string metrics_json() const { return metrics_.json(); }
+
+  const engine::Engine& engine() const { return *engine_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Conn;
+
+  void handle_event(Conn& conn, FrameEvent event);
+  void handle_solve(Conn& conn, Frame frame, const std::string& id);
+  void writer_loop(Conn& conn);
+  std::string next_auto_id();
+
+  ServerOptions options_;
+  std::unique_ptr<engine::Engine> engine_;
+  AdmissionController admission_;
+  ServerMetrics metrics_;
+  std::atomic<bool> draining_{false};
+  /// Armed by begin_drain(); in-flight work past it is cancelled.
+  netflow::Deadline drain_deadline_;
+  std::mutex drain_mutex_;  ///< Guards drain_deadline_ writes/reads.
+  std::atomic<std::uint64_t> auto_id_{0};
+};
+
+}  // namespace lera::server

@@ -1,0 +1,164 @@
+#include "server/stream.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace lera::server {
+
+// --- BytePipe -----------------------------------------------------------
+
+BytePipe::BytePipe(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+bool BytePipe::write(std::string_view data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    writable_.wait(lock, [&] {
+      return hard_closed_ || write_closed_ || buffer_.size() < capacity_;
+    });
+    if (hard_closed_ || write_closed_) return false;
+    const std::size_t room = capacity_ - buffer_.size();
+    const std::size_t n = std::min(room, data.size() - offset);
+    buffer_.append(data.substr(offset, n));
+    offset += n;
+    readable_.notify_all();
+  }
+  return true;
+}
+
+std::ptrdiff_t BytePipe::read(char* buffer, std::size_t max_bytes) {
+  if (max_bytes == 0) return 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool ready = readable_.wait_for(
+      lock, std::chrono::milliseconds(250), [&] {
+        return hard_closed_ || write_closed_ || !buffer_.empty();
+      });
+  if (!ready) return ByteStream::kReadAgain;
+  if (hard_closed_) return -1;
+  if (buffer_.empty()) return 0;  // write_closed_ and drained: EOF.
+  const std::size_t n = std::min(max_bytes, buffer_.size());
+  std::memcpy(buffer, buffer_.data(), n);
+  buffer_.erase(0, n);
+  writable_.notify_all();
+  return static_cast<std::ptrdiff_t>(n);
+}
+
+void BytePipe::close_write() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_closed_ = true;
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+void BytePipe::close_hard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hard_closed_ = true;
+  buffer_.clear();
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+// --- MemoryChannel ------------------------------------------------------
+
+class MemoryChannel::End : public ByteStream {
+ public:
+  End(std::shared_ptr<BytePipe> in, std::shared_ptr<BytePipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  std::ptrdiff_t read(char* buffer, std::size_t max_bytes) override {
+    return in_->read(buffer, max_bytes);
+  }
+
+  bool write(std::string_view data) override { return out_->write(data); }
+
+  void close() override {
+    in_->close_hard();
+    out_->close_hard();
+  }
+
+ private:
+  std::shared_ptr<BytePipe> in_;
+  std::shared_ptr<BytePipe> out_;
+};
+
+MemoryChannel::MemoryChannel(std::size_t capacity)
+    : to_server_(std::make_shared<BytePipe>(capacity)),
+      to_client_(std::make_shared<BytePipe>(capacity)),
+      server_end_(std::make_unique<End>(to_server_, to_client_)),
+      client_end_(std::make_unique<End>(to_client_, to_server_)) {}
+
+MemoryChannel::~MemoryChannel() = default;
+
+ByteStream& MemoryChannel::server_end() { return *server_end_; }
+
+ByteStream& MemoryChannel::client_end() { return *client_end_; }
+
+void MemoryChannel::close_client_writes() { to_server_->close_write(); }
+
+void MemoryChannel::close_server_writes() { to_client_->close_write(); }
+
+void MemoryChannel::disconnect_client() {
+  to_server_->close_hard();
+  to_client_->close_hard();
+}
+
+// --- FdStream -----------------------------------------------------------
+
+FdStream::FdStream(int read_fd, int write_fd, bool owns_fds)
+    : read_fd_(read_fd), write_fd_(write_fd), owns_fds_(owns_fds) {}
+
+FdStream::~FdStream() {
+  if (owns_fds_) close();
+}
+
+std::ptrdiff_t FdStream::read(char* buffer, std::size_t max_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(close_mutex_);
+    if (closed_) return -1;
+  }
+  struct pollfd pfd{};
+  pfd.fd = read_fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, 250);
+  if (ready < 0) return errno == EINTR ? kReadAgain : -1;
+  if (ready == 0) return kReadAgain;
+  for (;;) {
+    const ssize_t n = ::read(read_fd_, buffer, max_bytes);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool FdStream::write(std::string_view data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n =
+        ::write(write_fd_, data.data() + offset, data.size() - offset);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void FdStream::close() {
+  std::lock_guard<std::mutex> lock(close_mutex_);
+  if (closed_) return;
+  closed_ = true;
+  if (owns_fds_) {
+    ::close(read_fd_);
+    if (write_fd_ != read_fd_) ::close(write_fd_);
+  }
+}
+
+}  // namespace lera::server

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+/// \file stream.hpp
+/// Transport abstraction for the allocation server. The server core
+/// (server.hpp) speaks to one ByteStream per connection and never sees
+/// where the bytes come from, so the same request path serves a Unix or
+/// TCP socket (listener.hpp, FdStream), the stdin/stdout pipe mode, and
+/// the fully in-memory MemoryChannel that tests and the load-generator
+/// bench use to drive the server deterministically — including
+/// byte-dribbled writes and mid-frame disconnects.
+
+namespace lera::server {
+
+/// Blocking byte transport, one per connection. Implementations must
+/// allow one concurrent reader and one concurrent writer (the server
+/// core reads frames on one thread while streaming responses on
+/// another); they need not support two concurrent readers.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Soft-timeout result of read(): no data arrived within the wait
+  /// slice, the stream is still open, call again. Lets the server's
+  /// reader loop observe drain deadlines instead of blocking forever
+  /// on a silent connection.
+  static constexpr std::ptrdiff_t kReadAgain = -2;
+
+  /// Blocks up to a bounded slice for at least one byte. Returns the
+  /// count read (> 0), 0 on orderly end-of-stream, -1 on a transport
+  /// error / closed stream, or kReadAgain on a soft timeout.
+  virtual std::ptrdiff_t read(char* buffer, std::size_t max_bytes) = 0;
+
+  /// Writes the whole string or fails. False once the peer is gone —
+  /// the server uses that as its disconnect signal.
+  virtual bool write(std::string_view data) = 0;
+
+  /// Tears the stream down: pending and future reads/writes fail fast.
+  /// Idempotent; safe to call from any thread.
+  virtual void close() = 0;
+};
+
+/// One direction of an in-memory connection: a bounded byte queue with
+/// blocking read/write and an explicit closed state. Bounded so a
+/// producer that outruns its consumer blocks instead of growing the
+/// buffer without limit — the same backpressure a socket gives.
+class BytePipe {
+ public:
+  explicit BytePipe(std::size_t capacity = 1 << 16);
+
+  /// Appends, blocking while full. False if the pipe closed.
+  bool write(std::string_view data);
+
+  /// Blocks up to ~250 ms for >= 1 byte; 0 on close-after-drain, -1 on
+  /// hard close, ByteStream::kReadAgain on the soft timeout.
+  std::ptrdiff_t read(char* buffer, std::size_t max_bytes);
+
+  /// Orderly close: readers drain what is buffered, then see EOF.
+  void close_write();
+
+  /// Hard close: buffered bytes are dropped, reads return -1. Models a
+  /// client that vanished mid-frame (chaos harness).
+  void close_hard();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::string buffer_;
+  std::size_t capacity_;
+  bool write_closed_ = false;
+  bool hard_closed_ = false;
+};
+
+/// A full-duplex in-memory connection: the client holds one end, the
+/// server core the other; both ends are ByteStreams over the same pair
+/// of BytePipes, with directions crossed.
+class MemoryChannel {
+ public:
+  explicit MemoryChannel(std::size_t capacity = 1 << 16);
+  ~MemoryChannel();  ///< Out of line: End is incomplete here.
+
+  /// The server's end (reads what the client wrote and vice versa).
+  ByteStream& server_end();
+  /// The client's end.
+  ByteStream& client_end();
+
+  /// Client finished sending requests (server sees EOF after draining).
+  void close_client_writes();
+  /// Server side finished responding (client sees EOF after draining);
+  /// called by harnesses once serve() returned so client readers stop.
+  void close_server_writes();
+  /// Abrupt client death: both directions fail fast, buffered bytes
+  /// are dropped.
+  void disconnect_client();
+
+ private:
+  class End;
+  std::shared_ptr<BytePipe> to_server_;
+  std::shared_ptr<BytePipe> to_client_;
+  std::unique_ptr<End> server_end_;
+  std::unique_ptr<End> client_end_;
+};
+
+/// ByteStream over POSIX file descriptors (socket, or the stdin/stdout
+/// pair of pipe mode). Owns neither fd unless told to.
+class FdStream : public ByteStream {
+ public:
+  /// \p read_fd / \p write_fd may be the same fd (socket) or distinct
+  /// (pipe mode: 0 and 1). When \p owns_fds, close() closes them.
+  FdStream(int read_fd, int write_fd, bool owns_fds);
+  ~FdStream() override;
+
+  std::ptrdiff_t read(char* buffer, std::size_t max_bytes) override;
+  bool write(std::string_view data) override;
+  void close() override;
+
+ private:
+  int read_fd_;
+  int write_fd_;
+  bool owns_fds_;
+  std::mutex close_mutex_;
+  bool closed_ = false;
+};
+
+}  // namespace lera::server

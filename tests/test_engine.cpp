@@ -785,6 +785,70 @@ TEST(Engine, SessionCancelAllStressUnderContention) {
   EXPECT_EQ(stats.solves_cancelled, cancelled);
 }
 
+TEST(Engine, SessionWaitForCancelAllRaceStress) {
+  // TSan target for the wait_for / cancel_all ordering: 8 threads park
+  // inside wait_for with finite timeouts while cancel_all fires
+  // repeatedly mid-submission. The contract under fire: wait_for must
+  // never miss the terminal-state wakeup (no waiter hangs past the
+  // collect()), every blocked waiter eventually sees its ticket done,
+  // and no access to the shared session state races.
+  EngineOptions opts;
+  opts.threads = 4;
+  const Engine engine(opts);
+  Session session = engine.open_session();
+  constexpr std::size_t kN = 48;
+
+  for (std::size_t i = 0; i < kN / 2; ++i) {
+    session.submit(random_problem(500 + i));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> observed{0};
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 8; ++w) {
+    waiters.emplace_back([&, w] {
+      std::size_t t = static_cast<std::size_t>(w);
+      while (!stop.load()) {
+        // Mix of instant polls and real blocking waits, across tickets
+        // both existing and not-yet-submitted.
+        if (session.wait_for(t % kN, (w % 2) == 0 ? 0.0 : 0.005)) {
+          observed.fetch_add(1, std::memory_order_relaxed);
+        }
+        t += 13;
+      }
+    });
+  }
+  std::thread canceller([&] {
+    while (!stop.load()) {
+      session.cancel_all();
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::size_t i = kN / 2; i < kN; ++i) {
+    session.submit(random_problem(600 + i));
+  }
+
+  // Every ticket must reach a terminal state despite the storm; a hang
+  // here is the bug this test exists to catch.
+  const std::vector<alloc::AllocationResult> results = session.collect();
+  // And a waiter blocked on any ticket must now return promptly.
+  for (std::size_t t = 0; t < kN; ++t) {
+    EXPECT_TRUE(session.wait_for(t, 5.0)) << "ticket " << t;
+  }
+  stop.store(true);
+  for (std::thread& w : waiters) w.join();
+  canceller.join();
+
+  ASSERT_EQ(results.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const TicketStatus st = session.status(i);
+    EXPECT_TRUE(st == TicketStatus::kDone || st == TicketStatus::kCancelled)
+        << "ticket " << i << " ended " << to_string(st);
+  }
+  EXPECT_GT(observed.load(), 0);
+}
+
 TEST(Engine, DestructionDrainsOutstandingSessionWork) {
   // Destroying the Engine mid-flight fires the shutdown token: queued
   // session jobs still run (the pool drains), but they fast-exit, so

@@ -1,0 +1,388 @@
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/stream.hpp"
+
+// End-to-end tests of the allocation service over in-memory channels:
+// the same Server::serve() path pipe mode and the socket listener use,
+// driven deterministically. Covers the typed-rejection contract
+// (bad_request with the parser diagnostic, queue_full, tenant_quota,
+// deadline_infeasible, draining), response ordering, graceful drain,
+// health, and the accounting identity under a client disconnect.
+
+namespace lera::server {
+namespace {
+
+constexpr const char* kTinyProblem =
+    "steps 7\nregisters 3\n"
+    "var a write 1 reads 3\nvar b write 2 reads 4\n"
+    "var c write 3 reads 6\n";
+
+std::string solve_frame(const std::string& id, const std::string& payload,
+                        long long deadline_ms = -1,
+                        const std::string& tenant = "") {
+  Frame f;
+  f.verb = FrameVerb::kSolve;
+  f.id = id;
+  f.tenant = tenant;
+  f.deadline_ms = deadline_ms;
+  f.payload = payload;
+  return encode_frame(f);
+}
+
+/// Runs one scripted conversation: writes every chunk, closes the
+/// request direction, serves to completion, and returns the response
+/// lines in order.
+std::vector<std::string> converse(Server& server,
+                                  const std::vector<std::string>& chunks) {
+  MemoryChannel chan;
+  std::thread serving([&] { server.serve(chan.server_end()); });
+  for (const std::string& c : chunks) {
+    if (!chan.client_end().write(c)) break;
+  }
+  chan.close_client_writes();
+  serving.join();
+  chan.close_server_writes();
+
+  char buffer[4096];
+  std::string acc;
+  for (;;) {
+    const std::ptrdiff_t n =
+        chan.client_end().read(buffer, sizeof buffer);
+    if (n == ByteStream::kReadAgain) continue;
+    if (n <= 0) break;
+    acc.append(buffer, static_cast<std::size_t>(n));
+  }
+  std::vector<std::string> lines;
+  std::size_t nl;
+  while ((nl = acc.find('\n')) != std::string::npos) {
+    lines.push_back(acc.substr(0, nl));
+    acc.erase(0, nl + 1);
+  }
+  return lines;
+}
+
+ServerOptions deterministic_options() {
+  ServerOptions opts;
+  opts.engine.threads = 1;
+  return opts;
+}
+
+TEST(Server, AnswersSolvesInFrameOrderDeterministically) {
+  ServerOptions opts = deterministic_options();
+  Server server(opts);
+  const std::vector<std::string> lines = converse(
+      server, {"PING 0 id=p1\n", solve_frame("s1", kTinyProblem),
+               solve_frame("s2", kTinyProblem), "PING 0 id=p2\n"});
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "LERA_PONG p1");
+  EXPECT_EQ(lines[1].rfind("LERA_RESULT s1 status=ok", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("LERA_RESULT s2 status=ok", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3], "LERA_PONG p2");
+  // Identical segments, identical engine: identical result lines
+  // except the id and latency.
+  EXPECT_NE(lines[1].find("energy="), std::string::npos);
+  EXPECT_NE(lines[1].find("assign="), std::string::npos);
+
+  // Byte-determinism across runs (threads=1): a second identical
+  // conversation produces the same result line modulo latency.
+  Server server2(deterministic_options());
+  const std::vector<std::string> again =
+      converse(server2, {solve_frame("s1", kTinyProblem)});
+  ASSERT_EQ(again.size(), 1u);
+  const auto strip_latency = [](const std::string& line) {
+    const std::size_t at = line.find(" latency_ms=");
+    const std::size_t end = line.find(' ', at + 1);
+    return line.substr(0, at) +
+           (end == std::string::npos ? "" : line.substr(end));
+  };
+  EXPECT_EQ(strip_latency(again[0]), strip_latency(lines[1]));
+}
+
+TEST(Server, ParseErrorBecomesTypedBadRequestAndConnectionSurvives) {
+  Server server(deterministic_options());
+  const std::vector<std::string> lines = converse(
+      server, {solve_frame("broken", "steps 3\nwat is this\n"),
+               solve_frame("fine", kTinyProblem)});
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("LERA_REJECT broken reason=bad_request", 0), 0u)
+      << lines[0];
+  // The parser's diagnostic (with its line number) rides along.
+  EXPECT_NE(lines[0].find("detail=line 2"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[1].rfind("LERA_RESULT fine", 0), 0u) << lines[1];
+
+  const MetricsSnapshot s = server.metrics();
+  EXPECT_EQ(s.rejected_by_reason[static_cast<int>(
+                RejectReason::kBadRequest)],
+            1);
+  EXPECT_EQ(s.accounted_requests(), s.solve_requests);
+}
+
+TEST(Server, MalformedAndOversizedFramesGetTypedRejects) {
+  ServerOptions opts = deterministic_options();
+  opts.framing.max_frame_bytes = 64;
+  Server server(opts);
+  const std::vector<std::string> lines = converse(
+      server,
+      {"GET / HTTP/1.1\n",
+       "SOLVE 5000 id=big\n" + std::string(5000, 'z'),
+       "PING 0 id=alive\n"});
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("reason=bad_frame"), std::string::npos);
+  EXPECT_EQ(lines[1].rfind("LERA_REJECT big reason=frame_too_large", 0),
+            0u)
+      << lines[1];
+  EXPECT_EQ(lines[2], "LERA_PONG alive");
+}
+
+/// Gate the engine's solve path: the post-solve hook blocks until
+/// release(), pinning requests in flight so admission decisions become
+/// deterministic.
+struct SolveGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return open; });
+  }
+};
+
+TEST(Server, OverloadShedsWithTypedQueueFullNeverSilently) {
+  ServerOptions opts;
+  // Pool threads, not inline solving: with threads=1 the engine solves
+  // on the submitting (reader) thread, and a gated solve would block
+  // frame processing instead of pinning work in flight.
+  opts.engine.threads = 2;
+  opts.admission.max_queue = 2;
+  auto gate = std::make_shared<SolveGate>();
+  opts.engine.alloc.solve.post_solve_hook =
+      [gate](const netflow::Graph&, netflow::FlowSolution&) {
+        gate->wait();
+      };
+  Server server(opts);
+
+  MemoryChannel chan;
+  std::thread serving([&] { server.serve(chan.server_end()); });
+  chan.client_end().write(solve_frame("s1", kTinyProblem));
+  chan.client_end().write(solve_frame("s2", kTinyProblem));
+  chan.client_end().write(solve_frame("s3", kTinyProblem));
+  // s1/s2 fill the queue (the gate pins them in flight); s3 must be
+  // shed. Wait for the shed to be booked, then open the gate.
+  for (int spin = 0; spin < 500; ++spin) {
+    if (server.metrics().rejected_total >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.metrics().rejected_by_reason[static_cast<int>(
+                RejectReason::kQueueFull)],
+            1);
+  gate->release();
+  chan.close_client_writes();
+  serving.join();
+  chan.close_server_writes();
+
+  char buffer[4096];
+  std::string acc;
+  for (;;) {
+    const std::ptrdiff_t n =
+        chan.client_end().read(buffer, sizeof buffer);
+    if (n == ByteStream::kReadAgain) continue;
+    if (n <= 0) break;
+    acc.append(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(acc.find("LERA_RESULT s1"), std::string::npos) << acc;
+  EXPECT_NE(acc.find("LERA_RESULT s2"), std::string::npos) << acc;
+  EXPECT_NE(acc.find("LERA_REJECT s3 reason=queue_full"),
+            std::string::npos)
+      << acc;
+  const MetricsSnapshot s = server.metrics();
+  EXPECT_EQ(s.accounted_requests(), s.solve_requests);
+}
+
+TEST(Server, TenantQuotaIsEnforcedPerTenant) {
+  ServerOptions opts;
+  opts.engine.threads = 2;  // See OverloadSheds... for why not 1.
+  opts.admission.max_queue = 16;
+  opts.admission.per_tenant_queue = 1;
+  auto gate = std::make_shared<SolveGate>();
+  opts.engine.alloc.solve.post_solve_hook =
+      [gate](const netflow::Graph&, netflow::FlowSolution&) {
+        gate->wait();
+      };
+  Server server(opts);
+
+  MemoryChannel chan;
+  std::thread serving([&] { server.serve(chan.server_end()); });
+  chan.client_end().write(solve_frame("a1", kTinyProblem, -1, "alpha"));
+  chan.client_end().write(solve_frame("a2", kTinyProblem, -1, "alpha"));
+  chan.client_end().write(solve_frame("b1", kTinyProblem, -1, "beta"));
+  for (int spin = 0; spin < 500; ++spin) {
+    if (server.metrics().rejected_total >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  gate->release();
+  chan.close_client_writes();
+  serving.join();
+  chan.close_server_writes();
+
+  char buffer[4096];
+  std::string acc;
+  for (;;) {
+    const std::ptrdiff_t n =
+        chan.client_end().read(buffer, sizeof buffer);
+    if (n == ByteStream::kReadAgain) continue;
+    if (n <= 0) break;
+    acc.append(buffer, static_cast<std::size_t>(n));
+  }
+  // alpha's second request is shed; beta, a different tenant, rides on.
+  EXPECT_NE(acc.find("LERA_REJECT a2 reason=tenant_quota"),
+            std::string::npos)
+      << acc;
+  EXPECT_NE(acc.find("LERA_RESULT b1"), std::string::npos) << acc;
+}
+
+TEST(Server, InfeasibleDeadlinesAreShedUpFront) {
+  ServerOptions opts = deterministic_options();
+  opts.admission.min_feasible_deadline_ms = 100;
+  Server server(opts);
+  const std::vector<std::string> lines = converse(
+      server, {solve_frame("zero", kTinyProblem, 0),
+               solve_frame("tight", kTinyProblem, 5),
+               solve_frame("fine", kTinyProblem, 5000)});
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(
+      lines[0].rfind("LERA_REJECT zero reason=deadline_infeasible", 0),
+      0u)
+      << lines[0];
+  EXPECT_EQ(
+      lines[1].rfind("LERA_REJECT tight reason=deadline_infeasible", 0),
+      0u)
+      << lines[1];
+  EXPECT_EQ(lines[2].rfind("LERA_RESULT fine", 0), 0u) << lines[2];
+}
+
+TEST(Server, DrainStopsAdmissionFlushesAndReportsCompletion) {
+  ServerOptions opts = deterministic_options();
+  opts.drain_grace_seconds = 2;
+  Server server(opts);
+  const std::vector<std::string> lines = converse(
+      server, {solve_frame("before", kTinyProblem), "DRAIN 0 id=d\n",
+               solve_frame("after", kTinyProblem)});
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("LERA_RESULT before", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("LERA_DRAIN d state=started", 0), 0u)
+      << lines[1];
+  EXPECT_EQ(lines[2].rfind("LERA_REJECT after reason=draining", 0), 0u)
+      << lines[2];
+  // Connection close under drain ends with the completion report plus
+  // the metric block — the supervisor's proof nothing was dropped.
+  EXPECT_EQ(lines[3].rfind("LERA_DRAIN - state=complete", 0), 0u)
+      << lines[3];
+  EXPECT_NE(lines[3].find("served=1"), std::string::npos) << lines[3];
+  bool saw_metric = false;
+  for (const std::string& l : lines) {
+    if (l.rfind("LERA_METRIC server_", 0) == 0) saw_metric = true;
+  }
+  EXPECT_TRUE(saw_metric);
+  EXPECT_TRUE(server.draining());
+  const MetricsSnapshot s = server.metrics();
+  EXPECT_EQ(s.accounted_requests(), s.solve_requests);
+}
+
+TEST(Server, HealthReportsStateAndStatusWord) {
+  Server server(deterministic_options());
+  const std::vector<std::string> lines =
+      converse(server, {"HEALTH 0 id=h\n"});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("LERA_HEALTH h status=ok", 0), 0u) << lines[0];
+
+  const HealthStatus before = server.health();
+  EXPECT_FALSE(before.draining);
+  EXPECT_FALSE(before.overloaded);
+  server.begin_drain();
+  const HealthStatus after = server.health();
+  EXPECT_TRUE(after.draining);
+  EXPECT_EQ(after.status_word(), "draining");
+}
+
+TEST(Server, ClientDisconnectMidRequestStillAccountsEverything) {
+  ServerOptions opts;
+  opts.engine.threads = 2;  // See OverloadSheds... for why not 1.
+  auto gate = std::make_shared<SolveGate>();
+  opts.engine.alloc.solve.post_solve_hook =
+      [gate](const netflow::Graph&, netflow::FlowSolution&) {
+        gate->wait();
+      };
+  Server server(opts);
+
+  MemoryChannel chan;
+  std::thread serving([&] { server.serve(chan.server_end()); });
+  chan.client_end().write(solve_frame("gone1", kTinyProblem));
+  chan.client_end().write(solve_frame("gone2", kTinyProblem));
+  // Wait until both solves are admitted and in flight (a hard
+  // disconnect drops bytes the server has not read yet — that would be
+  // a client that died before the request ever arrived).
+  for (int spin = 0; spin < 500; ++spin) {
+    if (server.metrics().solve_requests == 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(server.metrics().solve_requests, 2);
+  // The client dies mid-conversation with solves in flight.
+  chan.disconnect_client();
+  gate->release();
+  serving.join();  // Must return: no hang on a vanished peer.
+
+  const MetricsSnapshot s = server.metrics();
+  EXPECT_EQ(s.solve_requests, 2);
+  // Every admitted request reached a terminal state even though nobody
+  // is listening for the answers.
+  EXPECT_EQ(s.accounted_requests(), s.solve_requests);
+}
+
+TEST(Server, TruncatedStreamYieldsTypedRejectNotSilence) {
+  Server server(deterministic_options());
+  const std::vector<std::string> lines = converse(
+      server, {"SOLVE 100 id=cut\nonly part of the payload"});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("LERA_REJECT cut reason=bad_frame", 0), 0u)
+      << lines[0];
+  EXPECT_NE(lines[0].find("bytes short"), std::string::npos) << lines[0];
+}
+
+TEST(Server, WatchdogTripsOnQueueWaitAndRecovers) {
+  // Unit-level: drive the metrics watchdog directly through its
+  // recording path (the server wires the same calls).
+  ServerMetrics::Options mo;
+  mo.queue_budget_ms = 50;
+  mo.watchdog_min_samples = 4;
+  ServerMetrics metrics(mo);
+  EXPECT_FALSE(metrics.watchdog_tripped());
+  for (int i = 0; i < 16; ++i) {
+    metrics.on_terminal(Terminal::kServed, 200, 150);
+  }
+  EXPECT_TRUE(metrics.watchdog_tripped());
+  // Hysteresis: recovery needs the p95 under half the budget.
+  for (int i = 0; i < 600; ++i) {
+    metrics.on_terminal(Terminal::kServed, 5, 1);
+  }
+  EXPECT_FALSE(metrics.watchdog_tripped());
+}
+
+}  // namespace
+}  // namespace lera::server

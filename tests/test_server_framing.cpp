@@ -1,0 +1,263 @@
+#include "server/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+// Decoder corpus: the malformed-input catalogue the server's framing
+// layer must survive with typed events and bounded memory — truncated
+// frames, oversized declarations, garbage and overlong headers,
+// interleaved frames in one chunk, and byte-dribbled (slowloris)
+// delivery of all of the above.
+
+namespace lera::server {
+namespace {
+
+std::vector<FrameEvent> feed_all(FrameDecoder& dec,
+                                 const std::string& bytes) {
+  return dec.feed(bytes);
+}
+
+/// Feeds one byte at a time — every event must come out identical to
+/// bulk delivery.
+std::vector<FrameEvent> dribble(FrameDecoder& dec,
+                                const std::string& bytes) {
+  std::vector<FrameEvent> out;
+  for (const char c : bytes) {
+    for (FrameEvent& ev : dec.feed({&c, 1})) out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+TEST(ServerFraming, RoundTripsOneSolveFrame) {
+  Frame f;
+  f.verb = FrameVerb::kSolve;
+  f.id = "req1";
+  f.tenant = "teamA";
+  f.deadline_ms = 250;
+  f.payload = "steps 3\nregisters 1\nvar a write 1 reads 2\n";
+
+  FrameDecoder dec;
+  const std::vector<FrameEvent> events = feed_all(dec, encode_frame(f));
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_TRUE(events[0].ok);
+  EXPECT_EQ(events[0].frame.verb, FrameVerb::kSolve);
+  EXPECT_EQ(events[0].frame.id, "req1");
+  EXPECT_EQ(events[0].frame.tenant, "teamA");
+  EXPECT_EQ(events[0].frame.deadline_ms, 250);
+  EXPECT_EQ(events[0].frame.payload, f.payload);
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+  EXPECT_FALSE(dec.finish().has_value());
+}
+
+TEST(ServerFraming, ByteDribbleMatchesBulkDelivery) {
+  Frame f;
+  f.verb = FrameVerb::kSolve;
+  f.id = "slow";
+  f.payload = "steps 2\nregisters 1\nvar a write 1 reads 2\n";
+  const std::string wire =
+      encode_frame(f) + "PING 0 id=p\n" + encode_frame(f);
+
+  FrameDecoder bulk_dec;
+  FrameDecoder drip_dec;
+  const std::vector<FrameEvent> bulk = feed_all(bulk_dec, wire);
+  const std::vector<FrameEvent> drip = dribble(drip_dec, wire);
+  ASSERT_EQ(bulk.size(), 3u);
+  ASSERT_EQ(drip.size(), bulk.size());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(drip[i].ok, bulk[i].ok) << "event " << i;
+    EXPECT_EQ(to_string(drip[i].frame.verb), to_string(bulk[i].frame.verb));
+    EXPECT_EQ(drip[i].frame.payload, bulk[i].frame.payload);
+    EXPECT_EQ(drip[i].frame.id, bulk[i].frame.id);
+  }
+}
+
+TEST(ServerFraming, InterleavedFramesInOneChunkComeOutInOrder) {
+  std::string wire;
+  for (int i = 0; i < 4; ++i) {
+    Frame f;
+    f.verb = FrameVerb::kSolve;
+    f.id = "q" + std::to_string(i);
+    f.payload = "payload-" + std::to_string(i);
+    wire += encode_frame(f);
+  }
+  wire += "HEALTH 0 id=h\n";
+
+  FrameDecoder dec;
+  const std::vector<FrameEvent> events = feed_all(dec, wire);
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(events[static_cast<std::size_t>(i)].ok);
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].frame.id,
+              "q" + std::to_string(i));
+  }
+  EXPECT_EQ(events[4].frame.verb, FrameVerb::kHealth);
+}
+
+TEST(ServerFraming, TruncatedPayloadIsTypedAtEndOfStream) {
+  FrameDecoder dec;
+  const std::vector<FrameEvent> events =
+      feed_all(dec, "SOLVE 100 id=cut\nonly a few bytes");
+  EXPECT_TRUE(events.empty());
+  const std::optional<FrameEvent> ev = dec.finish();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_FALSE(ev->ok);
+  EXPECT_EQ(ev->error, FrameError::kBadFrame);
+  EXPECT_EQ(ev->id, "cut");  // Rejection stays correlatable.
+  EXPECT_NE(ev->detail.find("bytes short"), std::string::npos);
+}
+
+TEST(ServerFraming, TruncatedHeaderIsTypedAtEndOfStream) {
+  FrameDecoder dec;
+  EXPECT_TRUE(feed_all(dec, "SOLVE 12 id=onl").empty());
+  const std::optional<FrameEvent> ev = dec.finish();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_FALSE(ev->ok);
+  EXPECT_NE(ev->detail.find("header"), std::string::npos);
+}
+
+TEST(ServerFraming, OversizedFrameIsRejectedSkippedAndUnbuffered) {
+  FrameDecoder::Options opts;
+  opts.max_frame_bytes = 32;
+  FrameDecoder dec(opts);
+
+  const std::string big(100, 'x');
+  std::vector<FrameEvent> events =
+      feed_all(dec, "SOLVE 100 id=huge\n" + big);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].ok);
+  EXPECT_EQ(events[0].error, FrameError::kFrameTooLarge);
+  EXPECT_EQ(events[0].id, "huge");
+  // The skipped payload was never buffered.
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+
+  // The connection survives: the next frame parses normally.
+  events = feed_all(dec, "PING 0 id=alive\n");
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_TRUE(events[0].ok);
+  EXPECT_EQ(events[0].frame.verb, FrameVerb::kPing);
+}
+
+TEST(ServerFraming, OversizedSkipNeverBuffersEvenWhenDribbled) {
+  FrameDecoder::Options opts;
+  opts.max_frame_bytes = 16;
+  opts.max_header_bytes = 64;
+  FrameDecoder dec(opts);
+
+  std::string wire = "SOLVE 5000 id=drip\n" + std::string(5000, 'y') +
+                     "PING 0 id=after\n";
+  std::size_t events_seen = 0;
+  for (const char c : wire) {
+    for (const FrameEvent& ev : dec.feed({&c, 1})) {
+      (void)ev;
+      ++events_seen;
+    }
+    // The memory bound the decoder promises, asserted byte by byte.
+    ASSERT_LE(dec.buffered_bytes(),
+              opts.max_header_bytes + opts.max_frame_bytes);
+  }
+  EXPECT_EQ(events_seen, 2u);  // frame_too_large + the PING after it.
+}
+
+TEST(ServerFraming, TruncatedOversizedSkipIsTypedAtEndOfStream) {
+  FrameDecoder::Options opts;
+  opts.max_frame_bytes = 8;
+  FrameDecoder dec(opts);
+  const std::vector<FrameEvent> events =
+      feed_all(dec, "SOLVE 100 id=gone\npartial");
+  ASSERT_EQ(events.size(), 1u);  // The too-large rejection, up front.
+  const std::optional<FrameEvent> ev = dec.finish();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->id, "gone");
+  EXPECT_NE(ev->detail.find("oversized"), std::string::npos);
+}
+
+TEST(ServerFraming, GarbageHeaderIsTypedAndResyncs) {
+  FrameDecoder dec;
+  std::vector<FrameEvent> events =
+      feed_all(dec, "GET / HTTP/1.1\nPING 0 id=ok\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].ok);
+  EXPECT_EQ(events[0].error, FrameError::kBadFrame);
+  ASSERT_TRUE(events[1].ok);
+  EXPECT_EQ(events[1].frame.verb, FrameVerb::kPing);
+}
+
+TEST(ServerFraming, BadPayloadLengthIsTypedWithRecoveredId) {
+  FrameDecoder dec;
+  const std::vector<FrameEvent> events =
+      feed_all(dec, "SOLVE -3 id=neg\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].ok);
+  // Best-effort id recovery: the reject can still be correlated.
+  EXPECT_EQ(events[0].id, "neg");
+}
+
+TEST(ServerFraming, OverlongHeaderIsBoundedTypedAndResyncs) {
+  FrameDecoder::Options opts;
+  opts.max_header_bytes = 32;
+  FrameDecoder dec(opts);
+
+  const std::string long_header(500, 'A');
+  std::size_t bad = 0;
+  for (const char c : long_header) {
+    for (const FrameEvent& ev : dec.feed({&c, 1})) {
+      EXPECT_FALSE(ev.ok);
+      ++bad;
+    }
+    ASSERT_LE(dec.buffered_bytes(), opts.max_header_bytes);
+  }
+  EXPECT_EQ(bad, 1u);  // One typed event, not one per byte.
+
+  // Resync: everything to the next newline is discarded, then normal
+  // service resumes.
+  const std::vector<FrameEvent> events =
+      feed_all(dec, "tail\nPING 0 id=back\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].ok);
+  EXPECT_EQ(events[0].frame.id, "back");
+}
+
+TEST(ServerFraming, ControlFrameWithPayloadIsRejected) {
+  FrameDecoder dec;
+  const std::vector<FrameEvent> events =
+      feed_all(dec, "PING 4 id=p\nwhat");
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_FALSE(events[0].ok);
+  EXPECT_NE(events[0].detail.find("zero-length"), std::string::npos);
+}
+
+TEST(ServerFraming, BlankLinesAndCarriageReturnsAreTolerated) {
+  FrameDecoder dec;
+  const std::vector<FrameEvent> events =
+      feed_all(dec, "\n\r\nPING 0 id=crlf\r\n\n");
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_TRUE(events[0].ok);
+  EXPECT_EQ(events[0].frame.id, "crlf");
+}
+
+TEST(ServerFraming, UnknownHeaderKeysAreIgnored) {
+  FrameDecoder dec;
+  const std::vector<FrameEvent> events =
+      feed_all(dec, "PING 0 id=fwd future_knob=7\n");
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_TRUE(events[0].ok);
+  EXPECT_EQ(events[0].frame.id, "fwd");
+}
+
+TEST(ServerFraming, InvalidIdAndTenantTokensAreRejected) {
+  FrameDecoder dec;
+  std::vector<FrameEvent> events =
+      feed_all(dec, "PING 0 id=has\"quote\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].ok);
+
+  const std::string long_tenant(100, 't');
+  events = feed_all(dec, "PING 0 tenant=" + long_tenant + "\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].ok);
+}
+
+}  // namespace
+}  // namespace lera::server
