@@ -31,6 +31,10 @@
 // Exit codes: 0 clean end of service (EOF in pipe mode, completed
 // drain otherwise), 1 usage or bind error.
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
@@ -54,19 +58,39 @@ int usage(int code) {
   return code;
 }
 
-/// Waits for SIGTERM/SIGINT (blocked in every thread, collected here)
-/// and starts the graceful drain. Detached: at a normal exit it is
-/// still parked in sigwait and dies with the process.
-void spawn_signal_watcher(sigset_t set, lera::server::Server& server,
-                          lera::server::Listener* listener) {
-  std::thread([set, &server, listener] {
-    int sig = 0;
-    if (sigwait(&set, &sig) == 0) {
-      server.begin_drain();
-      if (listener != nullptr) listener->shutdown();
-    }
-  }).detach();
-}
+/// Waits for SIGTERM/SIGINT (blocked in every thread, collected here
+/// via sigwait) and starts the graceful drain. Joinable: the
+/// destructor flags `exiting_` and raises SIGTERM itself to unpark
+/// sigwait, so the drain callbacks can never touch server/listener
+/// after main has begun destroying them.
+class SignalWatcher {
+ public:
+  SignalWatcher(sigset_t set, lera::server::Server& server,
+                lera::server::Listener* listener)
+      : thread_([this, set, &server, listener] {
+          int sig = 0;
+          if (sigwait(&set, &sig) != 0) return;
+          if (exiting_.load(std::memory_order_acquire)) return;
+          server.begin_drain();
+          if (listener != nullptr) listener->shutdown();
+        }) {}
+
+  ~SignalWatcher() {
+    exiting_.store(true, std::memory_order_release);
+    // Consumed by the parked sigwait; if the watcher already took a
+    // real signal, the extra SIGTERM stays blocked and pending, which
+    // is harmless at exit.
+    ::kill(::getpid(), SIGTERM);
+    thread_.join();
+  }
+
+  SignalWatcher(const SignalWatcher&) = delete;
+  SignalWatcher& operator=(const SignalWatcher&) = delete;
+
+ private:
+  std::atomic<bool> exiting_{false};
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -169,7 +193,11 @@ int main(int argc, char** argv) {
   }
 
   // Route SIGTERM/SIGINT to the watcher thread (blocked everywhere
-  // else, so solver threads never race a handler).
+  // else, so solver threads never race a handler). Ignore SIGPIPE so
+  // a client closing its socket mid-response surfaces as -1/EPIPE
+  // from write() — handled as client_gone — instead of killing the
+  // whole process.
+  std::signal(SIGPIPE, SIG_IGN);
   sigset_t sigs;
   sigemptyset(&sigs);
   sigaddset(&sigs, SIGTERM);
@@ -179,7 +207,7 @@ int main(int argc, char** argv) {
   server::Server server(opts);
 
   if (mode == Mode::kPipe) {
-    spawn_signal_watcher(sigs, server, nullptr);
+    SignalWatcher watcher(sigs, server, nullptr);
     server::FdStream stream(0, 1, /*owns_fds=*/false);
     server.serve(stream);
     return 0;
@@ -196,7 +224,9 @@ int main(int argc, char** argv) {
   }
   std::cerr << "lera_server listening on " << listener->endpoint()
             << "\n";
-  spawn_signal_watcher(sigs, server, listener.get());
+  // Destroyed (joined) before listener and server, in reverse
+  // declaration order.
+  SignalWatcher watcher(sigs, server, listener.get());
 
   // A DRAIN frame on any connection also ends service: mirror it to
   // the listener so accept() unblocks.

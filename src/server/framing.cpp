@@ -175,6 +175,13 @@ void FrameDecoder::parse_header(const std::string& line,
     out.push_back(make_error(FrameError::kBadFrame, frame.id,
                              "control frame " + to_string(frame.verb) +
                                  " must declare a zero-length payload"));
+    // Skip the declared bytes (never buffered) so the stream
+    // resynchronises at the real next header instead of misparsing
+    // the payload as headers.
+    pending_id_ = frame.id;
+    declared_ = static_cast<std::size_t>(*len);
+    remaining_ = declared_;
+    state_ = State::kSkipPayload;
     return;
   }
 

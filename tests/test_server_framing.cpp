@@ -223,9 +223,36 @@ TEST(ServerFraming, ControlFrameWithPayloadIsRejected) {
   FrameDecoder dec;
   const std::vector<FrameEvent> events =
       feed_all(dec, "PING 4 id=p\nwhat");
-  ASSERT_GE(events.size(), 1u);
+  ASSERT_EQ(events.size(), 1u);
   EXPECT_FALSE(events[0].ok);
   EXPECT_NE(events[0].detail.find("zero-length"), std::string::npos);
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(ServerFraming, ControlFrameWithPayloadSkipsToNextHeader) {
+  // The declared payload must be skipped — not misparsed as frame
+  // headers — so the valid frame that follows still decodes.
+  FrameDecoder dec;
+  const std::vector<FrameEvent> events = feed_all(
+      dec, "HEALTH 10 id=bad\nSOLVE 999\nPING 0 id=after\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].ok);
+  EXPECT_EQ(events[0].id, "bad");
+  ASSERT_TRUE(events[1].ok);
+  EXPECT_EQ(events[1].frame.verb, FrameVerb::kPing);
+  EXPECT_EQ(events[1].frame.id, "after");
+}
+
+TEST(ServerFraming, TruncationWhileSkippingControlPayloadIsTyped) {
+  FrameDecoder dec;
+  const std::vector<FrameEvent> events =
+      feed_all(dec, "STATS 8 id=cut\nonly");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].ok);
+  const std::optional<FrameEvent> tail = dec.finish();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_FALSE(tail->ok);
+  EXPECT_EQ(tail->id, "cut");
 }
 
 TEST(ServerFraming, BlankLinesAndCarriageReturnsAreTolerated) {
