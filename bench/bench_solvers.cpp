@@ -172,6 +172,39 @@ int run_smoke(const char* json_path) {
        "cold_ms=" + std::to_string(cold_ns / 1e6) +
            " ws_ms=" + std::to_string(ws_ns / 1e6)});
 
+  // Cold-vs-workspace flow equality gate for the other two production
+  // backends on the same instances: a workspace must never change what
+  // the simplex or the cost-scaling solver answers, bit for bit.
+  for (const netflow::SolverKind kind : {netflow::SolverKind::kNetworkSimplex,
+                                         netflow::SolverKind::kCostScaling}) {
+    const auto t0 = SmokeClock::now();
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const netflow::FlowSolution cold = netflow::solve(instances[i], kind);
+      const netflow::FlowSolution through_ws =
+          netflow::solve(instances[i], kind, nullptr, &ws);
+      if (cold.status != through_ws.status ||
+          cold.arc_flow != through_ws.arc_flow) {
+        std::fprintf(stderr,
+                     "smoke: %s workspace solve diverged on instance %zu\n",
+                     netflow::to_string(kind).c_str(), i);
+        return 1;
+      }
+      if (cold.optimal() && cold.cost != cold_sols[i].cost) {
+        std::fprintf(stderr,
+                     "smoke: %s objective differs from SSP on instance %zu\n",
+                     netflow::to_string(kind).c_str(), i);
+        return 1;
+      }
+    }
+    metrics.push_back(
+        {"workspace_equality_" +
+             std::string(kind == netflow::SolverKind::kNetworkSimplex
+                             ? "simplex"
+                             : "cost_scaling"),
+         1.0, "pair_ms=" + std::to_string(
+                  ns_between(t0, SmokeClock::now()) / 1e6)});
+  }
+
   // Warm-start cost-perturbation sweep: one 256-node base instance,
   // 32 small cost perturbations, each solved cold and via warm resolve
   // from the base optimum. Objectives must agree.
@@ -224,6 +257,119 @@ int run_smoke(const char* json_path) {
        "cold_ms=" + std::to_string(sweep_cold_ns / 1e6) +
            " warm_ms=" + std::to_string(sweep_warm_ns / 1e6) +
            " sweep=" + std::to_string(sweep.size())});
+
+  // Large-instance family (40k .. 330k arcs incl. feasibility chain):
+  // per-backend wall times, the
+  // upgraded backends' speedup over SSP, and kAuto's regret against the
+  // best fixed backend. These calibrate netflow/select.cpp's thresholds.
+  // Every solve is capped so a mis-fit backend costs kCapSeconds, not
+  // the whole CI budget; completed backends must agree on the objective
+  // (differential gate at scale). Timings are reported, not gated.
+  struct LargeClass {
+    const char* name;
+    int nodes;
+    int arcs;
+    netflow::Flow supply;
+  };
+  constexpr LargeClass kClasses[] = {
+      // 128k arcs, few units to route: cost scaling's regime (measured
+      // 2.2 s vs simplex 3.5 s; SSP caps out on the Bellman-Ford
+      // prologue these negative-cost instances force).
+      {"large_low_supply", 32768, 131072, 32},
+      // Dense supply on a mid-size graph: simplex's pivot stream wins
+      // (1.4 s vs cost scaling 3.6 s) and SSP completes (11.5 s), so
+      // this class yields a true, uncapped speedup_vs_ssp ratio.
+      {"large_high_supply", 8192, 32768, 2048},
+      // A third of a million arcs, sparse, few units: cost scaling's
+      // best case, sized so it clears the cap with ~4x headroom even on
+      // a slow CI runner (at 655k arcs it needed 12-20 s of the 20 s
+      // budget — too thin a margin to gate on).
+      {"xl_sparse_low_supply", 65536, 262144, 48},
+  };
+  constexpr double kCapSeconds = 20.0;
+  struct BackendRun {
+    const char* name;
+    netflow::SolverKind kind;
+  };
+  constexpr BackendRun kRuns[] = {
+      {"ssp", netflow::SolverKind::kSuccessiveShortestPaths},
+      {"simplex", netflow::SolverKind::kNetworkSimplex},
+      {"cost_scaling", netflow::SolverKind::kCostScaling},
+      {"auto", netflow::SolverKind::kAuto},
+  };
+  netflow::SolverWorkspace large_ws;
+  for (const LargeClass& cls : kClasses) {
+    workloads::RandomFlowOptions lopts;
+    lopts.num_nodes = cls.nodes;
+    lopts.num_arcs = cls.arcs;
+    lopts.supply = cls.supply;
+    lopts.min_cost = -10;
+    const netflow::Graph g = workloads::random_flow_problem(17, lopts);
+    const netflow::SolverKind auto_pick =
+        netflow::select_solver(netflow::measure_shape(g));
+
+    double ms[4] = {0, 0, 0, 0};
+    bool completed[4] = {false, false, false, false};
+    netflow::Cost objective = 0;
+    bool have_objective = false;
+    for (int r = 0; r < 4; ++r) {
+      netflow::SolveGuard guard;
+      guard.max_seconds = kCapSeconds;
+      const auto t0 = SmokeClock::now();
+      const netflow::FlowSolution sol =
+          netflow::solve(g, kRuns[r].kind, &guard, &large_ws);
+      ms[r] = ns_between(t0, SmokeClock::now()) / 1e6;
+      completed[r] = sol.optimal();
+      if (completed[r]) {
+        if (have_objective && sol.cost != objective) {
+          std::fprintf(stderr, "smoke: %s objective mismatch on %s\n",
+                       kRuns[r].name, cls.name);
+          return 1;
+        }
+        objective = sol.cost;
+        have_objective = true;
+      }
+      metrics.push_back(
+          {std::string(cls.name) + "_" + kRuns[r].name + "_ms", ms[r],
+           "completed=" + std::to_string(completed[r] ? 1 : 0) +
+               " arcs=" + std::to_string(g.num_arcs()) +
+               " supply=" + std::to_string(cls.supply) +
+               (kRuns[r].kind == netflow::SolverKind::kAuto
+                    ? " choice=" + netflow::to_string(auto_pick)
+                    : std::string())});
+    }
+    if (!have_objective) {
+      std::fprintf(stderr, "smoke: no backend completed %s\n", cls.name);
+      return 1;
+    }
+    // Speedup of the best upgraded backend over SSP. A capped SSP run
+    // makes this a lower bound (SSP's true time is >= the cap).
+    double best_upgraded = 0;
+    for (int r = 1; r <= 2; ++r) {
+      if (completed[r] && (best_upgraded == 0 || ms[r] < best_upgraded)) {
+        best_upgraded = ms[r];
+      }
+    }
+    if (best_upgraded > 0) {
+      metrics.push_back(
+          {std::string(cls.name) + "_speedup_vs_ssp", ms[0] / best_upgraded,
+           std::string("ssp_completed=") +
+               std::to_string(completed[0] ? 1 : 0)});
+    }
+    // kAuto's regret against the best *fixed* backend on this class
+    // (1.0 = matched the winner; the acceptance target is <= 1.10).
+    double best_fixed = 0;
+    for (int r = 0; r <= 2; ++r) {
+      if (completed[r] && (best_fixed == 0 || ms[r] < best_fixed)) {
+        best_fixed = ms[r];
+      }
+    }
+    if (completed[3] && best_fixed > 0) {
+      metrics.push_back({std::string(cls.name) + "_auto_regret",
+                         ms[3] / best_fixed,
+                         "choice=" + netflow::to_string(auto_pick)});
+    }
+  }
 
   for (const SmokeMetric& m : metrics) {
     std::printf("LERA_METRIC bench=solvers metric=%s value=%.3f %s\n",

@@ -8,6 +8,11 @@
 //     -g GRAPH      density | allpairs (default density)
 //     -l FILE       read a lifetime problem (problem_io format) instead
 //                   of a code kernel; -r/-p of the file take precedence
+//     --solver S    auto | ssp | simplex | cost-scaling | cycle-canceling
+//                   (default ssp): primary min-cost-flow backend; auto
+//                   picks per instance from its shape (netflow/select.hpp)
+//                   and the chosen backend appears in the solver
+//                   diagnostics line / CSV solver column
 //     --threads N   engine worker threads (0 = all cores, 1 = sequential;
 //                   results are identical either way)
 //     --deadline-ms N  wall-clock budget for the whole run; overrunning
@@ -161,6 +166,25 @@ int main(int argc, char** argv) {
                              : alloc::GraphStyle::kDensityRegions;
     } else if (arg == "-l") {
       lifetimes_path = next();
+    } else if (arg == "--solver" || arg.rfind("--solver=", 0) == 0) {
+      const std::string name =
+          arg.size() > 8 && arg[8] == '=' ? arg.substr(9) : next();
+      if (name == "auto") {
+        alloc_opts.solver = netflow::SolverKind::kAuto;
+      } else if (name == "ssp") {
+        alloc_opts.solver = netflow::SolverKind::kSuccessiveShortestPaths;
+      } else if (name == "simplex") {
+        alloc_opts.solver = netflow::SolverKind::kNetworkSimplex;
+      } else if (name == "cost-scaling") {
+        alloc_opts.solver = netflow::SolverKind::kCostScaling;
+      } else if (name == "cycle-canceling") {
+        alloc_opts.solver = netflow::SolverKind::kCycleCanceling;
+      } else {
+        std::cerr << "error: --solver expects auto|ssp|simplex|"
+                     "cost-scaling|cycle-canceling, got '"
+                  << name << "'\n";
+        return 1;
+      }
     } else if (arg == "--threads") {
       threads = next_int("--threads");
     } else if (arg == "--deadline-ms") {
@@ -193,6 +217,7 @@ int main(int argc, char** argv) {
     } else if (arg == "-h" || arg == "--help") {
       std::cout << "usage: allocate_tool [file.lera...] [-r N] [-p N] "
                    "[-m static|activity] [-g density|allpairs] "
+                   "[--solver auto|ssp|simplex|cost-scaling|cycle-canceling] "
                    "[--threads N] [--deadline-ms N] [--retries N] "
                    "[--audit off|legality|full] "
                    "[--pipeline] [--explore] [--perf] [--csv]\n";

@@ -17,6 +17,8 @@ namespace lera::alloc {
 
 struct AllocatorOptions {
   GraphStyle style = GraphStyle::kDensityRegions;
+  /// Primary min-cost-flow backend; SolverKind::kAuto defers the choice
+  /// to the shape-based selector (netflow/select.hpp) per instance.
   netflow::SolverKind solver = netflow::SolverKind::kSuccessiveShortestPaths;
   energy::Quantizer quantizer{};
   /// Certify the flow returned by the solver against the residual-cycle

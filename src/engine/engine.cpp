@@ -111,6 +111,11 @@ void record_solve(detail::EngineStatsCore* stats,
   bump(stats->perf_heap_pushes, p.heap_pushes);
   bump(stats->perf_heap_pops, p.heap_pops);
   bump(stats->perf_pivots, p.simplex_pivots);
+  bump(stats->perf_cs_phases, p.cs_phases);
+  bump(stats->perf_cs_pushes, p.cs_pushes);
+  bump(stats->perf_cs_relabels, p.cs_relabels);
+  bump(stats->perf_price_refinements, p.price_refinements);
+  bump(stats->perf_auto_selections, p.auto_selections);
   bump(stats->perf_workspace_reuse, p.workspace_reuse_hits);
   bump(stats->perf_warm_hits, p.warm_start_hits);
   bump(stats->perf_warm_misses, p.warm_start_misses);
@@ -319,6 +324,13 @@ EngineStats Engine::stats() const {
   s.perf.heap_pushes = c.perf_heap_pushes.load(std::memory_order_relaxed);
   s.perf.heap_pops = c.perf_heap_pops.load(std::memory_order_relaxed);
   s.perf.simplex_pivots = c.perf_pivots.load(std::memory_order_relaxed);
+  s.perf.cs_phases = c.perf_cs_phases.load(std::memory_order_relaxed);
+  s.perf.cs_pushes = c.perf_cs_pushes.load(std::memory_order_relaxed);
+  s.perf.cs_relabels = c.perf_cs_relabels.load(std::memory_order_relaxed);
+  s.perf.price_refinements =
+      c.perf_price_refinements.load(std::memory_order_relaxed);
+  s.perf.auto_selections =
+      c.perf_auto_selections.load(std::memory_order_relaxed);
   s.perf.workspace_reuse_hits =
       c.perf_workspace_reuse.load(std::memory_order_relaxed);
   s.perf.warm_start_hits = c.perf_warm_hits.load(std::memory_order_relaxed);

@@ -187,6 +187,11 @@ struct EngineStatsCore {
   std::atomic<std::int64_t> perf_heap_pushes{0};
   std::atomic<std::int64_t> perf_heap_pops{0};
   std::atomic<std::int64_t> perf_pivots{0};
+  std::atomic<std::int64_t> perf_cs_phases{0};
+  std::atomic<std::int64_t> perf_cs_pushes{0};
+  std::atomic<std::int64_t> perf_cs_relabels{0};
+  std::atomic<std::int64_t> perf_price_refinements{0};
+  std::atomic<std::int64_t> perf_auto_selections{0};
   std::atomic<std::int64_t> perf_workspace_reuse{0};
   std::atomic<std::int64_t> perf_warm_hits{0};
   std::atomic<std::int64_t> perf_warm_misses{0};

@@ -12,18 +12,23 @@
 /// repeatedly locates a negative-cost residual cycle and saturates it.
 /// With integral data every cancellation strictly decreases the cost, so
 /// the method terminates at an optimum. Asymptotically slow, but that is
-/// the point: it is an independent oracle for the faster solvers.
+/// the point: it is an independent oracle for the faster solvers. The
+/// Bellman-Ford distance/parent arrays and the cycle buffer live in the
+/// workspace's CycleCancelScratch, so reuse makes the search loop
+/// allocation-free.
 
 namespace lera::netflow::internal {
 
 namespace {
 
-/// Finds any negative-cost cycle in the residual; returns the edge ids of
-/// the cycle (in traversal order), or empty if none exists.
-std::vector<int> find_negative_cycle(const Residual& res) {
+/// Finds any negative-cost cycle in the residual; fills \p s.cycle with
+/// the edge ids of the cycle (in traversal order), or leaves it empty if
+/// none exists.
+void find_negative_cycle(const Residual& res, CycleCancelScratch& s) {
   const NodeId n = res.num_nodes();
-  std::vector<Cost> dist(static_cast<std::size_t>(n), 0);
-  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  s.dist.assign(static_cast<std::size_t>(n), 0);
+  s.parent.assign(static_cast<std::size_t>(n), -1);
+  s.cycle.clear();
 
   NodeId updated = kInvalidNode;
   for (NodeId round = 0; round < n; ++round) {
@@ -32,47 +37,44 @@ std::vector<int> find_negative_cycle(const Residual& res) {
       const auto& edge = res.edge(e);
       if (edge.cap <= 0) continue;
       const NodeId u = res.tail(e);
-      if (dist[static_cast<std::size_t>(u)] + edge.cost <
-          dist[static_cast<std::size_t>(edge.head)]) {
-        dist[static_cast<std::size_t>(edge.head)] =
-            dist[static_cast<std::size_t>(u)] + edge.cost;
-        parent[static_cast<std::size_t>(edge.head)] = e;
+      if (s.dist[static_cast<std::size_t>(u)] + edge.cost <
+          s.dist[static_cast<std::size_t>(edge.head)]) {
+        s.dist[static_cast<std::size_t>(edge.head)] =
+            s.dist[static_cast<std::size_t>(u)] + edge.cost;
+        s.parent[static_cast<std::size_t>(edge.head)] = e;
         updated = edge.head;
       }
     }
-    if (updated == kInvalidNode) return {};
+    if (updated == kInvalidNode) return;
   }
 
   // A relaxation happened in round n: walk back n steps to reach a node
   // that is certainly on a negative cycle, then peel the cycle off.
   NodeId v = updated;
   for (NodeId i = 0; i < n; ++i) {
-    v = res.tail(parent[static_cast<std::size_t>(v)]);
+    v = res.tail(s.parent[static_cast<std::size_t>(v)]);
   }
-  std::vector<int> cycle;
   NodeId u = v;
   do {
-    const int e = parent[static_cast<std::size_t>(u)];
-    cycle.push_back(e);
+    const int e = s.parent[static_cast<std::size_t>(u)];
+    s.cycle.push_back(e);
     u = res.tail(e);
   } while (u != v);
-  std::reverse(cycle.begin(), cycle.end());
-  return cycle;
+  std::reverse(s.cycle.begin(), s.cycle.end());
 }
 
 }  // namespace
 
-FlowSolution solve_cycle_canceling(const Graph& g, SolveGuard* guard,
-                                   SolverWorkspace* ws) {
+FlowSolution run_cycle_canceling(const Graph& g, SolveGuard* guard,
+                                 SolverWorkspace& w) {
   if (g.total_supply() != 0) return {};
 
-  SolverWorkspace local;
-  SolverWorkspace& w = ws != nullptr ? *ws : local;
   ++w.counters.solves;
 
   // Augmented instance with a super source/sink absorbing the supplies.
   Graph aug;
   aug.add_nodes(g.num_nodes());
+  aug.reserve_arcs(g.num_arcs() + g.num_nodes());
   for (ArcId a = 0; a < g.num_arcs(); ++a) {
     const Arc& arc = g.arc(a);
     aug.add_arc(arc.tail, arc.head, arc.upper, arc.cost);
@@ -96,16 +98,17 @@ FlowSolution solve_cycle_canceling(const Graph& g, SolveGuard* guard,
 
   // All super arcs are saturated, so no residual cycle can pass through
   // the super nodes; canceling preserves feasibility of the b-flow.
+  CycleCancelScratch& s = w.cycle_cancel;
   for (;;) {
     if (guard != nullptr && !guard->tick()) {
       return budget_exceeded(SolverKind::kCycleCanceling);
     }
-    const std::vector<int> cycle = find_negative_cycle(res);
-    if (cycle.empty()) break;
+    find_negative_cycle(res, s);
+    if (s.cycle.empty()) break;
     Flow delta = kInfFlow;
-    for (int e : cycle) delta = std::min(delta, res.edge(e).cap);
+    for (int e : s.cycle) delta = std::min(delta, res.edge(e).cap);
     assert(delta > 0);
-    for (int e : cycle) res.push(e, delta);
+    for (int e : s.cycle) res.push(e, delta);
   }
 
   FlowSolution sol;

@@ -10,6 +10,7 @@
 #include "netflow/maxflow.hpp"    // IWYU pragma: export
 #include "netflow/residual.hpp"   // IWYU pragma: export
 #include "netflow/robust.hpp"     // IWYU pragma: export
+#include "netflow/select.hpp"     // IWYU pragma: export
 #include "netflow/solution.hpp"   // IWYU pragma: export
 #include "netflow/types.hpp"      // IWYU pragma: export
 #include "netflow/validate.hpp"   // IWYU pragma: export

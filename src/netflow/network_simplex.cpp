@@ -1,26 +1,38 @@
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <vector>
 
 #include "netflow/internal_solvers.hpp"
 #include "netflow/workspace.hpp"
 
-/// Primal network simplex (Ahuja/Magnanti/Orlin ch. 11 formulation).
+/// Primal network simplex (Ahuja/Magnanti/Orlin ch. 11 formulation)
+/// with the candidate-list pivot rule and incremental tree maintenance
+/// from the Kiraly & Kovacs implementation study.
 ///
 /// An artificial root is connected to every node by a big-M arc carrying
 /// the node's initial imbalance, giving a strongly feasible starting
-/// basis. Entering arcs are found by cyclic block search on reduced
-/// costs; the leaving arc is the *last* blocking arc met when traversing
-/// the pivot cycle along its orientation starting at the apex, which
-/// preserves strong feasibility and rules out cycling. Potentials and
-/// depths are recomputed from the parent array after every tree change;
-/// this is O(n) per pivot and perfectly adequate at allocation-problem
-/// scale while keeping the code auditable.
+/// basis. Entering arcs come from a candidate list: a major iteration
+/// scans arcs cyclically collecting violating arcs into a scratch-owned
+/// list, and minor iterations then pivot on the currently-most-violating
+/// list entry (stale entries are pruned as they are touched), so most
+/// pivots cost a list sweep instead of an arc-array sweep. The leaving
+/// arc is the *last* blocking arc met when traversing the pivot cycle
+/// along its orientation starting at the apex, which preserves strong
+/// feasibility and rules out cycling.
+///
+/// The spanning tree is maintained incrementally: the child lists are
+/// doubly linked and updated only for the nodes re-parented by the
+/// basis exchange, and the potential/depth update walks just the
+/// re-hung subtree — every potential inside it shifts by the one
+/// constant that makes the entering arc tight, because the tree arcs
+/// *inside* the subtree are unchanged. This replaces the old O(n)
+/// full-tree refresh per pivot; the computed values are identical (the
+/// tree and pi(root)=0 determine them uniquely), so results are
+/// bit-identical to a full refresh under the same pivot sequence.
 ///
 /// All state lives in SoA arrays borrowed from a SimplexScratch, so a
-/// reused workspace makes repeated solves allocation-free; the pivot
-/// cycle and the child lists used by the potential refresh are likewise
-/// scratch-owned instead of being rebuilt on the heap every pivot.
+/// reused workspace makes repeated solves allocation-free.
 
 namespace lera::netflow::internal {
 
@@ -65,34 +77,46 @@ class NetworkSimplex {
     s_.pred_arc.assign(static_cast<std::size_t>(num_nodes_), kInvalidArc);
     s_.depth.assign(static_cast<std::size_t>(num_nodes_), 0);
     s_.pi.assign(static_cast<std::size_t>(num_nodes_), 0);
+    s_.child_first.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
+    s_.child_next.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
+    s_.child_prev.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
+    s_.candidates.clear();
 
-    // Artificial big-M arcs form the initial spanning-tree basis.
+    // Artificial big-M arcs form the initial spanning-tree basis: every
+    // node is a depth-1 child of the root, with pi = -/+ big_m making
+    // its basis arc tight.
     for (NodeId v = 0; v < n; ++v) {
       const Flow b = g.supply(v);
       const ArcId a = static_cast<ArcId>(s_.tail.size());
       if (b >= 0) {
         push_arc(v, root_, kInfFlow, big_m, b, kTree);
+        s_.pi[static_cast<std::size_t>(v)] = -big_m;
       } else {
         push_arc(root_, v, kInfFlow, big_m, -b, kTree);
+        s_.pi[static_cast<std::size_t>(v)] = big_m;
       }
       s_.parent[static_cast<std::size_t>(v)] = root_;
       s_.pred_arc[static_cast<std::size_t>(v)] = a;
       s_.depth[static_cast<std::size_t>(v)] = 1;
+      link_child(root_, v);
     }
-    refresh_potentials();
   }
 
   FlowSolution run(const Graph& g, SolveGuard* guard, PerfCounters& pc) {
     const std::size_t num_arcs = s_.tail.size();
-    const std::size_t block =
-        std::max<std::size_t>(8, static_cast<std::size_t>(std::sqrt(
-                                     static_cast<double>(num_arcs))));
-    std::size_t scan_start = 0;
+    block_size_ = std::max<std::size_t>(
+        64, static_cast<std::size_t>(
+                std::sqrt(static_cast<double>(num_arcs))));
+    list_size_ = std::max<std::size_t>(16, block_size_ / 4);
+    minor_limit_ = std::max<std::size_t>(4, list_size_ / 4);
+    scan_start_ = 0;
+    minor_left_ = 0;
+
     for (;;) {
       if (guard != nullptr && !guard->tick()) {
         return budget_exceeded(SolverKind::kNetworkSimplex);
       }
-      const ArcId entering = select_entering(block, &scan_start);
+      const ArcId entering = select_entering();
       if (entering == kInvalidArc) break;
       pivot(entering);
       ++pc.simplex_pivots;
@@ -132,35 +156,85 @@ class NetworkSimplex {
            s_.pi[static_cast<std::size_t>(s_.head[i])];
   }
 
-  /// Cyclic block search: returns the most violating arc of the first
-  /// block that contains any violation, or kInvalidArc at optimality.
-  ArcId select_entering(std::size_t block, std::size_t* scan_start) {
-    const std::size_t num_arcs = s_.tail.size();
-    std::size_t scanned = 0;
-    std::size_t i = *scan_start;
-    ArcId best = kInvalidArc;
-    Cost best_violation = 0;
-    while (scanned < num_arcs) {
-      for (std::size_t in_block = 0; in_block < block && scanned < num_arcs;
-           ++in_block, ++scanned, i = (i + 1) % num_arcs) {
-        const ArcId a = static_cast<ArcId>(i);
-        Cost violation = 0;
-        if (s_.state[i] == kLower) {
-          violation = -reduced_cost(a);
-        } else if (s_.state[i] == kUpper) {
-          violation = reduced_cost(a);
-        }
-        if (violation > best_violation) {
-          best_violation = violation;
-          best = a;
-        }
-      }
-      if (best != kInvalidArc) {
-        *scan_start = i;
-        return best;
-      }
+  /// Optimality violation of a non-tree arc (0 when none).
+  Cost violation(ArcId a) const {
+    const auto i = static_cast<std::size_t>(a);
+    if (s_.state[i] == kLower) return -reduced_cost(a);
+    if (s_.state[i] == kUpper) return reduced_cost(a);
+    return 0;
+  }
+
+  /// O(1) doubly-linked child-list surgery.
+  void link_child(NodeId p, NodeId c) {
+    const auto pc = static_cast<std::size_t>(p);
+    const auto cc = static_cast<std::size_t>(c);
+    s_.child_prev[cc] = kInvalidNode;
+    s_.child_next[cc] = s_.child_first[pc];
+    if (s_.child_first[pc] != kInvalidNode) {
+      s_.child_prev[static_cast<std::size_t>(s_.child_first[pc])] = c;
     }
-    return kInvalidArc;
+    s_.child_first[pc] = c;
+  }
+
+  void unlink_child(NodeId p, NodeId c) {
+    const auto cc = static_cast<std::size_t>(c);
+    const NodeId prev = s_.child_prev[cc];
+    const NodeId next = s_.child_next[cc];
+    if (prev != kInvalidNode) {
+      s_.child_next[static_cast<std::size_t>(prev)] = next;
+    } else {
+      s_.child_first[static_cast<std::size_t>(p)] = next;
+    }
+    if (next != kInvalidNode) {
+      s_.child_prev[static_cast<std::size_t>(next)] = prev;
+    }
+  }
+
+  /// Candidate-list pivot rule. Minor iterations pick the currently
+  /// most-violating arc from the scratch list, pruning entries whose
+  /// violation vanished; when the list is spent (or minor_limit_ pivots
+  /// consumed it), a major iteration rebuilds it by a cyclic scan
+  /// collecting up to list_size_ violating arcs. Deterministic: the
+  /// scan order and the max-by-violation tie-break (first wins) are
+  /// functions of the instance alone.
+  ArcId select_entering() {
+    for (;;) {
+      while (minor_left_ > 0 && !s_.candidates.empty()) {
+        --minor_left_;
+        ArcId best = kInvalidArc;
+        Cost best_violation = 0;
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < s_.candidates.size(); ++i) {
+          const ArcId a = s_.candidates[i];
+          const Cost v = violation(a);
+          if (v <= 0) continue;  // Stale entry: prune.
+          s_.candidates[keep++] = a;
+          if (v > best_violation) {
+            best_violation = v;
+            best = a;
+          }
+        }
+        s_.candidates.resize(keep);
+        if (best != kInvalidArc) return best;
+      }
+
+      // Major iteration: rebuild the list by cyclic block scan.
+      s_.candidates.clear();
+      minor_left_ = minor_limit_;
+      const std::size_t num_arcs = s_.tail.size();
+      std::size_t scanned = 0;
+      std::size_t i = scan_start_;
+      while (scanned < num_arcs && s_.candidates.size() < list_size_) {
+        if (violation(static_cast<ArcId>(i)) > 0) {
+          s_.candidates.push_back(static_cast<ArcId>(i));
+        }
+        ++scanned;
+        ++i;
+        if (i == num_arcs) i = 0;
+      }
+      scan_start_ = i;
+      if (s_.candidates.empty()) return kInvalidArc;  // Optimal.
+    }
   }
 
   void pivot(ArcId entering) {
@@ -244,6 +318,10 @@ class NetworkSimplex {
       return;
     }
 
+    // The potential shift that will make the entering arc tight, taken
+    // BEFORE any tree surgery (it reads the pre-pivot potentials).
+    const Cost rc_entering = reduced_cost(entering);
+
     // The leaving tree arc drops to whichever bound it hit.
     s_.state[static_cast<std::size_t>(leaving_arc)] =
         s_.flow[static_cast<std::size_t>(leaving_arc)] == 0 ? kLower : kUpper;
@@ -251,6 +329,8 @@ class NetworkSimplex {
 
     // Removing the leaving arc detaches the subtree rooted at
     // leaving_below; exactly one endpoint of the entering arc lies in it.
+    // (in_detached_subtree reads the pre-pivot depths, which are still
+    // intact — they are only rewritten by the subtree walk below.)
     const NodeId detached_root = leaving_below;
     const NodeId in_subtree =
         in_detached_subtree(s_.tail[ei], detached_root) ? s_.tail[ei]
@@ -261,15 +341,22 @@ class NetworkSimplex {
 
     // Re-root the detached subtree at in_subtree by reversing the parent
     // chain in_subtree -> ... -> detached_root, then hang it on outside.
+    // The child lists are patched alongside: each re-parented node is
+    // unlinked from its old parent and linked to its new one, so the
+    // lists stay exact without any rebuild.
     NodeId child = in_subtree;
     NodeId child_parent = s_.parent[static_cast<std::size_t>(child)];
     ArcId child_arc = s_.pred_arc[static_cast<std::size_t>(child)];
+    unlink_child(child_parent, in_subtree);
+    link_child(outside, in_subtree);
     s_.parent[static_cast<std::size_t>(in_subtree)] = outside;
     s_.pred_arc[static_cast<std::size_t>(in_subtree)] = entering;
     while (child != detached_root) {
       const NodeId next_parent =
           s_.parent[static_cast<std::size_t>(child_parent)];
       const ArcId next_arc = s_.pred_arc[static_cast<std::size_t>(child_parent)];
+      unlink_child(next_parent, child_parent);
+      link_child(child, child_parent);
       s_.parent[static_cast<std::size_t>(child_parent)] = child;
       s_.pred_arc[static_cast<std::size_t>(child_parent)] = child_arc;
       child = child_parent;
@@ -277,7 +364,28 @@ class NetworkSimplex {
       child_arc = next_arc;
     }
 
-    refresh_potentials();
+    // Subtree-only update. Tree arcs inside the re-hung subtree are
+    // unchanged, so all its potentials shift by the one constant that
+    // zeroes the entering arc's reduced cost; depths are recomputed by
+    // a DFS over the (exact) child lists of the subtree alone.
+    const Cost delta_pi =
+        in_subtree == s_.tail[ei] ? -rc_entering : rc_entering;
+    s_.depth[static_cast<std::size_t>(in_subtree)] =
+        s_.depth[static_cast<std::size_t>(outside)] + 1;
+    s_.stack.clear();
+    s_.stack.push_back(in_subtree);
+    while (!s_.stack.empty()) {
+      const NodeId u = s_.stack.back();
+      s_.stack.pop_back();
+      s_.pi[static_cast<std::size_t>(u)] += delta_pi;
+      for (NodeId c = s_.child_first[static_cast<std::size_t>(u)];
+           c != kInvalidNode;
+           c = s_.child_next[static_cast<std::size_t>(c)]) {
+        s_.depth[static_cast<std::size_t>(c)] =
+            s_.depth[static_cast<std::size_t>(u)] + 1;
+        s_.stack.push_back(c);
+      }
+    }
   }
 
   /// Lowest common ancestor of u and v in the current tree.
@@ -305,57 +413,22 @@ class NetworkSimplex {
     return false;
   }
 
-  /// Rebuilds depth_ and pi_ from parent/pred_arc by DFS from the root.
-  /// Children are threaded through scratch-owned intrusive lists
-  /// (child_first/child_next), so no per-pivot allocation; traversal
-  /// order does not affect the computed values (the tree fixes them).
-  void refresh_potentials() {
-    s_.child_first.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
-    s_.child_next.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
-    for (NodeId v = 0; v < num_nodes_; ++v) {
-      if (v == root_) continue;
-      const auto p = static_cast<std::size_t>(
-          s_.parent[static_cast<std::size_t>(v)]);
-      s_.child_next[static_cast<std::size_t>(v)] = s_.child_first[p];
-      s_.child_first[p] = v;
-    }
-    s_.depth[static_cast<std::size_t>(root_)] = 0;
-    s_.pi[static_cast<std::size_t>(root_)] = 0;
-    s_.stack.clear();
-    s_.stack.push_back(root_);
-    while (!s_.stack.empty()) {
-      const NodeId u = s_.stack.back();
-      s_.stack.pop_back();
-      for (NodeId c = s_.child_first[static_cast<std::size_t>(u)];
-           c != kInvalidNode;
-           c = s_.child_next[static_cast<std::size_t>(c)]) {
-        s_.depth[static_cast<std::size_t>(c)] =
-            s_.depth[static_cast<std::size_t>(u)] + 1;
-        const auto ai = static_cast<std::size_t>(
-            s_.pred_arc[static_cast<std::size_t>(c)]);
-        // Tree arcs have zero reduced cost: cost + pi[tail] - pi[head] = 0.
-        s_.pi[static_cast<std::size_t>(c)] =
-            s_.tail[ai] == u
-                ? s_.pi[static_cast<std::size_t>(u)] + s_.cost[ai]
-                : s_.pi[static_cast<std::size_t>(u)] - s_.cost[ai];
-        s_.stack.push_back(c);
-      }
-    }
-  }
-
   SimplexScratch& s_;
   ArcId orig_arcs_;
   NodeId root_ = kInvalidNode;
   NodeId num_nodes_ = 0;
+  std::size_t block_size_ = 0;
+  std::size_t list_size_ = 0;
+  std::size_t minor_limit_ = 0;
+  std::size_t minor_left_ = 0;
+  std::size_t scan_start_ = 0;
 };
 
 }  // namespace
 
-FlowSolution solve_network_simplex(const Graph& g, SolveGuard* guard,
-                                   SolverWorkspace* ws) {
+FlowSolution run_network_simplex(const Graph& g, SolveGuard* guard,
+                                 SolverWorkspace& w) {
   if (g.total_supply() != 0) return {};
-  SolverWorkspace local;
-  SolverWorkspace& w = ws != nullptr ? *ws : local;
   ++w.counters.solves;
   NetworkSimplex simplex(g, w.simplex);
   return simplex.run(g, guard, w.counters);

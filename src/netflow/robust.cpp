@@ -7,6 +7,8 @@
 #include <sstream>
 #include <thread>
 
+#include "netflow/internal_solvers.hpp"
+#include "netflow/select.hpp"
 #include "netflow/validate.hpp"
 #include "netflow/warm.hpp"
 #include "netflow/workspace.hpp"
@@ -39,10 +41,8 @@ std::string to_string(CertificationVerdict verdict) {
 
 std::vector<std::string> CircuitBreaker::open_solvers() const {
   std::vector<std::string> out;
-  for (SolverKind kind :
-       {SolverKind::kSuccessiveShortestPaths, SolverKind::kCycleCanceling,
-        SolverKind::kNetworkSimplex, SolverKind::kCostScaling}) {
-    if (open(kind)) out.push_back(to_string(kind));
+  for (const internal::SolverBackend& backend : internal::solver_backends()) {
+    if (open(backend.kind)) out.push_back(to_string(backend.kind));
   }
   return out;
 }
@@ -63,6 +63,10 @@ std::string SolveDiagnostics::summary() const {
     os << " [breaker-skipped:";
     for (const std::string& s : breaker_skips) os << " " << s;
     os << "]";
+  }
+  if (auto_selected) {
+    os << " [auto: " << to_string(auto_choice) << " | " << auto_features
+       << "]";
   }
   return os.str();
 }
@@ -129,12 +133,30 @@ InstanceReport validate_instance(const Graph& g) {
 
 namespace {
 
-std::vector<SolverKind> effective_chain(const SolveOptions& options) {
+std::vector<SolverKind> effective_chain(const Graph& g,
+                                        const SolveOptions& options,
+                                        SolveDiagnostics& diag,
+                                        SolverWorkspace& ws) {
   std::vector<SolverKind> chain = options.chain;
   if (chain.empty()) {
     chain = {SolverKind::kNetworkSimplex,
              SolverKind::kSuccessiveShortestPaths,
              SolverKind::kCycleCanceling};
+  }
+  // Expand SolverKind::kAuto in place: measure the instance once, ask
+  // the shape-based selector for a concrete backend, and record the
+  // decision so logs and tests can see why it was made.
+  if (std::find(chain.begin(), chain.end(), SolverKind::kAuto) !=
+      chain.end()) {
+    InstanceShape shape = measure_shape(g);
+    shape.warm_cache_match =
+        options.warm_cache != nullptr && options.warm_cache->matches(g);
+    const SolverKind choice = select_solver(shape);
+    diag.auto_selected = true;
+    diag.auto_choice = choice;
+    diag.auto_features = shape.summary();
+    ++ws.counters.auto_selections;
+    std::replace(chain.begin(), chain.end(), SolverKind::kAuto, choice);
   }
   // Drop duplicates, keeping first occurrences: retrying the identical
   // deterministic algorithm cannot change the answer.
@@ -257,6 +279,12 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
     return ok;
   };
 
+  // Resolve the chain (kAuto expansion included) before the warm-start
+  // attempt, so the auto-selection story lands in the diagnostics even
+  // when the warm path answers without touching the chain.
+  const std::vector<SolverKind> chain =
+      effective_chain(g, options, diag, *ws);
+
   // Warm start: when the cache holds a prior optimal flow for this very
   // topology, repair it for the new costs/capacities instead of solving
   // cold. The warm answer is always certified (at least kFeasible) so a
@@ -321,7 +349,6 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
     ++ws->counters.warm_start_misses;
   }
 
-  const std::vector<SolverKind> chain = effective_chain(options);
   int infeasible_votes = 0;
   FlowSolution uncertified;
   bool have_uncertified = false;

@@ -76,7 +76,9 @@ class CircuitBreaker {
   std::vector<std::string> open_solvers() const;
 
  private:
-  static constexpr int kNumKinds = 4;
+  // One slot per SolverKind enumerator (kAuto included, so a kAuto key
+  // can never alias a concrete solver's failure count).
+  static constexpr int kNumKinds = 5;
 
   std::atomic<int>& slot(SolverKind kind) {
     return failures_[static_cast<std::size_t>(kind) % kNumKinds];
@@ -93,6 +95,9 @@ class CircuitBreaker {
 struct SolveOptions {
   /// Solvers to try, in order. Empty selects the default chain
   /// network simplex -> successive shortest paths -> cycle canceling.
+  /// A SolverKind::kAuto entry is expanded in place by the shape-based
+  /// selector (select.hpp) before any attempt runs; the chosen backend
+  /// and the driving instance features land in SolveDiagnostics.
   std::vector<SolverKind> chain;
   /// Per-attempt iteration budget (0 = unlimited); see SolveGuard.
   std::int64_t max_iterations_per_solver = 0;
@@ -211,6 +216,13 @@ struct SolveDiagnostics {
   bool warm_start_attempted = false;
   /// The returned answer came from the warm-start path.
   bool warm_start_hit = false;
+  /// The chain contained SolverKind::kAuto and the shape-based selector
+  /// expanded it.
+  bool auto_selected = false;
+  /// Backend the selector picked (valid when auto_selected).
+  SolverKind auto_choice = SolverKind::kSuccessiveShortestPaths;
+  /// Instance features that drove the choice (InstanceShape::summary()).
+  std::string auto_features;
   /// Solver performance counters for THIS solve (heap traffic,
   /// augmentations, per-phase nanoseconds; see workspace.hpp glossary).
   PerfCounters perf;

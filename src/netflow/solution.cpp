@@ -3,6 +3,7 @@
 #include "netflow/graph.hpp"
 #include "netflow/internal_solvers.hpp"
 #include "netflow/lower_bounds.hpp"
+#include "netflow/select.hpp"
 
 namespace lera::netflow {
 
@@ -34,6 +35,8 @@ std::string to_string(SolverKind kind) {
       return "network-simplex";
     case SolverKind::kCostScaling:
       return "cost-scaling";
+    case SolverKind::kAuto:
+      return "auto";
   }
   return "unknown";
 }
@@ -45,6 +48,55 @@ FlowSolution budget_exceeded(SolverKind kind) {
   out.status = SolveStatus::kBudgetExceeded;
   out.message = to_string(kind) + ": iteration/time budget exhausted";
   return out;
+}
+
+namespace {
+
+constexpr SolverBackend kBackends[] = {
+    {SolverKind::kSuccessiveShortestPaths, "ssp", run_ssp},
+    {SolverKind::kCycleCanceling, "cycle-canceling", run_cycle_canceling},
+    {SolverKind::kNetworkSimplex, "simplex", run_network_simplex},
+    {SolverKind::kCostScaling, "cost-scaling", run_cost_scaling},
+};
+
+/// Resolves a null workspace to a throwaway local arena; the legacy
+/// pointer-taking wrappers and solve() both funnel through here.
+FlowSolution run_backend(const SolverBackend& backend, const Graph& g,
+                         SolveGuard* guard, SolverWorkspace* ws) {
+  if (ws != nullptr) return backend.fn(g, guard, *ws);
+  SolverWorkspace local;
+  return backend.fn(g, guard, local);
+}
+
+}  // namespace
+
+std::span<const SolverBackend> solver_backends() { return kBackends; }
+
+const SolverBackend* find_backend(SolverKind kind) {
+  for (const SolverBackend& b : kBackends) {
+    if (b.kind == kind) return &b;
+  }
+  return nullptr;
+}
+
+FlowSolution solve_ssp(const Graph& g, SolveGuard* guard,
+                       SolverWorkspace* ws) {
+  return run_backend(kBackends[0], g, guard, ws);
+}
+
+FlowSolution solve_cycle_canceling(const Graph& g, SolveGuard* guard,
+                                   SolverWorkspace* ws) {
+  return run_backend(kBackends[1], g, guard, ws);
+}
+
+FlowSolution solve_network_simplex(const Graph& g, SolveGuard* guard,
+                                   SolverWorkspace* ws) {
+  return run_backend(kBackends[2], g, guard, ws);
+}
+
+FlowSolution solve_cost_scaling(const Graph& g, SolveGuard* guard,
+                                SolverWorkspace* ws) {
+  return run_backend(kBackends[3], g, guard, ws);
 }
 
 }  // namespace internal
@@ -59,21 +111,6 @@ FlowSolution cancelled_solution(SolverKind kind) {
   return out;
 }
 
-FlowSolution dispatch(const Graph& g, SolverKind kind, SolveGuard* guard,
-                      SolverWorkspace* ws) {
-  switch (kind) {
-    case SolverKind::kSuccessiveShortestPaths:
-      return internal::solve_ssp(g, guard, ws);
-    case SolverKind::kCycleCanceling:
-      return internal::solve_cycle_canceling(g, guard, ws);
-    case SolverKind::kNetworkSimplex:
-      return internal::solve_network_simplex(g, guard, ws);
-    case SolverKind::kCostScaling:
-      return internal::solve_cost_scaling(g, guard, ws);
-  }
-  return {};
-}
-
 }  // namespace
 
 FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard,
@@ -84,6 +121,18 @@ FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard,
     bad.message = "unbalanced instance: total supply is " +
                   std::to_string(g.total_supply()) +
                   ", a feasible b-flow requires 0";
+    return bad;
+  }
+  if (kind == SolverKind::kAuto) {
+    kind = select_solver(measure_shape(g));
+    if (ws != nullptr) ++ws->counters.auto_selections;
+  }
+  const internal::SolverBackend* backend = internal::find_backend(kind);
+  if (backend == nullptr) {
+    FlowSolution bad;
+    bad.status = SolveStatus::kBadInstance;
+    bad.message = "no registered backend for solver kind " +
+                  std::to_string(static_cast<int>(kind));
     return bad;
   }
   if (guard != nullptr) {
@@ -109,11 +158,12 @@ FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard,
   };
 
   if (!g.has_lower_bounds()) {
-    return relabel_cancelled(dispatch(g, kind, guard, ws));
+    return relabel_cancelled(internal::run_backend(*backend, g, guard, ws));
   }
 
   const LowerBoundReduction red = remove_lower_bounds(g);
-  FlowSolution sol = relabel_cancelled(dispatch(red.reduced, kind, guard, ws));
+  FlowSolution sol =
+      relabel_cancelled(internal::run_backend(*backend, red.reduced, guard, ws));
   if (!sol.optimal()) return sol;
   sol.arc_flow = restore_lower_bounds(red, sol.arc_flow);
   sol.cost += red.fixed_cost;

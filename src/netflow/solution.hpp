@@ -157,6 +157,11 @@ enum class SolverKind {
   kCycleCanceling,           ///< Feasible flow + Bellman-Ford cycle cancel.
   kNetworkSimplex,           ///< Primal network simplex.
   kCostScaling,              ///< Goldberg-Tarjan epsilon-scaling.
+  kAuto,                     ///< Shape-based selection among the above:
+                             ///< measures node/arc counts, density and
+                             ///< supply volume, then dispatches to the
+                             ///< backend the calibration says wins there
+                             ///< (see select_solver in robust.hpp).
 };
 
 std::string to_string(SolverKind kind);

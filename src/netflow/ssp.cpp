@@ -100,8 +100,11 @@ inline HeapEntry heap_pop_min(SspScratch& s) {
 /// source at distance 0 everywhere) so that all reduced costs start
 /// non-negative. On a DAG this is a single topological-order pass; on a
 /// cyclic graph it falls back to Bellman-Ford. Returns false if a
-/// negative-cost cycle exists (no valid potentials).
-bool initial_potentials(const Graph& g, SspScratch& s) {
+/// negative-cost cycle exists (no valid potentials), or if the guard's
+/// budget trips mid-pass — the caller's saturate-negative-arcs fallback
+/// is cheap and the drain loop's first tick then reports the overrun,
+/// so the cap holds even when Bellman-Ford (O(n*m)) dominates the run.
+bool initial_potentials(const Graph& g, SolveGuard* guard, SspScratch& s) {
   const NodeId n = g.num_nodes();
   std::vector<Cost>& pi = s.pi;
   pi.assign(static_cast<std::size_t>(n), 0);
@@ -142,8 +145,10 @@ bool initial_potentials(const Graph& g, SspScratch& s) {
     return true;
   }
 
-  // Cyclic graph: Bellman-Ford with negative-cycle detection.
+  // Cyclic graph: Bellman-Ford with negative-cycle detection. Each
+  // round is a full O(m) arc scan, so the budget is polled per round.
   for (NodeId round = 0; round <= n; ++round) {
+    if (guard != nullptr && !guard->tick()) return false;
     bool changed = false;
     for (ArcId a = 0; a < g.num_arcs(); ++a) {
       const Arc& arc = g.arc(a);
@@ -295,12 +300,9 @@ SolveStatus ssp_drain(Residual& res, SolveGuard* guard, SolverWorkspace& ws,
   return SolveStatus::kOptimal;
 }
 
-FlowSolution solve_ssp(const Graph& g, SolveGuard* guard,
-                       SolverWorkspace* ws) {
+FlowSolution run_ssp(const Graph& g, SolveGuard* guard, SolverWorkspace& w) {
   if (g.total_supply() != 0) return {};
 
-  SolverWorkspace local;
-  SolverWorkspace& w = ws != nullptr ? *ws : local;
   ++w.counters.solves;
 
   Residual& res = w.residual;
@@ -314,7 +316,7 @@ FlowSolution solve_ssp(const Graph& g, SolveGuard* guard,
   }
 
   s.pi.assign(static_cast<std::size_t>(n), 0);
-  if (g.has_negative_costs() && !initial_potentials(g, s)) {
+  if (g.has_negative_costs() && !initial_potentials(g, guard, s)) {
     // Negative cycle: saturate negative arcs instead; the resulting
     // imbalance joins the excesses and the reverse edges (now the only
     // residual direction of those arcs) have positive cost.

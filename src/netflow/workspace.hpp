@@ -35,6 +35,12 @@ struct PerfCounters {
   std::int64_t heap_pushes = 0;       ///< Dijkstra heap insertions.
   std::int64_t heap_pops = 0;         ///< Dijkstra heap pop-mins.
   std::int64_t simplex_pivots = 0;    ///< Network-simplex basis changes.
+  std::int64_t cs_phases = 0;         ///< Cost-scaling epsilon phases run.
+  std::int64_t cs_pushes = 0;         ///< Cost-scaling push operations.
+  std::int64_t cs_relabels = 0;       ///< Cost-scaling relabel operations.
+  std::int64_t price_refinements = 0;  ///< Phases settled by price
+                                       ///< refinement (no refine() needed).
+  std::int64_t auto_selections = 0;  ///< SolverKind::kAuto resolutions.
   std::int64_t workspace_reuse_hits = 0;  ///< Solves on a pre-warmed arena.
   std::int64_t warm_start_hits = 0;    ///< Resolves served from a prior flow.
   std::int64_t warm_start_misses = 0;  ///< Warm attempts that fell to cold.
@@ -51,6 +57,11 @@ struct PerfCounters {
     heap_pushes += o.heap_pushes;
     heap_pops += o.heap_pops;
     simplex_pivots += o.simplex_pivots;
+    cs_phases += o.cs_phases;
+    cs_pushes += o.cs_pushes;
+    cs_relabels += o.cs_relabels;
+    price_refinements += o.price_refinements;
+    auto_selections += o.auto_selections;
     workspace_reuse_hits += o.workspace_reuse_hits;
     warm_start_hits += o.warm_start_hits;
     warm_start_misses += o.warm_start_misses;
@@ -68,6 +79,11 @@ struct PerfCounters {
     d.heap_pushes = heap_pushes - base.heap_pushes;
     d.heap_pops = heap_pops - base.heap_pops;
     d.simplex_pivots = simplex_pivots - base.simplex_pivots;
+    d.cs_phases = cs_phases - base.cs_phases;
+    d.cs_pushes = cs_pushes - base.cs_pushes;
+    d.cs_relabels = cs_relabels - base.cs_relabels;
+    d.price_refinements = price_refinements - base.price_refinements;
+    d.auto_selections = auto_selections - base.auto_selections;
     d.workspace_reuse_hits = workspace_reuse_hits - base.workspace_reuse_hits;
     d.warm_start_hits = warm_start_hits - base.warm_start_hits;
     d.warm_start_misses = warm_start_misses - base.warm_start_misses;
@@ -92,6 +108,11 @@ struct PerfCounters {
     field("heap_pushes", heap_pushes);
     field("heap_pops", heap_pops);
     field("pivots", simplex_pivots);
+    field("cs_phases", cs_phases);
+    field("cs_pushes", cs_pushes);
+    field("cs_relabels", cs_relabels);
+    field("price_refinements", price_refinements);
+    field("auto_selections", auto_selections);
     field("workspace_reuse", workspace_reuse_hits);
     field("warm_hits", warm_start_hits);
     field("warm_misses", warm_start_misses);
@@ -168,7 +189,10 @@ struct SspScratch {
 
 /// Network-simplex scratch: SoA arc arrays, spanning-tree arrays, and
 /// the pivot-cycle / child-list buffers that used to be allocated per
-/// pivot.
+/// pivot. The child lists are doubly linked (child_prev enables O(1)
+/// unlink) because they are maintained incrementally across pivots: a
+/// basis exchange re-parents only the nodes on the reversed path, and
+/// the potential update then walks just the re-hung subtree.
 struct SimplexScratch {
   std::vector<NodeId> tail;
   std::vector<NodeId> head;
@@ -180,14 +204,53 @@ struct SimplexScratch {
   std::vector<ArcId> pred_arc;
   std::vector<NodeId> depth;
   std::vector<Cost> pi;
-  // refresh_potentials: intrusive child lists + DFS stack.
+  // Incrementally maintained intrusive child lists + DFS stack.
   std::vector<NodeId> child_first;
   std::vector<NodeId> child_next;
+  std::vector<NodeId> child_prev;
   std::vector<NodeId> stack;
   // pivot(): cycle steps (arc id, direction flag, subtree-side node).
   std::vector<ArcId> cycle_arc;
   std::vector<signed char> cycle_dir;
   std::vector<NodeId> cycle_below;
+  // Candidate-list pivot rule: violating arcs collected by the major
+  // block scan, consumed by minor iterations.
+  std::vector<ArcId> candidates;
+};
+
+/// Cost-scaling scratch: scaled costs, potentials, excesses, the FIFO
+/// active queue, the partial-augment path, and the price-refinement
+/// label array. All sized lazily by prepare(); reuse across solves keeps
+/// the refine loops allocation-free.
+struct CostScalingScratch {
+  std::vector<Cost> scaled_cost;   ///< Per residual edge: cost * alpha.
+  std::vector<Cost> pi;            ///< Node potentials (scaled units).
+  std::vector<Flow> excess;        ///< Node imbalances during refine.
+  std::vector<std::int32_t> current;  ///< Current-arc cursor per node.
+  std::vector<NodeId> active;      ///< FIFO queue of excess nodes.
+  std::vector<char> in_queue;      ///< Queue membership flags.
+  std::vector<std::int32_t> path;  ///< Partial-augment edge stack.
+  std::vector<Cost> refine_dist;   ///< Price-refinement labels.
+
+  void prepare(NodeId n, std::int64_t num_edges) {
+    const auto un = static_cast<std::size_t>(n);
+    scaled_cost.resize(static_cast<std::size_t>(num_edges));
+    pi.assign(un, 0);
+    excess.assign(un, 0);
+    current.assign(un, 0);
+    in_queue.assign(un, 0);
+    refine_dist.assign(un, 0);
+    active.clear();
+    path.clear();
+  }
+};
+
+/// Cycle-canceling scratch: the Bellman-Ford distance/parent arrays and
+/// the cycle buffer that used to be allocated per negative-cycle search.
+struct CycleCancelScratch {
+  std::vector<Cost> dist;
+  std::vector<std::int32_t> parent;
+  std::vector<std::int32_t> cycle;
 };
 
 /// One arena per sequential solve stream. See file comment for the
@@ -196,6 +259,8 @@ struct SolverWorkspace {
   Residual residual;
   SspScratch ssp;
   SimplexScratch simplex;
+  CostScalingScratch cost_scaling;
+  CycleCancelScratch cycle_cancel;
   PerfCounters counters;
   /// True once any solve has run through this arena (used to count
   /// workspace_reuse_hits).
