@@ -16,6 +16,14 @@
 //                  disconnects mid-request, and deadline storms, each
 //                  ending in a graceful drain. Every admitted request
 //                  must land in exactly one terminal state.
+//   4. footprint — memory-predictor calibration: per request class,
+//                  the admission-time predicted footprint
+//                  (alloc::estimate_problem_footprint) vs the engine
+//                  budget's measured peak, as an error ratio. The
+//                  predictor must stay conservative (ratio >= 1) or
+//                  footprint-based shedding would admit work it cannot
+//                  afford. Also reports the process-wide
+//                  `LERA_METRIC peak_rss_bytes`.
 //
 // Output: grep-friendly "LERA_METRIC bench_server_* ..." lines plus a
 // BENCH_server.json artifact. Exit 0 when every contract held, 1
@@ -39,8 +47,12 @@
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+
+#include "alloc/flow_graph.hpp"
 #include "netflow/fault_injection.hpp"
 #include "server/server.hpp"
+#include "workloads/problem_io.hpp"
 
 namespace {
 
@@ -458,6 +470,67 @@ bool run_chaos_seed(std::uint64_t seed, PhaseReport& agg) {
   return accounting_holds(server);
 }
 
+// --- Phase 4: memory footprint calibration ------------------------------
+
+/// Predicted-vs-actual memory for one request class.
+struct FootprintClass {
+  std::string name;
+  std::int64_t predicted_bytes = 0;    ///< Worst instance's admission predictor.
+  std::int64_t actual_peak_bytes = 0;  ///< Engine budget high-water mark.
+  double error_ratio = 0;              ///< predicted / actual; >= 1 = conservative.
+};
+
+/// Serves \p per_class instances of each traffic class through a fresh
+/// single-threaded server (so the budget peak is a per-request figure,
+/// not a concurrency artifact) and compares the admission predictor
+/// against the bytes the engine actually charged.
+std::vector<FootprintClass> run_footprint_calibration(int per_class) {
+  const struct {
+    const char* name;
+    int vars, steps, regs;
+  } classes[] = {{"small", 6, 10, 3},
+                 {"medium", 40, 60, 4},
+                 {"large", 120, 160, 6}};
+  std::vector<FootprintClass> out;
+  for (const auto& cl : classes) {
+    ServerOptions opts = base_options();
+    opts.engine.threads = 1;
+    Server server(opts);
+    Client client(server);
+    std::mt19937_64 rng(777);
+    FootprintClass fc;
+    fc.name = cl.name;
+    for (int i = 0; i < per_class; ++i) {
+      const std::string lt = make_lt(rng, cl.vars, cl.steps, cl.regs);
+      const auto parsed = lera::workloads::parse_problem(lt);
+      if (parsed.ok()) {
+        fc.predicted_bytes = std::max(
+            fc.predicted_bytes,
+            lera::alloc::estimate_problem_footprint(*parsed.problem));
+      }
+      const std::string id = std::string(cl.name) + std::to_string(i);
+      client.send_solve(id, lt);
+      client.wait_for(id, 30.0);
+    }
+    client.finish_sending();
+    client.join();
+    fc.actual_peak_bytes = server.health().memory_peak_bytes;
+    fc.error_ratio = fc.actual_peak_bytes > 0
+                         ? static_cast<double>(fc.predicted_bytes) /
+                               static_cast<double>(fc.actual_peak_bytes)
+                         : 0;
+    out.push_back(fc);
+  }
+  return out;
+}
+
+/// Process-wide peak resident set in bytes (ru_maxrss is KiB on Linux).
+std::int64_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -502,13 +575,35 @@ int main(int argc, char** argv) {
             << "LERA_METRIC bench_server_chaos_accounting_failures "
             << accounting_failures << "\n";
 
+  const std::vector<FootprintClass> footprint =
+      run_footprint_calibration(smoke ? 3 : 10);
+  for (const FootprintClass& fc : footprint) {
+    std::cout << "LERA_METRIC bench_server_footprint_" << fc.name
+              << "_predicted_bytes " << fc.predicted_bytes << "\n"
+              << "LERA_METRIC bench_server_footprint_" << fc.name
+              << "_actual_peak_bytes " << fc.actual_peak_bytes << "\n"
+              << "LERA_METRIC bench_server_footprint_" << fc.name
+              << "_error_ratio " << fc.error_ratio << "\n";
+  }
+  const std::int64_t rss = peak_rss_bytes();
+  std::cout << "LERA_METRIC peak_rss_bytes " << rss << "\n";
+
   std::ofstream out(out_path);
   out << "{\n  \"capacity\": " << json_of(capacity)
       << ",\n  \"overload\": " << json_of(overload)
       << ",\n  \"chaos\": " << json_of(chaos)
       << ",\n  \"chaos_seeds\": " << chaos_seeds
       << ",\n  \"chaos_accounting_failures\": " << accounting_failures
-      << "\n}\n";
+      << ",\n  \"footprint\": [";
+  for (std::size_t i = 0; i < footprint.size(); ++i) {
+    const FootprintClass& fc = footprint[i];
+    out << (i ? ", " : "") << "{\"class\": \"" << fc.name
+        << "\", \"predicted_bytes\": " << fc.predicted_bytes
+        << ", \"actual_peak_bytes\": " << fc.actual_peak_bytes
+        << ", \"error_ratio\": " << fc.error_ratio << "}";
+  }
+  out << "]"
+      << ",\n  \"peak_rss_bytes\": " << rss << "\n}\n";
   out.close();
   std::cout << "wrote " << out_path << "\n";
 
@@ -528,6 +623,15 @@ int main(int argc, char** argv) {
       accounting_failures > 0) {
     std::cout << "BENCH_FAIL accounting identity violated\n";
     ok = false;
+  }
+  for (const FootprintClass& fc : footprint) {
+    // An under-predicting footprint model would make admission admit
+    // solves the memory cap cannot actually cover.
+    if (fc.actual_peak_bytes <= 0 || fc.error_ratio < 1.0) {
+      std::cout << "BENCH_FAIL footprint predictor not conservative for "
+                << fc.name << " (ratio " << fc.error_ratio << ")\n";
+      ok = false;
+    }
   }
   return ok ? 0 : 1;
 }

@@ -22,6 +22,11 @@
 //     --retries N   re-run a solver whose answer flunks certification up
 //                   to N times (transient-fault healing) before falling
 //                   through the chain
+//     --max-bytes N per-solve memory budget in bytes (0 = unlimited);
+//                   a solve whose predicted footprint the budget refuses
+//                   degrades to the two-phase baseline, or prints
+//                   "LERA_ERROR <task> kind=memory <detail>" and exits 4
+//                   when no usable answer remains
 //     --audit L     off | legality | full (default off): run the
 //                   independent auditor on every result; findings are
 //                   printed as LERA_AUDIT lines and make the exit
@@ -46,9 +51,13 @@
 // (same reason word the server's LERA_REJECT uses), deadline-curtailed
 // work prints
 //   LERA_TIMEOUT <task> <detail>
-// the same way. Exit codes: 0 ok, 1 infeasible or bad input (usage
-// errors included), 2 audit findings, 3 timed-out-degraded (usable but
-// deadline-curtailed output). Keep these aligned with docs/API.md.
+// the same way, and memory-budget-refused work prints
+//   LERA_ERROR <task> kind=memory <detail>
+// (same failure class the server sheds as memory_infeasible). Exit
+// codes: 0 ok, 1 infeasible or bad input (usage errors included), 2
+// audit findings, 3 timed-out-degraded (usable but deadline-curtailed
+// output), 4 memory-budget-refused with no usable answer. Keep these
+// aligned with docs/API.md.
 //
 // With no file argument a built-in demo kernel is used. See
 // src/ir/parser.hpp and src/workloads/problem_io.hpp for the grammars.
@@ -99,6 +108,15 @@ void print_timeout_line(const std::string& task, const std::string& detail) {
             << "\n";
 }
 
+/// Memory-budget-refused work: the typed kind= marker lets scripts
+/// separate "needs a bigger budget" (exit 4) from genuine
+/// infeasibility (exit 1).
+void print_memory_line(const std::string& task, const std::string& detail) {
+  std::cout << "LERA_ERROR " << task << " kind=memory "
+            << (detail.empty() ? "solve memory budget exhausted" : detail)
+            << "\n";
+}
+
 constexpr const char* kDemo = R"(# demo: complex multiply + accumulate
 in ar, ai, br, bi, acc
 p0 = ar * br
@@ -126,6 +144,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   int deadline_ms = 0;
   int retries = 0;
+  long long max_bytes = 0;
   bool csv = false;
   bool perf = false;
   bool emit_asm = false;
@@ -191,6 +210,19 @@ int main(int argc, char** argv) {
       deadline_ms = next_int("--deadline-ms");
     } else if (arg == "--retries") {
       retries = next_int("--retries");
+    } else if (arg == "--max-bytes") {
+      const std::string v = next();
+      try {
+        max_bytes = std::stoll(v);
+      } catch (...) {
+        std::cerr << "error: --max-bytes requires an integer, got '" << v
+                  << "'\n";
+        return 1;
+      }
+      if (max_bytes < 0) {
+        std::cerr << "error: --max-bytes must be non-negative\n";
+        return 1;
+      }
     } else if (arg == "--audit") {
       const std::string level = next();
       if (level == "off") {
@@ -219,7 +251,7 @@ int main(int argc, char** argv) {
                    "[-m static|activity] [-g density|allpairs] "
                    "[--solver auto|ssp|simplex|cost-scaling|cycle-canceling] "
                    "[--threads N] [--deadline-ms N] [--retries N] "
-                   "[--audit off|legality|full] "
+                   "[--max-bytes N] [--audit off|legality|full] "
                    "[--pipeline] [--explore] [--perf] [--csv]\n";
       return 0;
     } else {
@@ -303,6 +335,12 @@ int main(int argc, char** argv) {
     eng_opts.alloc.fallback_to_baseline = true;
   }
   eng_opts.solver_retries = retries;
+  if (max_bytes > 0) {
+    eng_opts.max_bytes_per_solve = max_bytes;
+    // Like the deadline path: a budget-refused flow solve degrades to
+    // the two-phase baseline (flagged) rather than failing outright.
+    eng_opts.alloc.fallback_to_baseline = true;
+  }
   const engine::Engine engine(eng_opts);
   // Solver perf counters are aggregated engine-wide; one grep-friendly
   // line after the mode's output (see netflow::PerfCounters::summary).
@@ -438,6 +476,15 @@ int main(int argc, char** argv) {
   const alloc::AllocationResult r = engine.allocate_batch({p}).front();
   print_perf();
   if (!r.feasible) {
+    if (r.memory_exceeded) {
+      // No usable answer and the cause is the memory budget, not the
+      // problem: scripts distinguish "budget too small" (4) from
+      // "problem infeasible" (1).
+      print_memory_line(source_name, r.message);
+      std::cerr << "memory budget refused the solve: " << r.message
+                << "\n";
+      return 4;
+    }
     if (r.timed_out) {
       // No usable answer, but the cause is the deadline, not the
       // problem: scripts distinguish "deadline too tight" (3) from
@@ -491,6 +538,7 @@ int main(int argc, char** argv) {
               << "energy," << r.energy(p) << "\n"
               << "degraded," << (r.degraded ? 1 : 0) << "\n"
               << "timed_out," << (r.timed_out ? 1 : 0) << "\n"
+              << "memory_exceeded," << (r.memory_exceeded ? 1 : 0) << "\n"
               << "solver,"
               << (r.degraded
                       ? std::string("two-phase-baseline")

@@ -20,6 +20,10 @@
 //   --max-frame-bytes N frame payload cap (default 1 MiB)
 //   --queue-budget-ms N watchdog budget on rolling p95 queue wait
 //   --drain-grace-s X   drain grace before in-flight work is cancelled
+//   --max-bytes N       per-solve memory budget in bytes (0 = none);
+//                       requests predicted to exceed it are shed with
+//                       LERA_REJECT reason=memory_infeasible
+//   --max-bytes-total N engine-wide memory cap in bytes (0 = none)
 //   --no-assign         omit assign= from LERA_RESULT lines
 //
 // Signals and shutdown: SIGTERM/SIGINT begin a graceful drain — new
@@ -54,7 +58,8 @@ int usage(int code) {
          "  [--threads N] [-r N] [-m static|activity] [--deadline-ms N]\n"
          "  [--max-queue N] [--per-tenant N] [--min-deadline-ms N]\n"
          "  [--max-frame-bytes N] [--queue-budget-ms N]\n"
-         "  [--drain-grace-s X] [--no-assign]\n";
+         "  [--drain-grace-s X] [--max-bytes N] [--max-bytes-total N]\n"
+         "  [--no-assign]\n";
   return code;
 }
 
@@ -175,6 +180,12 @@ int main(int argc, char** argv) {
       opts.metrics.queue_budget_ms = next_num("--queue-budget-ms");
     } else if (arg == "--drain-grace-s") {
       opts.drain_grace_seconds = next_num("--drain-grace-s");
+    } else if (arg == "--max-bytes") {
+      opts.engine.max_bytes_per_solve =
+          static_cast<std::int64_t>(next_num("--max-bytes"));
+    } else if (arg == "--max-bytes-total") {
+      opts.engine.max_bytes_total =
+          static_cast<std::int64_t>(next_num("--max-bytes-total"));
     } else if (arg == "--no-assign") {
       opts.echo_assignment = false;
     } else if (arg == "-h" || arg == "--help") {

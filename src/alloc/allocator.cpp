@@ -1,6 +1,7 @@
 #include "alloc/allocator.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "alloc/two_phase.hpp"
 #include "netflow/validate.hpp"
@@ -64,6 +65,10 @@ AllocationResult solve_with_spec(const AllocationProblem& p,
       case netflow::SolveStatus::kCancelled:
         result.cancelled = true;
         result.message = "solve cancelled: " + sol.message;
+        break;
+      case netflow::SolveStatus::kMemoryExceeded:
+        result.memory_exceeded = true;
+        result.message = "solve memory budget exhausted: " + sol.message;
         break;
       case netflow::SolveStatus::kOptimal:
         break;  // Unreachable.
@@ -142,6 +147,7 @@ AllocationResult solve_or_degrade(const AllocationProblem& p,
   }
   fallback.degraded = true;
   fallback.timed_out = result.timed_out;
+  fallback.memory_exceeded = result.memory_exceeded;
   fallback.solve_diagnostics = std::move(result.solve_diagnostics);
   fallback.message =
       "degraded to two-phase baseline (" + result.message + ")";
@@ -158,9 +164,32 @@ AllocationResult allocate(const AllocationProblem& p,
     result.message = "invalid problem: " + problem_issues;
     return result;
   }
-  const FlowGraphSpec spec =
-      build_flow_graph(p, options.style, options.quantizer);
-  return solve_or_degrade(p, spec, options);
+  // The graph build is the one large allocation outside the solve
+  // boundary's bad_alloc net; catch it here so an OOM building the spec
+  // degrades (or reports) exactly like one inside the solvers.
+  try {
+    const FlowGraphSpec spec =
+        build_flow_graph(p, options.style, options.quantizer);
+    return solve_or_degrade(p, spec, options);
+  } catch (const std::bad_alloc&) {
+    result.memory_exceeded = true;
+    result.message = "allocation failed building the flow graph (out of memory)";
+  }
+  if (options.fallback_to_baseline) {
+    TwoPhaseOptions baseline;
+    baseline.solver = options.solver;
+    baseline.quantizer = options.quantizer;
+    AllocationResult fallback = two_phase_allocate(p, baseline);
+    if (fallback.feasible) {
+      fallback.degraded = true;
+      fallback.memory_exceeded = true;
+      fallback.message =
+          "degraded to two-phase baseline (" + result.message + ")";
+      return fallback;
+    }
+    result.message += "; two-phase fallback also failed: " + fallback.message;
+  }
+  return result;
 }
 
 std::vector<AllocationResult> allocate_sweep(
@@ -179,8 +208,19 @@ std::vector<AllocationResult> allocate_sweep(
   }
   working.num_registers =
       *std::max_element(register_counts.begin(), register_counts.end());
-  const FlowGraphSpec spec =
-      build_flow_graph(working, options.style, options.quantizer);
+  FlowGraphSpec spec;
+  try {
+    spec = build_flow_graph(working, options.style, options.quantizer);
+  } catch (const std::bad_alloc&) {
+    for (std::size_t i = 0; i < register_counts.size(); ++i) {
+      AllocationResult r;
+      r.memory_exceeded = true;
+      r.message =
+          "allocation failed building the flow graph (out of memory)";
+      results.push_back(std::move(r));
+    }
+    return results;
+  }
   for (int registers : register_counts) {
     working.num_registers = registers;
     results.push_back(solve_or_degrade(working, spec, options));

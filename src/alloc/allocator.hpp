@@ -53,6 +53,11 @@ struct AllocationResult {
   /// never degraded to the baseline — the caller no longer wants any
   /// answer — and carries no assignment.
   bool cancelled = false;
+  /// A memory budget refused the solve's predicted footprint, or an
+  /// allocation actually failed (netflow kMemoryExceeded). Combined with
+  /// `degraded` this mirrors the timed_out contract: a usable baseline
+  /// answer produced because the optimal one did not fit in memory.
+  bool memory_exceeded = false;
   /// What the robust solve layer observed: validation findings, solver
   /// attempts/fallbacks, certification verdict, wall time.
   netflow::SolveDiagnostics solve_diagnostics;

@@ -1,7 +1,11 @@
 #include "alloc/flow_graph.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <string>
+
+#include "netflow/membudget.hpp"
+#include "netflow/select.hpp"
 
 namespace lera::alloc {
 
@@ -156,6 +160,12 @@ FlowGraphSpec build_flow_graph(const AllocationProblem& p, GraphStyle style,
       }
     }
     if (p.num_registers > 0) ++arcs;  // Bypass.
+    // Announce the arc storage (graph arcs + per-arc metadata) to the
+    // budget/failpoint seam before the reserves can allocate.
+    netflow::detail::alloc_tick(static_cast<std::int64_t>(arcs) *
+                                static_cast<std::int64_t>(
+                                    sizeof(netflow::Arc) +
+                                    sizeof(FlowGraphSpec::ArcInfo)));
     spec.graph.reserve_arcs(static_cast<netflow::ArcId>(arcs));
     spec.arc_info.reserve(arcs);
   }
@@ -238,6 +248,32 @@ FlowGraphSpec build_flow_graph(const AllocationProblem& p, GraphStyle style,
                             e.e_mem_read();
   }
   return spec;
+}
+
+std::int64_t estimate_problem_footprint(const AllocationProblem& p) {
+  const std::int64_t s = static_cast<std::int64_t>(p.segments.size());
+  // Worst case over both graph styles: s segment arcs, s-1 chain arcs,
+  // s*(s-1) transitions, s source + s sink arcs, one bypass. The closed
+  // form below upper-bounds that sum for every s >= 0.
+  const std::int64_t nodes = 2 + 2 * s;
+  const std::int64_t arcs = s * s + 4 * s + 2;
+
+  netflow::InstanceShape shape;
+  shape.nodes = static_cast<netflow::NodeId>(
+      std::min<std::int64_t>(nodes, std::numeric_limits<netflow::NodeId>::max()));
+  shape.arcs = arcs;
+  shape.arcs_per_node =
+      nodes > 0 ? static_cast<double>(arcs) / static_cast<double>(nodes) : 0;
+  // solve_st_flow adds +/-R at s/t: two supply nodes, volume R.
+  shape.supply_volume = p.num_registers;
+  shape.supply_nodes = 2;
+  shape.negative_costs = true;  // Energy savings quantize negative.
+
+  const std::int64_t spec_bytes =
+      arcs * static_cast<std::int64_t>(sizeof(netflow::Arc) +
+                                       sizeof(FlowGraphSpec::ArcInfo)) +
+      nodes * static_cast<std::int64_t>(2 * sizeof(netflow::NodeId));
+  return spec_bytes + netflow::estimate_footprint(shape);
 }
 
 }  // namespace lera::alloc

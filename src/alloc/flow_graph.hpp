@@ -72,4 +72,13 @@ struct FlowGraphSpec {
 FlowGraphSpec build_flow_graph(const AllocationProblem& p, GraphStyle style,
                                const energy::Quantizer& quantizer = {});
 
+/// O(1) upper bound on the bytes an allocation of \p p costs end to end:
+/// the flow-graph spec itself (nodes, arcs, arc metadata) plus the
+/// solver footprint (netflow::estimate_footprint) of the worst-case
+/// instance shape — s = |segments| gives 2 + 2s nodes and at most
+/// s^2 + 4s + 2 arcs regardless of graph style. This is what admission
+/// control (lera_server) compares against a memory cap before any
+/// allocation happens.
+std::int64_t estimate_problem_footprint(const AllocationProblem& p);
+
 }  // namespace lera::alloc

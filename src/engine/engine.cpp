@@ -24,6 +24,8 @@ struct Supervision {
   netflow::CircuitBreaker* breaker = nullptr;
   detail::EngineStatsCore* stats = nullptr;
   detail::ContextBank* bank = nullptr;
+  /// Engine-wide memory budget; every solve charges a child of it.
+  netflow::MemoryBudget memory_budget;
 };
 
 /// Checks a SolveContext out of the bank for one allocator call and
@@ -78,7 +80,8 @@ netflow::Deadline request_deadline(const EngineOptions& options,
 void apply_supervision(alloc::AllocatorOptions& a, const EngineOptions& o,
                        const netflow::Deadline& deadline,
                        const netflow::CancelToken& cancel,
-                       netflow::CircuitBreaker* breaker) {
+                       netflow::CircuitBreaker* breaker,
+                       const netflow::MemoryBudget& memory_budget) {
   a.solve.cancel = cancel;
   a.solve.deadline = netflow::Deadline::earlier(a.solve.deadline, deadline);
   if (o.solver_retries > 0) {
@@ -87,6 +90,12 @@ void apply_supervision(alloc::AllocatorOptions& a, const EngineOptions& o,
     a.solve.retry_seed = o.retry_seed;
   }
   if (breaker != nullptr) a.solve.breaker = breaker;
+  // Per-solve budget: a child of the engine-wide ledger, capped by
+  // max_bytes_per_solve. Inert (tracking nothing) only when the caller
+  // already threaded a budget of their own.
+  if (!a.solve.memory_budget.valid() && memory_budget.valid()) {
+    a.solve.memory_budget = memory_budget.child(o.max_bytes_per_solve);
+  }
 }
 
 /// Books one finished allocator call into the stats core.
@@ -97,6 +106,9 @@ void record_solve(detail::EngineStatsCore* stats,
   if (r.cancelled) stats->cancelled.fetch_add(1, std::memory_order_relaxed);
   if (r.timed_out) stats->timed_out.fetch_add(1, std::memory_order_relaxed);
   if (r.degraded) stats->degraded.fetch_add(1, std::memory_order_relaxed);
+  if (r.memory_exceeded) {
+    stats->memory_exceeded.fetch_add(1, std::memory_order_relaxed);
+  }
   if (r.solve_diagnostics.retries > 0) {
     stats->retried.fetch_add(r.solve_diagnostics.retries,
                              std::memory_order_relaxed);
@@ -122,6 +134,14 @@ void record_solve(detail::EngineStatsCore* stats,
   bump(stats->perf_validate_ns, p.validate_ns);
   bump(stats->perf_solve_ns, p.solve_ns);
   bump(stats->perf_certify_ns, p.certify_ns);
+  bump(stats->perf_mem_charged, p.mem_charged_bytes);
+  bump(stats->perf_mem_denials, p.mem_denials);
+  // Peak is max-merged, not summed (see PerfCounters::add).
+  std::int64_t cur = stats->perf_mem_peak.load(std::memory_order_relaxed);
+  while (p.mem_peak_bytes > cur &&
+         !stats->perf_mem_peak.compare_exchange_weak(
+             cur, p.mem_peak_bytes, std::memory_order_relaxed)) {
+  }
 }
 
 /// Maps the engine's audit knobs onto the auditor and stamps the
@@ -207,7 +227,7 @@ TaskReport solve_task(const ir::Task& task, const EngineOptions& options,
       alloc_options.fallback_to_baseline ||
       options.degrade_on_solver_failure;
   apply_supervision(alloc_options, options, deadline, sup.cancel,
-                    sup.breaker);
+                    sup.breaker, sup.memory_budget);
   const ContextLease lease(sup.bank, options, alloc_options);
   if (sup.stats != nullptr) {
     sup.stats->started.fetch_add(1, std::memory_order_relaxed);
@@ -267,7 +287,7 @@ ScheduleCandidate evaluate_candidate(const ir::BasicBlock& bb,
   alloc::AllocatorOptions alloc_options = options.alloc;
   apply_supervision(alloc_options, options,
                     request_deadline(options, sup.run_deadline), sup.cancel,
-                    sup.breaker);
+                    sup.breaker, sup.memory_budget);
   const ContextLease lease(sup.bank, options, alloc_options);
   if (sup.stats != nullptr) {
     sup.stats->started.fetch_add(1, std::memory_order_relaxed);
@@ -285,6 +305,7 @@ ScheduleCandidate evaluate_candidate(const ir::BasicBlock& bb,
 
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
+      memory_budget_(netflow::MemoryBudget::make(options_.max_bytes_total)),
       breaker_(options_.breaker_threshold > 0
                    ? std::make_shared<netflow::CircuitBreaker>(
                          options_.breaker_threshold)
@@ -293,7 +314,10 @@ Engine::Engine(EngineOptions options)
       bank_(options_.reuse_workspaces || options_.warm_start
                 ? std::make_shared<detail::ContextBank>()
                 : nullptr),
-      pool_(std::make_unique<ThreadPool>(options_.threads)) {}
+      pool_(std::make_unique<ThreadPool>(options_.threads)) {
+  // Pooled (idle) workspaces count against the engine-wide budget.
+  if (bank_ != nullptr) bank_->set_budget(memory_budget_);
+}
 
 Engine::~Engine() {
   // Graceful drain: fire the shutdown token first so every queued or
@@ -316,6 +340,11 @@ EngineStats Engine::stats() const {
       stats_core_->timed_out.load(std::memory_order_relaxed);
   s.solves_degraded = stats_core_->degraded.load(std::memory_order_relaxed);
   s.solves_retried = stats_core_->retried.load(std::memory_order_relaxed);
+  s.solves_memory_exceeded =
+      stats_core_->memory_exceeded.load(std::memory_order_relaxed);
+  s.memory_bytes_in_use = memory_budget_.used();
+  s.memory_peak_bytes = memory_budget_.peak();
+  s.memory_denials = memory_budget_.denials();
   const auto& c = *stats_core_;
   s.perf.solves = c.perf_solves.load(std::memory_order_relaxed);
   s.perf.augmentations =
@@ -339,6 +368,10 @@ EngineStats Engine::stats() const {
   s.perf.validate_ns = c.perf_validate_ns.load(std::memory_order_relaxed);
   s.perf.solve_ns = c.perf_solve_ns.load(std::memory_order_relaxed);
   s.perf.certify_ns = c.perf_certify_ns.load(std::memory_order_relaxed);
+  s.perf.mem_charged_bytes =
+      c.perf_mem_charged.load(std::memory_order_relaxed);
+  s.perf.mem_denials = c.perf_mem_denials.load(std::memory_order_relaxed);
+  s.perf.mem_peak_bytes = c.perf_mem_peak.load(std::memory_order_relaxed);
   if (breaker_ != nullptr) {
     s.breaker_threshold = breaker_->threshold();
     s.open_breakers = breaker_->open_solvers();
@@ -348,7 +381,8 @@ EngineStats Engine::stats() const {
 
 PipelineReport Engine::run(const ir::TaskGraph& graph) const {
   const Supervision sup{run_deadline_of(options_), shutdown_,
-                        breaker_.get(), stats_core_.get(), bank_.get()};
+                        breaker_.get(), stats_core_.get(), bank_.get(),
+                        memory_budget_};
   const std::vector<ir::TaskId> order = graph.topological_order();
   std::vector<TaskReport> tasks(order.size());
 
@@ -397,7 +431,8 @@ PipelineReport Engine::run(const ir::TaskGraph& graph) const {
 
 ExploreResult Engine::explore(const ir::BasicBlock& bb) const {
   const Supervision sup{run_deadline_of(options_), shutdown_,
-                        breaker_.get(), stats_core_.get(), bank_.get()};
+                        breaker_.get(), stats_core_.get(), bank_.get(),
+                        memory_budget_};
   ExploreResult out;
 
   // Candidate generation is cheap and order-defining: do it inline.
@@ -438,7 +473,8 @@ ExploreResult Engine::explore(const ir::BasicBlock& bb) const {
 std::vector<alloc::AllocationResult> Engine::allocate_batch(
     const std::vector<alloc::AllocationProblem>& problems) const {
   const Supervision sup{run_deadline_of(options_), shutdown_,
-                        breaker_.get(), stats_core_.get(), bank_.get()};
+                        breaker_.get(), stats_core_.get(), bank_.get(),
+                        memory_budget_};
   std::vector<alloc::AllocationResult> results(problems.size());
   pool_->parallel_for(problems.size(), [&](std::size_t i) {
     // Anytime contract: problems not started when the run deadline
@@ -457,7 +493,7 @@ std::vector<alloc::AllocationResult> Engine::allocate_batch(
     alloc::AllocatorOptions alloc_options = options_.alloc;
     apply_supervision(alloc_options, options_,
                       request_deadline(options_, sup.run_deadline),
-                      sup.cancel, sup.breaker);
+                      sup.cancel, sup.breaker, sup.memory_budget);
     const ContextLease lease(sup.bank, options_, alloc_options);
     sup.stats->started.fetch_add(1, std::memory_order_relaxed);
     results[i] = alloc::allocate(problems[i], alloc_options);
@@ -539,14 +575,14 @@ std::size_t Session::submit(alloc::AllocationProblem problem,
       [state = state_, slot, problem = std::move(problem),
        options = engine_->options_, ticket, token, deadline,
        stats = engine_->stats_core_, breaker = engine_->breaker_,
-       bank = engine_->bank_] {
+       bank = engine_->bank_, memory_budget = engine_->memory_budget_] {
         {
           std::lock_guard<std::mutex> lock(state->mutex);
           state->running[ticket] = true;
         }
         alloc::AllocatorOptions alloc_options = options.alloc;
         apply_supervision(alloc_options, options, deadline, token,
-                          breaker.get());
+                          breaker.get(), memory_budget);
         const ContextLease lease(bank.get(), options, alloc_options);
         stats->started.fetch_add(1, std::memory_order_relaxed);
         *slot = alloc::allocate(problem, alloc_options);

@@ -16,6 +16,7 @@
 #include "engine/thread_pool.hpp"
 #include "ir/task_graph.hpp"
 #include "netflow/cancel.hpp"
+#include "netflow/membudget.hpp"
 #include "netflow/warm.hpp"
 #include "netflow/workspace.hpp"
 #include "sched/schedule.hpp"
@@ -127,6 +128,20 @@ struct EngineOptions {
   /// (netflow::CircuitBreaker). 0 = no breaker.
   int breaker_threshold = 0;
 
+  // --- Memory budgeting -------------------------------------------------
+  /// Byte cap for one solve request (0 = none). Each solve gets a child
+  /// of the engine-wide budget with this cap; a backend whose predicted
+  /// footprint does not fit is skipped (kMemoryExceeded) and — under
+  /// degrade_on_solver_failure / fallback_to_baseline — the request
+  /// degrades to the two-phase baseline, flagged memory_exceeded +
+  /// degraded: a typed verdict, never an OOM kill.
+  std::int64_t max_bytes_per_solve = 0;
+  /// Byte cap shared by every concurrent solve plus the pooled
+  /// workspaces of the context bank (0 = track-only: peak/in-use bytes
+  /// still show up in EngineStats and the server's HEALTH line, but
+  /// nothing is ever refused).
+  std::int64_t max_bytes_total = 0;
+
   // --- Solver workspaces and warm starts --------------------------------
   /// Lease every solve a reusable netflow::SolverWorkspace from the
   /// engine's context bank, so repeated solves stop paying per-solve
@@ -159,6 +174,18 @@ struct EngineStats {
   std::int64_t solves_degraded = 0;
   /// Transient-failure re-runs summed over all solves.
   std::int64_t solves_retried = 0;
+  /// Completed solves a memory budget (or a real allocation failure)
+  /// curtailed (AllocationResult::memory_exceeded); like timed_out, a
+  /// memory-exceeded solve may still be feasible via the baseline.
+  std::int64_t solves_memory_exceeded = 0;
+  /// Bytes currently charged against the engine-wide memory budget
+  /// (in-flight solves + pooled workspaces).
+  std::int64_t memory_bytes_in_use = 0;
+  /// High-water mark of memory_bytes_in_use over the engine's lifetime.
+  std::int64_t memory_peak_bytes = 0;
+  /// Charges the engine-wide budget refused (0 when max_bytes_total is
+  /// 0 — per-solve denials land in solves_memory_exceeded instead).
+  std::int64_t memory_denials = 0;
   /// Solvers whose circuit breaker is currently open (display names;
   /// empty when breaker_threshold is 0).
   std::vector<std::string> open_breakers;
@@ -179,6 +206,7 @@ struct EngineStatsCore {
   std::atomic<std::int64_t> timed_out{0};
   std::atomic<std::int64_t> degraded{0};
   std::atomic<std::int64_t> retried{0};
+  std::atomic<std::int64_t> memory_exceeded{0};
   /// Atomic mirror of netflow::PerfCounters, harvested from each
   /// solve's diagnostics as it completes.
   std::atomic<std::int64_t> perf_solves{0};
@@ -198,6 +226,10 @@ struct EngineStatsCore {
   std::atomic<std::int64_t> perf_validate_ns{0};
   std::atomic<std::int64_t> perf_solve_ns{0};
   std::atomic<std::int64_t> perf_certify_ns{0};
+  std::atomic<std::int64_t> perf_mem_charged{0};
+  std::atomic<std::int64_t> perf_mem_denials{0};
+  /// Max-merged (not summed): the largest per-solve budget peak seen.
+  std::atomic<std::int64_t> perf_mem_peak{0};
 };
 
 /// A leased per-solve context: one solver workspace plus one warm-start
@@ -213,25 +245,47 @@ struct SolveContext {
 /// solves check a context out for their duration instead: at most
 /// pool-width contexts ever exist, each used strictly sequentially —
 /// which is exactly the SolverWorkspace ownership contract.
+///
+/// Pooled (idle) contexts retain their grown scratch arenas, so their
+/// measured footprint is charged against the engine-wide memory budget
+/// while they sit in the freelist: retained bytes show up in
+/// EngineStats and count against max_bytes_total. A context the budget
+/// refuses to pool is dropped (freed) instead — under memory pressure
+/// the bank sheds capacity rather than busting the cap.
 class ContextBank {
  public:
+  /// Installs the engine-wide budget idle contexts are charged against.
+  /// Call before the first release(); an inert budget tracks nothing.
+  void set_budget(netflow::MemoryBudget budget) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    budget_ = std::move(budget);
+  }
+
   std::unique_ptr<SolveContext> acquire() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (free_.empty()) return std::make_unique<SolveContext>();
     std::unique_ptr<SolveContext> ctx = std::move(free_.back());
     free_.pop_back();
+    budget_.release(charged_.back());
+    charged_.pop_back();
     return ctx;
   }
 
   void release(std::unique_ptr<SolveContext> ctx) {
     if (ctx == nullptr) return;
+    const std::int64_t bytes = ctx->workspace.footprint_bytes();
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!budget_.try_charge(bytes)) return;  // Shed: free, don't pool.
     free_.push_back(std::move(ctx));
+    charged_.push_back(bytes);
   }
 
  private:
   std::mutex mutex_;
+  netflow::MemoryBudget budget_;
   std::vector<std::unique_ptr<SolveContext>> free_;
+  /// Bytes charged for free_[i]; kept in lockstep with free_.
+  std::vector<std::int64_t> charged_;
 };
 }  // namespace detail
 
@@ -434,11 +488,19 @@ class Engine {
   /// lifetime; fired by ~Engine.
   netflow::CancelToken shutdown_token() const { return shutdown_; }
 
+  /// The engine-wide memory budget (capped by max_bytes_total, track-
+  /// only when that is 0). Every solve charges a child of it; the server
+  /// reads used()/peak()/remaining() for HEALTH and admission.
+  netflow::MemoryBudget memory_budget() const { return memory_budget_; }
+
  private:
   friend class Session;
 
   EngineOptions options_;
   netflow::CancelToken shutdown_{netflow::CancelToken::make()};
+  /// Root of every per-solve budget chain; also charged for the context
+  /// bank's pooled workspaces.
+  netflow::MemoryBudget memory_budget_;
   /// Non-null when options_.breaker_threshold > 0; shared with queued
   /// Session jobs so it outlives any one handle.
   std::shared_ptr<netflow::CircuitBreaker> breaker_;

@@ -3,6 +3,7 @@
 
 #include "netflow/internal_solvers.hpp"
 #include "netflow/maxflow.hpp"
+#include "netflow/membudget.hpp"
 #include "netflow/residual.hpp"
 
 /// Klein's cycle-canceling algorithm.
@@ -70,6 +71,15 @@ FlowSolution run_cycle_canceling(const Graph& g, SolveGuard* guard,
   if (g.total_supply() != 0) return {};
 
   ++w.counters.solves;
+
+  // Announce the augmented instance's arc storage plus the Bellman-Ford
+  // scratch to the budget/failpoint seam (the residual build and CSR
+  // adjacency announce themselves at their own sites).
+  detail::alloc_tick(
+      static_cast<std::int64_t>(g.num_arcs() + g.num_nodes()) *
+          static_cast<std::int64_t>(sizeof(Arc)) +
+      static_cast<std::int64_t>(g.num_nodes() + 2) *
+          static_cast<std::int64_t>(sizeof(Cost) + sizeof(std::int32_t)));
 
   // Augmented instance with a super source/sink absorbing the supplies.
   Graph aug;

@@ -1,8 +1,11 @@
 #include "netflow/fault_injection.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <new>
 
 #include "netflow/decompose.hpp"
+#include "netflow/membudget.hpp"
 
 namespace lera::netflow {
 
@@ -127,6 +130,32 @@ void FaultInjector::perturb(const Graph& g, FlowSolution& sol) {
   sol.cost = corrupted;
   ++faults_injected_;
   log_.push_back("corrupt-cost: shifted by " + std::to_string(delta));
+}
+
+OomFailpoint::OomFailpoint(Options options) : options_(options) {
+  assert(detail::t_alloc_tick_hook.fn == nullptr &&
+         "OomFailpoint instances must not nest on one thread");
+  detail::t_alloc_tick_hook.fn = &OomFailpoint::tick;
+  detail::t_alloc_tick_hook.ctx = this;
+}
+
+OomFailpoint::~OomFailpoint() {
+  detail::t_alloc_tick_hook = detail::AllocTickHook{};
+}
+
+void OomFailpoint::tick(void* self, std::int64_t bytes) {
+  OomFailpoint& fp = *static_cast<OomFailpoint*>(self);
+  ++fp.sites_seen_;
+  fp.bytes_seen_ += bytes;
+  if (fp.failures_injected_ >= fp.options_.max_failures) return;
+  const bool site_hit = fp.options_.fail_at_site > 0 &&
+                        fp.sites_seen_ == fp.options_.fail_at_site;
+  const bool bytes_hit = fp.options_.fail_above_bytes > 0 &&
+                         fp.bytes_seen_ > fp.options_.fail_above_bytes;
+  if (site_hit || bytes_hit) {
+    ++fp.failures_injected_;
+    throw std::bad_alloc();
+  }
 }
 
 }  // namespace lera::netflow

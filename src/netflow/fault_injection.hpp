@@ -66,4 +66,52 @@ class FaultInjector {
   std::vector<std::string> log_;
 };
 
+/// Seeded out-of-memory failpoint. While an instance is alive it owns
+/// the calling thread's allocation-tick seam (membudget.hpp): every
+/// coarse solver allocation site (Residual::assign, scratch prepare(),
+/// CSR builds, flow-graph construction) reports its upcoming allocation
+/// here, and the failpoint throws std::bad_alloc at an exact, seeded
+/// site — either the nth site reached or the first site that pushes the
+/// cumulative announced bytes over a threshold. Tests sweep the site
+/// index to prove every allocation-failure path unwinds into a typed
+/// kMemoryExceeded verdict, leak-free and with budgets balanced.
+///
+/// Thread-local by construction: only the installing thread ever fails,
+/// so a failpoint in one test cannot perturb concurrent solves.
+/// Instances must not be nested on one thread.
+class OomFailpoint {
+ public:
+  struct Options {
+    /// Fail the nth alloc_tick site reached (1-based). 0 = off.
+    std::int64_t fail_at_site = 0;
+    /// Fail the first site that pushes cumulative announced bytes over
+    /// this threshold. 0 = off.
+    std::int64_t fail_above_bytes = 0;
+    /// Fire at most this many times (sites past the quota pass).
+    int max_failures = 1;
+  };
+
+  explicit OomFailpoint(Options options);
+  ~OomFailpoint();
+
+  OomFailpoint(const OomFailpoint&) = delete;
+  OomFailpoint& operator=(const OomFailpoint&) = delete;
+
+  /// Allocation sites observed so far (a dry run with both triggers off
+  /// counts the sites a given solve visits; a sweep then targets each).
+  std::int64_t sites_seen() const { return sites_seen_; }
+  /// Cumulative bytes announced by the observed sites.
+  std::int64_t bytes_seen() const { return bytes_seen_; }
+  /// Number of std::bad_alloc throws delivered.
+  int failures_injected() const { return failures_injected_; }
+
+ private:
+  static void tick(void* self, std::int64_t bytes);
+
+  Options options_;
+  std::int64_t sites_seen_ = 0;
+  std::int64_t bytes_seen_ = 0;
+  int failures_injected_ = 0;
+};
+
 }  // namespace lera::netflow

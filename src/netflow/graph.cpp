@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "netflow/membudget.hpp"
+
 namespace lera::netflow {
 
 namespace {
@@ -94,6 +96,8 @@ void Graph::ensure_adjacency() const {
   if (adjacency_valid_) return;
   const auto n = static_cast<std::size_t>(num_nodes());
   const auto m = static_cast<std::size_t>(num_arcs());
+  detail::alloc_tick(
+      static_cast<std::int64_t>((2 * (n + 1) + 4 * m) * sizeof(ArcId)));
   // Two-pass counting build: degree histogram, prefix sums, then a fill
   // pass in arc order so each node's ids keep insertion order.
   first_out_.assign(n + 1, 0);
@@ -123,6 +127,21 @@ void Graph::ensure_adjacency() const {
   overflow_in_.clear();
   overflow_arcs_ = 0;
   adjacency_valid_ = true;
+}
+
+std::int64_t Graph::footprint_bytes() const {
+  std::int64_t bytes = static_cast<std::int64_t>(
+      arcs_.capacity() * sizeof(Arc) + supply_.capacity() * sizeof(Flow) +
+      (first_out_.capacity() + out_ids_.capacity() + first_in_.capacity() +
+       in_ids_.capacity()) *
+          sizeof(ArcId));
+  for (const std::vector<ArcId>& v : overflow_out_) {
+    bytes += static_cast<std::int64_t>(v.capacity() * sizeof(ArcId));
+  }
+  for (const std::vector<ArcId>& v : overflow_in_) {
+    bytes += static_cast<std::int64_t>(v.capacity() * sizeof(ArcId));
+  }
+  return bytes;
 }
 
 Graph::ArcRange Graph::out_arcs(NodeId v) const {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <iterator>
 #include <string>
 #include <vector>
@@ -186,6 +187,10 @@ class Graph {
   ArcRange out_arcs(NodeId v) const;
   /// Incoming arc ids of \p v in insertion order (see out_arcs).
   ArcRange in_arcs(NodeId v) const;
+
+  /// Bytes the instance currently retains: arc/supply storage plus the
+  /// CSR adjacency cache (overflow lists counted by capacity).
+  std::int64_t footprint_bytes() const;
 
  private:
   void ensure_adjacency() const;

@@ -52,6 +52,16 @@ class NetworkSimplex {
     const auto total_arcs =
         static_cast<std::size_t>(orig_arcs_) + static_cast<std::size_t>(n);
 
+    // Announce the dominant allocation (arc SoA + node arrays) to the
+    // budget/failpoint seam before any reserve can actually allocate.
+    detail::alloc_tick(
+        static_cast<std::int64_t>(total_arcs) *
+            static_cast<std::int64_t>(2 * sizeof(NodeId) + 2 * sizeof(Flow) +
+                                      sizeof(Cost) + sizeof(signed char)) +
+        static_cast<std::int64_t>(num_nodes_) *
+            static_cast<std::int64_t>(5 * sizeof(NodeId) + sizeof(ArcId) +
+                                      sizeof(Cost)));
+
     s_.tail.clear();
     s_.head.clear();
     s_.cap.clear();

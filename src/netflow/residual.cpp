@@ -1,5 +1,7 @@
 #include "netflow/residual.hpp"
 
+#include "netflow/membudget.hpp"
+
 namespace lera::netflow {
 
 void Residual::assign(const Graph& g) {
@@ -9,6 +11,10 @@ void Residual::assign(const Graph& g) {
   const auto n = static_cast<std::size_t>(num_nodes_);
   const auto m = static_cast<std::size_t>(g.num_arcs());
 
+  // The residual is the largest single allocation on the solve path;
+  // announce it to the failpoint seam before committing.
+  detail::alloc_tick(static_cast<std::int64_t>(
+      m * 2 * sizeof(Edge) + (n + 1 + m * 2 + n) * sizeof(int)));
   edges_.clear();
   edges_.reserve(m * 2);
   // Degree histogram -> prefix sums -> fill pass in arc order. Each

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "netflow/graph.hpp"
@@ -97,6 +98,15 @@ class Residual {
 
   /// Extracts per-arc flows for a FlowSolution.
   std::vector<Flow> arc_flows() const;
+
+  /// Bytes the residual currently retains (capacities, not sizes).
+  std::int64_t footprint_bytes() const {
+    return static_cast<std::int64_t>(edges_.capacity() * sizeof(Edge) +
+                                     (first_out_.capacity() +
+                                      out_ids_.capacity() +
+                                      cursor_.capacity()) *
+                                         sizeof(int));
+  }
 
  private:
   NodeId num_nodes_ = 0;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <new>
 #include <sstream>
 #include <thread>
 
@@ -270,11 +271,24 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
     return finish(bad);
   }
 
-  // Timed wrapper for the certification checks.
+  // Timed wrapper for the certification checks. Certification builds
+  // its own residual / adjacency structures, so it can hit allocation
+  // failure like any solver; that is not a corrupted answer, and
+  // certify_oom lets callers route it down the memory path instead of
+  // the transient-fault retry path.
+  bool certify_oom = false;
   auto certify_timed = [&](const FlowSolution& sol, CertifyLevel level,
                            std::string& why) {
     const auto t_cert = std::chrono::steady_clock::now();
-    const bool ok = certify_answer(g, sol, level, why);
+    certify_oom = false;
+    bool ok = false;
+    try {
+      ok = certify_answer(g, sol, level, why);
+    } catch (const std::bad_alloc&) {
+      why = "certification: allocation failed (out of memory)";
+      certify_oom = true;
+      diag.memory_hit = true;
+    }
     ws->counters.certify_ns += ns_since(t_cert);
     return ok;
   };
@@ -285,6 +299,33 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
   const std::vector<SolverKind> chain =
       effective_chain(g, options, diag, *ws);
 
+  // Memory budgeting: each attempt pre-charges its backend's predicted
+  // footprint; a denial skips that backend (kMemoryExceeded attempt)
+  // and falls through the chain like any other per-attempt failure.
+  const bool budgeted = options.memory_budget.valid();
+  const InstanceShape mem_shape = budgeted ? measure_shape(g) : InstanceShape{};
+  MemoryBudget mem_budget = options.memory_budget;
+  /// Charges \p kind's predicted bytes; returns an un-ok() charge (and
+  /// records the denial) when the budget refuses.
+  auto charge_attempt = [&](SolverKind kind) {
+    BudgetCharge charge;
+    if (budgeted) {
+      const std::int64_t want = estimate_solver_bytes(mem_shape, kind);
+      diag.memory_estimated_bytes =
+          std::max(diag.memory_estimated_bytes, want);
+      charge = BudgetCharge(mem_budget, want);
+      if (charge.ok()) {
+        ws->counters.mem_charged_bytes += want;
+        ws->counters.mem_peak_bytes =
+            std::max(ws->counters.mem_peak_bytes, mem_budget.used());
+      } else {
+        diag.memory_hit = true;
+        ++ws->counters.mem_denials;
+      }
+    }
+    return charge;
+  };
+
   // Warm start: when the cache holds a prior optimal flow for this very
   // topology, repair it for the new costs/capacities instead of solving
   // cold. The warm answer is always certified (at least kFeasible) so a
@@ -293,7 +334,12 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
   if (options.warm_cache != nullptr && options.warm_cache->matches(g)) {
     diag.warm_start_attempted = true;
     const double remaining = remaining_budget();
-    if (remaining > 0) {
+    // The warm resolve runs the SSP machinery; budget it like an SSP
+    // attempt. A denial just skips the warm path — the cold chain may
+    // still find a backend that fits.
+    const BudgetCharge warm_charge =
+        charge_attempt(SolverKind::kSuccessiveShortestPaths);
+    if (remaining > 0 && !(budgeted && !warm_charge.ok())) {
       SolveGuard guard;
       guard.max_iterations = options.max_iterations_per_solver;
       guard.cancel = options.cancel;
@@ -303,7 +349,14 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
       guard.start();
       const double t_attempt = elapsed();
       const auto t_solve = std::chrono::steady_clock::now();
-      FlowSolution sol = resolve_warm(g, *options.warm_cache, &guard, ws);
+      FlowSolution sol;
+      try {
+        sol = resolve_warm(g, *options.warm_cache, &guard, ws);
+      } catch (const std::bad_alloc&) {
+        sol.status = SolveStatus::kMemoryExceeded;
+        sol.message = "warm-start: allocation failed (out of memory)";
+        diag.memory_hit = true;
+      }
       ws->counters.solve_ns += ns_since(t_solve);
       if (sol.status == SolveStatus::kOptimal && options.post_solve_hook) {
         options.post_solve_hook(g, sol);
@@ -402,6 +455,20 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
         guard.max_seconds = remaining;
       }
 
+      const BudgetCharge mem_charge = charge_attempt(kind);
+      if (budgeted && !mem_charge.ok()) {
+        SolveAttempt denied;
+        denied.solver = kind;
+        denied.status = SolveStatus::kMemoryExceeded;
+        denied.retry = retry;
+        denied.note = "memory budget refused predicted footprint (" +
+                      std::to_string(estimate_solver_bytes(mem_shape, kind)) +
+                      " bytes)";
+        diag.attempts.push_back(denied);
+        next_solver = true;
+        break;
+      }
+
       const double t_attempt = elapsed();
       const auto t_solve = std::chrono::steady_clock::now();
       FlowSolution sol = solve(g, kind, &guard, ws);
@@ -445,6 +512,15 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
             return finish(sol);
           }
           attempt.note = "certification failed: " + why;
+          if (certify_oom) {
+            // Out of memory while *checking* the answer, not a
+            // corrupted answer: a typed memory attempt, the next
+            // backend gets its turn, and the breaker stays out of it.
+            attempt.status = SolveStatus::kMemoryExceeded;
+            diag.attempts.push_back(attempt);
+            next_solver = true;
+            break;
+          }
           diag.attempts.push_back(attempt);
           uncertified = std::move(sol);
           have_uncertified = true;
@@ -494,6 +570,16 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
           diag.attempts.push_back(attempt);
           return cancelled_verdict();
         }
+        case SolveStatus::kMemoryExceeded: {
+          // A std::bad_alloc escaped the solver and was mapped at the
+          // solve() boundary; fall through the chain — a cheaper
+          // backend may still fit.
+          diag.memory_hit = true;
+          attempt.note = sol.message;
+          diag.attempts.push_back(attempt);
+          next_solver = true;
+          break;
+        }
         case SolveStatus::kBadInstance:
         case SolveStatus::kUncertified: {
           // Unreachable after validate_instance, but fail loud, not wrong.
@@ -534,6 +620,17 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
     FlowSolution out;
     out.status = SolveStatus::kBudgetExceeded;
     out.message = "iteration/time budget exhausted across " +
+                  std::to_string(diag.attempts.size()) + " attempt(s)";
+    diag.message = out.message;
+    return finish(out);
+  }
+  if (diag.memory_hit) {
+    // Every attempt ended in a budget denial or a real allocation
+    // failure: the typed memory verdict, mirroring the deadline path so
+    // callers (allocator, engine, server) can degrade gracefully.
+    FlowSolution out;
+    out.status = SolveStatus::kMemoryExceeded;
+    out.message = "memory budget exhausted across " +
                   std::to_string(diag.attempts.size()) + " attempt(s)";
     diag.message = out.message;
     return finish(out);

@@ -9,6 +9,7 @@
 
 #include "netflow/cancel.hpp"
 #include "netflow/graph.hpp"
+#include "netflow/membudget.hpp"
 #include "netflow/solution.hpp"
 #include "netflow/workspace.hpp"
 
@@ -130,6 +131,16 @@ struct SolveOptions {
   double retry_backoff_seconds = 0;
   /// Seed of the backoff jitter (splitmix64; deterministic per solve).
   std::uint64_t retry_seed = 1;
+  /// Optional memory budget (membudget.hpp). Before each solver attempt
+  /// the predicted footprint of that backend on this instance
+  /// (estimate_solver_bytes) is charged against the budget; a refusal
+  /// skips the attempt with a kMemoryExceeded verdict and falls through
+  /// the chain exactly like a budget trip, so a cheaper backend can
+  /// still answer. The charge is released when the attempt ends — the
+  /// budget's used() returns to its pre-solve value on every path. A
+  /// default-constructed (invalid) budget is inert. An std::bad_alloc
+  /// escaping a solver is also mapped to kMemoryExceeded here.
+  MemoryBudget memory_budget;
   /// Optional shared circuit breaker consulted per chain entry; open
   /// solvers are skipped (recorded in SolveDiagnostics::breaker_skips)
   /// and certification outcomes are reported back to it. The breaker
@@ -208,6 +219,12 @@ struct SolveDiagnostics {
   /// The wall clock — max_seconds_total or the deadline, not the
   /// iteration cap — ended the solve.
   bool deadline_hit = false;
+  /// A MemoryBudget denial or a caught std::bad_alloc ended at least one
+  /// attempt (see SolveOptions::memory_budget).
+  bool memory_hit = false;
+  /// Predicted peak footprint charged per attempt, in bytes (largest
+  /// over the attempts; 0 when no budget was configured).
+  std::int64_t memory_estimated_bytes = 0;
   /// Solvers skipped because their circuit breaker was open, as display
   /// names, in chain order.
   std::vector<std::string> breaker_skips;

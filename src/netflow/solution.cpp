@@ -21,6 +21,8 @@ std::string to_string(SolveStatus status) {
       return "uncertified";
     case SolveStatus::kCancelled:
       return "cancelled";
+    case SolveStatus::kMemoryExceeded:
+      return "memory-exceeded";
   }
   return "unknown";
 }
@@ -111,10 +113,37 @@ FlowSolution cancelled_solution(SolverKind kind) {
   return out;
 }
 
+/// The typed allocation-failure verdict: a std::bad_alloc that escaped
+/// a solver run (real OOM or an injected failpoint) becomes a status,
+/// never a crash.
+FlowSolution memory_exceeded_solution(SolverKind kind) {
+  FlowSolution out;
+  out.status = SolveStatus::kMemoryExceeded;
+  out.message = to_string(kind) + ": allocation failed (out of memory)";
+  return out;
+}
+
+FlowSolution solve_impl(const Graph& g, SolverKind kind, SolveGuard* guard,
+                        SolverWorkspace* ws);
+
 }  // namespace
 
 FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard,
                    SolverWorkspace* ws) {
+  try {
+    return solve_impl(g, kind, guard, ws);
+  } catch (const std::bad_alloc&) {
+    // The workspace may hold partially grown scratch; that is fine —
+    // it is validity-stamped/re-prepared per solve and still released
+    // by its owner. Nothing else escaped the failed run.
+    return memory_exceeded_solution(kind);
+  }
+}
+
+namespace {
+
+FlowSolution solve_impl(const Graph& g, SolverKind kind, SolveGuard* guard,
+                        SolverWorkspace* ws) {
   if (g.total_supply() != 0) {
     FlowSolution bad;
     bad.status = SolveStatus::kBadInstance;
@@ -169,6 +198,8 @@ FlowSolution solve(const Graph& g, SolverKind kind, SolveGuard* guard,
   sol.cost += red.fixed_cost;
   return sol;
 }
+
+}  // namespace
 
 FlowSolution solve_st_flow(const Graph& g, NodeId s, NodeId t, Flow value,
                            SolverKind kind, SolveGuard* guard,

@@ -32,6 +32,10 @@ enum class SolveStatus {
                     ///< request (session cancel, engine shutdown); the
                     ///< run wound down cooperatively, nothing is wrong
                     ///< with the instance or the solver.
+  kMemoryExceeded,  ///< A MemoryBudget refused the solve's predicted
+                    ///< footprint, or an allocation actually failed
+                    ///< (std::bad_alloc caught at the solve boundary);
+                    ///< either way a typed verdict, never a crash.
 };
 
 /// Human-readable name of a status, for logs and test messages.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "netflow/membudget.hpp"
 #include "netflow/residual.hpp"
 #include "netflow/types.hpp"
 
@@ -24,6 +25,17 @@
 /// keeps a bank of workspaces and leases one per in-flight solve.
 
 namespace lera::netflow {
+
+namespace detail {
+
+/// Capacity (not size) of a vector in bytes — what the arena actually
+/// holds onto between solves.
+template <typename T>
+std::int64_t vec_bytes(const std::vector<T>& v) {
+  return static_cast<std::int64_t>(v.capacity() * sizeof(T));
+}
+
+}  // namespace detail
 
 /// Monotonic performance counters accumulated by the solvers that run
 /// through a workspace. Aggregatable: add() folds one counter set into
@@ -47,6 +59,11 @@ struct PerfCounters {
   std::int64_t validate_ns = 0;  ///< Instance validation wall time.
   std::int64_t solve_ns = 0;     ///< Solver-proper wall time.
   std::int64_t certify_ns = 0;   ///< Certification wall time.
+  std::int64_t mem_charged_bytes = 0;  ///< Bytes charged to memory budgets
+                                       ///< (cumulative across solves).
+  std::int64_t mem_denials = 0;  ///< Solve attempts refused by a budget.
+  std::int64_t mem_peak_bytes = 0;  ///< High-water budget bytes observed
+                                    ///< (merged with max, not summed).
 
   void reset() { *this = PerfCounters{}; }
 
@@ -68,6 +85,10 @@ struct PerfCounters {
     validate_ns += o.validate_ns;
     solve_ns += o.solve_ns;
     certify_ns += o.certify_ns;
+    mem_charged_bytes += o.mem_charged_bytes;
+    mem_denials += o.mem_denials;
+    mem_peak_bytes = mem_peak_bytes > o.mem_peak_bytes ? mem_peak_bytes
+                                                       : o.mem_peak_bytes;
   }
 
   /// Counter values accumulated since \p base (field-wise this - base).
@@ -90,6 +111,10 @@ struct PerfCounters {
     d.validate_ns = validate_ns - base.validate_ns;
     d.solve_ns = solve_ns - base.solve_ns;
     d.certify_ns = certify_ns - base.certify_ns;
+    d.mem_charged_bytes = mem_charged_bytes - base.mem_charged_bytes;
+    d.mem_denials = mem_denials - base.mem_denials;
+    // A high-water mark has no meaningful delta; carry the current one.
+    d.mem_peak_bytes = mem_peak_bytes;
     return d;
   }
 
@@ -119,6 +144,9 @@ struct PerfCounters {
     field("validate_ns", validate_ns);
     field("solve_ns", solve_ns);
     field("certify_ns", certify_ns);
+    field("mem_charged_bytes", mem_charged_bytes);
+    field("mem_denials", mem_denials);
+    field("mem_peak_bytes", mem_peak_bytes);
     return out;
   }
 };
@@ -163,10 +191,19 @@ struct SspScratch {
   /// Sizes the stamped arrays for an n-node instance.
   void prepare(NodeId n) {
     const auto un = static_cast<std::size_t>(n);
+    detail::alloc_tick(static_cast<std::int64_t>(un * sizeof(NodeState)));
     if (node.size() < un) {
       node.resize(un, NodeState{0, -1, kNotInHeap, 0});
     }
     heap.clear();
+  }
+
+  /// Bytes this scratch currently retains.
+  std::int64_t footprint_bytes() const {
+    return detail::vec_bytes(node) + detail::vec_bytes(pi) +
+           detail::vec_bytes(excess) + detail::vec_bytes(heap) +
+           detail::vec_bytes(sinks) + detail::vec_bytes(indegree) +
+           detail::vec_bytes(order);
   }
 
   /// Starts a fresh Dijkstra round, invalidating all stamped entries.
@@ -216,6 +253,19 @@ struct SimplexScratch {
   // Candidate-list pivot rule: violating arcs collected by the major
   // block scan, consumed by minor iterations.
   std::vector<ArcId> candidates;
+
+  /// Bytes this scratch currently retains.
+  std::int64_t footprint_bytes() const {
+    return detail::vec_bytes(tail) + detail::vec_bytes(head) +
+           detail::vec_bytes(cap) + detail::vec_bytes(cost) +
+           detail::vec_bytes(flow) + detail::vec_bytes(state) +
+           detail::vec_bytes(parent) + detail::vec_bytes(pred_arc) +
+           detail::vec_bytes(depth) + detail::vec_bytes(pi) +
+           detail::vec_bytes(child_first) + detail::vec_bytes(child_next) +
+           detail::vec_bytes(child_prev) + detail::vec_bytes(stack) +
+           detail::vec_bytes(cycle_arc) + detail::vec_bytes(cycle_dir) +
+           detail::vec_bytes(cycle_below) + detail::vec_bytes(candidates);
+  }
 };
 
 /// Cost-scaling scratch: scaled costs, potentials, excesses, the FIFO
@@ -234,6 +284,11 @@ struct CostScalingScratch {
 
   void prepare(NodeId n, std::int64_t num_edges) {
     const auto un = static_cast<std::size_t>(n);
+    detail::alloc_tick(
+        static_cast<std::int64_t>(num_edges) *
+            static_cast<std::int64_t>(sizeof(Cost)) +
+        static_cast<std::int64_t>(un) * (2 * sizeof(Cost) + sizeof(Flow) +
+                                         sizeof(std::int32_t) + 1));
     scaled_cost.resize(static_cast<std::size_t>(num_edges));
     pi.assign(un, 0);
     excess.assign(un, 0);
@@ -243,6 +298,14 @@ struct CostScalingScratch {
     active.clear();
     path.clear();
   }
+
+  /// Bytes this scratch currently retains.
+  std::int64_t footprint_bytes() const {
+    return detail::vec_bytes(scaled_cost) + detail::vec_bytes(pi) +
+           detail::vec_bytes(excess) + detail::vec_bytes(current) +
+           detail::vec_bytes(active) + detail::vec_bytes(in_queue) +
+           detail::vec_bytes(path) + detail::vec_bytes(refine_dist);
+  }
 };
 
 /// Cycle-canceling scratch: the Bellman-Ford distance/parent arrays and
@@ -251,6 +314,12 @@ struct CycleCancelScratch {
   std::vector<Cost> dist;
   std::vector<std::int32_t> parent;
   std::vector<std::int32_t> cycle;
+
+  /// Bytes this scratch currently retains.
+  std::int64_t footprint_bytes() const {
+    return detail::vec_bytes(dist) + detail::vec_bytes(parent) +
+           detail::vec_bytes(cycle);
+  }
 };
 
 /// One arena per sequential solve stream. See file comment for the
@@ -265,6 +334,16 @@ struct SolverWorkspace {
   /// True once any solve has run through this arena (used to count
   /// workspace_reuse_hits).
   bool used = false;
+
+  /// Total bytes the arena currently retains across the residual and
+  /// every backend's scratch — the measured side of the footprint
+  /// estimator (membudget.hpp) and what the Engine's ContextBank
+  /// charges for a pooled workspace.
+  std::int64_t footprint_bytes() const {
+    return residual.footprint_bytes() + ssp.footprint_bytes() +
+           simplex.footprint_bytes() + cost_scaling.footprint_bytes() +
+           cycle_cancel.footprint_bytes();
+  }
 };
 
 }  // namespace lera::netflow

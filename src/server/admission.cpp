@@ -20,6 +20,8 @@ std::string to_string(RejectReason reason) {
       return "bad_request";
     case RejectReason::kDraining:
       return "draining";
+    case RejectReason::kMemoryInfeasible:
+      return "memory_infeasible";
   }
   return "unknown";
 }

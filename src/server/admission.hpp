@@ -36,12 +36,15 @@ enum class RejectReason {
   kBadFrame,            ///< Garbage/truncated framing.
   kBadRequest,          ///< Frame fine, .lt payload failed to parse.
   kDraining,            ///< Server is shutting down gracefully.
+  kMemoryInfeasible,    ///< Predicted solve footprint exceeds the memory
+                        ///< cap (or current headroom); solving it would
+                        ///< be refused anyway, so shed before enqueue.
 };
 
 std::string to_string(RejectReason reason);
 
 /// Number of RejectReason values (metrics arrays are indexed by it).
-inline constexpr int kNumRejectReasons = 7;
+inline constexpr int kNumRejectReasons = 8;
 
 struct AdmissionOptions {
   /// Global bound on admitted-but-not-finished requests. <= 0 admits

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "alloc/flow_graph.hpp"
 #include "workloads/problem_io.hpp"
 
 namespace lera::server {
@@ -120,6 +121,10 @@ HealthStatus Server::health() const {
   h.estimated_queue_wait_ms = admission_.estimated_queue_wait_ms();
   h.queue_p95_ms = s.queue_wait.p95_ms;
   h.shed_total = s.rejected_total;
+  const netflow::MemoryBudget budget = engine_->memory_budget();
+  h.memory_bytes_in_use = budget.used();
+  h.memory_peak_bytes = budget.peak();
+  h.memory_cap_bytes = options_.engine.max_bytes_total;
   return h;
 }
 
@@ -147,12 +152,32 @@ void Server::handle_solve(Conn& conn, Frame frame, const std::string& id) {
       entry.ready_text =
           reject_line(id, RejectReason::kBadRequest, parsed.error);
     } else {
-      entry.session.emplace(engine_->open_session());
-      entry.tenant = tenant;
-      entry.admitted_at = Clock::now();
-      entry.ticket = entry.session->submit(
-          std::move(*parsed.problem),
-          frame.deadline_ms > 0 ? frame.deadline_ms / 1000.0 : 0.0);
+      // Footprint-based admission: a request whose predicted solve
+      // footprint exceeds the configured memory cap would only be
+      // refused by the budget (or degraded) after burning a queue
+      // slot, so shed it now with a typed reason instead.
+      std::int64_t cap = options_.engine.max_bytes_per_solve;
+      const std::int64_t total = options_.engine.max_bytes_total;
+      if (total > 0 && (cap == 0 || total < cap)) cap = total;
+      const std::int64_t predicted =
+          cap > 0 ? alloc::estimate_problem_footprint(*parsed.problem)
+                  : 0;
+      if (cap > 0 && predicted > cap) {
+        admission_.release(tenant);
+        metrics_.on_reject(RejectReason::kMemoryInfeasible);
+        entry.ready_text = reject_line(
+            id, RejectReason::kMemoryInfeasible,
+            "predicted solve footprint of " + std::to_string(predicted) +
+                " bytes exceeds the " + std::to_string(cap) +
+                "-byte memory cap");
+      } else {
+        entry.session.emplace(engine_->open_session());
+        entry.tenant = tenant;
+        entry.admitted_at = Clock::now();
+        entry.ticket = entry.session->submit(
+            std::move(*parsed.problem),
+            frame.deadline_ms > 0 ? frame.deadline_ms / 1000.0 : 0.0);
+      }
     }
   }
   {
@@ -188,13 +213,23 @@ void Server::handle_event(Conn& conn, FrameEvent event) {
         os << "LERA_HEALTH " << id << " status=" << h.status_word()
            << " in_flight=" << h.in_flight << " est_queue_wait_ms="
            << h.estimated_queue_wait_ms << " queue_p95_ms="
-           << h.queue_p95_ms << " shed=" << h.shed_total << "\n";
+           << h.queue_p95_ms << " shed=" << h.shed_total
+           << " mem_bytes=" << h.memory_bytes_in_use
+           << " mem_peak_bytes=" << h.memory_peak_bytes
+           << " mem_cap_bytes=" << h.memory_cap_bytes << "\n";
         ready = os.str();
         break;
       }
       case FrameVerb::kStats: {
+        const netflow::MemoryBudget budget = engine_->memory_budget();
         std::ostringstream os;
         metrics_.emit_metric_lines(os);
+        os << "LERA_METRIC server_memory_bytes_in_use " << budget.used()
+           << "\n"
+           << "LERA_METRIC server_memory_peak_bytes " << budget.peak()
+           << "\n"
+           << "LERA_METRIC server_memory_denials " << budget.denials()
+           << "\n";
         os << "LERA_STATS_END " << id << "\n";
         ready = os.str();
         break;

@@ -31,7 +31,8 @@
 ///   LERA_REJECT <id> reason=<r> detail=...   (shed before solving)
 ///
 /// with reasons queue_full | tenant_quota | deadline_infeasible |
-/// frame_too_large | bad_frame | bad_request | draining. Control verbs
+/// frame_too_large | bad_frame | bad_request | draining |
+/// memory_infeasible. Control verbs
 /// HEALTH / STATS / PING answer inline; DRAIN (or begin_drain(), wired
 /// to SIGTERM by the binary) stops admissions, finishes or cancels
 /// in-flight work within the grace budget, flushes every response, and
@@ -68,6 +69,12 @@ struct HealthStatus {
   double estimated_queue_wait_ms = 0;
   double queue_p95_ms = 0;
   std::int64_t shed_total = 0;
+  /// Engine memory-budget observability (engine.hpp). Bytes currently
+  /// charged against the engine's budget, the high-water mark, and the
+  /// configured total cap (0 = track-only, never sheds).
+  std::int64_t memory_bytes_in_use = 0;
+  std::int64_t memory_peak_bytes = 0;
+  std::int64_t memory_cap_bytes = 0;
 
   std::string status_word() const {
     return draining ? "draining" : overloaded ? "overloaded" : "ok";

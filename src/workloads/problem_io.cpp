@@ -23,6 +23,25 @@ std::vector<std::string> split_words(const std::string& line) {
   return words;
 }
 
+/// Hostile-count ceiling: no instance this library can solve needs more
+/// steps than this, and downstream stages do work proportional to the
+/// declared count (access-period segment splitting walks every step a
+/// lifetime spans), so an unbounded header is a denial-of-service lever.
+constexpr long long kMaxDeclaredSteps = 1 << 22;
+
+/// A real file describing S steps carries variables whose write/read
+/// times reference them — bytes roughly proportional to S. Bound the
+/// declared count by the bytes available to justify it so a 30-byte
+/// header cannot declare billions of steps; generously loose (64x, with
+/// a floor for tiny hand-written cases) so no legitimate sparse
+/// instance is ever refused.
+long long max_plausible_steps(std::size_t input_bytes) {
+  return std::min<long long>(
+      kMaxDeclaredSteps,
+      std::max<long long>(4096,
+                          64 * static_cast<long long>(input_bytes)));
+}
+
 }  // namespace
 
 ProblemParseResult parse_problem(const std::string& text,
@@ -58,6 +77,13 @@ ProblemParseResult parse_problem(const std::string& text,
         steps = std::stoi(w[1]);
         if (steps < 1) {
           return fail(line_no, "'steps' must be at least 1");
+        }
+        if (steps > max_plausible_steps(text.size())) {
+          return fail(line_no,
+                      "declared step count " + w[1] +
+                          " is implausibly large for " +
+                          std::to_string(text.size()) +
+                          " bytes of input");
         }
       } else if (w[0] == "registers" && w.size() == 2) {
         registers = std::stoi(w[1]);

@@ -136,6 +136,14 @@ TEST(FuzzPipeline, MalformedProblemCorpusFailsStructured) {
       "steps 4\nvar a write 0 reads 1\ninitial ghost 0.5",  // Unknown var.
       "steps 4\nfrobnicate 1",                         // Unknown directive.
       "var a write 0 reads 1",                         // Missing steps.
+      // Adversarial headers: counts far beyond what the input's bytes
+      // could describe must be refused before any step-proportional
+      // work, not allocated/walked to death.
+      "steps 2000000000",                              // Hostile step count.
+      "steps 100000000\nregisters 1\n"
+      "var a write 0 reads 1 liveout",                 // Hostile + liveout.
+      "steps 50000000\naccess period 2\n"
+      "var a write 0 reads 1 liveout",                 // Hostile + splitting.
   };
   const energy::EnergyParams params;
   for (const char* text : corpus) {

@@ -105,6 +105,31 @@ TEST(ProblemIo, Errors) {
   EXPECT_NE(r.error.find("line 1"), std::string::npos);
 }
 
+// A hostile header may declare step counts no input of its size could
+// plausibly describe; downstream segment splitting walks declared step
+// ranges, so these must be rejected at parse time, before any
+// step-proportional allocation or work.
+TEST(ProblemIo, RejectsImplausiblyLargeDeclaredSteps) {
+  const ProblemParseResult hostile = parse_problem(
+      "steps 2000000000\nregisters 1\nvar a write 0 reads 1 liveout");
+  EXPECT_FALSE(hostile.ok());
+  EXPECT_NE(hostile.error.find("implausibly large"), std::string::npos)
+      << hostile.error;
+
+  // The worst case pairs a huge range with access-period splitting,
+  // which cuts at every allowed step a lifetime spans.
+  const ProblemParseResult splitting = parse_problem(
+      "steps 1000000000\nregisters 1\naccess period 2\n"
+      "var a write 0 reads 1 liveout");
+  EXPECT_FALSE(splitting.ok());
+
+  // Legitimate sparse instances stay well inside the bound: a few
+  // thousand steps from a small file parses fine.
+  const ProblemParseResult sparse = parse_problem(
+      "steps 4000\nregisters 1\nvar a write 1 reads 3999");
+  EXPECT_TRUE(sparse.ok()) << sparse.error;
+}
+
 TEST(ProblemIo, RoundTrip) {
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     RandomLifetimeOptions lopts;
