@@ -16,7 +16,19 @@
 //                  disconnects mid-request, and deadline storms, each
 //                  ending in a graceful drain. Every admitted request
 //                  must land in exactly one terminal state.
-//   4. footprint — memory-predictor calibration: per request class,
+//   4. crash-chaos — N seeded runs against the isolated-worker mode
+//                  (--workers 2): every third solve is killed inside
+//                  the worker by a seeded CrashFailpoint (SIGSEGV /
+//                  SIGKILL / abort / _exit), one live worker is
+//                  kill -9'd externally mid-run, and a poison payload
+//                  is submitted three times. The daemon must survive
+//                  it all: every request gets exactly one typed
+//                  verdict, the poison fingerprint is quarantined
+//                  after the threshold, its crash-corpus reproducer is
+//                  byte-identical and parseable, and the accounting
+//                  identity holds. Skipped under TSan (fork from a
+//                  threaded process is unsupported there).
+//   5. footprint — memory-predictor calibration: per request class,
 //                  the admission-time predicted footprint
 //                  (alloc::estimate_problem_footprint) vs the engine
 //                  budget's measured peak, as an error ratio. The
@@ -29,14 +41,17 @@
 // BENCH_server.json artifact. Exit 0 when every contract held, 1
 // otherwise.
 //
-//   ./build/bench/bench_server [--smoke] [--chaos-seeds N] [--out FILE]
+//   ./build/bench/bench_server [--smoke] [--chaos-seeds N]
+//                              [--crash-seeds N] [--out FILE]
 //
 // --smoke shrinks every phase for CI.
 
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -48,6 +63,17 @@
 #include <vector>
 
 #include <sys/resource.h>
+
+// fork() from a process with running threads is unsupported under TSan;
+// the crash-chaos phase must skip itself there rather than hang.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LERA_BENCH_UNDER_TSAN 1
+#endif
+#endif
+#if !defined(LERA_BENCH_UNDER_TSAN) && defined(__SANITIZE_THREAD__)
+#define LERA_BENCH_UNDER_TSAN 1
+#endif
 
 #include "alloc/flow_graph.hpp"
 #include "netflow/fault_injection.hpp"
@@ -470,7 +496,143 @@ bool run_chaos_seed(std::uint64_t seed, PhaseReport& agg) {
   return accounting_holds(server);
 }
 
-// --- Phase 4: memory footprint calibration ------------------------------
+// --- Phase 4: crash-chaos against the isolated-worker mode --------------
+
+/// Supervisor-level counters and contract checks aggregated across the
+/// crash-chaos seeds.
+struct CrashChaosTotals {
+  std::int64_t worker_crashes = 0;
+  std::int64_t worker_restarts = 0;
+  std::int64_t hung_kills = 0;
+  std::int64_t quarantined_fingerprints = 0;
+  std::int64_t quarantine_rejects = 0;
+  std::int64_t corpus_files = 0;
+  int accounting_failures = 0;
+  int quarantine_misses = 0;  ///< Seeds where the 3rd poison send ran.
+  int corpus_mismatches = 0;  ///< Reproducer missing / not byte-identical.
+};
+
+/// One crash-chaos run. Mixed load with every ~3rd solve dying inside
+/// the worker, an external kill -9 of a live worker mid-run, then a
+/// sequential poison drill (same payload three times: crash, crash,
+/// quarantine) whose corpus reproducer is checked byte-for-byte.
+void run_crash_chaos_seed(std::uint64_t seed,
+                          const std::string& corpus_root,
+                          PhaseReport& agg, CrashChaosTotals& totals) {
+  namespace fs = std::filesystem;
+  const std::string crash_dir =
+      corpus_root + "/seed" + std::to_string(seed);
+
+  ServerOptions opts = base_options();
+  opts.drain_grace_seconds = 1.0;
+  opts.isolation.workers = 2;
+  opts.isolation.crash_dir = crash_dir;
+  opts.isolation.poison_threshold = 2;
+  opts.isolation.restart_backoff_seconds = 0.005;
+  opts.isolation.restart_backoff_cap_seconds = 0.05;
+  opts.isolation.backoff_seed = seed;
+  opts.isolation.hang_grace_seconds = 2.0;
+  opts.isolation.worker.crash.seed = seed;
+  opts.isolation.worker.crash.crash_one_in = 3;
+  opts.isolation.worker.crash.marker = "poisonpill";
+
+  // A valid, parseable .lt carrying the crash marker in a var name: the
+  // corpus reproducer it produces must itself load cleanly.
+  const std::string poison = "steps 6\nregisters 2\nvar poisonpill" +
+                             std::to_string(seed) +
+                             " write 1 reads 4\nvar b write 2 reads 5\n";
+
+  {
+    Server server(opts);
+    Client client(server);
+    std::mt19937_64 rng(seed * 6271 + 3);
+
+    // Mixed load; roughly a third of these die inside the worker.
+    constexpr int kLoad = 10;
+    for (int i = 0; i < kLoad; ++i) {
+      const std::string id = "cx" + std::to_string(i);
+      const std::string payload = (i % 4 == 3) ? make_lt(rng, 20, 30, 3)
+                                               : make_lt(rng, 6, 10, 3);
+      client.send_solve(id, payload, /*deadline_ms=*/20000);
+      if (i == kLoad / 2) {
+        // External chaos: kill -9 a live worker mid-stream. Idle-killed
+        // workers must be replaced transparently; a mid-solve kill must
+        // surface as one typed worker_crashed verdict.
+        const std::vector<int> pids = server.supervisor()->worker_pids();
+        if (!pids.empty()) {
+          ::kill(pids[static_cast<std::size_t>(seed) % pids.size()],
+                 SIGKILL);
+        }
+      }
+    }
+    for (int i = 0; i < kLoad; ++i) {
+      client.wait_for("cx" + std::to_string(i), 60.0);
+    }
+
+    // Poison drill, strictly sequential so the crash counts are
+    // deterministic: crash 1/2, crash 2/2 (quarantines), then the
+    // byte-identical resubmission must be refused without a dispatch.
+    for (int i = 0; i < 3; ++i) {
+      const std::string id = "px" + std::to_string(i);
+      client.send_solve(id, poison);
+      client.wait_for(id, 60.0);
+    }
+    const auto responses = client.responses();
+    const auto p2 = responses.find("px2");
+    const bool quarantined =
+        p2 != responses.end() && p2->second.type == "LERA_REJECT" &&
+        p2->second.rest.find("reason=quarantined") != std::string::npos;
+    if (!quarantined) ++totals.quarantine_misses;
+
+    server.begin_drain();
+    client.finish_sending();
+    client.join();
+
+    const lera::server::SupervisorStats stats =
+        server.supervisor()->stats();
+    totals.worker_crashes += stats.crashes;
+    totals.worker_restarts += stats.restarts;
+    totals.hung_kills += stats.hung_kills;
+    totals.quarantined_fingerprints += stats.quarantined_fingerprints;
+    totals.quarantine_rejects += stats.quarantine_rejects;
+    totals.corpus_files += stats.corpus_files;
+    if (!accounting_holds(server)) ++totals.accounting_failures;
+
+    const PhaseReport r = tally("crash_chaos", client, 0);
+    agg.requests += r.requests;
+    agg.results += r.results;
+    agg.degraded += r.degraded;
+    agg.rejects += r.rejects;
+    agg.timeouts += r.timeouts;
+    agg.cancelled += r.cancelled;
+    agg.errors += r.errors;
+    agg.unanswered += r.unanswered;
+    // Worst per-seed percentile: a conservative "no hidden hang" bound.
+    agg.p50_ms = std::max(agg.p50_ms, r.p50_ms);
+    agg.p95_ms = std::max(agg.p95_ms, r.p95_ms);
+    agg.p99_ms = std::max(agg.p99_ms, r.p99_ms);
+  }
+
+  // Corpus reproducer: byte-identical to the poison payload and
+  // parseable (a triage tool must be able to load it as-is).
+  const std::string repro =
+      crash_dir + "/crash-" +
+      lera::server::fingerprint_hex(
+          lera::server::payload_fingerprint(poison)) +
+      "-1.lt";
+  std::ifstream in(repro, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  const bool corpus_ok =
+      in.good() && bytes.str() == poison &&
+      lera::workloads::parse_problem(bytes.str()).ok();
+  if (!corpus_ok) ++totals.corpus_mismatches;
+
+  std::error_code ec;
+  fs::remove_all(crash_dir, ec);  // Best-effort scratch cleanup.
+}
+
+// --- Phase 5: memory footprint calibration ------------------------------
 
 /// Predicted-vs-actual memory for one request class.
 struct FootprintClass {
@@ -536,6 +698,7 @@ std::int64_t peak_rss_bytes() {
 int main(int argc, char** argv) {
   bool smoke = false;
   int chaos_seeds = 200;
+  int crash_seeds = 200;
   std::string out_path = "BENCH_server.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -543,15 +706,23 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--chaos-seeds" && i + 1 < argc) {
       chaos_seeds = std::stoi(argv[++i]);
+    } else if (arg == "--crash-seeds" && i + 1 < argc) {
+      crash_seeds = std::stoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::cerr << "usage: bench_server [--smoke] [--chaos-seeds N] "
-                   "[--out FILE]\n";
+                   "[--crash-seeds N] [--out FILE]\n";
       return 1;
     }
   }
-  if (smoke) chaos_seeds = std::min(chaos_seeds, 10);
+  if (smoke) {
+    chaos_seeds = std::min(chaos_seeds, 10);
+    crash_seeds = std::min(crash_seeds, 8);
+  }
+#ifdef LERA_BENCH_UNDER_TSAN
+  crash_seeds = 0;  // fork() from threaded process: unsupported there.
+#endif
 
   const PhaseReport capacity = run_capacity(smoke ? 30 : 150);
   emit(capacity);
@@ -575,6 +746,33 @@ int main(int argc, char** argv) {
             << "LERA_METRIC bench_server_chaos_accounting_failures "
             << accounting_failures << "\n";
 
+  PhaseReport crash_chaos;
+  crash_chaos.name = "crash_chaos";
+  CrashChaosTotals crash_totals;
+  const Clock::time_point crash_start = Clock::now();
+  for (int s = 0; s < crash_seeds; ++s) {
+    run_crash_chaos_seed(static_cast<std::uint64_t>(s) + 1,
+                         "bench_crash_corpus", crash_chaos, crash_totals);
+  }
+  crash_chaos.seconds = ms_between(crash_start, Clock::now()) / 1000.0;
+  crash_chaos.accounting_ok = crash_totals.accounting_failures == 0;
+  emit(crash_chaos);
+  const auto crash_line = [](const std::string& key, std::int64_t v) {
+    std::cout << "LERA_METRIC bench_server_crash_chaos_" << key << " "
+              << v << "\n";
+  };
+  crash_line("seeds", crash_seeds);
+  crash_line("worker_crashes", crash_totals.worker_crashes);
+  crash_line("worker_restarts", crash_totals.worker_restarts);
+  crash_line("hung_kills", crash_totals.hung_kills);
+  crash_line("quarantined_fingerprints",
+             crash_totals.quarantined_fingerprints);
+  crash_line("quarantine_rejects", crash_totals.quarantine_rejects);
+  crash_line("corpus_files", crash_totals.corpus_files);
+  crash_line("quarantine_misses", crash_totals.quarantine_misses);
+  crash_line("corpus_mismatches", crash_totals.corpus_mismatches);
+  crash_line("accounting_failures", crash_totals.accounting_failures);
+
   const std::vector<FootprintClass> footprint =
       run_footprint_calibration(smoke ? 3 : 10);
   for (const FootprintClass& fc : footprint) {
@@ -594,6 +792,25 @@ int main(int argc, char** argv) {
       << ",\n  \"chaos\": " << json_of(chaos)
       << ",\n  \"chaos_seeds\": " << chaos_seeds
       << ",\n  \"chaos_accounting_failures\": " << accounting_failures
+      << ",\n  \"crash_chaos\": " << json_of(crash_chaos)
+      << ",\n  \"crash_chaos_seeds\": " << crash_seeds
+      << ",\n  \"crash_chaos_worker_crashes\": "
+      << crash_totals.worker_crashes
+      << ",\n  \"crash_chaos_worker_restarts\": "
+      << crash_totals.worker_restarts
+      << ",\n  \"crash_chaos_hung_kills\": " << crash_totals.hung_kills
+      << ",\n  \"crash_chaos_quarantined_fingerprints\": "
+      << crash_totals.quarantined_fingerprints
+      << ",\n  \"crash_chaos_quarantine_rejects\": "
+      << crash_totals.quarantine_rejects
+      << ",\n  \"crash_chaos_corpus_files\": "
+      << crash_totals.corpus_files
+      << ",\n  \"crash_chaos_quarantine_misses\": "
+      << crash_totals.quarantine_misses
+      << ",\n  \"crash_chaos_corpus_mismatches\": "
+      << crash_totals.corpus_mismatches
+      << ",\n  \"crash_chaos_accounting_failures\": "
+      << crash_totals.accounting_failures
       << ",\n  \"footprint\": [";
   for (std::size_t i = 0; i < footprint.size(); ++i) {
     const FootprintClass& fc = footprint[i];
@@ -623,6 +840,30 @@ int main(int argc, char** argv) {
       accounting_failures > 0) {
     std::cout << "BENCH_FAIL accounting identity violated\n";
     ok = false;
+  }
+  if (crash_seeds > 0) {
+    if (crash_chaos.unanswered > 0) {
+      std::cout << "BENCH_FAIL crash-chaos silent drops detected\n";
+      ok = false;
+    }
+    if (crash_totals.accounting_failures > 0) {
+      std::cout << "BENCH_FAIL crash-chaos accounting identity violated\n";
+      ok = false;
+    }
+    if (crash_totals.quarantine_misses > 0) {
+      std::cout << "BENCH_FAIL poison fingerprint escaped quarantine\n";
+      ok = false;
+    }
+    if (crash_totals.corpus_mismatches > 0) {
+      std::cout << "BENCH_FAIL crash corpus reproducer missing or "
+                   "not byte-identical\n";
+      ok = false;
+    }
+    if (crash_chaos.p99_ms >= 10000.0) {
+      std::cout << "BENCH_FAIL crash-chaos p99 unbounded ("
+                << crash_chaos.p99_ms << " ms)\n";
+      ok = false;
+    }
   }
   for (const FootprintClass& fc : footprint) {
     // An under-predicting footprint model would make admission admit

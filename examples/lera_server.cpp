@@ -25,6 +25,18 @@
 //                       LERA_REJECT reason=memory_infeasible
 //   --max-bytes-total N engine-wide memory cap in bytes (0 = none)
 //   --no-assign         omit assign= from LERA_RESULT lines
+//   --workers N         crash isolation: solve in N forked worker
+//                       subprocesses; a worker death becomes a typed
+//                       LERA_REJECT reason=worker_crashed, never a
+//                       daemon crash (0 = in-process, the default)
+//   --isolate           shorthand for --workers 2
+//   --crash-dir PATH    write each crashing request's payload as a
+//                       byte-identical .lt reproducer under PATH
+//   --poison-threshold N  quarantine a payload fingerprint after N
+//                       worker crashes (default 3)
+//
+// Environment: LERA_CRASH_FAILPOINT="seed=S one_in=N marker=TEXT"
+// arms seeded crash injection inside workers (chaos drills / CI only).
 //
 // Signals and shutdown: SIGTERM/SIGINT begin a graceful drain — new
 // work is rejected with LERA_REJECT reason=draining, in-flight solves
@@ -32,8 +44,9 @@
 // every response is flushed, and the process exits 0. A client can
 // trigger the same drain with a DRAIN frame.
 //
-// Exit codes: 0 clean end of service (EOF in pipe mode, completed
-// drain otherwise), 1 usage or bind error.
+// Exit codes (see docs/API.md): 0 clean end of service (EOF in pipe
+// mode, completed drain otherwise), 1 bind/runtime error, 2 bad usage
+// or malformed flags, 4 memory exhaustion in the daemon itself.
 
 #include <signal.h>
 #include <unistd.h>
@@ -59,8 +72,48 @@ int usage(int code) {
          "  [--max-queue N] [--per-tenant N] [--min-deadline-ms N]\n"
          "  [--max-frame-bytes N] [--queue-budget-ms N]\n"
          "  [--drain-grace-s X] [--max-bytes N] [--max-bytes-total N]\n"
-         "  [--no-assign]\n";
+         "  [--no-assign] [--workers N] [--isolate] [--crash-dir PATH]\n"
+         "  [--poison-threshold N]\n"
+         "exit codes: 0 clean end of service (EOF/drain complete),\n"
+         "  1 bind or runtime error, 2 bad usage or malformed flags,\n"
+         "  4 daemon memory exhaustion\n";
   return code;
+}
+
+/// Parses LERA_CRASH_FAILPOINT ("seed=S one_in=N marker=TEXT exit=C")
+/// into crash-injection options for the worker pool. Unknown keys are
+/// ignored; the marker value runs to the end of the string so payload
+/// markers may contain spaces.
+lera::netflow::CrashFailpoint::Options parse_crash_env(
+    const std::string& text) {
+  lera::netflow::CrashFailpoint::Options crash;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    const std::size_t eq = text.find('=', pos);
+    if (eq == std::string::npos) break;
+    const std::string key = text.substr(pos, eq - pos);
+    if (key == "marker") {
+      crash.marker = text.substr(eq + 1);
+      break;
+    }
+    std::size_t end = text.find(' ', eq + 1);
+    if (end == std::string::npos) end = text.size();
+    const std::string value = text.substr(eq + 1, end - eq - 1);
+    try {
+      if (key == "seed") {
+        crash.seed = static_cast<std::uint64_t>(std::stoull(value));
+      } else if (key == "one_in") {
+        crash.crash_one_in = std::stoi(value);
+      } else if (key == "exit") {
+        crash.exit_code = std::stoi(value);
+      }
+    } catch (...) {
+      // Malformed chaos knobs must never stop a real daemon.
+    }
+    pos = end;
+  }
+  return crash;
 }
 
 /// Waits for SIGTERM/SIGINT (blocked in every thread, collected here
@@ -97,9 +150,7 @@ class SignalWatcher {
   std::thread thread_;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace lera;
 
   enum class Mode { kNone, kPipe, kUnix, kTcp };
@@ -123,7 +174,7 @@ int main(int argc, char** argv) {
       } catch (...) {
         std::cerr << "error: " << flag << " requires a number, got '" << v
                   << "'\n";
-        std::exit(1);
+        std::exit(2);
       }
     };
     if (arg == "--pipe") {
@@ -138,14 +189,14 @@ int main(int argc, char** argv) {
       if (colon == std::string::npos) {
         std::cerr << "error: --tcp expects HOST:PORT, got '" << hp
                   << "'\n";
-        return 1;
+        return 2;
       }
       tcp_host = hp.substr(0, colon);
       try {
         tcp_port = std::stoi(hp.substr(colon + 1));
       } catch (...) {
         std::cerr << "error: bad port in '" << hp << "'\n";
-        return 1;
+        return 2;
       }
     } else if (arg == "--threads") {
       opts.engine.threads = static_cast<int>(next_num("--threads"));
@@ -160,7 +211,7 @@ int main(int argc, char** argv) {
       if (m != "static" && m != "activity") {
         std::cerr << "error: -m expects static|activity, got '" << m
                   << "'\n";
-        return 1;
+        return 2;
       }
     } else if (arg == "--deadline-ms") {
       opts.engine.task_deadline_seconds =
@@ -188,19 +239,36 @@ int main(int argc, char** argv) {
           static_cast<std::int64_t>(next_num("--max-bytes-total"));
     } else if (arg == "--no-assign") {
       opts.echo_assignment = false;
+    } else if (arg == "--workers") {
+      opts.isolation.workers = static_cast<int>(next_num("--workers"));
+    } else if (arg == "--isolate") {
+      if (opts.isolation.workers <= 0) opts.isolation.workers = 2;
+    } else if (arg == "--crash-dir") {
+      opts.isolation.crash_dir = next();
+    } else if (arg == "--poison-threshold") {
+      opts.isolation.poison_threshold =
+          static_cast<int>(next_num("--poison-threshold"));
     } else if (arg == "-h" || arg == "--help") {
       return usage(0);
     } else {
       std::cerr << "error: unknown flag '" << arg << "'\n";
-      return usage(1);
+      return usage(2);
     }
   }
   if (mode == Mode::kNone) {
     std::cerr << "error: pick a transport\n";
-    return usage(1);
+    return usage(2);
   }
   if (!model_set) {
     opts.engine.params.register_model = energy::RegisterModel::kActivity;
+  }
+  if (opts.isolation.workers > 0) {
+    // Announce worker pids on stderr so ops and chaos drills can
+    // target a live worker; arm injected crashes only when asked.
+    opts.isolation.announce_workers = true;
+    if (const char* env = std::getenv("LERA_CRASH_FAILPOINT")) {
+      opts.isolation.worker.crash = parse_crash_env(env);
+    }
   }
 
   // Route SIGTERM/SIGINT to the watcher thread (blocked everywhere
@@ -260,4 +328,16 @@ int main(int argc, char** argv) {
   drain_monitor.join();
   std::cerr << "lera_server drained: " << server.metrics_json() << "\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::bad_alloc&) {
+    // Exit code 4 = memory, aligned with allocate_tool (docs/API.md).
+    std::cerr << "error: daemon out of memory\n";
+    return 4;
+  }
 }

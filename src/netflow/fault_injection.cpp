@@ -1,8 +1,15 @@
 #include "netflow/fault_injection.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <new>
+#include <thread>
 
 #include "netflow/decompose.hpp"
 #include "netflow/membudget.hpp"
@@ -156,6 +163,80 @@ void OomFailpoint::tick(void* self, std::int64_t bytes) {
     ++fp.failures_injected_;
     throw std::bad_alloc();
   }
+}
+
+// --- CrashFailpoint -----------------------------------------------------
+
+std::string CrashFailpoint::to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kSegv:
+      return "segv";
+    case Mode::kKill:
+      return "kill";
+    case Mode::kAbort:
+      return "abort";
+    case Mode::kExit:
+      return "exit";
+    case Mode::kHang:
+      return "hang";
+  }
+  return "unknown";
+}
+
+CrashFailpoint::CrashFailpoint(Options options)
+    : options_(std::move(options)),
+      state_(options_.seed + 0x9e3779b97f4a7c15ULL) {}
+
+std::uint64_t CrashFailpoint::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::optional<CrashFailpoint::Mode> CrashFailpoint::should_crash(
+    std::string_view payload) {
+  if (!options_.marker.empty() &&
+      payload.find(options_.marker) != std::string_view::npos) {
+    if (options_.marker_mode.has_value()) return *options_.marker_mode;
+    // Derive the mode from the payload bytes alone (FNV-1a), so a
+    // byte-identical resubmission dies byte-identically — the property
+    // the poison-quarantine layer keys on.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : payload) {
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    }
+    return static_cast<Mode>(h % 4);  // kHang only via marker_mode.
+  }
+  if (options_.crash_one_in > 0 &&
+      next() % static_cast<std::uint64_t>(options_.crash_one_in) == 0) {
+    return static_cast<Mode>(next() % 4);
+  }
+  return std::nullopt;
+}
+
+void CrashFailpoint::crash(Mode mode, int exit_code) {
+  switch (mode) {
+    case Mode::kSegv:
+      std::signal(SIGSEGV, SIG_DFL);
+      ::raise(SIGSEGV);
+      break;
+    case Mode::kKill:
+      ::kill(::getpid(), SIGKILL);
+      break;
+    case Mode::kAbort:
+      std::signal(SIGABRT, SIG_DFL);
+      std::abort();
+    case Mode::kExit:
+      ::_exit(exit_code);
+    case Mode::kHang:
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+  }
+  // A raised signal can be blocked/ignored in exotic harnesses; never
+  // fall back into the caller as if nothing happened.
+  ::_exit(exit_code == 0 ? 101 : exit_code);
 }
 
 }  // namespace lera::netflow

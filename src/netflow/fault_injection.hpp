@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netflow/robust.hpp"
@@ -112,6 +114,68 @@ class OomFailpoint {
   std::int64_t sites_seen_ = 0;
   std::int64_t bytes_seen_ = 0;
   int failures_injected_ = 0;
+};
+
+/// Seeded process-crash failpoint for the isolated-worker serving mode
+/// (src/server/supervisor.hpp). Unlike FaultInjector and OomFailpoint,
+/// which corrupt *answers* so the certification/budget layers can catch
+/// them, this one kills the *process* — SIGSEGV, SIGKILL, abort(),
+/// plain nonzero _exit(), or a hard hang — to prove the supervisor
+/// contains the blast radius of one request to one worker: the daemon
+/// survives, the request gets a typed worker_crashed verdict, and the
+/// crashing payload lands in the crash corpus as a reproducer.
+///
+/// Two triggers, composable:
+///  - crash_one_in: seeded (splitmix64) — roughly one in N requests
+///    dies, with a seeded crash mode. Drives the chaos sweeps.
+///  - marker: deterministic — every payload containing the marker
+///    substring dies, always in the same mode for the same payload
+///    bytes. Drives the poison-quarantine proofs (a byte-identical
+///    resubmission must crash byte-identically).
+class CrashFailpoint {
+ public:
+  /// How the process dies. kHang does not die at all — it spins until
+  /// killed, exercising the supervisor's hang watchdog.
+  enum class Mode { kSegv, kKill, kAbort, kExit, kHang };
+
+  struct Options {
+    std::uint64_t seed = 0;
+    /// Seeded trigger: crash roughly one request in N (0 = off).
+    int crash_one_in = 0;
+    /// Deterministic trigger: crash every payload containing this
+    /// substring (empty = off).
+    std::string marker;
+    /// Force this mode for marker hits instead of deriving one from
+    /// the payload bytes (lets tests pin e.g. kHang).
+    std::optional<Mode> marker_mode;
+    /// Exit status used by Mode::kExit.
+    int exit_code = 3;
+  };
+
+  CrashFailpoint() : CrashFailpoint(Options{}) {}
+  explicit CrashFailpoint(Options options);
+
+  bool armed() const {
+    return options_.crash_one_in > 0 || !options_.marker.empty();
+  }
+
+  /// Decides the fate of one request. Advances the seeded state; the
+  /// marker trigger is checked first and is stateless (deterministic
+  /// per payload).
+  std::optional<Mode> should_crash(std::string_view payload);
+
+  /// Dies by \p mode (kHang spins forever). Restores default signal
+  /// dispositions first so the death is the raw kernel-visible kind a
+  /// real bug would produce. Never returns.
+  [[noreturn]] static void crash(Mode mode, int exit_code = 3);
+
+  static std::string to_string(Mode mode);
+
+ private:
+  std::uint64_t next();
+
+  Options options_;
+  std::uint64_t state_;
 };
 
 }  // namespace lera::netflow

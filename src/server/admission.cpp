@@ -22,6 +22,10 @@ std::string to_string(RejectReason reason) {
       return "draining";
     case RejectReason::kMemoryInfeasible:
       return "memory_infeasible";
+    case RejectReason::kWorkerCrashed:
+      return "worker_crashed";
+    case RejectReason::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }

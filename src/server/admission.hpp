@@ -39,12 +39,18 @@ enum class RejectReason {
   kMemoryInfeasible,    ///< Predicted solve footprint exceeds the memory
                         ///< cap (or current headroom); solving it would
                         ///< be refused anyway, so shed before enqueue.
+  kWorkerCrashed,       ///< Isolated mode: the worker subprocess running
+                        ///< this request died (signal/exit/OOM-kill/hang)
+                        ///< before producing a verdict.
+  kQuarantined,         ///< Isolated mode: this exact payload already
+                        ///< crashed poison_threshold workers and is
+                        ///< refused without dispatch.
 };
 
 std::string to_string(RejectReason reason);
 
 /// Number of RejectReason values (metrics arrays are indexed by it).
-inline constexpr int kNumRejectReasons = 8;
+inline constexpr int kNumRejectReasons = 10;
 
 struct AdmissionOptions {
   /// Global bound on admitted-but-not-finished requests. <= 0 admits

@@ -3,15 +3,21 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <optional>
 #include <sstream>
 #include <thread>
 
 #include "alloc/flow_graph.hpp"
+#include "server/worker.hpp"
 #include "workloads/problem_io.hpp"
 
 namespace lera::server {
+
+// sanitize_detail / reject_line / classify_result / format_verdict_line
+// live in worker.hpp: the isolated worker loop must emit byte-identical
+// response lines, so both paths share one implementation.
 
 namespace {
 
@@ -22,58 +28,62 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-/// Diagnostics travel inside single response lines, so newlines must
-/// not let them forge protocol structure.
-std::string sanitize(std::string text) {
-  for (char& c : text) {
-    if (c == '\n' || c == '\r') c = ';';
+/// Maps a worker's verdict line back to the terminal state it already
+/// classified (the line was produced by format_verdict_line, so the
+/// prefix vocabulary is closed). nullopt = not a terminal (the worker
+/// rejected its payload).
+std::optional<Terminal> classify_worker_line(const std::string& line) {
+  if (line.rfind("LERA_RESULT ", 0) == 0) {
+    return line.find(" status=degraded ") != std::string::npos
+               ? Terminal::kDegraded
+               : Terminal::kServed;
   }
-  return text;
+  if (line.rfind("LERA_ERROR ", 0) == 0) return Terminal::kInfeasible;
+  if (line.rfind("LERA_TIMEOUT ", 0) == 0) return Terminal::kTimedOut;
+  if (line.rfind("LERA_CANCELLED ", 0) == 0) return Terminal::kCancelled;
+  return std::nullopt;
 }
 
-std::string reject_line(const std::string& id, RejectReason reason,
-                        const std::string& detail) {
-  std::string line = "LERA_REJECT " + id + " reason=" + to_string(reason);
-  if (!detail.empty()) line += " detail=" + sanitize(detail);
-  line += "\n";
-  return line;
-}
-
-/// The disjoint terminal state of one finished solve (metrics.hpp).
-Terminal classify(const alloc::AllocationResult& r) {
-  if (r.cancelled) return Terminal::kCancelled;
-  if (!r.feasible && r.timed_out) return Terminal::kTimedOut;
-  if (!r.feasible) return Terminal::kInfeasible;
-  if (r.degraded) return Terminal::kDegraded;
-  return Terminal::kServed;
+/// Pulls the worker-side solve latency out of a LERA_RESULT line so the
+/// parent can split its own end-to-end latency into queue wait vs solve
+/// time, mirroring the in-process wall-seconds split. 0 when absent.
+double parse_worker_latency_ms(const std::string& line) {
+  const std::size_t pos = line.find(" latency_ms=");
+  if (pos == std::string::npos) return 0;
+  return std::strtod(line.c_str() + pos + 12, nullptr);
 }
 
 }  // namespace
+
+/// One queued response slot, produced by the reader and consumed by
+/// the writer in frame order.
+struct Server::ConnEntry {
+  /// Ready-made response (rejections, control verbs).
+  std::string ready_text;
+  /// Pending solve: one single-ticket session per request, so each
+  /// request carries its own cancel token chained under the engine's
+  /// shutdown token.
+  std::optional<engine::Session> session;
+  std::size_t ticket = 0;
+  /// Pending isolated solve (supervisor.hpp); set instead of session
+  /// when the server runs with worker isolation enabled.
+  std::shared_ptr<PendingSolve> pending;
+  std::string id;
+  std::string tenant;
+  Clock::time_point admitted_at{};
+};
 
 /// Per-connection state shared by the reader (serve's caller thread)
 /// and the writer thread. Entries flow reader -> writer in frame
 /// order; responses are written strictly in that order, so pipe-mode
 /// output is deterministic.
 struct Server::Conn {
-  struct Entry {
-    /// Ready-made response (rejections, control verbs).
-    std::string ready_text;
-    /// Pending solve: one single-ticket session per request, so each
-    /// request carries its own cancel token chained under the engine's
-    /// shutdown token.
-    std::optional<engine::Session> session;
-    std::size_t ticket = 0;
-    std::string id;
-    std::string tenant;
-    Clock::time_point admitted_at{};
-  };
-
   explicit Conn(ByteStream& s) : stream(s) {}
 
   ByteStream& stream;
   std::mutex mutex;
   std::condition_variable cv;
-  std::deque<Entry> queue;
+  std::deque<ConnEntry> queue;
   bool reader_done = false;
   /// Writer-only: a response write failed; the peer is gone. Remaining
   /// solves are cancelled and accounted, never silently dropped.
@@ -87,6 +97,13 @@ Server::Server(ServerOptions options) : options_(std::move(options)),
   // to the two-phase baseline (flagged), not stall or die.
   options_.engine.alloc.fallback_to_baseline = true;
   engine_ = std::make_unique<engine::Engine>(options_.engine);
+  if (options_.isolation.workers > 0) {
+    // Workers inherit the server's engine configuration and response
+    // shape; the supervisor forces per-worker sequential solving.
+    options_.isolation.worker.engine = options_.engine;
+    options_.isolation.worker.echo_assignment = options_.echo_assignment;
+    supervisor_ = std::make_unique<Supervisor>(options_.isolation);
+  }
 }
 
 Server::~Server() {
@@ -109,6 +126,9 @@ void Server::begin_drain() {
     }
   }
   admission_.begin_drain();
+  if (supervisor_) {
+    supervisor_->begin_drain(options_.drain_grace_seconds);
+  }
   draining_.store(true, std::memory_order_release);
 }
 
@@ -125,13 +145,21 @@ HealthStatus Server::health() const {
   h.memory_bytes_in_use = budget.used();
   h.memory_peak_bytes = budget.peak();
   h.memory_cap_bytes = options_.engine.max_bytes_total;
+  if (supervisor_) {
+    const SupervisorStats w = supervisor_->stats();
+    h.isolation_enabled = true;
+    h.workers_alive = w.workers_alive;
+    h.worker_crashes = w.crashes;
+    h.worker_restarts = w.restarts;
+    h.quarantined_fingerprints = w.quarantined_fingerprints;
+  }
   return h;
 }
 
 void Server::handle_solve(Conn& conn, Frame frame, const std::string& id) {
   const std::string tenant =
       frame.tenant.empty() ? std::string("default") : frame.tenant;
-  Conn::Entry entry;
+  ConnEntry entry;
   entry.id = id;
 
   // Admission first — overload is shed before the payload is parsed,
@@ -170,6 +198,15 @@ void Server::handle_solve(Conn& conn, Frame frame, const std::string& id) {
             "predicted solve footprint of " + std::to_string(predicted) +
                 " bytes exceeds the " + std::to_string(cap) +
                 "-byte memory cap");
+      } else if (supervisor_) {
+        // Isolated mode: ship the already-vetted payload to the worker
+        // pool. Parsing it here first is load-bearing — it guarantees
+        // any crash-corpus reproducer the supervisor writes is
+        // loadable, and keeps admission semantics identical.
+        entry.tenant = tenant;
+        entry.admitted_at = Clock::now();
+        entry.pending =
+            supervisor_->dispatch(id, frame.payload, frame.deadline_ms);
       } else {
         entry.session.emplace(engine_->open_session());
         entry.tenant = tenant;
@@ -216,7 +253,16 @@ void Server::handle_event(Conn& conn, FrameEvent event) {
            << h.queue_p95_ms << " shed=" << h.shed_total
            << " mem_bytes=" << h.memory_bytes_in_use
            << " mem_peak_bytes=" << h.memory_peak_bytes
-           << " mem_cap_bytes=" << h.memory_cap_bytes << "\n";
+           << " mem_cap_bytes=" << h.memory_cap_bytes;
+        if (h.isolation_enabled) {
+          // Gated on isolation so default-mode HEALTH output stays
+          // byte-identical to the pre-supervisor server.
+          os << " workers_alive=" << h.workers_alive
+             << " worker_crashes=" << h.worker_crashes
+             << " worker_restarts=" << h.worker_restarts
+             << " quarantined=" << h.quarantined_fingerprints;
+        }
+        os << "\n";
         ready = os.str();
         break;
       }
@@ -230,6 +276,7 @@ void Server::handle_event(Conn& conn, FrameEvent event) {
            << "\n"
            << "LERA_METRIC server_memory_denials " << budget.denials()
            << "\n";
+        if (supervisor_) emit_supervisor_metric_lines(os);
         os << "LERA_STATS_END " << id << "\n";
         ready = os.str();
         break;
@@ -246,7 +293,7 @@ void Server::handle_event(Conn& conn, FrameEvent event) {
   }
   {
     std::lock_guard<std::mutex> lock(conn.mutex);
-    Conn::Entry entry;
+    ConnEntry entry;
     entry.ready_text = std::move(ready);
     conn.queue.push_back(std::move(entry));
   }
@@ -260,7 +307,7 @@ void Server::writer_loop(Conn& conn) {
   };
 
   for (;;) {
-    Conn::Entry entry;
+    ConnEntry entry;
     {
       std::unique_lock<std::mutex> lock(conn.mutex);
       conn.cv.wait(lock, [&] {
@@ -269,6 +316,11 @@ void Server::writer_loop(Conn& conn) {
       if (conn.queue.empty()) break;  // reader_done and drained
       entry = std::move(conn.queue.front());
       conn.queue.pop_front();
+    }
+
+    if (entry.pending) {
+      finish_isolated(conn, entry);
+      continue;
     }
 
     if (!entry.session.has_value()) {
@@ -306,71 +358,84 @@ void Server::writer_loop(Conn& conn) {
     const double latency_ms = ms_since(entry.admitted_at);
     const double queue_wait_ms = std::max(
         0.0, latency_ms - r.solve_diagnostics.wall_seconds * 1000.0);
-    const Terminal terminal = classify(r);
+    const Terminal terminal = classify_result(r);
 
     admission_.release(entry.tenant);
     admission_.record_queue_wait_ms(queue_wait_ms);
     metrics_.on_terminal(terminal, latency_ms, queue_wait_ms);
 
-    std::ostringstream os;
-    switch (terminal) {
-      case Terminal::kServed:
-      case Terminal::kDegraded: {
-        const bool is_static = options_.engine.params.register_model ==
-                               energy::RegisterModel::kStatic;
-        const double energy = is_static ? r.static_energy.total()
-                                        : r.activity_energy.total();
-        os << "LERA_RESULT " << entry.id << " status="
-           << (terminal == Terminal::kDegraded ? "degraded" : "ok")
-           << " energy=" << energy
-           << " mem_accesses=" << r.stats.mem_accesses()
-           << " reg_accesses=" << r.stats.reg_accesses()
-           << " mem_locations=" << r.stats.mem_locations
-           << " registers_used=" << r.registers_used << " solver="
-           << (r.degraded
-                   ? std::string("two-phase-baseline")
-                   : netflow::to_string(r.solve_diagnostics.solver_used))
-           << " timed_out=" << (r.timed_out ? 1 : 0)
-           << " latency_ms=" << latency_ms;
-        if (options_.echo_assignment) {
-          os << " assign=";
-          if (r.assignment.size() == 0) {
-            os << "-";
-          } else {
-            for (std::size_t s = 0; s < r.assignment.size(); ++s) {
-              if (s > 0) os << ",";
-              if (r.assignment.in_register(s)) {
-                os << "r" << r.assignment.location(s);
-              } else {
-                os << "mem";
-              }
-            }
-          }
-        }
-        os << "\n";
-        break;
+    write_out(format_verdict_line(
+        entry.id, r, terminal, latency_ms, options_.echo_assignment,
+        options_.engine.params.register_model ==
+            energy::RegisterModel::kStatic));
+  }
+}
+
+/// Resolves one isolated (supervisor-dispatched) request: waits for its
+/// verdict under the same drain discipline the in-process path uses,
+/// books exactly one terminal or rejection, and relays or synthesizes
+/// the response line.
+void Server::finish_isolated(Conn& conn, ConnEntry& entry) {
+  const auto write_out = [&](const std::string& text) {
+    if (conn.client_gone || text.empty()) return;
+    if (!conn.stream.write(text)) conn.client_gone = true;
+  };
+
+  // A peer that vanished is not worth solving for: withdraw, but still
+  // wait for the verdict so the request is accounted.
+  if (conn.client_gone) entry.pending->cancel();
+
+  for (;;) {
+    double slice = 0.1;
+    if (draining()) {
+      double remaining;
+      {
+        std::lock_guard<std::mutex> lock(drain_mutex_);
+        remaining = drain_deadline_.remaining_seconds();
       }
-      case Terminal::kInfeasible:
-        os << "LERA_ERROR " << entry.id << " "
-           << sanitize(r.message.empty() ? "allocation infeasible"
-                                         : r.message)
-           << "\n";
-        break;
-      case Terminal::kTimedOut:
-        os << "LERA_TIMEOUT " << entry.id << " "
-           << sanitize(r.message.empty()
-                           ? "deadline expired with no usable answer"
-                           : r.message)
-           << "\n";
-        break;
-      case Terminal::kCancelled:
-        os << "LERA_CANCELLED " << entry.id << " "
-           << sanitize(r.message.empty() ? "request withdrawn"
-                                         : r.message)
-           << "\n";
-        break;
+      if (remaining <= 0) entry.pending->cancel();
+      if (remaining > 0) slice = std::min(slice, remaining);
     }
-    write_out(os.str());
+    if (entry.pending->wait_for(slice)) break;
+  }
+
+  const WorkerVerdict& v = entry.pending->verdict();
+  const double latency_ms = ms_since(entry.admitted_at);
+  admission_.release(entry.tenant);
+
+  switch (v.kind) {
+    case WorkerVerdictKind::kLine: {
+      if (const std::optional<Terminal> terminal =
+              classify_worker_line(v.line)) {
+        const double queue_wait_ms = std::max(
+            0.0, latency_ms - parse_worker_latency_ms(v.line));
+        admission_.record_queue_wait_ms(queue_wait_ms);
+        metrics_.on_terminal(*terminal, latency_ms, queue_wait_ms);
+      } else {
+        // The worker refused its payload (cannot be framing: the
+        // supervisor encoded the frame itself).
+        metrics_.on_reject(RejectReason::kBadRequest);
+      }
+      write_out(v.line);
+      break;
+    }
+    case WorkerVerdictKind::kWorkerCrashed:
+      metrics_.on_reject(RejectReason::kWorkerCrashed);
+      write_out(
+          reject_line(entry.id, RejectReason::kWorkerCrashed, v.detail));
+      break;
+    case WorkerVerdictKind::kQuarantined:
+      metrics_.on_reject(RejectReason::kQuarantined);
+      write_out(
+          reject_line(entry.id, RejectReason::kQuarantined, v.detail));
+      break;
+    case WorkerVerdictKind::kCancelled:
+      metrics_.on_terminal(Terminal::kCancelled, latency_ms, 0.0);
+      write_out("LERA_CANCELLED " + entry.id + " " +
+                sanitize_detail(v.detail.empty() ? "request withdrawn"
+                                                 : v.detail) +
+                "\n");
+      break;
   }
 }
 
@@ -417,8 +482,41 @@ void Server::serve(ByteStream& stream) {
        << " timed_out=" << s.timed_out << " cancelled=" << s.cancelled
        << " rejected=" << s.rejected_total << "\n";
     metrics_.emit_metric_lines(os);
+    if (supervisor_) emit_supervisor_metric_lines(os);
     stream.write(os.str());
   }
+}
+
+void Server::emit_supervisor_metric_lines(std::ostream& os) const {
+  const SupervisorStats w = supervisor_->stats();
+  os << "LERA_METRIC server_workers_alive " << w.workers_alive << "\n"
+     << "LERA_METRIC server_workers_spawned " << w.spawned << "\n"
+     << "LERA_METRIC server_worker_crashes " << w.crashes << "\n"
+     << "LERA_METRIC server_worker_restarts " << w.restarts << "\n"
+     << "LERA_METRIC server_worker_hung_kills " << w.hung_kills << "\n"
+     << "LERA_METRIC server_quarantined_fingerprints "
+     << w.quarantined_fingerprints << "\n"
+     << "LERA_METRIC server_quarantine_rejects " << w.quarantine_rejects
+     << "\n"
+     << "LERA_METRIC server_crash_corpus_files " << w.corpus_files
+     << "\n";
+}
+
+std::string Server::metrics_json() const {
+  std::string json = metrics_.json();
+  if (supervisor_) {
+    const SupervisorStats w = supervisor_->stats();
+    std::ostringstream os;
+    os << ",\"workers\":{\"configured\":" << options_.isolation.workers
+       << ",\"alive\":" << w.workers_alive << ",\"spawned\":" << w.spawned
+       << ",\"crashes\":" << w.crashes << ",\"restarts\":" << w.restarts
+       << ",\"hung_kills\":" << w.hung_kills
+       << ",\"quarantined_fingerprints\":" << w.quarantined_fingerprints
+       << ",\"quarantine_rejects\":" << w.quarantine_rejects
+       << ",\"crash_corpus_files\":" << w.corpus_files << "}";
+    json.insert(json.size() - 1, os.str());
+  }
+  return json;
 }
 
 }  // namespace lera::server

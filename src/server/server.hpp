@@ -11,6 +11,7 @@
 #include "server/framing.hpp"
 #include "server/metrics.hpp"
 #include "server/stream.hpp"
+#include "server/supervisor.hpp"
 
 /// \file server.hpp
 /// The allocation service core: a long-lived front end over one shared
@@ -32,7 +33,7 @@
 ///
 /// with reasons queue_full | tenant_quota | deadline_infeasible |
 /// frame_too_large | bad_frame | bad_request | draining |
-/// memory_infeasible. Control verbs
+/// memory_infeasible | worker_crashed | quarantined. Control verbs
 /// HEALTH / STATS / PING answer inline; DRAIN (or begin_drain(), wired
 /// to SIGTERM by the binary) stops admissions, finishes or cancels
 /// in-flight work within the grace budget, flushes every response, and
@@ -60,6 +61,15 @@ struct ServerOptions {
   /// Write "LERA_DRAIN - state=complete ..." plus the LERA_METRIC
   /// block when a drained connection closes.
   bool emit_metrics_on_drain = true;
+  /// Crash-isolated execution (supervisor.hpp): with isolation.workers
+  /// > 0, admitted solves run in forked worker subprocesses and a
+  /// worker death becomes a typed worker_crashed rejection instead of
+  /// taking the daemon down. The default (0 workers) solves in-process
+  /// with byte-identical output to the pre-isolation server. The
+  /// worker's engine options and echo_assignment are copied from this
+  /// struct's fields; set isolation.crash_dir / poison_threshold /
+  /// backoff / failpoint knobs here.
+  SupervisorOptions isolation;
 };
 
 struct HealthStatus {
@@ -75,6 +85,12 @@ struct HealthStatus {
   std::int64_t memory_bytes_in_use = 0;
   std::int64_t memory_peak_bytes = 0;
   std::int64_t memory_cap_bytes = 0;
+  /// Isolated mode only (isolation_enabled): worker-pool vitals.
+  bool isolation_enabled = false;
+  int workers_alive = 0;
+  std::int64_t worker_crashes = 0;
+  std::int64_t worker_restarts = 0;
+  std::int64_t quarantined_fingerprints = 0;
 
   std::string status_word() const {
     return draining ? "draining" : overloaded ? "overloaded" : "ok";
@@ -106,21 +122,28 @@ class Server {
 
   HealthStatus health() const;
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
-  std::string metrics_json() const { return metrics_.json(); }
+  /// metrics_.json(), plus a "workers" object in isolated mode.
+  std::string metrics_json() const;
 
   const engine::Engine& engine() const { return *engine_; }
   const ServerOptions& options() const { return options_; }
+  /// Non-null iff isolation is enabled (options().isolation.workers>0).
+  const Supervisor* supervisor() const { return supervisor_.get(); }
 
  private:
   struct Conn;
+  struct ConnEntry;
 
   void handle_event(Conn& conn, FrameEvent event);
   void handle_solve(Conn& conn, Frame frame, const std::string& id);
   void writer_loop(Conn& conn);
+  void finish_isolated(Conn& conn, ConnEntry& entry);
+  void emit_supervisor_metric_lines(std::ostream& os) const;
   std::string next_auto_id();
 
   ServerOptions options_;
   std::unique_ptr<engine::Engine> engine_;
+  std::unique_ptr<Supervisor> supervisor_;  ///< Isolated mode only.
   AdmissionController admission_;
   ServerMetrics metrics_;
   std::atomic<bool> draining_{false};

@@ -132,6 +132,15 @@ std::ptrdiff_t FdStream::read(char* buffer, std::size_t max_bytes) {
     const ssize_t n = ::read(read_fd_, buffer, max_bytes);
     if (n >= 0) return n;
     if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      // A peer that slammed its socket shut mid-stream is the same
+      // protocol event as an orderly FIN from our side of the ledger:
+      // the client is gone. Report clean end-of-stream (flagged) so
+      // the server accounts the cut-off with the exact client-gone
+      // discipline instead of a generic stream error.
+      peer_reset_.store(true, std::memory_order_relaxed);
+      return 0;
+    }
     return -1;
   }
 }
@@ -146,6 +155,11 @@ bool FdStream::write(std::string_view data) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      // Writing into a vanished peer: remember it was a disconnect,
+      // not a transport fault, for disconnect-accounting assertions.
+      peer_reset_.store(true, std::memory_order_relaxed);
+    }
     return false;
   }
   return true;

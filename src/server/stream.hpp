@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -121,12 +122,23 @@ class FdStream : public ByteStream {
   bool write(std::string_view data) override;
   void close() override;
 
+  /// True once the peer vanished abruptly (ECONNRESET on read,
+  /// EPIPE/ECONNRESET on write). Both map to the clean client-gone
+  /// path — read() reports end-of-stream, write() returns false — so
+  /// mid-request disconnects under TCP are accounted exactly like the
+  /// in-memory chaos harness's disconnects, never as generic stream
+  /// errors. This flag preserves the distinction for diagnostics.
+  bool peer_reset() const {
+    return peer_reset_.load(std::memory_order_relaxed);
+  }
+
  private:
   int read_fd_;
   int write_fd_;
   bool owns_fds_;
   std::mutex close_mutex_;
   bool closed_ = false;
+  std::atomic<bool> peer_reset_{false};
 };
 
 }  // namespace lera::server

@@ -1,0 +1,610 @@
+#include "server/supervisor.hpp"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "server/framing.hpp"
+
+namespace lera::server {
+
+namespace {
+
+/// Human/machine-readable description of a reaped worker's wait status.
+std::string describe_exit(int status) {
+  if (WIFSIGNALED(status)) {
+    std::string text = "signal " + std::to_string(WTERMSIG(status));
+    if (WTERMSIG(status) == SIGKILL) {
+      // SIGKILL is what both an external `kill -9` and the kernel OOM
+      // killer look like from here; flag it so operators check dmesg.
+      text += " (external kill or kernel oom)";
+    }
+    return text;
+  }
+  if (WIFEXITED(status)) {
+    return "exit " + std::to_string(WEXITSTATUS(status));
+  }
+  return "status " + std::to_string(status);
+}
+
+/// Chunked interruptible sleep: returns false if \p stop() fired.
+template <typename StopFn>
+bool sleep_unless(double seconds, StopFn stop) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (stop()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return !stop();
+}
+
+}  // namespace
+
+// --- PendingSolve -------------------------------------------------------
+
+bool PendingSolve::wait_for(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+               [&] { return done_; });
+  return done_;
+}
+
+bool PendingSolve::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+void PendingSolve::cancel() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancelled_ = true;
+  if (!done_ && !claimed_) {
+    // Still queued (no slot claimed it): resolve right here so drains
+    // and disconnects never wait on a busy pool.
+    done_ = true;
+    verdict_.kind = WorkerVerdictKind::kCancelled;
+    verdict_.detail = "request withdrawn";
+  }
+  cv_.notify_all();  // The owning slot polls cancelled_ between slices.
+}
+
+void PendingSolve::resolve(WorkerVerdictKind kind, std::string line,
+                           std::string detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (done_) return;
+  done_ = true;
+  verdict_.kind = kind;
+  verdict_.line = std::move(line);
+  verdict_.detail = std::move(detail);
+  cv_.notify_all();
+}
+
+// --- Supervisor ---------------------------------------------------------
+
+/// One worker slot: its dispatcher thread owns the process and socket;
+/// only `pid` is shared (worker_pids(), stats()) and mutex-guarded.
+struct Supervisor::Slot {
+  int index = 0;
+  std::thread thread;
+  mutable std::mutex mutex;  ///< Guards pid.
+  int pid = 0;
+  std::unique_ptr<FdStream> stream;
+  std::string rx;        ///< Partial verdict line; cleared on crash.
+  int crash_streak = 0;  ///< Consecutive deaths; drives the backoff.
+  int spawn_count = 0;   ///< Respawn generation; decorrelates injection.
+  bool ever_spawned = false;
+};
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)),
+      backoff_state_(options_.backoff_seed + 0x9e3779b97f4a7c15ULL) {
+  if (!enabled()) return;
+  if (!options_.crash_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.crash_dir, ec);
+    // A failure surfaces later as unwritable corpus files; the pool
+    // itself must come up regardless.
+  }
+  slots_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->index = i;
+    // Eager spawn: pids exist (and are announced) before any request,
+    // so chaos drills can target a live worker immediately.
+    spawn_worker(*slot);
+    slots_.push_back(std::move(slot));
+  }
+  for (auto& slot : slots_) {
+    Slot& s = *slot;
+    s.thread = std::thread([this, &s] { slot_main(s); });
+  }
+}
+
+Supervisor::~Supervisor() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& slot : slots_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  // Slot threads retired their workers on the way out; whatever is
+  // still queued resolves here so no request is ever silently dropped.
+  std::deque<std::shared_ptr<PendingSolve>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    leftovers.swap(queue_);
+  }
+  for (const auto& req : leftovers) {
+    req->resolve(WorkerVerdictKind::kCancelled, "",
+                 "supervisor shut down");
+  }
+}
+
+std::shared_ptr<PendingSolve> Supervisor::dispatch(
+    const std::string& id, const std::string& payload,
+    long long deadline_ms) {
+  auto req = std::make_shared<PendingSolve>();
+  req->id_ = id;
+  req->payload_ = payload;
+  req->deadline_ms_ = deadline_ms;
+  req->fingerprint_ = payload_fingerprint(payload);
+
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    if (quarantined_.count(req->fingerprint_) != 0) {
+      const int count = crash_counts_[req->fingerprint_];
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.quarantine_rejects;
+      }
+      req->resolve(
+          WorkerVerdictKind::kQuarantined, "",
+          "payload fingerprint " + fingerprint_hex(req->fingerprint_) +
+              " crashed " + std::to_string(count) +
+              " worker(s) and is quarantined");
+      return req;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutting_down_) {
+      req->resolve(WorkerVerdictKind::kCancelled, "",
+                   "supervisor shut down");
+      return req;
+    }
+    queue_.push_back(req);
+  }
+  queue_cv_.notify_one();
+  return req;
+}
+
+void Supervisor::begin_drain(double grace_seconds) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!draining_) {
+      draining_ = true;
+      drain_deadline_ = netflow::Deadline::after(grace_seconds);
+    }
+  }
+  queue_cv_.notify_all();
+}
+
+bool Supervisor::drain_expired() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return draining_ && !drain_deadline_.unlimited() &&
+         drain_deadline_.expired();
+}
+
+SupervisorStats Supervisor::stats() const {
+  SupervisorStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  out.workers_alive = 0;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    if (slot->pid > 0) ++out.workers_alive;
+  }
+  return out;
+}
+
+std::vector<int> Supervisor::worker_pids() const {
+  std::vector<int> pids;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    if (slot->pid > 0) pids.push_back(slot->pid);
+  }
+  return pids;
+}
+
+std::shared_ptr<PendingSolve> Supervisor::next_request() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  for (;;) {
+    if (shutting_down_) return nullptr;
+    if (!queue_.empty()) {
+      std::shared_ptr<PendingSolve> req = std::move(queue_.front());
+      queue_.pop_front();
+      return req;
+    }
+    queue_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+double Supervisor::backoff_seconds(int streak) {
+  // PR 4's retry discipline: exponential growth with multiplicative
+  // jitter in [0.5, 1.0), capped, seed-deterministic (splitmix64).
+  std::uint64_t z;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    z = (backoff_state_ += 0x9e3779b97f4a7c15ULL);
+  }
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  const double jitter =
+      0.5 + 0.5 * static_cast<double>(z >> 11) / 9007199254740992.0;
+  const int exponent = std::min(streak - 1, 20);
+  const double raw = options_.restart_backoff_seconds *
+                     static_cast<double>(1ULL << exponent) * jitter;
+  return std::min(raw, options_.restart_backoff_cap_seconds);
+}
+
+void Supervisor::spawn_worker(Slot& slot) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return;
+
+  ++slot.spawn_count;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return;
+  }
+  if (pid == 0) {
+    // Worker child. Detach from the daemon's world: default signal
+    // handling, no shared stdio (pipe-mode stdout is the protocol
+    // stream and must not stay open here), no inherited sockets.
+    ::signal(SIGPIPE, SIG_IGN);
+    sigset_t none;
+    sigemptyset(&none);
+    pthread_sigmask(SIG_SETMASK, &none, nullptr);
+    const int devnull = ::open("/dev/null", O_RDWR);
+    if (devnull >= 0) {
+      ::dup2(devnull, 0);
+      ::dup2(devnull, 1);
+    }
+    for (int fd = 3; fd < 1024; ++fd) {
+      if (fd != sv[1]) ::close(fd);
+    }
+    WorkerConfig config = options_.worker;
+    // Decorrelate crash injection per (slot, respawn generation): still
+    // seed-deterministic, but a respawned worker does not replay its
+    // predecessor's roll sequence — otherwise a slot whose first roll
+    // crashes would crash the first request of every successor too.
+    config.crash.seed +=
+        (static_cast<std::uint64_t>(slot.index) +
+         (static_cast<std::uint64_t>(slot.spawn_count) << 8)) *
+        0x9e3779b97f4a7c15ULL;
+    FdStream stream(sv[1], sv[1], true);
+    // _exit, never exit: no parent atexit handlers, no static dtors,
+    // and sanitizer end-of-process checks stay with the parent.
+    ::_exit(worker_loop(stream, config));
+  }
+
+  ::close(sv[1]);
+  slot.stream = std::make_unique<FdStream>(sv[0], sv[0], true);
+  slot.rx.clear();
+  {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.pid = static_cast<int>(pid);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.spawned;
+    if (slot.ever_spawned) ++stats_.restarts;
+  }
+  slot.ever_spawned = true;
+  if (options_.announce_workers) {
+    std::fprintf(stderr, "LERA_WORKER slot=%d pid=%d\n", slot.index,
+                 static_cast<int>(pid));
+    std::fflush(stderr);
+  }
+}
+
+bool Supervisor::ensure_worker(Slot& slot, PendingSolve& req) {
+  {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.pid > 0) return true;
+  }
+  if (slot.crash_streak > 0) {
+    // The backoff must stay interruptible: a drain or disconnect that
+    // withdraws the waiting request cannot be held hostage by the
+    // respawn pause (the drain-during-restart accounting contract).
+    const double pause = backoff_seconds(slot.crash_streak);
+    const bool finished = sleep_unless(pause, [&] {
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (shutting_down_) return true;
+      }
+      std::lock_guard<std::mutex> lock(req.mutex_);
+      return req.cancelled_;
+    });
+    if (!finished) return false;
+  }
+  spawn_worker(slot);
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.pid > 0;
+}
+
+void Supervisor::retire_worker(Slot& slot, bool kill_hard) {
+  int pid;
+  {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    pid = slot.pid;
+    slot.pid = 0;
+  }
+  slot.stream.reset();  // Closes the socket; an idle worker exits 0.
+  slot.rx.clear();
+  if (pid <= 0) return;
+  if (kill_hard) ::kill(pid, SIGKILL);
+  // Give an orderly worker a moment to notice EOF; then insist.
+  int status = 0;
+  for (int i = 0; i < 50; ++i) {
+    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid || (reaped < 0 && errno == ECHILD)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, &status, 0);
+}
+
+std::string Supervisor::record_crash(PendingSolve& req) {
+  int count;
+  bool newly_quarantined = false;
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    count = ++crash_counts_[req.fingerprint_];
+    if (count >= options_.poison_threshold &&
+        quarantined_.insert(req.fingerprint_).second) {
+      newly_quarantined = true;
+    }
+  }
+
+  bool corpus_written = false;
+  std::string corpus_name;
+  if (!options_.crash_dir.empty()) {
+    // The reproducer is the payload byte-for-byte: exactly what the
+    // worker that died was fed, loadable because the server parsed it
+    // before dispatch.
+    corpus_name = "crash-" + fingerprint_hex(req.fingerprint_) + "-" +
+                  std::to_string(count) + ".lt";
+    const std::string path = options_.crash_dir + "/" + corpus_name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out.write(req.payload_.data(),
+                static_cast<std::streamsize>(req.payload_.size()));
+      corpus_written = static_cast<bool>(out.flush());
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.crashes;
+    if (corpus_written) ++stats_.corpus_files;
+    if (newly_quarantined) ++stats_.quarantined_fingerprints;
+  }
+
+  std::string detail =
+      "fingerprint " + fingerprint_hex(req.fingerprint_) + " crash " +
+      std::to_string(count) + "/" +
+      std::to_string(options_.poison_threshold);
+  if (corpus_written) detail += " corpus=" + corpus_name;
+  if (newly_quarantined) detail += " quarantined";
+  return detail;
+}
+
+void Supervisor::on_worker_crash(Slot& slot, PendingSolve& req,
+                                 const std::string& how) {
+  {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.pid = 0;
+  }
+  slot.stream.reset();
+  slot.rx.clear();  // A torn partial verdict line dies with the worker.
+  ++slot.crash_streak;
+  const std::string poison = record_crash(req);
+  req.resolve(WorkerVerdictKind::kWorkerCrashed, "",
+              "worker died (" + how + "); " + poison);
+}
+
+void Supervisor::serve_one(Slot& slot, PendingSolve& req) {
+  // Quarantine recheck at dispatch time: the fingerprint may have
+  // crossed the poison threshold while this request sat in the queue
+  // behind the very crashes that crossed it. Catching it here spares a
+  // worker instead of burning one on a known-poison payload.
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    if (quarantined_.count(req.fingerprint_) != 0) {
+      const int count = crash_counts_[req.fingerprint_];
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.quarantine_rejects;
+      }
+      req.resolve(
+          WorkerVerdictKind::kQuarantined, "",
+          "payload fingerprint " + fingerprint_hex(req.fingerprint_) +
+              " crashed " + std::to_string(count) +
+              " worker(s) and is quarantined");
+      return;
+    }
+  }
+
+  // Died-idle tolerance: a frame write that fails means the worker
+  // never saw this payload (it died on earlier work or at rest), so a
+  // fresh worker deserves one retry before the request is blamed.
+  const std::string wire = [&] {
+    Frame frame;
+    frame.verb = FrameVerb::kSolve;
+    frame.id = req.id_;
+    frame.deadline_ms = req.deadline_ms_;
+    frame.payload = req.payload_;
+    return encode_frame(frame);
+  }();
+
+  bool written = false;
+  for (int attempt = 0; attempt < 2 && !written; ++attempt) {
+    if (!ensure_worker(slot, req)) {
+      req.resolve(WorkerVerdictKind::kCancelled, "",
+                  "request withdrawn before dispatch");
+      return;
+    }
+    if (!slot.stream || !slot.stream->write(wire)) {
+      int pid;
+      {
+        std::lock_guard<std::mutex> lock(slot.mutex);
+        pid = slot.pid;
+        slot.pid = 0;
+      }
+      slot.stream.reset();
+      slot.rx.clear();
+      int status = 0;
+      if (pid > 0) ::waitpid(pid, &status, 0);
+      if (attempt == 1) {
+        on_worker_crash(slot, req, pid > 0 ? describe_exit(status)
+                                           : "no worker available");
+        return;
+      }
+    } else {
+      written = true;
+    }
+  }
+
+  // The hang watchdog only arms when the request carries a deadline:
+  // an open-ended request is allowed to run as long as it needs.
+  netflow::Deadline hang_deadline;
+  if (req.deadline_ms_ > 0 && options_.hang_grace_seconds > 0) {
+    hang_deadline = netflow::Deadline::after(
+        static_cast<double>(req.deadline_ms_) / 1000.0 +
+        options_.hang_grace_seconds);
+  }
+
+  char buffer[4096];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (shutting_down_) {
+        retire_worker(slot, /*kill_hard=*/true);
+        req.resolve(WorkerVerdictKind::kCancelled, "",
+                    "supervisor shut down");
+        return;
+      }
+    }
+    {
+      // Mid-solve withdrawal (client gone, drain deadline): the worker
+      // cannot be interrupted, only replaced.
+      std::lock_guard<std::mutex> lock(req.mutex_);
+      if (req.cancelled_) break;
+    }
+    if (drain_expired()) break;
+
+    const std::ptrdiff_t n = slot.stream->read(buffer, sizeof buffer);
+    if (n == ByteStream::kReadAgain) {
+      if (!hang_deadline.unlimited() && hang_deadline.expired()) {
+        int pid;
+        {
+          std::lock_guard<std::mutex> lock(slot.mutex);
+          pid = slot.pid;
+        }
+        if (pid > 0) ::kill(pid, SIGKILL);
+        int status = 0;
+        if (pid > 0) ::waitpid(pid, &status, 0);
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.hung_kills;
+        }
+        on_worker_crash(slot, req,
+                        "hung past deadline+" +
+                            std::to_string(options_.hang_grace_seconds) +
+                            "s; killed");
+        return;
+      }
+      continue;
+    }
+    if (n <= 0) {
+      int pid;
+      {
+        std::lock_guard<std::mutex> lock(slot.mutex);
+        pid = slot.pid;
+      }
+      int status = 0;
+      if (pid > 0) ::waitpid(pid, &status, 0);
+      on_worker_crash(slot, req,
+                      pid > 0 ? describe_exit(status) : "stream closed");
+      return;
+    }
+
+    slot.rx.append(buffer, static_cast<std::size_t>(n));
+    const std::size_t eol = slot.rx.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = slot.rx.substr(0, eol + 1);
+      // Strictly one verdict line per request; anything after it would
+      // be protocol corruption, not data for the next request.
+      slot.rx.clear();
+      slot.crash_streak = 0;
+      req.resolve(WorkerVerdictKind::kLine, std::move(line), "");
+      return;
+    }
+  }
+
+  // Withdrawn (cancel or drain expiry) while the worker was mid-solve:
+  // replace the worker, type the request as cancelled. Not a crash —
+  // no poison count, no corpus entry, no backoff penalty.
+  retire_worker(slot, /*kill_hard=*/true);
+  req.resolve(WorkerVerdictKind::kCancelled, "",
+              "request withdrawn while solving in worker");
+}
+
+void Supervisor::slot_main(Slot& slot) {
+  // Writing a frame to a worker that just crashed raises SIGPIPE, which
+  // is delivered to this thread. Block it here (thread-local, no
+  // process-wide disposition change for embedders) so the write fails
+  // with EPIPE and the crash is typed instead of killing the daemon.
+  sigset_t pipe_set;
+  sigemptyset(&pipe_set);
+  sigaddset(&pipe_set, SIGPIPE);
+  pthread_sigmask(SIG_BLOCK, &pipe_set, nullptr);
+  for (;;) {
+    std::shared_ptr<PendingSolve> req = next_request();
+    if (!req) break;
+    {
+      std::lock_guard<std::mutex> lock(req->mutex_);
+      if (req->done_) continue;  // Cancelled while queued.
+      req->claimed_ = true;
+    }
+    if (drain_expired()) {
+      req->resolve(WorkerVerdictKind::kCancelled, "",
+                   "drain deadline passed before dispatch");
+      continue;
+    }
+    serve_one(slot, *req);
+  }
+  retire_worker(slot, /*kill_hard=*/false);
+}
+
+}  // namespace lera::server

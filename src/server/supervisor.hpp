@@ -1,0 +1,197 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netflow/cancel.hpp"
+#include "server/worker.hpp"
+
+/// \file supervisor.hpp
+/// The parent side of the crash-isolated serving mode: a supervised
+/// pool of forked worker subprocesses (worker.hpp), each solving one
+/// request at a time over a private socketpair speaking the existing
+/// frame/verdict wire protocol.
+///
+/// The contract the rest of the server buys from this layer:
+///  - A worker death — SIGSEGV, abort, nonzero exit, kernel OOM-kill —
+///    never harms the daemon. The supervisor reaps the corpse with
+///    waitpid, types the death ("signal 11", "exit 3", ...), and the
+///    affected request resolves to a machine-readable worker_crashed
+///    verdict. Nothing is ever silently dropped: every dispatched
+///    request resolves to exactly one WorkerVerdict.
+///  - Crashed slots respawn with jittered exponential backoff (the
+///    PR 4 retry discipline), so a crash storm cannot turn into a
+///    fork bomb; the streak resets on the first healthy verdict.
+///  - Poison requests cannot wedge the pool: crashes are counted per
+///    payload fingerprint (byte-exact FNV-1a), and once a fingerprint
+///    reaches poison_threshold it is quarantined — byte-identical
+///    resubmissions are refused up front with a typed `quarantined`
+///    verdict instead of burning another worker.
+///  - Every crashing payload is serialized byte-identically to
+///    crash_dir/crash-<fingerprint>-<n>.lt, a ready-made reproducer
+///    for fuzz_tool/shrink triage (the server parsed it before
+///    dispatch, so the corpus file is loadable by construction).
+///
+/// Threading: one dispatcher thread per slot owns that slot's process
+/// and socket outright; dispatch() only enqueues, so the server's
+/// reader thread never blocks on a worker.
+
+namespace lera::server {
+
+struct SupervisorOptions {
+  /// Number of worker subprocesses. 0 disables isolation entirely (the
+  /// server solves in-process, bit-identical to the pre-supervisor
+  /// behavior); this is the default.
+  int workers = 0;
+  /// Configuration inherited by every worker (engine options, response
+  /// shape, optional crash injection). The supervisor decorrelates the
+  /// crash seed per slot.
+  WorkerConfig worker;
+  /// Directory for crash-corpus reproducers. "" = keep no corpus.
+  std::string crash_dir;
+  /// Crashes on one payload fingerprint before it is quarantined.
+  int poison_threshold = 3;
+  /// Base/cap of the jittered exponential respawn backoff.
+  double restart_backoff_seconds = 0.05;
+  double restart_backoff_cap_seconds = 2.0;
+  std::uint64_t backoff_seed = 1;
+  /// A worker that produced no verdict this long past the request's own
+  /// deadline is declared hung and killed (typed as a crash). Only
+  /// armed for requests that carry a deadline.
+  double hang_grace_seconds = 5.0;
+  /// Announce "LERA_WORKER slot=<i> pid=<p>" on stderr at every spawn,
+  /// so ops harnesses (and the CI kill -9 drill) can target a live
+  /// worker without guessing.
+  bool announce_workers = false;
+};
+
+/// How one dispatched request resolved.
+enum class WorkerVerdictKind {
+  kLine,           ///< The worker answered: `line` is its verdict line.
+  kWorkerCrashed,  ///< The worker died mid-request (typed in `detail`).
+  kQuarantined,    ///< Refused up front: fingerprint is quarantined.
+  kCancelled,      ///< Withdrawn (drain/disconnect) before completion.
+};
+
+struct WorkerVerdict {
+  WorkerVerdictKind kind = WorkerVerdictKind::kCancelled;
+  std::string line;    ///< kLine: complete "\n"-terminated verdict.
+  std::string detail;  ///< Crash/quarantine/cancel diagnostic.
+};
+
+/// One in-flight isolated solve, shared between the server's writer
+/// thread (waits, may cancel) and the slot thread (resolves it).
+class PendingSolve {
+ public:
+  /// Blocks up to \p seconds; true once the verdict is in.
+  bool wait_for(double seconds);
+  /// Withdraws the request: resolves promptly (kCancelled), killing the
+  /// worker if it is already mid-solve. Idempotent.
+  void cancel();
+  bool done() const;
+  /// Valid once done().
+  const WorkerVerdict& verdict() const { return verdict_; }
+
+ private:
+  friend class Supervisor;
+
+  void resolve(WorkerVerdictKind kind, std::string line,
+               std::string detail);
+
+  std::string id_;
+  std::string payload_;
+  long long deadline_ms_ = -1;
+  std::uint64_t fingerprint_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  bool cancelled_ = false;
+  /// A slot thread took ownership; cancel() must not resolve inline.
+  bool claimed_ = false;
+  WorkerVerdict verdict_;
+};
+
+/// Monotonic counters for HEALTH/STATS/bench observability.
+struct SupervisorStats {
+  std::int64_t spawned = 0;   ///< fork()s that produced a worker.
+  std::int64_t crashes = 0;   ///< Abnormal deaths mid-request (incl. hangs).
+  std::int64_t restarts = 0;  ///< Respawns after a death (any cause).
+  std::int64_t hung_kills = 0;        ///< Hang-watchdog SIGKILLs.
+  std::int64_t quarantined_fingerprints = 0;
+  std::int64_t quarantine_rejects = 0;  ///< Requests refused up front.
+  std::int64_t corpus_files = 0;        ///< Reproducers written.
+  int workers_alive = 0;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  bool enabled() const { return options_.workers > 0; }
+
+  /// Enqueues one admitted, pre-parsed SOLVE for isolated execution and
+  /// returns its handle. Quarantined fingerprints resolve immediately
+  /// (kQuarantined) without touching a worker.
+  std::shared_ptr<PendingSolve> dispatch(const std::string& id,
+                                         const std::string& payload,
+                                         long long deadline_ms);
+
+  /// Stops accepting the queue past \p grace_seconds from now: requests
+  /// not yet dispatched by then resolve kCancelled, mirroring the
+  /// server's drain discipline. (The server's writer additionally
+  /// cancels in-flight pendings at its own drain deadline.)
+  void begin_drain(double grace_seconds);
+
+  SupervisorStats stats() const;
+
+  /// Live worker pids (ops/chaos tooling: pick a target to kill -9).
+  std::vector<int> worker_pids() const;
+
+ private:
+  struct Slot;
+
+  void slot_main(Slot& slot);
+  bool ensure_worker(Slot& slot, PendingSolve& req);
+  void spawn_worker(Slot& slot);
+  void retire_worker(Slot& slot, bool kill_hard);
+  void serve_one(Slot& slot, PendingSolve& req);
+  void on_worker_crash(Slot& slot, PendingSolve& req,
+                       const std::string& how);
+  std::string record_crash(PendingSolve& req);
+  std::shared_ptr<PendingSolve> next_request();
+  double backoff_seconds(int streak);
+  bool drain_expired() const;
+
+  SupervisorOptions options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<PendingSolve>> queue_;
+  bool shutting_down_ = false;
+  bool draining_ = false;
+  netflow::Deadline drain_deadline_;
+
+  mutable std::mutex poison_mutex_;
+  std::unordered_map<std::uint64_t, int> crash_counts_;
+  std::unordered_set<std::uint64_t> quarantined_;
+
+  mutable std::mutex stats_mutex_;
+  SupervisorStats stats_;
+  std::uint64_t backoff_state_ = 0;
+};
+
+}  // namespace lera::server

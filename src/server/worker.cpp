@@ -1,0 +1,205 @@
+#include "server/worker.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "server/framing.hpp"
+#include "workloads/problem_io.hpp"
+
+namespace lera::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string sanitize_detail(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ';';
+  }
+  return text;
+}
+
+std::string reject_line(const std::string& id, RejectReason reason,
+                        const std::string& detail) {
+  std::string line = "LERA_REJECT " + id + " reason=" + to_string(reason);
+  if (!detail.empty()) line += " detail=" + sanitize_detail(detail);
+  line += "\n";
+  return line;
+}
+
+Terminal classify_result(const alloc::AllocationResult& r) {
+  if (r.cancelled) return Terminal::kCancelled;
+  if (!r.feasible && r.timed_out) return Terminal::kTimedOut;
+  if (!r.feasible) return Terminal::kInfeasible;
+  if (r.degraded) return Terminal::kDegraded;
+  return Terminal::kServed;
+}
+
+std::string format_verdict_line(const std::string& id,
+                                const alloc::AllocationResult& r,
+                                Terminal terminal, double latency_ms,
+                                bool echo_assignment, bool static_model) {
+  std::ostringstream os;
+  switch (terminal) {
+    case Terminal::kServed:
+    case Terminal::kDegraded: {
+      const double energy = static_model ? r.static_energy.total()
+                                         : r.activity_energy.total();
+      os << "LERA_RESULT " << id << " status="
+         << (terminal == Terminal::kDegraded ? "degraded" : "ok")
+         << " energy=" << energy
+         << " mem_accesses=" << r.stats.mem_accesses()
+         << " reg_accesses=" << r.stats.reg_accesses()
+         << " mem_locations=" << r.stats.mem_locations
+         << " registers_used=" << r.registers_used << " solver="
+         << (r.degraded
+                 ? std::string("two-phase-baseline")
+                 : netflow::to_string(r.solve_diagnostics.solver_used))
+         << " timed_out=" << (r.timed_out ? 1 : 0)
+         << " latency_ms=" << latency_ms;
+      if (echo_assignment) {
+        os << " assign=";
+        if (r.assignment.size() == 0) {
+          os << "-";
+        } else {
+          for (std::size_t s = 0; s < r.assignment.size(); ++s) {
+            if (s > 0) os << ",";
+            if (r.assignment.in_register(s)) {
+              os << "r" << r.assignment.location(s);
+            } else {
+              os << "mem";
+            }
+          }
+        }
+      }
+      os << "\n";
+      break;
+    }
+    case Terminal::kInfeasible:
+      os << "LERA_ERROR " << id << " "
+         << sanitize_detail(r.message.empty() ? "allocation infeasible"
+                                              : r.message)
+         << "\n";
+      break;
+    case Terminal::kTimedOut:
+      os << "LERA_TIMEOUT " << id << " "
+         << sanitize_detail(r.message.empty()
+                                ? "deadline expired with no usable answer"
+                                : r.message)
+         << "\n";
+      break;
+    case Terminal::kCancelled:
+      os << "LERA_CANCELLED " << id << " "
+         << sanitize_detail(r.message.empty() ? "request withdrawn"
+                                              : r.message)
+         << "\n";
+      break;
+  }
+  return os.str();
+}
+
+std::uint64_t payload_fingerprint(const std::string& payload) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : payload) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[fingerprint & 0xF];
+    fingerprint >>= 4;
+  }
+  return out;
+}
+
+int worker_loop(ByteStream& stream, const WorkerConfig& config) {
+  engine::EngineOptions engine_options = config.engine;
+  // A forked child must never depend on parent threads, and one request
+  // at a time needs no pool: strictly sequential solving on this thread.
+  engine_options.threads = 1;
+  engine_options.alloc.fallback_to_baseline = true;
+  engine::Engine engine(engine_options);
+  const bool static_model = engine_options.params.register_model ==
+                            energy::RegisterModel::kStatic;
+  netflow::CrashFailpoint failpoint(config.crash);
+
+  const auto answer = [&](const Frame& frame) {
+    const std::string id = frame.id.empty() ? std::string("#w") : frame.id;
+    if (frame.verb != FrameVerb::kSolve) {
+      // The supervisor only dispatches SOLVE (plus PING as a liveness
+      // probe); answer anything else with PONG so the one-line-per-frame
+      // invariant the parent relies on holds unconditionally.
+      return stream.write("LERA_PONG " + id + "\n");
+    }
+
+    if (failpoint.armed()) {
+      if (const std::optional<netflow::CrashFailpoint::Mode> mode =
+              failpoint.should_crash(frame.payload)) {
+        // Die *mid-response* on the clean-exit mode: a torn partial
+        // line is the nastiest crash shape the supervisor must discard.
+        if (*mode == netflow::CrashFailpoint::Mode::kExit) {
+          stream.write("LERA_RE");
+        }
+        netflow::CrashFailpoint::crash(*mode, config.crash.exit_code);
+      }
+    }
+
+    const Clock::time_point started = Clock::now();
+    const workloads::ProblemParseResult parsed =
+        workloads::parse_problem(frame.payload, engine_options.params);
+    if (!parsed.ok()) {
+      return stream.write(
+          reject_line(id, RejectReason::kBadRequest, parsed.error));
+    }
+
+    engine::Session session = engine.open_session();
+    const std::size_t ticket = session.submit(
+        std::move(*parsed.problem),
+        frame.deadline_ms > 0 ? frame.deadline_ms / 1000.0 : 0.0);
+    while (!session.wait_for(ticket, 0.25)) {
+    }
+    const alloc::AllocationResult& r = session.result(ticket);
+    return stream.write(format_verdict_line(
+        id, r, classify_result(r), ms_since(started),
+        config.echo_assignment, static_model));
+  };
+
+  FrameDecoder decoder;
+  char buffer[4096];
+  for (;;) {
+    const std::ptrdiff_t n = stream.read(buffer, sizeof buffer);
+    if (n == ByteStream::kReadAgain) continue;
+    if (n <= 0) break;  // Supervisor closed its end: orderly retirement.
+    for (FrameEvent& event :
+         decoder.feed({buffer, static_cast<std::size_t>(n)})) {
+      if (!event.ok) {
+        const RejectReason reason =
+            event.error == FrameError::kFrameTooLarge
+                ? RejectReason::kFrameTooLarge
+                : RejectReason::kBadFrame;
+        const std::string id =
+            event.id.empty() ? std::string("#w") : event.id;
+        if (!stream.write(reject_line(id, reason, event.detail))) {
+          return 0;
+        }
+        continue;
+      }
+      if (!answer(event.frame)) return 0;  // Parent gone mid-write.
+    }
+  }
+  return 0;
+}
+
+}  // namespace lera::server

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "alloc/allocator.hpp"
+#include "engine/engine.hpp"
+#include "netflow/fault_injection.hpp"
+#include "server/admission.hpp"
+#include "server/metrics.hpp"
+#include "server/stream.hpp"
+
+/// \file worker.hpp
+/// The worker side of the crash-isolated serving mode, plus the
+/// response-line vocabulary it shares with the in-process path.
+///
+/// In isolated mode (`lera_server --workers N`) solves never run inside
+/// the daemon: the supervisor (supervisor.hpp) forks worker
+/// subprocesses and dispatches each admitted SOLVE frame to one of them
+/// over the existing FdStream/framing wire protocol. The child calls
+/// worker_loop(): a single-request loop that decodes one frame at a
+/// time, solves it under the worker's own engine (threads=1, its own
+/// memory budget), and writes back exactly one verdict line — the same
+/// `LERA_RESULT`/`LERA_ERROR`/`LERA_TIMEOUT`/`LERA_CANCELLED` lines the
+/// in-process writer emits, produced by the same formatting functions
+/// below, so the two modes are byte-identical on the happy path.
+///
+/// A worker that dies mid-request (real bug, injected CrashFailpoint,
+/// kernel OOM kill) simply never writes its line; the supervisor turns
+/// that silence into a typed `worker_crashed` verdict. Nothing in this
+/// file tries to survive a crash — that is the point: workers are
+/// allowed to be crash-only, the *daemon* is not.
+
+namespace lera::server {
+
+/// Everything a worker subprocess needs to serve requests. Plumbed
+/// through SupervisorOptions; the fork inherits it by memory, no exec.
+struct WorkerConfig {
+  /// Engine configuration for the worker's private engine. The worker
+  /// forces threads=1 (strictly sequential, no pool threads — a forked
+  /// child must not depend on parent threads) and
+  /// alloc.fallback_to_baseline like the in-process server does.
+  engine::EngineOptions engine;
+  /// Append assign= to LERA_RESULT lines (ServerOptions::echo_assignment).
+  bool echo_assignment = true;
+  /// Seeded crash injection (chaos harness / CI drills). Disarmed by
+  /// default; the supervisor decorrelates the seed per worker slot.
+  netflow::CrashFailpoint::Options crash;
+};
+
+/// Newline/CR-stripping for diagnostics that travel inside one response
+/// line, so payload-derived text cannot forge protocol structure.
+std::string sanitize_detail(std::string text);
+
+/// "LERA_REJECT <id> reason=<r> [detail=...]\n".
+std::string reject_line(const std::string& id, RejectReason reason,
+                        const std::string& detail);
+
+/// The disjoint terminal state of one finished solve (metrics.hpp).
+Terminal classify_result(const alloc::AllocationResult& r);
+
+/// The single verdict line for one finished solve — shared by the
+/// in-process writer loop (server.cpp) and worker_loop() so both modes
+/// emit byte-identical responses. \p static_model selects which energy
+/// total LERA_RESULT reports.
+std::string format_verdict_line(const std::string& id,
+                                const alloc::AllocationResult& r,
+                                Terminal terminal, double latency_ms,
+                                bool echo_assignment, bool static_model);
+
+/// Runs the worker side of the supervisor protocol on \p stream until
+/// end-of-stream (supervisor gone) or a crash. Builds one private
+/// engine up front and serves SOLVE frames one at a time, each answered
+/// with exactly one verdict line; PING frames answer LERA_PONG (the
+/// supervisor's liveness probe). Returns the process exit code (0 on
+/// orderly end-of-stream) — the forked child passes it to _exit(), and
+/// tests call it in-process over a MemoryChannel.
+int worker_loop(ByteStream& stream, const WorkerConfig& config);
+
+/// FNV-1a fingerprint of a request payload: the identity under which
+/// crashes are counted, poison is quarantined, and crash-corpus
+/// reproducers are named. Byte-exact: two payloads share a fingerprint
+/// only if they are byte-identical (modulo hash collisions).
+std::uint64_t payload_fingerprint(const std::string& payload);
+
+/// Fixed-width lowercase-hex rendering of a fingerprint (file names,
+/// detail= fields).
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+}  // namespace lera::server

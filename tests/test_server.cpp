@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -10,6 +14,24 @@
 #include <vector>
 
 #include "server/stream.hpp"
+
+// fork()-based isolation tests skip themselves under TSan (fork from a
+// threaded process is unsupported there); everything else runs.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LERA_TEST_UNDER_TSAN 1
+#endif
+#endif
+#if !defined(LERA_TEST_UNDER_TSAN) && defined(__SANITIZE_THREAD__)
+#define LERA_TEST_UNDER_TSAN 1
+#endif
+
+#ifdef LERA_TEST_UNDER_TSAN
+#define LERA_SKIP_IF_TSAN() \
+  GTEST_SKIP() << "fork-based worker isolation is unsupported under TSan"
+#else
+#define LERA_SKIP_IF_TSAN() (void)0
+#endif
 
 // End-to-end tests of the allocation service over in-memory channels:
 // the same Server::serve() path pipe mode and the socket listener use,
@@ -363,6 +385,140 @@ TEST(Server, TruncatedStreamYieldsTypedRejectNotSilence) {
   EXPECT_EQ(lines[0].rfind("LERA_REJECT cut reason=bad_frame", 0), 0u)
       << lines[0];
   EXPECT_NE(lines[0].find("bytes short"), std::string::npos) << lines[0];
+}
+
+TEST(Server, IsolatedModeMatchesInProcessVerdictBytes) {
+  LERA_SKIP_IF_TSAN();
+  // Same conversation through both execution modes: the worker child
+  // uses the very formatting helpers the in-process path uses, so the
+  // verdict lines must match byte for byte modulo the latency figure.
+  Server in_process(deterministic_options());
+  const std::vector<std::string> direct = converse(
+      in_process, {solve_frame("s1", kTinyProblem), "PING 0 id=p\n"});
+
+  ServerOptions opts = deterministic_options();
+  opts.isolation.workers = 1;
+  Server isolated(opts);
+  const std::vector<std::string> via_worker = converse(
+      isolated, {solve_frame("s1", kTinyProblem), "PING 0 id=p\n"});
+
+  const auto strip_latency = [](const std::string& line) {
+    const std::size_t at = line.find(" latency_ms=");
+    if (at == std::string::npos) return line;
+    const std::size_t end = line.find(' ', at + 1);
+    return line.substr(0, at) +
+           (end == std::string::npos ? "" : line.substr(end));
+  };
+  ASSERT_EQ(direct.size(), via_worker.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(strip_latency(direct[i]), strip_latency(via_worker[i]))
+        << "line " << i;
+  }
+}
+
+TEST(Server, WorkerCrashAndQuarantineAreTypedAndAccounted) {
+  LERA_SKIP_IF_TSAN();
+  ServerOptions opts = deterministic_options();
+  opts.isolation.workers = 1;
+  opts.isolation.poison_threshold = 1;
+  opts.isolation.restart_backoff_seconds = 0.005;
+  opts.isolation.worker.crash.marker = "poisonpill";
+  Server server(opts);
+
+  const std::string poison =
+      "steps 6\nregisters 2\n"
+      "var poisonpill write 1 reads 4\nvar b write 2 reads 5\n";
+  const std::vector<std::string> lines = converse(
+      server, {solve_frame("c1", poison), solve_frame("c2", poison),
+               solve_frame("ok", kTinyProblem)});
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("LERA_REJECT c1 reason=worker_crashed", 0), 0u)
+      << lines[0];
+  EXPECT_NE(lines[0].find("worker died"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[1].rfind("LERA_REJECT c2 reason=quarantined", 0), 0u)
+      << lines[1];
+  EXPECT_EQ(lines[2].rfind("LERA_RESULT ok status=ok", 0), 0u) << lines[2];
+
+  const MetricsSnapshot s = server.metrics();
+  EXPECT_EQ(s.rejected_by_reason[static_cast<int>(
+                RejectReason::kWorkerCrashed)],
+            1);
+  EXPECT_EQ(s.rejected_by_reason[static_cast<int>(
+                RejectReason::kQuarantined)],
+            1);
+  EXPECT_EQ(s.accounted_requests(), s.solve_requests);
+
+  const HealthStatus health = server.health();
+  EXPECT_TRUE(health.isolation_enabled);
+  EXPECT_GE(health.worker_crashes, 1);
+  EXPECT_EQ(health.quarantined_fingerprints, 1);
+}
+
+TEST(Server, DrainDuringWorkerRestartYieldsOneTypedVerdictEach) {
+  LERA_SKIP_IF_TSAN();
+  // The nasty interleaving: a crash puts the only worker slot into its
+  // respawn backoff, a drain lands while the next request is waiting on
+  // that backoff, and the backoff (5 s) far outlasts the drain grace
+  // (0.3 s). The queued request must still resolve to exactly one
+  // typed verdict — withdrawn, not stuck, not dropped.
+  ServerOptions opts = deterministic_options();
+  opts.drain_grace_seconds = 0.3;
+  opts.isolation.workers = 1;
+  opts.isolation.poison_threshold = 100;  // Quarantine stays out of play.
+  opts.isolation.restart_backoff_seconds = 5.0;
+  opts.isolation.restart_backoff_cap_seconds = 10.0;
+  opts.isolation.worker.crash.marker = "poisonpill";
+  Server server(opts);
+
+  const std::string poison =
+      "steps 6\nregisters 2\n"
+      "var poisonpill write 1 reads 4\nvar b write 2 reads 5\n";
+  const std::vector<std::string> lines = converse(
+      server, {solve_frame("crash", poison),
+               solve_frame("queued", kTinyProblem), "DRAIN 0 id=d\n"});
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("LERA_REJECT crash reason=worker_crashed", 0),
+            0u)
+      << lines[0];
+  EXPECT_EQ(lines[1].rfind("LERA_CANCELLED queued", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("LERA_DRAIN d state=started", 0), 0u)
+      << lines[2];
+  EXPECT_EQ(lines[3].rfind("LERA_DRAIN - state=complete", 0), 0u)
+      << lines[3];
+  // The drain ledger carries the supervisor's counters.
+  bool saw_worker_metric = false;
+  for (const std::string& l : lines) {
+    if (l.rfind("LERA_METRIC server_worker_crashes", 0) == 0) {
+      saw_worker_metric = true;
+    }
+  }
+  EXPECT_TRUE(saw_worker_metric);
+
+  const MetricsSnapshot s = server.metrics();
+  EXPECT_EQ(s.accounted_requests(), s.solve_requests);
+  EXPECT_EQ(s.solve_requests, 2);
+}
+
+TEST(Server, AbruptPeerDeathOnFdStreamIsCleanEndOfStreamNotError) {
+  // satellite: a TCP client that vanishes (RST) must account exactly
+  // like the in-memory chaos harness's disconnects — write() returns
+  // false, read() reports end-of-stream — never a generic error.
+  ::signal(SIGPIPE, SIG_IGN);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  FdStream stream(sv[0], sv[0], /*owns_fds=*/true);
+  ASSERT_TRUE(stream.write("hello"));
+  // Peer dies abruptly with our bytes unread: the kernel turns further
+  // traffic into EPIPE/ECONNRESET.
+  ::close(sv[1]);
+  EXPECT_FALSE(stream.write(std::string(1 << 16, 'x')));
+  EXPECT_TRUE(stream.peer_reset());
+  char buffer[64];
+  std::ptrdiff_t n;
+  do {
+    n = stream.read(buffer, sizeof buffer);
+  } while (n == ByteStream::kReadAgain);
+  EXPECT_EQ(n, 0) << "peer reset must read as clean end-of-stream";
 }
 
 TEST(Server, WatchdogTripsOnQueueWaitAndRecovers) {

@@ -1,0 +1,278 @@
+#include "server/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/framing.hpp"
+#include "server/stream.hpp"
+#include "server/worker.hpp"
+#include "workloads/problem_io.hpp"
+
+// The crash-isolation layer in isolation: the worker child's request
+// loop driven over an in-memory channel (no fork), and the supervisor's
+// full contract — typed crash verdicts, poison quarantine, byte-exact
+// crash-corpus reproducers, respawn after an external kill -9, and the
+// hang watchdog — against real forked workers.
+//
+// The fork-based tests skip themselves under TSan: fork() from a
+// process with running threads is unsupported there.
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LERA_TEST_UNDER_TSAN 1
+#endif
+#endif
+#if !defined(LERA_TEST_UNDER_TSAN) && defined(__SANITIZE_THREAD__)
+#define LERA_TEST_UNDER_TSAN 1
+#endif
+
+#ifdef LERA_TEST_UNDER_TSAN
+#define LERA_SKIP_IF_TSAN() \
+  GTEST_SKIP() << "fork-based worker isolation is unsupported under TSan"
+#else
+#define LERA_SKIP_IF_TSAN() (void)0
+#endif
+
+namespace lera::server {
+namespace {
+
+constexpr const char* kTinyProblem =
+    "steps 7\nregisters 3\n"
+    "var a write 1 reads 3\nvar b write 2 reads 4\n"
+    "var c write 3 reads 6\n";
+
+std::string solve_frame(const std::string& id, const std::string& payload,
+                        long long deadline_ms = -1) {
+  Frame f;
+  f.verb = FrameVerb::kSolve;
+  f.id = id;
+  f.deadline_ms = deadline_ms;
+  f.payload = payload;
+  return encode_frame(f);
+}
+
+/// Feeds \p chunks to a worker_loop running over an in-memory channel
+/// and returns its response lines in order.
+std::vector<std::string> worker_converse(
+    const WorkerConfig& config, const std::vector<std::string>& chunks) {
+  MemoryChannel chan;
+  std::thread worker(
+      [&] { worker_loop(chan.server_end(), config); });
+  for (const std::string& c : chunks) {
+    if (!chan.client_end().write(c)) break;
+  }
+  chan.close_client_writes();
+  worker.join();
+  chan.close_server_writes();
+
+  char buffer[4096];
+  std::string acc;
+  for (;;) {
+    const std::ptrdiff_t n = chan.client_end().read(buffer, sizeof buffer);
+    if (n == ByteStream::kReadAgain) continue;
+    if (n <= 0) break;
+    acc.append(buffer, static_cast<std::size_t>(n));
+  }
+  std::vector<std::string> lines;
+  std::size_t nl;
+  while ((nl = acc.find('\n')) != std::string::npos) {
+    lines.push_back(acc.substr(0, nl));
+    acc.erase(0, nl + 1);
+  }
+  return lines;
+}
+
+std::string scratch_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Supervisor, WorkerLoopAnswersSolvesAndPingsInOrder) {
+  WorkerConfig config;
+  config.engine.threads = 1;
+  const std::vector<std::string> lines = worker_converse(
+      config, {"PING 0 id=p1\n", solve_frame("s1", kTinyProblem),
+               solve_frame("s2", kTinyProblem)});
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "LERA_PONG p1");
+  EXPECT_EQ(lines[1].rfind("LERA_RESULT s1 status=ok", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("LERA_RESULT s2 status=ok", 0), 0u) << lines[2];
+  EXPECT_NE(lines[1].find(" assign="), std::string::npos) << lines[1];
+}
+
+TEST(Supervisor, WorkerLoopRejectsUnparseablePayloadTyped) {
+  WorkerConfig config;
+  config.engine.threads = 1;
+  const std::vector<std::string> lines = worker_converse(
+      config, {solve_frame("bad", "steps 3\nwat is this\n"),
+               solve_frame("ok", kTinyProblem)});
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("LERA_REJECT bad reason=bad_request", 0), 0u)
+      << lines[0];
+  EXPECT_NE(lines[0].find("detail=line 2"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[1].rfind("LERA_RESULT ok", 0), 0u) << lines[1];
+}
+
+TEST(Supervisor, CrashesAreTypedPoisonQuarantinesAndCorpusIsByteExact) {
+  LERA_SKIP_IF_TSAN();
+  const std::string dir = scratch_dir("lera_supervisor_corpus_test");
+  SupervisorOptions opts;
+  opts.workers = 1;
+  opts.worker.engine.threads = 1;
+  opts.worker.crash.marker = "poisonpill";
+  opts.crash_dir = dir;
+  opts.poison_threshold = 2;
+  opts.restart_backoff_seconds = 0.005;
+  opts.restart_backoff_cap_seconds = 0.02;
+  Supervisor supervisor(opts);
+
+  const std::string poison =
+      "steps 6\nregisters 2\n"
+      "var poisonpill write 1 reads 4\nvar b write 2 reads 5\n";
+
+  // Two crashes on the same payload fingerprint, each typed...
+  for (int i = 0; i < 2; ++i) {
+    auto pending = supervisor.dispatch("p" + std::to_string(i), poison, -1);
+    ASSERT_TRUE(pending->wait_for(30.0));
+    EXPECT_EQ(pending->verdict().kind, WorkerVerdictKind::kWorkerCrashed)
+        << pending->verdict().detail;
+    EXPECT_NE(pending->verdict().detail.find("worker died"),
+              std::string::npos)
+        << pending->verdict().detail;
+  }
+  // ...then the byte-identical resubmission is refused up front.
+  auto quarantined = supervisor.dispatch("p2", poison, -1);
+  ASSERT_TRUE(quarantined->wait_for(30.0));
+  EXPECT_EQ(quarantined->verdict().kind, WorkerVerdictKind::kQuarantined)
+      << quarantined->verdict().detail;
+  EXPECT_NE(quarantined->verdict().detail.find("quarantined"),
+            std::string::npos);
+
+  // A healthy request still gets served by the respawned worker.
+  auto healthy = supervisor.dispatch("h", kTinyProblem, -1);
+  ASSERT_TRUE(healthy->wait_for(30.0));
+  ASSERT_EQ(healthy->verdict().kind, WorkerVerdictKind::kLine)
+      << healthy->verdict().detail;
+  EXPECT_EQ(healthy->verdict().line.rfind("LERA_RESULT h status=ok", 0),
+            0u)
+      << healthy->verdict().line;
+
+  const SupervisorStats stats = supervisor.stats();
+  EXPECT_EQ(stats.crashes, 2);
+  EXPECT_EQ(stats.quarantined_fingerprints, 1);
+  EXPECT_EQ(stats.quarantine_rejects, 1);
+  EXPECT_EQ(stats.corpus_files, 2);
+
+  // The reproducer is the payload, byte for byte, and loads cleanly.
+  const std::string repro =
+      dir + "/crash-" + fingerprint_hex(payload_fingerprint(poison)) +
+      "-1.lt";
+  std::ifstream in(repro, std::ios::binary);
+  ASSERT_TRUE(in.good()) << repro;
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  EXPECT_EQ(bytes.str(), poison);
+  EXPECT_TRUE(workloads::parse_problem(bytes.str()).ok());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Supervisor, ExternalKillIsAbsorbedByRespawn) {
+  LERA_SKIP_IF_TSAN();
+  SupervisorOptions opts;
+  opts.workers = 1;
+  opts.worker.engine.threads = 1;
+  opts.restart_backoff_seconds = 0.005;
+  Supervisor supervisor(opts);
+
+  auto first = supervisor.dispatch("a", kTinyProblem, -1);
+  ASSERT_TRUE(first->wait_for(30.0));
+  ASSERT_EQ(first->verdict().kind, WorkerVerdictKind::kLine);
+
+  const std::vector<int> pids = supervisor.worker_pids();
+  ASSERT_EQ(pids.size(), 1u);
+  ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+  // Let the corpse settle: once its socket end is gone the next frame
+  // write fails up front, which is the idle-death (not mid-solve) case
+  // this test pins down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // The idle-killed worker is replaced transparently: the next request
+  // is served, not blamed on the kill.
+  auto second = supervisor.dispatch("b", kTinyProblem, -1);
+  ASSERT_TRUE(second->wait_for(30.0));
+  ASSERT_EQ(second->verdict().kind, WorkerVerdictKind::kLine)
+      << second->verdict().detail;
+  EXPECT_EQ(second->verdict().line.rfind("LERA_RESULT b status=ok", 0), 0u)
+      << second->verdict().line;
+  EXPECT_GE(supervisor.stats().restarts, 1);
+}
+
+TEST(Supervisor, HangWatchdogKillsAndTypesTheStall) {
+  LERA_SKIP_IF_TSAN();
+  SupervisorOptions opts;
+  opts.workers = 1;
+  opts.worker.engine.threads = 1;
+  opts.worker.crash.marker = "poisonpill";
+  opts.worker.crash.marker_mode = netflow::CrashFailpoint::Mode::kHang;
+  opts.poison_threshold = 1000;  // The stall itself is under test here.
+  opts.restart_backoff_seconds = 0.005;
+  opts.hang_grace_seconds = 0.3;
+  Supervisor supervisor(opts);
+
+  const std::string hanging =
+      "steps 6\nregisters 2\n"
+      "var poisonpill write 1 reads 4\nvar b write 2 reads 5\n";
+  auto pending = supervisor.dispatch("h", hanging, /*deadline_ms=*/100);
+  ASSERT_TRUE(pending->wait_for(30.0));
+  EXPECT_EQ(pending->verdict().kind, WorkerVerdictKind::kWorkerCrashed)
+      << pending->verdict().detail;
+  EXPECT_NE(pending->verdict().detail.find("hung"), std::string::npos)
+      << pending->verdict().detail;
+  EXPECT_EQ(supervisor.stats().hung_kills, 1);
+
+  // The pool recovered: a healthy request is served afterwards.
+  auto healthy = supervisor.dispatch("ok", kTinyProblem, -1);
+  ASSERT_TRUE(healthy->wait_for(30.0));
+  EXPECT_EQ(healthy->verdict().kind, WorkerVerdictKind::kLine)
+      << healthy->verdict().detail;
+}
+
+TEST(Supervisor, ShutdownResolvesQueuedRequestsAsCancelled) {
+  LERA_SKIP_IF_TSAN();
+  std::shared_ptr<PendingSolve> leftover;
+  {
+    SupervisorOptions opts;
+    opts.workers = 1;
+    opts.worker.engine.threads = 1;
+    opts.worker.crash.marker = "poisonpill";
+    opts.worker.crash.marker_mode = netflow::CrashFailpoint::Mode::kHang;
+    opts.hang_grace_seconds = 30.0;  // Watchdog must not fire first.
+    Supervisor supervisor(opts);
+    // Wedge the only worker, then queue a request behind it: the
+    // supervisor's destructor must resolve it rather than leak it.
+    auto wedge = supervisor.dispatch(
+        "w",
+        "steps 6\nregisters 2\n"
+        "var poisonpill write 1 reads 4\nvar b write 2 reads 5\n",
+        /*deadline_ms=*/60000);
+    leftover = supervisor.dispatch("q", kTinyProblem, -1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_TRUE(leftover->done());
+  EXPECT_EQ(leftover->verdict().kind, WorkerVerdictKind::kCancelled)
+      << leftover->verdict().detail;
+}
+
+}  // namespace
+}  // namespace lera::server
