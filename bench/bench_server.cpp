@@ -28,7 +28,15 @@
 //                  byte-identical and parseable, and the accounting
 //                  identity holds. Skipped under TSan (fork from a
 //                  threaded process is unsupported there).
-//   5. footprint — memory-predictor calibration: per request class,
+//   5. cache     — repetitive traffic against the allocation cache
+//                  (--cache-entries equivalent): a Zipf-weighted pool
+//                  of medium kernels re-submitted verbatim, permuted
+//                  (must still hit: the fingerprint is canonical),
+//                  cost-jittered (must miss: never serve a stale
+//                  answer), and cold. Reports cache_hit_ratio and
+//                  hit vs miss latency percentiles; the hit path must
+//                  be an order of magnitude faster than a solve.
+//   6. footprint — memory-predictor calibration: per request class,
 //                  the admission-time predicted footprint
 //                  (alloc::estimate_problem_footprint) vs the engine
 //                  budget's measured peak, as an error ratio. The
@@ -51,12 +59,14 @@
 #include <condition_variable>
 #include <csignal>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
 #include <random>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -632,7 +642,220 @@ void run_crash_chaos_seed(std::uint64_t seed,
   fs::remove_all(crash_dir, ec);  // Best-effort scratch cleanup.
 }
 
-// --- Phase 5: memory footprint calibration ------------------------------
+// --- Phase 5: repetitive traffic against the allocation cache -----------
+
+/// What the cache phase measures: hit ratio per class plus hit-path vs
+/// miss-path latency percentiles (client-observed, same channel).
+struct CachePhaseReport {
+  std::int64_t requests = 0;
+  std::int64_t repeat_requests = 0;  ///< exact + permuted class sends.
+  std::int64_t hits = 0;
+  std::int64_t repeat_hits = 0;
+  /// Hits on a payload no prior request ever submitted (in any class):
+  /// must stay 0 — the cache cannot know an answer it was never given,
+  /// so such a hit would mean a jittered or cold instance was served a
+  /// stale entry.
+  std::int64_t first_occurrence_hits = 0;
+  std::int64_t unanswered = 0;
+  double hit_ratio = 0;
+  double repeat_hit_ratio = 0;
+  /// Client-observed round-trip percentiles: include the channel and
+  /// reader-thread floor, so they understate the speedup on fast solves.
+  double hit_p50_ms = 0, hit_p99_ms = 0;
+  double miss_p50_ms = 0, miss_p99_ms = 0;
+  /// Server-side percentiles: the hit path (parse + lookup + remap,
+  /// from the cache_hit_latency window) against the cold-solve path
+  /// (admission -> result, from the latency window — in this phase
+  /// every sample in it is a solved miss). This is the pair the <10%
+  /// acceptance gate runs on: it compares the two code paths without
+  /// the in-memory channel's fixed round-trip cost contaminating both.
+  double server_hit_p50_ms = 0, server_hit_p99_ms = 0;
+  double server_miss_p50_ms = 0, server_miss_p99_ms = 0;
+  std::int64_t cache_entries = 0;
+  std::int64_t cache_bytes = 0;
+  double seconds = 0;
+  bool accounting_ok = true;
+};
+
+/// Shuffles the var lines of an .lt text: a semantically identical
+/// problem whose variables arrive in a different declaration order.
+/// The canonical fingerprint must see through this.
+std::string permute_lt(const std::string& lt, std::mt19937_64& rng) {
+  std::istringstream is(lt);
+  std::string line, header;
+  std::vector<std::string> vars;
+  while (std::getline(is, line)) {
+    if (line.rfind("var ", 0) == 0) {
+      vars.push_back(line);
+    } else if (!line.empty()) {
+      header += line + "\n";
+    }
+  }
+  std::shuffle(vars.begin(), vars.end(), rng);
+  std::string out = header;
+  for (const std::string& v : vars) out += v + "\n";
+  return out;
+}
+
+/// Cost jitter: same variables and lifetimes under one more register —
+/// a near-identical instance whose optimal answer can differ, so a
+/// correct cache must treat it as new (the register budget is part of
+/// the fingerprint).
+std::string jitter_lt(const std::string& lt) {
+  const std::size_t pos = lt.find("registers ");
+  if (pos == std::string::npos) return lt;
+  const std::size_t num = pos + 10;
+  const int regs = std::atoi(lt.c_str() + num);
+  std::size_t end = num;
+  while (end < lt.size() && lt[end] != '\n') ++end;
+  return lt.substr(0, num) + std::to_string(regs + 1) + lt.substr(end);
+}
+
+/// Closed-loop repetitive traffic: Zipf-popular kernels re-submitted
+/// exactly, permuted, jittered, and cold, against a cache-enabled
+/// server. Closed loop on purpose — each insert must land before the
+/// next repeat, so the measured ratios are about the cache, not about
+/// pipelining races.
+CachePhaseReport run_cache_phase(int requests) {
+  ServerOptions opts = base_options();
+  opts.engine.cache_entries = 512;
+  // The all-pairs baseline graph makes the cold solve do real work
+  // (quadratic transition arcs) while the hit path — parse, canonical
+  // fingerprint, remap — stays linear in the instance text. That is
+  // exactly the traffic a cache earns its keep on.
+  opts.engine.alloc.style = lera::alloc::GraphStyle::kAllPairs;
+  Server server(opts);
+  Client client(server);
+  std::mt19937_64 rng(4242);
+
+  constexpr int kPool = 8;
+  std::vector<std::string> pool;
+  pool.reserve(kPool);
+  for (int k = 0; k < kPool; ++k) {
+    pool.push_back(make_lt(rng, 150, 200, 3));
+  }
+  // Zipf-ish popularity: kernel k drawn with weight 1/(k+1).
+  std::vector<double> cdf;
+  double z = 0;
+  for (int k = 0; k < kPool; ++k) {
+    z += 1.0 / (k + 1);
+    cdf.push_back(z);
+  }
+  const auto pick = [&]() -> int {
+    const double r =
+        static_cast<double>(rng() % 100000) / 100000.0 * z;
+    for (int k = 0; k < kPool; ++k) {
+      if (r <= cdf[k]) return k;
+    }
+    return kPool - 1;
+  };
+
+  // Class per request: 40% exact repeat, 20% permuted repeat (both must
+  // hit once warm), 20% cost-jittered, 20% cold. A permuted payload is
+  // textually new but semantically seen, so first-occurrence tracking
+  // uses the canonical var-line multiset, not the raw bytes.
+  std::vector<char> cls(static_cast<std::size_t>(requests));
+  std::vector<bool> first(static_cast<std::size_t>(requests));
+  std::set<std::string> seen;
+  const auto canonical_key = [](const std::string& lt) {
+    std::istringstream is(lt);
+    std::string line, header;
+    std::vector<std::string> vars;
+    while (std::getline(is, line)) {
+      if (line.rfind("var ", 0) == 0) {
+        vars.push_back(line);
+      } else if (!line.empty()) {
+        header += line + ";";
+      }
+    }
+    std::sort(vars.begin(), vars.end());
+    for (const std::string& v : vars) header += v + ";";
+    return header;
+  };
+  CachePhaseReport r;
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    const std::uint64_t roll = rng() % 100;
+    const int k = pick();
+    std::string payload;
+    char c;
+    if (roll < 40) {
+      c = 'e';
+      payload = pool[static_cast<std::size_t>(k)];
+    } else if (roll < 60) {
+      c = 'p';
+      payload = permute_lt(pool[static_cast<std::size_t>(k)], rng);
+    } else if (roll < 80) {
+      c = 'j';
+      payload = jitter_lt(pool[static_cast<std::size_t>(k)]);
+    } else {
+      c = 'c';
+      payload = make_lt(rng, 150, 200, 3);
+    }
+    cls[static_cast<std::size_t>(i)] = c;
+    first[static_cast<std::size_t>(i)] =
+        seen.insert(canonical_key(payload)).second;
+    const std::string id = "cache" + std::to_string(i);
+    client.send_solve(id, payload);
+    client.wait_for(id, 30.0);
+  }
+  r.seconds = ms_between(start, Clock::now()) / 1000.0;
+  client.finish_sending();
+  client.join();
+
+  const auto sent = client.sent();
+  const auto responses = client.responses();
+  std::vector<double> hit_lat, miss_lat;
+  r.requests = requests;
+  for (int i = 0; i < requests; ++i) {
+    const std::string id = "cache" + std::to_string(i);
+    const char c = cls[static_cast<std::size_t>(i)];
+    const bool repeat_class = c == 'e' || c == 'p';
+    if (repeat_class) ++r.repeat_requests;
+    const auto resp = responses.find(id);
+    if (resp == responses.end()) {
+      ++r.unanswered;
+      continue;
+    }
+    if (resp->second.type != "LERA_RESULT") continue;
+    const bool hit =
+        resp->second.rest.find(" cached=1") != std::string::npos;
+    const double ms = ms_between(sent.at(id), resp->second.at);
+    if (hit) {
+      ++r.hits;
+      if (repeat_class) ++r.repeat_hits;
+      if (first[static_cast<std::size_t>(i)]) ++r.first_occurrence_hits;
+      hit_lat.push_back(ms);
+    } else {
+      miss_lat.push_back(ms);
+    }
+  }
+  r.hit_ratio = r.requests > 0
+                    ? static_cast<double>(r.hits) /
+                          static_cast<double>(r.requests)
+                    : 0;
+  r.repeat_hit_ratio =
+      r.repeat_requests > 0
+          ? static_cast<double>(r.repeat_hits) /
+                static_cast<double>(r.repeat_requests)
+          : 0;
+  r.hit_p50_ms = quantile(hit_lat, 0.50);
+  r.hit_p99_ms = quantile(hit_lat, 0.99);
+  r.miss_p50_ms = quantile(miss_lat, 0.50);
+  r.miss_p99_ms = quantile(miss_lat, 0.99);
+  const lera::server::MetricsSnapshot snap = server.metrics();
+  r.server_hit_p50_ms = snap.cache_hit_latency.p50_ms;
+  r.server_hit_p99_ms = snap.cache_hit_latency.p99_ms;
+  r.server_miss_p50_ms = snap.latency.p50_ms;
+  r.server_miss_p99_ms = snap.latency.p99_ms;
+  const lera::server::HealthStatus h = server.health();
+  r.cache_entries = h.cache_entries;
+  r.cache_bytes = h.cache_bytes;
+  r.accounting_ok = accounting_holds(server);
+  return r;
+}
+
+// --- Phase 6: memory footprint calibration ------------------------------
 
 /// Predicted-vs-actual memory for one request class.
 struct FootprintClass {
@@ -773,6 +996,32 @@ int main(int argc, char** argv) {
   crash_line("corpus_mismatches", crash_totals.corpus_mismatches);
   crash_line("accounting_failures", crash_totals.accounting_failures);
 
+  const CachePhaseReport cache = run_cache_phase(smoke ? 80 : 300);
+  const auto cache_line = [](const std::string& key, double v) {
+    std::cout << "LERA_METRIC bench_server_cache_" << key << " " << v
+              << "\n";
+  };
+  cache_line("requests", static_cast<double>(cache.requests));
+  cache_line("repeat_requests",
+             static_cast<double>(cache.repeat_requests));
+  cache_line("hits", static_cast<double>(cache.hits));
+  cache_line("hit_ratio", cache.hit_ratio);
+  cache_line("repeat_hit_ratio", cache.repeat_hit_ratio);
+  cache_line("first_occurrence_hits",
+             static_cast<double>(cache.first_occurrence_hits));
+  cache_line("hit_p50_ms", cache.hit_p50_ms);
+  cache_line("hit_p99_ms", cache.hit_p99_ms);
+  cache_line("miss_p50_ms", cache.miss_p50_ms);
+  cache_line("miss_p99_ms", cache.miss_p99_ms);
+  cache_line("server_hit_p50_ms", cache.server_hit_p50_ms);
+  cache_line("server_hit_p99_ms", cache.server_hit_p99_ms);
+  cache_line("server_miss_p50_ms", cache.server_miss_p50_ms);
+  cache_line("server_miss_p99_ms", cache.server_miss_p99_ms);
+  cache_line("entries", static_cast<double>(cache.cache_entries));
+  cache_line("bytes", static_cast<double>(cache.cache_bytes));
+  cache_line("unanswered", static_cast<double>(cache.unanswered));
+  cache_line("accounting_ok", cache.accounting_ok ? 1 : 0);
+
   const std::vector<FootprintClass> footprint =
       run_footprint_calibration(smoke ? 3 : 10);
   for (const FootprintClass& fc : footprint) {
@@ -811,6 +1060,26 @@ int main(int argc, char** argv) {
       << crash_totals.corpus_mismatches
       << ",\n  \"crash_chaos_accounting_failures\": "
       << crash_totals.accounting_failures
+      << ",\n  \"cache\": {\"requests\": " << cache.requests
+      << ", \"repeat_requests\": " << cache.repeat_requests
+      << ", \"hits\": " << cache.hits
+      << ", \"hit_ratio\": " << cache.hit_ratio
+      << ", \"repeat_hit_ratio\": " << cache.repeat_hit_ratio
+      << ", \"first_occurrence_hits\": " << cache.first_occurrence_hits
+      << ", \"hit_p50_ms\": " << cache.hit_p50_ms
+      << ", \"hit_p99_ms\": " << cache.hit_p99_ms
+      << ", \"miss_p50_ms\": " << cache.miss_p50_ms
+      << ", \"miss_p99_ms\": " << cache.miss_p99_ms
+      << ", \"server_hit_p50_ms\": " << cache.server_hit_p50_ms
+      << ", \"server_hit_p99_ms\": " << cache.server_hit_p99_ms
+      << ", \"server_miss_p50_ms\": " << cache.server_miss_p50_ms
+      << ", \"server_miss_p99_ms\": " << cache.server_miss_p99_ms
+      << ", \"entries\": " << cache.cache_entries
+      << ", \"bytes\": " << cache.cache_bytes
+      << ", \"unanswered\": " << cache.unanswered
+      << ", \"seconds\": " << cache.seconds
+      << ", \"accounting_ok\": "
+      << (cache.accounting_ok ? "true" : "false") << "}"
       << ",\n  \"footprint\": [";
   for (std::size_t i = 0; i < footprint.size(); ++i) {
     const FootprintClass& fc = footprint[i];
@@ -864,6 +1133,40 @@ int main(int argc, char** argv) {
                 << crash_chaos.p99_ms << " ms)\n";
       ok = false;
     }
+  }
+  // Cache contract: repeats hit at least half the time (first touches
+  // and evictions allowed for), jittered instances never hit, the hit
+  // path is an order of magnitude under the solve path, and a cache
+  // hit still lands in exactly one terminal state.
+  if (cache.unanswered > 0) {
+    std::cout << "BENCH_FAIL cache phase silent drops detected\n";
+    ok = false;
+  }
+  if (cache.repeat_hit_ratio < 0.5) {
+    std::cout << "BENCH_FAIL cache repeat hit ratio "
+              << cache.repeat_hit_ratio << " below 0.5\n";
+    ok = false;
+  }
+  if (cache.first_occurrence_hits > 0) {
+    std::cout << "BENCH_FAIL cache served " << cache.first_occurrence_hits
+              << " never-before-seen instances from stale entries\n";
+    ok = false;
+  }
+  // The <10% latency gate runs on the server-side windows: hit path
+  // (parse + lookup + remap) against the cold-solve path. The
+  // client-observed round trips are reported alongside but not gated —
+  // they add the in-memory channel's fixed cost to both sides, which
+  // flattens the ratio without saying anything about the cache.
+  if (cache.hits > 0 &&
+      cache.server_hit_p50_ms >= 0.10 * cache.server_miss_p50_ms) {
+    std::cout << "BENCH_FAIL cache hit p50 " << cache.server_hit_p50_ms
+              << " ms not under 10% of cold-solve p50 "
+              << cache.server_miss_p50_ms << " ms\n";
+    ok = false;
+  }
+  if (!cache.accounting_ok) {
+    std::cout << "BENCH_FAIL cache phase accounting identity violated\n";
+    ok = false;
   }
   for (const FootprintClass& fc : footprint) {
     // An under-predicting footprint model would make admission admit

@@ -40,6 +40,12 @@
 //     --perf        print the engine's solver performance counters
 //                   (augmentations, heap traffic, workspace/warm-start
 //                   hits, per-phase ns) as one "LERA_PERF ..." line
+//     --cache       enable the engine's certified allocation cache,
+//                   re-submit the identical instance through it after
+//                   the cold solve, and print one "LERA_CACHE hit|miss"
+//                   line per solve — scripts can verify the cache
+//                   round-trip (miss, then hit, served bit-identical)
+//                   without standing up lera_server
 //     --csv         machine-readable output
 //     --asm         also print the lowered load/store/compute listing
 //
@@ -147,6 +153,7 @@ int main(int argc, char** argv) {
   long long max_bytes = 0;
   bool csv = false;
   bool perf = false;
+  bool use_cache = false;
   bool emit_asm = false;
   bool explore = false;
   bool pipeline = false;
@@ -242,6 +249,8 @@ int main(int argc, char** argv) {
       explore = true;
     } else if (arg == "--perf") {
       perf = true;
+    } else if (arg == "--cache") {
+      use_cache = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--asm") {
@@ -252,7 +261,8 @@ int main(int argc, char** argv) {
                    "[--solver auto|ssp|simplex|cost-scaling|cycle-canceling] "
                    "[--threads N] [--deadline-ms N] [--retries N] "
                    "[--max-bytes N] [--audit off|legality|full] "
-                   "[--pipeline] [--explore] [--perf] [--csv]\n";
+                   "[--pipeline] [--explore] [--perf] [--cache] "
+                   "[--csv]\n";
       return 0;
     } else {
       positional.push_back(arg);
@@ -335,6 +345,7 @@ int main(int argc, char** argv) {
     eng_opts.alloc.fallback_to_baseline = true;
   }
   eng_opts.solver_retries = retries;
+  if (use_cache) eng_opts.cache_entries = 256;
   if (max_bytes > 0) {
     eng_opts.max_bytes_per_solve = max_bytes;
     // Like the deadline path: a budget-refused flow solve degrades to
@@ -474,6 +485,28 @@ int main(int argc, char** argv) {
   }
 
   const alloc::AllocationResult r = engine.allocate_batch({p}).front();
+  if (use_cache) {
+    // The cold solve above always misses (the cache starts empty);
+    // resubmitting the identical instance must hit and serve the same
+    // placement. Both outcomes print, so a script can assert the
+    // round-trip: grep for a "LERA_CACHE hit" with identical=1.
+    std::cout << "LERA_CACHE miss\n";
+    const bool reusable = r.feasible && !r.degraded && !r.timed_out;
+    if (reusable) {
+      const std::int64_t hits_before = engine.stats().cache_hits;
+      const alloc::AllocationResult again =
+          engine.allocate_batch({p}).front();
+      const bool hit = engine.stats().cache_hits > hits_before;
+      bool identical = again.assignment.size() == r.assignment.size();
+      for (std::size_t s = 0; identical && s < r.assignment.size(); ++s) {
+        identical = again.assignment.in_register(s) ==
+                        r.assignment.in_register(s) &&
+                    again.assignment.location(s) == r.assignment.location(s);
+      }
+      std::cout << "LERA_CACHE " << (hit ? "hit" : "miss")
+                << " identical=" << (identical ? 1 : 0) << "\n";
+    }
+  }
   print_perf();
   if (!r.feasible) {
     if (r.memory_exceeded) {

@@ -34,6 +34,15 @@
 //                       byte-identical .lt reproducer under PATH
 //   --poison-threshold N  quarantine a payload fingerprint after N
 //                       worker crashes (default 3)
+//   --cache-entries N   certified allocation cache: keep up to N
+//                       canonical-fingerprint entries and serve exact
+//                       repeats before admission (0 = off, the
+//                       default, with byte-identical output to the
+//                       pre-cache server)
+//   --cache-bytes N     byte budget for cached results (0 = entries
+//                       cap only); charged against --max-bytes-total
+//   --cache-audit-rate N  paranoia recheck every Nth cache hit
+//                       (default 16; 0 = never re-audit)
 //
 // Environment: LERA_CRASH_FAILPOINT="seed=S one_in=N marker=TEXT"
 // arms seeded crash injection inside workers (chaos drills / CI only).
@@ -73,7 +82,8 @@ int usage(int code) {
          "  [--max-frame-bytes N] [--queue-budget-ms N]\n"
          "  [--drain-grace-s X] [--max-bytes N] [--max-bytes-total N]\n"
          "  [--no-assign] [--workers N] [--isolate] [--crash-dir PATH]\n"
-         "  [--poison-threshold N]\n"
+         "  [--poison-threshold N] [--cache-entries N] [--cache-bytes N]\n"
+         "  [--cache-audit-rate N]\n"
          "exit codes: 0 clean end of service (EOF/drain complete),\n"
          "  1 bind or runtime error, 2 bad usage or malformed flags,\n"
          "  4 daemon memory exhaustion\n";
@@ -248,6 +258,15 @@ int run(int argc, char** argv) {
     } else if (arg == "--poison-threshold") {
       opts.isolation.poison_threshold =
           static_cast<int>(next_num("--poison-threshold"));
+    } else if (arg == "--cache-entries") {
+      opts.engine.cache_entries =
+          static_cast<std::size_t>(next_num("--cache-entries"));
+    } else if (arg == "--cache-bytes") {
+      opts.engine.cache_bytes =
+          static_cast<std::int64_t>(next_num("--cache-bytes"));
+    } else if (arg == "--cache-audit-rate") {
+      opts.engine.cache_audit_rate =
+          static_cast<std::uint32_t>(next_num("--cache-audit-rate"));
     } else if (arg == "-h" || arg == "--help") {
       return usage(0);
     } else {

@@ -34,11 +34,47 @@ netflow::SolveOptions robust_options(const AllocatorOptions& options) {
   return solve;
 }
 
-/// Solve + chain extraction against a prebuilt flow graph. The spec's
-/// bypass capacity must be >= p.num_registers.
-AllocationResult solve_with_spec(const AllocationProblem& p,
-                                 const FlowGraphSpec& spec,
-                                 const AllocatorOptions& options) {
+}  // namespace
+
+Assignment assignment_from_flow(const AllocationProblem& p,
+                                const FlowGraphSpec& spec,
+                                const std::vector<netflow::Flow>& arc_flow) {
+  Assignment assignment(p.segments.size());
+  int next_register = 0;
+  for (netflow::ArcId a : spec.graph.out_arcs(spec.s)) {
+    const FlowGraphSpec::ArcInfo& info =
+        spec.arc_info[static_cast<std::size_t>(a)];
+    if (info.kind == ArcKind::kBypass ||
+        arc_flow[static_cast<std::size_t>(a)] == 0) {
+      continue;
+    }
+    const int reg = next_register++;
+    int seg = info.to_seg;
+    for (;;) {
+      assignment.assign_register(static_cast<std::size_t>(seg), reg);
+      // Exactly one unit leaves this segment's r-node.
+      netflow::ArcId out = netflow::kInvalidArc;
+      for (netflow::ArcId cand :
+           spec.graph.out_arcs(spec.r_node[static_cast<std::size_t>(seg)])) {
+        if (arc_flow[static_cast<std::size_t>(cand)] > 0) {
+          out = cand;
+          break;
+        }
+      }
+      assert(out != netflow::kInvalidArc && "register chain broke mid-walk");
+      const FlowGraphSpec::ArcInfo& step =
+          spec.arc_info[static_cast<std::size_t>(out)];
+      if (step.kind == ArcKind::kToSink) break;
+      seg = step.to_seg;
+    }
+  }
+  return assignment;
+}
+
+AllocationResult allocate_with_spec(const AllocationProblem& p,
+                                    const FlowGraphSpec& spec,
+                                    const AllocatorOptions& options,
+                                    std::vector<netflow::Flow>* arc_flow_out) {
   AllocationResult result;
   const netflow::FlowSolution sol = netflow::solve_st_flow_robust(
       spec.graph, spec.s, spec.t, p.num_registers, robust_options(options),
@@ -77,35 +113,7 @@ AllocationResult solve_with_spec(const AllocationProblem& p,
   }
 
   // Each unit of flow out of s traces one register's occupancy chain.
-  result.assignment = Assignment(p.segments.size());
-  int next_register = 0;
-  for (netflow::ArcId a : spec.graph.out_arcs(spec.s)) {
-    const FlowGraphSpec::ArcInfo& info =
-        spec.arc_info[static_cast<std::size_t>(a)];
-    if (info.kind == ArcKind::kBypass ||
-        sol.arc_flow[static_cast<std::size_t>(a)] == 0) {
-      continue;
-    }
-    const int reg = next_register++;
-    int seg = info.to_seg;
-    for (;;) {
-      result.assignment.assign_register(static_cast<std::size_t>(seg), reg);
-      // Exactly one unit leaves this segment's r-node.
-      netflow::ArcId out = netflow::kInvalidArc;
-      for (netflow::ArcId cand :
-           spec.graph.out_arcs(spec.r_node[static_cast<std::size_t>(seg)])) {
-        if (sol.arc_flow[static_cast<std::size_t>(cand)] > 0) {
-          out = cand;
-          break;
-        }
-      }
-      assert(out != netflow::kInvalidArc && "register chain broke mid-walk");
-      const FlowGraphSpec::ArcInfo& step =
-          spec.arc_info[static_cast<std::size_t>(out)];
-      if (step.kind == ArcKind::kToSink) break;
-      seg = step.to_seg;
-    }
-  }
+  result.assignment = assignment_from_flow(p, spec, sol.arc_flow);
 
   const std::string assignment_issues =
       validate_assignment(p, result.assignment);
@@ -119,17 +127,20 @@ AllocationResult solve_with_spec(const AllocationProblem& p,
   result.flow_cost = sol.cost;
   result.model_energy =
       spec.base_energy + options.quantizer.dequantize(sol.cost);
+  if (arc_flow_out != nullptr) *arc_flow_out = sol.arc_flow;
   finish_result(p, result);
   return result;
 }
 
-/// solve_with_spec plus the graceful-degradation contract: when the flow
+namespace {
+
+/// allocate_with_spec plus the graceful-degradation contract: when the flow
 /// path fails and the caller opted in, fall back to the two-phase
 /// baseline and record the downgrade instead of failing outright.
 AllocationResult solve_or_degrade(const AllocationProblem& p,
                                   const FlowGraphSpec& spec,
                                   const AllocatorOptions& options) {
-  AllocationResult result = solve_with_spec(p, spec, options);
+  AllocationResult result = allocate_with_spec(p, spec, options);
   // A cancelled request is never degraded: the caller withdrew it, so
   // spending baseline time on an answer nobody wants would be waste.
   if (result.feasible || result.cancelled || !options.fallback_to_baseline) {

@@ -1,0 +1,258 @@
+#include "alloc/incremental.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "netflow/validate.hpp"
+
+namespace lera::alloc {
+
+namespace {
+
+/// Semantic key of one arc: kind + endpoint segments (in the OLD
+/// problem's segment numbering), packed for hashing. Segment ids fit in
+/// 24 bits for any instance the footprint estimator admits.
+std::uint64_t arc_key(ArcKind kind, int from_seg, int to_seg) {
+  return (static_cast<std::uint64_t>(kind) << 50) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from_seg + 1))
+          << 25) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(to_seg + 1));
+}
+
+}  // namespace
+
+std::vector<int> match_variables(const AllocationProblem& old_p,
+                                 const AllocationProblem& new_p) {
+  const std::size_t n_old = old_p.lifetimes.size();
+  const std::size_t n_new = new_p.lifetimes.size();
+
+  // Name-based matching: requires every name nonempty and unique on
+  // both sides, so an edit can add/remove/shift variables anywhere.
+  bool names_ok = true;
+  std::unordered_map<std::string, int> by_name;
+  by_name.reserve(n_old);
+  for (std::size_t v = 0; v < n_old && names_ok; ++v) {
+    const std::string& name = old_p.lifetimes[v].name;
+    if (name.empty() || !by_name.emplace(name, static_cast<int>(v)).second) {
+      names_ok = false;
+    }
+  }
+  if (names_ok) {
+    std::vector<int> map(n_new, -1);
+    std::vector<bool> used(n_old, false);
+    for (std::size_t v = 0; v < n_new; ++v) {
+      const std::string& name = new_p.lifetimes[v].name;
+      if (name.empty()) {
+        names_ok = false;
+        break;
+      }
+      const auto it = by_name.find(name);
+      if (it == by_name.end()) continue;  // Added variable: no counterpart.
+      if (used[static_cast<std::size_t>(it->second)]) {
+        names_ok = false;  // Duplicate name on the new side.
+        break;
+      }
+      used[static_cast<std::size_t>(it->second)] = true;
+      map[v] = it->second;
+    }
+    if (names_ok) return map;
+  }
+
+  // Positional fallback: only meaningful when nothing was added or
+  // removed.
+  if (n_old == n_new) {
+    std::vector<int> map(n_new);
+    for (std::size_t v = 0; v < n_new; ++v) map[v] = static_cast<int>(v);
+    return map;
+  }
+  return {};
+}
+
+netflow::WarmCorrespondence derive_correspondence(
+    const AllocationProblem& old_p, const FlowGraphSpec& old_spec,
+    const AllocationProblem& new_p, const FlowGraphSpec& new_spec,
+    const std::vector<int>& var_new_to_old) {
+  netflow::WarmCorrespondence map;
+  if (var_new_to_old.size() != new_p.lifetimes.size()) return map;
+
+  // Segment correspondence: a matched variable's segments pair up by
+  // index (both sides are sorted (var, index), so a variable's segments
+  // are contiguous). Index overruns — a shift changed the segment count
+  // — leave the extra segments unmatched, which the repair tolerates.
+  const std::vector<int> old_first = old_p.first_segment_of_var();
+  const std::vector<int> old_counts =
+      lifetime::segments_per_var(old_p.segments, old_p.lifetimes.size());
+  std::vector<int> seg_new_to_old(new_p.segments.size(), -1);
+  for (std::size_t s = 0; s < new_p.segments.size(); ++s) {
+    const lifetime::Segment& seg = new_p.segments[s];
+    const int ov = var_new_to_old[static_cast<std::size_t>(seg.var)];
+    if (ov < 0) continue;
+    if (seg.index >= old_counts[static_cast<std::size_t>(ov)] ||
+        old_first[static_cast<std::size_t>(ov)] < 0) {
+      continue;
+    }
+    seg_new_to_old[s] = old_first[static_cast<std::size_t>(ov)] + seg.index;
+  }
+
+  // Arc correspondence via semantic keys over the OLD numbering.
+  std::unordered_map<std::uint64_t, int> old_arcs;
+  old_arcs.reserve(old_spec.arc_info.size());
+  for (std::size_t a = 0; a < old_spec.arc_info.size(); ++a) {
+    const FlowGraphSpec::ArcInfo& info = old_spec.arc_info[a];
+    old_arcs.emplace(arc_key(info.kind, info.from_seg, info.to_seg),
+                     static_cast<int>(a));
+  }
+  map.arc_from.assign(new_spec.arc_info.size(), -1);
+  for (std::size_t a = 0; a < new_spec.arc_info.size(); ++a) {
+    const FlowGraphSpec::ArcInfo& info = new_spec.arc_info[a];
+    int from = info.from_seg;
+    int to = info.to_seg;
+    if (from >= 0) {
+      from = seg_new_to_old[static_cast<std::size_t>(from)];
+      if (from < 0) continue;
+    }
+    if (to >= 0) {
+      to = seg_new_to_old[static_cast<std::size_t>(to)];
+      if (to < 0) continue;
+    }
+    const auto it = old_arcs.find(arc_key(info.kind, from, to));
+    if (it != old_arcs.end()) {
+      map.arc_from[a] = it->second;
+    }
+  }
+
+  // Node correspondence: s, t, then the matched segments' w/r pairs.
+  map.node_from.assign(
+      static_cast<std::size_t>(new_spec.graph.num_nodes()), -1);
+  map.node_from[static_cast<std::size_t>(new_spec.s)] = old_spec.s;
+  map.node_from[static_cast<std::size_t>(new_spec.t)] = old_spec.t;
+  for (std::size_t s = 0; s < seg_new_to_old.size(); ++s) {
+    const int os = seg_new_to_old[s];
+    if (os < 0) continue;
+    map.node_from[static_cast<std::size_t>(new_spec.w_node[s])] =
+        old_spec.w_node[static_cast<std::size_t>(os)];
+    map.node_from[static_cast<std::size_t>(new_spec.r_node[s])] =
+        old_spec.r_node[static_cast<std::size_t>(os)];
+  }
+  return map;
+}
+
+IncrementalAllocator::IncrementalAllocator(AllocatorOptions options,
+                                           double min_mapped_fraction)
+    : options_(std::move(options)),
+      min_mapped_fraction_(min_mapped_fraction) {}
+
+void IncrementalAllocator::reset() {
+  has_baseline_ = false;
+  warm_.clear();
+}
+
+void IncrementalAllocator::adopt_baseline(
+    const AllocationProblem& p, FlowGraphSpec spec,
+    const std::vector<netflow::Flow>& arc_flow) {
+  // The flow was solved on the supply-adjusted copy; store against the
+  // same shape so the potentials are label-corrected once, here.
+  netflow::Graph st = spec.graph;
+  st.set_supply(spec.s, p.num_registers);
+  st.set_supply(spec.t, -p.num_registers);
+  if (warm_.store(st, arc_flow) != netflow::WarmStoreOutcome::kStored) {
+    return;  // Keep the previous baseline (if any).
+  }
+  base_problem_ = p;
+  base_spec_ = std::move(spec);
+  has_baseline_ = true;
+}
+
+bool IncrementalAllocator::try_repair(const AllocationProblem& p,
+                                      const FlowGraphSpec& spec,
+                                      AllocationResult& out,
+                                      std::vector<netflow::Flow>& flow_out) {
+  if (!has_baseline_ || !warm_.has_entry() ||
+      spec.graph.has_lower_bounds() ||
+      p.num_registers != base_problem_.num_registers) {
+    return false;
+  }
+  const std::vector<int> var_map = match_variables(base_problem_, p);
+  if (var_map.empty() && !p.lifetimes.empty()) return false;
+  const netflow::WarmCorrespondence map =
+      derive_correspondence(base_problem_, base_spec_, p, spec, var_map);
+  if (map.arc_from.empty()) return false;
+  const double mapped =
+      static_cast<double>(map.mapped_arcs()) /
+      static_cast<double>(map.arc_from.empty() ? 1 : map.arc_from.size());
+  if (mapped < min_mapped_fraction_) return false;
+
+  ++stats_.repairs_attempted;
+  netflow::Graph st = spec.graph;
+  st.set_supply(spec.s, p.num_registers);
+  st.set_supply(spec.t, -p.num_registers);
+
+  netflow::SolveGuard guard;
+  guard.max_iterations = options_.solve.max_iterations_per_solver;
+  guard.max_seconds = options_.solve.max_seconds_total;
+  guard.cancel = options_.solve.cancel;
+  guard.start();
+  const netflow::FlowSolution sol =
+      netflow::resolve_warm_mapped(st, warm_, map, &guard, &workspace_);
+  if (!sol.optimal()) return false;
+
+  // Always certified: feasibility, exact cost, and the residual
+  // negative-cycle optimality certificate — a repair that cannot prove
+  // itself falls back to cold instead of being served.
+  const netflow::CheckResult feasible = netflow::check_feasible(st, sol.arc_flow);
+  netflow::Cost cost = 0;
+  if (!feasible.ok || !netflow::checked_flow_cost(st, sol.arc_flow, cost) ||
+      cost != sol.cost || !netflow::certify_optimal(st, sol.arc_flow)) {
+    return false;
+  }
+
+  AllocationResult result;
+  result.assignment = assignment_from_flow(p, spec, sol.arc_flow);
+  if (!validate_assignment(p, result.assignment).empty()) return false;
+  result.feasible = true;
+  result.flow_cost = sol.cost;
+  result.model_energy =
+      spec.base_energy + options_.quantizer.dequantize(sol.cost);
+  finish_result(p, result);
+  result.solve_diagnostics.solver_used =
+      netflow::SolverKind::kSuccessiveShortestPaths;
+  result.solve_diagnostics.warm_start_attempted = true;
+  result.solve_diagnostics.warm_start_hit = true;
+  result.solve_diagnostics.certification =
+      netflow::CertificationVerdict::kPassed;
+  result.solve_diagnostics.iterations = guard.iterations;
+  result.solve_diagnostics.message = "optimal via incremental repair";
+  out = std::move(result);
+  flow_out = sol.arc_flow;
+  return true;
+}
+
+AllocationResult IncrementalAllocator::solve(const AllocationProblem& p) {
+  AllocationResult result;
+  const std::string issues = p.verify();
+  if (!issues.empty()) {
+    result.message = "invalid problem: " + issues;
+    return result;
+  }
+  FlowGraphSpec spec =
+      build_flow_graph(p, options_.style, options_.quantizer);
+
+  std::vector<netflow::Flow> repaired_flow;
+  if (try_repair(p, spec, result, repaired_flow)) {
+    ++stats_.repairs_succeeded;
+    adopt_baseline(p, std::move(spec), repaired_flow);
+    return result;
+  }
+  if (has_baseline_) ++stats_.repair_fallbacks;
+
+  ++stats_.cold_solves;
+  std::vector<netflow::Flow> arc_flow;
+  result = allocate_with_spec(p, spec, options_, &arc_flow);
+  if (result.feasible && !result.degraded && !arc_flow.empty()) {
+    adopt_baseline(p, std::move(spec), arc_flow);
+  }
+  return result;
+}
+
+}  // namespace lera::alloc

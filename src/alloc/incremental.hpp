@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/fingerprint.hpp"
+#include "netflow/warm.hpp"
+
+/// \file incremental.hpp
+/// Incremental-edit repair: re-solve an edited problem from the previous
+/// optimal flow instead of cold. The editing client pattern — add or
+/// remove a variable, shift a lifetime segment, change a pin — changes a
+/// handful of the flow graph's arcs, so the previous optimum is a few
+/// augmentations away from the new one. The repair:
+///
+///  1. builds the new flow graph and derives an arc/node correspondence
+///     to the baseline's graph from *semantic* keys (ArcKind + endpoint
+///     segments, with variables matched by name), never raw indices;
+///  2. imposes the baseline's flow over the corresponding arcs (removed
+///     arcs are simply not imposed; added arcs start empty) and repairs
+///     the imbalance with the warm-start saturate-and-drain machinery
+///     (netflow::resolve_warm_mapped);
+///  3. certifies the repaired flow against the independent optimality
+///     checks (validate.hpp) — ALWAYS, regardless of options: a repair
+///     that cannot prove optimality falls back to a cold solve, so an
+///     incremental answer is never worse than a cold one, only faster.
+///
+/// The test suite's 100-seed differential sweep asserts the repaired
+/// objective is bit-equal to the cold solve's on every edit.
+
+namespace lera::alloc {
+
+/// Counters of one IncrementalAllocator's lifetime.
+struct IncrementalStats {
+  std::int64_t cold_solves = 0;        ///< Full solves (first + fallbacks).
+  std::int64_t repairs_attempted = 0;  ///< Warm-mapped resolves started.
+  std::int64_t repairs_succeeded = 0;  ///< Certified-optimal repairs served.
+  std::int64_t repair_fallbacks = 0;   ///< Attempts that fell back to cold.
+};
+
+/// A sequential incremental solver: keeps the last certified-optimal
+/// flow as the baseline and repairs each subsequent (edited) instance
+/// from it. Not thread-safe — one editing stream per instance, like a
+/// SolverWorkspace.
+class IncrementalAllocator {
+ public:
+  /// \p min_mapped_fraction gates the repair: when fewer than this
+  /// fraction of the new graph's arcs have a baseline counterpart the
+  /// edit is too large for a repair to beat a cold solve.
+  explicit IncrementalAllocator(AllocatorOptions options = {},
+                                double min_mapped_fraction = 0.5);
+
+  /// Solves \p p — incrementally when a usable baseline exists, cold
+  /// otherwise — and promotes the answer to the new baseline.
+  AllocationResult solve(const AllocationProblem& p);
+
+  const IncrementalStats& stats() const { return stats_; }
+
+  /// Drops the baseline (the next solve is cold).
+  void reset();
+
+ private:
+  bool try_repair(const AllocationProblem& p, const FlowGraphSpec& spec,
+                  AllocationResult& out,
+                  std::vector<netflow::Flow>& flow_out);
+  void adopt_baseline(const AllocationProblem& p, FlowGraphSpec spec,
+                      const std::vector<netflow::Flow>& arc_flow);
+
+  AllocatorOptions options_;
+  double min_mapped_fraction_;
+  IncrementalStats stats_;
+
+  bool has_baseline_ = false;
+  AllocationProblem base_problem_;
+  FlowGraphSpec base_spec_;
+  /// Baseline flow + optimality potentials, stored against the
+  /// supply-adjusted (F = R at s/t) copy of base_spec_.graph.
+  netflow::WarmStartCache warm_;
+  netflow::SolverWorkspace workspace_;
+};
+
+/// Derives the variable correspondence new -> old between two problems:
+/// by unique nonempty name when both sides have them, positionally when
+/// the counts match, empty (no correspondence) otherwise. new_to_old[v]
+/// is the old variable index or -1. Exposed for tests.
+std::vector<int> match_variables(const AllocationProblem& old_p,
+                                 const AllocationProblem& new_p);
+
+/// Builds the arc/node correspondence between \p new_spec and
+/// \p old_spec from semantic arc keys, given the variable match.
+/// Exposed for tests.
+netflow::WarmCorrespondence derive_correspondence(
+    const AllocationProblem& old_p, const FlowGraphSpec& old_spec,
+    const AllocationProblem& new_p, const FlowGraphSpec& new_spec,
+    const std::vector<int>& var_new_to_old);
+
+}  // namespace lera::alloc

@@ -6,7 +6,11 @@ namespace lera::energy {
 
 ActivityMatrix::ActivityMatrix(std::size_t n, double default_h,
                                double initial_h)
-    : n_(n), h_(n * n, default_h), initial_(n, initial_h) {
+    : n_(n),
+      default_h_(default_h),
+      initial_h_(initial_h),
+      h_(n * n, default_h),
+      initial_(n, initial_h) {
   assert(default_h >= 0 && default_h <= 1);
   assert(initial_h >= 0 && initial_h <= 1);
 }
@@ -14,6 +18,7 @@ ActivityMatrix::ActivityMatrix(std::size_t n, double default_h,
 void ActivityMatrix::set(std::size_t v1, std::size_t v2, double h) {
   assert(v1 < n_ && v2 < n_);
   assert(h >= 0 && h <= 1);
+  if (h != default_h_) uniform_ = false;
   h_[v1 * n_ + v2] = h;
   h_[v2 * n_ + v1] = h;
 }
@@ -21,6 +26,7 @@ void ActivityMatrix::set(std::size_t v1, std::size_t v2, double h) {
 void ActivityMatrix::set_initial(std::size_t v, double h) {
   assert(v < n_);
   assert(h >= 0 && h <= 1);
+  if (h != initial_h_) uniform_ = false;
   initial_[v] = h;
 }
 

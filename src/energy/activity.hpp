@@ -37,6 +37,17 @@ class ActivityMatrix {
   }
   void set_initial(std::size_t v, double h);
 
+  /// True while every pair still holds the constructor's default_h and
+  /// every initial the constructor's initial_h — i.e. no set() call has
+  /// ever written a different value. Consumers (fingerprinting) may
+  /// then summarize the whole matrix as (n, default, initial) instead
+  /// of walking O(n^2) entries. Conservative: a matrix rebuilt to the
+  /// same values through non-default writes reports false, which only
+  /// costs the consumer the long form, never a wrong summary.
+  bool is_uniform() const { return uniform_; }
+  double uniform_h() const { return default_h_; }
+  double uniform_initial() const { return initial_h_; }
+
   /// Measures activities from a value trace: \p trace[s][i] is variable
   /// i's value in sample s, \p widths[i] its bit width. H(i,j) is the
   /// mean Hamming distance fraction across samples; initial(i) the mean
@@ -47,6 +58,9 @@ class ActivityMatrix {
 
  private:
   std::size_t n_;
+  double default_h_;
+  double initial_h_;
+  bool uniform_ = true;
   std::vector<double> h_;
   std::vector<double> initial_;
 };

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/fingerprint.hpp"
+#include "audit/report.hpp"
+#include "netflow/membudget.hpp"
+
+/// \file alloc_cache.hpp
+/// The certified allocation cache: a bounded, sharded, thread-safe map
+/// fingerprint -> certified AllocationResult. Production allocation
+/// traffic is repetitive (the same kernels resubmitted under renamed
+/// variables and identical costs), so a hit serves a finished, audited
+/// allocation in O(segments) — the remap of the cached canonical-order
+/// assignment onto the new instance's declaration order — instead of a
+/// full flow solve.
+///
+/// Safety contract — the cache NEVER silently serves a wrong answer:
+///  * only certified results enter (feasible, not degraded / timed-out /
+///    cancelled / memory-curtailed, certification passed, no audit
+///    findings);
+///  * the canonical fingerprint collides permuted-but-equivalent
+///    instances *by construction*; the stored segment count is still
+///    cross-checked on every hit, and every audit_rate-th hit is
+///    re-audited from first principles (audit::audit_allocation on the
+///    remapped assignment). A mismatch evicts the entry and recounts
+///    the lookup as a miss, so a fingerprint collision costs one solve,
+///    not one wrong answer.
+///
+/// Eviction is LRU per shard, bounded by an entry cap and a byte cap;
+/// entry bytes are charged against the PR 8 MemoryBudget chain, so
+/// cache memory shows up in EngineStats / HEALTH and counts against
+/// --max-bytes-total. A budget denial evicts from the LRU tail before
+/// giving up on the insert.
+
+namespace lera::engine {
+
+struct AllocCacheOptions {
+  /// Maximum cached entries (0 disables the cache; the default). Split
+  /// across shards: values >= 8 use 8 shards of max_entries/8 each,
+  /// smaller values a single shard.
+  std::size_t max_entries = 0;
+  /// Byte cap over all cached entries (0 = entry cap only).
+  std::int64_t max_bytes = 0;
+  /// Paranoia sampling: every Nth hit is re-audited before being
+  /// served; a finding evicts the entry and recounts the hit as a
+  /// miss. 0 = never re-audit.
+  std::uint32_t audit_rate = 16;
+};
+
+/// Monotonic counters (bytes/entries are gauges). Thread-safe snapshot.
+struct AllocCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::int64_t audit_samples = 0;
+  std::int64_t audit_evictions = 0;
+  std::int64_t bytes_in_use = 0;
+  std::int64_t entries = 0;
+};
+
+class AllocCache {
+ public:
+  /// \p budget is the accounting chain entry bytes are charged against
+  /// (typically a child of the engine-wide budget); an invalid budget
+  /// tracks nothing.
+  AllocCache(const AllocCacheOptions& options, netflow::MemoryBudget budget);
+  ~AllocCache();
+
+  AllocCache(const AllocCache&) = delete;
+  AllocCache& operator=(const AllocCache&) = delete;
+
+  bool enabled() const { return options_.max_entries > 0; }
+
+  /// O(1) lookup by canonical fingerprint. On a hit, returns the cached
+  /// result with its assignment remapped onto \p p's declaration order
+  /// (for exact repeats the remap is the identity, so the result is
+  /// bit-identical to the original solve). Counts a miss — and evicts —
+  /// when the sampled re-audit finds anything.
+  std::optional<alloc::AllocationResult> lookup(
+      const alloc::AllocationProblem& p, const alloc::FingerprintResult& fp);
+
+  /// Records a certified result under its canonical fingerprint (the
+  /// assignment is stored in canonical segment order so any permutation
+  /// of the instance can be served). Silently refuses results that are
+  /// not cacheable() and duplicate keys (first write wins; the entry
+  /// already serving hits is never replaced underneath a reader).
+  void insert(const alloc::FingerprintResult& fp,
+              const alloc::AllocationResult& r);
+
+  /// The entry contract: feasible, came from the certified flow path
+  /// (not the baseline), untainted by deadline/cancel/memory verdicts,
+  /// and clean under any audit that ran.
+  static bool cacheable(const alloc::AllocationResult& r);
+
+  AllocCacheStats stats() const;
+
+  void clear();
+
+ private:
+  struct Entry;
+  struct Shard;
+
+  Shard& shard_of(const alloc::Fingerprint& key);
+  void evict_locked(Shard& shard);  ///< Drops the shard's LRU tail.
+
+  AllocCacheOptions options_;
+  netflow::MemoryBudget budget_;
+  std::size_t num_shards_ = 1;
+  std::size_t entries_per_shard_ = 0;
+  std::vector<Shard> shards_;
+
+  std::atomic<std::int64_t> bytes_{0};
+  std::atomic<std::int64_t> entry_count_{0};
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> insertions_{0};
+  std::atomic<std::int64_t> evictions_{0};
+  std::atomic<std::int64_t> audit_samples_{0};
+  std::atomic<std::int64_t> audit_evictions_{0};
+};
+
+}  // namespace lera::engine

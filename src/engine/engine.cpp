@@ -31,16 +31,23 @@ struct Supervision {
 /// Checks a SolveContext out of the bank for one allocator call and
 /// threads it into the solve options; returns it on destruction. With a
 /// null bank (both knobs off) this is a no-op and the solve path is
-/// untouched.
+/// untouched. When warm starts are on and the problem is known, the
+/// warm cache is picked from the context's keyed pool by the problem's
+/// structural fingerprint, so each flow topology warms independently.
 class ContextLease {
  public:
   ContextLease(detail::ContextBank* bank, const EngineOptions& o,
-               alloc::AllocatorOptions& a)
+               alloc::AllocatorOptions& a,
+               const alloc::AllocationProblem* p = nullptr)
       : bank_(bank) {
     if (bank_ == nullptr) return;
     ctx_ = bank_->acquire();
     if (o.reuse_workspaces) a.solve.workspace = &ctx_->workspace;
-    if (o.warm_start) a.solve.warm_cache = &ctx_->warm;
+    if (o.warm_start) {
+      const std::uint64_t key =
+          p != nullptr ? alloc::fingerprint_problem(*p).structural : 0;
+      a.solve.warm_cache = ctx_->warm_pool.acquire(key);
+    }
   }
 
   ~ContextLease() {
@@ -228,7 +235,7 @@ TaskReport solve_task(const ir::Task& task, const EngineOptions& options,
       options.degrade_on_solver_failure;
   apply_supervision(alloc_options, options, deadline, sup.cancel,
                     sup.breaker, sup.memory_budget);
-  const ContextLease lease(sup.bank, options, alloc_options);
+  const ContextLease lease(sup.bank, options, alloc_options, &p);
   if (sup.stats != nullptr) {
     sup.stats->started.fetch_add(1, std::memory_order_relaxed);
   }
@@ -288,7 +295,7 @@ ScheduleCandidate evaluate_candidate(const ir::BasicBlock& bb,
   apply_supervision(alloc_options, options,
                     request_deadline(options, sup.run_deadline), sup.cancel,
                     sup.breaker, sup.memory_budget);
-  const ContextLease lease(sup.bank, options, alloc_options);
+  const ContextLease lease(sup.bank, options, alloc_options, &p);
   if (sup.stats != nullptr) {
     sup.stats->started.fetch_add(1, std::memory_order_relaxed);
   }
@@ -314,6 +321,13 @@ Engine::Engine(EngineOptions options)
       bank_(options_.reuse_workspaces || options_.warm_start
                 ? std::make_shared<detail::ContextBank>()
                 : nullptr),
+      cache_(options_.cache_entries > 0
+                 ? std::make_shared<AllocCache>(
+                       AllocCacheOptions{options_.cache_entries,
+                                         options_.cache_bytes,
+                                         options_.cache_audit_rate},
+                       memory_budget_.child(0))
+                 : nullptr),
       pool_(std::make_unique<ThreadPool>(options_.threads)) {
   // Pooled (idle) workspaces count against the engine-wide budget.
   if (bank_ != nullptr) bank_->set_budget(memory_budget_);
@@ -375,6 +389,23 @@ EngineStats Engine::stats() const {
   if (breaker_ != nullptr) {
     s.breaker_threshold = breaker_->threshold();
     s.open_breakers = breaker_->open_solvers();
+  }
+  if (cache_ != nullptr) {
+    const AllocCacheStats cs = cache_->stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_insertions = cs.insertions;
+    s.cache_evictions = cs.evictions;
+    s.cache_audit_samples = cs.audit_samples;
+    s.cache_audit_evictions = cs.audit_evictions;
+    s.cache_bytes_in_use = cs.bytes_in_use;
+    s.cache_entries = cs.entries;
+    // Mirror into the perf counters so LERA_PERF lines carry them too.
+    s.perf.cache_hits = cs.hits;
+    s.perf.cache_misses = cs.misses;
+    s.perf.cache_evictions = cs.evictions + cs.audit_evictions;
+    s.perf.cache_audit_samples = cs.audit_samples;
+    s.perf.cache_bytes = cs.bytes_in_use;
   }
   return s;
 }
@@ -490,15 +521,28 @@ std::vector<alloc::AllocationResult> Engine::allocate_batch(
       results[i].message = "cancelled before the solve started";
       return;
     }
+    // Cache consult: a hit serves a certified, already-audited result
+    // without booking a solve. The fingerprint is computed once and
+    // reused for the post-solve insert.
+    std::optional<alloc::FingerprintResult> fp;
+    if (cache_ != nullptr && cache_->enabled()) {
+      fp = alloc::fingerprint_problem(problems[i]);
+      if (auto hit = cache_->lookup(problems[i], *fp)) {
+        results[i] = std::move(*hit);
+        return;
+      }
+    }
     alloc::AllocatorOptions alloc_options = options_.alloc;
     apply_supervision(alloc_options, options_,
                       request_deadline(options_, sup.run_deadline),
                       sup.cancel, sup.breaker, sup.memory_budget);
-    const ContextLease lease(sup.bank, options_, alloc_options);
+    const ContextLease lease(sup.bank, options_, alloc_options,
+                             &problems[i]);
     sup.stats->started.fetch_add(1, std::memory_order_relaxed);
     results[i] = alloc::allocate(problems[i], alloc_options);
     record_solve(sup.stats, results[i]);
     maybe_audit(problems[i], results[i], options_);
+    if (fp.has_value()) cache_->insert(*fp, results[i]);
   });
   return results;
 }
@@ -575,19 +619,35 @@ std::size_t Session::submit(alloc::AllocationProblem problem,
       [state = state_, slot, problem = std::move(problem),
        options = engine_->options_, ticket, token, deadline,
        stats = engine_->stats_core_, breaker = engine_->breaker_,
-       bank = engine_->bank_, memory_budget = engine_->memory_budget_] {
+       bank = engine_->bank_, cache = engine_->cache_,
+       memory_budget = engine_->memory_budget_] {
         {
           std::lock_guard<std::mutex> lock(state->mutex);
           state->running[ticket] = true;
         }
-        alloc::AllocatorOptions alloc_options = options.alloc;
-        apply_supervision(alloc_options, options, deadline, token,
-                          breaker.get(), memory_budget);
-        const ContextLease lease(bank.get(), options, alloc_options);
-        stats->started.fetch_add(1, std::memory_order_relaxed);
-        *slot = alloc::allocate(problem, alloc_options);
-        record_solve(stats.get(), *slot);
-        maybe_audit(problem, *slot, options);
+        // Cache consult, as in allocate_batch: a hit serves without a
+        // solve and the fingerprint is reused for the insert.
+        std::optional<alloc::FingerprintResult> fp;
+        bool served_from_cache = false;
+        if (cache != nullptr && cache->enabled()) {
+          fp = alloc::fingerprint_problem(problem);
+          if (auto hit = cache->lookup(problem, *fp)) {
+            *slot = std::move(*hit);
+            served_from_cache = true;
+          }
+        }
+        if (!served_from_cache) {
+          alloc::AllocatorOptions alloc_options = options.alloc;
+          apply_supervision(alloc_options, options, deadline, token,
+                            breaker.get(), memory_budget);
+          const ContextLease lease(bank.get(), options, alloc_options,
+                                   &problem);
+          stats->started.fetch_add(1, std::memory_order_relaxed);
+          *slot = alloc::allocate(problem, alloc_options);
+          record_solve(stats.get(), *slot);
+          maybe_audit(problem, *slot, options);
+          if (fp.has_value()) cache->insert(*fp, *slot);
+        }
         {
           std::lock_guard<std::mutex> lock(state->mutex);
           state->running[ticket] = false;

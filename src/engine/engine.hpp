@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "alloc/allocator.hpp"
+#include "alloc/fingerprint.hpp"
 #include "alloc/memory_layout.hpp"
 #include "alloc/ports.hpp"
 #include "audit/report.hpp"
+#include "engine/alloc_cache.hpp"
 #include "engine/thread_pool.hpp"
 #include "ir/task_graph.hpp"
 #include "netflow/cancel.hpp"
@@ -153,8 +155,24 @@ struct EngineOptions {
   /// Warm answers are always re-certified, but they may pick a
   /// *different* equal-cost optimum than a cold solve, so this is
   /// opt-in: the default engine stays bit-identical across runs and
-  /// thread counts.
+  /// thread counts. Warm caches are pooled per context and keyed by the
+  /// problem's structural fingerprint, so alternating topologies in one
+  /// stream no longer thrash a single cache.
   bool warm_start = false;
+
+  // --- Allocation cache (fingerprint -> certified result) ---------------
+  /// Entry cap of the engine's AllocCache (0 = cache off; the default,
+  /// which is bit-identical to the pre-cache engine). When on,
+  /// allocate_batch and Session solves consult the cache by canonical
+  /// fingerprint before solving and record certified answers after.
+  std::size_t cache_entries = 0;
+  /// Byte cap over all cached entries (0 = entry cap only). Cached
+  /// bytes are charged against the engine-wide memory budget, so they
+  /// show up in EngineStats and count against max_bytes_total.
+  std::int64_t cache_bytes = 0;
+  /// Re-audit every Nth cache hit before serving it (see
+  /// AllocCacheOptions::audit_rate). 0 = never.
+  std::uint32_t cache_audit_rate = 16;
 };
 
 /// Snapshot of the engine's supervision counters (Engine::stats()).
@@ -192,8 +210,18 @@ struct EngineStats {
   int breaker_threshold = 0;
   /// Solver-level performance counters summed over every completed
   /// solve (augmentations, heap traffic, workspace/warm-start hits,
-  /// per-phase wall time); see netflow::PerfCounters.
+  /// per-phase wall time); see netflow::PerfCounters. The cache_*
+  /// counters below are mirrored into perf as well.
   netflow::PerfCounters perf;
+  /// Allocation-cache counters (all 0 when cache_entries is 0).
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_insertions = 0;
+  std::int64_t cache_evictions = 0;
+  std::int64_t cache_audit_samples = 0;
+  std::int64_t cache_audit_evictions = 0;
+  std::int64_t cache_bytes_in_use = 0;
+  std::int64_t cache_entries = 0;
 };
 
 namespace detail {
@@ -232,12 +260,15 @@ struct EngineStatsCore {
   std::atomic<std::int64_t> perf_mem_peak{0};
 };
 
-/// A leased per-solve context: one solver workspace plus one warm-start
-/// cache. Belongs to exactly one in-flight solve at a time; the bank
-/// below enforces that by handing out exclusive ownership.
+/// A leased per-solve context: one solver workspace plus a small pool
+/// of warm-start caches keyed by structural fingerprint (so a stream
+/// that alternates between topologies keeps a warm flow for each
+/// instead of thrashing one cache). Belongs to exactly one in-flight
+/// solve at a time; the bank below enforces that by handing out
+/// exclusive ownership.
 struct SolveContext {
   netflow::SolverWorkspace workspace;
-  netflow::WarmStartCache warm;
+  netflow::WarmStartPool warm_pool{8};
 };
 
 /// Mutex-guarded freelist of SolveContexts, shared (by shared_ptr) with
@@ -508,6 +539,9 @@ class Engine {
   /// Non-null when reuse_workspaces or warm_start is set; shared with
   /// queued Session jobs like the breaker and stats core.
   std::shared_ptr<detail::ContextBank> bank_;
+  /// Non-null when cache_entries > 0; shared with queued Session jobs.
+  /// Entry bytes are charged against a child of memory_budget_.
+  std::shared_ptr<AllocCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -387,7 +387,13 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
           diag.warm_start_hit = true;
           ++ws->counters.warm_start_hits;
           diag.message = "optimal via warm-start resolve";
-          options.warm_cache->store(g, sol.arc_flow);
+          diag.warm_store_attempted = true;
+          diag.warm_store = options.warm_cache->store(g, sol.arc_flow);
+          if (diag.warm_store != WarmStoreOutcome::kStored) {
+            ++ws->counters.warm_store_rejects;
+            diag.warm_store_note =
+                "warm-store rejected: " + to_string(diag.warm_store);
+          }
           return finish(sol);
         }
         attempt.note = "warm-start rejected: " + why;
@@ -507,7 +513,13 @@ FlowSolution solve_robust(const Graph& g, const SolveOptions& options,
               options.breaker->record_success(kind);
             }
             if (options.warm_cache != nullptr) {
-              options.warm_cache->store(g, sol.arc_flow);
+              diag.warm_store_attempted = true;
+              diag.warm_store = options.warm_cache->store(g, sol.arc_flow);
+              if (diag.warm_store != WarmStoreOutcome::kStored) {
+                ++ws->counters.warm_store_rejects;
+                diag.warm_store_note =
+                    "warm-store rejected: " + to_string(diag.warm_store);
+              }
             }
             return finish(sol);
           }

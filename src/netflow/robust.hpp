@@ -11,6 +11,7 @@
 #include "netflow/graph.hpp"
 #include "netflow/membudget.hpp"
 #include "netflow/solution.hpp"
+#include "netflow/warm.hpp"
 #include "netflow/workspace.hpp"
 
 /// \file robust.hpp
@@ -23,8 +24,6 @@
 /// solve_robust instead of trusting any single algorithm.
 
 namespace lera::netflow {
-
-class WarmStartCache;
 
 /// How much of validate.hpp to run on every accepted answer.
 enum class CertifyLevel {
@@ -233,6 +232,16 @@ struct SolveDiagnostics {
   bool warm_start_attempted = false;
   /// The returned answer came from the warm-start path.
   bool warm_start_hit = false;
+  /// A certified optimal answer was offered to the warm-start cache
+  /// (only when SolveOptions::warm_cache was configured).
+  bool warm_store_attempted = false;
+  /// Typed outcome of that store: anything but kStored means the cache
+  /// kept its previous entry and stayed cold for this topology — the
+  /// ineffectiveness used to be silent; now it is counted
+  /// (PerfCounters::warm_store_rejects) and noted here.
+  WarmStoreOutcome warm_store = WarmStoreOutcome::kStored;
+  /// Human-readable note when the store was rejected ("" when stored).
+  std::string warm_store_note;
   /// The chain contained SolverKind::kAuto and the shape-based selector
   /// expanded it.
   bool auto_selected = false;

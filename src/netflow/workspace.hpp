@@ -56,6 +56,16 @@ struct PerfCounters {
   std::int64_t workspace_reuse_hits = 0;  ///< Solves on a pre-warmed arena.
   std::int64_t warm_start_hits = 0;    ///< Resolves served from a prior flow.
   std::int64_t warm_start_misses = 0;  ///< Warm attempts that fell to cold.
+  std::int64_t warm_store_rejects = 0;  ///< Optimal answers the warm cache
+                                        ///< refused to record (see
+                                        ///< WarmStoreOutcome).
+  std::int64_t cache_hits = 0;       ///< Allocation-cache serves (engine).
+  std::int64_t cache_misses = 0;     ///< Allocation-cache lookups that solved.
+  std::int64_t cache_evictions = 0;  ///< Allocation-cache entries evicted.
+  std::int64_t cache_audit_samples = 0;  ///< Sampled hit re-audits run.
+  std::int64_t cache_bytes = 0;  ///< Bytes the allocation cache holds
+                                 ///< (snapshot, merged with max like a
+                                 ///< high-water mark on add()).
   std::int64_t validate_ns = 0;  ///< Instance validation wall time.
   std::int64_t solve_ns = 0;     ///< Solver-proper wall time.
   std::int64_t certify_ns = 0;   ///< Certification wall time.
@@ -82,6 +92,12 @@ struct PerfCounters {
     workspace_reuse_hits += o.workspace_reuse_hits;
     warm_start_hits += o.warm_start_hits;
     warm_start_misses += o.warm_start_misses;
+    warm_store_rejects += o.warm_store_rejects;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
+    cache_audit_samples += o.cache_audit_samples;
+    cache_bytes = cache_bytes > o.cache_bytes ? cache_bytes : o.cache_bytes;
     validate_ns += o.validate_ns;
     solve_ns += o.solve_ns;
     certify_ns += o.certify_ns;
@@ -108,6 +124,13 @@ struct PerfCounters {
     d.workspace_reuse_hits = workspace_reuse_hits - base.workspace_reuse_hits;
     d.warm_start_hits = warm_start_hits - base.warm_start_hits;
     d.warm_start_misses = warm_start_misses - base.warm_start_misses;
+    d.warm_store_rejects = warm_store_rejects - base.warm_store_rejects;
+    d.cache_hits = cache_hits - base.cache_hits;
+    d.cache_misses = cache_misses - base.cache_misses;
+    d.cache_evictions = cache_evictions - base.cache_evictions;
+    d.cache_audit_samples = cache_audit_samples - base.cache_audit_samples;
+    // Like mem_peak_bytes, a snapshot: carry the current value.
+    d.cache_bytes = cache_bytes;
     d.validate_ns = validate_ns - base.validate_ns;
     d.solve_ns = solve_ns - base.solve_ns;
     d.certify_ns = certify_ns - base.certify_ns;
@@ -141,6 +164,12 @@ struct PerfCounters {
     field("workspace_reuse", workspace_reuse_hits);
     field("warm_hits", warm_start_hits);
     field("warm_misses", warm_start_misses);
+    field("warm_store_rejects", warm_store_rejects);
+    field("cache_hits", cache_hits);
+    field("cache_misses", cache_misses);
+    field("cache_evictions", cache_evictions);
+    field("cache_audit_samples", cache_audit_samples);
+    field("cache_bytes", cache_bytes);
     field("validate_ns", validate_ns);
     field("solve_ns", solve_ns);
     field("certify_ns", certify_ns);

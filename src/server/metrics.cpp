@@ -18,6 +18,8 @@ std::string to_string(Terminal t) {
       return "timed_out";
     case Terminal::kCancelled:
       return "cancelled";
+    case Terminal::kCacheHit:
+      return "cache_hit";
   }
   return "unknown";
 }
@@ -79,7 +81,8 @@ std::int64_t LatencyWindow::count() const {
 ServerMetrics::ServerMetrics(Options options)
     : options_(options),
       latency_(options.latency_window),
-      queue_wait_(options.latency_window) {}
+      queue_wait_(options.latency_window),
+      cache_hit_latency_(options.latency_window) {}
 
 void ServerMetrics::on_reject(RejectReason reason) {
   rejected_[static_cast<std::size_t>(reason)].fetch_add(
@@ -88,6 +91,13 @@ void ServerMetrics::on_reject(RejectReason reason) {
 
 void ServerMetrics::on_terminal(Terminal t, double latency_ms,
                                 double queue_wait_ms) {
+  if (t == Terminal::kCacheHit) {
+    // Hits never queue or solve: they get their own latency window and
+    // stay out of the queue-wait samples that drive the watchdog.
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    cache_hit_latency_.record(latency_ms);
+    return;
+  }
   switch (t) {
     case Terminal::kServed:
       served_.fetch_add(1, std::memory_order_relaxed);
@@ -104,6 +114,8 @@ void ServerMetrics::on_terminal(Terminal t, double latency_ms,
     case Terminal::kCancelled:
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case Terminal::kCacheHit:
+      break;  // Handled above.
   }
   latency_.record(latency_ms);
   queue_wait_.record(queue_wait_ms);
@@ -132,6 +144,8 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.infeasible = infeasible_.load(std::memory_order_relaxed);
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_hit_latency = cache_hit_latency_.summary();
   for (int i = 0; i < kNumRejectReasons; ++i) {
     s.rejected_by_reason[static_cast<std::size_t>(i)] =
         rejected_[static_cast<std::size_t>(i)].load(
@@ -167,6 +181,15 @@ void ServerMetrics::emit_metric_lines(std::ostream& os) const {
      << "\n"
      << "LERA_METRIC server_watchdog_tripped "
      << (s.watchdog_tripped ? 1 : 0) << "\n";
+  if (cache_enabled_) {
+    // Gated on the cache being configured so cache-off STATS output is
+    // byte-identical to the pre-cache server.
+    os << "LERA_METRIC server_cache_hits " << s.cache_hits << "\n"
+       << "LERA_METRIC server_cache_hit_p50_ms "
+       << s.cache_hit_latency.p50_ms << "\n"
+       << "LERA_METRIC server_cache_hit_p99_ms "
+       << s.cache_hit_latency.p99_ms << "\n";
+  }
 }
 
 std::string ServerMetrics::json() const {
@@ -190,8 +213,14 @@ std::string ServerMetrics::json() const {
      << ",\"max\":" << s.latency.max_ms << "}"
      << ",\"queue_wait_ms\":{\"p50\":" << s.queue_wait.p50_ms
      << ",\"p95\":" << s.queue_wait.p95_ms
-     << ",\"p99\":" << s.queue_wait.p99_ms << "}"
-     << ",\"watchdog_tripped\":" << (s.watchdog_tripped ? "true" : "false")
+     << ",\"p99\":" << s.queue_wait.p99_ms << "}";
+  if (cache_enabled_) {
+    os << ",\"cache_hits\":" << s.cache_hits
+       << ",\"cache_hit_latency_ms\":{\"p50\":"
+       << s.cache_hit_latency.p50_ms
+       << ",\"p99\":" << s.cache_hit_latency.p99_ms << "}";
+  }
+  os << ",\"watchdog_tripped\":" << (s.watchdog_tripped ? "true" : "false")
      << "}";
   return os.str();
 }

@@ -31,6 +31,8 @@ enum class Terminal {
   kInfeasible,  ///< Valid problem, no allocation exists (LERA_ERROR).
   kTimedOut,    ///< Deadline expired with no usable answer.
   kCancelled,   ///< Withdrawn (disconnect, drain, engine shutdown).
+  kCacheHit,    ///< Served from the allocation cache, before admission
+                ///< (no queue slot, no solve). Cache-enabled mode only.
 };
 
 std::string to_string(Terminal t);
@@ -74,8 +76,15 @@ struct MetricsSnapshot {
   std::int64_t cancelled = 0;
   std::array<std::int64_t, kNumRejectReasons> rejected_by_reason{};
   std::int64_t rejected_total = 0;
+  /// Requests served from the allocation cache (Terminal::kCacheHit);
+  /// 0 unless the cache is enabled. Part of the accounting identity: a
+  /// hit consumed one SOLVE request without taking a queue slot.
+  std::int64_t cache_hits = 0;
   LatencySummary latency;     ///< Admission -> result available.
   LatencySummary queue_wait;  ///< Latency minus solve wall time.
+  /// Cache-hit serve time (parse + lookup + remap); kept out of
+  /// `latency` so hit/miss percentiles stay separately readable.
+  LatencySummary cache_hit_latency;
   bool watchdog_tripped = false;
   double watchdog_budget_ms = 0;
 
@@ -83,7 +92,8 @@ struct MetricsSnapshot {
   /// solve_requests plus the non-solve rejects' share (see
   /// accounted_requests()).
   std::int64_t terminals() const {
-    return served + degraded + infeasible + timed_out + cancelled;
+    return served + degraded + infeasible + timed_out + cancelled +
+           cache_hits;
   }
   /// Every SOLVE frame must land here exactly once.
   std::int64_t accounted_requests() const {
@@ -123,6 +133,11 @@ class ServerMetrics {
     return tripped_.load(std::memory_order_acquire);
   }
 
+  /// Marks the cache as configured: emit_metric_lines/json add the
+  /// cache_* fields. Off by default so cache-off output stays
+  /// byte-identical to the pre-cache server. Set before serving.
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
   MetricsSnapshot snapshot() const;
 
   /// One "LERA_METRIC server_<name> <value>" line per counter/quantile.
@@ -143,10 +158,13 @@ class ServerMetrics {
   std::atomic<std::int64_t> infeasible_{0};
   std::atomic<std::int64_t> timed_out_{0};
   std::atomic<std::int64_t> cancelled_{0};
+  std::atomic<std::int64_t> cache_hits_{0};
   std::array<std::atomic<std::int64_t>, kNumRejectReasons> rejected_{};
   LatencyWindow latency_;
   LatencyWindow queue_wait_;
+  LatencyWindow cache_hit_latency_;
   std::atomic<bool> tripped_{false};
+  bool cache_enabled_ = false;
 };
 
 }  // namespace lera::server

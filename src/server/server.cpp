@@ -5,11 +5,16 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
+#include <functional>
+#include <list>
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
+#include "alloc/fingerprint.hpp"
 #include "alloc/flow_graph.hpp"
+#include "audit/audit.hpp"
 #include "server/worker.hpp"
 #include "workloads/problem_io.hpp"
 
@@ -53,6 +58,42 @@ double parse_worker_latency_ms(const std::string& line) {
   return std::strtod(line.c_str() + pos + 12, nullptr);
 }
 
+/// Rebuilds the per-segment placement from a LERA_RESULT line's
+/// assign= echo ("r0,mem,r1,..."). nullopt when the echo is absent,
+/// malformed, or does not cover exactly \p num_segments segments —
+/// worker-mode cache inserts are best-effort, never guesses.
+std::optional<alloc::Assignment> parse_assignment_echo(
+    const std::string& line, std::size_t num_segments) {
+  const std::size_t pos = line.find(" assign=");
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t i = pos + 8;
+  alloc::Assignment a(num_segments);
+  std::size_t seg = 0;
+  while (i < line.size() && line[i] != ' ' && line[i] != '\n') {
+    std::size_t end = line.find_first_of(", \n", i);
+    if (end == std::string::npos) end = line.size();
+    const std::string token = line.substr(i, end - i);
+    if (seg >= num_segments) return std::nullopt;
+    if (token == "mem") {
+      a.assign_memory(seg);
+    } else if (token.size() > 1 && token[0] == 'r') {
+      char* parsed_end = nullptr;
+      const long reg = std::strtol(token.c_str() + 1, &parsed_end, 10);
+      if (parsed_end == nullptr || *parsed_end != '\0' || reg < 0) {
+        return std::nullopt;
+      }
+      a.assign_register(seg, static_cast<int>(reg));
+    } else {
+      return std::nullopt;
+    }
+    ++seg;
+    i = end;
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+  if (seg != num_segments) return std::nullopt;
+  return a;
+}
+
 }  // namespace
 
 /// One queued response slot, produced by the reader and consumed by
@@ -71,6 +112,84 @@ struct Server::ConnEntry {
   std::string id;
   std::string tenant;
   Clock::time_point admitted_at{};
+  /// Cache-enabled mode only: the request's canonical fingerprint (the
+  /// insert key once the solve finishes) and — in isolated mode — the
+  /// parsed problem the worker-line reconstruction re-validates against.
+  std::optional<alloc::FingerprintResult> fingerprint;
+  std::shared_ptr<alloc::AllocationProblem> cache_problem;
+};
+
+/// Tier-0 exact-text cache front: raw payload bytes -> the certified
+/// result already served for those exact bytes. Entries only come from
+/// canonical-cache hits, so everything in here has already passed the
+/// AllocCache certification gate; the stored payload is memcmp-verified
+/// on every hit, so a 64-bit key collision costs one parse, never a
+/// wrong answer. LRU-bounded by the same entry cap as the canonical
+/// cache. Thread-safe (one reader thread per connection).
+struct Server::TextFront {
+  struct Entry {
+    std::string payload;
+    alloc::AllocationResult result;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  explicit TextFront(std::size_t cap, std::uint32_t audit_every)
+      : max_entries(cap), audit_rate(audit_every) {}
+
+  std::size_t max_entries;
+  /// Every Nth text hit is refused here so the request takes the
+  /// parse + canonical path, where AllocCache's sampled re-audit can
+  /// see it. 0 = never fall through.
+  std::uint32_t audit_rate;
+  mutable std::mutex mutex;
+  std::uint64_t hit_seq = 0;
+  std::int64_t hits = 0;
+  std::list<std::uint64_t> lru;  ///< Most-recent key at the front.
+  std::unordered_map<std::uint64_t, Entry> map;
+
+  static std::uint64_t key_of(const std::string& payload) {
+    return std::hash<std::string>{}(payload);
+  }
+
+  std::optional<alloc::AllocationResult> lookup(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = map.find(key_of(payload));
+    if (it == map.end() || it->second.payload != payload) return std::nullopt;
+    if (audit_rate > 0 && ++hit_seq % audit_rate == 0) return std::nullopt;
+    ++hits;
+    lru.splice(lru.begin(), lru, it->second.lru_it);
+    return it->second.result;
+  }
+
+  void store(const std::string& payload, const alloc::AllocationResult& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    const std::uint64_t key = key_of(payload);
+    const auto it = map.find(key);
+    if (it != map.end()) {
+      // Same key: refresh (covers both an exact repeat racing its own
+      // insert and a hash collision, where last-writer wins — the
+      // payload check in lookup keeps either case correct).
+      it->second.payload = payload;
+      it->second.result = r;
+      lru.splice(lru.begin(), lru, it->second.lru_it);
+      return;
+    }
+    while (map.size() >= max_entries && !lru.empty()) {
+      map.erase(lru.back());
+      lru.pop_back();
+    }
+    lru.push_front(key);
+    map.emplace(key, Entry{payload, r, lru.begin()});
+  }
+
+  std::int64_t entries() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return static_cast<std::int64_t>(map.size());
+  }
+  std::int64_t hit_count() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return hits;
+  }
 };
 
 /// Per-connection state shared by the reader (serve's caller thread)
@@ -96,7 +215,22 @@ Server::Server(ServerOptions options) : options_(std::move(options)),
   // Anytime answers under load: a deadline-hit flow solve must degrade
   // to the two-phase baseline (flagged), not stall or die.
   options_.engine.alloc.fallback_to_baseline = true;
+  // The server owns the allocation cache (so hits can bypass admission
+  // entirely); the engine's own cache knobs are zeroed to keep a single
+  // cache and a single set of counters. Workers inherit the zeroed
+  // knobs below — caching happens in the parent only.
+  const engine::AllocCacheOptions cache_opts{
+      options_.engine.cache_entries, options_.engine.cache_bytes,
+      options_.engine.cache_audit_rate};
+  options_.engine.cache_entries = 0;
   engine_ = std::make_unique<engine::Engine>(options_.engine);
+  if (cache_opts.max_entries > 0) {
+    cache_ = std::make_unique<engine::AllocCache>(
+        cache_opts, engine_->memory_budget().child(0));
+    text_front_ = std::make_unique<TextFront>(cache_opts.max_entries,
+                                              cache_opts.audit_rate);
+    metrics_.set_cache_enabled(true);
+  }
   if (options_.isolation.workers > 0) {
     // Workers inherit the server's engine configuration and response
     // shape; the supervisor forces per-worker sequential solving.
@@ -153,6 +287,13 @@ HealthStatus Server::health() const {
     h.worker_restarts = w.restarts;
     h.quarantined_fingerprints = w.quarantined_fingerprints;
   }
+  if (cache_ != nullptr) {
+    const engine::AllocCacheStats cs = cache_->stats();
+    h.cache_enabled = true;
+    h.cache_entries = cs.entries;
+    h.cache_hits = cs.hits;
+    h.cache_bytes = cs.bytes_in_use;
+  }
   return h;
 }
 
@@ -162,16 +303,72 @@ void Server::handle_solve(Conn& conn, Frame frame, const std::string& id) {
   ConnEntry entry;
   entry.id = id;
 
+  // Cache consult before admission: an exact (or permuted-equivalent)
+  // repeat of a cached instance is answered right here — no queue slot,
+  // no worker dispatch, no solve — and booked under its own terminal
+  // (cache_hit) so the accounting identity still covers it. Cache-off
+  // servers never reach this block: their admission order, rejections
+  // and output bytes are exactly the pre-cache server's.
+  std::optional<workloads::ProblemParseResult> pre_parsed;
+  std::optional<alloc::FingerprintResult> fp;
+  bool served_from_cache = false;
+  if (cache_ != nullptr && !draining()) {
+    const Clock::time_point started = Clock::now();
+    const bool static_model = options_.engine.params.register_model ==
+                              energy::RegisterModel::kStatic;
+    // Tier 0: a byte-identical repeat of something the cache already
+    // served needs no parse and no fingerprint — hash + memcmp + format
+    // is the whole hit path. (lookup() refuses every audit_rate-th hit
+    // so the paranoia recheck below still samples this traffic.)
+    if (std::optional<alloc::AllocationResult> text_hit =
+            text_front_->lookup(frame.payload)) {
+      const double latency_ms = ms_since(started);
+      metrics_.on_terminal(Terminal::kCacheHit, latency_ms, 0.0);
+      entry.ready_text =
+          format_verdict_line(id, *text_hit, Terminal::kCacheHit,
+                              latency_ms, options_.echo_assignment,
+                              static_model);
+      served_from_cache = true;
+    } else {
+      pre_parsed.emplace(
+          workloads::parse_problem(frame.payload, options_.engine.params));
+      if (pre_parsed->ok()) {
+        fp = alloc::fingerprint_problem(*pre_parsed->problem);
+        if (std::optional<alloc::AllocationResult> hit =
+                cache_->lookup(*pre_parsed->problem, *fp)) {
+          const double latency_ms = ms_since(started);
+          metrics_.on_terminal(Terminal::kCacheHit, latency_ms, 0.0);
+          entry.ready_text = format_verdict_line(
+              id, *hit, Terminal::kCacheHit, latency_ms,
+              options_.echo_assignment, static_model);
+          served_from_cache = true;
+          // The remapped result is exactly this payload's answer:
+          // promote it so the next byte-identical repeat takes tier 0.
+          text_front_->store(frame.payload, *hit);
+        }
+      }
+    }
+  }
+
   // Admission first — overload is shed before the payload is parsed,
-  // let alone solved.
-  const AdmissionVerdict verdict = admission_.try_admit(
-      tenant, static_cast<double>(frame.deadline_ms));
-  if (!verdict.admitted) {
+  // let alone solved. (With the cache on, a miss re-uses the parse from
+  // the consult above; the admission decision itself is unchanged.)
+  const AdmissionVerdict verdict =
+      served_from_cache
+          ? AdmissionVerdict{}
+          : admission_.try_admit(tenant,
+                                 static_cast<double>(frame.deadline_ms));
+  if (served_from_cache) {
+    // Response already formatted; skip admission and solving entirely.
+  } else if (!verdict.admitted) {
     metrics_.on_reject(verdict.reason);
     entry.ready_text = reject_line(id, verdict.reason, verdict.detail);
   } else {
     const workloads::ProblemParseResult parsed =
-        workloads::parse_problem(frame.payload, options_.engine.params);
+        pre_parsed.has_value()
+            ? std::move(*pre_parsed)
+            : workloads::parse_problem(frame.payload,
+                                       options_.engine.params);
     if (!parsed.ok()) {
       // The parser's diagnostic maps to a typed bad_request rejection;
       // the connection (and the process) live on.
@@ -205,12 +402,20 @@ void Server::handle_solve(Conn& conn, Frame frame, const std::string& id) {
         // loadable, and keeps admission semantics identical.
         entry.tenant = tenant;
         entry.admitted_at = Clock::now();
+        entry.fingerprint = fp;
+        if (fp.has_value()) {
+          // The worker answers with a text line; the insert path
+          // re-validates its echoed assignment against this problem.
+          entry.cache_problem = std::make_shared<alloc::AllocationProblem>(
+              std::move(*parsed.problem));
+        }
         entry.pending =
             supervisor_->dispatch(id, frame.payload, frame.deadline_ms);
       } else {
         entry.session.emplace(engine_->open_session());
         entry.tenant = tenant;
         entry.admitted_at = Clock::now();
+        entry.fingerprint = fp;
         entry.ticket = entry.session->submit(
             std::move(*parsed.problem),
             frame.deadline_ms > 0 ? frame.deadline_ms / 1000.0 : 0.0);
@@ -262,6 +467,13 @@ void Server::handle_event(Conn& conn, FrameEvent event) {
              << " worker_restarts=" << h.worker_restarts
              << " quarantined=" << h.quarantined_fingerprints;
         }
+        if (h.cache_enabled) {
+          // Same gating as the isolation fields: cache-off HEALTH
+          // output stays byte-identical to the pre-cache server.
+          os << " cache_entries=" << h.cache_entries
+             << " cache_hits=" << h.cache_hits
+             << " cache_bytes=" << h.cache_bytes;
+        }
         os << "\n";
         ready = os.str();
         break;
@@ -277,6 +489,7 @@ void Server::handle_event(Conn& conn, FrameEvent event) {
            << "LERA_METRIC server_memory_denials " << budget.denials()
            << "\n";
         if (supervisor_) emit_supervisor_metric_lines(os);
+        if (cache_ != nullptr) emit_cache_metric_lines(os);
         os << "LERA_STATS_END " << id << "\n";
         ready = os.str();
         break;
@@ -364,6 +577,12 @@ void Server::writer_loop(Conn& conn) {
     admission_.record_queue_wait_ms(queue_wait_ms);
     metrics_.on_terminal(terminal, latency_ms, queue_wait_ms);
 
+    // Offer the finished solve to the cache; insert() itself refuses
+    // anything that is not a certified, audit-clean served result.
+    if (cache_ != nullptr && entry.fingerprint.has_value()) {
+      cache_->insert(*entry.fingerprint, r);
+    }
+
     write_out(format_verdict_line(
         entry.id, r, terminal, latency_ms, options_.echo_assignment,
         options_.engine.params.register_model ==
@@ -411,6 +630,9 @@ void Server::finish_isolated(Conn& conn, ConnEntry& entry) {
             0.0, latency_ms - parse_worker_latency_ms(v.line));
         admission_.record_queue_wait_ms(queue_wait_ms);
         metrics_.on_terminal(*terminal, latency_ms, queue_wait_ms);
+        if (*terminal == Terminal::kServed) {
+          maybe_cache_worker_result(entry, v.line);
+        }
       } else {
         // The worker refused its payload (cannot be framing: the
         // supervisor encoded the frame itself).
@@ -437,6 +659,48 @@ void Server::finish_isolated(Conn& conn, ConnEntry& entry) {
                 "\n");
       break;
   }
+}
+
+/// Worker-mode cache insert: the worker answered with a text line, not
+/// an AllocationResult, so the parent reconstructs one from the echoed
+/// assignment and re-derives every cached claim from first principles —
+/// validate_assignment for legality, a full-cost audit for the energy
+/// accounting, finish_result for the stats the hit line will report.
+/// Anything that does not re-derive cleanly is simply not cached; a
+/// worker line is never trusted into the cache on its own word.
+void Server::maybe_cache_worker_result(const ConnEntry& entry,
+                                       const std::string& line) {
+  if (cache_ == nullptr || !entry.fingerprint.has_value() ||
+      entry.cache_problem == nullptr) {
+    return;
+  }
+  // Only clean, in-time, optimal-path answers qualify (mirrors
+  // AllocCache::cacheable on the in-process side).
+  if (line.find(" status=ok ") == std::string::npos ||
+      line.find(" timed_out=0") == std::string::npos) {
+    return;
+  }
+  const alloc::AllocationProblem& p = *entry.cache_problem;
+  const std::optional<alloc::Assignment> a =
+      parse_assignment_echo(line, p.segments.size());
+  if (!a.has_value()) return;  // echo_assignment off, or malformed.
+  if (!alloc::validate_assignment(p, *a).empty()) return;
+  alloc::AllocationResult r;
+  r.assignment = *a;
+  r.feasible = true;
+  alloc::finish_result(p, r);
+  audit::AuditOptions aopts;
+  aopts.level = audit::AuditLevel::kFullCost;
+  aopts.check_optimality = false;
+  if (!audit::audit_allocation(p, r.assignment, aopts).clean()) return;
+  // The worker's ok verdict means its robust solve passed the
+  // configured certification (an uncertified answer classifies as an
+  // error line, never ok); combined with the local re-derivation above
+  // this meets the cache's entry contract.
+  r.solve_diagnostics.certification =
+      netflow::CertificationVerdict::kPassed;
+  r.solve_diagnostics.message = "reconstructed from worker verdict";
+  cache_->insert(*entry.fingerprint, r);
 }
 
 void Server::serve(ByteStream& stream) {
@@ -480,9 +744,12 @@ void Server::serve(ByteStream& stream) {
     os << "LERA_DRAIN - state=complete served=" << s.served
        << " degraded=" << s.degraded << " infeasible=" << s.infeasible
        << " timed_out=" << s.timed_out << " cancelled=" << s.cancelled
-       << " rejected=" << s.rejected_total << "\n";
+       << " rejected=" << s.rejected_total;
+    if (cache_ != nullptr) os << " cache_hits=" << s.cache_hits;
+    os << "\n";
     metrics_.emit_metric_lines(os);
     if (supervisor_) emit_supervisor_metric_lines(os);
+    if (cache_ != nullptr) emit_cache_metric_lines(os);
     stream.write(os.str());
   }
 }
@@ -502,6 +769,23 @@ void Server::emit_supervisor_metric_lines(std::ostream& os) const {
      << "\n";
 }
 
+void Server::emit_cache_metric_lines(std::ostream& os) const {
+  const engine::AllocCacheStats cs = cache_->stats();
+  os << "LERA_METRIC server_cache_entries " << cs.entries << "\n"
+     << "LERA_METRIC server_cache_misses " << cs.misses << "\n"
+     << "LERA_METRIC server_cache_insertions " << cs.insertions << "\n"
+     << "LERA_METRIC server_cache_evictions " << cs.evictions << "\n"
+     << "LERA_METRIC server_cache_audit_samples " << cs.audit_samples
+     << "\n"
+     << "LERA_METRIC server_cache_audit_evictions " << cs.audit_evictions
+     << "\n"
+     << "LERA_METRIC server_cache_bytes " << cs.bytes_in_use << "\n"
+     << "LERA_METRIC server_cache_text_hits " << text_front_->hit_count()
+     << "\n"
+     << "LERA_METRIC server_cache_text_entries " << text_front_->entries()
+     << "\n";
+}
+
 std::string Server::metrics_json() const {
   std::string json = metrics_.json();
   if (supervisor_) {
@@ -514,6 +798,20 @@ std::string Server::metrics_json() const {
        << ",\"quarantined_fingerprints\":" << w.quarantined_fingerprints
        << ",\"quarantine_rejects\":" << w.quarantine_rejects
        << ",\"crash_corpus_files\":" << w.corpus_files << "}";
+    json.insert(json.size() - 1, os.str());
+  }
+  if (cache_ != nullptr) {
+    const engine::AllocCacheStats cs = cache_->stats();
+    std::ostringstream os;
+    os << ",\"cache\":{\"entries\":" << cs.entries
+       << ",\"hits\":" << cs.hits << ",\"misses\":" << cs.misses
+       << ",\"insertions\":" << cs.insertions
+       << ",\"evictions\":" << cs.evictions
+       << ",\"audit_samples\":" << cs.audit_samples
+       << ",\"audit_evictions\":" << cs.audit_evictions
+       << ",\"bytes\":" << cs.bytes_in_use
+       << ",\"text_hits\":" << text_front_->hit_count()
+       << ",\"text_entries\":" << text_front_->entries() << "}";
     json.insert(json.size() - 1, os.str());
   }
   return json;

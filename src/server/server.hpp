@@ -91,6 +91,12 @@ struct HealthStatus {
   std::int64_t worker_crashes = 0;
   std::int64_t worker_restarts = 0;
   std::int64_t quarantined_fingerprints = 0;
+  /// Allocation-cache vitals (cache_enabled mode only; the fields are
+  /// gated out of HEALTH lines otherwise, like the isolation ones).
+  bool cache_enabled = false;
+  std::int64_t cache_entries = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_bytes = 0;
 
   std::string status_word() const {
     return draining ? "draining" : overloaded ? "overloaded" : "ok";
@@ -133,17 +139,35 @@ class Server {
  private:
   struct Conn;
   struct ConnEntry;
+  struct TextFront;
 
   void handle_event(Conn& conn, FrameEvent event);
   void handle_solve(Conn& conn, Frame frame, const std::string& id);
   void writer_loop(Conn& conn);
   void finish_isolated(Conn& conn, ConnEntry& entry);
+  void maybe_cache_worker_result(const ConnEntry& entry,
+                                 const std::string& line);
   void emit_supervisor_metric_lines(std::ostream& os) const;
+  void emit_cache_metric_lines(std::ostream& os) const;
   std::string next_auto_id();
 
   ServerOptions options_;
   std::unique_ptr<engine::Engine> engine_;
   std::unique_ptr<Supervisor> supervisor_;  ///< Isolated mode only.
+  /// Server-owned allocation cache (engine.cache_entries > 0): consulted
+  /// in handle_solve before admission, so a hit never takes a queue slot
+  /// (and in isolated mode never dispatches to a worker). The engine's
+  /// own cache knobs are zeroed — one cache, one accounting.
+  std::unique_ptr<engine::AllocCache> cache_;
+  /// Tier-0 exact-text front over cache_ (same enable knob): raw
+  /// request bytes -> the result already served for those exact bytes,
+  /// so a byte-identical repeat skips parse + fingerprint entirely and
+  /// the hit path is O(payload) instead of O(parse). Populated only
+  /// from canonical-cache hits (results that already passed the
+  /// certification gate); every audit_rate-th text hit deliberately
+  /// falls through to the parse + canonical path so the paranoia
+  /// recheck still samples this tier.
+  std::unique_ptr<TextFront> text_front_;
   AdmissionController admission_;
   ServerMetrics metrics_;
   std::atomic<bool> draining_{false};

@@ -50,7 +50,8 @@ std::string format_verdict_line(const std::string& id,
   std::ostringstream os;
   switch (terminal) {
     case Terminal::kServed:
-    case Terminal::kDegraded: {
+    case Terminal::kDegraded:
+    case Terminal::kCacheHit: {
       const double energy = static_model ? r.static_energy.total()
                                          : r.activity_energy.total();
       os << "LERA_RESULT " << id << " status="
@@ -63,8 +64,11 @@ std::string format_verdict_line(const std::string& id,
          << (r.degraded
                  ? std::string("two-phase-baseline")
                  : netflow::to_string(r.solve_diagnostics.solver_used))
-         << " timed_out=" << (r.timed_out ? 1 : 0)
-         << " latency_ms=" << latency_ms;
+         << " timed_out=" << (r.timed_out ? 1 : 0);
+      // `cached=1` appears only on cache hits, which only exist in
+      // cache-enabled mode — cache-off output is untouched.
+      if (terminal == Terminal::kCacheHit) os << " cached=1";
+      os << " latency_ms=" << latency_ms;
       if (echo_assignment) {
         os << " assign=";
         if (r.assignment.size() == 0) {

@@ -1,0 +1,243 @@
+#include "engine/alloc_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/fingerprint.hpp"
+#include "netflow/membudget.hpp"
+#include "workloads/random_gen.hpp"
+
+// The certified allocation cache: hit/remap correctness (including
+// permuted resubmissions), the certification gate on insert, first-write
+// -wins semantics, LRU entry-cap and byte-budget eviction, the sampled
+// re-audit, and the default-off contract.
+
+namespace lera::engine {
+namespace {
+
+alloc::AllocationProblem random_problem(std::uint64_t seed, int num_vars,
+                                        int registers) {
+  workloads::RandomLifetimeOptions lopts;
+  lopts.num_vars = num_vars;
+  lopts.num_steps = 12;
+  lopts.max_reads = 2;
+  std::vector<lifetime::Lifetime> lts =
+      workloads::random_lifetimes(seed, lopts);
+  energy::ActivityMatrix act(lts.size());
+  return alloc::make_problem(std::move(lts), lopts.num_steps, registers,
+                             energy::EnergyParams{}, std::move(act));
+}
+
+alloc::AllocationResult certified_solve(const alloc::AllocationProblem& p) {
+  alloc::AllocatorOptions opts;
+  opts.certify = true;
+  return alloc::allocate(p, opts);
+}
+
+/// The problem with variable declarations shuffled by \p perm (new
+/// position -> old index).
+alloc::AllocationProblem permuted(const alloc::AllocationProblem& p,
+                                  const std::vector<std::size_t>& perm) {
+  std::vector<lifetime::Lifetime> lts;
+  lts.reserve(perm.size());
+  for (const std::size_t o : perm) lts.push_back(p.lifetimes[o]);
+  return alloc::make_problem(std::move(lts), p.num_steps,
+                             p.num_registers, p.params,
+                             energy::ActivityMatrix(perm.size()));
+}
+
+TEST(AllocCache, DefaultOffServesNothing) {
+  AllocCache cache(AllocCacheOptions{}, netflow::MemoryBudget());
+  EXPECT_FALSE(cache.enabled());
+  const alloc::AllocationProblem p = random_problem(1, 4, 2);
+  const alloc::FingerprintResult fp = alloc::fingerprint_problem(p);
+  const alloc::AllocationResult r = certified_solve(p);
+  ASSERT_TRUE(r.feasible);
+  cache.insert(fp, r);
+  EXPECT_FALSE(cache.lookup(p, fp).has_value());
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().insertions, 0);
+}
+
+TEST(AllocCache, ExactRepeatHitIsBitIdentical) {
+  AllocCacheOptions opts;
+  opts.max_entries = 8;
+  AllocCache cache(opts, netflow::MemoryBudget());
+  const alloc::AllocationProblem p = random_problem(2, 5, 2);
+  const alloc::FingerprintResult fp = alloc::fingerprint_problem(p);
+  EXPECT_FALSE(cache.lookup(p, fp).has_value());
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  const alloc::AllocationResult r = certified_solve(p);
+  ASSERT_TRUE(r.feasible);
+  cache.insert(fp, r);
+  EXPECT_EQ(cache.stats().insertions, 1);
+
+  const std::optional<alloc::AllocationResult> hit = cache.lookup(p, fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(cache.stats().hits, 1);
+  ASSERT_EQ(hit->assignment.size(), r.assignment.size());
+  for (std::size_t s = 0; s < r.assignment.size(); ++s) {
+    EXPECT_EQ(hit->assignment.in_register(s), r.assignment.in_register(s));
+    EXPECT_EQ(hit->assignment.location(s), r.assignment.location(s));
+  }
+  EXPECT_EQ(hit->model_energy, r.model_energy);
+}
+
+TEST(AllocCache, PermutedRepeatIsRemappedAndValid) {
+  AllocCacheOptions opts;
+  opts.max_entries = 8;
+  AllocCache cache(opts, netflow::MemoryBudget());
+  const alloc::AllocationProblem p = random_problem(3, 6, 2);
+  const alloc::AllocationResult r = certified_solve(p);
+  ASSERT_TRUE(r.feasible);
+  cache.insert(alloc::fingerprint_problem(p), r);
+
+  const std::vector<std::size_t> perm = {4, 2, 0, 5, 1, 3};
+  const alloc::AllocationProblem q = permuted(p, perm);
+  const alloc::FingerprintResult qfp = alloc::fingerprint_problem(q);
+  const std::optional<alloc::AllocationResult> hit = cache.lookup(q, qfp);
+  ASSERT_TRUE(hit.has_value());
+  // The remapped assignment must be a valid assignment OF Q, with the
+  // same optimal objective the cold solve of Q reaches.
+  EXPECT_TRUE(alloc::validate_assignment(q, hit->assignment).empty())
+      << alloc::validate_assignment(q, hit->assignment);
+  const alloc::AllocationResult cold = certified_solve(q);
+  EXPECT_DOUBLE_EQ(hit->energy(q), cold.energy(q));
+}
+
+TEST(AllocCache, UncertifiedResultsAreRefused) {
+  AllocCacheOptions opts;
+  opts.max_entries = 8;
+  AllocCache cache(opts, netflow::MemoryBudget());
+  const alloc::AllocationProblem p = random_problem(4, 4, 2);
+  const alloc::FingerprintResult fp = alloc::fingerprint_problem(p);
+
+  alloc::AllocationResult r = certified_solve(p);
+  ASSERT_TRUE(AllocCache::cacheable(r));
+  alloc::AllocationResult degraded = r;
+  degraded.degraded = true;
+  EXPECT_FALSE(AllocCache::cacheable(degraded));
+  alloc::AllocationResult timed = r;
+  timed.timed_out = true;
+  EXPECT_FALSE(AllocCache::cacheable(timed));
+  alloc::AllocationResult oom = r;
+  oom.memory_exceeded = true;
+  EXPECT_FALSE(AllocCache::cacheable(oom));
+  alloc::AllocationResult uncertified = r;
+  uncertified.solve_diagnostics.certification =
+      netflow::CertificationVerdict::kNotRun;
+  EXPECT_FALSE(AllocCache::cacheable(uncertified));
+
+  cache.insert(fp, degraded);
+  EXPECT_EQ(cache.stats().insertions, 0);
+  EXPECT_FALSE(cache.lookup(p, fp).has_value());
+}
+
+TEST(AllocCache, FirstWriteWins) {
+  AllocCacheOptions opts;
+  opts.max_entries = 8;
+  AllocCache cache(opts, netflow::MemoryBudget());
+  const alloc::AllocationProblem p = random_problem(5, 4, 2);
+  const alloc::FingerprintResult fp = alloc::fingerprint_problem(p);
+  const alloc::AllocationResult r = certified_solve(p);
+  ASSERT_TRUE(r.feasible);
+  cache.insert(fp, r);
+  alloc::AllocationResult tampered = r;
+  tampered.model_energy += 100;
+  cache.insert(fp, tampered);
+  EXPECT_EQ(cache.stats().insertions, 1);
+  const std::optional<alloc::AllocationResult> hit = cache.lookup(p, fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->model_energy, r.model_energy);
+}
+
+TEST(AllocCache, EntryCapEvictsLeastRecentlyUsed) {
+  AllocCacheOptions opts;
+  opts.max_entries = 4;  // Single shard below 8.
+  AllocCache cache(opts, netflow::MemoryBudget());
+  std::vector<alloc::AllocationProblem> problems;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    problems.push_back(random_problem(100 + s, 4, 2));
+    const alloc::AllocationResult r = certified_solve(problems.back());
+    ASSERT_TRUE(r.feasible) << s;
+    cache.insert(alloc::fingerprint_problem(problems.back()), r);
+  }
+  const AllocCacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 4);
+  EXPECT_GE(stats.evictions, 2);
+  // The newest entries survived.
+  EXPECT_TRUE(cache
+                  .lookup(problems.back(),
+                          alloc::fingerprint_problem(problems.back()))
+                  .has_value());
+}
+
+TEST(AllocCache, ByteBudgetBoundsUsage) {
+  AllocCacheOptions opts;
+  opts.max_entries = 64;
+  opts.max_bytes = 4096;
+  netflow::MemoryBudget budget = netflow::MemoryBudget::make(1 << 20);
+  AllocCache cache(opts, budget.child(0));
+  for (std::uint64_t s = 0; s < 24; ++s) {
+    const alloc::AllocationProblem p = random_problem(200 + s, 8, 2);
+    const alloc::AllocationResult r = certified_solve(p);
+    ASSERT_TRUE(r.feasible) << s;
+    cache.insert(alloc::fingerprint_problem(p), r);
+  }
+  const AllocCacheStats stats = cache.stats();
+  EXPECT_LE(stats.bytes_in_use, 4096);
+  EXPECT_GT(stats.bytes_in_use, 0);
+  // Entry bytes are visible on the budget chain.
+  EXPECT_EQ(budget.used(), stats.bytes_in_use);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().bytes_in_use, 0);
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(AllocCache, SampledReauditRunsAndServesCleanEntries) {
+  AllocCacheOptions opts;
+  opts.max_entries = 8;
+  opts.audit_rate = 1;  // Audit every hit.
+  AllocCache cache(opts, netflow::MemoryBudget());
+  const alloc::AllocationProblem p = random_problem(7, 5, 2);
+  const alloc::FingerprintResult fp = alloc::fingerprint_problem(p);
+  const alloc::AllocationResult r = certified_solve(p);
+  ASSERT_TRUE(r.feasible);
+  cache.insert(fp, r);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cache.lookup(p, fp).has_value()) << i;
+  }
+  const AllocCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.audit_samples, 3);
+  EXPECT_EQ(stats.audit_evictions, 0);
+}
+
+TEST(AllocCache, SegmentCountMismatchIsAMissNotAWrongAnswer) {
+  AllocCacheOptions opts;
+  opts.max_entries = 8;
+  AllocCache cache(opts, netflow::MemoryBudget());
+  const alloc::AllocationProblem p = random_problem(8, 5, 2);
+  const alloc::FingerprintResult fp = alloc::fingerprint_problem(p);
+  const alloc::AllocationResult r = certified_solve(p);
+  ASSERT_TRUE(r.feasible);
+  cache.insert(fp, r);
+
+  // A different problem presented under the stored key (a synthetic
+  // collision): the stored segment count no longer matches, so the
+  // lookup must refuse to serve rather than remap garbage.
+  const alloc::AllocationProblem other = random_problem(9, 3, 2);
+  ASSERT_NE(other.segments.size(), p.segments.size());
+  alloc::FingerprintResult forged = alloc::fingerprint_problem(other);
+  forged.canonical = fp.canonical;
+  EXPECT_FALSE(cache.lookup(other, forged).has_value());
+}
+
+}  // namespace
+}  // namespace lera::engine
